@@ -1,0 +1,84 @@
+"""Ablation: link bandwidth (why the paper stayed at 10 GbE).
+
+§5.3: "Consider the small size of transferred gradients of RL models,
+e.g., 40KB for PPO, we do not consider supporting larger network
+connections (i.e., 40~100Gbps) in our experiments."  This bench sweeps
+the link speed and shows why: for RL-sized vectors the end-to-end
+iteration time barely moves past 10 GbE (latency and host costs dominate,
+not bandwidth), while iSwitch's advantage persists at every speed.
+"""
+
+from repro.distributed.runner import build_cluster
+from repro.distributed.sync import SyncISwitch, SyncParameterServer
+from repro.experiments.reporting import render_table
+from repro.netsim.link import GBPS
+from repro.workloads import get_profile
+
+
+def measure(strategy_cls, with_server, use_iswitch, bandwidth, workload="ppo"):
+    profile = get_profile(workload)
+    net, workers = build_cluster(
+        4,
+        profile,
+        with_server=with_server,
+        use_iswitch=use_iswitch,
+        seed=1,
+        workload=workload,
+    )
+    for link in net.links:
+        link.bandwidth = bandwidth
+    return strategy_cls(net, workers, profile).run(8).per_iteration_time
+
+
+def sweep(workload):
+    rows = []
+    for gbps in (1, 10, 40, 100):
+        bandwidth = gbps * GBPS
+        ps = measure(SyncParameterServer, True, False, bandwidth, workload)
+        isw = measure(SyncISwitch, False, True, bandwidth, workload)
+        rows.append(
+            {
+                "gbps": gbps,
+                "ps_ms": ps * 1e3,
+                "isw_ms": isw * 1e3,
+                "speedup": ps / isw,
+            }
+        )
+    return rows
+
+
+def test_ablation_link_bandwidth(once):
+    results = once(lambda: {"ppo": sweep("ppo"), "dqn": sweep("dqn")})
+    for workload, rows in results.items():
+        size = "40 KB" if workload == "ppo" else "6.41 MB"
+        print(
+            render_table(
+                ("link", "PS iter (ms)", "iSW iter (ms)", "iSW speedup"),
+                [
+                    (
+                        f"{r['gbps']} Gb/s",
+                        f"{r['ps_ms']:.2f}",
+                        f"{r['isw_ms']:.2f}",
+                        f"{r['speedup']:.2f}x",
+                    )
+                    for r in rows
+                ],
+                title=f"Ablation: link bandwidth, {workload.upper()} "
+                f"({size} vectors), 4 workers",
+            )
+        )
+        print()
+
+    ppo = {r["gbps"]: r for r in results["ppo"]}
+    dqn = {r["gbps"]: r for r in results["dqn"]}
+    # Beyond 10 GbE, extra bandwidth barely helps RL-sized vectors — the
+    # paper's §5.3 justification for not testing 40-100 GbE.
+    assert ppo[10]["ps_ms"] / ppo[100]["ps_ms"] < 1.05
+    assert dqn[10]["ps_ms"] / dqn[100]["ps_ms"] < 1.35
+    # Below the operating point, bandwidth *does* matter for the big
+    # models: DQN's 6.41 MB vectors crawl at 1 GbE.
+    assert dqn[1]["ps_ms"] > 2.0 * dqn[10]["ps_ms"]
+    # ...but hardly for PPO's 40 KB (host costs dominate).
+    assert ppo[1]["ps_ms"] < 1.15 * ppo[10]["ps_ms"]
+    # iSwitch wins at every speed for both workloads.
+    assert all(r["speedup"] > 1.5 for rows in results.values() for r in rows)

@@ -1,0 +1,52 @@
+"""Ablation: aggregation granularity (packet-level vs vector-level).
+
+Sweeps the vector size and shows that the on-the-fly benefit grows with
+the number of frames per vector: single-frame vectors gain nothing by
+construction; kiloframe vectors approach the 2x pipelining limit.
+"""
+
+import pytest
+
+from repro.experiments.fig8 import measure_aggregation_latency
+from repro.experiments.reporting import format_bytes, render_table
+
+
+def sweep():
+    rows = []
+    for model_bytes in (1464, 16 * 1464, 256 * 1464, 4096 * 1464):
+        conventional = measure_aggregation_latency(model_bytes, on_the_fly=False)
+        on_the_fly = measure_aggregation_latency(model_bytes, on_the_fly=True)
+        rows.append(
+            {
+                "bytes": model_bytes,
+                "conventional": conventional,
+                "on_the_fly": on_the_fly,
+                "speedup": conventional / on_the_fly,
+            }
+        )
+    return rows
+
+
+def test_ablation_aggregation_granularity(once):
+    rows = once(sweep)
+    print(
+        render_table(
+            ("vector", "conventional (us)", "on-the-fly (us)", "speedup"),
+            [
+                (
+                    format_bytes(r["bytes"]),
+                    f"{r['conventional'] * 1e6:.1f}",
+                    f"{r['on_the_fly'] * 1e6:.1f}",
+                    f"{r['speedup']:.2f}x",
+                )
+                for r in rows
+            ],
+            title="Ablation: on-the-fly benefit vs vector size",
+        )
+    )
+    speedups = [r["speedup"] for r in rows]
+    # Monotone in vector size, approaching the 2x pipelining bound.
+    assert speedups == sorted(speedups)
+    assert speedups[0] == pytest.approx(1.0, abs=0.25)
+    assert speedups[-1] > 1.9
+    assert all(s < 2.2 for s in speedups)

@@ -1,0 +1,53 @@
+"""Ablation: the aggregation threshold H (the SetH control knob).
+
+With H below the worker count, the switch broadcasts partial sums as soon
+as any H commits arrive: updates come faster but each aggregates fewer
+gradients.  This bench sweeps H on the async iSwitch runner and checks the
+throughput/collectiveness trade-off.
+"""
+
+from repro.distributed import AsyncISwitch, build_cluster
+from repro.experiments.reporting import render_table
+from repro.workloads import get_profile
+
+
+def sweep():
+    profile = get_profile("ppo")
+    rows = []
+    for threshold in (1, 2, 4):
+        net, workers = build_cluster(
+            4, profile, with_server=False, use_iswitch=True, workload="ppo", seed=2
+        )
+        runner = AsyncISwitch(net, workers, profile, threshold=threshold)
+        result = runner.run(40)
+        rows.append(
+            {
+                "h": threshold,
+                "per_update_ms": result.per_iteration_time * 1e3,
+                "commits": result.extras["commits"],
+                "updates": result.iterations,
+            }
+        )
+    return rows
+
+
+def test_ablation_aggregation_threshold(once):
+    rows = once(sweep)
+    print(
+        render_table(
+            ("H", "update interval (ms)", "commits", "updates"),
+            [
+                (r["h"], f"{r['per_update_ms']:.2f}", r["commits"], r["updates"])
+                for r in rows
+            ],
+            title="Ablation: aggregation threshold H (async iSwitch, PPO, 4 workers)",
+        )
+    )
+    by = {r["h"]: r for r in rows}
+    # Smaller H -> more frequent (faster) weight updates.
+    assert by[1]["per_update_ms"] < by[2]["per_update_ms"] < by[4]["per_update_ms"]
+    # Every run completed the requested updates.
+    assert all(r["updates"] == 40 for r in rows)
+    # H=4 aggregates ~4 commits per update; H=1 aggregates one.
+    assert by[4]["commits"] / by[4]["updates"] > 2.5
+    assert by[1]["commits"] / by[1]["updates"] < 1.5

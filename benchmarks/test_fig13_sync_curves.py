@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 13 (DQN synchronous training curves).
+
+Paper shape: all three synchronous strategies trace the same
+reward-vs-iteration trajectory; on the wall-clock axis iSW reaches any
+given reward level first, AR second, PS last.
+"""
+
+from repro.experiments import fig13
+
+
+def test_fig13_dqn_sync_training_curves(once):
+    records = once(fig13.run, n_iterations=800)
+    by = {r["strategy"]: r for r in records}
+
+    # Same trajectory => same final reward (to jitter).
+    finals = [r["final_reward"] for r in records]
+    assert max(finals) - min(finals) < 1.5, finals
+
+    # Wall-clock compression: iSW < AR < PS.
+    assert by["isw"]["elapsed"] < by["ar"]["elapsed"] < by["ps"]["elapsed"]
+    assert by["isw"]["elapsed"] < 0.5 * by["ps"]["elapsed"]
+
+    # Time-to-reward ordering at a mid-curve threshold.
+    target = min(finals) - 0.5
+    times = {
+        s: fig13.time_to_reward(by[s], target) for s in ("ps", "ar", "isw")
+    }
+    assert times["isw"] <= times["ar"] <= times["ps"]
+
+    # Training actually progressed (reward improved from the start).
+    for record in records:
+        assert record["rewards"][-1] > record["rewards"][0]

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 14 (DQN asynchronous training curves).
+
+Paper shape: Async iSwitch reaches the same reward level in a fraction of
+Async PS's wall-clock time, through both a shorter update interval and
+fresher (less stale) gradients.
+"""
+
+from repro.experiments import fig14
+
+
+def test_fig14_dqn_async_training_curves(once):
+    records = once(fig14.run, n_updates=1000)
+    by = {r["strategy"]: r for r in records}
+
+    # Both emergent effects:
+    assert by["isw"]["mean_staleness"] < 0.5 * by["ps"]["mean_staleness"]
+    assert by["isw"]["per_iteration_ms"] < by["ps"]["per_iteration_ms"]
+    assert by["isw"]["elapsed"] < 0.7 * by["ps"]["elapsed"]
+
+    # iSwitch's reward at PS's finishing time is at least PS's final level
+    # (its curve dominates).
+    assert by["isw"]["final_reward"] >= by["ps"]["final_reward"] - 0.5
+
+    for record in records:
+        assert len(record["times"]) > 5

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 15 (scalability at 4/6/9/12 workers).
+
+Paper shape: at rack scale, iSwitch's hierarchical aggregation scales
+nearly linearly in both modes; synchronous PS is second (central
+bottleneck worsens with N); AR is worst (hop count linear in N); async
+PS flattens because its gradient staleness grows with the worker count.
+"""
+
+from repro.experiments import fig15
+
+
+def test_fig15_scalability(once):
+    records = once(fig15.run, n_iterations=8, n_updates=50)
+    by = {
+        (r["mode"], r["workload"], r["strategy"], r["n_workers"]): r["speedup"]
+        for r in records
+    }
+
+    for workload in ("ppo", "ddpg"):
+        # Sync ordering at 12 workers: iSW > PS > AR (Figures 15a/15c).
+        isw = by[("sync", workload, "isw", 12)]
+        ps = by[("sync", workload, "ps", 12)]
+        ar = by[("sync", workload, "ar", 12)]
+        assert isw > ps > ar, (workload, isw, ps, ar)
+        # iSwitch is near the ideal 3x line.
+        assert isw > 2.5
+        # AR's hop count is linear in N, so it gains little.
+        assert ar < 1.6
+
+        # Async (Figures 15b/15d): iSW near-linear, PS well below it.
+        isw_async = by[("async", workload, "isw", 12)]
+        ps_async = by[("async", workload, "ps", 12)]
+        assert isw_async > 2.5
+        assert ps_async < 0.75 * isw_async
+
+        # Monotone growth for iSwitch across cluster sizes.
+        for mode in ("sync", "async"):
+            speedups = [
+                by[(mode, workload, "isw", n)] for n in (4, 6, 9, 12)
+            ]
+            assert speedups == sorted(speedups)

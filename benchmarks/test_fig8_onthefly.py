@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 8 (conventional vs on-the-fly aggregation).
+
+Paper shape: aggregating at packet granularity overlaps summation with
+transmission; for multi-frame vectors the aggregation latency approaches
+half the conventional wait-for-the-whole-vector approach.
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8_on_the_fly_aggregation(once):
+    records = once(fig8.run)
+    by = {r["workload"]: r for r in records}
+    for record in records:
+        assert record["on_the_fly"] < record["conventional"]
+    # Big vectors (thousands of frames) pipeline almost perfectly: ~2x.
+    assert by["dqn"]["speedup"] > 1.8
+    assert by["a2c"]["speedup"] > 1.8
+    # Even the 28-frame PPO vector gains substantially.
+    assert by["ppo"]["speedup"] > 1.3
+    # Latency ordering follows vector size.
+    assert (
+        by["ppo"]["on_the_fly"]
+        < by["ddpg"]["on_the_fly"]
+        < by["a2c"]["on_the_fly"]
+        < by["dqn"]["on_the_fly"]
+    )

@@ -1,0 +1,75 @@
+"""Microbenchmarks: throughput of the core primitives.
+
+Unlike the table/figure benches (one deterministic simulation, pedantic
+single round), these measure the *host* performance of the building
+blocks — useful when profiling why a large simulation is slow.
+"""
+
+import numpy as np
+
+from repro.core.accelerator import AggregationEngine
+from repro.core.protocol import FLOATS_PER_SEGMENT, DataSegment, SegmentPlan
+from repro.netsim.events import Simulator
+from repro.nn import Adam, Tensor, mlp
+
+
+def test_engine_contribution_throughput(benchmark):
+    """Aggregation-engine contributions per second (366-float segments)."""
+    engine = AggregationEngine(threshold=4)
+    data = [
+        np.random.default_rng(i).standard_normal(FLOATS_PER_SEGMENT).astype(
+            np.float32
+        )
+        for i in range(4)
+    ]
+    counter = [0]
+
+    def contribute_round():
+        seg = counter[0]
+        counter[0] += 1
+        for worker in range(4):
+            engine.contribute(
+                DataSegment(seg=seg, data=data[worker], sender=f"w{worker}")
+            )
+
+    benchmark(contribute_round)
+    assert engine.stats.completions > 0
+
+
+def test_simulator_event_throughput(benchmark):
+    """Raw discrete-event scheduling + dispatch rate."""
+
+    def run_1000_events():
+        sim = Simulator()
+        for i in range(1000):
+            sim.schedule(float(i) * 1e-6, lambda: None)
+        sim.run()
+        return sim.processed_events
+
+    processed = benchmark(run_1000_events)
+    assert processed == 1000
+
+
+def test_segment_plan_split_throughput(benchmark):
+    """Splitting a PPO-sized vector into wire segments."""
+    plan = SegmentPlan(10_240)
+    vector = np.random.default_rng(0).standard_normal(10_240).astype(np.float32)
+    segments = benchmark(plan.split, vector, 0)
+    assert len(segments) == plan.n_chunks
+
+
+def test_autograd_training_step_throughput(benchmark):
+    """One forward+backward+Adam step of a 64x64 MLP (the DQN-class net)."""
+    net = mlp([5, 64, 64, 3], rng=np.random.default_rng(0))
+    optimizer = Adam(net.parameters(), lr=1e-3)
+    x = np.random.default_rng(1).standard_normal((32, 5))
+
+    def step():
+        net.zero_grad()
+        loss = (net(Tensor(x)) ** 2.0).mean()
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 1 (workload study)."""
+
+from repro.experiments import table1
+
+
+def test_table1_profiles(once):
+    records = once(table1.run)
+    by = {r["algorithm"]: r for r in records}
+    # Paper Table 1: model sizes and iteration counts.
+    assert by["DQN"]["model_bytes"] == int(6.41 * 1024 * 1024)
+    assert by["A2C"]["model_bytes"] == int(3.31 * 1024 * 1024)
+    assert by["PPO"]["model_bytes"] == int(40.02 * 1024)
+    assert by["DDPG"]["model_bytes"] == int(157.52 * 1024)
+    assert by["DQN"]["iterations"] == 1_400_000
+    # The motivating spread: DQN ships two orders of magnitude more data
+    # per iteration than PPO.
+    assert by["DQN"]["frames_per_vector"] > 100 * by["PPO"]["frames_per_vector"]

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table 3 (end-to-end speedup summary).
+
+Paper headline: iSwitch delivers 1.72x-3.66x system-level speedup for
+synchronous training and 1.56x-3.71x for asynchronous training over the
+respective PS baselines, with the largest gains on the communication-bound
+DQN workload.
+"""
+
+from repro.experiments import table3
+
+
+def test_table3_speedup_summary(once):
+    records = once(table3.run, sync_iterations=10, async_updates=80)
+    by = {(r["mode"], r["workload"], r["strategy"]): r["speedup"] for r in records}
+
+    sync_isw = [by[("sync", w, "isw")] for w in ("dqn", "a2c", "ppo", "ddpg")]
+    async_isw = [by[("async", w, "isw")] for w in ("dqn", "a2c", "ppo", "ddpg")]
+
+    # Every iSwitch configuration beats its PS baseline.
+    assert all(s > 1.2 for s in sync_isw), sync_isw
+    assert all(s > 1.2 for s in async_isw), async_isw
+
+    # The paper's ranges: peak speedup 3.5-4x on DQN, bottom above ~1.7x.
+    assert 3.0 < max(sync_isw) < 4.5
+    assert 3.0 < max(async_isw) < 4.8
+    assert by[("sync", "dqn", "isw")] == max(sync_isw)
+
+    # AR is no silver bullet: helps DQN, hurts PPO (paper Table 3 AR row).
+    assert by[("sync", "dqn", "ar")] > 1.4
+    assert by[("sync", "ppo", "ar")] < 1.1

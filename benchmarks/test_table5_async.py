@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Table 5 (asynchronous training comparison).
+
+Paper shape: Async iSwitch sees much fresher gradients (measured staleness
+~1 vs ~3 for Async PS under the same bound S=3), which translates into
+44.4%-77.8% fewer convergence iterations; its update interval beats PS on
+the communication-heavy workloads (DQN) and loses slightly on the compute-
+heavy small models (PPO, DDPG) — yet end-to-end it wins everywhere.
+"""
+
+from repro.experiments import table5
+
+
+def test_table5_async_comparison(once):
+    records = once(table5.run, n_updates=80)
+    by = {(r["workload"], r["strategy"]): r for r in records}
+
+    for workload in ("dqn", "a2c", "ppo", "ddpg"):
+        ps = by[(workload, "ps")]
+        isw = by[(workload, "isw")]
+        # Staleness: iSwitch commits far fresher gradients.
+        assert isw["mean_staleness"] < 0.6 * ps["mean_staleness"]
+        # Hence fewer derived convergence iterations.
+        assert isw["derived_iterations"] < ps["derived_iterations"]
+        # End-to-end: async iSwitch wins on every workload (paper Table 5).
+        assert isw["hours"] < ps["hours"], workload
+
+    # Update-interval shape: iSW much faster for DQN, slower for PPO
+    # (the paper's Table 5 signature pattern).
+    assert (
+        by[("dqn", "isw")]["per_iteration_ms"]
+        < 0.6 * by[("dqn", "ps")]["per_iteration_ms"]
+    )
+    assert (
+        by[("ppo", "isw")]["per_iteration_ms"]
+        > by[("ppo", "ps")]["per_iteration_ms"]
+    )
+
+    # Interval times land within 35% of the paper's measurements.
+    for record in records:
+        ratio = record["per_iteration_ms"] / record["paper_per_iteration_ms"]
+        assert 0.6 < ratio < 1.4, record

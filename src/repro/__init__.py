@@ -1,0 +1,22 @@
+"""iSwitch: in-switch gradient aggregation for distributed RL training.
+
+A full Python reproduction of Li et al., *Accelerating Distributed
+Reinforcement Learning with In-Switch Computing* (ISCA 2019):
+
+* :mod:`repro.core` — the iSwitch protocol, in-switch accelerator,
+  extended control/data planes and rack-scale hierarchical aggregation;
+* :mod:`repro.netsim` — the discrete-event packet-level network simulator
+  standing in for the NetFPGA testbed;
+* :mod:`repro.nn` / :mod:`repro.rl` — NumPy autograd, the four RL
+  workloads (DQN, A2C, PPO, DDPG) and their simulated environments;
+* :mod:`repro.distributed` — synchronous and asynchronous training
+  strategies (parameter server, Ring-AllReduce, iSwitch);
+* :mod:`repro.workloads` / :mod:`repro.experiments` — calibrated profiles
+  and the harness regenerating every table and figure in the paper.
+"""
+
+__version__ = "1.0.0"
+
+from . import core, distributed, netsim, nn, rl, workloads
+
+__all__ = ["core", "distributed", "netsim", "nn", "rl", "workloads", "__version__"]

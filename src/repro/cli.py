@@ -1,0 +1,197 @@
+"""Command-line interface: regenerate paper artifacts and run trainings.
+
+Usage::
+
+    python -m repro list                      # what can I run?
+    python -m repro table4                    # regenerate a paper table
+    python -m repro fig13 --iterations 500    # a figure, custom depth
+    python -m repro train --strategy isw --workload dqn --iterations 50
+    python -m repro train --mode async --strategy ps --workload ppo
+
+Every experiment subcommand accepts the knobs its module exposes; ``train``
+drives a single strategy and prints the result summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .distributed.runner import ASYNC_STRATEGIES, SYNC_STRATEGIES, run_async, run_sync
+from .experiments import (
+    fig4,
+    fig8,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table1,
+    table3,
+    table4,
+    table5,
+    utilization,
+)
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment subcommands: name -> (runner, iteration-knob name or None).
+EXPERIMENTS = {
+    "table1": (table1.run, None),
+    "fig4": (fig4.run, "n_iterations"),
+    "fig8": (fig8.run, None),
+    "table3": (table3.run, "sync_iterations"),
+    "table4": (table4.run, "n_iterations"),
+    "table5": (table5.run, "n_updates"),
+    "fig12": (fig12.run, "n_iterations"),
+    "fig13": (fig13.run, "n_iterations"),
+    "fig14": (fig14.run, "n_updates"),
+    "fig15": (fig15.run, "n_iterations"),
+    "utilization": (utilization.run, "n_iterations"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="iSwitch (ISCA 2019) reproduction harness",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    everything = subparsers.add_parser(
+        "all", help="regenerate every table and figure (quick windows)"
+    )
+    everything.add_argument(
+        "--full",
+        action="store_true",
+        help="use the full default measurement windows (slower)",
+    )
+
+    for name in EXPERIMENTS:
+        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        sub.add_argument(
+            "--iterations",
+            type=int,
+            default=None,
+            help="measurement window (iterations or updates)",
+        )
+
+    train = subparsers.add_parser("train", help="run one distributed training")
+    train.add_argument(
+        "--mode", choices=("sync", "async"), default="sync", help="training mode"
+    )
+    train.add_argument(
+        "--strategy",
+        default="isw",
+        help=f"sync: {SYNC_STRATEGIES}; async: {ASYNC_STRATEGIES}",
+    )
+    train.add_argument(
+        "--workload",
+        choices=("dqn", "a2c", "ppo", "ddpg"),
+        default="dqn",
+    )
+    train.add_argument("--workers", type=int, default=4)
+    train.add_argument("--iterations", type=int, default=50)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--staleness-bound", type=int, default=3, help="async only: S"
+    )
+    return parser
+
+
+def _run_experiment(name: str, iterations: Optional[int]) -> int:
+    runner, knob = EXPERIMENTS[name]
+    kwargs = {}
+    if iterations is not None:
+        if knob is None:
+            print(f"{name} takes no --iterations knob", file=sys.stderr)
+            return 2
+        kwargs[knob] = iterations
+    runner(**kwargs)
+    return 0
+
+
+#: Quick measurement windows for `repro all` (experiment -> knob value).
+_QUICK_WINDOWS = {
+    "fig4": 6,
+    "table3": 6,
+    "table4": 6,
+    "table5": 50,
+    "fig12": 6,
+    "fig13": 400,
+    "fig14": 400,
+    "fig15": 6,
+    "utilization": 6,
+}
+
+
+def _run_all(full: bool = False) -> int:
+    """Regenerate every artifact back to back."""
+    for name in EXPERIMENTS:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        iterations = None if full else _QUICK_WINDOWS.get(name)
+        code = _run_experiment(name, iterations)
+        if code != 0:
+            return code
+    return 0
+
+
+def _run_training(args: argparse.Namespace) -> int:
+    if args.mode == "sync":
+        if args.strategy not in SYNC_STRATEGIES:
+            print(
+                f"sync strategies: {', '.join(SYNC_STRATEGIES)}", file=sys.stderr
+            )
+            return 2
+        result = run_sync(
+            args.strategy,
+            args.workload,
+            n_workers=args.workers,
+            n_iterations=args.iterations,
+            seed=args.seed,
+        )
+    else:
+        if args.strategy not in ASYNC_STRATEGIES:
+            print(
+                f"async strategies: {', '.join(ASYNC_STRATEGIES)}", file=sys.stderr
+            )
+            return 2
+        result = run_async(
+            args.strategy,
+            args.workload,
+            n_workers=args.workers,
+            n_updates=args.iterations,
+            seed=args.seed,
+            staleness_bound=args.staleness_bound,
+        )
+    print(f"strategy:           {result.strategy}")
+    print(f"workload:           {result.workload}")
+    print(f"workers:            {result.n_workers}")
+    print(f"iterations:         {result.iterations}")
+    print(f"simulated time:     {result.elapsed:.3f} s")
+    print(f"per-iteration time: {result.per_iteration_time * 1e3:.3f} ms")
+    if "mean_staleness" in result.extras:
+        print(f"mean staleness:     {result.extras['mean_staleness']:.2f}")
+    reward = result.final_average_reward
+    if reward != float("-inf"):
+        print(f"avg episode reward: {reward:.2f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("experiments:", ", ".join(EXPERIMENTS))
+        print("training:    train --mode sync|async --strategy ps|ar|isw ...")
+        return 0
+    if args.command == "train":
+        return _run_training(args)
+    if args.command == "all":
+        return _run_all(full=args.full)
+    return _run_experiment(args.command, args.iterations)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""The paper's primary contribution: the iSwitch in-switch aggregation
+system — protocol, accelerator, extended switch, control plane, worker
+client, and rack-scale hierarchical aggregation.
+"""
+
+from .accelerator import (
+    AcceleratorTiming,
+    AggregationEngine,
+    AggregationStats,
+    VectorGranularityEngine,
+)
+from .client import AggregationClient
+from .compression import (
+    CODECS,
+    Float16Codec,
+    Float32Codec,
+    GradientCodec,
+    Int8Codec,
+    get_codec,
+)
+from .control_plane import MemberEntry, MembershipTable, MemberType
+from .hierarchy import aggregation_switches, configure_aggregation, iswitch_factory
+from .jobs import DEFAULT_JOB, JobState, JobTable
+from .protocol import (
+    FLOAT_BYTES,
+    FLOATS_PER_SEGMENT,
+    ISWITCH_TOS_VALUES,
+    ISWITCH_UDP_PORT,
+    SEG_HEADER_BYTES,
+    SEG_PAYLOAD_BYTES,
+    TOS_CONTROL,
+    TOS_DATA_DOWN,
+    TOS_DATA_UP,
+    Action,
+    ControlMessage,
+    DataSegment,
+    SegmentPlan,
+    make_control_packet,
+    make_data_packet,
+)
+from .switch import ISwitch
+
+__all__ = [
+    "ISwitch",
+    "AggregationEngine",
+    "AggregationStats",
+    "VectorGranularityEngine",
+    "AcceleratorTiming",
+    "AggregationClient",
+    "GradientCodec",
+    "Float32Codec",
+    "Float16Codec",
+    "Int8Codec",
+    "get_codec",
+    "CODECS",
+    "JobTable",
+    "JobState",
+    "DEFAULT_JOB",
+    "MembershipTable",
+    "MemberEntry",
+    "MemberType",
+    "SegmentPlan",
+    "DataSegment",
+    "ControlMessage",
+    "Action",
+    "configure_aggregation",
+    "aggregation_switches",
+    "iswitch_factory",
+    "make_control_packet",
+    "make_data_packet",
+    "TOS_CONTROL",
+    "TOS_DATA_UP",
+    "TOS_DATA_DOWN",
+    "ISWITCH_TOS_VALUES",
+    "ISWITCH_UDP_PORT",
+    "SEG_HEADER_BYTES",
+    "SEG_PAYLOAD_BYTES",
+    "FLOATS_PER_SEGMENT",
+    "FLOAT_BYTES",
+]

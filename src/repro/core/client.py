@@ -1,0 +1,250 @@
+"""Worker-side endpoint of the iSwitch protocol.
+
+Each training worker owns an :class:`AggregationClient` bound to its
+host's iSwitch UDP port.  The client
+
+* streams a gradient vector to the switch as a train of ToS-tagged data
+  packets (the NIC serializes them back to back, which is what lets the
+  accelerator aggregate on the fly while later packets are still in
+  flight);
+* collects the aggregated segments broadcast back by the switch,
+  reassembles them into full vectors per aggregation round, and invokes a
+  completion callback;
+* speaks the control protocol (Join/Leave/Reset/SetH/Help) and can run a
+  timeout-driven loss-recovery loop, implementing the paper's "offload
+  the majority of tasks of handling lossy packets to workers".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..netsim.events import Event
+from ..netsim.node import Host
+from ..netsim.packets import Packet
+from .protocol import (
+    ISWITCH_UDP_PORT,
+    TOS_CONTROL,
+    TOS_DATA_DOWN,
+    Action,
+    ControlMessage,
+    DataSegment,
+    SegmentPlan,
+    make_control_packet,
+    make_data_packet,
+)
+
+__all__ = ["AggregationClient"]
+
+RoundCallback = Callable[[int, np.ndarray], None]
+ControlCallback = Callable[[ControlMessage], None]
+
+
+class AggregationClient:
+    """The per-worker protocol endpoint for in-switch aggregation."""
+
+    def __init__(
+        self,
+        host: Host,
+        switch_address: str,
+        plan: SegmentPlan,
+        on_round_complete: Optional[RoundCallback] = None,
+        on_control: Optional[ControlCallback] = None,
+        recovery_timeout: Optional[float] = None,
+        job: int = 0,
+        codec=None,
+    ) -> None:
+        self.host = host
+        self.switch_address = switch_address
+        self.plan = plan
+        self.job = job
+        #: Optional :class:`repro.core.compression.GradientCodec`; when
+        #: set, gradients suffer its quantization loss before leaving the
+        #: worker (the wire width itself comes from the plan's
+        #: ``bytes_per_element``).
+        self.codec = codec
+        self.on_round_complete = on_round_complete
+        self.on_control = on_control
+        self.recovery_timeout = recovery_timeout
+        self._partial: Dict[int, Dict[int, np.ndarray]] = {}
+        self._completed: set = set()
+        self._watchdogs: Dict[int, Event] = {}
+        #: Recently sent segments by global Seg number, kept only when
+        #: loss recovery is armed, so a relayed Help can be answered by
+        #: retransmitting the original contribution.
+        self._sent: Dict[int, DataSegment] = {}
+        self._commit_counter = 0
+        self.rounds_completed = 0
+        self.help_requests = 0
+        self.retransmissions = 0
+        # Several clients (different jobs) may share one host; the first
+        # binds the iSwitch port and fans packets out to every registered
+        # client, each of which filters on its job id.
+        registry = getattr(host, "_iswitch_clients", None)
+        if registry is None:
+            registry = []
+            host._iswitch_clients = registry
+
+            def dispatch(packet: Packet) -> None:
+                for client in registry:
+                    client._receive(packet)
+
+            host.bind(ISWITCH_UDP_PORT, dispatch)
+        registry.append(self)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_gradient(self, vector: np.ndarray, round_index: int) -> int:
+        """Stream one gradient vector for ``round_index``; returns commit id.
+
+        All chunks are offered to the NIC immediately; the link transmit
+        queue serializes them back to back, so the last byte leaves at
+        exactly ``vector_wire_bytes * 8 / bandwidth`` after the first.
+        """
+        self._commit_counter += 1
+        commit_id = self._commit_counter
+        if self.codec is not None:
+            vector = self.codec.roundtrip(vector)
+        segments = self.plan.split(
+            vector, round_index, sender=self.host.name, commit_id=commit_id
+        )
+        for segment in segments:
+            segment.job = self.job
+            self.host.send(
+                make_data_packet(
+                    self.host.name, self.switch_address, segment, self.plan
+                )
+            )
+        if self.recovery_timeout is not None:
+            for segment in segments:
+                self._sent[segment.seg] = segment
+            if len(self._sent) > 8 * self.plan.n_chunks:
+                for old in sorted(self._sent)[: 4 * self.plan.n_chunks]:
+                    del self._sent[old]
+            self._arm_watchdog(round_index)
+        return commit_id
+
+    # ------------------------------------------------------------------
+    # Control operations
+    # ------------------------------------------------------------------
+    def join(self, member_type: str = "worker") -> None:
+        self._control(Action.JOIN, member_type)
+
+    def leave(self) -> None:
+        self._control(Action.LEAVE)
+
+    def reset_switch(self) -> None:
+        self._control(Action.RESET)
+
+    def set_threshold(self, h: int) -> None:
+        self._control(Action.SETH, h)
+
+    def request_help(self, seg: int) -> None:
+        """Ask the switch to retransmit the result for one lost segment."""
+        self.help_requests += 1
+        self._control(Action.HELP, seg)
+
+    def _control(self, action: Action, value=None) -> None:
+        self.host.send(
+            make_control_packet(
+                self.host.name,
+                self.switch_address,
+                ControlMessage(action, value, job=self.job),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def _receive(self, packet: Packet) -> None:
+        if packet.tos == TOS_DATA_DOWN:
+            if packet.payload.job != self.job:
+                return  # another tenant's results on a shared host
+            self._receive_result(packet.payload)
+        elif packet.tos == TOS_CONTROL:
+            message = packet.payload
+            if isinstance(message, ControlMessage) and message.job != self.job:
+                return
+            if (
+                isinstance(message, ControlMessage)
+                and message.action == Action.HELP
+            ):
+                self._retransmit(int(message.value))
+            elif self.on_control is not None:
+                self.on_control(message)
+
+    def _retransmit(self, seg: int) -> None:
+        """Answer a switch-relayed Help: resend our own contribution.
+
+        The engine's dedup mode drops the copy if the original did arrive,
+        so retransmission is always safe.
+        """
+        segment = self._sent.get(seg)
+        if segment is None:
+            return
+        self.retransmissions += 1
+        self.host.send(
+            make_data_packet(
+                self.host.name, self.switch_address, segment, self.plan
+            )
+        )
+
+    def _receive_result(self, segment: DataSegment) -> None:
+        round_index = self.plan.round_of_seg(segment.seg)
+        if round_index in self._completed:
+            return  # late duplicate of an already-assembled round
+        chunk = self.plan.chunk_of_seg(segment.seg)
+        chunks = self._partial.setdefault(round_index, {})
+        chunks[chunk] = segment.data  # duplicate results simply overwrite
+        if len(chunks) == self.plan.n_chunks:
+            self._finish_round(round_index)
+
+    def _finish_round(self, round_index: int) -> None:
+        chunks = self._partial.pop(round_index)
+        self._completed.add(round_index)
+        if len(self._completed) > 1024:
+            # Old rounds can never resurface; keep the set bounded.
+            for done in sorted(self._completed)[:512]:
+                self._completed.discard(done)
+        watchdog = self._watchdogs.pop(round_index, None)
+        if watchdog is not None:
+            watchdog.cancel()
+        out = np.empty(self.plan.n_elements, dtype=np.float32)
+        for chunk, data in chunks.items():
+            start, stop = self.plan.chunk_bounds(chunk)
+            out[start:stop] = data
+        self.rounds_completed += 1
+        if self.on_round_complete is not None:
+            self.on_round_complete(round_index, out)
+
+    # ------------------------------------------------------------------
+    # Loss recovery
+    # ------------------------------------------------------------------
+    def _arm_watchdog(self, round_index: int) -> None:
+        if round_index in self._watchdogs:
+            return
+
+        def check() -> None:
+            self._watchdogs.pop(round_index, None)
+            if round_index in self._completed:
+                return
+            received = set(self._partial.get(round_index, {}))
+            missing = set(range(self.plan.n_chunks)) - received
+            base = round_index * self.plan.n_chunks
+            for chunk in sorted(missing):
+                self.request_help(base + chunk)
+            self._arm_watchdog(round_index)
+
+        self._watchdogs[round_index] = self.host.sim.schedule(
+            self.recovery_timeout, check, name=f"watchdog:r{round_index}"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending_rounds(self) -> int:
+        """Rounds with at least one received chunk but not yet complete."""
+        return len(self._partial)

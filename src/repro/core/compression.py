@@ -1,0 +1,111 @@
+"""Gradient wire codecs: trading precision for communication time.
+
+The paper transmits gradients in "raw float-point format" (fp32) and cites
+bandwidth-oriented follow-ups (GradiVeQ [56]) as complementary.  This
+extension implements that direction: a :class:`GradientCodec` determines
+how many bytes each gradient element occupies on the wire, and the
+precision loss incurred.
+
+The simulated accelerator dequantizes on ingest and accumulates in fp32
+(as an FPGA datapath with widening converters would), so codecs compose
+with in-switch aggregation: the *wire* shrinks, the summation math keeps
+fp32 dynamics, and the only error is the encode-side rounding — which
+:meth:`GradientCodec.roundtrip` applies so training feels exactly the
+precision that reached the switch.
+
+===========  =====  ==================================================
+Codec        B/elt  Scheme
+===========  =====  ==================================================
+``fp32``       4    identity (the paper's format)
+``fp16``       2    IEEE half precision
+``int8``       1    linear quantization, one fp32 scale per vector
+===========  =====  ==================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GradientCodec",
+    "Float32Codec",
+    "Float16Codec",
+    "Int8Codec",
+    "get_codec",
+    "CODECS",
+]
+
+
+class GradientCodec:
+    """Base: a named element width plus a precision-loss model."""
+
+    name: str = "base"
+    bytes_per_element: int = 4
+
+    def roundtrip(self, vector: np.ndarray) -> np.ndarray:
+        """Apply the codec's quantization loss (encode ∘ decode).
+
+        Returns float32; must be idempotent (a fixed point of itself).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class Float32Codec(GradientCodec):
+    """Identity: the paper's raw fp32 wire format."""
+
+    name = "fp32"
+    bytes_per_element = 4
+
+    def roundtrip(self, vector: np.ndarray) -> np.ndarray:
+        return np.asarray(vector, dtype=np.float32)
+
+
+class Float16Codec(GradientCodec):
+    """IEEE half precision: 2 bytes/element, ~3 decimal digits."""
+
+    name = "fp16"
+    bytes_per_element = 2
+
+    def roundtrip(self, vector: np.ndarray) -> np.ndarray:
+        return np.asarray(vector, dtype=np.float16).astype(np.float32)
+
+
+class Int8Codec(GradientCodec):
+    """Linear int8 quantization with a per-vector fp32 scale.
+
+    ``q = round(x / scale)`` with ``scale = max|x| / 127``; zero vectors
+    pass through untouched.  The scale itself costs 4 bytes per vector —
+    negligible against the 4x element shrink, and the wire model's
+    per-frame Seg header already dwarfs it.
+    """
+
+    name = "int8"
+    bytes_per_element = 1
+
+    def roundtrip(self, vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float32)
+        peak = float(np.abs(vector).max()) if vector.size else 0.0
+        if peak == 0.0:
+            return vector.copy()
+        scale = peak / 127.0
+        quantized = np.clip(np.rint(vector / scale), -127, 127)
+        return (quantized * scale).astype(np.float32)
+
+
+CODECS = {
+    codec.name: codec
+    for codec in (Float32Codec(), Float16Codec(), Int8Codec())
+}
+
+
+def get_codec(name: str) -> GradientCodec:
+    """Look up a codec by name (fp32 | fp16 | int8)."""
+    try:
+        return CODECS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown codec {name!r}; choose from {sorted(CODECS)}"
+        ) from None

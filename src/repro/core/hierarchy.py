@@ -1,0 +1,91 @@
+"""Hierarchical aggregation across the rack-scale switch tree (paper §3.4).
+
+A single-rack deployment has one iSwitch aggregating all workers.  At rack
+scale (Figure 10) each ToR iSwitch aggregates its local workers and
+forwards the partial sum to the switch above; the root switch completes
+the global sum and broadcasts it back down, with each ToR fanning the
+result out to its rack.  "Such a design leverages the existing rack-scale
+network architecture and does not introduce additional hardware or network
+topology changes."
+
+These helpers take a :class:`~repro.netsim.topology.Network` whose
+switches were built with an :class:`~repro.core.switch.ISwitch` factory
+and wire up the membership tables, parent pointers, per-switch aggregation
+thresholds, and the inter-switch routes the result path needs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..netsim.switch import EthernetSwitch
+from ..netsim.topology import Network
+from .control_plane import MemberType
+from .switch import ISwitch
+
+__all__ = ["iswitch_factory", "configure_aggregation", "aggregation_switches"]
+
+
+def iswitch_factory(sim, name: str) -> ISwitch:
+    """A ``switch_factory`` for the topology builders."""
+    return ISwitch(sim, name)
+
+
+def _require_iswitch(switch: EthernetSwitch) -> ISwitch:
+    if not isinstance(switch, ISwitch):
+        raise TypeError(
+            f"switch {switch.name} is a plain {type(switch).__name__}; build "
+            "the topology with switch_factory=iswitch_factory"
+        )
+    return switch
+
+
+def _port_toward(switch: EthernetSwitch, device) -> object:
+    for port in switch.ports:
+        if port.peer.device is device:
+            return port
+    raise ValueError(f"{switch.name} has no link toward {device.name}")
+
+
+def configure_aggregation(net: Network) -> List[ISwitch]:
+    """Set up (possibly hierarchical) in-switch aggregation on ``net``.
+
+    * Every worker becomes a member of its ToR iSwitch.
+    * Every non-root switch points its parent at the switch reached by its
+      default (uplink) route — this handles the two-layer rack tree and
+      the full three-tier ToR→AGG→Core hierarchy alike — becomes a member
+      of that parent, and both directions learn switch-name routes for
+      the partial-sum/result traffic.
+    * Each switch's H defaults to its member count (local workers for
+      ToRs, child switches above).
+
+    Returns all participating iSwitches, leaf-to-root.
+    """
+    switches = [_require_iswitch(s) for s in net.switches]
+    root = _require_iswitch(net.root) if net.root is not None else None
+
+    for worker, tor in zip(net.workers, net.tor_of_worker):
+        _require_iswitch(tor).add_member(worker.name, MemberType.WORKER)
+
+    for switch in switches:
+        if switch is root:
+            continue
+        uplink = switch.default_route
+        if uplink is None:
+            raise ValueError(
+                f"switch {switch.name} has no uplink (default route) and is "
+                "not the root; cannot infer the aggregation hierarchy"
+            )
+        parent = _require_iswitch(uplink.peer.device)
+        switch.set_parent(parent.name)
+        parent.add_member(switch.name, MemberType.SWITCH)
+        # The generic topology routes host names only; aggregation
+        # results travel switch-to-switch, so teach both directions.
+        parent.add_route(switch.name, _port_toward(parent, switch))
+        switch.add_route(parent.name, _port_toward(switch, parent))
+    return switches
+
+
+def aggregation_switches(net: Network) -> List[ISwitch]:
+    """All iSwitches in ``net`` (validated), leaf-to-root."""
+    return [_require_iswitch(s) for s in net.switches]

@@ -1,0 +1,318 @@
+"""The iSwitch wire protocol (paper §3.2, Figure 5, Table 2).
+
+Packets belonging to in-switch training are tagged through the IP **ToS**
+byte.  Three reserved values are used:
+
+* :data:`TOS_CONTROL` — control messages (Figure 5a): a 1-byte ``Action``
+  code plus an optional ``Value`` payload.
+* :data:`TOS_DATA_UP` — gradient contributions flowing worker → switch →
+  (optionally) parent switch (Figure 5b): an 8-byte ``Seg`` index followed
+  by raw float32 gradient data.
+* :data:`TOS_DATA_DOWN` — aggregated results broadcast switch → workers.
+  The paper distinguishes directions implicitly by port; an explicit second
+  ToS value keeps the simulated data plane honest without changing hop
+  counts or packet sizes (both directions carry the same 8-byte ``Seg``
+  header).
+
+Gradient vectors are segmented for transmission by a :class:`SegmentPlan`:
+each data frame carries ``Seg`` (8 bytes) + up to 1464 bytes = 366 float32
+gradient elements.  ``Seg`` numbers are globally unique across aggregation
+rounds (``seg = round * segments_per_vector + offset``) so the accelerator
+never confuses two rounds' worth of the same vector offset.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from ..netsim.packets import MAX_UDP_PAYLOAD, Packet
+
+__all__ = [
+    "TOS_CONTROL",
+    "TOS_DATA_UP",
+    "TOS_DATA_DOWN",
+    "ISWITCH_TOS_VALUES",
+    "ISWITCH_UDP_PORT",
+    "SEG_HEADER_BYTES",
+    "SEG_PAYLOAD_BYTES",
+    "FLOATS_PER_SEGMENT",
+    "FLOAT_BYTES",
+    "Action",
+    "ControlMessage",
+    "DataSegment",
+    "SegmentPlan",
+    "make_control_packet",
+    "make_data_packet",
+]
+
+TOS_CONTROL = 0x04
+TOS_DATA_UP = 0x08
+TOS_DATA_DOWN = 0x0C
+ISWITCH_TOS_VALUES = frozenset({TOS_CONTROL, TOS_DATA_UP, TOS_DATA_DOWN})
+
+#: The reserved UDP port iSwitch traffic uses (membership table, Figure 9).
+ISWITCH_UDP_PORT = 9999
+
+SEG_HEADER_BYTES = 8  # the 8-byte Seg field (Figure 5b)
+FLOAT_BYTES = 4  # "raw float-point format", fp32
+SEG_PAYLOAD_BYTES = MAX_UDP_PAYLOAD - SEG_HEADER_BYTES  # 1464 B
+FLOATS_PER_SEGMENT = SEG_PAYLOAD_BYTES // FLOAT_BYTES  # 366 elements
+
+
+class Action(enum.IntEnum):
+    """Control-message action codes (Table 2)."""
+
+    JOIN = 1  #: Join the training job
+    LEAVE = 2  #: Leave the training job
+    RESET = 3  #: Clear accelerator buffers/counters on the switch
+    SETH = 4  #: Set the aggregation threshold H on the switch
+    FBCAST = 5  #: Force broadcasting a partially aggregated segment
+    HELP = 6  #: Request a lost data packet for a worker
+    HALT = 7  #: Suspend the training job on all workers
+    ACK = 8  #: Confirm the success/failure of actions
+
+
+@dataclass
+class ControlMessage:
+    """Payload of a control packet: the Action byte plus optional Value.
+
+    ``job`` selects which training job the message addresses when one
+    switch hosts several (see :mod:`repro.core.jobs`); it is encoded in
+    the Value field's reserved bits, so packet sizes are unchanged.
+    """
+
+    action: Action
+    value: Any = None
+    job: int = 0
+
+    @property
+    def payload_size(self) -> int:
+        """Action is 1 byte; Value sizes are modelled per action."""
+        if self.value is None:
+            return 1
+        if self.action == Action.SETH:
+            return 1 + 4  # H as a 32-bit integer
+        if self.action in (Action.FBCAST, Action.HELP):
+            return 1 + SEG_HEADER_BYTES  # the Seg index in question
+        if self.action == Action.JOIN:
+            return 1 + 16  # model meta-data (size, segment count, ...)
+        if self.action == Action.ACK:
+            return 1 + 1  # success/failure flag
+        return 1 + 8
+
+
+@dataclass
+class DataSegment:
+    """Payload of a data packet: the Seg index plus gradient values.
+
+    ``data`` is a float32 array.  ``sender`` and ``commit_id`` identify the
+    contribution for optional duplicate suppression during loss recovery
+    (the real accelerator is a pure counter; see
+    :class:`repro.core.accelerator.AggregationEngine`).
+    """
+
+    seg: int
+    data: np.ndarray
+    sender: str = ""
+    commit_id: int = 0
+    #: Training-job id for multi-tenant switches; carried in the high
+    #: bits of the 8-byte Seg field, so packet sizes are unchanged.
+    job: int = 0
+    #: Wire footprint stamped by :func:`make_data_packet` (UDP payload
+    #: bytes / Ethernet frames), so switches emit results with exactly the
+    #: footprint the contributions had — including any wire multiplier.
+    wire_payload: Optional[int] = None
+    wire_frames: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.seg < 0:
+            raise ValueError(f"Seg index must be >= 0, got {self.seg}")
+
+
+class SegmentPlan:
+    """How one gradient vector of ``n_elements`` floats maps onto packets.
+
+    ``frames_per_chunk`` groups consecutive frames into a single simulated
+    packet *train* (see :class:`repro.netsim.packets.Packet`); semantics
+    are unchanged because every worker uses the identical plan, so the
+    aggregation unit is simply ``frames_per_chunk`` segments at once.
+
+    ``wire_multiplier`` scales every packet's *wire* footprint (payload
+    bytes and frame count) without touching the carried data.  The
+    convergence experiments train small NumPy models but must move the
+    paper's multi-megabyte vectors on the simulated network; a multiplier
+    of k makes each chunk occupy exactly the bytes of k real chunks.
+    """
+
+    def __init__(
+        self,
+        n_elements: int,
+        frames_per_chunk: int = 1,
+        wire_multiplier: int = 1,
+        bytes_per_element: int = FLOAT_BYTES,
+    ) -> None:
+        if n_elements < 1:
+            raise ValueError(f"need at least one element, got {n_elements}")
+        if frames_per_chunk < 1:
+            raise ValueError(f"frames_per_chunk must be >= 1, got {frames_per_chunk}")
+        if wire_multiplier < 1:
+            raise ValueError(f"wire_multiplier must be >= 1, got {wire_multiplier}")
+        if bytes_per_element < 1:
+            raise ValueError(
+                f"bytes_per_element must be >= 1, got {bytes_per_element}"
+            )
+        self.n_elements = n_elements
+        self.frames_per_chunk = frames_per_chunk
+        self.wire_multiplier = wire_multiplier
+        #: Wire width of one gradient element (4 = the paper's raw fp32;
+        #: smaller values model compressed wires, see
+        #: :mod:`repro.core.compression`).
+        self.bytes_per_element = bytes_per_element
+        self.elements_per_frame = SEG_PAYLOAD_BYTES // bytes_per_element
+        self.n_frames = math.ceil(n_elements / self.elements_per_frame)
+        self.n_chunks = math.ceil(self.n_frames / frames_per_chunk)
+        self.elements_per_chunk = self.elements_per_frame * frames_per_chunk
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total UDP payload bytes for one full vector (headers excluded)."""
+        return (
+            self.n_frames * SEG_HEADER_BYTES
+            + self.n_elements * self.bytes_per_element
+        )
+
+    def chunk_bounds(self, chunk: int) -> tuple:
+        """(start, stop) element indices of chunk ``chunk``."""
+        if not 0 <= chunk < self.n_chunks:
+            raise IndexError(f"chunk {chunk} out of range [0, {self.n_chunks})")
+        start = chunk * self.elements_per_chunk
+        stop = min(start + self.elements_per_chunk, self.n_elements)
+        return start, stop
+
+    def chunk_frames(self, chunk: int) -> int:
+        """Number of real Ethernet frames this chunk stands for."""
+        start, stop = self.chunk_bounds(chunk)
+        return math.ceil((stop - start) / self.elements_per_frame)
+
+    def split(
+        self,
+        vector: np.ndarray,
+        round_index: int,
+        sender: str = "",
+        commit_id: int = 0,
+    ) -> List[DataSegment]:
+        """Slice a gradient vector into per-chunk :class:`DataSegment`\\ s.
+
+        Seg numbers are offset by ``round_index * n_chunks`` so they are
+        globally unique across aggregation rounds.
+        """
+        if vector.shape != (self.n_elements,):
+            raise ValueError(
+                f"vector shape {vector.shape} != ({self.n_elements},)"
+            )
+        if round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {round_index}")
+        base = round_index * self.n_chunks
+        segments = []
+        for chunk in range(self.n_chunks):
+            start, stop = self.chunk_bounds(chunk)
+            segments.append(
+                DataSegment(
+                    seg=base + chunk,
+                    data=np.asarray(vector[start:stop], dtype=np.float32),
+                    sender=sender,
+                    commit_id=commit_id,
+                )
+            )
+        return segments
+
+    def assemble(self, segments: Sequence[DataSegment]) -> np.ndarray:
+        """Reassemble one round's segments into a full vector.
+
+        Segments may arrive in any order; their round base is inferred from
+        the smallest chunk offset present.  All ``n_chunks`` segments of
+        the round must be present.
+        """
+        if len(segments) != self.n_chunks:
+            raise ValueError(
+                f"expected {self.n_chunks} segments, got {len(segments)}"
+            )
+        base = min(s.seg for s in segments)
+        base -= base % self.n_chunks
+        out = np.empty(self.n_elements, dtype=np.float32)
+        seen = set()
+        for seg in segments:
+            chunk = seg.seg - base
+            if not 0 <= chunk < self.n_chunks:
+                raise ValueError(
+                    f"segment {seg.seg} is not part of round base {base}"
+                )
+            if chunk in seen:
+                raise ValueError(f"duplicate chunk {chunk} in round {base}")
+            seen.add(chunk)
+            start, stop = self.chunk_bounds(chunk)
+            if seg.data.shape != (stop - start,):
+                raise ValueError(
+                    f"chunk {chunk} has {seg.data.shape[0]} elements, "
+                    f"expected {stop - start}"
+                )
+            out[start:stop] = seg.data
+        return out
+
+    def round_of_seg(self, seg: int) -> int:
+        """Which aggregation round a global Seg number belongs to."""
+        return seg // self.n_chunks
+
+    def chunk_of_seg(self, seg: int) -> int:
+        """Chunk offset of a global Seg number within its round."""
+        return seg % self.n_chunks
+
+
+def make_control_packet(
+    src: str, dst: str, message: ControlMessage, src_port: int = ISWITCH_UDP_PORT
+) -> Packet:
+    """Build a ToS-tagged control packet (Figure 5a)."""
+    return Packet(
+        src=src,
+        dst=dst,
+        payload_size=message.payload_size,
+        tos=TOS_CONTROL,
+        payload=message,
+        src_port=src_port,
+        dst_port=ISWITCH_UDP_PORT,
+    )
+
+
+def make_data_packet(
+    src: str,
+    dst: str,
+    segment: DataSegment,
+    plan: SegmentPlan,
+    downstream: bool = False,
+    src_port: int = ISWITCH_UDP_PORT,
+) -> Packet:
+    """Build a ToS-tagged data packet (train) for one chunk (Figure 5b)."""
+    chunk = plan.chunk_of_seg(segment.seg)
+    mult = plan.wire_multiplier
+    frames = plan.chunk_frames(chunk) * mult
+    payload_size = mult * (
+        plan.chunk_frames(chunk) * SEG_HEADER_BYTES
+        + segment.data.size * plan.bytes_per_element
+    )
+    segment.wire_payload = payload_size
+    segment.wire_frames = frames
+    return Packet(
+        src=src,
+        dst=dst,
+        payload_size=payload_size,
+        tos=TOS_DATA_DOWN if downstream else TOS_DATA_UP,
+        payload=segment,
+        src_port=src_port,
+        dst_port=ISWITCH_UDP_PORT,
+        frame_count=frames,
+    )

@@ -1,0 +1,293 @@
+"""The iSwitch: a programmable switch with the aggregation accelerator
+integrated into its data plane as a bump-in-the-wire (paper §3.3, Figure 6).
+
+The input arbiter inspects the IP ToS byte of every packet:
+
+* untagged packets take the regular forwarding path of the parent
+  :class:`~repro.netsim.switch.EthernetSwitch` — iSwitch "does not affect
+  the regular network functions";
+* :data:`~repro.core.protocol.TOS_DATA_UP` packets feed the
+  :class:`~repro.core.accelerator.AggregationEngine`; when a segment
+  completes, the summed result is either broadcast to all local members
+  (single-switch mode) or forwarded to the parent switch (hierarchical
+  mode, §3.4);
+* :data:`~repro.core.protocol.TOS_DATA_DOWN` packets (results arriving
+  from a parent switch) are re-broadcast to the local members;
+* :data:`~repro.core.protocol.TOS_CONTROL` packets go to the control
+  plane (Join/Leave/Reset/SetH/FBcast/Help/Halt — Table 2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..netsim.events import Simulator
+from ..netsim.link import LinkEnd
+from ..netsim.packets import Packet
+from ..netsim.switch import DEFAULT_SWITCH_LATENCY, EthernetSwitch
+from .accelerator import AcceleratorTiming, AggregationEngine
+from .control_plane import MembershipTable, MemberType
+from .jobs import DEFAULT_JOB, JobTable
+from .protocol import (
+    FLOAT_BYTES,
+    FLOATS_PER_SEGMENT,
+    ISWITCH_TOS_VALUES,
+    ISWITCH_UDP_PORT,
+    SEG_HEADER_BYTES,
+    TOS_CONTROL,
+    TOS_DATA_DOWN,
+    TOS_DATA_UP,
+    Action,
+    ControlMessage,
+    DataSegment,
+    make_control_packet,
+)
+
+__all__ = ["ISwitch"]
+
+
+class ISwitch(EthernetSwitch):
+    """An Ethernet switch extended with in-switch gradient aggregation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        latency: float = DEFAULT_SWITCH_LATENCY,
+        dedup: bool = False,
+        timing: Optional[AcceleratorTiming] = None,
+    ) -> None:
+        super().__init__(sim, name, latency=latency)
+        #: Per-job aggregation state; job 0 is the single-tenant default.
+        self.jobs = JobTable(dedup=dedup, timing=timing)
+        #: Address of the parent iSwitch for hierarchical aggregation,
+        #: or ``None`` if this switch is the (local) aggregation root.
+        self.parent_address: Optional[str] = None
+        self.result_broadcasts = 0
+        self.upstream_forwards = 0
+        self.control_messages = 0
+
+    # ------------------------------------------------------------------
+    # Configuration (programmatic equivalents of the control messages)
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> AggregationEngine:
+        """The default job's engine (single-tenant convenience)."""
+        return self.jobs.get(DEFAULT_JOB).engine
+
+    @engine.setter
+    def engine(self, engine: AggregationEngine) -> None:
+        self.jobs.get(DEFAULT_JOB).engine = engine
+
+    @property
+    def members(self) -> MembershipTable:
+        """The default job's membership table."""
+        return self.jobs.get(DEFAULT_JOB).members
+
+    def add_member(
+        self,
+        address: str,
+        member_type: str = MemberType.WORKER,
+        job: int = DEFAULT_JOB,
+    ) -> None:
+        """Register a local member (worker or child switch) and grow H.
+
+        "By default, H is equal to the number of workers" (§3.2) — here,
+        the number of directly attached members contributing to this
+        switch for the given job.  An explicit ``SetH`` overrides this.
+        """
+        state = self.jobs.get(job)
+        state.members.join(address, ISWITCH_UDP_PORT, member_type)
+        state.engine.set_threshold(len(state.members))
+
+    def set_parent(self, address: Optional[str]) -> None:
+        self.parent_address = address
+
+    # ------------------------------------------------------------------
+    # Input arbiter
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet, in_port: LinkEnd) -> None:
+        self._count_rx(packet)
+        if packet.tos not in ISWITCH_TOS_VALUES:
+            self.process(packet, in_port)
+            return
+        if packet.tos == TOS_CONTROL:
+            self._handle_control(packet)
+        elif packet.tos == TOS_DATA_UP:
+            self._handle_contribution(packet)
+        else:  # TOS_DATA_DOWN
+            self._handle_result_from_parent(packet)
+
+    # ------------------------------------------------------------------
+    # Data plane: aggregation path
+    # ------------------------------------------------------------------
+    def _handle_contribution(self, packet: Packet) -> None:
+        segment = packet.payload
+        if not isinstance(segment, DataSegment):
+            raise TypeError(
+                f"{self.name}: data packet carries {type(segment).__name__}, "
+                "expected DataSegment"
+            )
+        state = self.jobs.get(segment.job)
+        latency = state.engine.processing_latency(packet.payload_size)
+        result = state.engine.contribute(segment)
+        if result is None:
+            return
+        # Vector-granularity engines emit a whole round at once.
+        results = result if isinstance(result, list) else [result]
+        for completed in results:
+            completed.job = segment.job
+            self.sim.schedule(
+                latency + self.latency,
+                lambda seg=completed: self._emit_result(seg),
+                name=f"agg-complete:{completed.seg}",
+            )
+
+    def _emit_result(self, result: DataSegment) -> None:
+        """Ship a completed segment: up the hierarchy, or down to members."""
+        if self.parent_address is not None:
+            self.upstream_forwards += 1
+            up = DataSegment(
+                seg=result.seg,
+                data=result.data,
+                sender=self.name,
+                commit_id=result.seg,
+                job=result.job,
+                wire_payload=result.wire_payload,
+                wire_frames=result.wire_frames,
+            )
+            self._send_data(self.parent_address, up, downstream=False)
+        else:
+            self._broadcast_result(result)
+
+    def _broadcast_result(self, result: DataSegment) -> None:
+        """Send the summed segment to every local member (Figure 1c)."""
+        self.result_broadcasts += 1
+        for entry in self.jobs.get(result.job).members.addresses:
+            self._send_data(entry, result, downstream=True)
+
+    def _handle_result_from_parent(self, packet: Packet) -> None:
+        """A globally aggregated segment arrived from above: fan it out."""
+        segment = packet.payload
+        self.sim.schedule(
+            self.latency,
+            lambda: self._broadcast_result(segment),
+            name=f"fanout:{segment.seg}",
+        )
+
+    def _send_data(self, dst: str, segment: DataSegment, downstream: bool) -> None:
+        egress = self.lookup(dst)
+        if egress is None:
+            self.dropped_packets += 1
+            return
+        if segment.wire_payload is not None and segment.wire_frames is not None:
+            payload_size, frames = segment.wire_payload, segment.wire_frames
+        else:
+            # Reconstructed from the carried data (Help retransmissions of
+            # unstamped segments): one Seg header per real frame, fp32.
+            frames = max(1, math.ceil(segment.data.size / FLOATS_PER_SEGMENT))
+            payload_size = (
+                frames * SEG_HEADER_BYTES + segment.data.size * FLOAT_BYTES
+            )
+        egress.send(
+            Packet(
+                src=self.name,
+                dst=dst,
+                payload_size=payload_size,
+                tos=TOS_DATA_DOWN if downstream else TOS_DATA_UP,
+                payload=segment,
+                src_port=ISWITCH_UDP_PORT,
+                dst_port=ISWITCH_UDP_PORT,
+                frame_count=frames,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def _handle_control(self, packet: Packet) -> None:
+        message = packet.payload
+        if not isinstance(message, ControlMessage):
+            raise TypeError(
+                f"{self.name}: control packet carries "
+                f"{type(message).__name__}, expected ControlMessage"
+            )
+        self.control_messages += 1
+        action = message.action
+        state = self.jobs.get(message.job)
+        if action == Action.JOIN:
+            member_type = message.value or MemberType.WORKER
+            state.members.join(packet.src, packet.src_port, member_type)
+            state.engine.set_threshold(len(state.members))
+            self._ack(packet.src, success=True, job=message.job)
+        elif action == Action.LEAVE:
+            removed = state.members.leave(packet.src)
+            if state.members:
+                state.engine.set_threshold(len(state.members))
+            elif message.job != DEFAULT_JOB:
+                self.jobs.remove(message.job)
+            self._ack(packet.src, success=removed, job=message.job)
+        elif action == Action.RESET:
+            state.engine.reset()
+            self._ack(packet.src, success=True, job=message.job)
+        elif action == Action.SETH:
+            state.engine.set_threshold(int(message.value))
+            self._ack(packet.src, success=True, job=message.job)
+        elif action == Action.FBCAST:
+            result = state.engine.force_broadcast(int(message.value))
+            if result is not None:
+                result.job = message.job
+                self._emit_result(result)
+        elif action == Action.HELP:
+            self._handle_help(packet.src, int(message.value), message.job)
+        elif action == Action.HALT:
+            # Relay the suspension to every member (and down the tree).
+            for address in state.members.addresses:
+                self._send_control(
+                    address, ControlMessage(Action.HALT, job=message.job)
+                )
+        elif action == Action.ACK:
+            pass  # terminal; counted above
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown control action: {action}")
+
+    def _handle_help(self, requester: str, seg: int, job: int = DEFAULT_JOB) -> None:
+        """Retransmit a lost result, or escalate the request (§3.3).
+
+        The switch keeps only "simple tasks such as accepting/forwarding
+        control messages":
+
+        * if the segment result is cached (the downstream copy was what
+          got lost), resend it to the requester alone;
+        * otherwise the *aggregation itself* is incomplete — some worker's
+          contribution was lost — so relay the Help to the parent switch
+          (whose cache may hold the global copy) and to all local members,
+          asking them to retransmit their contribution for that segment.
+          Workers store recent commits and resend; duplicate suppression
+          in the engine (dedup mode) makes the retransmissions idempotent.
+        """
+        state = self.jobs.get(job)
+        cached = state.engine.cached_result(seg)
+        if cached is not None:
+            cached.job = job
+            self._send_data(requester, cached, downstream=True)
+            return
+        if self.parent_address is not None:
+            self._send_control(
+                self.parent_address, ControlMessage(Action.HELP, seg, job=job)
+            )
+        for address in state.members.addresses:
+            self._send_control(
+                address, ControlMessage(Action.HELP, seg, job=job)
+            )
+
+    def _ack(self, dst: str, success: bool, job: int = DEFAULT_JOB) -> None:
+        self._send_control(dst, ControlMessage(Action.ACK, success, job=job))
+
+    def _send_control(self, dst: str, message: ControlMessage) -> None:
+        egress = self.lookup(dst)
+        if egress is None:
+            self.dropped_packets += 1
+            return
+        egress.send(make_control_packet(self.name, dst, message))

@@ -1,0 +1,42 @@
+"""Distributed RL training strategies over the simulated cluster."""
+
+from .asynchronous import AsyncISwitch, AsyncParameterServer
+from .metrics import BusyQueue, IterationBreakdown, split_compute_time
+from .results import TrainingResult
+from .runner import (
+    ASYNC_STRATEGIES,
+    SYNC_STRATEGIES,
+    build_cluster,
+    make_algorithm,
+    run_async,
+    run_sync,
+)
+from .sync import RingAllReduce, SyncISwitch, SyncParameterServer, SyncStrategy, make_plan
+from .transport import VECTOR_PORT, VectorChunk, VectorReceiver, send_vector
+from .worker import ComputeModel, SimWorker
+
+__all__ = [
+    "run_sync",
+    "run_async",
+    "build_cluster",
+    "make_algorithm",
+    "SYNC_STRATEGIES",
+    "ASYNC_STRATEGIES",
+    "TrainingResult",
+    "SyncStrategy",
+    "SyncParameterServer",
+    "RingAllReduce",
+    "SyncISwitch",
+    "AsyncParameterServer",
+    "AsyncISwitch",
+    "make_plan",
+    "SimWorker",
+    "ComputeModel",
+    "IterationBreakdown",
+    "BusyQueue",
+    "split_compute_time",
+    "VectorReceiver",
+    "VectorChunk",
+    "send_vector",
+    "VECTOR_PORT",
+]

@@ -1,0 +1,376 @@
+"""Asynchronous distributed training: the PS baseline and iSwitch's
+pipelined, decentralized rethink (paper §4, Algorithm 1).
+
+**AsyncParameterServer** (Figure 3): the server keeps the authoritative
+weights (a full *server replica* of the algorithm, so optimizer state,
+target networks and update counting are exactly the centralized
+training's).  Each worker loops: pull weights → local gradient computing →
+push gradient → pull again.  The server ingests and applies each incoming
+gradient sequentially on its CPU; gradient *staleness* — how many server
+updates happened between a worker's pull and its push being applied — is
+an emergent, measured quantity.
+
+**AsyncISwitch** (Algorithm 1): no server.  Each worker runs two logical
+threads:
+
+* the **LGC thread** snapshots the weights (version ``tw = ts``), computes
+  a gradient against the snapshot over the modelled duration, and commits
+  it to the switch *only if* ``ts − tw <= S`` (the staleness bound),
+  tagging the commit with the current round ``ts``.  Commits are
+  non-blocking: the next LGC starts immediately (the three-stage
+  pipeline, Figure 11).
+* the **LWU thread** receives each aggregated gradient broadcast by the
+  switch and applies ``w ← w − γ · g_sum / H``.  All replicas receive the
+  same broadcasts from the same initial weights, so the decentralized
+  weight copies agree forever — no parameter server needed.
+
+Because commits are tagged with the live round, a fast worker can
+contribute several gradients to one aggregation round while a slow worker
+contributes none ("faster workers contribute more to the aggregation,
+while slower workers commit less without blocking the training").
+Contributions that arrive after their round already completed can never
+reach H again; the accelerator's bounded buffer evicts them, modelling
+both the BRAM budget and async training's tolerance for dropped stale
+gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.client import AggregationClient
+from ..core.hierarchy import aggregation_switches, configure_aggregation
+from ..netsim.topology import Network
+from ..netsim.trace import LatencyStats
+from ..rl.base import Algorithm
+from ..workloads.calibration import DEFAULT_COST_MODEL, CostModel
+from ..workloads.profiles import WorkloadProfile
+from .metrics import BusyQueue
+from .results import TrainingResult
+from .sync import make_plan
+from .transport import VectorReceiver, send_vector
+from .worker import SimWorker
+
+__all__ = ["AsyncParameterServer", "AsyncISwitch"]
+
+#: Tiny request packet for a weight pull.
+PULL_REQUEST_BYTES = 64
+
+
+class AsyncParameterServer:
+    """Figure 3: asynchronous training with a central parameter server."""
+
+    name = "async-ps"
+
+    def __init__(
+        self,
+        net: Network,
+        workers: List[SimWorker],
+        profile: WorkloadProfile,
+        server_algorithm: Algorithm,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        staleness_bound: int = 3,
+    ) -> None:
+        if net.server is None:
+            raise ValueError("async PS needs a topology built with a server host")
+        self.net = net
+        self.sim = net.sim
+        self.workers = workers
+        self.profile = profile
+        self.cost = cost_model
+        self.staleness_bound = staleness_bound
+        self.wire_bytes = profile.model_bytes
+        self.server = net.server
+        self.server_cpu = BusyQueue(self.sim)
+        #: The server-side replica holding the authoritative weights.
+        self.replica = server_algorithm
+        self.server_updates = 0
+        self.target_updates = 0
+        self.staleness = LatencyStats()
+        self._version_at_pull: Dict[int, int] = {}
+        self._push_seq = 0
+        self._done = False
+
+        VectorReceiver(self.server, self._server_on_gradient, port=7811)
+        self.server.bind(7812, self._server_on_pull_request)
+        for worker in self.workers:
+            worker_self = worker
+            VectorReceiver(
+                worker.host,
+                lambda src, tag, vec, meta, w=worker_self: self._worker_on_weights(
+                    w, vec, meta
+                ),
+                port=7813,
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, n_updates: int) -> TrainingResult:
+        """Simulate until the server has applied ``n_updates`` gradients."""
+        if n_updates < 1:
+            raise ValueError(f"n_updates must be >= 1, got {n_updates}")
+        self.target_updates = n_updates
+        start = self.sim.now
+        for worker in self.workers:
+            self._send_pull(worker)
+        self.sim.run()
+        elapsed = self.sim.now - start
+        result = TrainingResult(
+            strategy=self.name,
+            workload=self.profile.name,
+            n_workers=len(self.workers),
+            iterations=self.server_updates,
+            elapsed=elapsed,
+            workers=self.workers,
+        )
+        result.extras["mean_staleness"] = self.staleness.mean
+        result.extras["max_staleness"] = self.staleness.max
+        result.extras["server_busy_time"] = self.server_cpu.busy_time
+        return result
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _send_pull(self, worker: SimWorker) -> None:
+        from ..netsim.packets import Packet
+
+        worker.host.send(
+            Packet(
+                src=worker.name,
+                dst=self.server.name,
+                payload_size=PULL_REQUEST_BYTES,
+                payload=worker.index,
+                src_port=7812,
+                dst_port=7812,
+            )
+        )
+
+    def _worker_on_weights(self, worker: SimWorker, weights, version) -> None:
+        if self._done:
+            return
+        ingest = self.cost.worker_ingest(
+            self.wire_bytes, self.profile.message_count
+        )
+
+        def start_lgc() -> None:
+            worker.algorithm.set_weights(weights)
+            worker.algorithm.on_weights_pulled(version)
+            self._version_at_pull[worker.index] = version
+            duration = worker.compute.lgc_duration()
+
+            def lgc_done() -> None:
+                if self._done:
+                    return
+                worker.breakdown.add_compute(self.profile, duration)
+                gradient = worker.algorithm.compute_gradient()
+                worker.finish_iteration()
+                self._push_gradient(worker, gradient)
+                self._send_pull(worker)
+
+            self.sim.schedule(duration, lgc_done, name=f"alg:w{worker.index}")
+
+        self.sim.schedule(ingest, start_lgc)
+
+    def _push_gradient(self, worker: SimWorker, gradient: np.ndarray) -> None:
+        self._push_seq += 1
+        send_vector(
+            worker.host,
+            self.server.name,
+            tag=self._push_seq,
+            vector=gradient,
+            wire_bytes=self.wire_bytes,
+            port=7811,
+            meta=(worker.index, self._version_at_pull.get(worker.index, 0)),
+        )
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def _server_on_pull_request(self, packet) -> None:
+        worker_index = packet.payload
+
+        def serve() -> None:
+            send_vector(
+                self.server,
+                self.workers[worker_index].name,
+                tag=("w", self.server_updates, worker_index),
+                vector=self.replica.get_weights(),
+                wire_bytes=self.wire_bytes,
+                port=7813,
+                meta=self.server_updates,
+            )
+
+        self.server_cpu.submit(
+            self.cost.pull_serve(self.wire_bytes, self.profile.message_count),
+            serve,
+        )
+
+    def _server_on_gradient(self, src, tag, gradient, meta) -> None:
+        worker_index, version_at_pull = meta
+
+        def ingested() -> None:
+            if self._done:
+                return
+            staleness = self.server_updates - version_at_pull
+            self.staleness.record(staleness)
+            self.replica.apply_update(np.asarray(gradient, dtype=np.float64))
+            self.server_updates += 1
+            if self.server_updates >= self.target_updates:
+                self._done = True
+
+        messages = self.profile.message_count
+        busy = self.cost.server_ingest(
+            self.wire_bytes, messages
+        ) + self.cost.server_update(
+            self.wire_bytes, messages, self.profile.update_cost_factor
+        )
+        self.server_cpu.submit(busy, ingested)
+
+
+class AsyncISwitch:
+    """Algorithm 1: decentralized asynchronous training through the switch."""
+
+    name = "async-isw"
+
+    def __init__(
+        self,
+        net: Network,
+        workers: List[SimWorker],
+        profile: WorkloadProfile,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        staleness_bound: int = 3,
+        threshold: Optional[int] = None,
+    ) -> None:
+        self.net = net
+        self.sim = net.sim
+        self.workers = workers
+        self.profile = profile
+        self.cost = cost_model
+        self.staleness_bound = staleness_bound
+        self.wire_bytes = profile.model_bytes
+        self.h = threshold if threshold is not None else len(workers)
+        if self.h < 1:
+            raise ValueError(f"aggregation threshold H must be >= 1, got {self.h}")
+        self.target_updates = 0
+        self.staleness = LatencyStats()
+        self.commits = 0
+        self.skipped_commits = 0
+        self._done = False
+        #: Per-worker shared iteration index ts (LWU-thread state).
+        self._ts: List[int] = [0 for _ in workers]
+
+        configure_aggregation(net)
+        switches = aggregation_switches(net)
+        n_params = workers[0].algorithm.n_params
+        self.plan = make_plan(n_params, self.wire_bytes)
+        # Leaf switches aggregate their local members; an explicit H only
+        # makes sense in the flat (single-switch) deployment.
+        if threshold is not None:
+            if len(switches) != 1:
+                raise ValueError(
+                    "explicit H is only supported on a single-switch topology"
+                )
+            switches[0].engine.set_threshold(threshold)
+        for switch in switches:
+            # Arrival-order renumbering gives the paper's true async
+            # semantics: the next H arriving vectors form a round, letting
+            # fast workers contribute more than once.
+            switch.engine.arrival_renumber = self.plan.n_chunks
+            switch.engine.buffer_limit = self.plan.n_chunks * (staleness_bound + 4)
+
+        self.clients: List[AggregationClient] = []
+        for worker, tor in zip(workers, net.tor_of_worker):
+            worker_self = worker
+            client = AggregationClient(
+                worker.host,
+                tor.name,
+                self.plan,
+                on_round_complete=lambda rnd, vec, w=worker_self: self._lwu(
+                    w, vec
+                ),
+            )
+            self.clients.append(client)
+
+    # ------------------------------------------------------------------
+    def run(self, n_updates: int) -> TrainingResult:
+        """Simulate until every worker has applied ``n_updates`` updates."""
+        if n_updates < 1:
+            raise ValueError(f"n_updates must be >= 1, got {n_updates}")
+        self.target_updates = n_updates
+        start = self.sim.now
+        for worker in self.workers:
+            self._start_lgc(worker)
+        self.sim.run()
+        elapsed = self.sim.now - start
+        iterations = min(self._ts)
+        result = TrainingResult(
+            strategy=self.name,
+            workload=self.profile.name,
+            n_workers=len(self.workers),
+            iterations=iterations,
+            elapsed=elapsed,
+            workers=self.workers,
+        )
+        result.extras["mean_staleness"] = self.staleness.mean
+        result.extras["max_staleness"] = self.staleness.max
+        result.extras["commits"] = self.commits
+        result.extras["skipped_commits"] = self.skipped_commits
+        return result
+
+    # ------------------------------------------------------------------
+    # LGC thread
+    # ------------------------------------------------------------------
+    def _start_lgc(self, worker: SimWorker) -> None:
+        if self._done:
+            return
+        tw = self._ts[worker.index]
+        snapshot = worker.algorithm.get_weights()
+        duration = worker.compute.lgc_duration()
+
+        def lgc_done() -> None:
+            if self._done:
+                return
+            ts = self._ts[worker.index]
+            worker.breakdown.add_compute(self.profile, duration)
+            # The gradient is computed against the weights the LGC thread
+            # copied at iteration tw (Algorithm 1 line "copy updated
+            # weight"); the LWU thread may have moved the live weights on.
+            current = worker.algorithm.get_weights()
+            worker.algorithm.set_weights(snapshot)
+            gradient = worker.algorithm.compute_gradient()
+            worker.algorithm.set_weights(current)
+            staleness = ts - tw
+            if staleness <= self.staleness_bound:
+                self.staleness.record(staleness)
+                self.commits += 1
+                self.clients[worker.index].send_gradient(
+                    gradient.astype(np.float32), round_index=ts
+                )
+            else:
+                self.skipped_commits += 1
+            self._start_lgc(worker)  # non-blocking commit: pipeline on
+
+        self.sim.schedule(duration, lgc_done, name=f"lgc:w{worker.index}")
+
+    # ------------------------------------------------------------------
+    # LWU thread
+    # ------------------------------------------------------------------
+    def _lwu(self, worker: SimWorker, summed: np.ndarray) -> None:
+        if self._done and self._ts[worker.index] >= self.target_updates:
+            return
+        ingest = self.cost.worker_ingest(
+            self.wire_bytes, self.profile.message_count
+        )
+        lwu = worker.compute.lwu_duration()
+
+        def apply() -> None:
+            worker.algorithm.apply_update(
+                np.asarray(summed, dtype=np.float64) / self.h
+            )
+            self._ts[worker.index] += 1
+            worker.finish_iteration()
+            if min(self._ts) >= self.target_updates:
+                self._done = True
+
+        self.sim.schedule(ingest + lwu, apply, name=f"lwu:w{worker.index}")

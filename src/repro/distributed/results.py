@@ -1,0 +1,48 @@
+"""Result records returned by the training strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..netsim.trace import LatencyStats
+from .metrics import IterationBreakdown
+from .worker import SimWorker
+
+__all__ = ["TrainingResult"]
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one simulated distributed-training run.
+
+    ``per_iteration_time`` follows the paper's definitions (§5.2): for
+    synchronous training it is the latency of one training iteration; for
+    asynchronous training it is the mean interval between consecutive
+    weight updates.
+    """
+
+    strategy: str
+    workload: str
+    n_workers: int
+    iterations: int
+    elapsed: float
+    workers: List[SimWorker] = field(default_factory=list)
+    breakdown: IterationBreakdown = field(default_factory=IterationBreakdown)
+    aggregation_latency: LatencyStats = field(default_factory=LatencyStats)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def per_iteration_time(self) -> float:
+        return self.elapsed / self.iterations if self.iterations else 0.0
+
+    @property
+    def final_average_reward(self) -> float:
+        rewards = [w.algorithm.final_average_reward() for w in self.workers]
+        finite = [r for r in rewards if r != float("-inf")]
+        return sum(finite) / len(finite) if finite else float("-inf")
+
+    def projected_hours(self, total_iterations: int) -> float:
+        """End-to-end hours if run for ``total_iterations`` at this rate —
+        the paper's own methodology (measured per-iteration × iterations)."""
+        return self.per_iteration_time * total_iterations / 3600.0

@@ -1,0 +1,183 @@
+"""High-level entry points: build a cluster and run a training experiment.
+
+This is the API the examples and the benchmark harness use:
+
+>>> from repro.distributed import run_sync
+>>> result = run_sync("isw", "dqn", n_workers=4, n_iterations=50)
+>>> result.per_iteration_time   # doctest: +SKIP
+
+Strategy names follow the paper's abbreviations: ``ps``, ``ar``, ``isw``
+(synchronous) and ``ps``, ``isw`` (asynchronous).  Worker counts above
+``workers_per_rack`` automatically use the two-layer rack-scale topology
+of Figure 10 with hierarchical aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.hierarchy import iswitch_factory
+from ..netsim.events import Simulator
+from ..netsim.topology import build_rack_tree, build_star
+from ..rl.a2c import A2C
+from ..rl.base import Algorithm
+from ..rl.ddpg import DDPG
+from ..rl.dqn import DQN
+from ..rl.envs import Cheetah1D, GridPong, GridQbert, Hopper1D
+from ..rl.ppo import PPO
+from ..workloads.calibration import DEFAULT_COST_MODEL, CostModel
+from ..workloads.profiles import WorkloadProfile, get_profile
+from .asynchronous import AsyncISwitch, AsyncParameterServer
+from .results import TrainingResult
+from .sync import RingAllReduce, SyncISwitch, SyncParameterServer
+from .worker import ComputeModel, SimWorker
+
+__all__ = [
+    "make_algorithm",
+    "build_cluster",
+    "run_sync",
+    "run_async",
+    "SYNC_STRATEGIES",
+    "ASYNC_STRATEGIES",
+]
+
+SYNC_STRATEGIES = ("ps", "ar", "isw")
+ASYNC_STRATEGIES = ("ps", "isw")
+
+#: Default initialization seed shared by all replicas of a run.
+INIT_SEED = 12345
+
+
+def make_algorithm(
+    workload: str, seed: int, init_seed: int = INIT_SEED, **overrides
+) -> Algorithm:
+    """Instantiate the paper workload's algorithm on its stand-in env.
+
+    ``seed`` drives exploration/environment randomness (unique per
+    worker); ``init_seed`` drives weight init (shared by all replicas).
+    """
+    name = workload.lower()
+    if name == "dqn":
+        return DQN(GridPong(seed=seed), seed=seed, init_seed=init_seed, **overrides)
+    if name == "a2c":
+        return A2C(GridQbert(seed=seed), seed=seed, init_seed=init_seed, **overrides)
+    if name == "ppo":
+        return PPO(Hopper1D(seed=seed), seed=seed, init_seed=init_seed, **overrides)
+    if name == "ddpg":
+        return DDPG(
+            Cheetah1D(seed=seed), seed=seed, init_seed=init_seed, **overrides
+        )
+    raise KeyError(f"unknown workload {workload!r}; choose dqn/a2c/ppo/ddpg")
+
+
+def build_cluster(
+    n_workers: int,
+    profile: WorkloadProfile,
+    with_server: bool,
+    use_iswitch: bool,
+    workers_per_rack: int = 4,
+    seed: int = 0,
+    workload: Optional[str] = None,
+    algorithm_overrides: Optional[dict] = None,
+) -> tuple:
+    """Build (network, workers) for one experiment.
+
+    Up to ``workers_per_rack`` workers fit a single switch; beyond that
+    the Figure 10 two-layer tree is used (three workers per rack, like
+    the paper's NetFPGA-port-limited emulation).
+    """
+    sim = Simulator()
+    factory = iswitch_factory if use_iswitch else None
+    kwargs = {"switch_factory": factory} if factory else {}
+    if n_workers <= workers_per_rack:
+        net = build_star(sim, n_workers, with_server=with_server, **kwargs)
+    else:
+        net = build_rack_tree(
+            sim, n_workers, workers_per_rack=3, with_server=with_server, **kwargs
+        )
+    workload = workload or profile.name
+    overrides = algorithm_overrides or {}
+    workers = []
+    for index, host in enumerate(net.workers):
+        algorithm = make_algorithm(workload, seed=seed + index, **overrides)
+        compute = ComputeModel(profile, seed=seed * 1000 + index)
+        workers.append(SimWorker(index, host, algorithm, compute))
+    return net, workers
+
+
+def run_sync(
+    strategy: str,
+    workload: str,
+    n_workers: int = 4,
+    n_iterations: int = 50,
+    seed: int = 0,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    profile: Optional[WorkloadProfile] = None,
+    algorithm_overrides: Optional[dict] = None,
+) -> TrainingResult:
+    """Run synchronous distributed training with ``strategy`` ps|ar|isw."""
+    strategy = strategy.lower()
+    if strategy not in SYNC_STRATEGIES:
+        raise KeyError(f"unknown sync strategy {strategy!r}; choose {SYNC_STRATEGIES}")
+    profile = profile or get_profile(workload)
+    net, workers = build_cluster(
+        n_workers,
+        profile,
+        with_server=strategy == "ps",
+        use_iswitch=strategy == "isw",
+        seed=seed,
+        workload=workload,
+        algorithm_overrides=algorithm_overrides,
+    )
+    cls = {
+        "ps": SyncParameterServer,
+        "ar": RingAllReduce,
+        "isw": SyncISwitch,
+    }[strategy]
+    return cls(net, workers, profile, cost_model).run(n_iterations)
+
+
+def run_async(
+    strategy: str,
+    workload: str,
+    n_workers: int = 4,
+    n_updates: int = 100,
+    seed: int = 0,
+    staleness_bound: int = 3,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    profile: Optional[WorkloadProfile] = None,
+    algorithm_overrides: Optional[dict] = None,
+) -> TrainingResult:
+    """Run asynchronous distributed training with ``strategy`` ps|isw."""
+    strategy = strategy.lower()
+    if strategy not in ASYNC_STRATEGIES:
+        raise KeyError(
+            f"unknown async strategy {strategy!r}; choose {ASYNC_STRATEGIES}"
+        )
+    profile = profile or get_profile(workload)
+    net, workers = build_cluster(
+        n_workers,
+        profile,
+        with_server=strategy == "ps",
+        use_iswitch=strategy == "isw",
+        seed=seed,
+        workload=workload,
+        algorithm_overrides=algorithm_overrides,
+    )
+    if strategy == "ps":
+        server_algorithm = make_algorithm(
+            workload, seed=seed + 10_000, **(algorithm_overrides or {})
+        )
+        runner = AsyncParameterServer(
+            net,
+            workers,
+            profile,
+            server_algorithm,
+            cost_model,
+            staleness_bound=staleness_bound,
+        )
+    else:
+        runner = AsyncISwitch(
+            net, workers, profile, cost_model, staleness_bound=staleness_bound
+        )
+    return runner.run(n_updates)

@@ -1,0 +1,359 @@
+"""Synchronous distributed training: PS, Ring-AllReduce, and iSwitch.
+
+All three strategies share the same iteration skeleton (the template in
+:class:`SyncStrategy`): every worker runs LGC for its modelled duration,
+the strategy performs gradient aggregation over the simulated network, and
+each worker applies the identical mean gradient (LWU) before starting the
+next iteration.  Because the numerics are identical, all synchronous
+strategies produce the *same weight trajectory* — only their timing
+differs, which is exactly the paper's Table 4 observation ("all
+synchronous approaches train the same number of iterations to reach the
+same level final average rewards").
+
+Aggregation data paths:
+
+* **SyncParameterServer** (Figure 1a) — workers stream their vectors to
+  the PS host; the PS CPU ingests and sums them sequentially (the central
+  bottleneck), runs the weight update, and streams the result back to
+  every worker over its single link (4 network hops per iteration).
+* **RingAllReduce** (Figure 1b) — the standard 2(N−1)-step
+  reduce-scatter/all-gather ring over the switch; each step moves M/N
+  bytes between ring neighbours (2 hops per step ⇒ 4N−4 hops total) and
+  pays the per-step framework overhead.
+* **SyncISwitch** (Figure 1c) — workers stream ToS-tagged segments to the
+  in-switch accelerator, which aggregates *on the fly at packet
+  granularity* and broadcasts completed segments immediately (2 hops,
+  pipelined).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.client import AggregationClient
+from ..core.hierarchy import configure_aggregation
+from ..core.protocol import SegmentPlan
+from ..netsim.topology import Network
+from ..workloads.calibration import DEFAULT_COST_MODEL, CostModel
+from ..workloads.profiles import WorkloadProfile
+from .metrics import BusyQueue
+from .results import TrainingResult
+from .transport import VectorReceiver, send_vector
+from .worker import SimWorker
+
+__all__ = [
+    "SyncStrategy",
+    "SyncParameterServer",
+    "RingAllReduce",
+    "SyncISwitch",
+    "make_plan",
+]
+
+#: Cap on simulated packet-train events per vector transfer.
+MAX_CHUNKS = 64
+
+
+def make_plan(
+    n_elements: int, wire_bytes: int, max_chunks: int = MAX_CHUNKS
+) -> SegmentPlan:
+    """Build a SegmentPlan for a real vector of ``n_elements`` floats whose
+    wire footprint should emulate ``wire_bytes`` (the paper model size)."""
+    base = SegmentPlan(n_elements)
+    frames_per_chunk = max(1, -(-base.n_frames // max_chunks))
+    multiplier = max(1, round(wire_bytes / base.wire_bytes))
+    return SegmentPlan(
+        n_elements,
+        frames_per_chunk=frames_per_chunk,
+        wire_multiplier=multiplier,
+    )
+
+
+class SyncStrategy:
+    """Template for synchronous training over a simulated network."""
+
+    name = "sync-base"
+
+    def __init__(
+        self,
+        net: Network,
+        workers: List[SimWorker],
+        profile: WorkloadProfile,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        if not workers:
+            raise ValueError("need at least one worker")
+        self.net = net
+        self.sim = net.sim
+        self.workers = workers
+        self.profile = profile
+        self.cost = cost_model
+        self.wire_bytes = profile.model_bytes
+        self.n_iterations = 0
+        self._agg_start: Dict[int, float] = {}
+        self._round_gradients: Dict[int, Dict[int, np.ndarray]] = {}
+        self._finished: Dict[int, int] = {}
+        self._result: Optional[TrainingResult] = None
+        self._setup()
+
+    # ------------------------------------------------------------------
+    def _setup(self) -> None:
+        """Strategy-specific wiring (receivers, clients, server state)."""
+
+    def run(self, n_iterations: int) -> TrainingResult:
+        """Simulate ``n_iterations`` synchronous training iterations."""
+        if n_iterations < 1:
+            raise ValueError(f"n_iterations must be >= 1, got {n_iterations}")
+        self.n_iterations = n_iterations
+        result = TrainingResult(
+            strategy=self.name,
+            workload=self.profile.name,
+            n_workers=len(self.workers),
+            iterations=n_iterations,
+            elapsed=0.0,
+            workers=self.workers,
+        )
+        self._result = result
+        start = self.sim.now
+        for worker in self.workers:
+            self._start_iteration(worker, 0)
+        self.sim.run()
+        result.elapsed = self.sim.now - start
+        for worker in self.workers:
+            result.breakdown.totals = {
+                k: result.breakdown.totals[k] + worker.breakdown.totals[k]
+                for k in result.breakdown.totals
+            }
+            result.breakdown.iterations += worker.breakdown.iterations
+        return result
+
+    # ------------------------------------------------------------------
+    # Iteration skeleton
+    # ------------------------------------------------------------------
+    def _start_iteration(self, worker: SimWorker, iteration: int) -> None:
+        duration = worker.compute.lgc_duration()
+
+        def lgc_done() -> None:
+            worker.breakdown.add_compute(self.profile, duration)
+            gradient = worker.algorithm.compute_gradient()
+            self._agg_start[worker.index] = self.sim.now
+            self._record_gradient(worker, gradient, iteration)
+            self._submit_gradient(worker, gradient, iteration)
+
+        self.sim.schedule(duration, lgc_done, name=f"lgc:w{worker.index}:i{iteration}")
+
+    def _record_gradient(
+        self, worker: SimWorker, gradient: np.ndarray, iteration: int
+    ) -> None:
+        self._round_gradients.setdefault(iteration, {})[worker.index] = gradient
+
+    def _round_sum(self, iteration: int) -> np.ndarray:
+        gradients = self._round_gradients[iteration]
+        if len(gradients) != len(self.workers):
+            raise RuntimeError(
+                f"round {iteration} incomplete: {len(gradients)} of "
+                f"{len(self.workers)} gradients present"
+            )
+        total = np.zeros_like(next(iter(gradients.values())), dtype=np.float64)
+        for gradient in gradients.values():
+            total += gradient
+        return total
+
+    def _submit_gradient(
+        self, worker: SimWorker, gradient: np.ndarray, iteration: int
+    ) -> None:
+        raise NotImplementedError
+
+    def _deliver_sum(
+        self, worker: SimWorker, summed: np.ndarray, iteration: int
+    ) -> None:
+        """Called when the summed gradient has fully arrived at a worker."""
+        ingest = self.cost.worker_ingest(
+            self.wire_bytes, self.profile.message_count
+        )
+        lwu = worker.compute.lwu_duration()
+        agg_time = self.sim.now - self._agg_start.pop(worker.index)
+        worker.breakdown.add("grad_aggregation", agg_time + ingest)
+        worker.breakdown.add("weight_update", lwu)
+
+        def apply() -> None:
+            worker.algorithm.apply_update(
+                np.asarray(summed, dtype=np.float64) / len(self.workers)
+            )
+            worker.finish_iteration()
+            if self._result is not None:
+                self._result.aggregation_latency.record(agg_time + ingest)
+            done = self._finished.get(iteration, 0) + 1
+            self._finished[iteration] = done
+            if done == len(self.workers):
+                self._finished.pop(iteration, None)
+                self._round_gradients.pop(iteration, None)
+            if iteration + 1 < self.n_iterations:
+                self._start_iteration(worker, iteration + 1)
+
+        self.sim.schedule(ingest + lwu, apply, name=f"lwu:w{worker.index}")
+
+
+class SyncParameterServer(SyncStrategy):
+    """Figure 1a: centralized PS over the regular switch."""
+
+    name = "sync-ps"
+
+    def _setup(self) -> None:
+        if self.net.server is None:
+            raise ValueError("sync PS needs a topology built with a server host")
+        self.server = self.net.server
+        self.server_cpu = BusyQueue(self.sim)
+        self._pending: Dict[int, int] = {}
+        VectorReceiver(self.server, self._server_on_vector)
+        for worker in self.workers:
+            worker_self = worker
+            VectorReceiver(
+                worker.host,
+                lambda src, tag, vec, meta, w=worker_self: self._deliver_sum(
+                    w, vec, tag
+                ),
+            )
+
+    def _submit_gradient(self, worker, gradient, iteration) -> None:
+        send_vector(
+            worker.host,
+            self.server.name,
+            tag=iteration,
+            vector=gradient,
+            wire_bytes=self.wire_bytes,
+        )
+
+    def _server_on_vector(self, src, iteration, vector, meta) -> None:
+        # The PS CPU ingests vectors sequentially — the central bottleneck.
+        def ingested() -> None:
+            done = self._pending.get(iteration, 0) + 1
+            self._pending[iteration] = done
+            if done == len(self.workers):
+                self._pending.pop(iteration, None)
+                update = self.cost.server_update(
+                    self.wire_bytes,
+                    self.profile.message_count,
+                    self.profile.update_cost_factor,
+                )
+                summed = self._round_sum(iteration)
+                self.server_cpu.submit(
+                    update, lambda: self._broadcast(summed, iteration)
+                )
+
+        self.server_cpu.submit(
+            self.cost.server_ingest(self.wire_bytes, self.profile.message_count),
+            ingested,
+        )
+
+    def _broadcast(self, summed, iteration) -> None:
+        for worker in self.workers:
+            send_vector(
+                self.server,
+                worker.name,
+                tag=iteration,
+                vector=summed,
+                wire_bytes=self.wire_bytes,
+            )
+
+
+class RingAllReduce(SyncStrategy):
+    """Figure 1b: decentralized ring aggregation (reduce-scatter + all-gather)."""
+
+    name = "sync-ar"
+
+    def _setup(self) -> None:
+        n = len(self.workers)
+        if n < 2:
+            raise ValueError("Ring-AllReduce needs at least 2 workers")
+        # One ring per exchanged tensor (DDPG runs two AllReduces).
+        self.total_steps = 2 * (n - 1) * self.profile.message_count
+        self.chunk_bytes = max(
+            1, self.wire_bytes // (n * self.profile.message_count)
+        )
+        self._lgc_ready: Dict[int, set] = {}
+        #: Ring messages that arrived before the receiver finished its own
+        #: LGC — it cannot fold them in (it has no local gradient yet).
+        self._stalled: Dict[tuple, list] = {}
+        for worker in self.workers:
+            worker_self = worker
+            VectorReceiver(
+                worker.host,
+                lambda src, tag, vec, meta, w=worker_self: self._on_ring_message(
+                    w, tag
+                ),
+                port=7801,
+            )
+
+    def _submit_gradient(self, worker, gradient, iteration) -> None:
+        self._lgc_ready.setdefault(iteration, set()).add(worker.index)
+        self._send_step(worker, iteration, step=0)
+        for step in self._stalled.pop((iteration, worker.index), []):
+            self._process_ring_message(worker, iteration, step)
+
+    def _send_step(self, worker, iteration, step) -> None:
+        if step >= self.total_steps:
+            return
+        neighbour = self.workers[(worker.index + 1) % len(self.workers)]
+        send_vector(
+            worker.host,
+            neighbour.name,
+            tag=(iteration, step),
+            vector=None,  # partial sums are timing-only; math happens at the end
+            wire_bytes=self.chunk_bytes,
+            port=7801,
+            max_chunks=8,
+        )
+
+    def _on_ring_message(self, worker, tag) -> None:
+        iteration, step = tag
+        if worker.index not in self._lgc_ready.get(iteration, ()):
+            # Fast neighbour: the chunk waits until this worker's own
+            # gradient exists to be folded in.
+            self._stalled.setdefault((iteration, worker.index), []).append(step)
+            return
+        self._process_ring_message(worker, iteration, step)
+
+    def _process_ring_message(self, worker, iteration, step) -> None:
+        # Per-step reduction cost on the receiving host, then forward the
+        # next step (or finish after the final all-gather step).
+        def reduced() -> None:
+            if step + 1 < self.total_steps:
+                self._send_step(worker, iteration, step + 1)
+            else:
+                self._finish_ring(worker, iteration)
+
+        self.sim.schedule(self.cost.allreduce_step(self.chunk_bytes), reduced)
+
+    def _finish_ring(self, worker, iteration) -> None:
+        summed = self._round_sum(iteration)
+        self._deliver_sum(worker, summed, iteration)
+
+
+class SyncISwitch(SyncStrategy):
+    """Figure 1c: in-switch aggregation via the accelerator data plane."""
+
+    name = "sync-isw"
+
+    def _setup(self) -> None:
+        configure_aggregation(self.net)
+        n_params = self.workers[0].algorithm.n_params
+        self.plan = make_plan(n_params, self.wire_bytes)
+        self.clients: List[AggregationClient] = []
+        for worker, tor in zip(self.workers, self.net.tor_of_worker):
+            worker_self = worker
+            client = AggregationClient(
+                worker.host,
+                tor.name,
+                self.plan,
+                on_round_complete=lambda rnd, vec, w=worker_self: self._deliver_sum(
+                    w, vec, rnd
+                ),
+            )
+            self.clients.append(client)
+
+    def _submit_gradient(self, worker, gradient, iteration) -> None:
+        self.clients[worker.index].send_gradient(
+            gradient.astype(np.float32), round_index=iteration
+        )

@@ -1,0 +1,88 @@
+"""Simulated training workers: an RL algorithm bound to a simulated host.
+
+A :class:`SimWorker` pairs the *real* numerical training state (a
+:class:`repro.rl.base.Algorithm`) with the *modelled* iteration timing (a
+:class:`ComputeModel` drawing LGC/LWU durations from the calibrated
+workload profile).  Strategies drive workers purely through simulator
+events; the NumPy math executes inside those events, so gradient values
+and simulated timestamps stay consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netsim.node import Host
+from ..netsim.trace import TimeSeries
+from ..rl.base import Algorithm
+from ..workloads.profiles import WorkloadProfile
+from .metrics import IterationBreakdown
+
+__all__ = ["ComputeModel", "SimWorker"]
+
+
+class ComputeModel:
+    """Samples per-iteration LGC/LWU durations for one worker.
+
+    Durations are the profile's calibrated means with small lognormal
+    jitter (different per worker via the seed), which is what produces
+    straggler effects under synchronous barriers.
+    """
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.rng = np.random.default_rng(seed)
+
+    def lgc_duration(self) -> float:
+        jitter = self.profile.compute_jitter
+        if jitter <= 0:
+            return self.profile.compute_time
+        return float(
+            self.profile.compute_time * self.rng.lognormal(0.0, jitter)
+        )
+
+    def lwu_duration(self) -> float:
+        return self.profile.weight_update_time
+
+
+class SimWorker:
+    """One training worker: host + algorithm + timing model + accounting."""
+
+    def __init__(
+        self,
+        index: int,
+        host: Host,
+        algorithm: Algorithm,
+        compute: ComputeModel,
+    ) -> None:
+        self.index = index
+        self.host = host
+        self.algorithm = algorithm
+        self.compute = compute
+        self.iterations_done = 0
+        self.breakdown = IterationBreakdown()
+        #: (sim time, final-average episode reward) samples.
+        self.reward_curve = TimeSeries(name=f"worker{index}")
+        self._episodes_seen = 0
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @property
+    def sim(self):
+        return self.host.sim
+
+    def record_reward_sample(self) -> None:
+        """Record a (time, avg reward) point when new episodes completed."""
+        completed = len(self.algorithm.episode_rewards)
+        if completed > self._episodes_seen and completed >= 1:
+            self._episodes_seen = completed
+            self.reward_curve.record(
+                self.sim.now, self.algorithm.final_average_reward()
+            )
+
+    def finish_iteration(self) -> None:
+        self.iterations_done += 1
+        self.breakdown.finish_iteration()
+        self.record_reward_sample()

@@ -1,0 +1,53 @@
+"""The experiment harness: one module per table/figure in the paper.
+
+Each module exposes ``collect()`` (returns structured records) and
+``run()`` (prints the paper-style table and returns the records):
+
+=========== =========================================================
+Module      Paper artifact
+=========== =========================================================
+``table1``  Table 1 — workload study (model sizes, iteration counts)
+``fig4``    Figure 4 — per-iteration breakdown of PS and AllReduce
+``fig8``    Figure 8 — conventional vs on-the-fly aggregation
+``table3``  Table 3 — end-to-end speedup summary
+``table4``  Table 4 — synchronous training comparison
+``table5``  Table 5 — asynchronous training comparison
+``fig12``   Figure 12 — normalized sync per-iteration time
+``fig13``   Figure 13 — DQN sync training curves
+``fig14``   Figure 14 — DQN async training curves
+``fig15``   Figure 15 — rack-scale scalability
+=========== =========================================================
+"""
+
+from . import (
+    fig4,
+    fig8,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table1,
+    table3,
+    table4,
+    table5,
+    utilization,
+)
+from .reporting import format_bytes, format_seconds, render_series, render_table
+
+__all__ = [
+    "table1",
+    "fig4",
+    "fig8",
+    "table3",
+    "table4",
+    "table5",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "utilization",
+    "render_table",
+    "render_series",
+    "format_seconds",
+    "format_bytes",
+]

@@ -1,0 +1,131 @@
+"""Figure 8: conventional vs on-the-fly aggregation.
+
+Measures the pure aggregation latency (all workers start streaming at
+t=0; stop the clock when every worker holds the summed vector) on the
+same 4-worker iSwitch topology under two accelerator configurations:
+
+* **on-the-fly** (Figure 8b, the real iSwitch): each segment is summed as
+  it arrives and broadcast the moment its counter reaches H — summation
+  and transmission overlap, so total latency approaches one uplink
+  serialization plus one downlink serialization of the vector.
+* **conventional** (Figure 8a): the :class:`VectorGranularityEngine`
+  holds results until entire gradient vectors have arrived before
+  producing output, like a parameter server's "wait for the arrival of
+  the entire gradient vectors before the summation operations".
+
+The gap between the two is exactly the synchronization overhead the paper
+attributes to vector-granularity aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.accelerator import VectorGranularityEngine
+from ..core.client import AggregationClient
+from ..core.hierarchy import configure_aggregation, iswitch_factory
+from ..core.protocol import SegmentPlan
+from ..netsim.events import Simulator
+from ..netsim.topology import build_star
+from ..workloads.profiles import PROFILES
+from .reporting import format_bytes, format_seconds, render_table
+
+__all__ = ["run", "collect", "measure_aggregation_latency"]
+
+
+def measure_aggregation_latency(
+    model_bytes: int,
+    n_workers: int = 4,
+    on_the_fly: bool = True,
+    max_chunks: int = 256,
+    seed: int = 0,
+) -> float:
+    """Simulated latency of one full gradient aggregation (seconds)."""
+    sim = Simulator()
+    net = build_star(sim, n_workers, switch_factory=iswitch_factory)
+    configure_aggregation(net)
+    switch = net.switches[0]
+
+    n_elements = max(n_workers, model_bytes // 4)
+    base = SegmentPlan(n_elements)
+    frames_per_chunk = max(1, -(-base.n_frames // max_chunks))
+    plan = SegmentPlan(n_elements, frames_per_chunk=frames_per_chunk)
+
+    if not on_the_fly:
+        engine = VectorGranularityEngine(
+            n_chunks=plan.n_chunks, threshold=n_workers
+        )
+        switch.engine = engine
+
+    finish_times: Dict[str, float] = {}
+    clients: List[AggregationClient] = []
+    for worker in net.workers:
+        name = worker.name
+        clients.append(
+            AggregationClient(
+                worker,
+                switch.name,
+                plan,
+                on_round_complete=lambda rnd, vec, n=name: finish_times.__setitem__(
+                    n, sim.now
+                ),
+            )
+        )
+
+    rng = np.random.default_rng(seed)
+    for client in clients:
+        client.send_gradient(
+            rng.standard_normal(n_elements).astype(np.float32), round_index=0
+        )
+    sim.run()
+    if len(finish_times) != n_workers:
+        raise RuntimeError(
+            f"aggregation incomplete: {len(finish_times)}/{n_workers} workers"
+        )
+    return max(finish_times.values())
+
+
+def collect(n_workers: int = 4) -> List[Dict]:
+    records = []
+    for name in ("dqn", "a2c", "ppo", "ddpg"):
+        model_bytes = PROFILES[name].model_bytes
+        conventional = measure_aggregation_latency(
+            model_bytes, n_workers, on_the_fly=False
+        )
+        on_the_fly = measure_aggregation_latency(
+            model_bytes, n_workers, on_the_fly=True
+        )
+        records.append(
+            {
+                "workload": name,
+                "model_bytes": model_bytes,
+                "conventional": conventional,
+                "on_the_fly": on_the_fly,
+                "speedup": conventional / on_the_fly,
+            }
+        )
+    return records
+
+
+def run(verbose: bool = True) -> List[Dict]:
+    records = collect()
+    table = render_table(
+        ("workload", "vector size", "conventional", "on-the-fly", "speedup"),
+        [
+            (
+                r["workload"].upper(),
+                format_bytes(r["model_bytes"]),
+                format_seconds(r["conventional"]),
+                format_seconds(r["on_the_fly"]),
+                f"{r['speedup']:.2f}x",
+            )
+            for r in records
+        ],
+        title="Figure 8: conventional (8a) vs on-the-fly (8b) aggregation "
+        "latency, 4 workers, 10 GbE",
+    )
+    if verbose:
+        print(table)
+    return records

@@ -1,0 +1,77 @@
+"""Plain-text table/series rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "format_seconds", "format_bytes"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table (paper-style)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    times: Sequence[float],
+    values: Sequence[float],
+    max_points: int = 20,
+    time_unit: str = "min",
+) -> str:
+    """Render a (time, value) training curve as a downsampled table."""
+    if len(times) != len(values):
+        raise ValueError("times and values must have the same length")
+    n = len(times)
+    if n == 0:
+        return f"{name}: (no data)"
+    step = max(1, n // max_points)
+    indices = list(range(0, n, step))
+    if indices[-1] != n - 1:
+        indices.append(n - 1)
+    divisor = {"s": 1.0, "min": 60.0, "h": 3600.0}[time_unit]
+    rows = [
+        (f"{times[i] / divisor:.2f}", f"{values[i]:.2f}") for i in indices
+    ]
+    return render_table((f"time ({time_unit})", "avg reward"), rows, title=name)
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 3600.0:.2f} h"
+
+
+def format_bytes(nbytes: int) -> str:
+    if nbytes < 1024:
+        return f"{nbytes} B"
+    if nbytes < 1024 * 1024:
+        return f"{nbytes / 1024:.2f} KB"
+    return f"{nbytes / (1024 * 1024):.2f} MB"

@@ -1,0 +1,64 @@
+"""Table 1: a study of popular RL algorithms (model size, iterations).
+
+Reproduces the paper's workload characterization: the four RL algorithms,
+their stand-in environments, gradient-vector wire sizes, and iteration
+counts — plus the derived communication pressure (how many Ethernet
+frames one iteration's gradient occupies), which is the quantity that
+motivates the whole paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.protocol import SegmentPlan
+from ..workloads.profiles import PROFILES
+from .reporting import format_bytes, render_table
+
+__all__ = ["run", "collect"]
+
+
+def collect() -> List[Dict]:
+    """One record per paper workload."""
+    records = []
+    for name in ("dqn", "a2c", "ppo", "ddpg"):
+        profile = PROFILES[name]
+        plan = SegmentPlan(profile.n_elements)
+        records.append(
+            {
+                "algorithm": name.upper(),
+                "environment": profile.environment,
+                "model_bytes": profile.model_bytes,
+                "iterations": profile.paper_iterations,
+                "frames_per_vector": plan.n_frames,
+                "messages": profile.message_count,
+            }
+        )
+    return records
+
+
+def run(verbose: bool = True) -> List[Dict]:
+    records = collect()
+    table = render_table(
+        (
+            "RL Algorithm",
+            "Environment",
+            "Model Size",
+            "Training Iterations",
+            "Frames/Vector",
+        ),
+        [
+            (
+                r["algorithm"],
+                r["environment"],
+                format_bytes(r["model_bytes"]),
+                f"{r['iterations'] / 1e6:.2f}M",
+                r["frames_per_vector"],
+            )
+            for r in records
+        ],
+        title="Table 1: A study of popular RL algorithms",
+    )
+    if verbose:
+        print(table)
+    return records

@@ -1,0 +1,92 @@
+"""Table 3: summary of end-to-end speedups over the PS baselines.
+
+Derived from the Table 4 (synchronous) and Table 5 (asynchronous)
+measurements: speedup = PS end-to-end time ÷ approach end-to-end time.
+Paper reference: sync iSW 1.72–3.66×, async iSW 1.56–3.71×.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from . import table4, table5
+from .reporting import render_table
+
+__all__ = ["run", "collect"]
+
+
+def collect(
+    sync_iterations: int = 12, async_updates: int = 80, seed: int = 1
+) -> List[Dict]:
+    sync_records = table4.collect(n_iterations=sync_iterations, seed=seed)
+    async_records = table5.collect(n_updates=async_updates, seed=seed)
+    records = []
+
+    sync_by = {(r["workload"], r["strategy"]): r for r in sync_records}
+    for workload in table4.WORKLOADS:
+        baseline = sync_by[(workload, "ps")]["hours"]
+        for strategy in table4.STRATEGIES:
+            record = sync_by[(workload, strategy)]
+            paper_base = sync_by[(workload, "ps")]["paper_hours"]
+            records.append(
+                {
+                    "mode": "sync",
+                    "workload": workload,
+                    "strategy": strategy,
+                    "speedup": baseline / record["hours"],
+                    "paper_speedup": paper_base / record["paper_hours"],
+                }
+            )
+
+    async_by = {(r["workload"], r["strategy"]): r for r in async_records}
+    for workload in table5.WORKLOADS:
+        baseline = async_by[(workload, "ps")]["hours"]
+        for strategy in table5.STRATEGIES:
+            record = async_by[(workload, strategy)]
+            paper_base = async_by[(workload, "ps")]["paper_hours"]
+            records.append(
+                {
+                    "mode": "async",
+                    "workload": workload,
+                    "strategy": strategy,
+                    "speedup": baseline / record["hours"],
+                    "paper_speedup": paper_base / record["paper_hours"],
+                }
+            )
+    return records
+
+
+def run(
+    sync_iterations: int = 12,
+    async_updates: int = 80,
+    verbose: bool = True,
+) -> List[Dict]:
+    records = collect(sync_iterations, async_updates)
+    for mode in ("sync", "async"):
+        subset = [r for r in records if r["mode"] == mode]
+        workloads = sorted({r["workload"] for r in subset}, key=str)
+        strategies = [
+            s
+            for s in ("ps", "ar", "isw")
+            if any(r["strategy"] == s for r in subset)
+        ]
+        by = {(r["workload"], r["strategy"]): r for r in subset}
+        rows = []
+        for strategy in strategies:
+            cells = [strategy.upper()]
+            for workload in ("dqn", "a2c", "ppo", "ddpg"):
+                record = by[(workload, strategy)]
+                cells.append(
+                    f"{record['speedup']:.2f}x "
+                    f"(paper {record['paper_speedup']:.2f}x)"
+                )
+            rows.append(cells)
+        table = render_table(
+            [f"{mode} speedup vs PS"] + [w.upper() for w in ("dqn", "a2c", "ppo", "ddpg")],
+            rows,
+            title=f"Table 3 ({mode}): end-to-end speedups over the PS baseline",
+        )
+        if verbose:
+            print(table)
+            print()
+    return records

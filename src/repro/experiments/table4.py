@@ -1,0 +1,103 @@
+"""Table 4: synchronous training — iterations, end-to-end time, rewards.
+
+Follows the paper's own methodology (§5.3): per-iteration time is
+*measured* (here: simulated) over a window of iterations, and end-to-end
+training time is per-iteration time × the workload's convergence
+iteration count.  All synchronous strategies apply mathematically
+identical updates, so they share one "Number of Iterations" and reach the
+same final reward — which the harness verifies by comparing the actual
+NumPy weight trajectories across strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..distributed.runner import run_sync
+from ..workloads.profiles import PROFILES
+from .reporting import render_table
+
+__all__ = ["run", "collect", "WORKLOADS", "STRATEGIES"]
+
+WORKLOADS = ("dqn", "a2c", "ppo", "ddpg")
+STRATEGIES = ("ps", "ar", "isw")
+
+
+def collect(
+    n_iterations: int = 12, n_workers: int = 4, seed: int = 1
+) -> List[Dict]:
+    """Measure per-iteration times for every (workload, strategy) pair."""
+    records = []
+    for workload in WORKLOADS:
+        profile = PROFILES[workload]
+        weights: Dict[str, np.ndarray] = {}
+        for strategy in STRATEGIES:
+            result = run_sync(
+                strategy,
+                workload,
+                n_workers=n_workers,
+                n_iterations=n_iterations,
+                seed=seed,
+            )
+            weights[strategy] = result.workers[0].algorithm.get_weights()
+            records.append(
+                {
+                    "workload": workload,
+                    "strategy": strategy,
+                    "iterations": profile.paper_iterations,
+                    "per_iteration_ms": result.per_iteration_time * 1e3,
+                    "paper_per_iteration_ms": profile.paper_sync_iter_ms[
+                        strategy
+                    ],
+                    "hours": result.projected_hours(profile.paper_iterations),
+                    "paper_hours": profile.paper_sync_hours[strategy],
+                    "reward": result.final_average_reward,
+                    "agg_share": result.breakdown.aggregation_share,
+                }
+            )
+        # The paper's equivalence claim: all sync strategies perform the
+        # same weight updates (their final rewards match to noise).
+        trajectories_match = all(
+            np.allclose(weights["ps"], weights[s], atol=1e-4)
+            for s in ("ar", "isw")
+        )
+        for record in records[-len(STRATEGIES) :]:
+            record["trajectories_match"] = trajectories_match
+    return records
+
+
+def run(n_iterations: int = 12, verbose: bool = True) -> List[Dict]:
+    records = collect(n_iterations=n_iterations)
+    rows = []
+    for record in records:
+        rows.append(
+            (
+                record["workload"].upper(),
+                record["strategy"].upper(),
+                f"{record['iterations']:.2e}",
+                f"{record['per_iteration_ms']:.2f}",
+                f"{record['paper_per_iteration_ms']:.2f}",
+                f"{record['hours']:.2f}",
+                f"{record['paper_hours']:.2f}",
+                "yes" if record["trajectories_match"] else "NO",
+            )
+        )
+    table = render_table(
+        (
+            "workload",
+            "approach",
+            "iterations",
+            "iter ms (sim)",
+            "iter ms (paper)",
+            "end-to-end h (sim)",
+            "paper h",
+            "same weights",
+        ),
+        rows,
+        title="Table 4: synchronous distributed training",
+    )
+    if verbose:
+        print(table)
+    return records

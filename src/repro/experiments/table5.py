@@ -1,0 +1,129 @@
+"""Table 5: asynchronous training — iterations, per-iteration time,
+end-to-end time, rewards.
+
+Per-iteration time is the measured interval between consecutive weight
+updates (at the PS for Async PS, at a worker's LWU thread for Async
+iSwitch), exactly the paper's definition (§5.2).
+
+The "Number of Iterations" column needs a convergence model: asynchronous
+training converges slower the staler its gradients are (paper §6.2, citing
+[15, 25]).  We use the standard linear staleness-inflation model
+
+    iterations(s̄) = sync_iterations × (1 + α · s̄)
+
+with α calibrated **once per workload from the paper's Async-PS column**
+(α = (paper async-PS iterations / sync iterations − 1) / s̄_PS,measured).
+The Async-iSwitch iteration count is then *predicted* from its own
+measured staleness — so the headline claim (iSwitch's fresher gradients
+need fewer iterations) is an emergent result of the simulated timing, not
+an input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..distributed.runner import run_async
+from ..workloads.profiles import PROFILES
+from .reporting import render_table
+
+__all__ = ["run", "collect", "WORKLOADS", "STRATEGIES"]
+
+WORKLOADS = ("dqn", "a2c", "ppo", "ddpg")
+STRATEGIES = ("ps", "isw")
+
+
+def collect(
+    n_updates: int = 80,
+    n_workers: int = 4,
+    seed: int = 1,
+    staleness_bound: int = 3,
+) -> List[Dict]:
+    records = []
+    for workload in WORKLOADS:
+        profile = PROFILES[workload]
+        measured: Dict[str, Dict] = {}
+        for strategy in STRATEGIES:
+            result = run_async(
+                strategy,
+                workload,
+                n_workers=n_workers,
+                n_updates=n_updates,
+                seed=seed,
+                staleness_bound=staleness_bound,
+            )
+            measured[strategy] = {
+                "per_iteration": result.per_iteration_time,
+                "staleness": result.extras["mean_staleness"],
+                "reward": result.final_average_reward,
+            }
+        # Calibrate the staleness-inflation slope on the PS column; the
+        # iSwitch iteration count is then a prediction.
+        s_ps = max(measured["ps"]["staleness"], 1e-6)
+        paper_ps_iters = profile.paper_async_iterations["ps"]
+        alpha = (paper_ps_iters / profile.paper_iterations - 1.0) / s_ps
+        for strategy in STRATEGIES:
+            staleness = measured[strategy]["staleness"]
+            derived_iters = profile.paper_iterations * (1.0 + alpha * staleness)
+            paper_iters = profile.paper_async_iterations[strategy]
+            per_iteration = measured[strategy]["per_iteration"]
+            records.append(
+                {
+                    "workload": workload,
+                    "strategy": strategy,
+                    "mean_staleness": staleness,
+                    "derived_iterations": derived_iters,
+                    "paper_iterations": paper_iters,
+                    "per_iteration_ms": per_iteration * 1e3,
+                    "paper_per_iteration_ms": profile.paper_async_iter_ms[
+                        strategy
+                    ],
+                    # End-to-end hours combine the *simulated* update
+                    # interval with the paper's convergence iteration
+                    # count (the paper's own decomposition); the
+                    # staleness-derived count is kept as a validation of
+                    # the direction and magnitude of the convergence gap.
+                    "hours": per_iteration * paper_iters / 3600.0,
+                    "hours_model": per_iteration * derived_iters / 3600.0,
+                    "paper_hours": profile.paper_async_hours[strategy],
+                    "reward": measured[strategy]["reward"],
+                }
+            )
+    return records
+
+
+def run(n_updates: int = 80, verbose: bool = True) -> List[Dict]:
+    records = collect(n_updates=n_updates)
+    rows = []
+    for record in records:
+        rows.append(
+            (
+                record["workload"].upper(),
+                "Async " + record["strategy"].upper(),
+                f"{record['mean_staleness']:.2f}",
+                f"{record['derived_iterations']:.2e}",
+                f"{record['paper_iterations']:.2e}",
+                f"{record['per_iteration_ms']:.2f}",
+                f"{record['paper_per_iteration_ms']:.2f}",
+                f"{record['hours']:.2f}",
+                f"{record['paper_hours']:.2f}",
+            )
+        )
+    table = render_table(
+        (
+            "workload",
+            "approach",
+            "staleness",
+            "iterations (model)",
+            "paper iters",
+            "iter ms (sim)",
+            "iter ms (paper)",
+            "end-to-end h",
+            "paper h",
+        ),
+        rows,
+        title="Table 5: asynchronous distributed training (S = 3)",
+    )
+    if verbose:
+        print(table)
+    return records

@@ -1,0 +1,100 @@
+"""Extra analysis: per-link utilization under each synchronous strategy.
+
+Not a numbered figure in the paper, but it quantifies the *mechanism*
+behind Figures 12/15: the parameter server's single link saturates (the
+central bottleneck the paper describes in §2.3), Ring-AllReduce spreads
+load but multiplies volume, and iSwitch keeps every worker link lightly
+and evenly loaded ("balanced communication by assigning a dedicated
+network link to each worker node", §6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..distributed.runner import build_cluster
+from ..distributed.sync import RingAllReduce, SyncISwitch, SyncParameterServer
+from ..workloads.profiles import get_profile
+from .reporting import render_table
+
+__all__ = ["run", "collect"]
+
+STRATEGY_CLASSES = {
+    "ps": SyncParameterServer,
+    "ar": RingAllReduce,
+    "isw": SyncISwitch,
+}
+
+
+def collect(
+    workload: str = "dqn",
+    n_workers: int = 4,
+    n_iterations: int = 10,
+    seed: int = 1,
+) -> List[Dict]:
+    profile = get_profile(workload)
+    records = []
+    for strategy, cls in STRATEGY_CLASSES.items():
+        net, workers = build_cluster(
+            n_workers,
+            profile,
+            with_server=strategy == "ps",
+            use_iswitch=strategy == "isw",
+            seed=seed,
+            workload=workload,
+        )
+        result = cls(net, workers, profile).run(n_iterations)
+        elapsed = result.elapsed
+        worker_up = [
+            w.host.uplink.utilization(elapsed) for w in workers
+        ]
+        record = {
+            "strategy": strategy,
+            "elapsed": elapsed,
+            "worker_uplink_mean": sum(worker_up) / len(worker_up),
+            "worker_uplink_max": max(worker_up),
+            "worker_uplink_min": min(worker_up),
+        }
+        if net.server is not None:
+            # Both directions of the server's link.
+            server_port = net.server.uplink
+            record["server_tx"] = server_port.utilization(elapsed)
+            record["server_rx"] = server_port.peer.utilization(elapsed)
+        records.append(record)
+    return records
+
+
+def run(
+    workload: str = "dqn", n_iterations: int = 10, verbose: bool = True
+) -> List[Dict]:
+    records = collect(workload=workload, n_iterations=n_iterations)
+    rows = []
+    for record in records:
+        rows.append(
+            (
+                record["strategy"].upper(),
+                f"{record['worker_uplink_mean'] * 100:.1f}%",
+                f"{record['worker_uplink_max'] * 100:.1f}%",
+                f"{record.get('server_rx', 0.0) * 100:.1f}%"
+                if "server_rx" in record
+                else "-",
+                f"{record.get('server_tx', 0.0) * 100:.1f}%"
+                if "server_tx" in record
+                else "-",
+            )
+        )
+    table = render_table(
+        (
+            "approach",
+            "worker uplink (mean)",
+            "worker uplink (max)",
+            "server rx",
+            "server tx",
+        ),
+        rows,
+        title=f"Link utilization — {workload.upper()}, 4 workers "
+        "(the PS central-link bottleneck, quantified)",
+    )
+    if verbose:
+        print(table)
+    return records

@@ -1,0 +1,57 @@
+"""Discrete-event network simulator: the substrate under every experiment.
+
+Public surface:
+
+* :class:`Simulator` — the event loop and simulated clock.
+* :class:`Packet` — byte-accurate Ethernet/IP/UDP packets.
+* :class:`Link`, :class:`Host`, :class:`EthernetSwitch` — the fabric.
+* :func:`build_star`, :func:`build_rack_tree` — the paper's topologies.
+"""
+
+from .capture import CapturedPacket, PacketCapture
+from .events import Event, SimError, Simulator
+from .link import DEFAULT_PROPAGATION, GBPS, Link, LinkEnd
+from .node import Device, Host
+from .packets import (
+    ETHERNET_OVERHEAD,
+    IP_HEADER,
+    MAX_FRAME,
+    MAX_UDP_PAYLOAD,
+    MTU,
+    UDP_HEADER,
+    VLAN_TAG,
+    Packet,
+)
+from .switch import DEFAULT_SWITCH_LATENCY, EthernetSwitch
+from .topology import Network, build_rack_tree, build_star, build_three_tier
+from .trace import LatencyStats, TimeSeries
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "SimError",
+    "Packet",
+    "Link",
+    "LinkEnd",
+    "Device",
+    "Host",
+    "EthernetSwitch",
+    "Network",
+    "build_star",
+    "build_rack_tree",
+    "build_three_tier",
+    "PacketCapture",
+    "CapturedPacket",
+    "LatencyStats",
+    "TimeSeries",
+    "GBPS",
+    "DEFAULT_PROPAGATION",
+    "DEFAULT_SWITCH_LATENCY",
+    "ETHERNET_OVERHEAD",
+    "VLAN_TAG",
+    "IP_HEADER",
+    "UDP_HEADER",
+    "MTU",
+    "MAX_FRAME",
+    "MAX_UDP_PAYLOAD",
+]

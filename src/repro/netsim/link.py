@@ -1,0 +1,148 @@
+"""Full-duplex point-to-point links with serialization and propagation.
+
+A :class:`Link` joins two devices.  Each direction is independent (full
+duplex) and owns a FIFO transmit queue: a packet occupies the transmitter
+for ``wire_size * 8 / bandwidth`` seconds, then arrives at the far end
+``propagation`` seconds later.  Queueing delay therefore emerges naturally
+when a device offers packets faster than the link drains them — this is
+what makes the parameter-server's single ingress link the bottleneck the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .events import Simulator
+from .packets import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Device
+
+__all__ = ["Link", "LinkEnd", "GBPS", "DEFAULT_PROPAGATION"]
+
+GBPS = 1e9  # bits per second
+#: One-way propagation for an in-rack copper/fiber run (~100 ns, i.e. ~20 m).
+DEFAULT_PROPAGATION = 100e-9
+
+
+class LinkEnd:
+    """One attachment point of a :class:`Link`.
+
+    Devices hold ``LinkEnd`` objects as their "ports" and call
+    :meth:`send` to transmit toward the peer device.
+    """
+
+    def __init__(self, link: "Link", index: int) -> None:
+        self.link = link
+        self.index = index
+        self.device: Optional["Device"] = None
+        self._busy_until = 0.0
+        self._queued_packets = 0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        #: Cumulative seconds this transmitter spent serializing.
+        self.busy_time = 0.0
+
+    @property
+    def peer(self) -> "LinkEnd":
+        """The opposite end of the link."""
+        return self.link.ends[1 - self.index]
+
+    @property
+    def peer_device(self) -> "Device":
+        device = self.peer.device
+        if device is None:
+            raise RuntimeError(f"{self.link} end {1 - self.index} is unattached")
+        return device
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets queued or in flight on this transmitter right now."""
+        return self._queued_packets
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds this transmitter was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def send(self, packet: Packet) -> float:
+        """Transmit ``packet`` toward the peer; returns its arrival time.
+
+        The transmitter serializes packets back to back in FIFO order.
+        """
+        sim = self.link.sim
+        if packet.created_at is None:
+            packet.created_at = sim.now
+        start = max(sim.now, self._busy_until)
+        serialization = packet.wire_size * 8.0 / self.link.bandwidth
+        self._busy_until = start + serialization
+        self.busy_time += serialization
+        arrival = self._busy_until + self.link.propagation
+        self.tx_packets += 1
+        self.tx_bytes += packet.wire_size
+        self._queued_packets += 1
+        packet.hops += 1
+        link = self.link
+        dropped = (
+            link.loss_rate > 0.0 and link.loss_rng.random() < link.loss_rate
+        )
+
+        def deliver() -> None:
+            self._queued_packets -= 1
+            if dropped:
+                link.dropped_packets += 1
+                return
+            self.peer_device.handle_packet(packet, self.peer)
+
+        sim.schedule_at(arrival, deliver, name=f"deliver:{packet.packet_id}")
+        return arrival
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        owner = self.device.name if self.device else "?"
+        return f"LinkEnd({owner} on {self.link.name})"
+
+
+class Link:
+    """A bidirectional link with symmetric bandwidth and propagation delay.
+
+    ``loss_rate`` injects independent per-packet drops (for the
+    loss-recovery tests; the paper notes packet loss "is uncommon in the
+    cluster environment" — the default is lossless).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float = 10 * GBPS,
+        propagation: float = DEFAULT_PROPAGATION,
+        name: str = "",
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if propagation < 0:
+            raise ValueError(f"propagation must be >= 0, got {propagation}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.propagation = propagation
+        self.name = name or f"link{id(self):x}"
+        self.loss_rate = loss_rate
+        self.loss_rng = np.random.default_rng(loss_seed)
+        self.dropped_packets = 0
+        self.ends = (LinkEnd(self, 0), LinkEnd(self, 1))
+
+    def attach(self, device0: "Device", device1: "Device") -> None:
+        """Wire the two ends to their devices and register the ports."""
+        for end, device in zip(self.ends, (device0, device1)):
+            end.device = device
+            device.register_port(end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Link({self.name}, {self.bandwidth / GBPS:g} Gb/s)"

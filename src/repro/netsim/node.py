@@ -1,0 +1,108 @@
+"""Devices: the base class plus the end-host model.
+
+A :class:`Device` is anything a link can attach to.  :class:`Host` models a
+server with a single NIC; the switches live in
+:mod:`repro.netsim.switch` and :mod:`repro.core.switch`.
+
+Hosts dispatch received packets to *protocol handlers* registered by UDP
+destination port, which is how the distributed-training strategies layer
+their traffic over the simulated network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .events import Simulator
+from .link import LinkEnd
+from .packets import Packet
+
+__all__ = ["Device", "Host", "PacketHandler"]
+
+PacketHandler = Callable[[Packet], None]
+
+
+class Device:
+    """Base class for anything attached to links."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: List[LinkEnd] = []
+        self.rx_packets = 0
+        self.rx_bytes = 0
+
+    def register_port(self, port: LinkEnd) -> None:
+        """Called by :meth:`Link.attach` when a link is wired to us."""
+        self.ports.append(port)
+
+    def handle_packet(self, packet: Packet, in_port: LinkEnd) -> None:
+        """Receive one packet from a link.  Subclasses must override."""
+        raise NotImplementedError
+
+    def _count_rx(self, packet: Packet) -> None:
+        self.rx_packets += 1
+        self.rx_bytes += packet.wire_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name})"
+
+
+class Host(Device):
+    """An end host (worker or parameter-server node) with one NIC.
+
+    Outbound packets always use the single uplink.  Inbound packets are
+    dispatched by UDP destination port; a default handler catches the rest.
+    """
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, name)
+        self._handlers: Dict[int, PacketHandler] = {}
+        self._default_handler: Optional[PacketHandler] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def uplink(self) -> LinkEnd:
+        if not self.ports:
+            raise RuntimeError(f"host {self.name} has no link attached")
+        return self.ports[0]
+
+    def register_port(self, port: LinkEnd) -> None:
+        if self.ports:
+            raise RuntimeError(
+                f"host {self.name} already has a NIC; hosts are single-homed"
+            )
+        super().register_port(port)
+
+    # ------------------------------------------------------------------
+    # Protocol dispatch
+    # ------------------------------------------------------------------
+    def bind(self, port: int, handler: PacketHandler) -> None:
+        """Register ``handler`` for packets whose UDP dst port is ``port``."""
+        if port in self._handlers:
+            raise ValueError(f"port {port} already bound on {self.name}")
+        self._handlers[port] = handler
+
+    def unbind(self, port: int) -> None:
+        self._handlers.pop(port, None)
+
+    def bind_default(self, handler: PacketHandler) -> None:
+        """Register the catch-all handler for unbound ports."""
+        self._default_handler = handler
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> float:
+        """Transmit a packet out of the NIC; returns the link-arrival time."""
+        return self.uplink.send(packet)
+
+    def handle_packet(self, packet: Packet, in_port: LinkEnd) -> None:
+        self._count_rx(packet)
+        handler = self._handlers.get(packet.dst_port, self._default_handler)
+        if handler is not None:
+            handler(packet)
+        # Packets with no handler are dropped silently, like a closed UDP
+        # socket; tests assert on rx counters to detect misrouting.

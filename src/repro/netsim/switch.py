@@ -1,0 +1,96 @@
+"""The regular (non-programmable) store-and-forward Ethernet switch.
+
+This is the substrate the PS and AllReduce baselines run on, and the chassis
+the iSwitch accelerator extends (:mod:`repro.core.switch` subclasses it).
+
+Forwarding model
+----------------
+* Store-and-forward: the ingress link already delivered the whole frame, so
+  the switch only adds a fixed processing latency before the egress
+  transmitter takes over (cut-through is not modelled; at 10 GbE and
+  1.5 kB frames the difference is ~1.2 µs and identical across all
+  compared systems).
+* The forwarding table maps destination host names to egress ports and is
+  populated by the topology builder (static routing — the experiments do
+  not exercise MAC learning, and the paper's switches are statically
+  configured too).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .events import Simulator
+from .link import LinkEnd
+from .node import Device
+from .packets import Packet
+
+__all__ = ["EthernetSwitch", "DEFAULT_SWITCH_LATENCY"]
+
+#: Port-to-port latency of a commodity 10 GbE ToR switch (~1 µs).
+DEFAULT_SWITCH_LATENCY = 1e-6
+
+
+class EthernetSwitch(Device):
+    """An N-port store-and-forward switch with a static forwarding table."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        latency: float = DEFAULT_SWITCH_LATENCY,
+    ) -> None:
+        super().__init__(sim, name)
+        if latency < 0:
+            raise ValueError(f"switch latency must be >= 0, got {latency}")
+        self.latency = latency
+        self._fib: Dict[str, LinkEnd] = {}
+        self._default_route: Optional[LinkEnd] = None
+        self.forwarded_packets = 0
+        self.dropped_packets = 0
+
+    # ------------------------------------------------------------------
+    # Forwarding table
+    # ------------------------------------------------------------------
+    def add_route(self, dst: str, port: LinkEnd) -> None:
+        """Route packets addressed to host ``dst`` out of ``port``."""
+        if port not in self.ports:
+            raise ValueError(f"{port!r} is not a port of switch {self.name}")
+        self._fib[dst] = port
+
+    def set_default_route(self, port: LinkEnd) -> None:
+        """Route unknown destinations out of ``port`` (the uplink)."""
+        if port not in self.ports:
+            raise ValueError(f"{port!r} is not a port of switch {self.name}")
+        self._default_route = port
+
+    def lookup(self, dst: str) -> Optional[LinkEnd]:
+        return self._fib.get(dst, self._default_route)
+
+    @property
+    def default_route(self) -> Optional[LinkEnd]:
+        """The uplink port unknown destinations are forwarded out of."""
+        return self._default_route
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet, in_port: LinkEnd) -> None:
+        self._count_rx(packet)
+        self.process(packet, in_port)
+
+    def process(self, packet: Packet, in_port: LinkEnd) -> None:
+        """The regular forwarding path.  Subclasses may intercept first."""
+        egress = self.lookup(packet.dst)
+        if egress is None or egress is in_port:
+            # Unknown destination or would hairpin: drop.  The experiments
+            # never rely on flooding, so a drop here indicates a miswired
+            # topology and the counters make that visible in tests.
+            self.dropped_packets += 1
+            return
+        self.forwarded_packets += 1
+        self.sim.schedule(
+            self.latency,
+            lambda: egress.send(packet),
+            name=f"fwd:{packet.packet_id}",
+        )

@@ -1,0 +1,94 @@
+"""Measurement helpers: latency recorders and simple time-series traces."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["LatencyStats", "TimeSeries"]
+
+
+@dataclass
+class LatencyStats:
+    """Streaming summary statistics over recorded durations (seconds)."""
+
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"latency cannot be negative: {value}")
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        return max(0.0, self.total_sq / self.count - mean * mean)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "LatencyStats") -> None:
+        """Fold another recorder's samples into this one."""
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+@dataclass
+class TimeSeries:
+    """(time, value) samples, e.g. episode reward vs simulated wall clock."""
+
+    name: str = ""
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        if self.points and time < self.points[-1][0]:
+            raise ValueError(
+                f"time went backwards in series {self.name!r}: "
+                f"{time} < {self.points[-1][0]}"
+            )
+        self.points.append((time, value))
+
+    @property
+    def times(self) -> List[float]:
+        return [t for t, _ in self.points]
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _, v in self.points]
+
+    def value_at(self, time: float) -> float:
+        """Step-interpolated value at ``time`` (last sample at or before)."""
+        if not self.points:
+            raise ValueError(f"series {self.name!r} is empty")
+        result = self.points[0][1]
+        for t, v in self.points:
+            if t > time:
+                break
+            result = v
+        return result
+
+    def time_to_reach(self, threshold: float) -> float:
+        """First sample time whose value is >= threshold, or +inf."""
+        for t, v in self.points:
+            if v >= threshold:
+                return t
+        return math.inf

@@ -1,0 +1,92 @@
+"""Checkpointing: save/restore model parameters and training progress.
+
+Uses NumPy's ``.npz`` container — no pickle, no framework lock-in.  Two
+levels:
+
+* :func:`save_model` / :func:`load_model` — just a module's parameters,
+  stored under their qualified names (``layer0.weight`` ...) so mismatched
+  architectures fail loudly.
+* :func:`save_algorithm` / :func:`load_algorithm` — the full flat weight
+  vector plus update counter and episode-reward history, enough to resume
+  or evaluate a distributed training run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_model", "load_model", "save_algorithm", "load_algorithm"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_model(module: Module, path: PathLike) -> None:
+    """Write a module's parameters to ``path`` (.npz)."""
+    arrays = {
+        name: param.data for name, param in module.named_parameters()
+    }
+    if not arrays:
+        raise ValueError("module has no parameters to save")
+    np.savez(path, **arrays)
+
+
+def load_model(module: Module, path: PathLike) -> None:
+    """Restore parameters saved by :func:`save_model`.
+
+    The module must have exactly the same parameter names and shapes.
+    """
+    with np.load(path) as archive:
+        stored = dict(archive.items())
+    expected = dict(module.named_parameters())
+    if set(stored) != set(expected):
+        missing = set(expected) - set(stored)
+        extra = set(stored) - set(expected)
+        raise ValueError(
+            f"checkpoint does not match module: missing={sorted(missing)}, "
+            f"unexpected={sorted(extra)}"
+        )
+    for name, param in expected.items():
+        if stored[name].shape != param.data.shape:
+            raise ValueError(
+                f"parameter {name}: checkpoint shape {stored[name].shape} "
+                f"!= model shape {param.data.shape}"
+            )
+        param.data = stored[name].astype(np.float64)
+
+
+def save_algorithm(algorithm, path: PathLike) -> None:
+    """Persist an :class:`repro.rl.base.Algorithm`'s training state."""
+    np.savez(
+        path,
+        weights=algorithm.get_weights(),
+        updates_applied=np.int64(algorithm.updates_applied),
+        episode_rewards=np.asarray(algorithm.episode_rewards, dtype=np.float64),
+        algorithm=np.bytes_(algorithm.name.encode()),
+    )
+
+
+def load_algorithm(algorithm, path: PathLike) -> None:
+    """Restore state saved by :func:`save_algorithm` into ``algorithm``.
+
+    The algorithm instance must be of the same kind (name) and model size.
+    """
+    with np.load(path) as archive:
+        name = bytes(archive["algorithm"]).decode()
+        if name != algorithm.name:
+            raise ValueError(
+                f"checkpoint is for {name!r}, not {algorithm.name!r}"
+            )
+        weights = archive["weights"]
+        if weights.shape != (algorithm.n_params,):
+            raise ValueError(
+                f"checkpoint has {weights.shape[0]} parameters, model has "
+                f"{algorithm.n_params}"
+            )
+        algorithm.set_weights(weights)
+        algorithm.updates_applied = int(archive["updates_applied"])
+        algorithm.episode_rewards = list(archive["episode_rewards"])

@@ -1,0 +1,47 @@
+"""Loss functions and small tensor utilities used by the RL algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["mse_loss", "huber_loss", "nll_from_logits", "entropy_from_logits"]
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber (smooth-L1) loss, the classic DQN TD loss.
+
+    Quadratic within ``delta`` of the target, linear outside, built from
+    differentiable primitives:
+
+        0.5 * clip(|d|, 0, delta)^2 + delta * (|d| - clip(|d|, 0, delta))
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    abs_diff = (prediction - target).abs()
+    quadratic = abs_diff.clip(0.0, delta)
+    linear = abs_diff - quadratic
+    return (0.5 * quadratic * quadratic + delta * linear).mean()
+
+
+def nll_from_logits(logits: Tensor, actions: np.ndarray) -> Tensor:
+    """Per-sample negative log-likelihood of ``actions`` under ``logits``.
+
+    Returns a vector (one value per row); callers weight it by advantages
+    (A2C/PPO) or average it.
+    """
+    return -logits.log_softmax(axis=-1).gather(actions)
+
+
+def entropy_from_logits(logits: Tensor) -> Tensor:
+    """Mean policy entropy, the standard exploration bonus term."""
+    log_probs = logits.log_softmax(axis=-1)
+    probs = log_probs.exp()
+    return -(probs * log_probs).sum(axis=-1).mean()

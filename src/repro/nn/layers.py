@@ -1,0 +1,156 @@
+"""Neural-network modules: parameter containers and MLP building blocks."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Linear", "Activation", "Sequential", "mlp"]
+
+
+class Parameter(Tensor):
+    """A tensor that is part of a module's learnable state."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class: tracks parameters and submodules by attribute assignment."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[key] = value
+        elif isinstance(value, Module):
+            self._modules[key] = value
+        object.__setattr__(self, key, value)
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its children, in stable order."""
+        params = list(self._parameters.values())
+        for module in self._modules.values():
+            params.extend(module.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b`` with Kaiming-uniform init."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError(
+                f"invalid layer shape ({in_features}, {out_features})"
+            )
+        rng = rng or np.random.default_rng()
+        bound = np.sqrt(6.0 / in_features)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            rng.uniform(-bound, bound, size=(in_features, out_features)),
+            name="weight",
+        )
+        if bias:
+            self.bias: Optional[Parameter] = Parameter(
+                np.zeros(out_features), name="bias"
+            )
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Activation(Module):
+    """Elementwise activation by name: relu | tanh | sigmoid."""
+
+    _KINDS = ("relu", "tanh", "sigmoid")
+
+    def __init__(self, kind: str) -> None:
+        super().__init__()
+        if kind not in self._KINDS:
+            raise ValueError(f"unknown activation {kind!r}; choose {self._KINDS}")
+        self.kind = kind
+
+    def forward(self, x: Tensor) -> Tensor:
+        return getattr(x, self.kind)()
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: List[str] = []
+        for i, module in enumerate(modules):
+            name = f"layer{i}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+def mlp(
+    sizes: Sequence[int],
+    activation: str = "relu",
+    output_activation: Optional[str] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Build a multilayer perceptron: ``sizes[0] -> ... -> sizes[-1]``."""
+    if len(sizes) < 2:
+        raise ValueError(f"need at least input and output sizes, got {sizes}")
+    rng = rng or np.random.default_rng()
+    modules: List[Module] = []
+    for i in range(len(sizes) - 1):
+        modules.append(Linear(sizes[i], sizes[i + 1], rng=rng))
+        is_last = i == len(sizes) - 2
+        if not is_last:
+            modules.append(Activation(activation))
+        elif output_activation is not None:
+            modules.append(Activation(output_activation))
+    return Sequential(*modules)

@@ -1,0 +1,132 @@
+"""Optimizers: SGD (with momentum), Adam, and RMSProp.
+
+Each optimizer steps on whatever is currently stored in ``param.grad`` —
+in distributed training that is the *aggregated* gradient written back by
+the strategy after the in-switch (or PS/AllReduce) aggregation completes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "RMSProp"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and common bookkeeping."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _grads(self):
+        for param in self.params:
+            if param.grad is not None:
+                yield param, param.grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, params: Sequence[Parameter], lr: float, momentum: float = 0.0
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param, grad in self._grads():
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[id(param)] = velocity
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, grad in self._grads():
+            key = id(param)
+            m = self._m.get(key)
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            else:
+                v = self._v[key]
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+            self._m[key], self._v[key] = m, v
+            param.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp, the optimizer classic DQN used."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {alpha}")
+        self.alpha = alpha
+        self.eps = eps
+        self._sq: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param, grad in self._grads():
+            key = id(param)
+            sq = self._sq.get(key)
+            if sq is None:
+                sq = np.zeros_like(param.data)
+            sq = self.alpha * sq + (1.0 - self.alpha) * grad**2
+            self._sq[key] = sq
+            param.data -= self.lr * grad / (np.sqrt(sq) + self.eps)

@@ -1,0 +1,86 @@
+"""Flattening model state to/from the float32 vectors that cross the wire.
+
+The distributed strategies exchange a model's parameters or gradients as a
+single flat float32 vector — exactly the "gradient vector" the paper's
+switch aggregates.  Round order follows ``Module.parameters()``, which is
+deterministic (attribute-assignment order), so every worker agrees on the
+layout without negotiation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .layers import Module, Parameter
+
+__all__ = [
+    "flatten_params",
+    "load_flat_params",
+    "flatten_grads",
+    "load_flat_grads",
+    "param_vector_size",
+    "model_wire_bytes",
+]
+
+
+def param_vector_size(module: Module) -> int:
+    """Number of scalar parameters in the module."""
+    return module.n_parameters
+
+
+def model_wire_bytes(module: Module) -> int:
+    """Bytes of the float32 gradient vector this model ships per round."""
+    return module.n_parameters * 4
+
+
+def flatten_params(module: Module) -> np.ndarray:
+    """Concatenate all parameters into one float32 vector."""
+    return np.concatenate(
+        [p.data.ravel() for p in module.parameters()]
+    ).astype(np.float32)
+
+
+def load_flat_params(module: Module, vector: np.ndarray) -> None:
+    """Overwrite the module's parameters from a flat vector (any float dtype)."""
+    _scatter(module.parameters(), vector, into_grad=False)
+
+
+def flatten_grads(module: Module) -> np.ndarray:
+    """Concatenate all gradients into one float32 vector.
+
+    Parameters that received no gradient contribute zeros, so the vector
+    layout is always identical across iterations and workers.
+    """
+    pieces: List[np.ndarray] = []
+    for param in module.parameters():
+        if param.grad is None:
+            pieces.append(np.zeros(param.size, dtype=np.float32))
+        else:
+            pieces.append(param.grad.ravel().astype(np.float32))
+    return np.concatenate(pieces)
+
+
+def load_flat_grads(module: Module, vector: np.ndarray) -> None:
+    """Write a flat vector into the parameters' ``.grad`` slots."""
+    _scatter(module.parameters(), vector, into_grad=True)
+
+
+def _scatter(
+    params: Sequence[Parameter], vector: np.ndarray, into_grad: bool
+) -> None:
+    vector = np.asarray(vector)
+    total = sum(p.size for p in params)
+    if vector.shape != (total,):
+        raise ValueError(
+            f"flat vector has shape {vector.shape}, model needs ({total},)"
+        )
+    offset = 0
+    for param in params:
+        chunk = vector[offset : offset + param.size].reshape(param.data.shape)
+        if into_grad:
+            param.grad = chunk.astype(np.float64)
+        else:
+            param.data = chunk.astype(np.float64)
+        offset += param.size

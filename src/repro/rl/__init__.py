@@ -1,0 +1,33 @@
+"""RL algorithms (DQN, A2C, PPO, DDPG) and simulated environments."""
+
+from .a2c import A2C, ActorCritic, discounted_returns
+from .base import Algorithm
+from .ddpg import DDPG, ActorCriticPair, OUNoise
+from .dqn import DQN
+from .envs import Cheetah1D, Environment, GridPong, GridQbert, Hopper1D
+from .ppo import PPO, GaussianActorCritic, gae_advantages
+from .replay import ReplayBuffer, Transition
+from .spaces import Box, Discrete
+
+__all__ = [
+    "Algorithm",
+    "DQN",
+    "A2C",
+    "PPO",
+    "DDPG",
+    "ActorCritic",
+    "ActorCriticPair",
+    "GaussianActorCritic",
+    "OUNoise",
+    "discounted_returns",
+    "gae_advantages",
+    "ReplayBuffer",
+    "Transition",
+    "Box",
+    "Discrete",
+    "Environment",
+    "GridPong",
+    "GridQbert",
+    "Hopper1D",
+    "Cheetah1D",
+]

@@ -1,0 +1,139 @@
+"""A2C — synchronous advantage actor-critic (the paper's [41] workload).
+
+Each iteration collects an n-step rollout with the current policy,
+bootstraps the tail with the value network, and produces one gradient of
+
+    L = policy-gradient loss + c_v * value MSE − c_e * entropy bonus.
+
+Policy and value networks are separate MLPs held in one container so the
+whole model travels as a single gradient vector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import (
+    Adam,
+    Tensor,
+    entropy_from_logits,
+    mse_loss,
+    nll_from_logits,
+    mlp,
+    no_grad,
+)
+from ..nn.layers import Module
+from .base import Algorithm
+from .envs.base import Environment
+from .spaces import Discrete
+
+__all__ = ["A2C", "ActorCritic", "discounted_returns"]
+
+
+class ActorCritic(Module):
+    """Separate policy and value MLPs in one parameter container."""
+
+    def __init__(self, obs_size: int, n_actions: int, hidden, rng) -> None:
+        super().__init__()
+        self.policy = mlp([obs_size, *hidden, n_actions], rng=rng)
+        self.value = mlp([obs_size, *hidden, 1], rng=rng)
+
+
+def discounted_returns(
+    rewards: np.ndarray,
+    dones: np.ndarray,
+    bootstrap: float,
+    gamma: float,
+) -> np.ndarray:
+    """n-step discounted returns with bootstrap from the last state."""
+    returns = np.zeros_like(rewards)
+    running = bootstrap
+    for t in range(len(rewards) - 1, -1, -1):
+        running = rewards[t] + gamma * running * (1.0 - dones[t])
+        returns[t] = running
+    return returns
+
+
+class A2C(Algorithm):
+    name = "a2c"
+
+    def __init__(
+        self,
+        env: Environment,
+        hidden=(64, 64),
+        lr: float = 7e-4,
+        gamma: float = 0.99,
+        rollout_steps: int = 16,
+        value_coef: float = 0.5,
+        entropy_coef: float = 0.01,
+        seed: Optional[int] = None,
+        init_seed: Optional[int] = None,
+    ) -> None:
+        if not isinstance(env.action_space, Discrete):
+            raise TypeError("A2C requires a discrete action space")
+        if rollout_steps < 1:
+            raise ValueError(f"rollout_steps must be >= 1, got {rollout_steps}")
+        self.env = env
+        self.rng = np.random.default_rng(seed)
+        self.gamma = gamma
+        self.rollout_steps = rollout_steps
+        self.value_coef = value_coef
+        self.entropy_coef = entropy_coef
+
+        container = ActorCritic(
+            env.observation_size,
+            env.action_space.n,
+            hidden,
+            rng=np.random.default_rng(seed if init_seed is None else init_seed),
+        )
+        super().__init__(container)
+        self.optimizer = Adam(container.parameters(), lr=lr)
+        self._obs = env.reset()
+
+    # ------------------------------------------------------------------
+    def act(self, obs: np.ndarray) -> int:
+        with no_grad():
+            logits = self.container.policy(Tensor(obs[None, :])).numpy()[0]
+        logits = logits - logits.max()
+        probs = np.exp(logits)
+        probs /= probs.sum()
+        return int(self.rng.choice(len(probs), p=probs))
+
+    def compute_gradient(self) -> np.ndarray:
+        observations, actions, rewards, dones = [], [], [], []
+        for _ in range(self.rollout_steps):
+            action = self.act(self._obs)
+            next_obs, reward, done, _ = self.env.step(action)
+            observations.append(self._obs)
+            actions.append(action)
+            rewards.append(reward)
+            dones.append(done)
+            self._track_reward(reward, done)
+            self._obs = self.env.reset() if done else next_obs
+
+        states = np.stack(observations)
+        actions_arr = np.asarray(actions, dtype=np.int64)
+        rewards_arr = np.asarray(rewards, dtype=np.float64)
+        dones_arr = np.asarray(dones, dtype=np.float64)
+
+        with no_grad():
+            bootstrap = float(
+                self.container.value(Tensor(self._obs[None, :])).numpy()[0, 0]
+            )
+        returns = discounted_returns(rewards_arr, dones_arr, bootstrap, self.gamma)
+
+        self.container.zero_grad()
+        values = self.container.value(Tensor(states)).reshape(-1)
+        advantages = returns - values.numpy()  # stop-gradient advantage
+        logits = self.container.policy(Tensor(states))
+        pg_loss = (nll_from_logits(logits, actions_arr) * Tensor(advantages)).mean()
+        value_loss = mse_loss(values, Tensor(returns))
+        entropy = entropy_from_logits(logits)
+        loss = pg_loss + self.value_coef * value_loss - self.entropy_coef * entropy
+        loss.backward()
+        return self.gradient_vector()
+
+    def _optimizer_step(self) -> None:
+        self.optimizer.step()

@@ -1,0 +1,121 @@
+"""The uniform interface distributed training drives RL algorithms through.
+
+The paper's three-stage decomposition of a training iteration (§4.1) maps
+directly onto this interface:
+
+* **LGC** (local gradient computing) — :meth:`Algorithm.compute_gradient`:
+  interact with the environment, collect trajectory/replay data, run
+  forward+backward, and return the flat float32 gradient vector that goes
+  on the wire.
+* **GA** (gradient aggregation) — performed *outside* the algorithm by a
+  strategy in :mod:`repro.distributed` (parameter server, Ring-AllReduce,
+  or the iSwitch accelerator).
+* **LWU** (local weight update) — :meth:`Algorithm.apply_update`: load the
+  aggregated gradient (already divided by the contributor count H) and
+  take one optimizer step.
+
+Determinism contract: given identical initial weights and an identical
+sequence of ``apply_update`` calls, every replica ends with bit-identical
+weights — the property the paper's *decentralized weight storage* relies
+on ("since we initialize the same model weights among all workers, and
+also broadcast the same aggregated gradients, the decentralized storage of
+weights are always agreed over iterations").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..nn.layers import Module
+from ..nn.serialize import flatten_grads, flatten_params, load_flat_grads, load_flat_params
+
+__all__ = ["Algorithm"]
+
+
+class Algorithm:
+    """Base class for DQN / A2C / PPO / DDPG."""
+
+    #: Human-readable name used by profiles and reports.
+    name: str = "base"
+
+    def __init__(self, container: Module) -> None:
+        #: Single module holding *all* learnable parameters (policy, value,
+        #: critics, ...) so one flat vector covers the whole model.
+        self.container = container
+        self.updates_applied = 0
+        self.episode_rewards: List[float] = []
+        self._current_episode_reward = 0.0
+
+    # ------------------------------------------------------------------
+    # The three-stage interface
+    # ------------------------------------------------------------------
+    def compute_gradient(self) -> np.ndarray:
+        """Run one LGC iteration and return the flat float32 gradient."""
+        raise NotImplementedError
+
+    def apply_update(self, mean_gradient: np.ndarray) -> None:
+        """Apply one aggregated (already averaged) gradient — the LWU stage."""
+        load_flat_grads(self.container, np.asarray(mean_gradient))
+        self._optimizer_step()
+        self.updates_applied += 1
+        self._after_update()
+
+    def _optimizer_step(self) -> None:
+        """Step the optimizer(s).  Subclasses with several nets override."""
+        raise NotImplementedError
+
+    def _after_update(self) -> None:
+        """Hook: target-network syncs etc.  Default: nothing."""
+
+    # ------------------------------------------------------------------
+    # Weight exchange (parameter-server pulls)
+    # ------------------------------------------------------------------
+    @property
+    def n_params(self) -> int:
+        return self.container.n_parameters
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes of one gradient/weight vector on the wire (float32)."""
+        return self.n_params * 4
+
+    def get_weights(self) -> np.ndarray:
+        return flatten_params(self.container)
+
+    def set_weights(self, vector: np.ndarray) -> None:
+        load_flat_params(self.container, np.asarray(vector))
+        self._after_set_weights()
+
+    def _after_set_weights(self) -> None:
+        """Hook for refreshing derived state after a weight overwrite."""
+
+    def on_weights_pulled(self, server_updates: int) -> None:
+        """Hook for async parameter-server workers after a weight pull.
+
+        ``server_updates`` is the server's update counter; algorithms with
+        derived state (ε schedules, target networks) refresh it here so
+        replicas stay in step with the server's training progress.
+        """
+        self.updates_applied = server_updates
+
+    def gradient_vector(self) -> np.ndarray:
+        return flatten_grads(self.container)
+
+    # ------------------------------------------------------------------
+    # Reward accounting
+    # ------------------------------------------------------------------
+    def _track_reward(self, reward: float, done: bool) -> None:
+        self._current_episode_reward += reward
+        if done:
+            self.episode_rewards.append(self._current_episode_reward)
+            self._current_episode_reward = 0.0
+
+    def final_average_reward(self, last: int = 10) -> float:
+        """The paper's metric: episode reward averaged over the last 10
+        completed episodes (§5.2)."""
+        if not self.episode_rewards:
+            return float("-inf")
+        window = self.episode_rewards[-last:]
+        return float(np.mean(window))

@@ -1,0 +1,207 @@
+"""DDPG (Lillicrap et al., 2015) — deterministic actor-critic for
+continuous control, the paper's fourth workload.
+
+The "dual model" (actor + critic, matching the paper's quoted 157.5 KB
+total) lives in one container so both nets' gradients travel as a single
+wire vector.  Each iteration: act with Ornstein–Uhlenbeck exploration
+noise, push to replay, then compute
+
+* critic gradient:  ∇ MSE(Q(s, a), r + γ Q'(s', π'(s')))
+* actor gradient:   ∇ −mean Q(s, π(s))   (only the actor's share is kept)
+
+Target networks are soft-updated (Polyak τ) after every applied update —
+deterministic in the update count, so decentralized replicas stay
+identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Adam, Tensor, concat, mse_loss, mlp, no_grad
+from ..nn.layers import Module
+from ..nn.serialize import flatten_params, load_flat_params
+from .base import Algorithm
+from .envs.base import Environment
+from .replay import ReplayBuffer, Transition
+from .spaces import Box
+
+__all__ = ["DDPG", "OUNoise", "ActorCriticPair"]
+
+
+class OUNoise:
+    """Ornstein–Uhlenbeck process, DDPG's temporally correlated noise."""
+
+    def __init__(
+        self,
+        dim: int,
+        rng: np.random.Generator,
+        theta: float = 0.15,
+        sigma: float = 0.2,
+    ) -> None:
+        self.dim = dim
+        self.rng = rng
+        self.theta = theta
+        self.sigma = sigma
+        self.state = np.zeros(dim)
+
+    def reset(self) -> None:
+        self.state = np.zeros(self.dim)
+
+    def sample(self) -> np.ndarray:
+        self.state = (
+            self.state
+            - self.theta * self.state
+            + self.sigma * self.rng.standard_normal(self.dim)
+        )
+        return self.state
+
+
+class ActorCriticPair(Module):
+    """Actor π(s) and critic Q(s, a) in one parameter container."""
+
+    def __init__(self, obs_size: int, action_dim: int, hidden, rng) -> None:
+        super().__init__()
+        self.actor = mlp(
+            [obs_size, *hidden, action_dim],
+            rng=rng,
+            output_activation="tanh",
+        )
+        self.critic = mlp([obs_size + action_dim, *hidden, 1], rng=rng)
+
+    def q_value(self, states: Tensor, actions: Tensor) -> Tensor:
+        return self.critic(concat([states, actions], axis=1)).reshape(-1)
+
+
+class DDPG(Algorithm):
+    name = "ddpg"
+
+    def __init__(
+        self,
+        env: Environment,
+        hidden=(64, 64),
+        actor_lr: float = 1e-4,
+        critic_lr: float = 1e-3,
+        gamma: float = 0.99,
+        tau: float = 0.01,
+        batch_size: int = 64,
+        buffer_capacity: int = 20_000,
+        warmup: int = 500,
+        env_steps_per_iter: int = 1,
+        seed: Optional[int] = None,
+        init_seed: Optional[int] = None,
+    ) -> None:
+        if not isinstance(env.action_space, Box):
+            raise TypeError("DDPG requires a continuous (Box) action space")
+        if not 0.0 < tau <= 1.0:
+            raise ValueError(f"tau must be in (0, 1], got {tau}")
+        self.env = env
+        self.rng = np.random.default_rng(seed)
+        self.gamma = gamma
+        self.tau = tau
+        self.batch_size = batch_size
+        self.warmup = max(warmup, batch_size)
+        self.env_steps_per_iter = env_steps_per_iter
+
+        container = ActorCriticPair(
+            env.observation_size,
+            env.action_space.dim,
+            hidden,
+            rng=np.random.default_rng(seed if init_seed is None else init_seed),
+        )
+        super().__init__(container)
+        self.targets = ActorCriticPair(
+            env.observation_size,
+            env.action_space.dim,
+            hidden,
+            rng=np.random.default_rng(0),
+        )
+        load_flat_params(self.targets, flatten_params(container))
+        self.actor_optimizer = Adam(container.actor.parameters(), lr=actor_lr)
+        self.critic_optimizer = Adam(container.critic.parameters(), lr=critic_lr)
+        self.noise = OUNoise(env.action_space.dim, self.rng)
+        self.buffer = ReplayBuffer(buffer_capacity, self.rng)
+        self._obs = env.reset()
+
+    # ------------------------------------------------------------------
+    def act(self, obs: np.ndarray, explore: bool = True) -> np.ndarray:
+        with no_grad():
+            action = self.container.actor(Tensor(obs[None, :])).numpy()[0]
+        if explore:
+            action = action + self.noise.sample()
+        return self.env.action_space.clip(action)
+
+    def _env_step(self) -> None:
+        action = self.act(self._obs)
+        next_obs, reward, done, _ = self.env.step(action)
+        self.buffer.push(Transition(self._obs, action, reward, next_obs, done))
+        self._track_reward(reward, done)
+        if done:
+            self._obs = self.env.reset()
+            self.noise.reset()
+        else:
+            self._obs = next_obs
+
+    # ------------------------------------------------------------------
+    def compute_gradient(self) -> np.ndarray:
+        while len(self.buffer) < self.warmup:
+            self._env_step()
+        for _ in range(self.env_steps_per_iter):
+            self._env_step()
+
+        batch = self.buffer.sample(self.batch_size)
+        states = Tensor(batch.states)
+        actions = Tensor(batch.actions.astype(np.float64))
+
+        with no_grad():
+            next_actions = self.targets.actor(Tensor(batch.next_states))
+            next_q = self.targets.q_value(
+                Tensor(batch.next_states), next_actions
+            ).numpy()
+        targets = batch.rewards + self.gamma * next_q * (1.0 - batch.dones)
+
+        # Critic gradient.
+        self.container.zero_grad()
+        critic_loss = mse_loss(self.container.q_value(states, actions), Tensor(targets))
+        critic_loss.backward()
+        critic_grads = {
+            id(p): p.grad.copy()
+            for p in self.container.critic.parameters()
+            if p.grad is not None
+        }
+
+        # Actor gradient: maximize Q(s, π(s)); the chain rule pushes
+        # gradients into the critic too, but DDPG only applies the actor's
+        # share, so the critic slots are restored afterwards.
+        self.container.zero_grad()
+        actor_actions = self.container.actor(states)
+        actor_loss = -self.container.q_value(states, actor_actions).mean()
+        actor_loss.backward()
+        for param in self.container.critic.parameters():
+            param.grad = critic_grads.get(id(param))
+        return self.gradient_vector()
+
+    # ------------------------------------------------------------------
+    def _optimizer_step(self) -> None:
+        self.actor_optimizer.step()
+        self.critic_optimizer.step()
+
+    def _after_update(self) -> None:
+        self._soft_update_targets()
+
+    def on_weights_pulled(self, server_updates: int) -> None:
+        # Async-PS workers never run the optimizer locally; track the
+        # pulled online weights with the same Polyak rate the server-side
+        # replica applies so TD targets stay comparably fresh.
+        super().on_weights_pulled(server_updates)
+        self._soft_update_targets()
+
+    def _soft_update_targets(self) -> None:
+        # Polyak soft update of the targets.
+        online = flatten_params(self.container).astype(np.float64)
+        target = flatten_params(self.targets).astype(np.float64)
+        load_flat_params(
+            self.targets, (1.0 - self.tau) * target + self.tau * online
+        )

@@ -1,0 +1,206 @@
+"""DQN (Mnih et al., 2013/2015) — the paper's flagship workload.
+
+Standard ingredients: an MLP Q-network, a periodically synced target
+network, an ε-greedy behaviour policy with linear decay, uniform
+experience replay, and the Huber TD loss.  One *iteration* (one
+``compute_gradient`` call) takes ``env_steps_per_iter`` environment steps
+and produces one minibatch gradient — matching the paper's accounting
+where DQN runs millions of small-iteration updates.
+
+Extensions beyond the 2015 recipe (both off by default):
+
+* ``double_dqn`` — Double DQN (van Hasselt et al., 2016): the online
+  network selects the bootstrap action, the target network evaluates it,
+  removing the max-operator overestimation bias.
+* ``n_step > 1`` — n-step TD targets: transitions entering the replay
+  buffer carry the discounted sum of the next n rewards and bootstrap
+  from the state n steps ahead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Adam, Tensor, huber_loss, mlp, no_grad
+from ..nn.layers import Module
+from ..nn.serialize import flatten_params, load_flat_params
+from .base import Algorithm
+from .envs.base import Environment
+from .replay import ReplayBuffer, Transition
+from .spaces import Discrete
+
+__all__ = ["DQN"]
+
+
+class _QContainer(Module):
+    """Holds the online Q-network (the only *trained* parameters)."""
+
+    def __init__(self, q_net) -> None:
+        super().__init__()
+        self.q_net = q_net
+
+
+class DQN(Algorithm):
+    name = "dqn"
+
+    def __init__(
+        self,
+        env: Environment,
+        hidden=(64, 64),
+        lr: float = 1e-3,
+        gamma: float = 0.99,
+        batch_size: int = 32,
+        buffer_capacity: int = 20_000,
+        warmup: int = 500,
+        target_sync_every: int = 100,
+        env_steps_per_iter: int = 4,
+        epsilon_start: float = 1.0,
+        epsilon_final: float = 0.05,
+        epsilon_decay_updates: int = 2_000,
+        double_dqn: bool = False,
+        n_step: int = 1,
+        seed: Optional[int] = None,
+        init_seed: Optional[int] = None,
+    ) -> None:
+        if not isinstance(env.action_space, Discrete):
+            raise TypeError("DQN requires a discrete action space")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        if n_step < 1:
+            raise ValueError(f"n_step must be >= 1, got {n_step}")
+        self.env = env
+        self.rng = np.random.default_rng(seed)
+        self.gamma = gamma
+        self.batch_size = batch_size
+        self.warmup = max(warmup, batch_size)
+        self.target_sync_every = target_sync_every
+        self.env_steps_per_iter = env_steps_per_iter
+        self.epsilon_start = epsilon_start
+        self.epsilon_final = epsilon_final
+        self.epsilon_decay_updates = epsilon_decay_updates
+        self.double_dqn = double_dqn
+        self.n_step = n_step
+        self._pending: deque = deque()
+
+        n_actions = env.action_space.n
+        sizes = [env.observation_size, *hidden, n_actions]
+        model_rng = np.random.default_rng(seed if init_seed is None else init_seed)
+        q_net = mlp(sizes, rng=model_rng)
+        super().__init__(_QContainer(q_net))
+        self.q_net = q_net
+        self.target_net = mlp(sizes, rng=np.random.default_rng(0))
+        self._sync_target()
+        self.optimizer = Adam(self.container.parameters(), lr=lr)
+        self.buffer = ReplayBuffer(buffer_capacity, self.rng)
+        self._obs = env.reset()
+
+    # ------------------------------------------------------------------
+    # Acting
+    # ------------------------------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        """Linearly decayed exploration rate, driven by applied updates so
+        all strategies see the same schedule per weight version."""
+        fraction = min(1.0, self.updates_applied / self.epsilon_decay_updates)
+        return self.epsilon_start + fraction * (
+            self.epsilon_final - self.epsilon_start
+        )
+
+    def act(self, obs: np.ndarray, greedy: bool = False) -> int:
+        if not greedy and self.rng.random() < self.epsilon:
+            return self.env.action_space.sample(self.rng)
+        with no_grad():
+            q_values = self.q_net(Tensor(obs[None, :])).numpy()
+        return int(np.argmax(q_values[0]))
+
+    def _env_step(self, greedy: bool = False) -> None:
+        action = self.act(self._obs, greedy=greedy)
+        next_obs, reward, done, _ = self.env.step(action)
+        if self.n_step == 1:
+            self.buffer.push(
+                Transition(self._obs, action, reward, next_obs, done)
+            )
+        else:
+            self._accumulate_n_step(self._obs, action, reward, next_obs, done)
+        self._track_reward(reward, done)
+        self._obs = self.env.reset() if done else next_obs
+
+    def _accumulate_n_step(self, obs, action, reward, next_obs, done) -> None:
+        """Fold the newest step into pending n-step transitions.
+
+        A pending transition matures when it has absorbed ``n_step``
+        rewards (bootstrapping from the state n steps ahead) or when the
+        episode ends (no bootstrap left to wait for).
+        """
+        self._pending.append([obs, action, 0.0, next_obs, done, 0])
+        for entry in self._pending:
+            entry[2] += reward * (self.gamma ** entry[5])
+            entry[3] = next_obs
+            entry[4] = done
+            entry[5] += 1
+        while self._pending and (
+            self._pending[0][5] >= self.n_step or done
+        ):
+            first = self._pending.popleft()
+            self.buffer.push(
+                Transition(first[0], first[1], first[2], first[3], first[4])
+            )
+
+    # ------------------------------------------------------------------
+    # The LGC stage
+    # ------------------------------------------------------------------
+    def compute_gradient(self) -> np.ndarray:
+        while len(self.buffer) < self.warmup:
+            self._env_step()
+        for _ in range(self.env_steps_per_iter):
+            self._env_step()
+
+        batch = self.buffer.sample(self.batch_size)
+        with no_grad():
+            next_q = self.target_net(Tensor(batch.next_states)).numpy()
+            if self.double_dqn:
+                # Online net selects, target net evaluates.
+                online_next = self.q_net(Tensor(batch.next_states)).numpy()
+                best = np.argmax(online_next, axis=1)
+                bootstrap = next_q[np.arange(len(best)), best]
+            else:
+                bootstrap = next_q.max(axis=1)
+        # n-step transitions already carry the discounted reward sum; the
+        # bootstrap therefore discounts by gamma^n.
+        discount = self.gamma**self.n_step
+        targets = batch.rewards + discount * bootstrap * (1.0 - batch.dones)
+
+        self.container.zero_grad()
+        q_values = self.q_net(Tensor(batch.states))
+        chosen = q_values.gather(batch.actions.astype(np.int64))
+        loss = huber_loss(chosen, Tensor(targets))
+        loss.backward()
+        return self.gradient_vector()
+
+    # ------------------------------------------------------------------
+    # The LWU stage
+    # ------------------------------------------------------------------
+    def _optimizer_step(self) -> None:
+        self.optimizer.step()
+
+    def _after_update(self) -> None:
+        if self.updates_applied % self.target_sync_every == 0:
+            self._sync_target()
+
+    def on_weights_pulled(self, server_updates: int) -> None:
+        # Re-sync the target on the same update cadence the server follows,
+        # driving the ε schedule from the server's progress.
+        previous = self.updates_applied
+        super().on_weights_pulled(server_updates)
+        if server_updates // self.target_sync_every > previous // self.target_sync_every:
+            self._sync_target()
+
+    def _sync_target(self) -> None:
+        load_flat_params(self.target_net, flatten_params(self.q_net))
+
+    def sync_target_now(self) -> None:
+        """Explicit target refresh (used by async PS workers on pull)."""
+        self._sync_target()

@@ -1,0 +1,59 @@
+"""The environment interface all simulated workloads implement.
+
+The paper trains on Atari (DQN, A2C) and MuJoCo (PPO, DDPG); neither is
+available offline, so :mod:`repro.rl.envs` provides NumPy stand-ins with
+the same *interaction structure*: episodic, reward-dense enough to learn
+in thousands of iterations, discrete-action arcade dynamics for the Atari
+slots and continuous-control locomotion for the MuJoCo slots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..spaces import Box, Discrete
+
+__all__ = ["Environment", "StepResult"]
+
+StepResult = Tuple[np.ndarray, float, bool, Dict[str, Any]]
+
+
+class Environment:
+    """Gym-style episodic environment."""
+
+    #: Set by subclasses.
+    observation_size: int
+    action_space: Union[Discrete, Box]
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.rng = np.random.default_rng(seed)
+        self._needs_reset = True
+
+    def seed(self, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode; returns the initial observation."""
+        self._needs_reset = False
+        return self._reset()
+
+    def step(self, action) -> StepResult:
+        """Advance one step; returns (obs, reward, done, info)."""
+        if self._needs_reset:
+            raise RuntimeError(
+                f"{type(self).__name__}.step() called before reset() "
+                "(or after a terminal step)"
+            )
+        obs, reward, done, info = self._step(action)
+        if done:
+            self._needs_reset = True
+        return obs, float(reward), bool(done), info
+
+    # Subclass hooks -----------------------------------------------------
+    def _reset(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _step(self, action) -> StepResult:
+        raise NotImplementedError

@@ -1,0 +1,92 @@
+"""GridQbert: the discrete arcade stand-in for Atari "Qbert" (A2C workload).
+
+The agent hops across a triangular pyramid of cubes (rows 0..K−1, row r
+has r+1 cubes).  Every first visit paints the cube (+1); hopping off the
+pyramid costs −1 and ends the episode; painting the whole pyramid earns a
++5 bonus and ends the episode.  Four actions move diagonally, mirroring
+the original game's movement set.
+
+The observation encodes the agent position (row, column, both normalized)
+plus the paint state of the cubes in a fixed-size bitmap, so the policy
+must learn both navigation and coverage — a denser analogue of Qbert's
+objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spaces import Discrete
+from .base import Environment, StepResult
+
+__all__ = ["GridQbert"]
+
+#: (d_row, d_col) per action: up-left, up-right, down-left, down-right.
+_MOVES = ((-1, -1), (-1, 0), (1, 0), (1, 1))
+
+
+class GridQbert(Environment):
+    action_space = Discrete(4)
+
+    def __init__(self, seed=None, rows: int = 5, max_steps: int = 120) -> None:
+        super().__init__(seed)
+        if rows < 2:
+            raise ValueError(f"need at least 2 rows, got {rows}")
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        self.rows = rows
+        self.max_steps = max_steps
+        self.n_cubes = rows * (rows + 1) // 2
+        self.observation_size = 2 + self.n_cubes
+        self._painted = np.zeros(self.n_cubes, dtype=np.float64)
+        self._row = 0
+        self._col = 0
+        self._steps = 0
+
+    def _cube_index(self, row: int, col: int) -> int:
+        return row * (row + 1) // 2 + col
+
+    def _reset(self) -> np.ndarray:
+        self._painted[:] = 0.0
+        self._row, self._col = 0, 0
+        self._painted[0] = 1.0
+        self._steps = 0
+        return self._observe()
+
+    def _step(self, action) -> StepResult:
+        if not self.action_space.contains(action):
+            raise ValueError(f"invalid GridQbert action: {action!r}")
+        self._steps += 1
+        d_row, d_col = _MOVES[int(action)]
+        row, col = self._row + d_row, self._col + d_col
+
+        if row < 0 or row >= self.rows or col < 0 or col > row:
+            # Hopped off the pyramid.
+            return self._observe(), -1.0, True, {"fell": True}
+
+        self._row, self._col = row, col
+        index = self._cube_index(row, col)
+        reward = 0.0
+        info = {}
+        if self._painted[index] == 0.0:
+            self._painted[index] = 1.0
+            reward = 1.0
+            info["painted"] = True
+
+        done = False
+        if self._painted.all():
+            reward += 5.0
+            done = True
+            info["cleared"] = True
+        elif self._steps >= self.max_steps:
+            done = True
+        return self._observe(), reward, done, info
+
+    def _observe(self) -> np.ndarray:
+        position = np.array(
+            [
+                2.0 * self._row / (self.rows - 1) - 1.0,
+                2.0 * self._col / max(1, self.rows - 1) - 1.0,
+            ]
+        )
+        return np.concatenate([position, self._painted])

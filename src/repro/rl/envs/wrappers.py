@@ -1,0 +1,121 @@
+"""Environment wrappers: observation/reward transforms.
+
+The paper's reference implementations (OpenAI Baselines lineage) wrap
+their environments with observation normalization and frame stacking;
+these NumPy equivalents make the stand-in workloads configurable the same
+way.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+import numpy as np
+
+from .base import Environment, StepResult
+
+__all__ = ["Wrapper", "NormalizeObservation", "FrameStack", "ScaleReward"]
+
+
+class Wrapper(Environment):
+    """Base: forwards everything to the wrapped environment."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.rng = env.rng
+        self._needs_reset = True
+        self.observation_size = env.observation_size
+        self.action_space = env.action_space
+
+    def seed(self, seed: int) -> None:
+        self.env.seed(seed)
+        self.rng = self.env.rng
+
+    def _reset(self) -> np.ndarray:
+        return self.observation(self.env.reset())
+
+    def _step(self, action) -> StepResult:
+        obs, reward, done, info = self.env.step(action)
+        return self.observation(obs), self.reward(reward), done, info
+
+    # Transform hooks ----------------------------------------------------
+    def observation(self, obs: np.ndarray) -> np.ndarray:
+        return obs
+
+    def reward(self, reward: float) -> float:
+        return reward
+
+
+class NormalizeObservation(Wrapper):
+    """Online per-dimension standardization (Welford running moments).
+
+    Statistics update on every observation seen, so early training sees
+    slightly drifting normalization — the standard trade-off the Baselines
+    wrapper makes too.
+    """
+
+    def __init__(self, env: Environment, epsilon: float = 1e-8) -> None:
+        super().__init__(env)
+        self.epsilon = epsilon
+        self._count = 0
+        self._mean = np.zeros(env.observation_size)
+        self._m2 = np.zeros(env.observation_size)
+
+    def observation(self, obs: np.ndarray) -> np.ndarray:
+        self._count += 1
+        delta = obs - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (obs - self._mean)
+        if self._count < 2:
+            return obs - self._mean
+        std = np.sqrt(self._m2 / (self._count - 1)) + self.epsilon
+        return (obs - self._mean) / std
+
+    @property
+    def running_mean(self) -> np.ndarray:
+        return self._mean.copy()
+
+    @property
+    def running_std(self) -> np.ndarray:
+        if self._count < 2:
+            return np.ones_like(self._mean)
+        return np.sqrt(self._m2 / (self._count - 1))
+
+
+class FrameStack(Wrapper):
+    """Concatenate the last ``k`` observations (Atari-style history)."""
+
+    def __init__(self, env: Environment, k: int = 4) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        super().__init__(env)
+        self.k = k
+        self.observation_size = env.observation_size * k
+        self._frames: deque = deque(maxlen=k)
+
+    def _reset(self) -> np.ndarray:
+        obs = self.env.reset()
+        self._frames.clear()
+        for _ in range(self.k):
+            self._frames.append(obs)
+        return self._stacked()
+
+    def _step(self, action) -> StepResult:
+        obs, reward, done, info = self.env.step(action)
+        self._frames.append(obs)
+        return self._stacked(), reward, done, info
+
+    def _stacked(self) -> np.ndarray:
+        return np.concatenate(list(self._frames))
+
+
+class ScaleReward(Wrapper):
+    """Multiply rewards by a constant (reward shaping/clipping stand-in)."""
+
+    def __init__(self, env: Environment, scale: float) -> None:
+        if scale == 0:
+            raise ValueError("scale must be non-zero")
+        super().__init__(env)
+        self.scale = scale
+
+    def reward(self, reward: float) -> float:
+        return reward * self.scale

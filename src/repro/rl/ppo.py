@@ -1,0 +1,203 @@
+"""PPO with a clipped surrogate objective (Schulman et al., 2017).
+
+The policy is a diagonal Gaussian over continuous actions: an MLP outputs
+the mean, and a state-independent learnable ``log_std`` vector sets the
+spread — the architecture the paper's reference implementation
+(pytorch-a2c-ppo-acktr) uses for MuJoCo.
+
+With ``epochs=1`` (the default) each ``compute_gradient`` call collects a
+fresh on-policy rollout, computes GAE(λ) advantages, and returns the
+gradient of the clipped surrogate over the whole batch.  With
+``epochs > 1`` (classic PPO) the rollout is reused: the next ``epochs−1``
+calls return surrogate gradients against the *same* stored rollout and
+old-policy log-probabilities — each still one gradient per distributed
+iteration, so the aggregation pattern is unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Adam, Tensor, mse_loss, mlp, no_grad
+from ..nn.layers import Module, Parameter
+from .base import Algorithm
+from .envs.base import Environment
+from .spaces import Box
+
+__all__ = ["PPO", "GaussianActorCritic", "gae_advantages"]
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+class GaussianActorCritic(Module):
+    """Gaussian policy (mean MLP + log_std vector) and a value MLP."""
+
+    def __init__(self, obs_size: int, action_dim: int, hidden, rng) -> None:
+        super().__init__()
+        self.mean = mlp([obs_size, *hidden, action_dim], rng=rng, activation="tanh")
+        self.log_std = Parameter(np.full(action_dim, -0.5), name="log_std")
+        self.value = mlp([obs_size, *hidden, 1], rng=rng, activation="tanh")
+
+    def log_prob(self, states: Tensor, actions: np.ndarray) -> Tensor:
+        """Per-sample log π(a|s) under the current parameters."""
+        mean = self.mean(states)
+        std = self.log_std.exp()
+        normalized = (Tensor(actions) - mean) / std
+        per_dim = (
+            -0.5 * (normalized * normalized)
+            - self.log_std
+            - Tensor(0.5 * _LOG_2PI)
+        )
+        return per_dim.sum(axis=-1)
+
+    def entropy(self) -> Tensor:
+        """Differential entropy of the diagonal Gaussian (state-free)."""
+        return (self.log_std + Tensor(0.5 * (_LOG_2PI + 1.0))).sum()
+
+
+def gae_advantages(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    dones: np.ndarray,
+    bootstrap: float,
+    gamma: float,
+    lam: float,
+) -> np.ndarray:
+    """Generalized advantage estimation, GAE(γ, λ)."""
+    advantages = np.zeros_like(rewards)
+    next_value = bootstrap
+    running = 0.0
+    for t in range(len(rewards) - 1, -1, -1):
+        not_done = 1.0 - dones[t]
+        delta = rewards[t] + gamma * next_value * not_done - values[t]
+        running = delta + gamma * lam * not_done * running
+        advantages[t] = running
+        next_value = values[t]
+    return advantages
+
+
+class PPO(Algorithm):
+    name = "ppo"
+
+    def __init__(
+        self,
+        env: Environment,
+        hidden=(32, 32),
+        lr: float = 3e-4,
+        gamma: float = 0.99,
+        lam: float = 0.95,
+        rollout_steps: int = 64,
+        clip_epsilon: float = 0.2,
+        value_coef: float = 0.5,
+        entropy_coef: float = 0.0,
+        epochs: int = 1,
+        seed: Optional[int] = None,
+        init_seed: Optional[int] = None,
+    ) -> None:
+        if not isinstance(env.action_space, Box):
+            raise TypeError("this PPO implementation targets continuous control")
+        if not 0.0 < clip_epsilon < 1.0:
+            raise ValueError(f"clip_epsilon must be in (0, 1), got {clip_epsilon}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.env = env
+        self.rng = np.random.default_rng(seed)
+        self.gamma = gamma
+        self.lam = lam
+        self.rollout_steps = rollout_steps
+        self.clip_epsilon = clip_epsilon
+        self.value_coef = value_coef
+        self.entropy_coef = entropy_coef
+        self.epochs = epochs
+        self._stored_rollout = None
+        self._epochs_used = 0
+
+        container = GaussianActorCritic(
+            env.observation_size,
+            env.action_space.dim,
+            hidden,
+            rng=np.random.default_rng(seed if init_seed is None else init_seed),
+        )
+        super().__init__(container)
+        self.optimizer = Adam(container.parameters(), lr=lr)
+        self._obs = env.reset()
+
+    # ------------------------------------------------------------------
+    def act(self, obs: np.ndarray) -> np.ndarray:
+        with no_grad():
+            mean = self.container.mean(Tensor(obs[None, :])).numpy()[0]
+            std = np.exp(self.container.log_std.numpy())
+        action = mean + std * self.rng.standard_normal(mean.shape)
+        return self.env.action_space.clip(action)
+
+    def compute_gradient(self) -> np.ndarray:
+        if self._stored_rollout is not None and self._epochs_used < self.epochs:
+            self._epochs_used += 1
+            return self._surrogate_gradient(*self._stored_rollout)
+        rollout = self._collect_rollout()
+        self._stored_rollout = rollout
+        self._epochs_used = 1
+        return self._surrogate_gradient(*rollout)
+
+    def _collect_rollout(self):
+        observations, actions, rewards, dones = [], [], [], []
+        for _ in range(self.rollout_steps):
+            action = self.act(self._obs)
+            next_obs, reward, done, _ = self.env.step(action)
+            observations.append(self._obs)
+            actions.append(action)
+            rewards.append(reward)
+            dones.append(done)
+            self._track_reward(reward, done)
+            self._obs = self.env.reset() if done else next_obs
+
+        states = np.stack(observations)
+        actions_arr = np.stack(actions)
+        rewards_arr = np.asarray(rewards, dtype=np.float64)
+        dones_arr = np.asarray(dones, dtype=np.float64)
+
+        with no_grad():
+            values = self.container.value(Tensor(states)).numpy().reshape(-1)
+            bootstrap = float(
+                self.container.value(Tensor(self._obs[None, :])).numpy()[0, 0]
+            )
+            old_log_probs = self.container.log_prob(
+                Tensor(states), actions_arr
+            ).numpy()
+
+        advantages = gae_advantages(
+            rewards_arr, values, dones_arr, bootstrap, self.gamma, self.lam
+        )
+        returns = advantages + values
+        advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+        return states, actions_arr, old_log_probs, advantages, returns
+
+    def _surrogate_gradient(
+        self, states, actions_arr, old_log_probs, advantages, returns
+    ) -> np.ndarray:
+        states = np.asarray(states)
+        self.container.zero_grad()
+        log_probs = self.container.log_prob(Tensor(states), actions_arr)
+        ratio = (log_probs - Tensor(old_log_probs)).exp()
+        adv = Tensor(advantages)
+        unclipped = ratio * adv
+        clipped = ratio.clip(1.0 - self.clip_epsilon, 1.0 + self.clip_epsilon) * adv
+        # min(a, b) = b + (a - b) clipped to (-inf, 0]; avoid needing a
+        # dedicated minimum op by using the standard identity
+        # min(a,b) = 0.5*(a + b - |a - b|).
+        surrogate = 0.5 * (unclipped + clipped - (unclipped - clipped).abs())
+        policy_loss = -surrogate.mean()
+        value_loss = mse_loss(
+            self.container.value(Tensor(states)).reshape(-1), Tensor(returns)
+        )
+        loss = policy_loss + self.value_coef * value_loss
+        if self.entropy_coef:
+            loss = loss - self.entropy_coef * self.container.entropy()
+        loss.backward()
+        return self.gradient_vector()
+
+    def _optimizer_step(self) -> None:
+        self.optimizer.step()

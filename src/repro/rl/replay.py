@@ -1,0 +1,67 @@
+"""Experience replay buffer (DQN and DDPG)."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = ["Transition", "ReplayBuffer"]
+
+
+class Transition(NamedTuple):
+    """One (s, a, r, s', done) tuple; ``action`` is an int or a vector."""
+
+    state: np.ndarray
+    action: object
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+class Batch(NamedTuple):
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_states: np.ndarray
+    dones: np.ndarray
+
+
+class ReplayBuffer:
+    """A fixed-capacity ring buffer with uniform random sampling."""
+
+    def __init__(self, capacity: int, rng: np.random.Generator) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.rng = rng
+        self._storage: list = []
+        self._cursor = 0
+
+    def push(self, transition: Transition) -> None:
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> Batch:
+        """Sample ``batch_size`` transitions uniformly (with replacement
+        disabled when the buffer is large enough)."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if not self._storage:
+            raise ValueError("cannot sample from an empty replay buffer")
+        replace = batch_size > len(self._storage)
+        indices = self.rng.choice(len(self._storage), size=batch_size, replace=replace)
+        transitions = [self._storage[i] for i in indices]
+        return Batch(
+            states=np.stack([t.state for t in transitions]),
+            actions=np.asarray([t.action for t in transitions]),
+            rewards=np.asarray([t.reward for t in transitions], dtype=np.float64),
+            next_states=np.stack([t.next_state for t in transitions]),
+            dones=np.asarray([t.done for t in transitions], dtype=np.float64),
+        )
+
+    def __len__(self) -> int:
+        return len(self._storage)

@@ -1,0 +1,22 @@
+"""Workload profiles and host cost models calibrated to the paper."""
+
+from .calibration import DEFAULT_COST_MODEL, CostModel
+from .profiles import (
+    BREAKDOWN_COMPONENTS,
+    KB,
+    MB,
+    PROFILES,
+    WorkloadProfile,
+    get_profile,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "WorkloadProfile",
+    "PROFILES",
+    "get_profile",
+    "BREAKDOWN_COMPONENTS",
+    "KB",
+    "MB",
+]

@@ -1,0 +1,240 @@
+"""Unit tests for the in-switch aggregation engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import (
+    AcceleratorTiming,
+    AggregationEngine,
+    VectorGranularityEngine,
+)
+from repro.core.protocol import DataSegment
+
+
+def seg(index, values, sender="w", commit=0):
+    return DataSegment(
+        seg=index,
+        data=np.asarray(values, dtype=np.float32),
+        sender=sender,
+        commit_id=commit,
+    )
+
+
+class TestThresholdCompletion:
+    def test_completes_at_threshold(self):
+        engine = AggregationEngine(threshold=3)
+        assert engine.contribute(seg(0, [1.0], "a")) is None
+        assert engine.contribute(seg(0, [2.0], "b")) is None
+        result = engine.contribute(seg(0, [3.0], "c"))
+        assert result is not None
+        assert result.data[0] == pytest.approx(6.0)
+
+    def test_counter_resets_after_completion(self):
+        engine = AggregationEngine(threshold=2)
+        engine.contribute(seg(0, [1.0], "a"))
+        engine.contribute(seg(0, [1.0], "b"))
+        # A second round over the same Seg number starts fresh.
+        assert engine.contribute(seg(0, [5.0], "a")) is None
+        result = engine.contribute(seg(0, [5.0], "b"))
+        assert result.data[0] == pytest.approx(10.0)
+
+    def test_independent_segments(self):
+        engine = AggregationEngine(threshold=2)
+        engine.contribute(seg(0, [1.0], "a"))
+        engine.contribute(seg(1, [10.0], "a"))
+        result0 = engine.contribute(seg(0, [2.0], "b"))
+        result1 = engine.contribute(seg(1, [20.0], "b"))
+        assert result0.data[0] == pytest.approx(3.0)
+        assert result1.data[0] == pytest.approx(30.0)
+
+    def test_threshold_one_passthrough(self):
+        engine = AggregationEngine(threshold=1)
+        result = engine.contribute(seg(5, [7.0]))
+        assert result.data[0] == pytest.approx(7.0)
+
+    def test_shape_mismatch_rejected(self):
+        engine = AggregationEngine(threshold=2)
+        engine.contribute(seg(0, [1.0, 2.0], "a"))
+        with pytest.raises(ValueError, match="shape"):
+            engine.contribute(seg(0, [1.0], "b"))
+
+    def test_vector_sum_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        engine = AggregationEngine(threshold=4)
+        vectors = [rng.standard_normal(128).astype(np.float32) for _ in range(4)]
+        result = None
+        for i, v in enumerate(vectors):
+            result = engine.contribute(seg(0, v, sender=f"w{i}"))
+        np.testing.assert_allclose(result.data, sum(vectors), rtol=1e-6)
+
+
+class TestControlOperations:
+    def test_set_threshold(self):
+        engine = AggregationEngine(threshold=4)
+        engine.set_threshold(2)
+        engine.contribute(seg(0, [1.0], "a"))
+        assert engine.contribute(seg(0, [1.0], "b")) is not None
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            AggregationEngine(threshold=0)
+        with pytest.raises(ValueError):
+            AggregationEngine().set_threshold(0)
+
+    def test_reset_clears_state(self):
+        engine = AggregationEngine(threshold=2)
+        engine.contribute(seg(0, [1.0], "a"))
+        engine.reset()
+        assert engine.pending_count(0) == 0
+        assert engine.live_segments == 0
+        engine.contribute(seg(0, [5.0], "a"))
+        result = engine.contribute(seg(0, [5.0], "b"))
+        assert result.data[0] == pytest.approx(10.0)
+
+    def test_force_broadcast_partial(self):
+        engine = AggregationEngine(threshold=4)
+        engine.contribute(seg(0, [1.0], "a"))
+        engine.contribute(seg(0, [2.0], "b"))
+        result = engine.force_broadcast(0)
+        assert result.data[0] == pytest.approx(3.0)
+        assert engine.stats.forced_broadcasts == 1
+
+    def test_force_broadcast_unknown_seg(self):
+        engine = AggregationEngine(threshold=2)
+        assert engine.force_broadcast(42) is None
+
+    def test_result_cache_for_help(self):
+        engine = AggregationEngine(threshold=1)
+        engine.contribute(seg(9, [4.0]))
+        cached = engine.cached_result(9)
+        assert cached is not None
+        assert cached.data[0] == pytest.approx(4.0)
+        assert engine.cached_result(10) is None
+
+    def test_cache_eviction(self):
+        engine = AggregationEngine(threshold=1, cache_size=10)
+        for i in range(25):
+            engine.contribute(seg(i, [1.0]))
+        assert engine.cached_result(24) is not None
+        assert engine.cached_result(0) is None
+
+
+class TestDedup:
+    def test_duplicates_dropped_in_dedup_mode(self):
+        engine = AggregationEngine(threshold=2, dedup=True)
+        engine.contribute(seg(0, [1.0], "a", commit=1))
+        assert engine.contribute(seg(0, [1.0], "a", commit=1)) is None
+        assert engine.stats.duplicates_dropped == 1
+        result = engine.contribute(seg(0, [2.0], "b", commit=1))
+        assert result.data[0] == pytest.approx(3.0)
+
+    def test_counter_mode_counts_duplicates(self):
+        engine = AggregationEngine(threshold=2, dedup=False)
+        engine.contribute(seg(0, [1.0], "a", commit=1))
+        result = engine.contribute(seg(0, [1.0], "a", commit=1))
+        assert result is not None  # pure counter semantics (the hardware)
+        assert result.data[0] == pytest.approx(2.0)
+
+
+class TestBufferLimit:
+    def test_oldest_evicted_beyond_limit(self):
+        engine = AggregationEngine(threshold=2, buffer_limit=3)
+        for i in range(6):
+            engine.contribute(seg(i, [1.0], "a"))
+        assert engine.live_segments <= 3
+        assert engine.stats.evictions == 3
+        # The newest segments survive.
+        assert engine.pending_count(5) == 1
+        assert engine.pending_count(0) == 0
+
+    def test_invalid_buffer_limit(self):
+        with pytest.raises(ValueError):
+            AggregationEngine(buffer_limit=0)
+
+
+class TestArrivalRenumbering:
+    def test_any_h_contributions_complete_a_round(self):
+        engine = AggregationEngine(threshold=2)
+        engine.arrival_renumber = 1  # single-chunk vectors
+        # Two commits from the SAME worker complete round 0.
+        engine.contribute(seg(0, [1.0], "fast", commit=1))
+        result = engine.contribute(seg(7, [2.0], "fast", commit=2))
+        assert result is not None
+        assert result.seg == 0  # renumbered to round 0
+        assert result.data[0] == pytest.approx(3.0)
+
+    def test_rounds_advance_with_arrivals(self):
+        engine = AggregationEngine(threshold=2)
+        engine.arrival_renumber = 1
+        engine.contribute(seg(0, [1.0]))
+        first = engine.contribute(seg(0, [1.0]))
+        engine.contribute(seg(0, [1.0]))
+        second = engine.contribute(seg(0, [1.0]))
+        assert first.seg == 0
+        assert second.seg == 1
+
+    def test_chunk_offsets_preserved(self):
+        engine = AggregationEngine(threshold=1)
+        engine.arrival_renumber = 4
+        result = engine.contribute(seg(4 * 9 + 2, [1.0]))
+        assert result.seg % 4 == 2
+
+
+class TestTiming:
+    def test_latency_proportional_to_bursts(self):
+        timing = AcceleratorTiming()
+        small = timing.processing_latency(32)
+        large = timing.processing_latency(320)
+        assert large > small
+        # 10 bursts + 8 pipeline cycles at 200 MHz.
+        assert large == pytest.approx((10 + 8) / 200e6)
+
+    def test_paper_segment_under_microsecond(self):
+        # A full 1464-byte segment: the accelerator is a bump in the wire.
+        latency = AcceleratorTiming().processing_latency(1464)
+        assert latency < 1e-6
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorTiming().processing_latency(-1)
+
+    def test_busy_time_accumulates(self):
+        engine = AggregationEngine()
+        engine.processing_latency(1000)
+        engine.processing_latency(1000)
+        assert engine.stats.busy_time == pytest.approx(
+            2 * AcceleratorTiming().processing_latency(1000)
+        )
+
+
+class TestVectorGranularity:
+    def test_holds_until_whole_round_complete(self):
+        engine = VectorGranularityEngine(n_chunks=2, threshold=2)
+        assert engine.contribute(seg(0, [1.0], "a")) is None
+        assert engine.contribute(seg(0, [2.0], "b")) is None  # chunk 0 done, held
+        assert engine.contribute(seg(1, [3.0], "a")) is None
+        results = engine.contribute(seg(1, [4.0], "b"))
+        assert isinstance(results, list)
+        assert [r.seg for r in results] == [0, 1]
+        assert results[0].data[0] == pytest.approx(3.0)
+        assert results[1].data[0] == pytest.approx(7.0)
+
+    def test_rounds_are_independent(self):
+        engine = VectorGranularityEngine(n_chunks=2, threshold=1)
+        first = engine.contribute(seg(0, [1.0]))
+        assert first is None
+        batch = engine.contribute(seg(1, [1.0]))
+        assert len(batch) == 2
+        # Next round (segs 2, 3).
+        assert engine.contribute(seg(2, [1.0])) is None
+        assert len(engine.contribute(seg(3, [1.0]))) == 2
+
+    def test_reset_clears_held(self):
+        engine = VectorGranularityEngine(n_chunks=2, threshold=1)
+        engine.contribute(seg(0, [1.0]))
+        engine.reset()
+        assert engine.contribute(seg(0, [1.0])) is None  # held again, not stale
+
+    def test_invalid_n_chunks(self):
+        with pytest.raises(ValueError):
+            VectorGranularityEngine(n_chunks=0)

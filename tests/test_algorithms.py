@@ -1,0 +1,257 @@
+"""Unit tests for the four RL algorithms (DQN, A2C, PPO, DDPG)."""
+
+import numpy as np
+import pytest
+
+from repro.rl import A2C, DDPG, DQN, PPO, Cheetah1D, GridPong, GridQbert, Hopper1D
+
+
+def make(workload, seed=0, **kw):
+    if workload == "dqn":
+        return DQN(GridPong(seed=seed), seed=seed, warmup=64, **kw)
+    if workload == "a2c":
+        return A2C(GridQbert(seed=seed), seed=seed, **kw)
+    if workload == "ppo":
+        return PPO(Hopper1D(seed=seed), seed=seed, rollout_steps=32, **kw)
+    return DDPG(Cheetah1D(seed=seed), seed=seed, warmup=64, **kw)
+
+
+ALL = ["dqn", "a2c", "ppo", "ddpg"]
+
+
+@pytest.mark.parametrize("workload", ALL)
+class TestAlgorithmContract:
+    def test_gradient_is_flat_float32(self, workload):
+        algo = make(workload)
+        gradient = algo.compute_gradient()
+        assert gradient.dtype == np.float32
+        assert gradient.shape == (algo.n_params,)
+
+    def test_gradient_nonzero(self, workload):
+        algo = make(workload)
+        gradient = algo.compute_gradient()
+        assert np.abs(gradient).sum() > 0
+
+    def test_apply_update_moves_weights(self, workload):
+        algo = make(workload)
+        before = algo.get_weights().copy()
+        gradient = algo.compute_gradient()
+        algo.apply_update(gradient.astype(np.float64))
+        assert not np.array_equal(algo.get_weights(), before)
+        assert algo.updates_applied == 1
+
+    def test_weights_roundtrip(self, workload):
+        algo = make(workload)
+        weights = algo.get_weights()
+        other = make(workload, seed=5)
+        other.set_weights(weights)
+        np.testing.assert_allclose(other.get_weights(), weights, rtol=1e-6)
+
+    def test_same_init_seed_same_weights(self, workload):
+        a = make(workload, seed=1, init_seed=77)
+        b = make(workload, seed=2, init_seed=77)
+        np.testing.assert_array_equal(a.get_weights(), b.get_weights())
+
+    def test_decentralized_determinism(self, workload):
+        """Replicas applying identical updates stay bit-identical —
+        the invariant behind iSwitch's decentralized weight storage."""
+        a = make(workload, seed=1, init_seed=3)
+        b = make(workload, seed=2, init_seed=3)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            update = rng.standard_normal(a.n_params) * 1e-3
+            a.apply_update(update)
+            b.apply_update(update)
+        np.testing.assert_array_equal(a.get_weights(), b.get_weights())
+
+    def test_episode_rewards_accumulate(self, workload):
+        algo = make(workload)
+        # DDPG takes a single env step per iteration and Cheetah1D episodes
+        # run 200 steps, so give it enough iterations to finish one.
+        iterations = 160 if workload == "ddpg" else 40
+        for _ in range(iterations):
+            algo.apply_update(algo.compute_gradient().astype(np.float64))
+        assert len(algo.episode_rewards) >= 1
+        assert algo.final_average_reward() != float("-inf")
+
+    def test_wire_bytes(self, workload):
+        algo = make(workload)
+        assert algo.wire_bytes == algo.n_params * 4
+
+
+class TestDQNSpecifics:
+    def test_epsilon_decays_with_updates(self):
+        algo = make("dqn", epsilon_decay_updates=10)
+        assert algo.epsilon == pytest.approx(1.0)
+        algo.updates_applied = 5
+        assert 0.05 < algo.epsilon < 1.0
+        algo.updates_applied = 100
+        assert algo.epsilon == pytest.approx(0.05)
+
+    def test_greedy_action_is_argmax(self):
+        algo = make("dqn")
+        obs = algo.env.reset()
+        from repro.nn import Tensor, no_grad
+
+        with no_grad():
+            q = algo.q_net(Tensor(obs[None, :])).numpy()[0]
+        assert algo.act(obs, greedy=True) == int(np.argmax(q))
+
+    def test_target_sync_cadence(self):
+        algo = make("dqn", target_sync_every=2)
+        from repro.nn import flatten_params
+
+        gradient = algo.compute_gradient().astype(np.float64)
+        algo.apply_update(gradient)
+        # After 1 update targets differ from online.
+        assert not np.allclose(
+            flatten_params(algo.target_net), flatten_params(algo.q_net)
+        )
+        algo.apply_update(gradient)
+        np.testing.assert_allclose(
+            flatten_params(algo.target_net), flatten_params(algo.q_net)
+        )
+
+    def test_on_weights_pulled_syncs_target(self):
+        algo = make("dqn", target_sync_every=10)
+        from repro.nn import flatten_params
+
+        new_weights = algo.get_weights() + 0.1
+        algo.set_weights(new_weights)
+        algo.on_weights_pulled(10)  # crosses the cadence boundary
+        np.testing.assert_allclose(
+            flatten_params(algo.target_net),
+            flatten_params(algo.q_net),
+            rtol=1e-6,
+        )
+        assert algo.updates_applied == 10
+
+    def test_warmup_fills_buffer(self):
+        algo = make("dqn")
+        algo.compute_gradient()
+        assert len(algo.buffer) >= algo.warmup
+
+
+class TestA2CSpecifics:
+    def test_discounted_returns(self):
+        from repro.rl.a2c import discounted_returns
+
+        returns = discounted_returns(
+            np.array([1.0, 1.0, 1.0]),
+            np.array([0.0, 0.0, 0.0]),
+            bootstrap=10.0,
+            gamma=0.5,
+        )
+        np.testing.assert_allclose(returns, [1 + 0.5 + 0.25 + 1.25, 1 + 0.5 + 2.5, 1 + 5.0])
+
+    def test_dones_cut_bootstrap(self):
+        from repro.rl.a2c import discounted_returns
+
+        returns = discounted_returns(
+            np.array([1.0, 1.0]),
+            np.array([1.0, 0.0]),
+            bootstrap=100.0,
+            gamma=0.9,
+        )
+        assert returns[0] == pytest.approx(1.0)  # episode ended at t=0
+
+    def test_policy_sampling_follows_logits(self):
+        algo = make("a2c")
+        counts = np.zeros(4)
+        obs = algo.env.reset()
+        for _ in range(200):
+            counts[algo.act(obs)] += 1
+        assert np.all(counts > 0)  # near-uniform at init
+
+
+class TestPPOSpecifics:
+    def test_gae_zero_when_values_exact(self):
+        from repro.rl.ppo import gae_advantages
+
+        rewards = np.array([1.0, 1.0, 1.0])
+        # V(s_t) that exactly predicts discounted-to-bootstrap returns.
+        gamma, lam = 0.9, 0.95
+        bootstrap = 2.0
+        values = np.zeros(3)
+        values[2] = rewards[2] + gamma * bootstrap
+        values[1] = rewards[1] + gamma * values[2]
+        values[0] = rewards[0] + gamma * values[1]
+        adv = gae_advantages(
+            rewards, values, np.zeros(3), bootstrap, gamma, lam
+        )
+        np.testing.assert_allclose(adv, 0.0, atol=1e-12)
+
+    def test_log_prob_matches_gaussian_formula(self):
+        algo = make("ppo")
+        from repro.nn import Tensor, no_grad
+
+        states = np.random.default_rng(0).standard_normal((4, 4))
+        actions = np.random.default_rng(1).standard_normal((4, 1))
+        with no_grad():
+            mean = algo.container.mean(Tensor(states)).numpy()
+            logp = algo.container.log_prob(Tensor(states), actions).numpy()
+        std = np.exp(algo.container.log_std.numpy())
+        expected = (
+            -0.5 * ((actions - mean) / std) ** 2
+            - np.log(std)
+            - 0.5 * np.log(2 * np.pi)
+        ).sum(axis=1)
+        np.testing.assert_allclose(logp, expected, rtol=1e-8)
+
+    def test_actions_clipped_to_space(self):
+        algo = make("ppo")
+        obs = algo.env.reset()
+        for _ in range(50):
+            action = algo.act(obs)
+            assert algo.env.action_space.contains(action)
+
+
+class TestDDPGSpecifics:
+    def test_ou_noise_is_temporally_correlated(self):
+        from repro.rl.ddpg import OUNoise
+
+        noise = OUNoise(1, np.random.default_rng(0))
+        samples = np.array([noise.sample()[0] for _ in range(500)])
+        lag1 = np.corrcoef(samples[:-1], samples[1:])[0, 1]
+        assert lag1 > 0.5
+
+    def test_ou_noise_reset(self):
+        from repro.rl.ddpg import OUNoise
+
+        noise = OUNoise(2, np.random.default_rng(0))
+        noise.sample()
+        noise.reset()
+        np.testing.assert_array_equal(noise.state, 0.0)
+
+    def test_targets_soft_update(self):
+        algo = make("ddpg", tau=0.5)
+        from repro.nn import flatten_params
+
+        online_before = flatten_params(algo.container).astype(np.float64)
+        target_before = flatten_params(algo.targets).astype(np.float64)
+        np.testing.assert_allclose(online_before, target_before, rtol=1e-6)
+        gradient = algo.compute_gradient().astype(np.float64)
+        algo.apply_update(gradient)
+        online = flatten_params(algo.container).astype(np.float64)
+        target = flatten_params(algo.targets).astype(np.float64)
+        expected = 0.5 * online_before + 0.5 * online
+        np.testing.assert_allclose(target, expected, atol=1e-5)
+
+    def test_actor_gradient_leaves_critic_grads_intact(self):
+        algo = make("ddpg")
+        gradient = algo.compute_gradient()
+        # The critic's share of the flat vector must equal the pure
+        # critic-loss gradient (actor backprop must not leak into it).
+        critic_params = set(id(p) for p in algo.container.critic.parameters())
+        offset = 0
+        for param in algo.container.parameters():
+            if id(param) in critic_params:
+                piece = gradient[offset : offset + param.size]
+                assert np.abs(piece).sum() > 0
+            offset += param.size
+
+    def test_actions_bounded_by_tanh(self):
+        algo = make("ddpg")
+        obs = algo.env.reset()
+        action = algo.act(obs, explore=False)
+        assert np.all(np.abs(action) <= 1.0)

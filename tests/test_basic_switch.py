@@ -1,0 +1,108 @@
+"""Unit tests for the regular store-and-forward Ethernet switch."""
+
+import pytest
+
+from repro.netsim.events import Simulator
+from repro.netsim.link import GBPS, Link
+from repro.netsim.node import Host
+from repro.netsim.packets import Packet
+from repro.netsim.switch import EthernetSwitch
+
+
+def star(sim, n=3, latency=1e-6):
+    switch = EthernetSwitch(sim, "sw", latency=latency)
+    hosts = []
+    for i in range(n):
+        host = Host(sim, f"h{i}")
+        link = Link(sim, bandwidth=10 * GBPS)
+        link.attach(host, switch)
+        switch.add_route(host.name, link.ends[1])
+        hosts.append(host)
+    return switch, hosts
+
+
+class TestForwarding:
+    def test_forwards_to_routed_destination(self):
+        sim = Simulator()
+        switch, hosts = star(sim)
+        got = []
+        hosts[1].bind(1, got.append)
+        hosts[0].send(Packet(src="h0", dst="h1", payload_size=10, dst_port=1))
+        sim.run()
+        assert len(got) == 1
+        assert switch.forwarded_packets == 1
+
+    def test_switch_latency_applied(self):
+        sim = Simulator()
+        switch, hosts = star(sim, latency=5e-6)
+        times = []
+        hosts[1].bind(1, lambda p: times.append(sim.now))
+        packet = Packet(src="h0", dst="h1", payload_size=100, dst_port=1)
+        hosts[0].send(packet)
+        sim.run()
+        serialization = packet.wire_size * 8 / (10 * GBPS)
+        expected = 2 * (serialization + 100e-9) + 5e-6
+        assert times[0] == pytest.approx(expected)
+
+    def test_unknown_destination_dropped(self):
+        sim = Simulator()
+        switch, hosts = star(sim)
+        hosts[0].send(Packet(src="h0", dst="nowhere", payload_size=10))
+        sim.run()
+        assert switch.dropped_packets == 1
+        assert switch.forwarded_packets == 0
+
+    def test_default_route_catches_unknown(self):
+        sim = Simulator()
+        switch, hosts = star(sim)
+        got = []
+        hosts[2].bind(1, got.append)
+        switch.set_default_route(switch.ports[2])
+        hosts[0].send(Packet(src="h0", dst="elsewhere", payload_size=10, dst_port=1))
+        sim.run()
+        assert len(got) == 1
+
+    def test_hairpin_dropped(self):
+        sim = Simulator()
+        switch, hosts = star(sim)
+        # Route h9 back out the ingress port of h0.
+        switch.add_route("h9", switch.ports[0])
+        hosts[0].send(Packet(src="h0", dst="h9", payload_size=10))
+        sim.run()
+        assert switch.dropped_packets == 1
+
+    def test_hop_count_increments(self):
+        sim = Simulator()
+        switch, hosts = star(sim)
+        seen = []
+        hosts[1].bind(1, seen.append)
+        hosts[0].send(Packet(src="h0", dst="h1", payload_size=10, dst_port=1))
+        sim.run()
+        assert seen[0].hops == 2  # host->switch, switch->host
+
+
+class TestConfiguration:
+    def test_route_must_use_own_port(self):
+        sim = Simulator()
+        switch, _ = star(sim)
+        other_switch, _ = star(sim)
+        with pytest.raises(ValueError, match="not a port"):
+            switch.add_route("x", other_switch.ports[0])
+
+    def test_default_route_must_use_own_port(self):
+        sim = Simulator()
+        switch, _ = star(sim)
+        other_switch, _ = star(sim)
+        with pytest.raises(ValueError, match="not a port"):
+            switch.set_default_route(other_switch.ports[0])
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            EthernetSwitch(Simulator(), "sw", latency=-1.0)
+
+    def test_lookup_prefers_exact_route(self):
+        sim = Simulator()
+        switch, hosts = star(sim)
+        switch.set_default_route(switch.ports[2])
+        assert switch.lookup("h0") is switch.ports[0]
+        assert switch.lookup("unknown") is switch.ports[2]

@@ -1,0 +1,126 @@
+"""Tests for the packet-capture tracer."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TOS_CONTROL,
+    TOS_DATA_UP,
+    AggregationClient,
+    SegmentPlan,
+    configure_aggregation,
+    iswitch_factory,
+)
+from repro.netsim import PacketCapture, Packet, Simulator, build_star
+
+
+def simple_pair():
+    sim = Simulator()
+    net = build_star(sim, 2)
+    return sim, net
+
+
+class TestCaptureBasics:
+    def test_records_received_packets(self):
+        sim, net = simple_pair()
+        capture = PacketCapture(net.workers[1])
+        net.workers[0].send(
+            Packet(src="worker0", dst="worker1", payload_size=100, dst_port=9)
+        )
+        sim.run()
+        assert len(capture) == 1
+        record = capture.records[0]
+        assert record.src == "worker0"
+        assert record.wire_size == 150
+        assert record.time == sim.now
+
+    def test_filter(self):
+        sim, net = simple_pair()
+        capture = PacketCapture(
+            net.workers[1], packet_filter=lambda p: p.dst_port == 7
+        )
+        for port in (7, 8, 7):
+            net.workers[0].send(
+                Packet(src="worker0", dst="worker1", payload_size=10, dst_port=port)
+            )
+        sim.run()
+        assert len(capture) == 2
+
+    def test_max_records(self):
+        sim, net = simple_pair()
+        capture = PacketCapture(net.workers[1], max_records=2)
+        for _ in range(5):
+            net.workers[0].send(
+                Packet(src="worker0", dst="worker1", payload_size=10)
+            )
+        sim.run()
+        assert len(capture) == 2
+        assert capture.dropped_records == 3
+
+    def test_detach_restores_handler(self):
+        sim, net = simple_pair()
+        capture = PacketCapture(net.workers[1])
+        capture.detach()
+        net.workers[0].send(
+            Packet(src="worker0", dst="worker1", payload_size=10)
+        )
+        sim.run()
+        assert len(capture) == 0
+        assert net.workers[1].rx_packets == 1  # traffic still flows
+
+    def test_device_still_processes_captured_packets(self):
+        sim, net = simple_pair()
+        got = []
+        net.workers[1].bind(9, got.append)
+        PacketCapture(net.workers[1])
+        net.workers[0].send(
+            Packet(src="worker0", dst="worker1", payload_size=10, dst_port=9)
+        )
+        sim.run()
+        assert len(got) == 1
+
+
+class TestTrafficAnalysis:
+    def test_control_traffic_negligible_vs_gradient_data(self):
+        """Attach a capture to the switch during one aggregation round:
+        iSwitch's own control overhead is a rounding error next to the
+        gradient payload, as a bump-in-the-wire extension should be."""
+        sim = Simulator()
+        net = build_star(sim, 4, switch_factory=iswitch_factory)
+        capture = PacketCapture(net.switches[0])
+        configure_aggregation(net)
+        plan = SegmentPlan(20_000)
+        clients = [AggregationClient(w, "tor0", plan) for w in net.workers]
+        # One control exchange each (Join), then the data.
+        for client in clients:
+            client.join()
+        for client in clients:
+            client.send_gradient(
+                np.ones(20_000, dtype=np.float32), round_index=0
+            )
+        sim.run()
+        by_tos = capture.by_tos()
+        assert by_tos[TOS_DATA_UP] > 100 * by_tos[TOS_CONTROL]
+
+    def test_between_window(self):
+        sim, net = simple_pair()
+        capture = PacketCapture(net.workers[1])
+        net.workers[0].send(Packet(src="worker0", dst="worker1", payload_size=10))
+        sim.schedule(
+            1.0,
+            lambda: net.workers[0].send(
+                Packet(src="worker0", dst="worker1", payload_size=10)
+            ),
+        )
+        sim.run()
+        assert len(capture.between(0.5, 2.0)) == 1
+
+    def test_total_bytes(self):
+        sim, net = simple_pair()
+        capture = PacketCapture(net.workers[1])
+        for _ in range(3):
+            net.workers[0].send(
+                Packet(src="worker0", dst="worker1", payload_size=100)
+            )
+        sim.run()
+        assert capture.total_bytes() == 3 * 150

@@ -1,0 +1,89 @@
+"""Tests for model/algorithm checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    load_algorithm,
+    load_model,
+    mlp,
+    save_algorithm,
+    save_model,
+)
+from repro.rl import DQN, PPO, GridPong, Hopper1D
+
+
+class TestModelCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        net = mlp([4, 8, 2], rng=np.random.default_rng(0))
+        path = tmp_path / "model.npz"
+        save_model(net, path)
+        other = mlp([4, 8, 2], rng=np.random.default_rng(99))
+        load_model(other, path)
+        x = Tensor(np.random.default_rng(1).standard_normal((3, 4)))
+        np.testing.assert_array_equal(net(x).numpy(), other(x).numpy())
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        net = mlp([4, 8, 2], rng=np.random.default_rng(0))
+        path = tmp_path / "model.npz"
+        save_model(net, path)
+        wrong_depth = mlp([4, 8, 8, 2], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="does not match"):
+            load_model(wrong_depth, path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        net = mlp([4, 8, 2], rng=np.random.default_rng(0))
+        path = tmp_path / "model.npz"
+        save_model(net, path)
+        wrong_width = mlp([4, 16, 2], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="shape|does not match"):
+            load_model(wrong_width, path)
+
+    def test_empty_module_rejected(self, tmp_path):
+        from repro.nn.layers import Module
+
+        with pytest.raises(ValueError, match="no parameters"):
+            save_model(Module(), tmp_path / "x.npz")
+
+
+class TestAlgorithmCheckpoint:
+    def test_roundtrip_resumes_state(self, tmp_path):
+        algo = DQN(GridPong(seed=0), seed=0, warmup=64)
+        for _ in range(20):
+            algo.apply_update(algo.compute_gradient().astype(np.float64))
+        path = tmp_path / "dqn.npz"
+        save_algorithm(algo, path)
+
+        fresh = DQN(GridPong(seed=5), seed=5, warmup=64)
+        load_algorithm(fresh, path)
+        np.testing.assert_allclose(
+            fresh.get_weights(), algo.get_weights(), rtol=1e-6
+        )
+        assert fresh.updates_applied == algo.updates_applied
+        assert fresh.episode_rewards == algo.episode_rewards
+
+    def test_epsilon_resumes_from_update_count(self, tmp_path):
+        algo = DQN(GridPong(seed=0), seed=0, warmup=64, epsilon_decay_updates=10)
+        algo.updates_applied = 10
+        path = tmp_path / "dqn.npz"
+        save_algorithm(algo, path)
+        fresh = DQN(GridPong(seed=1), seed=1, warmup=64, epsilon_decay_updates=10)
+        load_algorithm(fresh, path)
+        assert fresh.epsilon == pytest.approx(algo.epsilon)
+
+    def test_wrong_algorithm_rejected(self, tmp_path):
+        dqn = DQN(GridPong(seed=0), seed=0, warmup=64)
+        path = tmp_path / "dqn.npz"
+        save_algorithm(dqn, path)
+        ppo = PPO(Hopper1D(seed=0), seed=0)
+        with pytest.raises(ValueError, match="checkpoint is for"):
+            load_algorithm(ppo, path)
+
+    def test_wrong_size_rejected(self, tmp_path):
+        small = DQN(GridPong(seed=0), seed=0, warmup=64, hidden=(8,))
+        path = tmp_path / "dqn.npz"
+        save_algorithm(small, path)
+        big = DQN(GridPong(seed=0), seed=0, warmup=64, hidden=(64, 64))
+        with pytest.raises(ValueError, match="parameters"):
+            load_algorithm(big, path)

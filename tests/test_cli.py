@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_are_subcommands(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.mode == "sync"
+        assert args.strategy == "isw"
+        assert args.workload == "dqn"
+        assert args.workers == 4
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out and "train" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "6.41 MB" in capsys.readouterr().out
+
+    def test_experiment_with_iterations(self, capsys):
+        assert main(["fig12", "--iterations", "3"]) == 0
+        assert "Figure 12" in capsys.readouterr().out
+
+    def test_iterations_rejected_where_meaningless(self, capsys):
+        assert main(["table1", "--iterations", "5"]) == 2
+        assert "no --iterations" in capsys.readouterr().err
+
+    def test_train_sync(self, capsys):
+        code = main(
+            [
+                "train",
+                "--strategy",
+                "isw",
+                "--workload",
+                "ppo",
+                "--iterations",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sync-isw" in out
+        assert "per-iteration time" in out
+
+    def test_train_async(self, capsys):
+        code = main(
+            [
+                "train",
+                "--mode",
+                "async",
+                "--strategy",
+                "ps",
+                "--workload",
+                "ppo",
+                "--iterations",
+                "10",
+            ]
+        )
+        assert code == 0
+        assert "mean staleness" in capsys.readouterr().out
+
+    def test_train_bad_strategy(self, capsys):
+        assert main(["train", "--strategy", "nccl"]) == 2
+        assert "sync strategies" in capsys.readouterr().err
+
+    def test_train_bad_async_strategy(self, capsys):
+        assert main(["train", "--mode", "async", "--strategy", "ar"]) == 2
+        assert "async strategies" in capsys.readouterr().err
+
+
+class TestAllCommand:
+    def test_all_runs_every_experiment(self, monkeypatch):
+        import repro.cli as cli
+
+        ran = []
+        monkeypatch.setattr(
+            cli, "_run_experiment", lambda name, it: (ran.append(name), 0)[1]
+        )
+        assert cli.main(["all"]) == 0
+        assert ran == list(cli.EXPERIMENTS)
+
+    def test_all_stops_on_failure(self, monkeypatch):
+        import repro.cli as cli
+
+        def fail_on_fig8(name, it):
+            return 2 if name == "fig8" else 0
+
+        monkeypatch.setattr(cli, "_run_experiment", fail_on_fig8)
+        assert cli.main(["all"]) == 2
+
+    def test_full_flag_uses_defaults(self, monkeypatch):
+        import repro.cli as cli
+
+        windows = []
+        monkeypatch.setattr(
+            cli, "_run_experiment", lambda name, it: (windows.append(it), 0)[1]
+        )
+        cli.main(["all", "--full"])
+        assert all(w is None for w in windows)

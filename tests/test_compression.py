@@ -1,0 +1,128 @@
+"""Tests for gradient wire codecs and compressed aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AggregationClient,
+    Float16Codec,
+    Float32Codec,
+    Int8Codec,
+    SegmentPlan,
+    configure_aggregation,
+    get_codec,
+    iswitch_factory,
+)
+from repro.netsim import Simulator, build_star
+
+
+class TestCodecs:
+    def test_lookup(self):
+        assert get_codec("fp32").bytes_per_element == 4
+        assert get_codec("FP16").bytes_per_element == 2
+        assert get_codec("int8").bytes_per_element == 1
+
+    def test_unknown_codec(self):
+        with pytest.raises(KeyError, match="unknown codec"):
+            get_codec("zfp")
+
+    def test_fp32_is_identity(self):
+        vector = np.random.default_rng(0).standard_normal(100).astype(np.float32)
+        np.testing.assert_array_equal(Float32Codec().roundtrip(vector), vector)
+
+    def test_fp16_error_bounded(self):
+        vector = np.random.default_rng(0).standard_normal(1000).astype(np.float32)
+        out = Float16Codec().roundtrip(vector)
+        rel = np.abs(out - vector) / np.maximum(np.abs(vector), 1e-6)
+        assert rel.max() < 1e-3  # half precision: ~2^-11
+
+    def test_int8_error_bounded_by_scale(self):
+        rng = np.random.default_rng(1)
+        vector = rng.standard_normal(1000).astype(np.float32)
+        out = Int8Codec().roundtrip(vector)
+        scale = np.abs(vector).max() / 127.0
+        assert np.abs(out - vector).max() <= 0.5 * scale + 1e-7
+
+    def test_int8_zero_vector(self):
+        out = Int8Codec().roundtrip(np.zeros(10, dtype=np.float32))
+        np.testing.assert_array_equal(out, 0.0)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_idempotent(self, seed):
+        vector = (
+            np.random.default_rng(seed).standard_normal(64).astype(np.float32)
+        )
+        for codec in (Float32Codec(), Float16Codec(), Int8Codec()):
+            once = codec.roundtrip(vector)
+            twice = codec.roundtrip(once)
+            np.testing.assert_array_equal(once, twice)
+
+
+class TestCompressedPlans:
+    def test_fp16_halves_wire_bytes(self):
+        full = SegmentPlan(10_000, bytes_per_element=4)
+        half = SegmentPlan(10_000, bytes_per_element=2)
+        assert half.wire_bytes < 0.55 * full.wire_bytes
+
+    def test_elements_per_frame_scales(self):
+        assert SegmentPlan(1000, bytes_per_element=2).elements_per_frame == 732
+        assert SegmentPlan(1000, bytes_per_element=1).elements_per_frame == 1464
+
+    def test_split_assemble_roundtrip_with_compression_width(self):
+        plan = SegmentPlan(5000, bytes_per_element=2)
+        vector = np.random.default_rng(0).standard_normal(5000).astype(np.float32)
+        np.testing.assert_array_equal(
+            plan.assemble(plan.split(vector, 0)), vector
+        )
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            SegmentPlan(100, bytes_per_element=0)
+
+
+class TestCompressedAggregation:
+    def _run(self, codec_name):
+        sim = Simulator()
+        net = build_star(sim, 4, switch_factory=iswitch_factory)
+        configure_aggregation(net)
+        codec = get_codec(codec_name)
+        plan = SegmentPlan(2000, bytes_per_element=codec.bytes_per_element)
+        results = {}
+        clients = [
+            AggregationClient(
+                w,
+                "tor0",
+                plan,
+                codec=codec,
+                on_round_complete=lambda r, v, n=w.name: results.__setitem__(n, v),
+            )
+            for w in net.workers
+        ]
+        rng = np.random.default_rng(7)
+        vectors = [rng.standard_normal(2000).astype(np.float32) for _ in clients]
+        for client, vector in zip(clients, vectors):
+            client.send_gradient(vector, 0)
+        sim.run()
+        return sim.now, results, vectors
+
+    def test_fp16_aggregation_close_to_exact(self):
+        _, results, vectors = self._run("fp16")
+        expected = np.sum(vectors, axis=0)
+        for got in results.values():
+            np.testing.assert_allclose(got, expected, atol=5e-3)
+
+    def test_int8_aggregation_bounded_error(self):
+        _, results, vectors = self._run("int8")
+        expected = np.sum(vectors, axis=0)
+        scale = max(np.abs(v).max() for v in vectors) / 127.0
+        for got in results.values():
+            assert np.abs(got - expected).max() <= 4 * (0.5 * scale) + 1e-5
+
+    def test_compression_shortens_aggregation(self):
+        t_fp32, _, _ = self._run("fp32")
+        t_fp16, _, _ = self._run("fp16")
+        t_int8, _, _ = self._run("int8")
+        assert t_int8 < t_fp16 < t_fp32

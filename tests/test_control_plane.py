@@ -1,0 +1,71 @@
+"""Unit tests for the membership table."""
+
+import pytest
+
+from repro.core.control_plane import MembershipTable, MemberType
+
+
+class TestJoinLeave:
+    def test_join_assigns_unique_ids(self):
+        table = MembershipTable()
+        a = table.join("w0", 9999)
+        b = table.join("w1", 9999)
+        assert a.member_id != b.member_id
+        assert len(table) == 2
+
+    def test_join_idempotent_on_address(self):
+        table = MembershipTable()
+        first = table.join("w0", 9999)
+        second = table.join("w0", 9999)
+        assert first is second
+        assert len(table) == 1
+
+    def test_leave(self):
+        table = MembershipTable()
+        table.join("w0", 9999)
+        assert table.leave("w0") is True
+        assert table.leave("w0") is False
+        assert len(table) == 0
+        assert "w0" not in table
+
+    def test_contains_and_get(self):
+        table = MembershipTable()
+        table.join("w0", 9999)
+        assert "w0" in table
+        assert table.get("w0").address == "w0"
+        assert table.get("nope") is None
+
+    def test_invalid_member_type(self):
+        with pytest.raises(ValueError, match="member type"):
+            MembershipTable().join("x", 1, member_type="router")
+
+
+class TestQueries:
+    def test_workers_filter(self):
+        table = MembershipTable()
+        table.join("w0", 1, MemberType.WORKER)
+        table.join("tor1", 1, MemberType.SWITCH)
+        table.join("w1", 1, MemberType.WORKER)
+        assert {e.address for e in table.workers} == {"w0", "w1"}
+
+    def test_children_of(self):
+        table = MembershipTable()
+        root = table.join("root", 1, MemberType.SWITCH)
+        table.join("w0", 1, parent=root.member_id)
+        table.join("w1", 1, parent=root.member_id)
+        table.join("w2", 1, parent=None)
+        children = table.children_of(root.member_id)
+        assert {e.address for e in children} == {"w0", "w1"}
+
+    def test_addresses_in_join_order(self):
+        table = MembershipTable()
+        for name in ("c", "a", "b"):
+            table.join(name, 1)
+        assert table.addresses == ["c", "a", "b"]
+
+    def test_ids_not_reused_after_leave(self):
+        table = MembershipTable()
+        first = table.join("w0", 1)
+        table.leave("w0")
+        second = table.join("w1", 1)
+        assert second.member_id > first.member_id

@@ -1,0 +1,219 @@
+"""Sanity tests for the experiment harness (quick configurations)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    fig4,
+    fig8,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table1,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.reporting import (
+    format_bytes,
+    format_seconds,
+    render_series,
+    render_table,
+)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        out = render_table(("a", "bb"), [(1, 2), (333, 4)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "333" in out
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [(1,)])
+
+    def test_render_series_downsamples(self):
+        out = render_series("s", list(range(100)), list(range(100)), max_points=5)
+        assert out.count("\n") < 15
+
+    def test_format_seconds_units(self):
+        assert format_seconds(5e-7).endswith("us")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(5.0).endswith("s")
+        assert format_seconds(7200.0).endswith("h")
+
+    def test_format_bytes_units(self):
+        assert format_bytes(100) == "100 B"
+        assert format_bytes(2048) == "2.00 KB"
+        assert format_bytes(3 * 1024 * 1024) == "3.00 MB"
+
+
+class TestTable1:
+    def test_records_cover_all_workloads(self):
+        records = table1.collect()
+        assert [r["algorithm"] for r in records] == ["DQN", "A2C", "PPO", "DDPG"]
+
+    def test_dqn_frame_count(self):
+        records = {r["algorithm"]: r for r in table1.collect()}
+        # 6.41 MB at 366 floats per frame.
+        assert records["DQN"]["frames_per_vector"] == 4592
+
+    def test_run_prints(self, capsys):
+        table1.run()
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "6.41 MB" in out
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return fig4.collect(n_iterations=3)
+
+    def test_aggregation_dominates(self, records):
+        for record in records:
+            assert record["aggregation_share"] > 0.3
+
+    def test_paper_range_for_ps_dqn(self, records):
+        dqn_ps = next(
+            r for r in records if r["strategy"] == "ps" and r["workload"] == "dqn"
+        )
+        assert 0.7 < dqn_ps["aggregation_share"] < 0.95
+
+    def test_percentages_sum_to_100(self, records):
+        for record in records:
+            assert sum(record["percentages"].values()) == pytest.approx(100.0)
+
+
+class TestFig8:
+    def test_on_the_fly_always_faster(self):
+        for record in fig8.collect():
+            assert record["on_the_fly"] < record["conventional"]
+            assert record["speedup"] > 1.0
+
+    def test_big_models_approach_2x(self):
+        records = {r["workload"]: r for r in fig8.collect()}
+        assert records["dqn"]["speedup"] > 1.8
+
+    def test_latency_scales_with_model_size(self):
+        records = {r["workload"]: r for r in fig8.collect()}
+        assert records["dqn"]["on_the_fly"] > records["ppo"]["on_the_fly"]
+
+
+class TestTables345AndFig12:
+    @pytest.fixture(scope="class")
+    def sync_records(self):
+        return table4.collect(n_iterations=4)
+
+    @pytest.fixture(scope="class")
+    def async_records(self):
+        return table5.collect(n_updates=30)
+
+    def test_sync_trajectories_match(self, sync_records):
+        assert all(r["trajectories_match"] for r in sync_records)
+
+    def test_sync_isw_fastest_everywhere(self, sync_records):
+        by = {(r["workload"], r["strategy"]): r for r in sync_records}
+        for workload in ("dqn", "a2c", "ppo", "ddpg"):
+            isw = by[(workload, "isw")]["per_iteration_ms"]
+            ps = by[(workload, "ps")]["per_iteration_ms"]
+            ar = by[(workload, "ar")]["per_iteration_ms"]
+            assert isw < ps and isw < ar
+
+    def test_sync_ar_crossover(self, sync_records):
+        """AR beats PS on big models (DQN) and loses on small (PPO)."""
+        by = {(r["workload"], r["strategy"]): r for r in sync_records}
+        assert by[("dqn", "ar")]["per_iteration_ms"] < by[("dqn", "ps")][
+            "per_iteration_ms"
+        ]
+        assert by[("ppo", "ar")]["per_iteration_ms"] > by[("ppo", "isw")][
+            "per_iteration_ms"
+        ]
+
+    def test_sync_within_25pct_of_paper(self, sync_records):
+        for record in sync_records:
+            ratio = record["per_iteration_ms"] / record["paper_per_iteration_ms"]
+            assert 0.75 < ratio < 1.25, record
+
+    def test_async_staleness_ordering(self, async_records):
+        by = {(r["workload"], r["strategy"]): r for r in async_records}
+        for workload in ("dqn", "a2c", "ppo", "ddpg"):
+            assert (
+                by[(workload, "isw")]["mean_staleness"]
+                < by[(workload, "ps")]["mean_staleness"]
+            )
+
+    def test_async_derived_iterations_direction(self, async_records):
+        by = {(r["workload"], r["strategy"]): r for r in async_records}
+        for workload in ("dqn", "a2c", "ppo", "ddpg"):
+            assert (
+                by[(workload, "isw")]["derived_iterations"]
+                < by[(workload, "ps")]["derived_iterations"]
+            )
+
+    def test_table3_speedups_positive(self, sync_records, async_records):
+        records = table3.collect(sync_iterations=4, async_updates=30)
+        for record in records:
+            assert record["speedup"] > 0
+        isw_sync = [
+            r["speedup"]
+            for r in records
+            if r["mode"] == "sync" and r["strategy"] == "isw"
+        ]
+        assert all(s > 1.5 for s in isw_sync)  # paper: 1.72x-3.66x
+
+    def test_fig12_isw_aggregation_reduction(self):
+        records = fig12.collect(n_iterations=4)
+        for record in records:
+            if record["strategy"] == "isw":
+                assert record["agg_reduction_vs_ps"] > 0.6
+
+
+class TestTrainingCurves:
+    def test_fig13_isw_reaches_reward_first(self):
+        records = fig13.collect(n_iterations=120)
+        by = {r["strategy"]: r for r in records}
+        # All strategies produce curves on a shared iteration trajectory;
+        # iSW compresses time the most.
+        assert by["isw"]["elapsed"] < by["ar"]["elapsed"] < by["ps"]["elapsed"]
+        for record in records:
+            assert len(record["times"]) > 0
+
+    def test_fig14_isw_faster_and_fresher(self):
+        records = fig14.collect(n_updates=120)
+        by = {r["strategy"]: r for r in records}
+        assert by["isw"]["mean_staleness"] < by["ps"]["mean_staleness"]
+        assert by["isw"]["elapsed"] < by["ps"]["elapsed"]
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return fig15.collect(
+            workloads=("ppo",), sizes=(4, 9), n_iterations=4, n_updates=25
+        )
+
+    def test_isw_scales_best_sync(self, records):
+        by = {
+            (r["mode"], r["strategy"], r["n_workers"]): r["speedup"]
+            for r in records
+        }
+        assert by[("sync", "isw", 9)] > by[("sync", "ps", 9)]
+        assert by[("sync", "isw", 9)] > by[("sync", "ar", 9)]
+
+    def test_async_isw_near_linear(self, records):
+        by = {
+            (r["mode"], r["strategy"], r["n_workers"]): r["speedup"]
+            for r in records
+        }
+        assert by[("async", "isw", 9)] > 0.85 * (9 / 4)
+        assert by[("async", "ps", 9)] < by[("async", "isw", 9)]
+
+    def test_baseline_normalized_to_one(self, records):
+        for record in records:
+            if record["n_workers"] == 4:
+                assert record["speedup"] == pytest.approx(1.0)

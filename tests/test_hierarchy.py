@@ -1,0 +1,71 @@
+"""Tests for the aggregation-hierarchy configurator."""
+
+import pytest
+
+from repro.core import ISwitch, configure_aggregation, iswitch_factory
+from repro.core.hierarchy import _port_toward, aggregation_switches
+from repro.netsim import Simulator, build_rack_tree, build_star
+from repro.netsim.switch import EthernetSwitch
+
+
+class TestConfigure:
+    def test_flat_star_has_no_parents(self):
+        net = build_star(Simulator(), 3, switch_factory=iswitch_factory)
+        switches = configure_aggregation(net)
+        assert len(switches) == 1
+        assert switches[0].parent_address is None
+        assert switches[0].engine.threshold == 3
+
+    def test_two_layer_parents(self):
+        net = build_rack_tree(Simulator(), 6, switch_factory=iswitch_factory)
+        configure_aggregation(net)
+        by_name = {s.name: s for s in net.switches}
+        assert by_name["tor0"].parent_address == "root"
+        assert by_name["tor1"].parent_address == "root"
+        assert by_name["root"].parent_address is None
+        # Root's members are the ToRs, not workers.
+        assert set(by_name["root"].members.addresses) == {"tor0", "tor1"}
+
+    def test_plain_switch_rejected(self):
+        net = build_star(Simulator(), 2)
+        with pytest.raises(TypeError, match="plain"):
+            configure_aggregation(net)
+
+    def test_mixed_fabric_rejected(self):
+        sim = Simulator()
+        net = build_rack_tree(sim, 6, switch_factory=iswitch_factory)
+        # Sneak a plain switch in as one ToR.
+        net.switches[0] = EthernetSwitch(sim, "fake")
+        with pytest.raises(TypeError):
+            configure_aggregation(net)
+
+    def test_aggregation_switches_validates(self):
+        net = build_star(Simulator(), 2, switch_factory=iswitch_factory)
+        assert len(aggregation_switches(net)) == 1
+        plain = build_star(Simulator(), 2)
+        with pytest.raises(TypeError):
+            aggregation_switches(plain)
+
+    def test_missing_uplink_detected(self):
+        sim = Simulator()
+        net = build_rack_tree(sim, 6, switch_factory=iswitch_factory)
+        # Remove the first ToR's default route: the hierarchy can no
+        # longer be inferred.
+        net.switches[0]._default_route = None
+        with pytest.raises(ValueError, match="no uplink"):
+            configure_aggregation(net)
+
+
+class TestPortToward:
+    def test_finds_the_connecting_port(self):
+        net = build_rack_tree(Simulator(), 6, switch_factory=iswitch_factory)
+        root = net.root
+        tor = net.switches[0]
+        port = _port_toward(root, tor)
+        assert port.peer.device is tor
+
+    def test_unconnected_devices_raise(self):
+        net_a = build_star(Simulator(), 2, switch_factory=iswitch_factory)
+        net_b = build_star(Simulator(), 2, switch_factory=iswitch_factory)
+        with pytest.raises(ValueError, match="no link"):
+            _port_toward(net_a.switches[0], net_b.switches[0])

@@ -1,0 +1,322 @@
+"""Integration-level tests for the iSwitch data and control planes."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Action,
+    AggregationClient,
+    ControlMessage,
+    ISwitch,
+    SegmentPlan,
+    configure_aggregation,
+    iswitch_factory,
+    make_control_packet,
+)
+from repro.netsim import Packet, Simulator, build_rack_tree, build_star
+
+
+def star_cluster(n_workers=4, n_elements=1000, **plan_kwargs):
+    sim = Simulator()
+    net = build_star(sim, n_workers, switch_factory=iswitch_factory)
+    configure_aggregation(net)
+    plan = SegmentPlan(n_elements, **plan_kwargs)
+    results = {}
+    clients = []
+    for worker in net.workers:
+        clients.append(
+            AggregationClient(
+                worker,
+                "tor0",
+                plan,
+                on_round_complete=lambda rnd, vec, n=worker.name: results.setdefault(
+                    n, {}
+                ).__setitem__(rnd, vec),
+            )
+        )
+    return sim, net, plan, clients, results
+
+
+class TestSingleSwitchAggregation:
+    def test_all_workers_receive_exact_sum(self):
+        sim, net, plan, clients, results = star_cluster()
+        rng = np.random.default_rng(0)
+        vectors = [rng.standard_normal(1000).astype(np.float32) for _ in clients]
+        for client, vector in zip(clients, vectors):
+            client.send_gradient(vector, round_index=0)
+        sim.run()
+        expected = np.sum(vectors, axis=0)
+        assert len(results) == 4
+        for chunks in results.values():
+            np.testing.assert_allclose(chunks[0], expected, rtol=1e-5)
+
+    def test_multiple_rounds_do_not_mix(self):
+        sim, net, plan, clients, results = star_cluster(n_elements=400)
+        for round_index in range(3):
+            for i, client in enumerate(clients):
+                vector = np.full(400, float(round_index * 10 + 1), dtype=np.float32)
+                client.send_gradient(vector, round_index=round_index)
+        sim.run()
+        for chunks in results.values():
+            for round_index in range(3):
+                expected = 4.0 * (round_index * 10 + 1)
+                np.testing.assert_allclose(chunks[round_index], expected)
+
+    def test_two_hops_for_aggregation(self):
+        """The headline claim: worker->switch, switch->worker (Figure 1c).
+
+        The uplink contribution crosses one hop to the switch; the switch
+        emits a fresh result packet that crosses one hop back — two network
+        hops total, versus four for PS and 4N−4 for Ring-AllReduce.
+        """
+        sim, net, plan, clients, results = star_cluster(n_elements=10)
+        received_packets = []
+        original = net.workers[0]._handlers[9999]
+
+        def spy(packet):
+            received_packets.append(packet)
+            original(packet)
+
+        net.workers[0]._handlers[9999] = spy
+        for client in clients:
+            client.send_gradient(np.ones(10, dtype=np.float32), 0)
+        sim.run()
+        switch = net.switches[0]
+        # Downstream result packets each crossed exactly one hop...
+        assert received_packets and all(p.hops == 1 for p in received_packets)
+        # ...and the uplink contributions crossed exactly one hop, so the
+        # full aggregation took two.  The switch never forwarded tagged
+        # traffic through the regular (multi-hop) pipeline.
+        assert switch.forwarded_packets == 0
+        assert switch.result_broadcasts == plan.n_chunks
+
+    def test_aggregation_latency_close_to_two_serializations(self):
+        sim, net, plan, clients, results = star_cluster(
+            n_elements=366 * 64  # 64 full frames
+        )
+        for client in clients:
+            client.send_gradient(
+                np.ones(366 * 64, dtype=np.float32), round_index=0
+            )
+        sim.run()
+        one_way = 64 * 1522 * 8 / 10e9
+        # On-the-fly pipelining: strictly less than a store-and-forward
+        # round trip (2x), and at least one serialization.
+        assert one_way < sim.now < 2.2 * one_way
+
+    def test_regular_traffic_unaffected(self):
+        sim, net, plan, clients, results = star_cluster()
+        got = []
+        net.workers[1].bind(80, got.append)
+        net.workers[0].send(
+            Packet(src="worker0", dst="worker1", payload_size=100, dst_port=80)
+        )
+        sim.run()
+        assert len(got) == 1
+        assert got[0].tos == 0
+
+
+class TestControlPlaneMessages:
+    def make(self):
+        sim = Simulator()
+        net = build_star(sim, 2, switch_factory=iswitch_factory)
+        switch = net.switches[0]
+        return sim, net, switch
+
+    def test_join_registers_member_and_grows_h(self):
+        sim, net, switch = self.make()
+        for worker in net.workers:
+            worker.send(
+                make_control_packet(
+                    worker.name, "tor0", ControlMessage(Action.JOIN, "worker")
+                )
+            )
+        sim.run()
+        assert len(switch.members) == 2
+        assert switch.engine.threshold == 2
+
+    def test_join_acked(self):
+        sim, net, switch = self.make()
+        acks = []
+        AggregationClient(
+            net.workers[0],
+            "tor0",
+            SegmentPlan(10),
+            on_control=lambda m: acks.append(m),
+        )
+        net.workers[0].send(
+            make_control_packet("worker0", "tor0", ControlMessage(Action.JOIN))
+        )
+        sim.run()
+        assert len(acks) == 1
+        assert acks[0].action == Action.ACK
+        assert acks[0].value is True
+
+    def test_leave_removes_member(self):
+        sim, net, switch = self.make()
+        switch.add_member("worker0")
+        switch.add_member("worker1")
+        net.workers[0].send(
+            make_control_packet("worker0", "tor0", ControlMessage(Action.LEAVE))
+        )
+        sim.run()
+        assert len(switch.members) == 1
+        assert switch.engine.threshold == 1
+
+    def test_seth_overrides_threshold(self):
+        sim, net, switch = self.make()
+        switch.add_member("worker0")
+        switch.add_member("worker1")
+        net.workers[0].send(
+            make_control_packet("worker0", "tor0", ControlMessage(Action.SETH, 1))
+        )
+        sim.run()
+        assert switch.engine.threshold == 1
+
+    def test_reset_clears_engine(self):
+        sim, net, switch = self.make()
+        switch.add_member("worker0")
+        switch.add_member("worker1")
+        from repro.core.protocol import DataSegment
+
+        switch.engine.contribute(
+            DataSegment(seg=0, data=np.ones(4, dtype=np.float32))
+        )
+        net.workers[0].send(
+            make_control_packet("worker0", "tor0", ControlMessage(Action.RESET))
+        )
+        sim.run()
+        assert switch.engine.live_segments == 0
+
+    def test_halt_relayed_to_members(self):
+        sim, net, switch = self.make()
+        halts = []
+        for worker in net.workers:
+            AggregationClient(
+                worker,
+                "tor0",
+                SegmentPlan(10),
+                on_control=lambda m: halts.append(m.action),
+            )
+            worker.send(
+                make_control_packet(worker.name, "tor0", ControlMessage(Action.JOIN))
+            )
+        sim.run()
+        net.workers[0].send(
+            make_control_packet("worker0", "tor0", ControlMessage(Action.HALT))
+        )
+        sim.run()
+        assert halts.count(Action.HALT) == 2
+
+    def test_fbcast_forces_partial_result(self):
+        sim = Simulator()
+        net = build_star(sim, 2, switch_factory=iswitch_factory)
+        configure_aggregation(net)
+        plan = SegmentPlan(10)
+        results = {}
+        clients = [
+            AggregationClient(
+                w,
+                "tor0",
+                plan,
+                on_round_complete=lambda rnd, vec, n=w.name: results.__setitem__(
+                    n, vec
+                ),
+            )
+            for w in net.workers
+        ]
+        # Only one of two workers contributes; then force the broadcast.
+        clients[0].send_gradient(np.full(10, 3.0, dtype=np.float32), 0)
+        sim.run()
+        assert not results
+        net.workers[0].send(
+            make_control_packet("worker0", "tor0", ControlMessage(Action.FBCAST, 0))
+        )
+        sim.run()
+        assert len(results) == 2
+        np.testing.assert_allclose(results["worker1"], 3.0)
+
+
+class TestHierarchicalAggregation:
+    @pytest.mark.parametrize("n_workers", [6, 9, 12])
+    def test_tree_sum_correct(self, n_workers):
+        sim = Simulator()
+        net = build_rack_tree(sim, n_workers, switch_factory=iswitch_factory)
+        configure_aggregation(net)
+        plan = SegmentPlan(2000, frames_per_chunk=2)
+        results = {}
+        clients = []
+        for i, worker in enumerate(net.workers):
+            clients.append(
+                AggregationClient(
+                    worker,
+                    net.tor_of_worker[i].name,
+                    plan,
+                    on_round_complete=lambda rnd, vec, n=worker.name: results.__setitem__(
+                        n, vec
+                    ),
+                )
+            )
+        rng = np.random.default_rng(42)
+        vectors = [
+            rng.standard_normal(2000).astype(np.float32) for _ in clients
+        ]
+        for client, vector in zip(clients, vectors):
+            client.send_gradient(vector, 0)
+        sim.run()
+        assert len(results) == n_workers
+        expected = np.sum(vectors, axis=0)
+        for got in results.values():
+            np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-4)
+
+    def test_root_aggregates_per_rack_partials(self):
+        sim = Simulator()
+        net = build_rack_tree(sim, 6, switch_factory=iswitch_factory)
+        configure_aggregation(net)
+        root = net.root
+        tors = [s for s in net.switches if s is not root]
+        assert root.engine.threshold == len(tors)
+        for tor in tors:
+            assert tor.parent_address == "root"
+            assert tor.engine.threshold == 3
+
+    def test_upstream_traffic_counted(self):
+        sim = Simulator()
+        net = build_rack_tree(sim, 6, switch_factory=iswitch_factory)
+        configure_aggregation(net)
+        plan = SegmentPlan(100)
+        clients = [
+            AggregationClient(w, net.tor_of_worker[i].name, plan)
+            for i, w in enumerate(net.workers)
+        ]
+        for client in clients:
+            client.send_gradient(np.ones(100, dtype=np.float32), 0)
+        sim.run()
+        tors = [s for s in net.switches if s is not net.root]
+        assert all(t.upstream_forwards == plan.n_chunks for t in tors)
+        assert net.root.result_broadcasts == plan.n_chunks
+
+
+class TestMixedEngineErrors:
+    def test_non_iswitch_topology_rejected(self):
+        sim = Simulator()
+        net = build_star(sim, 2)  # plain switches
+        with pytest.raises(TypeError, match="plain"):
+            configure_aggregation(net)
+
+    def test_data_packet_with_bad_payload_raises(self):
+        sim = Simulator()
+        net = build_star(sim, 2, switch_factory=iswitch_factory)
+        from repro.core.protocol import TOS_DATA_UP
+
+        net.workers[0].send(
+            Packet(
+                src="worker0",
+                dst="tor0",
+                payload_size=10,
+                tos=TOS_DATA_UP,
+                payload="not a segment",
+            )
+        )
+        with pytest.raises(TypeError, match="DataSegment"):
+            sim.run()

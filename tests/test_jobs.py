@@ -1,0 +1,229 @@
+"""Tests for multi-job (multi-tenant) switch support."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Action,
+    AggregationClient,
+    ControlMessage,
+    SegmentPlan,
+    configure_aggregation,
+    iswitch_factory,
+    make_control_packet,
+)
+from repro.core.jobs import DEFAULT_JOB, JobState, JobTable
+from repro.netsim import Simulator, build_star
+
+
+class TestJobTable:
+    def test_default_job_always_exists(self):
+        table = JobTable()
+        assert DEFAULT_JOB in table
+        assert len(table) == 1
+
+    def test_jobs_created_on_demand(self):
+        table = JobTable()
+        state = table.get(7)
+        assert state.job_id == 7
+        assert len(table) == 2
+        assert table.get(7) is state  # idempotent
+
+    def test_peek_does_not_create(self):
+        table = JobTable()
+        assert table.peek(9) is None
+        assert len(table) == 1
+
+    def test_remove(self):
+        table = JobTable()
+        table.get(3)
+        assert table.remove(3) is True
+        assert table.remove(3) is False
+        assert 3 not in table
+
+    def test_default_job_never_removed(self):
+        table = JobTable()
+        assert table.remove(DEFAULT_JOB) is False
+        assert DEFAULT_JOB in table
+
+    def test_capacity_enforced(self):
+        table = JobTable(max_jobs=2)
+        table.get(1)
+        with pytest.raises(RuntimeError, match="full"):
+            table.get(2)
+
+    def test_job_id_range(self):
+        with pytest.raises(ValueError):
+            JobState(-1)
+        with pytest.raises(ValueError):
+            JobState(0x10000)
+
+    def test_engines_are_independent(self):
+        table = JobTable()
+        table.get(1).engine.set_threshold(4)
+        assert table.get(DEFAULT_JOB).engine.threshold == 1
+
+
+class TestTwoConcurrentJobs:
+    def _cluster(self):
+        sim = Simulator()
+        net = build_star(sim, 4, switch_factory=iswitch_factory)
+        switch = net.switches[0]
+        plan = SegmentPlan(500)
+        # Job 1: workers 0, 1.  Job 2: workers 2, 3.
+        for index in (0, 1):
+            switch.add_member(net.workers[index].name, job=1)
+        for index in (2, 3):
+            switch.add_member(net.workers[index].name, job=2)
+        return sim, net, switch, plan
+
+    def test_jobs_aggregate_independently(self):
+        sim, net, switch, plan = self._cluster()
+        results = {}
+
+        def client(index, job):
+            worker = net.workers[index]
+            return AggregationClient(
+                worker,
+                "tor0",
+                plan,
+                job=job,
+                on_round_complete=lambda rnd, vec, n=worker.name: results.__setitem__(
+                    n, vec
+                ),
+            )
+
+        clients = [client(0, 1), client(1, 1), client(2, 2), client(3, 2)]
+        # Job 1 aggregates ones; job 2 aggregates tens.  Identical Seg
+        # numbers on purpose — the job id must keep them apart.
+        for c in clients[:2]:
+            c.send_gradient(np.full(500, 1.0, dtype=np.float32), 0)
+        for c in clients[2:]:
+            c.send_gradient(np.full(500, 10.0, dtype=np.float32), 0)
+        sim.run()
+        np.testing.assert_allclose(results["worker0"], 2.0)
+        np.testing.assert_allclose(results["worker1"], 2.0)
+        np.testing.assert_allclose(results["worker2"], 20.0)
+        np.testing.assert_allclose(results["worker3"], 20.0)
+
+    def test_results_broadcast_only_to_own_job(self):
+        sim, net, switch, plan = self._cluster()
+        deliveries = {w.name: [] for w in net.workers}
+        clients = [
+            AggregationClient(
+                net.workers[i],
+                "tor0",
+                plan,
+                job=1 if i < 2 else 2,
+                on_round_complete=lambda rnd, vec, n=net.workers[i].name: deliveries[
+                    n
+                ].append(rnd),
+            )
+            for i in range(4)
+        ]
+        for c in clients[:2]:
+            c.send_gradient(np.ones(500, dtype=np.float32), 0)
+        sim.run()
+        # Only job 1's workers received the round.
+        assert deliveries["worker0"] == [0]
+        assert deliveries["worker1"] == [0]
+        assert deliveries["worker2"] == []
+        assert deliveries["worker3"] == []
+
+    def test_seth_is_per_job(self):
+        sim, net, switch, plan = self._cluster()
+        net.workers[0].send(
+            make_control_packet(
+                "worker0", "tor0", ControlMessage(Action.SETH, 1, job=1)
+            )
+        )
+        sim.run()
+        assert switch.jobs.get(1).engine.threshold == 1
+        assert switch.jobs.get(2).engine.threshold == 2
+
+    def test_reset_is_per_job(self):
+        sim, net, switch, plan = self._cluster()
+        from repro.core.protocol import DataSegment
+
+        switch.jobs.get(1).engine.contribute(
+            DataSegment(seg=0, data=np.ones(2, dtype=np.float32), job=1)
+        )
+        switch.jobs.get(2).engine.contribute(
+            DataSegment(seg=0, data=np.ones(2, dtype=np.float32), job=2)
+        )
+        net.workers[0].send(
+            make_control_packet(
+                "worker0", "tor0", ControlMessage(Action.RESET, job=1)
+            )
+        )
+        sim.run()
+        assert switch.jobs.get(1).engine.live_segments == 0
+        assert switch.jobs.get(2).engine.live_segments == 1
+
+    def test_last_leave_drops_job_state(self):
+        sim, net, switch, plan = self._cluster()
+        for name in ("worker2", "worker3"):
+            host = net.hosts[name]
+            host.send(
+                make_control_packet(
+                    name, "tor0", ControlMessage(Action.LEAVE, job=2)
+                )
+            )
+        sim.run()
+        assert switch.jobs.peek(2) is None
+
+    def test_shared_host_two_jobs(self):
+        """One worker participating in two jobs via two clients."""
+        sim = Simulator()
+        net = build_star(sim, 2, switch_factory=iswitch_factory)
+        switch = net.switches[0]
+        plan = SegmentPlan(100)
+        switch.add_member("worker0", job=1)
+        switch.add_member("worker1", job=1)
+        switch.add_member("worker0", job=2)
+        got = {}
+        c_job1 = AggregationClient(
+            net.workers[0], "tor0", plan, job=1,
+            on_round_complete=lambda r, v: got.__setitem__("job1", v),
+        )
+        c_job2 = AggregationClient(
+            net.workers[0], "tor0", plan, job=2,
+            on_round_complete=lambda r, v: got.__setitem__("job2", v),
+        )
+        c_peer = AggregationClient(net.workers[1], "tor0", plan, job=1)
+        c_job1.send_gradient(np.full(100, 1.0, dtype=np.float32), 0)
+        c_peer.send_gradient(np.full(100, 2.0, dtype=np.float32), 0)
+        c_job2.send_gradient(np.full(100, 7.0, dtype=np.float32), 0)
+        sim.run()
+        np.testing.assert_allclose(got["job1"], 3.0)
+        np.testing.assert_allclose(got["job2"], 7.0)
+
+
+class TestBackwardCompatibility:
+    def test_engine_property_is_job_zero(self):
+        sim = Simulator()
+        net = build_star(sim, 2, switch_factory=iswitch_factory)
+        switch = net.switches[0]
+        switch.add_member("worker0")
+        assert switch.engine is switch.jobs.get(DEFAULT_JOB).engine
+        assert len(switch.members) == 1
+
+    def test_single_job_default_path_unchanged(self):
+        sim = Simulator()
+        net = build_star(sim, 3, switch_factory=iswitch_factory)
+        configure_aggregation(net)
+        plan = SegmentPlan(200)
+        results = {}
+        clients = [
+            AggregationClient(
+                w, "tor0", plan,
+                on_round_complete=lambda r, v, n=w.name: results.__setitem__(n, v),
+            )
+            for w in net.workers
+        ]
+        for c in clients:
+            c.send_gradient(np.ones(200, dtype=np.float32), 0)
+        sim.run()
+        assert len(results) == 3
+        for got in results.values():
+            np.testing.assert_allclose(got, 3.0)

@@ -1,0 +1,140 @@
+"""Unit tests for link serialization, queueing, and loss injection."""
+
+import pytest
+
+from repro.netsim.events import Simulator
+from repro.netsim.link import GBPS, Link
+from repro.netsim.node import Device, Host
+from repro.netsim.packets import Packet
+
+
+class Sink(Device):
+    """Records every received packet with its arrival time."""
+
+    def __init__(self, sim, name="sink"):
+        super().__init__(sim, name)
+        self.received = []
+
+    def handle_packet(self, packet, in_port):
+        self._count_rx(packet)
+        self.received.append((self.sim.now, packet))
+
+
+def make_pair(sim, bandwidth=10 * GBPS, propagation=0.0, **kwargs):
+    src = Host(sim, "src")
+    dst = Sink(sim, "dst")
+    link = Link(sim, bandwidth=bandwidth, propagation=propagation, **kwargs)
+    link.attach(src, dst)
+    return src, dst, link
+
+
+class TestSerialization:
+    def test_arrival_time_is_wire_bits_over_bandwidth(self):
+        sim = Simulator()
+        src, dst, _ = make_pair(sim, bandwidth=1e9)  # 1 Gb/s
+        packet = Packet(src="src", dst="dst", payload_size=1000)
+        src.send(packet)
+        sim.run()
+        expected = packet.wire_size * 8 / 1e9
+        assert dst.received[0][0] == pytest.approx(expected)
+
+    def test_propagation_adds_constant(self):
+        sim = Simulator()
+        src, dst, _ = make_pair(sim, bandwidth=1e9, propagation=1e-6)
+        packet = Packet(src="src", dst="dst", payload_size=1000)
+        src.send(packet)
+        sim.run()
+        expected = packet.wire_size * 8 / 1e9 + 1e-6
+        assert dst.received[0][0] == pytest.approx(expected)
+
+    def test_back_to_back_packets_serialize_fifo(self):
+        sim = Simulator()
+        src, dst, _ = make_pair(sim, bandwidth=1e9)
+        for i in range(3):
+            src.send(Packet(src="src", dst="dst", payload_size=1000, payload=i))
+        sim.run()
+        one = (1000 + 50) * 8 / 1e9
+        times = [t for t, _ in dst.received]
+        assert times == pytest.approx([one, 2 * one, 3 * one])
+        assert [p.payload for _, p in dst.received] == [0, 1, 2]
+
+    def test_idle_gap_resets_transmitter(self):
+        sim = Simulator()
+        src, dst, _ = make_pair(sim, bandwidth=1e9)
+        src.send(Packet(src="src", dst="dst", payload_size=1000))
+        sim.schedule(
+            1.0, lambda: src.send(Packet(src="src", dst="dst", payload_size=1000))
+        )
+        sim.run()
+        one = (1000 + 50) * 8 / 1e9
+        assert dst.received[1][0] == pytest.approx(1.0 + one)
+
+    def test_train_serializes_as_sum_of_frames(self):
+        sim = Simulator()
+        src, dst, _ = make_pair(sim, bandwidth=1e9)
+        train = Packet(
+            src="src", dst="dst", payload_size=4 * 1472, frame_count=4
+        )
+        src.send(train)
+        sim.run()
+        assert dst.received[0][0] == pytest.approx(4 * 1522 * 8 / 1e9)
+
+
+class TestFullDuplex:
+    def test_directions_do_not_contend(self):
+        sim = Simulator()
+        a = Sink(sim, "a")
+        b = Sink(sim, "b")
+        link = Link(sim, bandwidth=1e9, propagation=0.0)
+        link.attach(a, b)
+        link.ends[0].send(Packet(src="a", dst="b", payload_size=1000))
+        link.ends[1].send(Packet(src="b", dst="a", payload_size=1000))
+        sim.run()
+        one = (1000 + 50) * 8 / 1e9
+        assert a.received[0][0] == pytest.approx(one)
+        assert b.received[0][0] == pytest.approx(one)
+
+
+class TestCountersAndValidation:
+    def test_tx_counters(self):
+        sim = Simulator()
+        src, dst, link = make_pair(sim)
+        src.send(Packet(src="src", dst="dst", payload_size=100))
+        sim.run()
+        assert link.ends[0].tx_packets == 1
+        assert link.ends[0].tx_bytes == 150
+        assert dst.rx_packets == 1
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            Link(Simulator(), bandwidth=0)
+
+    def test_negative_propagation_rejected(self):
+        with pytest.raises(ValueError, match="propagation"):
+            Link(Simulator(), propagation=-1e-9)
+
+    def test_invalid_loss_rate_rejected(self):
+        with pytest.raises(ValueError, match="loss_rate"):
+            Link(Simulator(), loss_rate=1.0)
+
+
+class TestLossInjection:
+    def test_lossless_by_default(self):
+        sim = Simulator()
+        src, dst, link = make_pair(sim)
+        for _ in range(50):
+            src.send(Packet(src="src", dst="dst", payload_size=100))
+        sim.run()
+        assert len(dst.received) == 50
+        assert link.dropped_packets == 0
+
+    def test_loss_rate_drops_packets(self):
+        sim = Simulator()
+        src, dst, link = make_pair(sim, loss_rate=0.5, loss_seed=7)
+        for _ in range(200):
+            src.send(Packet(src="src", dst="dst", payload_size=100))
+        sim.run()
+        assert link.dropped_packets > 0
+        assert len(dst.received) + link.dropped_packets == 200
+        # Roughly half dropped.
+        assert 60 <= link.dropped_packets <= 140

@@ -1,0 +1,99 @@
+"""Unit tests for iteration breakdown accounting and the busy queue."""
+
+import pytest
+
+from repro.distributed.metrics import BusyQueue, IterationBreakdown, split_compute_time
+from repro.netsim.events import Simulator
+from repro.workloads.profiles import PROFILES
+
+
+class TestSplitComputeTime:
+    def test_fractions_applied(self):
+        profile = PROFILES["dqn"]
+        split = split_compute_time(profile, 1.0)
+        assert split["backward_pass"] == pytest.approx(0.26)
+        assert sum(split.values()) == pytest.approx(1.0)
+
+    def test_profile_breakdowns_sum_to_one(self):
+        for profile in PROFILES.values():
+            assert sum(profile.compute_breakdown.values()) == pytest.approx(1.0)
+
+
+class TestIterationBreakdown:
+    def test_add_and_percentages(self):
+        breakdown = IterationBreakdown()
+        breakdown.add("grad_aggregation", 3.0)
+        breakdown.add("forward_pass", 1.0)
+        pct = breakdown.percentages()
+        assert pct["grad_aggregation"] == pytest.approx(75.0)
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(KeyError):
+            IterationBreakdown().add("coffee_break", 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            IterationBreakdown().add("others", -1.0)
+
+    def test_mean_per_iteration(self):
+        breakdown = IterationBreakdown()
+        breakdown.add("others", 4.0)
+        breakdown.finish_iteration()
+        breakdown.finish_iteration()
+        assert breakdown.mean_per_iteration()["others"] == pytest.approx(2.0)
+
+    def test_aggregation_share(self):
+        breakdown = IterationBreakdown()
+        breakdown.add("grad_aggregation", 1.0)
+        breakdown.add("forward_pass", 1.0)
+        assert breakdown.aggregation_share == pytest.approx(0.5)
+
+    def test_empty_breakdown_safe(self):
+        breakdown = IterationBreakdown()
+        assert breakdown.aggregation_share == 0.0
+        assert breakdown.percentages()["others"] == 0.0
+        assert breakdown.mean_per_iteration()["others"] == 0.0
+
+
+class TestBusyQueue:
+    def test_sequential_occupancy(self):
+        sim = Simulator()
+        queue = BusyQueue(sim)
+        finishes = []
+        queue.submit(2.0, lambda: finishes.append(sim.now))
+        queue.submit(3.0, lambda: finishes.append(sim.now))
+        sim.run()
+        assert finishes == [2.0, 5.0]
+
+    def test_idle_gap_resets(self):
+        sim = Simulator()
+        queue = BusyQueue(sim)
+        finishes = []
+        queue.submit(1.0, lambda: finishes.append(sim.now))
+        sim.schedule(10.0, lambda: queue.submit(1.0, lambda: finishes.append(sim.now)))
+        sim.run()
+        assert finishes == [1.0, 11.0]
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        queue = BusyQueue(sim)
+        queue.submit(2.0)
+        queue.submit(3.0)
+        assert queue.busy_time == 5.0
+
+    def test_backlog(self):
+        sim = Simulator()
+        queue = BusyQueue(sim)
+        queue.submit(2.0)
+        assert queue.backlog == pytest.approx(2.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            BusyQueue(Simulator()).submit(-1.0)
+
+    def test_submit_returns_finish_time(self):
+        sim = Simulator()
+        queue = BusyQueue(sim)
+        assert queue.submit(2.0) == 2.0
+        assert queue.submit(1.0) == 3.0

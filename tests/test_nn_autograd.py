@@ -1,0 +1,218 @@
+"""Autograd correctness: every op's VJP checked against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, is_grad_enabled, no_grad
+
+
+def numeric_gradient(fn, x, eps=1e-6):
+    """Central finite differences of a scalar fn at array x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    out = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        out[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_op(op, shape=(3, 4), seed=0, positive=False, atol=1e-5):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(shape)
+    if positive:
+        data = np.abs(data) + 0.5
+    tensor = Tensor(data.copy(), requires_grad=True)
+    loss = op(tensor).sum()
+    loss.backward()
+
+    def scalar_fn(arr):
+        return float(op(Tensor(arr)).sum().data)
+
+    expected = numeric_gradient(scalar_fn, data.copy())
+    np.testing.assert_allclose(tensor.grad, expected, atol=atol, rtol=1e-4)
+
+
+class TestElementwiseOps:
+    def test_add(self):
+        check_op(lambda t: t + 3.0)
+
+    def test_sub(self):
+        check_op(lambda t: 5.0 - t)
+
+    def test_mul(self):
+        check_op(lambda t: t * 2.5)
+
+    def test_div(self):
+        check_op(lambda t: t / 2.0)
+
+    def test_rdiv(self):
+        check_op(lambda t: 1.0 / t, positive=True)
+
+    def test_pow(self):
+        check_op(lambda t: t**3.0)
+
+    def test_sqrt(self):
+        check_op(lambda t: t.sqrt(), positive=True)
+
+    def test_neg(self):
+        check_op(lambda t: -t)
+
+    def test_exp(self):
+        check_op(lambda t: t.exp())
+
+    def test_log(self):
+        check_op(lambda t: t.log(), positive=True)
+
+    def test_tanh(self):
+        check_op(lambda t: t.tanh())
+
+    def test_sigmoid(self):
+        check_op(lambda t: t.sigmoid())
+
+    def test_relu(self):
+        # Offset to keep inputs away from the kink.
+        check_op(lambda t: (t + 0.05).relu(), seed=3)
+
+    def test_abs(self):
+        check_op(lambda t: (t + 0.05).abs(), seed=3)
+
+    def test_clip(self):
+        check_op(lambda t: t.clip(-0.5, 0.5), seed=4)
+
+
+class TestReductionsAndShape:
+    def test_sum_all(self):
+        check_op(lambda t: t.sum() * 2.0)
+
+    def test_sum_axis(self):
+        check_op(lambda t: (t.sum(axis=0) ** 2.0))
+
+    def test_sum_keepdims(self):
+        check_op(lambda t: (t.sum(axis=1, keepdims=True) * t))
+
+    def test_mean(self):
+        check_op(lambda t: t.mean(axis=1) ** 2.0)
+
+    def test_reshape(self):
+        check_op(lambda t: (t.reshape(12) ** 2.0), shape=(3, 4))
+
+    def test_transpose(self):
+        check_op(lambda t: (t.transpose() @ Tensor(np.ones((3, 2)))))
+
+    def test_getitem(self):
+        check_op(lambda t: t[1] ** 2.0)
+
+    def test_matmul_left(self):
+        weight = np.random.default_rng(1).standard_normal((4, 2))
+        check_op(lambda t: t @ Tensor(weight))
+
+    def test_matmul_right(self):
+        left = np.random.default_rng(2).standard_normal((2, 3))
+        check_op(lambda t: Tensor(left) @ t)
+
+    def test_gather(self):
+        indices = np.array([1, 3, 0])
+        check_op(lambda t: t.gather(indices) ** 2.0)
+
+    def test_concat(self):
+        other = np.random.default_rng(5).standard_normal((3, 2))
+        check_op(lambda t: concat([t, Tensor(other)], axis=1).sum(axis=1) ** 2.0)
+
+
+class TestSoftmaxFamily:
+    def test_log_softmax(self):
+        check_op(lambda t: t.log_softmax(axis=-1) ** 2.0)
+
+    def test_softmax_sums_to_one(self):
+        probs = Tensor(np.random.default_rng(0).standard_normal((5, 7))).softmax()
+        np.testing.assert_allclose(probs.numpy().sum(axis=-1), 1.0, rtol=1e-10)
+
+    def test_softmax_gradient(self):
+        check_op(lambda t: (t.softmax(axis=-1) * Tensor(np.arange(4.0))))
+
+
+class TestBroadcasting:
+    def test_bias_broadcast(self):
+        bias = Tensor(np.random.default_rng(0).standard_normal(4), requires_grad=True)
+        x = Tensor(np.random.default_rng(1).standard_normal((3, 4)))
+        ((x + bias) ** 2.0).sum().backward()
+        expected = (2 * (x.numpy() + bias.numpy())).sum(axis=0)
+        np.testing.assert_allclose(bias.grad, expected, atol=1e-10)
+
+    def test_scalar_broadcast(self):
+        scale = Tensor(np.array(2.0), requires_grad=True)
+        x = Tensor(np.ones((3, 4)))
+        (x * scale).sum().backward()
+        assert scale.grad == pytest.approx(12.0)
+
+    def test_row_times_matrix(self):
+        row = Tensor(np.ones((1, 4)), requires_grad=True)
+        x = Tensor(np.full((3, 4), 2.0))
+        (row * x).sum().backward()
+        np.testing.assert_allclose(row.grad, np.full((1, 4), 6.0))
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_across_uses(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        (a * b).backward()  # d/dx 6x^2 = 12x
+        assert x.grad[0] == pytest.approx(24.0)
+
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError, match="scalar"):
+            (x * 2.0).backward()
+
+    def test_backward_with_explicit_gradient(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).backward(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 4.0, 6.0])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(1)).backward()
+
+    def test_no_grad_disables_taping(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            y = x * 2.0
+        assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_detach_breaks_graph(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.ones(1), requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 1.0
+        y.sum().backward()
+        assert x.grad[0] == pytest.approx(1.0)
+
+    def test_float32_inputs_promoted(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        assert x.data.dtype == np.float64

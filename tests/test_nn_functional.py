@@ -1,0 +1,83 @@
+"""Unit tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    entropy_from_logits,
+    huber_loss,
+    mse_loss,
+    nll_from_logits,
+)
+
+
+class TestMSE:
+    def test_value(self):
+        loss = mse_loss(Tensor(np.array([1.0, 2.0])), Tensor(np.array([0.0, 0.0])))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_zero_at_match(self):
+        x = Tensor(np.ones(4))
+        assert mse_loss(x, Tensor(np.ones(4))).item() == 0.0
+
+    def test_gradient(self):
+        pred = Tensor(np.array([2.0]), requires_grad=True)
+        mse_loss(pred, Tensor(np.array([0.0]))).backward()
+        assert pred.grad[0] == pytest.approx(4.0)
+
+
+class TestHuber:
+    def test_quadratic_inside_delta(self):
+        loss = huber_loss(Tensor(np.array([0.5])), Tensor(np.array([0.0])))
+        assert loss.item() == pytest.approx(0.125)
+
+    def test_linear_outside_delta(self):
+        loss = huber_loss(Tensor(np.array([3.0])), Tensor(np.array([0.0])))
+        assert loss.item() == pytest.approx(0.5 + 2.0)  # 0.5*1^2 + 1*(3-1)
+
+    def test_gradient_clipped_outside_delta(self):
+        pred = Tensor(np.array([10.0]), requires_grad=True)
+        huber_loss(pred, Tensor(np.array([0.0]))).backward()
+        assert pred.grad[0] == pytest.approx(1.0)  # clipped at delta
+
+    def test_custom_delta(self):
+        loss = huber_loss(
+            Tensor(np.array([4.0])), Tensor(np.array([0.0])), delta=2.0
+        )
+        assert loss.item() == pytest.approx(0.5 * 4 + 2.0 * 2)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            huber_loss(Tensor(np.zeros(1)), Tensor(np.zeros(1)), delta=0.0)
+
+
+class TestNLL:
+    def test_matches_manual_cross_entropy(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((5, 3))
+        actions = np.array([0, 2, 1, 1, 0])
+        nll = nll_from_logits(Tensor(logits), actions).numpy()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(5), actions]
+        np.testing.assert_allclose(nll, expected, rtol=1e-10)
+
+    def test_uniform_logits(self):
+        nll = nll_from_logits(Tensor(np.zeros((2, 4))), np.array([0, 3]))
+        np.testing.assert_allclose(nll.numpy(), np.log(4.0))
+
+
+class TestEntropy:
+    def test_uniform_is_maximal(self):
+        uniform = entropy_from_logits(Tensor(np.zeros((1, 4)))).item()
+        peaked = entropy_from_logits(
+            Tensor(np.array([[10.0, 0.0, 0.0, 0.0]]))
+        ).item()
+        assert uniform == pytest.approx(np.log(4.0))
+        assert peaked < uniform
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(1)
+        ent = entropy_from_logits(Tensor(rng.standard_normal((8, 5)))).item()
+        assert ent >= 0.0

@@ -1,0 +1,132 @@
+"""Unit tests for modules, layers and the MLP builder."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Activation, Linear, Module, Parameter, Sequential, Tensor, mlp
+
+
+class TestModule:
+    def test_parameters_collected_in_order(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Parameter(np.zeros(2))
+                self.b = Parameter(np.zeros(3))
+
+        params = Net().parameters()
+        assert [p.size for p in params] == [2, 3]
+
+    def test_nested_modules_collected(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.zeros(4))
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.p = Parameter(np.zeros(1))
+                self.inner = Inner()
+
+        assert [p.size for p in Outer().parameters()] == [1, 4]
+
+    def test_named_parameters_paths(self):
+        net = mlp([2, 3, 1], rng=np.random.default_rng(0))
+        names = [name for name, _ in net.named_parameters()]
+        assert "layer0.weight" in names
+        assert "layer0.bias" in names
+
+    def test_n_parameters(self):
+        net = Linear(4, 5, rng=np.random.default_rng(0))
+        assert net.n_parameters == 4 * 5 + 5
+
+    def test_zero_grad_clears_all(self):
+        net = Linear(2, 2, rng=np.random.default_rng(0))
+        out = net(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert net.weight.grad is not None
+        net.zero_grad()
+        assert net.weight.grad is None
+        assert net.bias.grad is None
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self):
+        net = Linear(3, 2, rng=np.random.default_rng(1))
+        x = np.random.default_rng(2).standard_normal((5, 3))
+        out = net(Tensor(x)).numpy()
+        expected = x @ net.weight.numpy() + net.bias.numpy()
+        np.testing.assert_allclose(out, expected)
+
+    def test_no_bias(self):
+        net = Linear(3, 2, rng=np.random.default_rng(1), bias=False)
+        assert net.bias is None
+        assert net.n_parameters == 6
+
+    def test_init_bound_kaiming(self):
+        net = Linear(100, 50, rng=np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(net.weight.numpy()).max() <= bound
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            Linear(0, 5)
+
+    def test_deterministic_init_with_seed(self):
+        a = Linear(4, 4, rng=np.random.default_rng(7))
+        b = Linear(4, 4, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight.numpy(), b.weight.numpy())
+
+
+class TestActivation:
+    @pytest.mark.parametrize("kind", ["relu", "tanh", "sigmoid"])
+    def test_kinds(self, kind):
+        act = Activation(kind)
+        x = Tensor(np.array([-1.0, 0.5]))
+        out = act(x).numpy()
+        expected = {
+            "relu": np.maximum(x.numpy(), 0),
+            "tanh": np.tanh(x.numpy()),
+            "sigmoid": 1 / (1 + np.exp(-x.numpy())),
+        }[kind]
+        np.testing.assert_allclose(out, expected)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            Activation("swish")
+
+
+class TestSequentialAndMLP:
+    def test_sequential_applies_in_order(self):
+        double = Linear(1, 1, rng=np.random.default_rng(0), bias=False)
+        double.weight.data[:] = 2.0
+        triple = Linear(1, 1, rng=np.random.default_rng(0), bias=False)
+        triple.weight.data[:] = 3.0
+        seq = Sequential(double, triple)
+        out = seq(Tensor(np.array([[1.0]])))
+        assert out.numpy()[0, 0] == pytest.approx(6.0)
+
+    def test_len_and_iter(self):
+        seq = mlp([2, 4, 2], rng=np.random.default_rng(0))
+        assert len(seq) == 3  # linear, act, linear
+        assert len(list(seq)) == 3
+
+    def test_mlp_shapes(self):
+        net = mlp([5, 16, 8, 3], rng=np.random.default_rng(0))
+        out = net(Tensor(np.zeros((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_mlp_output_activation(self):
+        net = mlp([2, 4, 2], output_activation="tanh", rng=np.random.default_rng(0))
+        out = net(Tensor(np.full((1, 2), 100.0))).numpy()
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_mlp_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            mlp([4])
+
+    def test_mlp_gradient_flows_to_all_layers(self):
+        net = mlp([3, 8, 2], rng=np.random.default_rng(0))
+        net(Tensor(np.ones((4, 3)))).sum().backward()
+        assert all(p.grad is not None for p in net.parameters())

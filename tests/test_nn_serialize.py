@@ -1,0 +1,73 @@
+"""Unit tests for parameter/gradient flattening."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    flatten_grads,
+    flatten_params,
+    load_flat_grads,
+    load_flat_params,
+    mlp,
+    model_wire_bytes,
+    param_vector_size,
+)
+
+
+def make_net(seed=0):
+    return mlp([3, 8, 2], rng=np.random.default_rng(seed))
+
+
+class TestFlattenParams:
+    def test_roundtrip(self):
+        net = make_net()
+        vector = flatten_params(net)
+        other = make_net(seed=99)
+        load_flat_params(other, vector)
+        np.testing.assert_allclose(
+            flatten_params(other), vector, rtol=1e-6
+        )
+
+    def test_vector_is_float32(self):
+        assert flatten_params(make_net()).dtype == np.float32
+
+    def test_size_matches_param_count(self):
+        net = make_net()
+        assert flatten_params(net).shape == (param_vector_size(net),)
+        assert model_wire_bytes(net) == param_vector_size(net) * 4
+
+    def test_wrong_size_rejected(self):
+        net = make_net()
+        with pytest.raises(ValueError, match="flat vector"):
+            load_flat_params(net, np.zeros(3, dtype=np.float32))
+
+
+class TestFlattenGrads:
+    def test_missing_grads_become_zeros(self):
+        net = make_net()
+        vector = flatten_grads(net)
+        assert vector.shape == (net.n_parameters,)
+        np.testing.assert_array_equal(vector, 0.0)
+
+    def test_grads_roundtrip(self):
+        net = make_net()
+        net(Tensor(np.ones((2, 3)))).sum().backward()
+        vector = flatten_grads(net)
+        assert np.abs(vector).sum() > 0
+        other = make_net(seed=1)
+        load_flat_grads(other, vector)
+        np.testing.assert_allclose(flatten_grads(other), vector, rtol=1e-6)
+
+    def test_load_grads_overwrites_not_accumulates(self):
+        net = make_net()
+        load_flat_grads(net, np.ones(net.n_parameters, dtype=np.float32))
+        load_flat_grads(net, np.full(net.n_parameters, 2.0, dtype=np.float32))
+        np.testing.assert_array_equal(flatten_grads(net), 2.0)
+
+    def test_layout_stable_across_calls(self):
+        net = make_net()
+        net(Tensor(np.ones((2, 3)))).sum().backward()
+        first = flatten_grads(net)
+        second = flatten_grads(net)
+        np.testing.assert_array_equal(first, second)

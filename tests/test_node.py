@@ -1,0 +1,75 @@
+"""Unit tests for hosts and protocol dispatch."""
+
+import pytest
+
+from repro.netsim.events import Simulator
+from repro.netsim.link import Link
+from repro.netsim.node import Host
+from repro.netsim.packets import Packet
+
+
+def linked_hosts():
+    sim = Simulator()
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    Link(sim).attach(a, b)
+    return sim, a, b
+
+
+class TestDispatch:
+    def test_bound_port_receives(self):
+        sim, a, b = linked_hosts()
+        got = []
+        b.bind(42, got.append)
+        a.send(Packet(src="a", dst="b", payload_size=10, dst_port=42))
+        sim.run()
+        assert len(got) == 1
+
+    def test_unbound_port_drops_silently(self):
+        sim, a, b = linked_hosts()
+        a.send(Packet(src="a", dst="b", payload_size=10, dst_port=99))
+        sim.run()
+        assert b.rx_packets == 1  # received, counted, no handler
+
+    def test_default_handler_catches_unbound(self):
+        sim, a, b = linked_hosts()
+        got = []
+        b.bind(42, lambda p: got.append(("bound", p.dst_port)))
+        b.bind_default(lambda p: got.append(("default", p.dst_port)))
+        a.send(Packet(src="a", dst="b", payload_size=10, dst_port=7))
+        a.send(Packet(src="a", dst="b", payload_size=10, dst_port=42))
+        sim.run()
+        assert ("default", 7) in got
+        assert ("bound", 42) in got
+
+    def test_double_bind_rejected(self):
+        _, _, b = linked_hosts()
+        b.bind(1, lambda p: None)
+        with pytest.raises(ValueError, match="already bound"):
+            b.bind(1, lambda p: None)
+
+    def test_unbind_then_rebind(self):
+        _, _, b = linked_hosts()
+        b.bind(1, lambda p: None)
+        b.unbind(1)
+        b.bind(1, lambda p: None)  # no error
+
+
+class TestWiring:
+    def test_host_is_single_homed(self):
+        sim = Simulator()
+        a = Host(sim, "a")
+        b = Host(sim, "b")
+        c = Host(sim, "c")
+        Link(sim).attach(a, b)
+        with pytest.raises(RuntimeError, match="single-homed"):
+            Link(sim).attach(a, c)
+
+    def test_send_without_link_fails(self):
+        host = Host(Simulator(), "lonely")
+        with pytest.raises(RuntimeError, match="no link"):
+            host.send(Packet(src="lonely", dst="x", payload_size=1))
+
+    def test_uplink_is_first_port(self):
+        sim, a, _ = linked_hosts()
+        assert a.uplink is a.ports[0]

@@ -1,0 +1,102 @@
+"""Unit tests for the packet model and wire-size accounting."""
+
+import pytest
+
+from repro.netsim.packets import (
+    ETHERNET_OVERHEAD,
+    IP_HEADER,
+    MAX_FRAME,
+    MAX_UDP_PAYLOAD,
+    MTU,
+    UDP_HEADER,
+    VLAN_TAG,
+    Packet,
+)
+
+
+class TestWireSizes:
+    def test_header_constants_match_standards(self):
+        assert ETHERNET_OVERHEAD == 18
+        assert VLAN_TAG == 4
+        assert IP_HEADER == 20
+        assert UDP_HEADER == 8
+        assert MTU == 1500
+        assert MAX_FRAME == 1522  # the paper's quoted max frame size
+
+    def test_max_udp_payload(self):
+        assert MAX_UDP_PAYLOAD == MTU - IP_HEADER - UDP_HEADER == 1472
+
+    def test_wire_size_adds_all_headers(self):
+        packet = Packet(src="a", dst="b", payload_size=100)
+        assert packet.wire_size == 100 + 18 + 4 + 20 + 8
+
+    def test_full_frame_hits_max(self):
+        packet = Packet(src="a", dst="b", payload_size=MAX_UDP_PAYLOAD)
+        assert packet.wire_size == MAX_FRAME
+
+    def test_empty_payload_allowed(self):
+        packet = Packet(src="a", dst="b", payload_size=0)
+        assert packet.wire_size == 50
+
+
+class TestFrameTrains:
+    def test_single_frame_overflow_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            Packet(src="a", dst="b", payload_size=MAX_UDP_PAYLOAD + 1)
+
+    def test_train_wire_size_counts_per_frame_headers(self):
+        packet = Packet(
+            src="a", dst="b", payload_size=3 * MAX_UDP_PAYLOAD, frame_count=3
+        )
+        assert packet.wire_size == 3 * MAX_FRAME
+
+    def test_train_capacity_validated(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            Packet(
+                src="a",
+                dst="b",
+                payload_size=2 * MAX_UDP_PAYLOAD + 1,
+                frame_count=2,
+            )
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ValueError, match="frame_count"):
+            Packet(src="a", dst="b", payload_size=10, frame_count=0)
+
+
+class TestValidation:
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Packet(src="a", dst="b", payload_size=-1)
+
+    def test_tos_must_be_one_byte(self):
+        with pytest.raises(ValueError, match="ToS"):
+            Packet(src="a", dst="b", payload_size=1, tos=256)
+        with pytest.raises(ValueError, match="ToS"):
+            Packet(src="a", dst="b", payload_size=1, tos=-1)
+
+    def test_packet_ids_unique(self):
+        a = Packet(src="a", dst="b", payload_size=1)
+        b = Packet(src="a", dst="b", payload_size=1)
+        assert a.packet_id != b.packet_id
+
+
+class TestCopyFor:
+    def test_copy_changes_destination_only(self):
+        original = Packet(
+            src="a",
+            dst="b",
+            payload_size=77,
+            tos=8,
+            payload={"k": 1},
+            src_port=5,
+            dst_port=6,
+            frame_count=1,
+        )
+        clone = original.copy_for("c")
+        assert clone.dst == "c"
+        assert clone.src == original.src
+        assert clone.payload is original.payload
+        assert clone.payload_size == original.payload_size
+        assert clone.tos == original.tos
+        assert clone.packet_id != original.packet_id

@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accelerator import AggregationEngine
+from repro.core.protocol import FLOATS_PER_SEGMENT, DataSegment, SegmentPlan
+from repro.netsim.events import Simulator
+from repro.netsim.trace import LatencyStats
+from repro.rl.a2c import discounted_returns
+from repro.rl.ppo import gae_advantages
+from repro.nn.tensor import Tensor, _unbroadcast
+
+
+class TestSegmentPlanProperties:
+    @given(
+        n_elements=st.integers(1, 20_000),
+        frames_per_chunk=st.integers(1, 8),
+        round_index=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_assemble_roundtrip(self, n_elements, frames_per_chunk, round_index):
+        plan = SegmentPlan(n_elements, frames_per_chunk=frames_per_chunk)
+        vector = np.random.default_rng(0).standard_normal(n_elements).astype(
+            np.float32
+        )
+        segments = plan.split(vector, round_index)
+        assert len(segments) == plan.n_chunks
+        np.testing.assert_array_equal(plan.assemble(segments), vector)
+
+    @given(n_elements=st.integers(1, 50_000), frames_per_chunk=st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_chunks_partition_vector(self, n_elements, frames_per_chunk):
+        plan = SegmentPlan(n_elements, frames_per_chunk=frames_per_chunk)
+        boundaries = [plan.chunk_bounds(c) for c in range(plan.n_chunks)]
+        assert boundaries[0][0] == 0
+        assert boundaries[-1][1] == n_elements
+        for (_, stop), (start, _) in zip(boundaries, boundaries[1:]):
+            assert stop == start
+
+    @given(seg=st.integers(0, 10**9), n_elements=st.integers(1, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_round_chunk_decomposition(self, seg, n_elements):
+        plan = SegmentPlan(n_elements)
+        round_index = plan.round_of_seg(seg)
+        chunk = plan.chunk_of_seg(seg)
+        assert round_index * plan.n_chunks + chunk == seg
+        assert 0 <= chunk < plan.n_chunks
+
+
+class TestEngineProperties:
+    @given(
+        n_workers=st.integers(1, 8),
+        length=st.integers(1, 64),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sum_matches_numpy_regardless_of_order(self, n_workers, length, seed):
+        rng = np.random.default_rng(seed)
+        vectors = [
+            rng.standard_normal(length).astype(np.float32)
+            for _ in range(n_workers)
+        ]
+        engine = AggregationEngine(threshold=n_workers)
+        order = rng.permutation(n_workers)
+        result = None
+        for index in order:
+            result = engine.contribute(
+                DataSegment(seg=0, data=vectors[index], sender=f"w{index}")
+            )
+        assert result is not None
+        np.testing.assert_allclose(
+            result.data, np.sum(vectors, axis=0), rtol=1e-5, atol=1e-5
+        )
+
+    @given(
+        contributions=st.integers(1, 40),
+        threshold=st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_completions_count(self, contributions, threshold):
+        engine = AggregationEngine(threshold=threshold)
+        completed = 0
+        for i in range(contributions):
+            if engine.contribute(
+                DataSegment(seg=0, data=np.ones(4, dtype=np.float32))
+            ):
+                completed += 1
+        assert completed == contributions // threshold
+        assert engine.pending_count(0) == contributions % threshold
+
+    @given(
+        threshold=st.integers(1, 6),
+        n_chunks=st.integers(1, 6),
+        commits=st.integers(1, 30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arrival_renumbering_conserves_data(self, threshold, n_chunks, commits):
+        """Under renumbering, every completed round sums exactly H
+        contributions — no gradient is double-counted or lost until the
+        buffers are (intentionally) evicted."""
+        engine = AggregationEngine(threshold=threshold)
+        engine.arrival_renumber = n_chunks
+        total_in = 0.0
+        total_out = 0.0
+        for commit in range(commits):
+            for chunk in range(n_chunks):
+                value = float(commit + 1)
+                total_in += value
+                result = engine.contribute(
+                    DataSegment(
+                        seg=commit * n_chunks + chunk,
+                        data=np.array([value], dtype=np.float32),
+                    )
+                )
+                if result is not None:
+                    total_out += float(result.data[0])
+        leftover = sum(
+            float(buffer[0]) for buffer in engine._buffers.values()
+        )
+        assert total_out + leftover == pytest.approx(total_in, rel=1e-6)
+
+
+class TestLatencyStatsProperties:
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy(self, values):
+        stats = LatencyStats()
+        for v in values:
+            stats.record(v)
+        assert stats.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+        assert stats.min == min(values)
+        assert stats.max == max(values)
+
+    @given(
+        a=st.lists(st.floats(0.0, 1e3), min_size=1, max_size=50),
+        b=st.lists(st.floats(0.0, 1e3), min_size=1, max_size=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_combined(self, a, b):
+        left = LatencyStats()
+        combined = LatencyStats()
+        for v in a:
+            left.record(v)
+            combined.record(v)
+        right = LatencyStats()
+        for v in b:
+            right.record(v)
+            combined.record(v)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-9)
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_events_always_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestRLMathProperties:
+    @given(
+        rewards=st.lists(st.floats(-10, 10), min_size=1, max_size=30),
+        gamma=st.floats(0.5, 0.999),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_returns_satisfy_bellman_recursion(self, rewards, gamma):
+        rewards_arr = np.asarray(rewards)
+        dones = np.zeros(len(rewards))
+        returns = discounted_returns(rewards_arr, dones, 0.0, gamma)
+        for t in range(len(rewards) - 1):
+            assert returns[t] == pytest.approx(
+                rewards_arr[t] + gamma * returns[t + 1], rel=1e-9, abs=1e-9
+            )
+
+    @given(
+        length=st.integers(1, 30),
+        gamma=st.floats(0.5, 0.999),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gae_with_lambda_one_is_full_return_advantage(self, length, gamma, seed):
+        rng = np.random.default_rng(seed)
+        rewards = rng.standard_normal(length)
+        values = rng.standard_normal(length)
+        dones = np.zeros(length)
+        bootstrap = float(rng.standard_normal())
+        adv = gae_advantages(rewards, values, dones, bootstrap, gamma, lam=1.0)
+        returns = discounted_returns(rewards, dones, bootstrap, gamma)
+        np.testing.assert_allclose(adv, returns - values, rtol=1e-8, atol=1e-8)
+
+
+class TestUnbroadcastProperty:
+    @given(
+        rows=st.integers(1, 5),
+        cols=st.integers(1, 5),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unbroadcast_inverts_broadcast_sum(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        grad = rng.standard_normal((rows, cols))
+        # Broadcasting a (1, cols) array up to (rows, cols): the gradient
+        # must sum over the broadcast axis.
+        reduced = _unbroadcast(grad, (1, cols))
+        np.testing.assert_allclose(reduced, grad.sum(axis=0, keepdims=True))
+        # Scalar case.
+        scalar = _unbroadcast(grad, ())
+        assert scalar == pytest.approx(grad.sum())
+
+    @given(
+        batch=st.integers(1, 4),
+        features=st.integers(1, 6),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_linear_gradient_matches_finite_difference(self, batch, features, seed):
+        rng = np.random.default_rng(seed)
+        weights = Tensor(rng.standard_normal(features), requires_grad=True)
+        x = rng.standard_normal((batch, features))
+        (Tensor(x) * weights).sum().backward()
+        np.testing.assert_allclose(weights.grad, x.sum(axis=0), rtol=1e-10)

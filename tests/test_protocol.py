@@ -1,0 +1,191 @@
+"""Unit tests for the iSwitch wire protocol: packets, plans, segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import (
+    FLOAT_BYTES,
+    FLOATS_PER_SEGMENT,
+    ISWITCH_TOS_VALUES,
+    ISWITCH_UDP_PORT,
+    SEG_HEADER_BYTES,
+    SEG_PAYLOAD_BYTES,
+    TOS_CONTROL,
+    TOS_DATA_DOWN,
+    TOS_DATA_UP,
+    Action,
+    ControlMessage,
+    DataSegment,
+    SegmentPlan,
+    make_control_packet,
+    make_data_packet,
+)
+
+
+class TestConstants:
+    def test_three_reserved_tos_values(self):
+        assert len(ISWITCH_TOS_VALUES) == 3
+        assert {TOS_CONTROL, TOS_DATA_UP, TOS_DATA_DOWN} == set(ISWITCH_TOS_VALUES)
+
+    def test_seg_field_is_eight_bytes(self):
+        assert SEG_HEADER_BYTES == 8  # Figure 5b
+
+    def test_segment_capacity(self):
+        assert SEG_PAYLOAD_BYTES == 1472 - 8
+        assert FLOATS_PER_SEGMENT == SEG_PAYLOAD_BYTES // FLOAT_BYTES == 366
+
+    def test_table2_actions_complete(self):
+        names = {a.name for a in Action}
+        assert names == {
+            "JOIN",
+            "LEAVE",
+            "RESET",
+            "SETH",
+            "FBCAST",
+            "HELP",
+            "HALT",
+            "ACK",
+        }
+
+
+class TestControlMessages:
+    def test_bare_action_is_one_byte(self):
+        assert ControlMessage(Action.RESET).payload_size == 1
+
+    def test_seth_carries_four_byte_value(self):
+        assert ControlMessage(Action.SETH, 4).payload_size == 5
+
+    def test_help_carries_seg_index(self):
+        assert ControlMessage(Action.HELP, 17).payload_size == 1 + 8
+
+    def test_control_packet_tagged(self):
+        packet = make_control_packet("w0", "sw", ControlMessage(Action.JOIN, "worker"))
+        assert packet.tos == TOS_CONTROL
+        assert packet.dst_port == ISWITCH_UDP_PORT
+        assert isinstance(packet.payload, ControlMessage)
+
+
+class TestSegmentPlan:
+    def test_frame_count(self):
+        plan = SegmentPlan(FLOATS_PER_SEGMENT * 3)
+        assert plan.n_frames == 3
+        assert plan.n_chunks == 3
+
+    def test_partial_last_frame(self):
+        plan = SegmentPlan(FLOATS_PER_SEGMENT + 1)
+        assert plan.n_frames == 2
+
+    def test_chunking_groups_frames(self):
+        plan = SegmentPlan(FLOATS_PER_SEGMENT * 10, frames_per_chunk=4)
+        assert plan.n_chunks == 3  # 4 + 4 + 2 frames
+        assert plan.chunk_frames(0) == 4
+        assert plan.chunk_frames(2) == 2
+
+    def test_chunk_bounds_cover_vector_exactly(self):
+        plan = SegmentPlan(1000, frames_per_chunk=2)
+        covered = 0
+        for c in range(plan.n_chunks):
+            start, stop = plan.chunk_bounds(c)
+            assert start == covered
+            covered = stop
+        assert covered == 1000
+
+    def test_chunk_bounds_out_of_range(self):
+        plan = SegmentPlan(100)
+        with pytest.raises(IndexError):
+            plan.chunk_bounds(5)
+
+    def test_split_assigns_global_seg_numbers(self):
+        plan = SegmentPlan(1000)
+        segments = plan.split(np.zeros(1000, dtype=np.float32), round_index=7)
+        base = 7 * plan.n_chunks
+        assert [s.seg for s in segments] == list(range(base, base + plan.n_chunks))
+
+    def test_split_rejects_wrong_shape(self):
+        plan = SegmentPlan(1000)
+        with pytest.raises(ValueError, match="shape"):
+            plan.split(np.zeros(999, dtype=np.float32), 0)
+
+    def test_split_rejects_negative_round(self):
+        plan = SegmentPlan(100)
+        with pytest.raises(ValueError, match="round_index"):
+            plan.split(np.zeros(100, dtype=np.float32), -1)
+
+    def test_split_assemble_roundtrip(self):
+        plan = SegmentPlan(5000, frames_per_chunk=3)
+        vector = np.random.default_rng(0).standard_normal(5000).astype(np.float32)
+        segments = plan.split(vector, round_index=3)
+        out = plan.assemble(segments)
+        np.testing.assert_array_equal(out, vector)
+
+    def test_assemble_any_order(self):
+        plan = SegmentPlan(3000)
+        vector = np.arange(3000, dtype=np.float32)
+        segments = plan.split(vector, 0)[::-1]
+        np.testing.assert_array_equal(plan.assemble(segments), vector)
+
+    def test_assemble_detects_duplicates(self):
+        plan = SegmentPlan(FLOATS_PER_SEGMENT * 2)
+        segments = plan.split(
+            np.zeros(FLOATS_PER_SEGMENT * 2, dtype=np.float32), 0
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            plan.assemble([segments[0], segments[0]])
+
+    def test_assemble_detects_missing(self):
+        plan = SegmentPlan(FLOATS_PER_SEGMENT * 2)
+        segments = plan.split(
+            np.zeros(FLOATS_PER_SEGMENT * 2, dtype=np.float32), 0
+        )
+        with pytest.raises(ValueError, match="expected"):
+            plan.assemble(segments[:1])
+
+    def test_round_and_chunk_of_seg(self):
+        plan = SegmentPlan(FLOATS_PER_SEGMENT * 5)
+        seg = 3 * plan.n_chunks + 2
+        assert plan.round_of_seg(seg) == 3
+        assert plan.chunk_of_seg(seg) == 2
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            SegmentPlan(0)
+        with pytest.raises(ValueError):
+            SegmentPlan(10, frames_per_chunk=0)
+        with pytest.raises(ValueError):
+            SegmentPlan(10, wire_multiplier=0)
+
+
+class TestDataPackets:
+    def test_data_packet_tagged_and_sized(self):
+        plan = SegmentPlan(FLOATS_PER_SEGMENT * 2)
+        segment = plan.split(
+            np.zeros(FLOATS_PER_SEGMENT * 2, dtype=np.float32), 0
+        )[0]
+        packet = make_data_packet("w0", "sw", segment, plan)
+        assert packet.tos == TOS_DATA_UP
+        assert packet.payload_size == SEG_HEADER_BYTES + FLOATS_PER_SEGMENT * 4
+        assert packet.frame_count == 1
+
+    def test_downstream_flag(self):
+        plan = SegmentPlan(10)
+        segment = plan.split(np.zeros(10, dtype=np.float32), 0)[0]
+        packet = make_data_packet("sw", "w0", segment, plan, downstream=True)
+        assert packet.tos == TOS_DATA_DOWN
+
+    def test_wire_multiplier_scales_footprint(self):
+        plan = SegmentPlan(100, wire_multiplier=5)
+        segment = plan.split(np.zeros(100, dtype=np.float32), 0)[0]
+        packet = make_data_packet("w0", "sw", segment, plan)
+        assert packet.frame_count == 5
+        assert packet.payload_size == 5 * (SEG_HEADER_BYTES + 100 * 4)
+
+    def test_wire_shape_stamped_on_segment(self):
+        plan = SegmentPlan(100, wire_multiplier=3)
+        segment = plan.split(np.zeros(100, dtype=np.float32), 0)[0]
+        make_data_packet("w0", "sw", segment, plan)
+        assert segment.wire_payload == 3 * (SEG_HEADER_BYTES + 400)
+        assert segment.wire_frames == 3
+
+    def test_negative_seg_rejected(self):
+        with pytest.raises(ValueError, match="Seg index"):
+            DataSegment(seg=-1, data=np.zeros(1, dtype=np.float32))

@@ -1,0 +1,78 @@
+"""Unit tests for the replay buffer."""
+
+import numpy as np
+import pytest
+
+from repro.rl.replay import ReplayBuffer, Transition
+
+
+def make_transition(i):
+    return Transition(
+        state=np.array([float(i)]),
+        action=i % 3,
+        reward=float(i),
+        next_state=np.array([float(i + 1)]),
+        done=i % 5 == 0,
+    )
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buf = ReplayBuffer(10, np.random.default_rng(0))
+        for i in range(5):
+            buf.push(make_transition(i))
+        assert len(buf) == 5
+
+    def test_capacity_ring(self):
+        buf = ReplayBuffer(3, np.random.default_rng(0))
+        for i in range(7):
+            buf.push(make_transition(i))
+        assert len(buf) == 3
+        rewards = {t.reward for t in buf._storage}
+        assert rewards == {4.0, 5.0, 6.0}
+
+    def test_sample_shapes(self):
+        buf = ReplayBuffer(100, np.random.default_rng(0))
+        for i in range(50):
+            buf.push(make_transition(i))
+        batch = buf.sample(16)
+        assert batch.states.shape == (16, 1)
+        assert batch.actions.shape == (16,)
+        assert batch.rewards.shape == (16,)
+        assert batch.next_states.shape == (16, 1)
+        assert batch.dones.shape == (16,)
+
+    def test_sample_without_replacement_when_possible(self):
+        buf = ReplayBuffer(100, np.random.default_rng(0))
+        for i in range(20):
+            buf.push(make_transition(i))
+        batch = buf.sample(20)
+        assert len(set(batch.rewards.tolist())) == 20
+
+    def test_sample_with_replacement_when_small(self):
+        buf = ReplayBuffer(100, np.random.default_rng(0))
+        buf.push(make_transition(0))
+        batch = buf.sample(4)
+        assert batch.states.shape == (4, 1)
+
+    def test_sample_empty_raises(self):
+        buf = ReplayBuffer(10, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="empty"):
+            buf.sample(1)
+
+    def test_invalid_batch_size(self):
+        buf = ReplayBuffer(10, np.random.default_rng(0))
+        buf.push(make_transition(0))
+        with pytest.raises(ValueError):
+            buf.sample(0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(0, np.random.default_rng(0))
+
+    def test_dones_as_float(self):
+        buf = ReplayBuffer(10, np.random.default_rng(0))
+        buf.push(make_transition(0))  # done=True
+        batch = buf.sample(1)
+        assert batch.dones.dtype == np.float64
+        assert batch.dones[0] == 1.0

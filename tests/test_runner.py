@@ -1,0 +1,76 @@
+"""Tests for the cluster/algorithm factories."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.runner import build_cluster, make_algorithm
+from repro.rl import A2C, DDPG, DQN, PPO
+from repro.workloads import get_profile
+
+
+class TestMakeAlgorithm:
+    @pytest.mark.parametrize(
+        "name, cls", [("dqn", DQN), ("a2c", A2C), ("ppo", PPO), ("ddpg", DDPG)]
+    )
+    def test_workload_classes(self, name, cls):
+        assert isinstance(make_algorithm(name, seed=0), cls)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            make_algorithm("sac", seed=0)
+
+    def test_shared_init_different_exploration(self):
+        a = make_algorithm("ppo", seed=1)
+        b = make_algorithm("ppo", seed=2)
+        np.testing.assert_array_equal(a.get_weights(), b.get_weights())
+        # Exploration diverges.
+        obs = a.env.reset()
+        b.env.reset()
+        actions_a = [a.act(obs) for _ in range(5)]
+        actions_b = [b.act(obs) for _ in range(5)]
+        assert not np.allclose(np.stack(actions_a), np.stack(actions_b))
+
+    def test_overrides_forwarded(self):
+        algo = make_algorithm("dqn", seed=0, batch_size=8)
+        assert algo.batch_size == 8
+
+
+class TestBuildCluster:
+    def test_small_cluster_is_star(self):
+        profile = get_profile("ppo")
+        net, workers = build_cluster(
+            4, profile, with_server=False, use_iswitch=False
+        )
+        assert len(net.switches) == 1
+        assert len(workers) == 4
+
+    def test_large_cluster_is_tree(self):
+        profile = get_profile("ppo")
+        net, workers = build_cluster(
+            9, profile, with_server=False, use_iswitch=False
+        )
+        assert len(net.switches) == 4  # 3 ToRs + root
+        assert len(workers) == 9
+
+    def test_iswitch_factory_used(self):
+        from repro.core import ISwitch
+
+        profile = get_profile("ppo")
+        net, _ = build_cluster(4, profile, with_server=False, use_iswitch=True)
+        assert all(isinstance(s, ISwitch) for s in net.switches)
+
+    def test_server_present_when_requested(self):
+        profile = get_profile("ppo")
+        net, _ = build_cluster(4, profile, with_server=True, use_iswitch=False)
+        assert net.server is not None
+
+    def test_workers_share_init(self):
+        profile = get_profile("ppo")
+        _, workers = build_cluster(
+            3, profile, with_server=False, use_iswitch=False
+        )
+        reference = workers[0].algorithm.get_weights()
+        for worker in workers[1:]:
+            np.testing.assert_array_equal(
+                worker.algorithm.get_weights(), reference
+            )

@@ -1,0 +1,53 @@
+"""Unit tests for action-space descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.rl.spaces import Box, Discrete
+
+
+class TestDiscrete:
+    def test_sample_in_range(self):
+        space = Discrete(5)
+        rng = np.random.default_rng(0)
+        samples = [space.sample(rng) for _ in range(100)]
+        assert all(0 <= s < 5 for s in samples)
+        assert len(set(samples)) > 1
+
+    def test_contains(self):
+        space = Discrete(3)
+        assert space.contains(0)
+        assert space.contains(np.int64(2))
+        assert not space.contains(3)
+        assert not space.contains(-1)
+        assert not space.contains(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Discrete(0)
+
+
+class TestBox:
+    def test_sample_within_bounds(self):
+        space = Box(dim=3, low=-2.0, high=2.0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            sample = space.sample(rng)
+            assert space.contains(sample)
+
+    def test_contains_checks_shape_and_bounds(self):
+        space = Box(dim=2)
+        assert space.contains(np.zeros(2))
+        assert not space.contains(np.zeros(3))
+        assert not space.contains(np.array([0.0, 2.0]))
+
+    def test_clip(self):
+        space = Box(dim=2, low=-1.0, high=1.0)
+        clipped = space.clip(np.array([5.0, -5.0]))
+        np.testing.assert_array_equal(clipped, [1.0, -1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Box(dim=0)
+        with pytest.raises(ValueError):
+            Box(dim=1, low=1.0, high=-1.0)

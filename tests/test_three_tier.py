@@ -1,0 +1,123 @@
+"""Tests for the three-tier (ToR -> AGG -> Core) topology and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AggregationClient,
+    SegmentPlan,
+    configure_aggregation,
+    iswitch_factory,
+)
+from repro.netsim import Packet, Simulator
+from repro.netsim.topology import build_three_tier
+
+
+class TestTopologyShape:
+    def test_switch_layers(self):
+        net = build_three_tier(Simulator(), 12, workers_per_rack=3, racks_per_pod=2)
+        names = [s.name for s in net.switches]
+        assert names == ["tor0", "tor1", "tor2", "tor3", "agg0", "agg1", "core"]
+        assert net.root.name == "core"
+
+    def test_partial_layers(self):
+        net = build_three_tier(Simulator(), 7, workers_per_rack=3, racks_per_pod=2)
+        names = [s.name for s in net.switches]
+        # 3 racks (3+3+1 workers), 2 pods.
+        assert names == ["tor0", "tor1", "tor2", "agg0", "agg1", "core"]
+        assert len(net.workers) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_three_tier(Simulator(), 0)
+        with pytest.raises(ValueError):
+            build_three_tier(Simulator(), 4, racks_per_pod=0)
+
+
+class TestRouting:
+    def test_cross_pod_connectivity(self):
+        sim = Simulator()
+        net = build_three_tier(sim, 12)
+        got = []
+        net.workers[11].bind(9, lambda p: got.append(p.src))
+        net.workers[0].send(
+            Packet(src="worker0", dst="worker11", payload_size=10, dst_port=9)
+        )
+        sim.run()
+        assert got == ["worker0"]
+        # The path crossed the core (different pods).
+        assert net.root.forwarded_packets == 1
+
+    def test_intra_pod_stays_below_core(self):
+        sim = Simulator()
+        net = build_three_tier(sim, 12)
+        got = []
+        # worker3 is in tor1 (same pod/agg0 as tor0's worker0).
+        net.workers[3].bind(9, lambda p: got.append(p.src))
+        net.workers[0].send(
+            Packet(src="worker0", dst="worker3", payload_size=10, dst_port=9)
+        )
+        sim.run()
+        assert got == ["worker0"]
+        assert net.root.rx_packets == 0
+
+
+class TestThreeLevelAggregation:
+    def _build(self, n_workers):
+        sim = Simulator()
+        net = build_three_tier(sim, n_workers, switch_factory=iswitch_factory)
+        configure_aggregation(net)
+        return sim, net
+
+    def test_hierarchy_inferred_from_uplinks(self):
+        _, net = self._build(12)
+        by_name = {s.name: s for s in net.switches}
+        assert by_name["tor0"].parent_address == "agg0"
+        assert by_name["tor3"].parent_address == "agg1"
+        assert by_name["agg0"].parent_address == "core"
+        assert by_name["core"].parent_address is None
+        assert by_name["tor0"].engine.threshold == 3  # workers
+        assert by_name["agg0"].engine.threshold == 2  # ToRs
+        assert by_name["core"].engine.threshold == 2  # AGGs
+
+    @pytest.mark.parametrize("n_workers", [6, 12])
+    def test_sum_correct_across_three_levels(self, n_workers):
+        sim, net = self._build(n_workers)
+        plan = SegmentPlan(2000, frames_per_chunk=2)
+        results = {}
+        clients = [
+            AggregationClient(
+                w,
+                net.tor_of_worker[i].name,
+                plan,
+                on_round_complete=lambda r, v, n=w.name: results.__setitem__(n, v),
+            )
+            for i, w in enumerate(net.workers)
+        ]
+        rng = np.random.default_rng(1)
+        vectors = [
+            rng.standard_normal(2000).astype(np.float32) for _ in clients
+        ]
+        for client, vector in zip(clients, vectors):
+            client.send_gradient(vector, 0)
+        sim.run()
+        expected = np.sum(vectors, axis=0)
+        assert len(results) == n_workers
+        for got in results.values():
+            np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-4)
+
+    def test_partial_sums_flow_through_aggs(self):
+        sim, net = self._build(12)
+        plan = SegmentPlan(500)
+        clients = [
+            AggregationClient(w, net.tor_of_worker[i].name, plan)
+            for i, w in enumerate(net.workers)
+        ]
+        for client in clients:
+            client.send_gradient(np.ones(500, dtype=np.float32), 0)
+        sim.run()
+        by_name = {s.name: s for s in net.switches}
+        # Each ToR forwarded one partial sum per chunk; each AGG too.
+        assert by_name["tor0"].upstream_forwards == plan.n_chunks
+        assert by_name["agg0"].upstream_forwards == plan.n_chunks
+        assert by_name["core"].result_broadcasts == plan.n_chunks

@@ -1,0 +1,108 @@
+"""Unit tests for the topology builders."""
+
+import pytest
+
+from repro.netsim.events import Simulator
+from repro.netsim.packets import Packet
+from repro.netsim.topology import build_rack_tree, build_star
+
+
+class TestStar:
+    def test_worker_names_and_count(self):
+        net = build_star(Simulator(), 4)
+        assert [w.name for w in net.workers] == [f"worker{i}" for i in range(4)]
+        assert net.server is None
+        assert len(net.switches) == 1
+
+    def test_server_host_added(self):
+        net = build_star(Simulator(), 2, with_server=True)
+        assert net.server is not None
+        assert net.server.name == "server"
+        assert "server" in net.hosts
+
+    def test_any_to_any_connectivity(self):
+        sim = Simulator()
+        net = build_star(sim, 3, with_server=True)
+        got = []
+        net.server.bind(9, lambda p: got.append(p.src))
+        for worker in net.workers:
+            worker.send(
+                Packet(src=worker.name, dst="server", payload_size=10, dst_port=9)
+            )
+        sim.run()
+        assert sorted(got) == ["worker0", "worker1", "worker2"]
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_star(Simulator(), 0)
+
+    def test_tor_of_worker_parallel_to_workers(self):
+        net = build_star(Simulator(), 4)
+        assert len(net.tor_of_worker) == 4
+        assert all(t is net.switches[0] for t in net.tor_of_worker)
+
+
+class TestRackTree:
+    def test_rack_count(self):
+        net = build_rack_tree(Simulator(), 12, workers_per_rack=3)
+        # 4 ToRs + 1 root
+        assert len(net.switches) == 5
+        assert net.root.name == "root"
+        assert len(net.workers) == 12
+
+    def test_partial_last_rack(self):
+        net = build_rack_tree(Simulator(), 7, workers_per_rack=3)
+        assert len(net.switches) == 4  # 3 ToRs + root
+        assert len(net.workers) == 7
+
+    def test_cross_rack_connectivity(self):
+        sim = Simulator()
+        net = build_rack_tree(sim, 6, workers_per_rack=3)
+        got = []
+        net.workers[5].bind(9, lambda p: got.append(p.src))
+        net.workers[0].send(
+            Packet(src="worker0", dst="worker5", payload_size=10, dst_port=9)
+        )
+        sim.run()
+        assert got == ["worker0"]
+
+    def test_same_rack_stays_local(self):
+        sim = Simulator()
+        net = build_rack_tree(sim, 6, workers_per_rack=3)
+        root = net.root
+        before = root.rx_packets
+        got = []
+        net.workers[1].bind(9, lambda p: got.append(p.src))
+        net.workers[0].send(
+            Packet(src="worker0", dst="worker1", payload_size=10, dst_port=9)
+        )
+        sim.run()
+        assert got == ["worker0"]
+        assert root.rx_packets == before  # never crossed the root
+
+    def test_server_reachable_from_all_racks(self):
+        sim = Simulator()
+        net = build_rack_tree(sim, 6, workers_per_rack=3, with_server=True)
+        got = []
+        net.server.bind(9, lambda p: got.append(p.src))
+        for worker in net.workers:
+            worker.send(
+                Packet(src=worker.name, dst="server", payload_size=10, dst_port=9)
+            )
+        sim.run()
+        assert len(got) == 6
+
+    def test_server_to_worker_direction(self):
+        sim = Simulator()
+        net = build_rack_tree(sim, 6, workers_per_rack=3, with_server=True)
+        got = []
+        net.workers[4].bind(9, lambda p: got.append(p.src))
+        net.server.send(
+            Packet(src="server", dst="worker4", payload_size=10, dst_port=9)
+        )
+        sim.run()
+        assert got == ["server"]
+
+    def test_invalid_workers_per_rack(self):
+        with pytest.raises(ValueError, match="workers_per_rack"):
+            build_rack_tree(Simulator(), 4, workers_per_rack=0)

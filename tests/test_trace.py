@@ -1,0 +1,89 @@
+"""Unit tests for measurement helpers."""
+
+import math
+
+import pytest
+
+from repro.netsim.trace import LatencyStats, TimeSeries
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.std == 0.0
+
+    def test_single_sample(self):
+        stats = LatencyStats()
+        stats.record(2.0)
+        assert stats.mean == 2.0
+        assert stats.min == 2.0
+        assert stats.max == 2.0
+
+    def test_mean_and_extremes(self):
+        stats = LatencyStats()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            stats.record(v)
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.min == 1.0
+        assert stats.max == 4.0
+
+    def test_std(self):
+        stats = LatencyStats()
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            stats.record(v)
+        assert stats.std == pytest.approx(2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(-0.1)
+
+    def test_merge(self):
+        a = LatencyStats()
+        b = LatencyStats()
+        for v in (1.0, 2.0):
+            a.record(v)
+        for v in (3.0, 4.0):
+            b.record(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.mean == pytest.approx(2.5)
+        assert a.max == 4.0
+
+
+class TestTimeSeries:
+    def test_record_and_accessors(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        assert series.times == [0.0, 1.0]
+        assert series.values == [1.0, 2.0]
+
+    def test_time_must_not_go_backwards(self):
+        series = TimeSeries("s")
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            series.record(4.0, 2.0)
+
+    def test_value_at_step_interpolates(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(10.0, 5.0)
+        assert series.value_at(0.0) == 1.0
+        assert series.value_at(9.9) == 1.0
+        assert series.value_at(10.0) == 5.0
+        assert series.value_at(100.0) == 5.0
+
+    def test_value_at_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            TimeSeries("s").value_at(0.0)
+
+    def test_time_to_reach(self):
+        series = TimeSeries("s")
+        series.record(0.0, 0.0)
+        series.record(5.0, 3.0)
+        series.record(9.0, 7.0)
+        assert series.time_to_reach(3.0) == 5.0
+        assert series.time_to_reach(7.0) == 9.0
+        assert series.time_to_reach(100.0) == math.inf

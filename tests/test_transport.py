@@ -1,0 +1,91 @@
+"""Unit tests for the baseline vector transport."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.transport import VectorReceiver, _chunk_shapes, send_vector
+from repro.netsim import Link, Simulator, Host
+from repro.netsim.packets import MAX_UDP_PAYLOAD
+
+
+def linked_pair():
+    sim = Simulator()
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    Link(sim).attach(a, b)
+    return sim, a, b
+
+
+class TestChunkShapes:
+    def test_total_bytes_preserved(self):
+        shapes = _chunk_shapes(1_000_000, max_chunks=64)
+        assert sum(p for p, _ in shapes) == 1_000_000
+        assert len(shapes) <= 64
+
+    def test_small_vector_single_chunk(self):
+        shapes = _chunk_shapes(100, max_chunks=64)
+        assert shapes == [(100, 1)]
+
+    def test_frames_cover_payload(self):
+        for size in (1, 1472, 1473, 123_456):
+            for payload, frames in _chunk_shapes(size, 16):
+                assert payload <= frames * MAX_UDP_PAYLOAD
+
+
+class TestSendReceive:
+    def test_vector_delivered_once_complete(self):
+        sim, a, b = linked_pair()
+        got = []
+        VectorReceiver(b, lambda src, tag, vec, meta: got.append((src, tag, vec, meta)))
+        vector = np.arange(10.0, dtype=np.float32)
+        n = send_vector(a, "b", tag="g1", vector=vector, wire_bytes=500_000, meta=7)
+        assert n > 1
+        sim.run()
+        assert len(got) == 1
+        src, tag, vec, meta = got[0]
+        assert (src, tag, meta) == ("a", "g1", 7)
+        np.testing.assert_array_equal(vec, vector)
+
+    def test_interleaved_flows_do_not_mix(self):
+        sim, a, b = linked_pair()
+        got = {}
+        VectorReceiver(b, lambda src, tag, vec, meta: got.__setitem__(tag, vec))
+        send_vector(a, "b", tag=1, vector=np.ones(3), wire_bytes=100_000)
+        send_vector(a, "b", tag=2, vector=np.zeros(3), wire_bytes=100_000)
+        sim.run()
+        np.testing.assert_array_equal(got[1], np.ones(3))
+        np.testing.assert_array_equal(got[2], np.zeros(3))
+
+    def test_timing_only_flow_carries_none(self):
+        sim, a, b = linked_pair()
+        got = []
+        VectorReceiver(b, lambda src, tag, vec, meta: got.append(vec))
+        send_vector(a, "b", tag=0, vector=None, wire_bytes=10_000)
+        sim.run()
+        assert got == [None]
+
+    def test_transfer_time_matches_wire_bytes(self):
+        sim, a, b = linked_pair()
+        done = []
+        VectorReceiver(b, lambda *args: done.append(sim.now))
+        wire = 1_000_000
+        send_vector(a, "b", tag=0, vector=None, wire_bytes=wire)
+        sim.run()
+        # Wire bytes plus per-frame headers at 10 Gb/s.
+        n_frames = -(-wire // MAX_UDP_PAYLOAD)
+        expected = (wire + n_frames * 50) * 8 / 10e9
+        assert done[0] == pytest.approx(expected, rel=0.01)
+
+    def test_invalid_wire_bytes(self):
+        _, a, _ = linked_pair()
+        with pytest.raises(ValueError):
+            send_vector(a, "b", tag=0, vector=None, wire_bytes=0)
+
+    def test_wrong_payload_type_raises(self):
+        sim, a, b = linked_pair()
+        VectorReceiver(b, lambda *args: None, port=7777)
+        from repro.netsim.packets import Packet
+
+        a.send(Packet(src="a", dst="b", payload_size=10, dst_port=7777, payload="junk"))
+        with pytest.raises(TypeError, match="VectorChunk"):
+            sim.run()

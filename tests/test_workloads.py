@@ -1,0 +1,79 @@
+"""Tests for workload profiles and the cost model."""
+
+import pytest
+
+from repro.workloads import (
+    DEFAULT_COST_MODEL,
+    PROFILES,
+    CostModel,
+    get_profile,
+)
+
+
+class TestProfiles:
+    def test_all_four_paper_workloads_present(self):
+        assert set(PROFILES) == {"dqn", "a2c", "ppo", "ddpg"}
+
+    def test_paper_model_sizes(self):
+        assert PROFILES["dqn"].model_bytes == int(6.41 * 1024 * 1024)
+        assert PROFILES["a2c"].model_bytes == int(3.31 * 1024 * 1024)
+        assert PROFILES["ppo"].model_bytes == int(40.02 * 1024)
+        assert PROFILES["ddpg"].model_bytes == int(157.52 * 1024)
+
+    def test_paper_iteration_counts(self):
+        assert PROFILES["dqn"].paper_iterations == 1_400_000
+        assert PROFILES["ppo"].paper_iterations == 80_000
+
+    def test_get_profile_case_insensitive(self):
+        assert get_profile("DQN") is PROFILES["dqn"]
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_profile("impala")
+
+    def test_ddpg_dual_model(self):
+        assert PROFILES["ddpg"].message_count == 2
+        assert PROFILES["ddpg"].update_cost_factor > 1.0
+
+    def test_n_elements(self):
+        for profile in PROFILES.values():
+            assert profile.n_elements == profile.model_bytes // 4
+
+    def test_paper_reference_tables_complete(self):
+        for profile in PROFILES.values():
+            assert set(profile.paper_sync_iter_ms) == {"ps", "ar", "isw"}
+            assert set(profile.paper_async_iter_ms) == {"ps", "isw"}
+            assert set(profile.paper_async_iterations) == {"ps", "isw"}
+
+
+class TestCostModel:
+    def test_server_ingest_scales_with_messages(self):
+        cost = DEFAULT_COST_MODEL
+        assert cost.server_ingest(1000, messages=2) > cost.server_ingest(
+            1000, messages=1
+        )
+
+    def test_server_update_factor(self):
+        cost = DEFAULT_COST_MODEL
+        assert cost.server_update(1000, factor=3.0) == pytest.approx(
+            3.0 * cost.server_update(1000)
+        )
+
+    def test_per_byte_terms_monotone(self):
+        cost = DEFAULT_COST_MODEL
+        for fn in (
+            cost.server_ingest,
+            cost.server_update,
+            cost.pull_serve,
+            cost.worker_ingest,
+            cost.allreduce_step,
+        ):
+            assert fn(2_000_000) > fn(1_000)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COST_MODEL.message_overhead = 1.0
+
+    def test_custom_model(self):
+        custom = CostModel(ps_vector_overhead=1.0)
+        assert custom.server_ingest(0) == pytest.approx(1.0)

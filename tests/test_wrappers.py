@@ -1,0 +1,124 @@
+"""Tests for environment wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.rl.envs import (
+    FrameStack,
+    GridPong,
+    Hopper1D,
+    NormalizeObservation,
+    ScaleReward,
+)
+
+
+class TestNormalizeObservation:
+    def test_running_stats_converge(self):
+        env = NormalizeObservation(GridPong(seed=0))
+        rng = np.random.default_rng(0)
+        obs = env.reset()
+        for _ in range(500):
+            obs, _, done, _ = env.step(env.action_space.sample(rng))
+            if done:
+                obs = env.reset()
+        # After many samples, normalized observations are roughly standard.
+        samples = []
+        obs = env.reset()
+        for _ in range(200):
+            obs, _, done, _ = env.step(env.action_space.sample(rng))
+            samples.append(obs)
+            if done:
+                obs = env.reset()
+        stacked = np.stack(samples)
+        assert np.abs(stacked.mean(axis=0)).max() < 1.0
+        assert stacked.std(axis=0).max() < 3.0
+
+    def test_observation_size_preserved(self):
+        env = NormalizeObservation(GridPong(seed=0))
+        assert env.observation_size == GridPong.observation_size
+        assert env.reset().shape == (env.observation_size,)
+
+    def test_running_accessors(self):
+        env = NormalizeObservation(Hopper1D(seed=0))
+        env.reset()
+        assert env.running_mean.shape == (4,)
+        assert env.running_std.shape == (4,)
+
+
+class TestFrameStack:
+    def test_observation_size_scales(self):
+        env = FrameStack(GridPong(seed=0), k=4)
+        assert env.observation_size == 4 * GridPong.observation_size
+        assert env.reset().shape == (env.observation_size,)
+
+    def test_reset_repeats_first_frame(self):
+        env = FrameStack(GridPong(seed=0), k=3)
+        obs = env.reset()
+        size = GridPong.observation_size
+        for frame in range(1, 3):
+            np.testing.assert_array_equal(
+                obs[:size], obs[frame * size : (frame + 1) * size]
+            )
+
+    def test_history_slides(self):
+        env = FrameStack(GridPong(seed=0), k=2)
+        first = env.reset()
+        second, _, _, _ = env.step(1)
+        size = GridPong.observation_size
+        # The older half of the new stack is the newest half of reset.
+        np.testing.assert_array_equal(second[:size], first[size:])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            FrameStack(GridPong(seed=0), k=0)
+
+
+class TestScaleReward:
+    def test_scales(self):
+        env = ScaleReward(Hopper1D(seed=0), scale=0.1)
+        raw = Hopper1D(seed=0)
+        env.reset()
+        raw.reset()
+        action = np.array([0.5])
+        _, scaled, _, _ = env.step(action)
+        _, original, _, _ = raw.step(action)
+        assert scaled == pytest.approx(0.1 * original)
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ScaleReward(Hopper1D(seed=0), scale=0.0)
+
+
+class TestWrapperPlumbing:
+    def test_action_space_forwarded(self):
+        env = FrameStack(GridPong(seed=0), k=2)
+        assert env.action_space is GridPong.action_space
+
+    def test_done_propagates(self):
+        env = NormalizeObservation(GridPong(seed=0, max_steps=3))
+        env.reset()
+        done = False
+        for _ in range(3):
+            _, _, done, _ = env.step(1)
+        assert done
+
+    def test_wrappers_compose(self):
+        env = NormalizeObservation(FrameStack(GridPong(seed=0), k=2))
+        obs = env.reset()
+        assert obs.shape == (2 * GridPong.observation_size,)
+
+    def test_seed_forwarded(self):
+        env = FrameStack(GridPong(seed=0), k=2)
+        env.seed(42)
+        first = env.reset()
+        env.seed(42)
+        second = env.reset()
+        np.testing.assert_array_equal(first, second)
+
+    def test_dqn_trains_on_wrapped_env(self):
+        from repro.rl import DQN
+
+        env = FrameStack(GridPong(seed=0), k=2)
+        algo = DQN(env, seed=0, warmup=64)
+        gradient = algo.compute_gradient()
+        assert gradient.shape == (algo.n_params,)
