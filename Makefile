@@ -1,0 +1,20 @@
+PY ?= python
+
+.PHONY: test test-fast lint bench
+
+test:
+	PYTHONPATH=src $(PY) -m pytest -x -q
+
+test-fast:
+	PYTHONPATH=src $(PY) -m pytest -x -q -m "not slow"
+
+lint:
+	$(PY) -m compileall -q src tests benchmarks
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; compileall-only lint"; \
+	fi
+
+bench:
+	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only -q

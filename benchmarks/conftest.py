@@ -16,6 +16,14 @@ Benchmarks print their paper-style tables when run with ``-s``.
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is slow; tag it so plain test runs can
+    deselect with ``-m "not slow"`` without touching each file."""
+    for item in items:
+        if "benchmarks" in str(item.fspath):
+            item.add_marker(pytest.mark.slow)
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing.
 

@@ -11,12 +11,23 @@ Reinforcement Learning with In-Switch Computing* (ISCA 2019):
   workloads (DQN, A2C, PPO, DDPG) and their simulated environments;
 * :mod:`repro.distributed` — synchronous and asynchronous training
   strategies (parameter server, Ring-AllReduce, iSwitch);
+* :mod:`repro.telemetry` — the metrics/span/event subsystem every
+  simulated component reports into (see ``TrainingResult.telemetry``);
 * :mod:`repro.workloads` / :mod:`repro.experiments` — calibrated profiles
   and the harness regenerating every table and figure in the paper.
 """
 
 __version__ = "1.0.0"
 
-from . import core, distributed, netsim, nn, rl, workloads
+from . import core, distributed, netsim, nn, rl, telemetry, workloads
 
-__all__ = ["core", "distributed", "netsim", "nn", "rl", "workloads", "__version__"]
+__all__ = [
+    "core",
+    "distributed",
+    "netsim",
+    "nn",
+    "rl",
+    "telemetry",
+    "workloads",
+    "__version__",
+]

@@ -18,7 +18,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .distributed.runner import ASYNC_STRATEGIES, SYNC_STRATEGIES, run_async, run_sync
+from .distributed.config import ExperimentConfig
+from .distributed.runner import ASYNC_STRATEGIES, SYNC_STRATEGIES, run
 from .experiments import (
     fig4,
     fig8,
@@ -98,6 +99,24 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--staleness-bound", type=int, default=3, help="async only: S"
     )
+    train.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        help="per-packet drop probability on every link (isw only)",
+    )
+    train.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    train.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write run metrics (.prom => Prometheus text, else JSON)",
+    )
     return parser
 
 
@@ -138,6 +157,25 @@ def _run_all(full: bool = False) -> int:
     return 0
 
 
+def _write_telemetry(result, args: argparse.Namespace) -> None:
+    from .telemetry.exporters import (
+        write_chrome_trace,
+        write_json,
+        write_prometheus,
+    )
+
+    snapshot = result.telemetry
+    if args.trace_out:
+        write_chrome_trace(snapshot, args.trace_out)
+        print(f"trace written:      {args.trace_out}")
+    if args.metrics_out:
+        if args.metrics_out.endswith((".prom", ".txt")):
+            write_prometheus(snapshot, args.metrics_out)
+        else:
+            write_json(snapshot, args.metrics_out)
+        print(f"metrics written:    {args.metrics_out}")
+
+
 def _run_training(args: argparse.Namespace) -> int:
     if args.mode == "sync":
         if args.strategy not in SYNC_STRATEGIES:
@@ -145,27 +183,31 @@ def _run_training(args: argparse.Namespace) -> int:
                 f"sync strategies: {', '.join(SYNC_STRATEGIES)}", file=sys.stderr
             )
             return 2
-        result = run_sync(
-            args.strategy,
-            args.workload,
-            n_workers=args.workers,
-            n_iterations=args.iterations,
-            seed=args.seed,
-        )
     else:
         if args.strategy not in ASYNC_STRATEGIES:
             print(
                 f"async strategies: {', '.join(ASYNC_STRATEGIES)}", file=sys.stderr
             )
             return 2
-        result = run_async(
-            args.strategy,
-            args.workload,
+    want_telemetry = bool(args.trace_out or args.metrics_out)
+    try:
+        config = ExperimentConfig(
+            strategy=args.strategy,
+            workload=args.workload,
+            mode=args.mode,
             n_workers=args.workers,
-            n_updates=args.iterations,
+            iterations=args.iterations,
             seed=args.seed,
             staleness_bound=args.staleness_bound,
+            loss_rate=args.loss_rate,
+            telemetry=want_telemetry,
         )
+        result = run(config)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if want_telemetry:
+        _write_telemetry(result, args)
     print(f"strategy:           {result.strategy}")
     print(f"workload:           {result.workload}")
     print(f"workers:            {result.n_workers}")

@@ -33,7 +33,7 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -143,6 +143,13 @@ class AggregationEngine:
         self._counters: Dict[int, int] = {}
         self._contributors: Dict[int, Set[Tuple[str, int]]] = {}
         self._result_cache: Dict[int, DataSegment] = {}
+        #: Telemetry hook: when the owning switch sets a clock, the engine
+        #: stamps each segment's first arrival so completions can be
+        #: reported as first-arrival -> complete spans.  ``None`` (the
+        #: default) keeps the datapath entirely timestamp-free.
+        self.clock: Optional[Callable[[], float]] = None
+        self._first_arrival: Dict[int, float] = {}
+        self._completed_starts: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Control-plane operations
@@ -161,6 +168,8 @@ class AggregationEngine:
         self._result_cache.clear()
         self._arrivals.clear()
         self._shapes.clear()
+        self._first_arrival.clear()
+        self._completed_starts.clear()
 
     # ------------------------------------------------------------------
     # Datapath
@@ -195,6 +204,8 @@ class AggregationEngine:
             contributors.add(key)
 
         self.stats.contributions += 1
+        if self.clock is not None and seg not in self._first_arrival:
+            self._first_arrival[seg] = self.clock()
         if segment.wire_payload is not None and seg not in self._shapes:
             self._shapes[seg] = (segment.wire_payload, segment.wire_frames)
         buffer = self._buffers.get(seg)
@@ -230,6 +241,7 @@ class AggregationEngine:
             self._counters.pop(seg, None)
             self._contributors.pop(seg, None)
             self._shapes.pop(seg, None)
+            self._first_arrival.pop(seg, None)
             self.stats.evictions += 1
 
     def _complete(self, seg: int) -> DataSegment:
@@ -237,6 +249,12 @@ class AggregationEngine:
         data = self._buffers.pop(seg)
         self._counters.pop(seg, None)
         self._contributors.pop(seg, None)
+        started = self._first_arrival.pop(seg, None)
+        if started is not None:
+            self._completed_starts[seg] = started
+            if len(self._completed_starts) > 1024:
+                for old in sorted(self._completed_starts)[:512]:
+                    del self._completed_starts[old]
         shape = self._shapes.pop(seg, (None, None))
         result = DataSegment(
             seg=seg, data=data, wire_payload=shape[0], wire_frames=shape[1]
@@ -259,6 +277,14 @@ class AggregationEngine:
     def cached_result(self, seg: int) -> Optional[DataSegment]:
         """Handle ``Help``: look up a recently completed segment."""
         return self._result_cache.get(seg)
+
+    def consume_span_start(self, seg: int) -> Optional[float]:
+        """Telemetry: pop the first-arrival time of a just-completed seg.
+
+        Only populated while :attr:`clock` is set; returns ``None`` when
+        telemetry was off (or the record aged out).
+        """
+        return self._completed_starts.pop(seg, None)
 
     def pending_count(self, seg: int) -> int:
         """How many contributions segment ``seg`` has so far."""

@@ -71,6 +71,9 @@ class AggregationClient:
         self._partial: Dict[int, Dict[int, np.ndarray]] = {}
         self._completed: set = set()
         self._watchdogs: Dict[int, Event] = {}
+        #: Consecutive watchdog firings per round (drives the exponential
+        #: backoff so a round gated on slow peers doesn't spam Help).
+        self._watchdog_attempts: Dict[int, int] = {}
         #: Recently sent segments by global Seg number, kept only when
         #: loss recovery is armed, so a relayed Help can be answered by
         #: retransmitting the original contribution.
@@ -145,6 +148,13 @@ class AggregationClient:
     def request_help(self, seg: int) -> None:
         """Ask the switch to retransmit the result for one lost segment."""
         self.help_requests += 1
+        telemetry = self.host.sim.telemetry
+        if telemetry.enabled:
+            telemetry.inc("client.help_requests", 1, worker=self.host.name)
+            telemetry.event(
+                "client.help_request", cat="recovery", track=self.host.name,
+                seg=seg,
+            )
         self._control(Action.HELP, seg)
 
     def _control(self, action: Action, value=None) -> None:
@@ -186,6 +196,13 @@ class AggregationClient:
         if segment is None:
             return
         self.retransmissions += 1
+        telemetry = self.host.sim.telemetry
+        if telemetry.enabled:
+            telemetry.inc("client.retransmissions", 1, worker=self.host.name)
+            telemetry.event(
+                "client.retransmit", cat="recovery", track=self.host.name,
+                seg=seg,
+            )
         self.host.send(
             make_data_packet(
                 self.host.name, self.switch_address, segment, self.plan
@@ -212,11 +229,17 @@ class AggregationClient:
         watchdog = self._watchdogs.pop(round_index, None)
         if watchdog is not None:
             watchdog.cancel()
+        self._watchdog_attempts.pop(round_index, None)
         out = np.empty(self.plan.n_elements, dtype=np.float32)
         for chunk, data in chunks.items():
             start, stop = self.plan.chunk_bounds(chunk)
             out[start:stop] = data
         self.rounds_completed += 1
+        telemetry = self.host.sim.telemetry
+        if telemetry.enabled:
+            telemetry.inc(
+                "client.rounds_completed", 1, worker=self.host.name
+            )
         if self.on_round_complete is not None:
             self.on_round_complete(round_index, out)
 
@@ -231,6 +254,17 @@ class AggregationClient:
             self._watchdogs.pop(round_index, None)
             if round_index in self._completed:
                 return
+            telemetry = self.host.sim.telemetry
+            if telemetry.enabled:
+                telemetry.event(
+                    "client.watchdog_fired",
+                    cat="recovery",
+                    track=self.host.name,
+                    round=round_index,
+                )
+            self._watchdog_attempts[round_index] = (
+                self._watchdog_attempts.get(round_index, 0) + 1
+            )
             received = set(self._partial.get(round_index, {}))
             missing = set(range(self.plan.n_chunks)) - received
             base = round_index * self.plan.n_chunks
@@ -238,8 +272,12 @@ class AggregationClient:
                 self.request_help(base + chunk)
             self._arm_watchdog(round_index)
 
+        # Exponential backoff: a round stalled on slow peers (not loss)
+        # shouldn't generate a Help storm while it waits.
+        attempts = self._watchdog_attempts.get(round_index, 0)
+        timeout = self.recovery_timeout * (2 ** min(attempts, 8))
         self._watchdogs[round_index] = self.host.sim.schedule(
-            self.recovery_timeout, check, name=f"watchdog:r{round_index}"
+            timeout, check, name=f"watchdog:r{round_index}"
         )
 
     # ------------------------------------------------------------------

@@ -23,12 +23,23 @@ from ..netsim.topology import Network
 from .control_plane import MemberType
 from .switch import ISwitch
 
-__all__ = ["iswitch_factory", "configure_aggregation", "aggregation_switches"]
+__all__ = [
+    "iswitch_factory",
+    "dedup_iswitch_factory",
+    "configure_aggregation",
+    "aggregation_switches",
+]
 
 
 def iswitch_factory(sim, name: str) -> ISwitch:
     """A ``switch_factory`` for the topology builders."""
     return ISwitch(sim, name)
+
+
+def dedup_iswitch_factory(sim, name: str) -> ISwitch:
+    """An iSwitch factory with duplicate suppression enabled — required on
+    lossy links, where Help-triggered retransmissions must be idempotent."""
+    return ISwitch(sim, name, dedup=True)
 
 
 def _require_iswitch(switch: EthernetSwitch) -> ISwitch:

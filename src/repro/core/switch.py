@@ -130,6 +130,13 @@ class ISwitch(EthernetSwitch):
                 "expected DataSegment"
             )
         state = self.jobs.get(segment.job)
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            telemetry.inc("switch.contributions", 1, switch=self.name)
+            if state.engine.clock is None:
+                # Arm the engine's first-arrival stamping lazily so the
+                # datapath stays timestamp-free while telemetry is off.
+                state.engine.clock = telemetry.now
         latency = state.engine.processing_latency(packet.payload_size)
         result = state.engine.contribute(segment)
         if result is None:
@@ -138,6 +145,19 @@ class ISwitch(EthernetSwitch):
         results = result if isinstance(result, list) else [result]
         for completed in results:
             completed.job = segment.job
+            if telemetry.enabled:
+                done = self.sim.now + latency
+                started = state.engine.consume_span_start(completed.seg)
+                telemetry.span_at(
+                    "segment.aggregate",
+                    started if started is not None else self.sim.now,
+                    done,
+                    cat="aggregation",
+                    track=self.name,
+                    seg=completed.seg,
+                    job=completed.job,
+                )
+                telemetry.inc("switch.segments_completed", 1, switch=self.name)
             self.sim.schedule(
                 latency + self.latency,
                 lambda seg=completed: self._emit_result(seg),
@@ -148,6 +168,14 @@ class ISwitch(EthernetSwitch):
         """Ship a completed segment: up the hierarchy, or down to members."""
         if self.parent_address is not None:
             self.upstream_forwards += 1
+            telemetry = self.sim.telemetry
+            if telemetry.enabled:
+                telemetry.event(
+                    "segment.forward_up",
+                    cat="aggregation",
+                    track=self.name,
+                    seg=result.seg,
+                )
             up = DataSegment(
                 seg=result.seg,
                 data=result.data,
@@ -164,6 +192,16 @@ class ISwitch(EthernetSwitch):
     def _broadcast_result(self, result: DataSegment) -> None:
         """Send the summed segment to every local member (Figure 1c)."""
         self.result_broadcasts += 1
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            telemetry.inc("switch.result_broadcasts", 1, switch=self.name)
+            telemetry.event(
+                "segment.broadcast",
+                cat="aggregation",
+                track=self.name,
+                seg=result.seg,
+                job=result.job,
+            )
         for entry in self.jobs.get(result.job).members.addresses:
             self._send_data(entry, result, downstream=True)
 
@@ -215,6 +253,14 @@ class ISwitch(EthernetSwitch):
             )
         self.control_messages += 1
         action = message.action
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            telemetry.inc(
+                "switch.control_messages",
+                1,
+                switch=self.name,
+                action=action.name.lower(),
+            )
         state = self.jobs.get(message.job)
         if action == Action.JOIN:
             member_type = message.value or MemberType.WORKER

@@ -1,13 +1,22 @@
 """Distributed RL training strategies over the simulated cluster."""
 
 from .asynchronous import AsyncISwitch, AsyncParameterServer
+from .config import ExperimentConfig
 from .metrics import BusyQueue, IterationBreakdown, split_compute_time
+from .registry import (
+    StrategySpec,
+    get_strategy,
+    register_strategy,
+    strategy_names,
+    unregister_strategy,
+)
 from .results import TrainingResult
 from .runner import (
     ASYNC_STRATEGIES,
     SYNC_STRATEGIES,
     build_cluster,
     make_algorithm,
+    run,
     run_async,
     run_sync,
 )
@@ -16,12 +25,19 @@ from .transport import VECTOR_PORT, VectorChunk, VectorReceiver, send_vector
 from .worker import ComputeModel, SimWorker
 
 __all__ = [
+    "run",
+    "ExperimentConfig",
     "run_sync",
     "run_async",
     "build_cluster",
     "make_algorithm",
     "SYNC_STRATEGIES",
     "ASYNC_STRATEGIES",
+    "StrategySpec",
+    "register_strategy",
+    "get_strategy",
+    "strategy_names",
+    "unregister_strategy",
     "TrainingResult",
     "SyncStrategy",
     "SyncParameterServer",

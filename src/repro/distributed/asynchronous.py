@@ -48,6 +48,7 @@ from ..rl.base import Algorithm
 from ..workloads.calibration import DEFAULT_COST_MODEL, CostModel
 from ..workloads.profiles import WorkloadProfile
 from .metrics import BusyQueue
+from .registry import register_strategy
 from .results import TrainingResult
 from .sync import make_plan
 from .transport import VectorReceiver, send_vector
@@ -59,6 +60,7 @@ __all__ = ["AsyncParameterServer", "AsyncISwitch"]
 PULL_REQUEST_BYTES = 64
 
 
+@register_strategy("async", "ps", requires_server=True)
 class AsyncParameterServer:
     """Figure 3: asynchronous training with a central parameter server."""
 
@@ -83,7 +85,7 @@ class AsyncParameterServer:
         self.staleness_bound = staleness_bound
         self.wire_bytes = profile.model_bytes
         self.server = net.server
-        self.server_cpu = BusyQueue(self.sim)
+        self.server_cpu = BusyQueue(self.sim, name="server")
         #: The server-side replica holding the authoritative weights.
         self.replica = server_algorithm
         self.server_updates = 0
@@ -106,6 +108,27 @@ class AsyncParameterServer:
             )
 
     # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, net: Network, workers: List[SimWorker], profile, config
+    ) -> "AsyncParameterServer":
+        """Registry hook: build a runner from an ExperimentConfig."""
+        from .runner import make_algorithm  # deferred: runner imports us
+
+        server_algorithm = make_algorithm(
+            config.workload,
+            seed=config.seed + 10_000,
+            **(config.algorithm_overrides or {}),
+        )
+        return cls(
+            net,
+            workers,
+            profile,
+            server_algorithm,
+            config.cost_model,
+            staleness_bound=config.staleness_bound,
+        )
+
     def run(self, n_updates: int) -> TrainingResult:
         """Simulate until the server has applied ``n_updates`` gradients."""
         if n_updates < 1:
@@ -152,6 +175,8 @@ class AsyncParameterServer:
         ingest = self.cost.worker_ingest(
             self.wire_bytes, self.profile.message_count
         )
+        telemetry = self.sim.telemetry
+        pulled_at = self.sim.now
 
         def start_lgc() -> None:
             worker.algorithm.set_weights(weights)
@@ -163,6 +188,24 @@ class AsyncParameterServer:
                 if self._done:
                     return
                 worker.breakdown.add_compute(self.profile, duration)
+                if telemetry.enabled:
+                    telemetry.span_at(
+                        "compute.lgc",
+                        self.sim.now - duration,
+                        self.sim.now,
+                        cat="training",
+                        track=worker.name,
+                        version=version,
+                    )
+                    # Async "iteration": one pull -> compute -> push cycle.
+                    telemetry.span_at(
+                        "iteration",
+                        pulled_at,
+                        self.sim.now,
+                        cat="training",
+                        track=worker.name,
+                        version=version,
+                    )
                 gradient = worker.algorithm.compute_gradient()
                 worker.finish_iteration()
                 self._push_gradient(worker, gradient)
@@ -214,6 +257,10 @@ class AsyncParameterServer:
                 return
             staleness = self.server_updates - version_at_pull
             self.staleness.record(staleness)
+            telemetry = self.sim.telemetry
+            if telemetry.enabled:
+                telemetry.inc("server.updates", 1)
+                telemetry.observe("server.staleness", float(staleness))
             self.replica.apply_update(np.asarray(gradient, dtype=np.float64))
             self.server_updates += 1
             if self.server_updates >= self.target_updates:
@@ -228,6 +275,7 @@ class AsyncParameterServer:
         self.server_cpu.submit(busy, ingested)
 
 
+@register_strategy("async", "isw", requires_iswitch=True)
 class AsyncISwitch:
     """Algorithm 1: decentralized asynchronous training through the switch."""
 
@@ -259,6 +307,8 @@ class AsyncISwitch:
         self._done = False
         #: Per-worker shared iteration index ts (LWU-thread state).
         self._ts: List[int] = [0 for _ in workers]
+        #: Per-worker simulated time of the last applied update (telemetry).
+        self._last_update: List[float] = [self.sim.now for _ in workers]
 
         configure_aggregation(net)
         switches = aggregation_switches(net)
@@ -293,6 +343,19 @@ class AsyncISwitch:
             self.clients.append(client)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, net: Network, workers: List[SimWorker], profile, config
+    ) -> "AsyncISwitch":
+        """Registry hook: build a runner from an ExperimentConfig."""
+        return cls(
+            net,
+            workers,
+            profile,
+            config.cost_model,
+            staleness_bound=config.staleness_bound,
+        )
+
     def run(self, n_updates: int) -> TrainingResult:
         """Simulate until every worker has applied ``n_updates`` updates."""
         if n_updates < 1:
@@ -333,6 +396,16 @@ class AsyncISwitch:
                 return
             ts = self._ts[worker.index]
             worker.breakdown.add_compute(self.profile, duration)
+            telemetry = self.sim.telemetry
+            if telemetry.enabled:
+                telemetry.span_at(
+                    "compute.lgc",
+                    self.sim.now - duration,
+                    self.sim.now,
+                    cat="training",
+                    track=worker.name,
+                    ts=ts,
+                )
             # The gradient is computed against the weights the LGC thread
             # copied at iteration tw (Algorithm 1 line "copy updated
             # weight"); the LWU thread may have moved the live weights on.
@@ -344,11 +417,17 @@ class AsyncISwitch:
             if staleness <= self.staleness_bound:
                 self.staleness.record(staleness)
                 self.commits += 1
+                if telemetry.enabled:
+                    telemetry.inc("worker.commits", 1, worker=worker.name)
                 self.clients[worker.index].send_gradient(
                     gradient.astype(np.float32), round_index=ts
                 )
             else:
                 self.skipped_commits += 1
+                if telemetry.enabled:
+                    telemetry.inc(
+                        "worker.skipped_commits", 1, worker=worker.name
+                    )
             self._start_lgc(worker)  # non-blocking commit: pipeline on
 
         self.sim.schedule(duration, lgc_done, name=f"lgc:w{worker.index}")
@@ -370,6 +449,19 @@ class AsyncISwitch:
             )
             self._ts[worker.index] += 1
             worker.finish_iteration()
+            telemetry = self.sim.telemetry
+            if telemetry.enabled:
+                # Async "iteration": interval between consecutive weight
+                # updates at this replica (the paper's §5.2 definition).
+                telemetry.span_at(
+                    "iteration",
+                    self._last_update[worker.index],
+                    self.sim.now,
+                    cat="training",
+                    track=worker.name,
+                    ts=self._ts[worker.index],
+                )
+            self._last_update[worker.index] = self.sim.now
             if min(self._ts) >= self.target_updates:
                 self._done = True
 

@@ -80,8 +80,9 @@ class BusyQueue:
     not just the NIC — creates the central bottleneck the paper describes.
     """
 
-    def __init__(self, sim) -> None:
+    def __init__(self, sim, name: str = "cpu") -> None:
         self.sim = sim
+        self.name = name
         self._busy_until = 0.0
         self.busy_time = 0.0
 
@@ -92,6 +93,12 @@ class BusyQueue:
         finish = start + duration
         self._busy_until = finish
         self.busy_time += duration
+        if self.sim.telemetry.enabled:
+            self.sim.telemetry.set_gauge(
+                "busyqueue.backlog_seconds",
+                self._busy_until - self.sim.now,
+                queue=self.name,
+            )
         if callback is not None:
             self.sim.schedule_at(finish, callback)
         return finish

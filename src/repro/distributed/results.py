@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from ..netsim.trace import LatencyStats
+from ..telemetry.hub import TelemetrySnapshot
 from .metrics import IterationBreakdown
 from .worker import SimWorker
 
@@ -31,6 +32,9 @@ class TrainingResult:
     breakdown: IterationBreakdown = field(default_factory=IterationBreakdown)
     aggregation_latency: LatencyStats = field(default_factory=LatencyStats)
     extras: Dict[str, Any] = field(default_factory=dict)
+    #: Frozen metrics/spans/events for the run, when the experiment was
+    #: configured with ``telemetry=True`` (see :mod:`repro.telemetry`).
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def per_iteration_time(self) -> float:

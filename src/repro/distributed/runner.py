@@ -1,13 +1,20 @@
 """High-level entry points: build a cluster and run a training experiment.
 
-This is the API the examples and the benchmark harness use:
+The primary API is one config object plus one function:
 
->>> from repro.distributed import run_sync
->>> result = run_sync("isw", "dqn", n_workers=4, n_iterations=50)
+>>> from repro.distributed import ExperimentConfig, run
+>>> result = run(ExperimentConfig(strategy="isw", workload="dqn"))
 >>> result.per_iteration_time   # doctest: +SKIP
+>>> result.telemetry.value("link.tx_packets")   # doctest: +SKIP
+
+``run_sync``/``run_async`` remain as thin keyword wrappers for existing
+callers (the experiments and benchmarks) and produce identical results
+for the same arguments.
 
 Strategy names follow the paper's abbreviations: ``ps``, ``ar``, ``isw``
-(synchronous) and ``ps``, ``isw`` (asynchronous).  Worker counts above
+(synchronous) and ``ps``, ``isw`` (asynchronous); they are looked up in
+the :mod:`repro.distributed.registry`, so new strategies self-register
+via the ``@register_strategy`` decorator.  Worker counts above
 ``workers_per_rack`` automatically use the two-layer rack-scale topology
 of Figure 10 with hierarchical aggregation.
 """
@@ -16,7 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core.hierarchy import iswitch_factory
+from ..core.hierarchy import dedup_iswitch_factory, iswitch_factory
 from ..netsim.events import Simulator
 from ..netsim.topology import build_rack_tree, build_star
 from ..rl.a2c import A2C
@@ -25,24 +32,35 @@ from ..rl.ddpg import DDPG
 from ..rl.dqn import DQN
 from ..rl.envs import Cheetah1D, GridPong, GridQbert, Hopper1D
 from ..rl.ppo import PPO
+from ..telemetry.hub import TelemetryHub
 from ..workloads.calibration import DEFAULT_COST_MODEL, CostModel
 from ..workloads.profiles import WorkloadProfile, get_profile
-from .asynchronous import AsyncISwitch, AsyncParameterServer
+from .asynchronous import AsyncISwitch, AsyncParameterServer  # noqa: F401
+from .config import ExperimentConfig
+from .registry import get_strategy, strategy_names
 from .results import TrainingResult
-from .sync import RingAllReduce, SyncISwitch, SyncParameterServer
+from .sync import (  # noqa: F401
+    RingAllReduce,
+    SyncISwitch,
+    SyncParameterServer,
+)
 from .worker import ComputeModel, SimWorker
 
 __all__ = [
     "make_algorithm",
     "build_cluster",
+    "run",
     "run_sync",
     "run_async",
     "SYNC_STRATEGIES",
     "ASYNC_STRATEGIES",
 ]
 
-SYNC_STRATEGIES = ("ps", "ar", "isw")
-ASYNC_STRATEGIES = ("ps", "isw")
+# Importing the strategy modules above populated the registry; the
+# public tuples are derived from it (registration order == declaration
+# order, matching the historical hard-coded values).
+SYNC_STRATEGIES = strategy_names("sync")
+ASYNC_STRATEGIES = strategy_names("async")
 
 #: Default initialization seed shared by all replicas of a run.
 INIT_SEED = 12345
@@ -79,16 +97,30 @@ def build_cluster(
     seed: int = 0,
     workload: Optional[str] = None,
     algorithm_overrides: Optional[dict] = None,
+    loss_rate: float = 0.0,
+    dedup: bool = False,
+    telemetry: Optional[TelemetryHub] = None,
 ) -> tuple:
     """Build (network, workers) for one experiment.
 
     Up to ``workers_per_rack`` workers fit a single switch; beyond that
     the Figure 10 two-layer tree is used (three workers per rack, like
-    the paper's NetFPGA-port-limited emulation).
+    the paper's NetFPGA-port-limited emulation).  ``loss_rate`` applies
+    independent per-packet drops on every link (seeded reproducibly from
+    ``seed``); ``dedup`` enables duplicate suppression in the iSwitch
+    engines, which loss recovery requires.  ``telemetry`` attaches a
+    :class:`~repro.telemetry.TelemetryHub` to the simulator so the hot
+    paths record metrics and spans.
     """
-    sim = Simulator()
-    factory = iswitch_factory if use_iswitch else None
-    kwargs = {"switch_factory": factory} if factory else {}
+    sim = Simulator(telemetry=telemetry)
+    if use_iswitch:
+        factory = dedup_iswitch_factory if dedup else iswitch_factory
+        kwargs = {"switch_factory": factory}
+    else:
+        kwargs = {}
+    if loss_rate > 0:
+        kwargs["loss_rate"] = loss_rate
+        kwargs["loss_seed"] = seed
     if n_workers <= workers_per_rack:
         net = build_star(sim, n_workers, with_server=with_server, **kwargs)
     else:
@@ -105,6 +137,86 @@ def build_cluster(
     return net, workers
 
 
+def _register_network_collectors(hub: TelemetryHub, net) -> None:
+    """Scrape cumulative component state into the registry at snapshot
+    time, so baseline series (tx/drop counters per link, engine stats per
+    switch) are always present — even when their live value never moved."""
+
+    def collect(h: TelemetryHub) -> None:
+        for link in net.links:
+            dropped = h.metrics.counter("link.packets_dropped", link=link.name)
+            missing = link.dropped_packets - dropped.value
+            if missing > 0:
+                # Drops that happened while no hub was attached (or before
+                # instrumentation armed) still show up in the snapshot.
+                dropped.inc(missing)
+            for end in link.ends:
+                owner = end.device.name if end.device is not None else "?"
+                h.metrics.gauge(
+                    "link.utilization", link=link.name, device=owner
+                ).set(end.utilization(h.now()))
+        for switch in net.switches:
+            engine = getattr(switch, "engine", None)
+            if engine is None:
+                continue
+            stats = engine.stats
+            for field_name in ("duplicates_dropped", "evictions"):
+                counter = h.metrics.counter(
+                    f"switch.{field_name}", switch=switch.name
+                )
+                missing = getattr(stats, field_name) - counter.value
+                if missing > 0:
+                    counter.inc(missing)
+
+    hub.add_collector(collect)
+
+
+def run(config: ExperimentConfig) -> TrainingResult:
+    """Run one experiment described by ``config``; the single entry point.
+
+    Raises ``KeyError`` for unknown strategies (listing valid ones) and
+    ``ValueError`` for configurations the strategy cannot honour (e.g.
+    packet loss with a strategy that has no loss recovery).
+    """
+    spec = get_strategy(config.mode, config.strategy)
+    if config.loss_rate > 0 and not spec.requires_iswitch:
+        raise ValueError(
+            f"strategy {config.strategy!r} has no loss recovery; "
+            "loss_rate > 0 requires an iSwitch strategy ('isw')"
+        )
+    profile = config.resolved_profile()
+    hub = TelemetryHub() if config.telemetry else None
+    net, workers = build_cluster(
+        config.n_workers,
+        profile,
+        with_server=spec.requires_server,
+        use_iswitch=spec.requires_iswitch,
+        workers_per_rack=config.workers_per_rack,
+        seed=config.seed,
+        workload=config.workload,
+        algorithm_overrides=config.algorithm_overrides,
+        loss_rate=config.loss_rate,
+        dedup=spec.requires_iswitch and config.loss_rate > 0,
+        telemetry=hub,
+    )
+    runner = spec.cls.create(net, workers, profile, config)
+    result = runner.run(config.iterations)
+    if hub is not None:
+        _register_network_collectors(hub, net)
+        result.telemetry = hub.snapshot(
+            meta={
+                "strategy": result.strategy,
+                "workload": config.workload,
+                "mode": config.mode,
+                "n_workers": config.n_workers,
+                "iterations": config.iterations,
+                "seed": config.seed,
+                "loss_rate": config.loss_rate,
+            }
+        )
+    return result
+
+
 def run_sync(
     strategy: str,
     workload: str,
@@ -114,27 +226,34 @@ def run_sync(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     profile: Optional[WorkloadProfile] = None,
     algorithm_overrides: Optional[dict] = None,
+    loss_rate: float = 0.0,
+    recovery_timeout: Optional[float] = None,
+    telemetry: bool = False,
 ) -> TrainingResult:
-    """Run synchronous distributed training with ``strategy`` ps|ar|isw."""
+    """Run synchronous distributed training with ``strategy`` ps|ar|isw.
+
+    Thin wrapper over :func:`run`; kept for existing callers.  Telemetry
+    defaults *off* here so benchmark timings are unaffected.
+    """
     strategy = strategy.lower()
     if strategy not in SYNC_STRATEGIES:
         raise KeyError(f"unknown sync strategy {strategy!r}; choose {SYNC_STRATEGIES}")
-    profile = profile or get_profile(workload)
-    net, workers = build_cluster(
-        n_workers,
-        profile,
-        with_server=strategy == "ps",
-        use_iswitch=strategy == "isw",
-        seed=seed,
-        workload=workload,
-        algorithm_overrides=algorithm_overrides,
+    return run(
+        ExperimentConfig(
+            strategy=strategy,
+            workload=workload,
+            mode="sync",
+            n_workers=n_workers,
+            iterations=n_iterations,
+            seed=seed,
+            cost_model=cost_model,
+            profile=profile,
+            algorithm_overrides=algorithm_overrides,
+            loss_rate=loss_rate,
+            recovery_timeout=recovery_timeout,
+            telemetry=telemetry,
+        )
     )
-    cls = {
-        "ps": SyncParameterServer,
-        "ar": RingAllReduce,
-        "isw": SyncISwitch,
-    }[strategy]
-    return cls(net, workers, profile, cost_model).run(n_iterations)
 
 
 def run_async(
@@ -147,37 +266,33 @@ def run_async(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     profile: Optional[WorkloadProfile] = None,
     algorithm_overrides: Optional[dict] = None,
+    loss_rate: float = 0.0,
+    recovery_timeout: Optional[float] = None,
+    telemetry: bool = False,
 ) -> TrainingResult:
-    """Run asynchronous distributed training with ``strategy`` ps|isw."""
+    """Run asynchronous distributed training with ``strategy`` ps|isw.
+
+    Thin wrapper over :func:`run`; kept for existing callers.
+    """
     strategy = strategy.lower()
     if strategy not in ASYNC_STRATEGIES:
         raise KeyError(
             f"unknown async strategy {strategy!r}; choose {ASYNC_STRATEGIES}"
         )
-    profile = profile or get_profile(workload)
-    net, workers = build_cluster(
-        n_workers,
-        profile,
-        with_server=strategy == "ps",
-        use_iswitch=strategy == "isw",
-        seed=seed,
-        workload=workload,
-        algorithm_overrides=algorithm_overrides,
-    )
-    if strategy == "ps":
-        server_algorithm = make_algorithm(
-            workload, seed=seed + 10_000, **(algorithm_overrides or {})
-        )
-        runner = AsyncParameterServer(
-            net,
-            workers,
-            profile,
-            server_algorithm,
-            cost_model,
+    return run(
+        ExperimentConfig(
+            strategy=strategy,
+            workload=workload,
+            mode="async",
+            n_workers=n_workers,
+            iterations=n_updates,
+            seed=seed,
             staleness_bound=staleness_bound,
+            cost_model=cost_model,
+            profile=profile,
+            algorithm_overrides=algorithm_overrides,
+            loss_rate=loss_rate,
+            recovery_timeout=recovery_timeout,
+            telemetry=telemetry,
         )
-    else:
-        runner = AsyncISwitch(
-            net, workers, profile, cost_model, staleness_bound=staleness_bound
-        )
-    return runner.run(n_updates)
+    )

@@ -39,6 +39,7 @@ from ..netsim.topology import Network
 from ..workloads.calibration import DEFAULT_COST_MODEL, CostModel
 from ..workloads.profiles import WorkloadProfile
 from .metrics import BusyQueue
+from .registry import register_strategy
 from .results import TrainingResult
 from .transport import VectorReceiver, send_vector
 from .worker import SimWorker
@@ -92,12 +93,20 @@ class SyncStrategy:
         self.wire_bytes = profile.model_bytes
         self.n_iterations = 0
         self._agg_start: Dict[int, float] = {}
+        self._iter_start: Dict[tuple, float] = {}
         self._round_gradients: Dict[int, Dict[int, np.ndarray]] = {}
         self._finished: Dict[int, int] = {}
         self._result: Optional[TrainingResult] = None
         self._setup()
 
     # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, net: Network, workers: List[SimWorker], profile, config
+    ) -> "SyncStrategy":
+        """Registry hook: build a runner from an ExperimentConfig."""
+        return cls(net, workers, profile, config.cost_model)
+
     def _setup(self) -> None:
         """Strategy-specific wiring (receivers, clients, server state)."""
 
@@ -133,9 +142,21 @@ class SyncStrategy:
     # ------------------------------------------------------------------
     def _start_iteration(self, worker: SimWorker, iteration: int) -> None:
         duration = worker.compute.lgc_duration()
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            self._iter_start[(worker.index, iteration)] = self.sim.now
 
         def lgc_done() -> None:
             worker.breakdown.add_compute(self.profile, duration)
+            if telemetry.enabled:
+                telemetry.span_at(
+                    "compute.lgc",
+                    self.sim.now - duration,
+                    self.sim.now,
+                    cat="training",
+                    track=worker.name,
+                    iteration=iteration,
+                )
             gradient = worker.algorithm.compute_gradient()
             self._agg_start[worker.index] = self.sim.now
             self._record_gradient(worker, gradient, iteration)
@@ -176,12 +197,33 @@ class SyncStrategy:
         agg_time = self.sim.now - self._agg_start.pop(worker.index)
         worker.breakdown.add("grad_aggregation", agg_time + ingest)
         worker.breakdown.add("weight_update", lwu)
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            telemetry.span_at(
+                "grad.aggregation",
+                self.sim.now - agg_time,
+                self.sim.now,
+                cat="training",
+                track=worker.name,
+                iteration=iteration,
+            )
 
         def apply() -> None:
             worker.algorithm.apply_update(
                 np.asarray(summed, dtype=np.float64) / len(self.workers)
             )
             worker.finish_iteration()
+            if telemetry.enabled:
+                started = self._iter_start.pop((worker.index, iteration), None)
+                if started is not None:
+                    telemetry.span_at(
+                        "iteration",
+                        started,
+                        self.sim.now,
+                        cat="training",
+                        track=worker.name,
+                        iteration=iteration,
+                    )
             if self._result is not None:
                 self._result.aggregation_latency.record(agg_time + ingest)
             done = self._finished.get(iteration, 0) + 1
@@ -195,6 +237,7 @@ class SyncStrategy:
         self.sim.schedule(ingest + lwu, apply, name=f"lwu:w{worker.index}")
 
 
+@register_strategy("sync", "ps", requires_server=True)
 class SyncParameterServer(SyncStrategy):
     """Figure 1a: centralized PS over the regular switch."""
 
@@ -204,7 +247,7 @@ class SyncParameterServer(SyncStrategy):
         if self.net.server is None:
             raise ValueError("sync PS needs a topology built with a server host")
         self.server = self.net.server
-        self.server_cpu = BusyQueue(self.sim)
+        self.server_cpu = BusyQueue(self.sim, name="server")
         self._pending: Dict[int, int] = {}
         VectorReceiver(self.server, self._server_on_vector)
         for worker in self.workers:
@@ -258,6 +301,7 @@ class SyncParameterServer(SyncStrategy):
             )
 
 
+@register_strategy("sync", "ar")
 class RingAllReduce(SyncStrategy):
     """Figure 1b: decentralized ring aggregation (reduce-scatter + all-gather)."""
 
@@ -331,10 +375,34 @@ class RingAllReduce(SyncStrategy):
         self._deliver_sum(worker, summed, iteration)
 
 
+@register_strategy("sync", "isw", requires_iswitch=True)
 class SyncISwitch(SyncStrategy):
     """Figure 1c: in-switch aggregation via the accelerator data plane."""
 
     name = "sync-isw"
+
+    def __init__(
+        self,
+        net: Network,
+        workers: List[SimWorker],
+        profile: WorkloadProfile,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        recovery_timeout: Optional[float] = None,
+    ) -> None:
+        # _setup() runs inside the base __init__, so the timeout must be
+        # in place before delegating.
+        self.recovery_timeout = recovery_timeout
+        super().__init__(net, workers, profile, cost_model)
+
+    @classmethod
+    def create(cls, net, workers, profile, config) -> "SyncISwitch":
+        return cls(
+            net,
+            workers,
+            profile,
+            config.cost_model,
+            recovery_timeout=config.resolved_recovery_timeout(),
+        )
 
     def _setup(self) -> None:
         configure_aggregation(self.net)
@@ -350,6 +418,7 @@ class SyncISwitch(SyncStrategy):
                 on_round_complete=lambda rnd, vec, w=worker_self: self._deliver_sum(
                     w, vec, rnd
                 ),
+                recovery_timeout=self.recovery_timeout,
             )
             self.clients.append(client)
 

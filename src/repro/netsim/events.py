@@ -20,6 +20,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from ..telemetry.hub import NULL_HUB, TelemetryHub
+
 __all__ = ["Event", "Simulator", "SimError"]
 
 
@@ -58,12 +60,23 @@ class Simulator:
     [1.5]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Optional[TelemetryHub] = None) -> None:
         self._now = 0.0
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._processed = 0
         self._running = False
+        #: The run's telemetry hub; the shared disabled hub by default, so
+        #: every component can unconditionally do ``sim.telemetry.inc(...)``
+        #: behind an ``enabled`` check at zero configuration cost.
+        self.telemetry: TelemetryHub = NULL_HUB
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, hub: TelemetryHub) -> None:
+        """Install ``hub`` as this run's telemetry sink and time source."""
+        self.telemetry = hub
+        hub.bind_clock(lambda: self._now)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -123,6 +136,11 @@ class Simulator:
                 continue
             self._now = event.time
             self._processed += 1
+            if self.telemetry.enabled:
+                # Label by the name prefix (e.g. "lgc", "deliver", "fwd")
+                # so dispatch counts stay low-cardinality.
+                kind = event.name.split(":", 1)[0] if event.name else "anonymous"
+                self.telemetry.inc("sim.events_processed", 1, kind=kind)
             event.callback()
             return True
         return False

@@ -90,9 +90,24 @@ class LinkEnd:
         dropped = (
             link.loss_rate > 0.0 and link.loss_rng.random() < link.loss_rate
         )
+        telemetry = sim.telemetry
+        if telemetry.enabled:
+            telemetry.inc("link.tx_packets", 1, link=link.name)
+            telemetry.inc("link.tx_bytes", packet.wire_size, link=link.name)
+            telemetry.set_gauge(
+                "link.queue_depth", self._queued_packets, link=link.name
+            )
 
         def deliver() -> None:
             self._queued_packets -= 1
+            # ``telemetry`` is captured from send time; the hub is fixed
+            # for a simulator's lifetime, so this stays current.
+            if telemetry.enabled:
+                telemetry.set_gauge(
+                    "link.queue_depth", self._queued_packets, link=link.name
+                )
+                if dropped:
+                    telemetry.inc("link.packets_dropped", 1, link=link.name)
             if dropped:
                 link.dropped_packets += 1
                 return

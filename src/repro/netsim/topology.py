@@ -58,9 +58,21 @@ class Network:
 
 
 def _connect_host(
-    net: Network, host: Host, switch: EthernetSwitch, bandwidth: float
+    net: Network,
+    host: Host,
+    switch: EthernetSwitch,
+    bandwidth: float,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
 ) -> None:
-    link = Link(net.sim, bandwidth=bandwidth, name=f"{host.name}<->{switch.name}")
+    link = Link(
+        net.sim,
+        bandwidth=bandwidth,
+        name=f"{host.name}<->{switch.name}",
+        loss_rate=loss_rate,
+        # Per-link offset decorrelates drops while staying reproducible.
+        loss_seed=loss_seed + len(net.links),
+    )
     link.attach(host, switch)
     switch.add_route(host.name, link.ends[1])
     net.links.append(link)
@@ -72,10 +84,14 @@ def build_star(
     with_server: bool = False,
     bandwidth: float = 10 * GBPS,
     switch_factory: SwitchFactory = _default_switch_factory,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
 ) -> Network:
     """N workers (and optionally one PS host) on a single switch.
 
     Worker hosts are named ``worker0..workerN-1``; the PS host is ``server``.
+    ``loss_rate`` applies independent per-packet drops on every host link
+    (seeded reproducibly from ``loss_seed``).
     """
     if n_workers < 1:
         raise ValueError(f"need at least one worker, got {n_workers}")
@@ -86,14 +102,14 @@ def build_star(
 
     for i in range(n_workers):
         host = Host(sim, f"worker{i}")
-        _connect_host(net, host, switch, bandwidth)
+        _connect_host(net, host, switch, bandwidth, loss_rate, loss_seed)
         net.hosts[host.name] = host
         net.workers.append(host)
         net.tor_of_worker.append(switch)
 
     if with_server:
         server = Host(sim, "server")
-        _connect_host(net, server, switch, bandwidth)
+        _connect_host(net, server, switch, bandwidth, loss_rate, loss_seed)
         net.hosts[server.name] = server
         net.server = server
     return net
@@ -107,6 +123,8 @@ def build_rack_tree(
     host_bandwidth: float = 10 * GBPS,
     uplink_bandwidth: float = 40 * GBPS,
     switch_factory: SwitchFactory = _default_switch_factory,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
 ) -> Network:
     """A root switch over ceil(N / workers_per_rack) ToR racks.
 
@@ -131,7 +149,11 @@ def build_rack_tree(
         tor = switch_factory(sim, f"tor{rack}")
         net.switches.append(tor)
         uplink = Link(
-            sim, bandwidth=uplink_bandwidth, name=f"{tor.name}<->{root.name}"
+            sim,
+            bandwidth=uplink_bandwidth,
+            name=f"{tor.name}<->{root.name}",
+            loss_rate=loss_rate,
+            loss_seed=loss_seed + len(net.links),
         )
         uplink.attach(tor, root)
         tor.set_default_route(uplink.ends[0])
@@ -140,7 +162,7 @@ def build_rack_tree(
         in_this_rack = min(workers_per_rack, n_workers - worker_idx)
         for _ in range(in_this_rack):
             host = Host(sim, f"worker{worker_idx}")
-            _connect_host(net, host, tor, host_bandwidth)
+            _connect_host(net, host, tor, host_bandwidth, loss_rate, loss_seed)
             net.hosts[host.name] = host
             net.workers.append(host)
             net.tor_of_worker.append(tor)
@@ -152,7 +174,7 @@ def build_rack_tree(
 
     if with_server:
         server = Host(sim, "server")
-        _connect_host(net, server, root, uplink_bandwidth)
+        _connect_host(net, server, root, uplink_bandwidth, loss_rate, loss_seed)
         net.hosts[server.name] = server
         net.server = server
         # Every ToR reaches the server through its default (uplink) route.

@@ -1,0 +1,156 @@
+"""Exporters: JSON snapshot, Chrome trace-event format, Prometheus text.
+
+* :func:`to_json` / :func:`write_json` — the full snapshot (metrics +
+  spans + events) as one JSON document, for programmatic post-processing.
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format consumed by ``chrome://tracing`` and https://ui.perfetto.dev:
+  spans become complete (``"ph": "X"``) events, instants become
+  ``"ph": "i"``, and each track gets a named thread lane.  Timestamps are
+  microseconds of *simulated* time, sorted ascending.
+* :func:`to_prometheus` / :func:`write_prometheus` — a Prometheus
+  text-format dump (``# TYPE`` headers, ``{label="value"}`` series,
+  ``_bucket``/``_sum``/``_count`` histogram series).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .hub import TelemetrySnapshot
+
+__all__ = [
+    "to_json",
+    "write_json",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_prometheus",
+    "write_prometheus",
+]
+
+_SECONDS_TO_US = 1e6
+
+
+# ----------------------------------------------------------------------
+# JSON snapshot
+# ----------------------------------------------------------------------
+def to_json(snapshot: TelemetrySnapshot, indent: int = 2) -> str:
+    return json.dumps(snapshot.to_dict(), indent=indent, sort_keys=True)
+
+
+def write_json(snapshot: TelemetrySnapshot, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_json(snapshot))
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+def _track_ids(snapshot: TelemetrySnapshot) -> Dict[str, int]:
+    """Stable track-name -> tid mapping (sorted for determinism)."""
+    names = {s.track for s in snapshot.spans} | {e.track for e in snapshot.events}
+    return {name: tid for tid, name in enumerate(sorted(names))}
+
+
+def to_chrome_trace(snapshot: TelemetrySnapshot) -> dict:
+    """Build a ``{"traceEvents": [...]}`` document; ``ts`` is monotone."""
+    tracks = _track_ids(snapshot)
+    events: List[dict] = []
+    for span in snapshot.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat or "span",
+                "ph": "X",
+                "ts": span.start * _SECONDS_TO_US,
+                "dur": span.duration * _SECONDS_TO_US,
+                "pid": 0,
+                "tid": tracks[span.track],
+                "args": span.args,
+            }
+        )
+    for instant in snapshot.events:
+        events.append(
+            {
+                "name": instant.name,
+                "cat": instant.cat or "event",
+                "ph": "i",
+                "s": "t",
+                "ts": instant.ts * _SECONDS_TO_US,
+                "pid": 0,
+                "tid": tracks[instant.track],
+                "args": instant.args,
+            }
+        )
+    events.sort(key=lambda e: (e["ts"], e["tid"], e["name"]))
+    # Thread-name metadata renders each track as a labelled lane.
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": track or "(run)"},
+        }
+        for track, tid in sorted(tracks.items(), key=lambda kv: kv[1])
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(snapshot.meta),
+    }
+
+
+def write_chrome_trace(snapshot: TelemetrySnapshot, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(snapshot), fh)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def _sanitize(name: str) -> str:
+    """``link.tx_bytes`` -> ``repro_link_tx_bytes``."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{cleaned}"
+
+
+def _format_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(snapshot: TelemetrySnapshot) -> str:
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+    for metric in snapshot.metrics:
+        name = _sanitize(metric["name"])
+        kind = metric["kind"]
+        if seen_types.get(name) != kind:
+            seen_types[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+        labels = metric["labels"]
+        if kind == "histogram":
+            for bucket in metric["buckets"]:
+                le = bucket["le"]
+                le_str = "+Inf" if le == "+Inf" else repr(float(le))
+                le_label = 'le="%s"' % le_str
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_format_labels(labels, le_label)} "
+                    f"{bucket['count']}"
+                )
+            lines.append(f"{name}_sum{_format_labels(labels)} {metric['sum']}")
+            lines.append(f"{name}_count{_format_labels(labels)} {metric['count']}")
+        else:
+            lines.append(f"{name}{_format_labels(labels)} {metric['value']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(snapshot: TelemetrySnapshot, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_prometheus(snapshot))

@@ -1,0 +1,125 @@
+"""Structured spans and instant events over the simulated clock.
+
+A *span* is a named interval ``[start, end]`` on one *track* (a device,
+worker, or strategy name — it becomes the thread lane in the Chrome trace
+viewer); an *event* is a single instant.  Both carry a category and a
+small free-form ``args`` dict.  Timestamps come from whatever clock the
+owning :class:`~repro.telemetry.hub.TelemetryHub` is bound to — for the
+simulator that is :attr:`Simulator.now`, so traces show *simulated* time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+__all__ = ["Span", "TraceEvent", "SpanTracer"]
+
+
+@dataclass
+class Span:
+    """A finished named interval on a track."""
+
+    name: str
+    start: float
+    end: float
+    cat: str = ""
+    track: str = ""
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TraceEvent:
+    """A single instant on a track."""
+
+    name: str
+    ts: float
+    cat: str = ""
+    track: str = ""
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+class SpanTracer:
+    """Collects spans and events; bounded so long runs cannot OOM."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        max_records: int = 200_000,
+    ) -> None:
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        self.clock = clock
+        self.max_records = max_records
+        self.spans: List[Span] = []
+        self.events: List[TraceEvent] = []
+        #: Records discarded after the buffer filled (visible in snapshots
+        #: so truncation is never silent).
+        self.dropped = 0
+        self._open: Dict[int, Span] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def _room(self) -> bool:
+        if len(self.spans) + len(self.events) >= self.max_records:
+            self.dropped += 1
+            return False
+        return True
+
+    def begin(self, name: str, cat: str = "", track: str = "", **args) -> int:
+        """Open a span now; returns a handle for :meth:`end`."""
+        self._next_id += 1
+        self._open[self._next_id] = Span(
+            name=name,
+            start=self.clock(),
+            end=self.clock(),
+            cat=cat,
+            track=track,
+            args=dict(args),
+        )
+        return self._next_id
+
+    def end(self, handle: int, **args) -> None:
+        """Close an open span at the current clock."""
+        span = self._open.pop(handle, None)
+        if span is None:
+            return  # already closed, or begun while tracing was disabled
+        span.end = self.clock()
+        if args:
+            span.args.update(args)
+        if self._room():
+            self.spans.append(span)
+
+    def span_at(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        cat: str = "",
+        track: str = "",
+        **args,
+    ) -> None:
+        """Record a complete span whose endpoints are already known."""
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts: {end} < {start}")
+        if self._room():
+            self.spans.append(
+                Span(name=name, start=start, end=end, cat=cat, track=track,
+                     args=dict(args))
+            )
+
+    def event(self, name: str, cat: str = "", track: str = "", **args) -> None:
+        """Record an instant event at the current clock."""
+        if self._room():
+            self.events.append(
+                TraceEvent(name=name, ts=self.clock(), cat=cat, track=track,
+                           args=dict(args))
+            )
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._open)

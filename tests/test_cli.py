@@ -114,3 +114,99 @@ class TestAllCommand:
         )
         cli.main(["all", "--full"])
         assert all(w is None for w in windows)
+
+
+class TestTelemetryFlags:
+    def test_trace_out_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        code = main(
+            [
+                "train",
+                "--strategy",
+                "isw",
+                "--iterations",
+                "3",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert events
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        assert any(e["name"] == "iteration" for e in events)
+
+    def test_metrics_out_prometheus(self, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "train",
+                "--strategy",
+                "isw",
+                "--iterations",
+                "2",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_link_tx_packets counter" in text
+
+    def test_metrics_out_json(self, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            [
+                "train",
+                "--strategy",
+                "isw",
+                "--iterations",
+                "2",
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["metrics"]
+
+    def test_loss_rate_flows_through(self, capsys):
+        code = main(
+            [
+                "train",
+                "--strategy",
+                "isw",
+                "--iterations",
+                "2",
+                "--loss-rate",
+                "0.002",
+                "--seed",
+                "2",
+                "--workers",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "per-iteration time" in capsys.readouterr().out
+
+    def test_loss_rate_rejected_for_ps(self, capsys):
+        code = main(
+            [
+                "train",
+                "--strategy",
+                "ps",
+                "--iterations",
+                "2",
+                "--loss-rate",
+                "0.01",
+            ]
+        )
+        assert code == 2
+        assert "loss recovery" in capsys.readouterr().err
