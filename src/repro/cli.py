@@ -19,6 +19,7 @@ import sys
 from typing import List, Optional
 
 from .distributed.config import ExperimentConfig
+from .distributed.registry import MODES, strategy_specs
 from .distributed.runner import ASYNC_STRATEGIES, SYNC_STRATEGIES, run
 from .experiments import (
     fig4,
@@ -52,10 +53,52 @@ EXPERIMENTS = {
 }
 
 
+def format_strategy_table() -> str:
+    """A table of every registered (mode, strategy) pair and its needs."""
+    rows = [("mode", "strategy", "class", "needs server", "needs iswitch")]
+    specs = sorted(strategy_specs(), key=lambda s: MODES.index(s.mode))
+    for spec in specs:
+        rows.append(
+            (
+                spec.mode,
+                spec.name,
+                spec.cls.__name__,
+                "yes" if spec.requires_server else "no",
+                "yes" if spec.requires_iswitch else "no",
+            )
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    lines = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+             for row in rows]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    lines.append("")
+    lines.append(
+        "iSwitch strategies are the loss-tolerant ones; only they accept "
+        "--loss-rate > 0."
+    )
+    return "\n".join(lines)
+
+
+class _ListStrategiesAction(argparse.Action):
+    """``--list-strategies``: print the registry and exit (like --help)."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(format_strategy_table())
+        parser.exit(0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="iSwitch (ISCA 2019) reproduction harness",
+    )
+    parser.add_argument(
+        "--list-strategies",
+        action=_ListStrategiesAction,
+        help="list every registered training strategy and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -98,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument(
         "--staleness-bound", type=int, default=3, help="async only: S"
+    )
+    train.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="ps-shard only: number of shard servers (default: min(4, workers))",
     )
     train.add_argument(
         "--loss-rate",
@@ -200,6 +249,7 @@ def _run_training(args: argparse.Namespace) -> int:
             seed=args.seed,
             staleness_bound=args.staleness_bound,
             loss_rate=args.loss_rate,
+            ps_shards=args.shards,
             telemetry=want_telemetry,
         )
         result = run(config)
@@ -226,7 +276,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         print("experiments:", ", ".join(EXPERIMENTS))
-        print("training:    train --mode sync|async --strategy ps|ar|isw ...")
+        print(
+            "training:    train --mode sync|async --strategy "
+            f"{'|'.join(sorted(set(SYNC_STRATEGIES + ASYNC_STRATEGIES)))} ..."
+        )
+        print("strategies:  repro --list-strategies")
         return 0
     if args.command == "train":
         return _run_training(args)

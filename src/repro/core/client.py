@@ -78,6 +78,9 @@ class AggregationClient:
         #: loss recovery is armed, so a relayed Help can be answered by
         #: retransmitting the original contribution.
         self._sent: Dict[int, DataSegment] = {}
+        #: Simulated time each round's gradient left this client, kept so
+        #: the completion span covers stream + in-switch + broadcast.
+        self._round_started: Dict[int, float] = {}
         self._commit_counter = 0
         self.rounds_completed = 0
         self.help_requests = 0
@@ -109,6 +112,10 @@ class AggregationClient:
         """
         self._commit_counter += 1
         commit_id = self._commit_counter
+        self._round_started.setdefault(round_index, self.host.sim.now)
+        if len(self._round_started) > 1024:
+            for old in sorted(self._round_started)[:512]:
+                del self._round_started[old]
         if self.codec is not None:
             vector = self.codec.roundtrip(vector)
         segments = self.plan.split(
@@ -240,6 +247,18 @@ class AggregationClient:
             telemetry.inc(
                 "client.rounds_completed", 1, worker=self.host.name
             )
+            started = self._round_started.pop(round_index, None)
+            if started is not None:
+                telemetry.span_at(
+                    "client.round",
+                    started,
+                    self.host.sim.now,
+                    cat="iswitch",
+                    track=self.host.name,
+                    round=round_index,
+                )
+        else:
+            self._round_started.pop(round_index, None)
         if self.on_round_complete is not None:
             self.on_round_complete(round_index, out)
 

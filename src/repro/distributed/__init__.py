@@ -1,6 +1,14 @@
 """Distributed RL training strategies over the simulated cluster."""
 
 from .asynchronous import AsyncISwitch, AsyncParameterServer
+from .collectives import (
+    CollectiveHandle,
+    ISwitchStream,
+    PsGather,
+    PsScatter,
+    RingExchange,
+    RoundBarrier,
+)
 from .config import ExperimentConfig
 from .metrics import BusyQueue, IterationBreakdown, split_compute_time
 from .registry import (
@@ -8,6 +16,7 @@ from .registry import (
     get_strategy,
     register_strategy,
     strategy_names,
+    strategy_specs,
     unregister_strategy,
 )
 from .results import TrainingResult
@@ -20,7 +29,15 @@ from .runner import (
     run_async,
     run_sync,
 )
-from .sync import RingAllReduce, SyncISwitch, SyncParameterServer, SyncStrategy, make_plan
+from .sharded import ShardedParameterServer
+from .sync import (
+    HalvingDoublingAllReduce,
+    RingAllReduce,
+    SyncISwitch,
+    SyncParameterServer,
+    SyncStrategy,
+    make_plan,
+)
 from .transport import VECTOR_PORT, VectorChunk, VectorReceiver, send_vector
 from .worker import ComputeModel, SimWorker
 
@@ -37,15 +54,24 @@ __all__ = [
     "register_strategy",
     "get_strategy",
     "strategy_names",
+    "strategy_specs",
     "unregister_strategy",
     "TrainingResult",
     "SyncStrategy",
     "SyncParameterServer",
     "RingAllReduce",
+    "HalvingDoublingAllReduce",
+    "ShardedParameterServer",
     "SyncISwitch",
     "AsyncParameterServer",
     "AsyncISwitch",
     "make_plan",
+    "CollectiveHandle",
+    "RoundBarrier",
+    "PsGather",
+    "PsScatter",
+    "RingExchange",
+    "ISwitchStream",
     "SimWorker",
     "ComputeModel",
     "IterationBreakdown",

@@ -1,17 +1,24 @@
 """Asynchronous distributed training: the PS baseline and iSwitch's
 pipelined, decentralized rethink (paper §4, Algorithm 1).
 
+Both strategies are thin compositions of the collective primitives in
+:mod:`repro.distributed.collectives`; they own the *policy* (staleness
+accounting, Algorithm 1's two logical threads) while the primitives own
+the *data path*.
+
 **AsyncParameterServer** (Figure 3): the server keeps the authoritative
 weights (a full *server replica* of the algorithm, so optimizer state,
 target networks and update counting are exactly the centralized
 training's).  Each worker loops: pull weights → local gradient computing →
-push gradient → pull again.  The server ingests and applies each incoming
-gradient sequentially on its CPU; gradient *staleness* — how many server
-updates happened between a worker's pull and its push being applied — is
-an emergent, measured quantity.
+push gradient → pull again.  Pushes land through a per-vector
+:class:`PsGather` (the server CPU ingests and applies each gradient
+sequentially); pulls are served back through a :class:`PsScatter`.
+Gradient *staleness* — how many server updates happened between a
+worker's pull and its push being applied — is an emergent, measured
+quantity.
 
 **AsyncISwitch** (Algorithm 1): no server.  Each worker runs two logical
-threads:
+threads over one :class:`ISwitchStream`:
 
 * the **LGC thread** snapshots the weights (version ``tw = ts``), computes
   a gradient against the snapshot over the modelled duration, and commits
@@ -40,24 +47,27 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.client import AggregationClient
-from ..core.hierarchy import aggregation_switches, configure_aggregation
 from ..netsim.topology import Network
 from ..netsim.trace import LatencyStats
 from ..rl.base import Algorithm
 from ..workloads.calibration import DEFAULT_COST_MODEL, CostModel
 from ..workloads.profiles import WorkloadProfile
+from .collectives import ISwitchStream, PsGather, PsScatter
 from .metrics import BusyQueue
 from .registry import register_strategy
 from .results import TrainingResult
-from .sync import make_plan
-from .transport import VectorReceiver, send_vector
+from .sync import make_plan  # noqa: F401  (historical re-export)
 from .worker import SimWorker
 
 __all__ = ["AsyncParameterServer", "AsyncISwitch"]
 
 #: Tiny request packet for a weight pull.
 PULL_REQUEST_BYTES = 64
+
+#: Ports of the async PS data paths (push / pull-request / weights-down).
+PUSH_PORT = 7811
+PULL_REQUEST_PORT = 7812
+WEIGHTS_PORT = 7813
 
 
 @register_strategy("async", "ps", requires_server=True)
@@ -95,17 +105,31 @@ class AsyncParameterServer:
         self._push_seq = 0
         self._done = False
 
-        VectorReceiver(self.server, self._server_on_gradient, port=7811)
-        self.server.bind(7812, self._server_on_pull_request)
-        for worker in self.workers:
-            worker_self = worker
-            VectorReceiver(
-                worker.host,
-                lambda src, tag, vec, meta, w=worker_self: self._worker_on_weights(
-                    w, vec, meta
-                ),
-                port=7813,
-            )
+        # Every pushed gradient occupies the server CPU for ingest +
+        # optimizer update back to back, then is applied (per-vector
+        # completion: no round barrier in asynchronous training).
+        messages = self.profile.message_count
+        busy = self.cost.server_ingest(
+            self.wire_bytes, messages
+        ) + self.cost.server_update(
+            self.wire_bytes, messages, self.profile.update_cost_factor
+        )
+        self.gather = PsGather(
+            self.server,
+            self.server_cpu,
+            ingest_cost=busy,
+            on_vector=self._gradient_applied,
+            port=PUSH_PORT,
+        )
+        self.server.bind(PULL_REQUEST_PORT, self._server_on_pull_request)
+        self.scatter = PsScatter(
+            self.server,
+            self.workers,
+            on_deliver=lambda w, tag, vec, meta: self._worker_on_weights(
+                w, vec, meta
+            ),
+            port=WEIGHTS_PORT,
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -164,8 +188,8 @@ class AsyncParameterServer:
                 dst=self.server.name,
                 payload_size=PULL_REQUEST_BYTES,
                 payload=worker.index,
-                src_port=7812,
-                dst_port=7812,
+                src_port=PULL_REQUEST_PORT,
+                dst_port=PULL_REQUEST_PORT,
             )
         )
 
@@ -217,13 +241,11 @@ class AsyncParameterServer:
 
     def _push_gradient(self, worker: SimWorker, gradient: np.ndarray) -> None:
         self._push_seq += 1
-        send_vector(
-            worker.host,
-            self.server.name,
-            tag=self._push_seq,
-            vector=gradient,
+        self.gather.submit(
+            worker,
+            self._push_seq,
+            gradient,
             wire_bytes=self.wire_bytes,
-            port=7811,
             meta=(worker.index, self._version_at_pull.get(worker.index, 0)),
         )
 
@@ -234,13 +256,11 @@ class AsyncParameterServer:
         worker_index = packet.payload
 
         def serve() -> None:
-            send_vector(
-                self.server,
-                self.workers[worker_index].name,
+            self.scatter.send_to(
+                self.workers[worker_index],
                 tag=("w", self.server_updates, worker_index),
                 vector=self.replica.get_weights(),
                 wire_bytes=self.wire_bytes,
-                port=7813,
                 meta=self.server_updates,
             )
 
@@ -249,30 +269,21 @@ class AsyncParameterServer:
             serve,
         )
 
-    def _server_on_gradient(self, src, tag, gradient, meta) -> None:
+    def _gradient_applied(self, src, tag, gradient, meta) -> None:
+        """Fires when one push has finished its server CPU occupancy."""
+        if self._done:
+            return
         worker_index, version_at_pull = meta
-
-        def ingested() -> None:
-            if self._done:
-                return
-            staleness = self.server_updates - version_at_pull
-            self.staleness.record(staleness)
-            telemetry = self.sim.telemetry
-            if telemetry.enabled:
-                telemetry.inc("server.updates", 1)
-                telemetry.observe("server.staleness", float(staleness))
-            self.replica.apply_update(np.asarray(gradient, dtype=np.float64))
-            self.server_updates += 1
-            if self.server_updates >= self.target_updates:
-                self._done = True
-
-        messages = self.profile.message_count
-        busy = self.cost.server_ingest(
-            self.wire_bytes, messages
-        ) + self.cost.server_update(
-            self.wire_bytes, messages, self.profile.update_cost_factor
-        )
-        self.server_cpu.submit(busy, ingested)
+        staleness = self.server_updates - version_at_pull
+        self.staleness.record(staleness)
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            telemetry.inc("server.updates", 1)
+            telemetry.observe("server.staleness", float(staleness))
+        self.replica.apply_update(np.asarray(gradient, dtype=np.float64))
+        self.server_updates += 1
+        if self.server_updates >= self.target_updates:
+            self._done = True
 
 
 @register_strategy("async", "isw", requires_iswitch=True)
@@ -310,37 +321,17 @@ class AsyncISwitch:
         #: Per-worker simulated time of the last applied update (telemetry).
         self._last_update: List[float] = [self.sim.now for _ in workers]
 
-        configure_aggregation(net)
-        switches = aggregation_switches(net)
-        n_params = workers[0].algorithm.n_params
-        self.plan = make_plan(n_params, self.wire_bytes)
-        # Leaf switches aggregate their local members; an explicit H only
-        # makes sense in the flat (single-switch) deployment.
-        if threshold is not None:
-            if len(switches) != 1:
-                raise ValueError(
-                    "explicit H is only supported on a single-switch topology"
-                )
-            switches[0].engine.set_threshold(threshold)
-        for switch in switches:
-            # Arrival-order renumbering gives the paper's true async
-            # semantics: the next H arriving vectors form a round, letting
-            # fast workers contribute more than once.
-            switch.engine.arrival_renumber = self.plan.n_chunks
-            switch.engine.buffer_limit = self.plan.n_chunks * (staleness_bound + 4)
-
-        self.clients: List[AggregationClient] = []
-        for worker, tor in zip(workers, net.tor_of_worker):
-            worker_self = worker
-            client = AggregationClient(
-                worker.host,
-                tor.name,
-                self.plan,
-                on_round_complete=lambda rnd, vec, w=worker_self: self._lwu(
-                    w, vec
-                ),
-            )
-            self.clients.append(client)
+        self.stream = ISwitchStream(
+            net,
+            workers,
+            self.wire_bytes,
+            on_round=lambda w, rnd, vec: self._lwu(w, vec),
+            threshold=threshold,
+            arrival_renumber=True,
+            buffer_rounds=staleness_bound + 4,
+        )
+        self.plan = self.stream.plan
+        self.clients = self.stream.clients
 
     # ------------------------------------------------------------------
     @classmethod
@@ -419,9 +410,7 @@ class AsyncISwitch:
                 self.commits += 1
                 if telemetry.enabled:
                     telemetry.inc("worker.commits", 1, worker=worker.name)
-                self.clients[worker.index].send_gradient(
-                    gradient.astype(np.float32), round_index=ts
-                )
+                self.stream.submit(worker, gradient, ts)
             else:
                 self.skipped_commits += 1
                 if telemetry.enabled:

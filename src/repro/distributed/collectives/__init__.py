@@ -1,0 +1,59 @@
+"""Composable, strategy-agnostic collective primitives over the netsim engine.
+
+The paper's comparison is ultimately about *data paths*: a parameter
+server moves every gradient over one host's link and CPU (4 network
+hops), a ring pipelines 2(N−1) neighbour exchanges (4N−4 hops), and the
+in-switch accelerator aggregates in flight (2 hops).  This package
+factors those data paths out of the training strategies into reusable
+collective primitives, the way SwitchML/NetReduce treat in-network
+aggregation as one collective among several interchangeable ones:
+
+* :class:`PsGather` / :class:`PsScatter` — hub-based push/pull over a
+  single host: sequential host-CPU ingest through a
+  :class:`~repro.distributed.metrics.BusyQueue`, single-link fan-out.
+* :class:`RingExchange` with :func:`ring_reduce_scatter` /
+  :func:`ring_all_gather` schedules — chained per-step chunk moves
+  between schedule-defined peers, paying per-step framework overhead.
+  The same machinery runs hypercube schedules
+  (:func:`hd_reduce_scatter` / :func:`hd_all_gather`) for
+  recursive-halving/doubling allreduce.
+* :class:`ISwitchStream` — ToS-tagged segment streaming through the
+  in-switch aggregation fabric via
+  :class:`~repro.core.client.AggregationClient`.
+* :class:`CollectiveHandle` / :class:`RoundBarrier` — shared round
+  bookkeeping: per-participant start/completion times and telemetry
+  spans (``collective.<name>``), and threshold-triggered completion.
+
+Strategies compose these primitives; the primitives never touch
+training state (weights, optimizers), only movement and timing.
+"""
+
+from .base import CollectiveHandle, RoundBarrier
+from .iswitch import ISwitchStream, iswitch_stream, make_plan
+from .ps import PsGather, PsScatter, ps_gather, ps_scatter
+from .ring import (
+    RingExchange,
+    RingSchedule,
+    hd_all_gather,
+    hd_reduce_scatter,
+    ring_all_gather,
+    ring_reduce_scatter,
+)
+
+__all__ = [
+    "CollectiveHandle",
+    "RoundBarrier",
+    "PsGather",
+    "PsScatter",
+    "ps_gather",
+    "ps_scatter",
+    "RingExchange",
+    "RingSchedule",
+    "ring_reduce_scatter",
+    "ring_all_gather",
+    "hd_reduce_scatter",
+    "hd_all_gather",
+    "ISwitchStream",
+    "iswitch_stream",
+    "make_plan",
+]

@@ -1,0 +1,142 @@
+"""Shared round bookkeeping for collective primitives.
+
+Every primitive tracks its in-flight rounds with a
+:class:`CollectiveHandle`: when a participant starts contributing the
+handle records the simulated time, and when the collective completes for
+that participant it records the completion time and emits a
+``collective.<name>`` telemetry span on the participant's track.  The
+handle never schedules events of its own, so attaching one to a data
+path cannot perturb simulated timing.
+
+:class:`RoundBarrier` is the completion-tracking half: it counts
+arrivals per round tag and fires a callback exactly once when a
+threshold is reached — the pattern every strategy used to hand-roll
+(`_pending`, `_finished`, per-shard counters, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["CollectiveHandle", "RoundBarrier"]
+
+#: Retain at most this many finished/stale handles per primitive before
+#: evicting the oldest (async strategies create one round per commit).
+MAX_LIVE_HANDLES = 256
+
+
+class CollectiveHandle:
+    """Timing record for one collective round (one ``tag``).
+
+    ``started``/``completed`` map participant names (host names) to
+    simulated times.  ``expected`` counts how many completions the round
+    needs before it is considered fully done; primitives that fan out
+    incrementally (e.g. :meth:`PsScatter.send_to`) grow it per send.
+    """
+
+    __slots__ = ("name", "tag", "sim", "expected", "started", "completed")
+
+    def __init__(self, name: str, tag: Any, sim, expected: int = 0) -> None:
+        self.name = name
+        self.tag = tag
+        self.sim = sim
+        self.expected = expected
+        self.started: Dict[str, float] = {}
+        self.completed: Dict[str, float] = {}
+
+    def mark_started(self, participant: str) -> None:
+        self.started.setdefault(participant, self.sim.now)
+
+    def mark_completed(self, participant: str) -> None:
+        now = self.sim.now
+        self.completed[participant] = now
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            start = self.started.get(participant, now)
+            telemetry.span_at(
+                f"collective.{self.name}",
+                start,
+                now,
+                cat="collective",
+                track=participant,
+                tag=self.tag,
+            )
+
+    @property
+    def done(self) -> bool:
+        """All expected completions observed."""
+        return self.expected > 0 and len(self.completed) >= self.expected
+
+    def elapsed(self, participant: str) -> Optional[float]:
+        """Start-to-completion duration for one participant, if finished."""
+        start = self.started.get(participant)
+        end = self.completed.get(participant)
+        return None if start is None or end is None else end - start
+
+    @property
+    def completed_at(self) -> Optional[float]:
+        """Simulated time the last completion so far was recorded."""
+        return max(self.completed.values()) if self.completed else None
+
+
+class HandleLedger:
+    """Per-primitive handle store with bounded retention."""
+
+    def __init__(self, name: str, sim) -> None:
+        self.name = name
+        self.sim = sim
+        self._handles: Dict[Any, CollectiveHandle] = {}
+
+    def get(self, tag: Any, expected: int = 0) -> CollectiveHandle:
+        handle = self._handles.get(tag)
+        if handle is None:
+            handle = CollectiveHandle(self.name, tag, self.sim, expected)
+            self._handles[tag] = handle
+            if len(self._handles) > MAX_LIVE_HANDLES:
+                # Insertion order == creation order; drop the oldest half.
+                for old in list(self._handles)[: MAX_LIVE_HANDLES // 2]:
+                    del self._handles[old]
+        return handle
+
+    def complete(self, tag: Any, participant: str) -> None:
+        """Record a completion; forget the handle once the round is done."""
+        handle = self._handles.get(tag)
+        if handle is None:
+            return
+        handle.mark_completed(participant)
+        if handle.done:
+            del self._handles[tag]
+
+    def peek(self, tag: Any) -> Optional[CollectiveHandle]:
+        return self._handles.get(tag)
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+
+class RoundBarrier:
+    """Count arrivals per tag; fire ``on_complete(tag)`` at ``threshold``."""
+
+    def __init__(
+        self, threshold: int, on_complete: Optional[Callable[[Any], None]] = None
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.on_complete = on_complete
+        self._arrived: Dict[Any, int] = {}
+
+    def arrive(self, tag: Any) -> bool:
+        """Record one arrival; returns True when this one completed the tag."""
+        count = self._arrived.get(tag, 0) + 1
+        if count < self.threshold:
+            self._arrived[tag] = count
+            return False
+        self._arrived.pop(tag, None)
+        if self.on_complete is not None:
+            self.on_complete(tag)
+        return True
+
+    def pending(self, tag: Any) -> int:
+        """Arrivals recorded so far for an incomplete tag."""
+        return self._arrived.get(tag, 0)

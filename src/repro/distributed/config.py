@@ -57,6 +57,9 @@ class ExperimentConfig:
     cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
     algorithm_overrides: Optional[dict] = None
     workers_per_rack: int = 4
+    #: ``ps-shard`` only: number of shard servers (clamped to the worker
+    #: count); ``None`` uses the strategy's default.
+    ps_shards: Optional[int] = None
     #: Collect metrics/spans/events into ``TrainingResult.telemetry``.
     telemetry: bool = True
 
@@ -89,6 +92,10 @@ class ExperimentConfig:
         if self.workers_per_rack < 1:
             raise ValueError(
                 f"workers_per_rack must be >= 1, got {self.workers_per_rack}"
+            )
+        if self.ps_shards is not None and self.ps_shards < 1:
+            raise ValueError(
+                f"ps_shards must be >= 1, got {self.ps_shards}"
             )
 
     # ------------------------------------------------------------------

@@ -20,13 +20,14 @@ and CLI help stable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple, Type
+from typing import Dict, Optional, Tuple, Type
 
 __all__ = [
     "StrategySpec",
     "register_strategy",
     "get_strategy",
     "strategy_names",
+    "strategy_specs",
     "unregister_strategy",
     "MODES",
 ]
@@ -104,6 +105,15 @@ def get_strategy(mode: str, name: str) -> StrategySpec:
 def strategy_names(mode: str) -> tuple:
     """Registered names for ``mode``, in registration order."""
     return tuple(n for (m, n) in _REGISTRY if m == mode)
+
+
+def strategy_specs(mode: Optional[str] = None) -> tuple:
+    """All registered specs (optionally one mode's), in registration order."""
+    return tuple(
+        spec
+        for (m, _), spec in _REGISTRY.items()
+        if mode is None or m == mode
+    )
 
 
 def unregister_strategy(mode: str, name: str) -> None:

@@ -12,9 +12,10 @@ callers (the experiments and benchmarks) and produce identical results
 for the same arguments.
 
 Strategy names follow the paper's abbreviations: ``ps``, ``ar``, ``isw``
-(synchronous) and ``ps``, ``isw`` (asynchronous); they are looked up in
-the :mod:`repro.distributed.registry`, so new strategies self-register
-via the ``@register_strategy`` decorator.  Worker counts above
+(synchronous, plus the ``ar-hd`` halving/doubling and ``ps-shard``
+sharded-PS extensions) and ``ps``, ``isw`` (asynchronous); they are
+looked up in the :mod:`repro.distributed.registry`, so new strategies
+self-register via the ``@register_strategy`` decorator.  Worker counts above
 ``workers_per_rack`` automatically use the two-layer rack-scale topology
 of Figure 10 with hierarchical aggregation.
 """
@@ -39,7 +40,9 @@ from .asynchronous import AsyncISwitch, AsyncParameterServer  # noqa: F401
 from .config import ExperimentConfig
 from .registry import get_strategy, strategy_names
 from .results import TrainingResult
+from .sharded import ShardedParameterServer  # noqa: F401
 from .sync import (  # noqa: F401
+    HalvingDoublingAllReduce,
     RingAllReduce,
     SyncISwitch,
     SyncParameterServer,

@@ -1,6 +1,6 @@
 """Synchronous distributed training: PS, Ring-AllReduce, and iSwitch.
 
-All three strategies share the same iteration skeleton (the template in
+All strategies share the same iteration skeleton (the template in
 :class:`SyncStrategy`): every worker runs LGC for its modelled duration,
 the strategy performs gradient aggregation over the simulated network, and
 each worker applies the identical mean gradient (LWU) before starting the
@@ -10,20 +10,25 @@ differs, which is exactly the paper's Table 4 observation ("all
 synchronous approaches train the same number of iterations to reach the
 same level final average rewards").
 
-Aggregation data paths:
+Aggregation is delegated to the composable primitives in
+:mod:`repro.distributed.collectives`; a strategy is a thin composition:
 
-* **SyncParameterServer** (Figure 1a) — workers stream their vectors to
-  the PS host; the PS CPU ingests and sums them sequentially (the central
-  bottleneck), runs the weight update, and streams the result back to
-  every worker over its single link (4 network hops per iteration).
-* **RingAllReduce** (Figure 1b) — the standard 2(N−1)-step
-  reduce-scatter/all-gather ring over the switch; each step moves M/N
-  bytes between ring neighbours (2 hops per step ⇒ 4N−4 hops total) and
-  pays the per-step framework overhead.
-* **SyncISwitch** (Figure 1c) — workers stream ToS-tagged segments to the
-  in-switch accelerator, which aggregates *on the fly at packet
-  granularity* and broadcasts completed segments immediately (2 hops,
-  pipelined).
+* **SyncParameterServer** (Figure 1a) — :class:`PsGather` (workers
+  stream vectors to the PS host, whose CPU ingests and sums sequentially
+  — the central bottleneck) + :class:`PsScatter` (single-link fan-out of
+  the result): 4 network hops per iteration.
+* **RingAllReduce** (Figure 1b) — :func:`ring_reduce_scatter` +
+  :func:`ring_all_gather` over a :class:`RingExchange`: 2(N−1) steps of
+  M/N bytes between ring neighbours (2 hops per step ⇒ 4N−4 hops) each
+  paying the per-step framework overhead.
+* **HalvingDoublingAllReduce** — the same :class:`RingExchange`
+  machinery on hypercube schedules (:func:`hd_reduce_scatter` +
+  :func:`hd_all_gather`): 2·log2(N) steps pairing ``i`` with
+  ``i XOR 2^k``, trading per-step overheads for larger messages.
+* **SyncISwitch** (Figure 1c) — :class:`ISwitchStream`: workers stream
+  ToS-tagged segments to the in-switch accelerator, which aggregates
+  *on the fly at packet granularity* and broadcasts completed segments
+  immediately (2 hops, pipelined).
 """
 
 from __future__ import annotations
@@ -32,43 +37,40 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.client import AggregationClient
-from ..core.hierarchy import configure_aggregation
-from ..core.protocol import SegmentPlan
 from ..netsim.topology import Network
 from ..workloads.calibration import DEFAULT_COST_MODEL, CostModel
 from ..workloads.profiles import WorkloadProfile
+from .collectives import (
+    ISwitchStream,
+    PsGather,
+    PsScatter,
+    RingExchange,
+    RoundBarrier,
+    hd_all_gather,
+    hd_reduce_scatter,
+    make_plan,
+    ring_all_gather,
+    ring_reduce_scatter,
+)
+from .collectives.iswitch import MAX_CHUNKS
 from .metrics import BusyQueue
 from .registry import register_strategy
 from .results import TrainingResult
-from .transport import VectorReceiver, send_vector
 from .worker import SimWorker
 
 __all__ = [
     "SyncStrategy",
     "SyncParameterServer",
     "RingAllReduce",
+    "HalvingDoublingAllReduce",
     "SyncISwitch",
     "make_plan",
+    "MAX_CHUNKS",
 ]
 
-#: Cap on simulated packet-train events per vector transfer.
-MAX_CHUNKS = 64
-
-
-def make_plan(
-    n_elements: int, wire_bytes: int, max_chunks: int = MAX_CHUNKS
-) -> SegmentPlan:
-    """Build a SegmentPlan for a real vector of ``n_elements`` floats whose
-    wire footprint should emulate ``wire_bytes`` (the paper model size)."""
-    base = SegmentPlan(n_elements)
-    frames_per_chunk = max(1, -(-base.n_frames // max_chunks))
-    multiplier = max(1, round(wire_bytes / base.wire_bytes))
-    return SegmentPlan(
-        n_elements,
-        frames_per_chunk=frames_per_chunk,
-        wire_multiplier=multiplier,
-    )
+#: Port HalvingDoublingAllReduce uses for its exchange steps (the ring
+#: keeps its historical 7801).
+HD_PORT = 7802
 
 
 class SyncStrategy:
@@ -95,7 +97,9 @@ class SyncStrategy:
         self._agg_start: Dict[int, float] = {}
         self._iter_start: Dict[tuple, float] = {}
         self._round_gradients: Dict[int, Dict[int, np.ndarray]] = {}
-        self._finished: Dict[int, int] = {}
+        self._round_done = RoundBarrier(
+            len(workers), self._round_gradients_release
+        )
         self._result: Optional[TrainingResult] = None
         self._setup()
 
@@ -108,7 +112,7 @@ class SyncStrategy:
         return cls(net, workers, profile, config.cost_model)
 
     def _setup(self) -> None:
-        """Strategy-specific wiring (receivers, clients, server state)."""
+        """Strategy-specific wiring: compose collective primitives here."""
 
     def run(self, n_iterations: int) -> TrainingResult:
         """Simulate ``n_iterations`` synchronous training iterations."""
@@ -169,6 +173,9 @@ class SyncStrategy:
     ) -> None:
         self._round_gradients.setdefault(iteration, {})[worker.index] = gradient
 
+    def _round_gradients_release(self, iteration: int) -> None:
+        self._round_gradients.pop(iteration, None)
+
     def _round_sum(self, iteration: int) -> np.ndarray:
         gradients = self._round_gradients[iteration]
         if len(gradients) != len(self.workers):
@@ -226,11 +233,7 @@ class SyncStrategy:
                     )
             if self._result is not None:
                 self._result.aggregation_latency.record(agg_time + ingest)
-            done = self._finished.get(iteration, 0) + 1
-            self._finished[iteration] = done
-            if done == len(self.workers):
-                self._finished.pop(iteration, None)
-                self._round_gradients.pop(iteration, None)
+            self._round_done.arrive(iteration)
             if iteration + 1 < self.n_iterations:
                 self._start_iteration(worker, iteration + 1)
 
@@ -239,7 +242,7 @@ class SyncStrategy:
 
 @register_strategy("sync", "ps", requires_server=True)
 class SyncParameterServer(SyncStrategy):
-    """Figure 1a: centralized PS over the regular switch."""
+    """Figure 1a: centralized PS = ``ps_gather`` + ``ps_scatter``."""
 
     name = "sync-ps"
 
@@ -248,136 +251,119 @@ class SyncParameterServer(SyncStrategy):
             raise ValueError("sync PS needs a topology built with a server host")
         self.server = self.net.server
         self.server_cpu = BusyQueue(self.sim, name="server")
-        self._pending: Dict[int, int] = {}
-        VectorReceiver(self.server, self._server_on_vector)
-        for worker in self.workers:
-            worker_self = worker
-            VectorReceiver(
-                worker.host,
-                lambda src, tag, vec, meta, w=worker_self: self._deliver_sum(
-                    w, vec, tag
-                ),
-            )
+        self.gather = PsGather(
+            self.server,
+            self.server_cpu,
+            ingest_cost=self.cost.server_ingest(
+                self.wire_bytes, self.profile.message_count
+            ),
+            threshold=len(self.workers),
+            on_round=self._round_complete,
+        )
+        self.scatter = PsScatter(
+            self.server,
+            self.workers,
+            on_deliver=lambda w, tag, vec, meta: self._deliver_sum(w, vec, tag),
+        )
 
     def _submit_gradient(self, worker, gradient, iteration) -> None:
-        send_vector(
-            worker.host,
-            self.server.name,
-            tag=iteration,
-            vector=gradient,
-            wire_bytes=self.wire_bytes,
+        self.gather.submit(
+            worker, iteration, gradient, wire_bytes=self.wire_bytes
         )
 
-    def _server_on_vector(self, src, iteration, vector, meta) -> None:
-        # The PS CPU ingests vectors sequentially — the central bottleneck.
-        def ingested() -> None:
-            done = self._pending.get(iteration, 0) + 1
-            self._pending[iteration] = done
-            if done == len(self.workers):
-                self._pending.pop(iteration, None)
-                update = self.cost.server_update(
-                    self.wire_bytes,
-                    self.profile.message_count,
-                    self.profile.update_cost_factor,
-                )
-                summed = self._round_sum(iteration)
-                self.server_cpu.submit(
-                    update, lambda: self._broadcast(summed, iteration)
-                )
-
+    def _round_complete(self, iteration) -> None:
+        # The Nth ingest finished: run the weight update on the PS CPU,
+        # then fan the summed gradient out over its single link.
+        update = self.cost.server_update(
+            self.wire_bytes,
+            self.profile.message_count,
+            self.profile.update_cost_factor,
+        )
+        summed = self._round_sum(iteration)
         self.server_cpu.submit(
-            self.cost.server_ingest(self.wire_bytes, self.profile.message_count),
-            ingested,
+            update,
+            lambda: self.scatter.broadcast(
+                iteration, summed, wire_bytes=self.wire_bytes
+            ),
         )
 
-    def _broadcast(self, summed, iteration) -> None:
-        for worker in self.workers:
-            send_vector(
-                self.server,
-                worker.name,
-                tag=iteration,
-                vector=summed,
-                wire_bytes=self.wire_bytes,
-            )
+
+class _ExchangeAllReduce(SyncStrategy):
+    """Shared shape of the decentralized strategies: a chained exchange
+    whose transfers are timing-only, folding the true sum at the end."""
+
+    #: Subclasses build and return the :class:`RingExchange`.
+    def _build_exchange(self) -> RingExchange:
+        raise NotImplementedError
+
+    def _setup(self) -> None:
+        if len(self.workers) < 2:
+            raise ValueError(f"{self.name} needs at least 2 workers")
+        self.exchange = self._build_exchange()
+        self.total_steps = self.exchange.total_steps
+
+    def _submit_gradient(self, worker, gradient, iteration) -> None:
+        self.exchange.start(worker, iteration)
+
+    def _finish_exchange(self, worker, iteration) -> None:
+        self._deliver_sum(worker, self._round_sum(iteration), iteration)
 
 
 @register_strategy("sync", "ar")
-class RingAllReduce(SyncStrategy):
+class RingAllReduce(_ExchangeAllReduce):
     """Figure 1b: decentralized ring aggregation (reduce-scatter + all-gather)."""
 
     name = "sync-ar"
 
-    def _setup(self) -> None:
+    def _build_exchange(self) -> RingExchange:
         n = len(self.workers)
-        if n < 2:
-            raise ValueError("Ring-AllReduce needs at least 2 workers")
         # One ring per exchanged tensor (DDPG runs two AllReduces).
-        self.total_steps = 2 * (n - 1) * self.profile.message_count
-        self.chunk_bytes = max(
-            1, self.wire_bytes // (n * self.profile.message_count)
-        )
-        self._lgc_ready: Dict[int, set] = {}
-        #: Ring messages that arrived before the receiver finished its own
-        #: LGC — it cannot fold them in (it has no local gradient yet).
-        self._stalled: Dict[tuple, list] = {}
-        for worker in self.workers:
-            worker_self = worker
-            VectorReceiver(
-                worker.host,
-                lambda src, tag, vec, meta, w=worker_self: self._on_ring_message(
-                    w, tag
-                ),
-                port=7801,
-            )
-
-    def _submit_gradient(self, worker, gradient, iteration) -> None:
-        self._lgc_ready.setdefault(iteration, set()).add(worker.index)
-        self._send_step(worker, iteration, step=0)
-        for step in self._stalled.pop((iteration, worker.index), []):
-            self._process_ring_message(worker, iteration, step)
-
-    def _send_step(self, worker, iteration, step) -> None:
-        if step >= self.total_steps:
-            return
-        neighbour = self.workers[(worker.index + 1) % len(self.workers)]
-        send_vector(
-            worker.host,
-            neighbour.name,
-            tag=(iteration, step),
-            vector=None,  # partial sums are timing-only; math happens at the end
-            wire_bytes=self.chunk_bytes,
-            port=7801,
-            max_chunks=8,
+        messages = self.profile.message_count
+        self.chunk_bytes = max(1, self.wire_bytes // (n * messages))
+        return RingExchange(
+            self.sim,
+            self.workers,
+            phases=[
+                ring_reduce_scatter(n, self.chunk_bytes, messages),
+                ring_all_gather(n, self.chunk_bytes, messages),
+            ],
+            step_cost=self.cost.allreduce_step,
+            on_complete=self._finish_exchange,
+            name="ring",
         )
 
-    def _on_ring_message(self, worker, tag) -> None:
-        iteration, step = tag
-        if worker.index not in self._lgc_ready.get(iteration, ()):
-            # Fast neighbour: the chunk waits until this worker's own
-            # gradient exists to be folded in.
-            self._stalled.setdefault((iteration, worker.index), []).append(step)
-            return
-        self._process_ring_message(worker, iteration, step)
 
-    def _process_ring_message(self, worker, iteration, step) -> None:
-        # Per-step reduction cost on the receiving host, then forward the
-        # next step (or finish after the final all-gather step).
-        def reduced() -> None:
-            if step + 1 < self.total_steps:
-                self._send_step(worker, iteration, step + 1)
-            else:
-                self._finish_ring(worker, iteration)
+@register_strategy("sync", "ar-hd")
+class HalvingDoublingAllReduce(_ExchangeAllReduce):
+    """Recursive-halving/doubling allreduce: 2·log2(N) hypercube steps.
 
-        self.sim.schedule(self.cost.allreduce_step(self.chunk_bytes), reduced)
+    Versus the ring's 2(N−1) steps, far fewer per-step framework
+    overheads — the latency-optimal choice for small models or moderate
+    worker counts.  Requires a power-of-two worker count.
+    """
 
-    def _finish_ring(self, worker, iteration) -> None:
-        summed = self._round_sum(iteration)
-        self._deliver_sum(worker, summed, iteration)
+    name = "sync-ar-hd"
+
+    def _build_exchange(self) -> RingExchange:
+        n = len(self.workers)
+        messages = self.profile.message_count
+        return RingExchange(
+            self.sim,
+            self.workers,
+            phases=[
+                hd_reduce_scatter(n, self.wire_bytes, messages),
+                hd_all_gather(n, self.wire_bytes, messages),
+            ],
+            step_cost=self.cost.allreduce_step,
+            on_complete=self._finish_exchange,
+            port=HD_PORT,
+            name="ar_hd",
+        )
 
 
 @register_strategy("sync", "isw", requires_iswitch=True)
 class SyncISwitch(SyncStrategy):
-    """Figure 1c: in-switch aggregation via the accelerator data plane."""
+    """Figure 1c: in-switch aggregation = one ``iswitch_stream``."""
 
     name = "sync-isw"
 
@@ -405,24 +391,15 @@ class SyncISwitch(SyncStrategy):
         )
 
     def _setup(self) -> None:
-        configure_aggregation(self.net)
-        n_params = self.workers[0].algorithm.n_params
-        self.plan = make_plan(n_params, self.wire_bytes)
-        self.clients: List[AggregationClient] = []
-        for worker, tor in zip(self.workers, self.net.tor_of_worker):
-            worker_self = worker
-            client = AggregationClient(
-                worker.host,
-                tor.name,
-                self.plan,
-                on_round_complete=lambda rnd, vec, w=worker_self: self._deliver_sum(
-                    w, vec, rnd
-                ),
-                recovery_timeout=self.recovery_timeout,
-            )
-            self.clients.append(client)
+        self.stream = ISwitchStream(
+            self.net,
+            self.workers,
+            self.wire_bytes,
+            on_round=lambda w, rnd, vec: self._deliver_sum(w, vec, rnd),
+            recovery_timeout=self.recovery_timeout,
+        )
+        self.plan = self.stream.plan
+        self.clients = self.stream.clients
 
     def _submit_gradient(self, worker, gradient, iteration) -> None:
-        self.clients[worker.index].send_gradient(
-            gradient.astype(np.float32), round_index=iteration
-        )
+        self.stream.submit(worker, gradient, iteration)

@@ -135,8 +135,8 @@ class TestRunFacadeParity:
 
 
 class TestStrategyRegistry:
-    def test_derived_tuples_match_historic_values(self):
-        assert SYNC_STRATEGIES == ("ps", "ar", "isw")
+    def test_derived_tuples_match_registered_values(self):
+        assert SYNC_STRATEGIES == ("ps", "ar", "ar-hd", "isw", "ps-shard")
         assert ASYNC_STRATEGIES == ("ps", "isw")
         assert strategy_names("sync") == SYNC_STRATEGIES
         assert strategy_names("async") == ASYNC_STRATEGIES
@@ -145,7 +145,7 @@ class TestStrategyRegistry:
         with pytest.raises(KeyError) as err:
             get_strategy("sync", "bogus")
         assert "unknown sync strategy 'bogus'" in str(err.value)
-        assert "('ps', 'ar', 'isw')" in str(err.value)
+        assert "'ps', 'ar'" in str(err.value)
         with pytest.raises(KeyError) as err:
             run(ExperimentConfig(strategy="bogus", mode="async"))
         assert "unknown async strategy 'bogus'" in str(err.value)

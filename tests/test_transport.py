@@ -31,6 +31,27 @@ class TestChunkShapes:
             for payload, frames in _chunk_shapes(size, 16):
                 assert payload <= frames * MAX_UDP_PAYLOAD
 
+    def test_one_byte_vector(self):
+        assert _chunk_shapes(1, max_chunks=64) == [(1, 1)]
+
+    def test_exact_payload_multiples(self):
+        # Sizes landing exactly on frame boundaries must not grow a
+        # zero-byte trailing chunk.
+        for multiple in (1, 2, 64, 1000):
+            size = multiple * MAX_UDP_PAYLOAD
+            shapes = _chunk_shapes(size, max_chunks=8)
+            assert sum(p for p, _ in shapes) == size
+            assert sum(f for _, f in shapes) == multiple
+            assert all(p >= 1 for p, _ in shapes)
+            assert len(shapes) <= 8
+
+    def test_max_chunks_one_collapses_to_single_train(self):
+        shapes = _chunk_shapes(10 * MAX_UDP_PAYLOAD + 3, max_chunks=1)
+        assert len(shapes) == 1
+        payload, frames = shapes[0]
+        assert payload == 10 * MAX_UDP_PAYLOAD + 3
+        assert frames == 11
+
 
 class TestSendReceive:
     def test_vector_delivered_once_complete(self):
@@ -80,6 +101,30 @@ class TestSendReceive:
         _, a, _ = linked_pair()
         with pytest.raises(ValueError):
             send_vector(a, "b", tag=0, vector=None, wire_bytes=0)
+
+    def test_one_byte_flow_delivers(self):
+        sim, a, b = linked_pair()
+        got = []
+        VectorReceiver(b, lambda src, tag, vec, meta: got.append(vec))
+        vector = np.array([42.0], dtype=np.float32)
+        n = send_vector(a, "b", tag=0, vector=vector, wire_bytes=1)
+        assert n == 1
+        sim.run()
+        np.testing.assert_array_equal(got[0], vector)
+
+    def test_max_chunks_one_delivers_data_on_single_packet(self):
+        sim, a, b = linked_pair()
+        got = []
+        VectorReceiver(b, lambda src, tag, vec, meta: got.append((vec, meta)))
+        vector = np.ones(5, dtype=np.float32)
+        n = send_vector(
+            a, "b", tag=0, vector=vector, wire_bytes=500_000, max_chunks=1, meta="m"
+        )
+        assert n == 1
+        sim.run()
+        assert len(got) == 1
+        np.testing.assert_array_equal(got[0][0], vector)
+        assert got[0][1] == "m"
 
     def test_wrong_payload_type_raises(self):
         sim, a, b = linked_pair()
