@@ -155,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-packet drop probability on every link (isw only)",
     )
     train.add_argument(
+        "--fault-plan",
+        metavar="PATH",
+        default=None,
+        help="inject faults from a FaultPlan JSON (see DESIGN.md §6)",
+    )
+    train.add_argument(
         "--trace-out",
         metavar="PATH",
         default=None,
@@ -251,9 +257,10 @@ def _run_training(args: argparse.Namespace) -> int:
             loss_rate=args.loss_rate,
             ps_shards=args.shards,
             telemetry=want_telemetry,
+            fault_plan=args.fault_plan,
         )
         result = run(config)
-    except ValueError as exc:
+    except (OSError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     if want_telemetry:
@@ -269,6 +276,11 @@ def _run_training(args: argparse.Namespace) -> int:
     reward = result.final_average_reward
     if reward != float("-inf"):
         print(f"avg episode reward: {reward:.2f}")
+    if result.fault_report is not None:
+        for line in result.fault_report.summary():
+            print(line)
+        if not result.fault_report.ok:
+            return 1
     return 0
 
 

@@ -161,15 +161,42 @@ class AggregationEngine:
         self.threshold = threshold
 
     def reset(self) -> None:
-        """Handle ``Reset``: clear all buffers, counters and caches."""
+        """Handle ``Reset``: clear all buffers, counters and caches.
+
+        In arrival-renumber (asynchronous) mode the per-chunk arrival
+        counters survive a reset: they define the renumbering *epoch*
+        shared with the workers, and restarting them at zero would remap
+        post-reset traffic onto round numbers the workers have already
+        consumed.  Partial sums, dedup sets and the Help cache are state
+        of in-flight rounds and are dropped either way — that is the
+        recovery the Reset exists for.
+        """
         self._buffers.clear()
         self._counters.clear()
         self._contributors.clear()
         self._result_cache.clear()
-        self._arrivals.clear()
+        if self.arrival_renumber is None:
+            self._arrivals.clear()
         self._shapes.clear()
         self._first_arrival.clear()
         self._completed_starts.clear()
+
+    def sweep_completed(self) -> List[DataSegment]:
+        """Emit every live segment whose counter already meets the threshold.
+
+        ``contribute`` only checks completion when a packet arrives, so a
+        ``SetH`` that *lowers* H (e.g. after a worker ``Leave``) can leave
+        segments stranded at ``count >= threshold`` with no future arrival
+        to trigger them.  The switch calls this after every threshold
+        change; the returned segments are emitted exactly as if their last
+        contribution had just landed.
+        """
+        ready = [
+            seg
+            for seg, count in self._counters.items()
+            if count >= self.threshold
+        ]
+        return [self._complete(seg) for seg in sorted(ready)]
 
     # ------------------------------------------------------------------
     # Datapath

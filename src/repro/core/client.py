@@ -55,6 +55,8 @@ class AggregationClient:
         recovery_timeout: Optional[float] = None,
         job: int = 0,
         codec=None,
+        max_recovery_attempts: Optional[int] = None,
+        on_round_abandoned: Optional[Callable[[int], None]] = None,
     ) -> None:
         self.host = host
         self.switch_address = switch_address
@@ -67,7 +69,27 @@ class AggregationClient:
         self.codec = codec
         self.on_round_complete = on_round_complete
         self.on_control = on_control
+        #: Base Help-retry timeout (seconds of simulated time), or ``None``
+        #: to disable the loss-recovery loop entirely.  Should comfortably
+        #: exceed one round-trip *plus* the slowest peer's compute time —
+        #: a premature watchdog is harmless (Help on an incomplete segment
+        #: is ignored or answered by retransmits the dedup engine drops)
+        #: but wastes packets.
         self.recovery_timeout = recovery_timeout
+        #: Cap on watchdog firings per round.  ``None`` (default) retries
+        #: forever — correct when every round is guaranteed to eventually
+        #: complete, but it deadlocks the simulator's event loop if a
+        #: round becomes *unsatisfiable* (e.g. membership shrank and the
+        #: round was force-completed elsewhere).  Fault-injected runs set
+        #: a finite cap so abandoned rounds go quiet instead of keeping
+        #: the run alive.
+        self.max_recovery_attempts = max_recovery_attempts
+        #: Rounds whose watchdog hit ``max_recovery_attempts`` and gave up.
+        self.abandoned_rounds: set = set()
+        #: Called with the round index when a round is abandoned, so the
+        #: owning strategy can account for the permanently missed update
+        #: (e.g. advance its iteration counter) instead of waiting forever.
+        self.on_round_abandoned = on_round_abandoned
         self._partial: Dict[int, Dict[int, np.ndarray]] = {}
         self._completed: set = set()
         self._watchdogs: Dict[int, Event] = {}
@@ -225,6 +247,35 @@ class AggregationClient:
         chunks[chunk] = segment.data  # duplicate results simply overwrite
         if len(chunks) == self.plan.n_chunks:
             self._finish_round(round_index)
+        elif (
+            self.recovery_timeout is not None
+            and self.on_round_abandoned is not None
+        ):
+            self._guard_broadcast_rounds(round_index)
+
+    def _guard_broadcast_rounds(self, round_index: int) -> None:
+        """Arm watchdogs for a partially received round *and* recent gaps.
+
+        :meth:`send_gradient` only guards rounds this client submitted
+        under its own numbering; with arrival renumbering (async mode)
+        the switch's round indices are assigned on arrival, so a
+        broadcast whose packets were *all* lost here leaves no partial
+        state and no timer.  Rounds complete in renumbered order, so a
+        chunk for round ``r`` means every nearby earlier round's
+        broadcast already happened — guard the small trailing window so
+        fully-dropped rounds get Help-recovered too.
+
+        Only armed when an abandonment callback is wired (async mode):
+        under submission numbering every receivable round already has a
+        watchdog from :meth:`send_gradient`, and guarding gaps would
+        resurrect rounds a rejoined member deliberately skipped.
+        """
+        for guarded in range(max(0, round_index - 8), round_index + 1):
+            if (
+                guarded not in self._completed
+                and guarded not in self.abandoned_rounds
+            ):
+                self._arm_watchdog(guarded)
 
     def _finish_round(self, round_index: int) -> None:
         chunks = self._partial.pop(round_index)
@@ -266,6 +317,29 @@ class AggregationClient:
     # Loss recovery
     # ------------------------------------------------------------------
     def _arm_watchdog(self, round_index: int) -> None:
+        """(Re)arm the per-round loss-recovery timer.
+
+        This is the worker half of the paper's loss handling ("offload
+        the majority of tasks of handling lossy packets to workers").
+        The cycle is:
+
+        1. :meth:`send_gradient` arms a watchdog for the round (only when
+           ``recovery_timeout`` is set) and records every sent segment in
+           ``_sent``.
+        2. If the round's broadcast completes in time,
+           :meth:`_finish_round` cancels the timer.  Otherwise ``check``
+           fires: for each chunk still missing from ``_partial`` it sends
+           ``Help(seg)`` to the switch.
+        3. The switch answers from its result cache (covers a lost
+           *downstream* broadcast) or relays the Help to all members,
+           whose clients re-send their original contribution from
+           ``_sent`` (covers a lost *upstream* contribution; the engine's
+           dedup mode makes the re-send idempotent).
+        4. The watchdog rearms with exponential backoff —
+           ``recovery_timeout * 2**min(attempts, 8)`` — so a round merely
+           gated on slow peers doesn't generate a Help storm, and stops
+           for good after ``max_recovery_attempts`` firings (if set).
+        """
         if round_index in self._watchdogs:
             return
 
@@ -281,9 +355,26 @@ class AggregationClient:
                     track=self.host.name,
                     round=round_index,
                 )
-            self._watchdog_attempts[round_index] = (
-                self._watchdog_attempts.get(round_index, 0) + 1
-            )
+            attempts = self._watchdog_attempts.get(round_index, 0) + 1
+            self._watchdog_attempts[round_index] = attempts
+            if (
+                self.max_recovery_attempts is not None
+                and attempts > self.max_recovery_attempts
+            ):
+                # Give up: the round is presumed unsatisfiable (e.g. it
+                # straddled a membership change or switch Reset).  Going
+                # quiet lets the simulator drain instead of retrying an
+                # outcome that cannot happen.
+                self.abandoned_rounds.add(round_index)
+                self._watchdog_attempts.pop(round_index, None)
+                self._partial.pop(round_index, None)
+                if telemetry.enabled:
+                    telemetry.inc(
+                        "client.rounds_abandoned", 1, worker=self.host.name
+                    )
+                if self.on_round_abandoned is not None:
+                    self.on_round_abandoned(round_index)
+                return
             received = set(self._partial.get(round_index, {}))
             missing = set(range(self.plan.n_chunks)) - received
             base = round_index * self.plan.n_chunks
@@ -298,6 +389,18 @@ class AggregationClient:
         self._watchdogs[round_index] = self.host.sim.schedule(
             timeout, check, name=f"watchdog:r{round_index}"
         )
+
+    def cancel_recovery(self) -> None:
+        """Silence every armed watchdog (e.g. when this worker crashes).
+
+        A departed member can never satisfy its pending rounds, and its
+        timers would otherwise keep the event loop alive; the fault
+        injector calls this when it takes a worker down.
+        """
+        for watchdog in self._watchdogs.values():
+            watchdog.cancel()
+        self._watchdogs.clear()
+        self._watchdog_attempts.clear()
 
     # ------------------------------------------------------------------
     # Introspection

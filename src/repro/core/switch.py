@@ -271,6 +271,7 @@ class ISwitch(EthernetSwitch):
             removed = state.members.leave(packet.src)
             if state.members:
                 state.engine.set_threshold(len(state.members))
+                self._sweep_after_threshold_change(state, message.job)
             elif message.job != DEFAULT_JOB:
                 self.jobs.remove(message.job)
             self._ack(packet.src, success=removed, job=message.job)
@@ -279,6 +280,7 @@ class ISwitch(EthernetSwitch):
             self._ack(packet.src, success=True, job=message.job)
         elif action == Action.SETH:
             state.engine.set_threshold(int(message.value))
+            self._sweep_after_threshold_change(state, message.job)
             self._ack(packet.src, success=True, job=message.job)
         elif action == Action.FBCAST:
             result = state.engine.force_broadcast(int(message.value))
@@ -297,6 +299,31 @@ class ISwitch(EthernetSwitch):
             pass  # terminal; counted above
         else:  # pragma: no cover - enum is closed
             raise ValueError(f"unknown control action: {action}")
+
+    def _sweep_after_threshold_change(self, state, job: int) -> None:
+        """Emit segments stranded by a threshold decrease (Leave/SetH).
+
+        Lowering H never triggers :meth:`AggregationEngine.contribute`'s
+        completion check, so a segment sitting at ``count >= H`` would
+        otherwise wait forever for a contribution that is not coming —
+        exactly the stall a departing member leaves behind mid-round.
+        """
+        for completed in state.engine.sweep_completed():
+            completed.job = job
+            telemetry = self.sim.telemetry
+            if telemetry.enabled:
+                telemetry.event(
+                    "segment.swept",
+                    cat="aggregation",
+                    track=self.name,
+                    seg=completed.seg,
+                    job=job,
+                )
+            self.sim.schedule(
+                self.latency,
+                lambda seg=completed: self._emit_result(seg),
+                name=f"agg-sweep:{completed.seg}",
+            )
 
     def _handle_help(self, requester: str, seg: int, job: int = DEFAULT_JOB) -> None:
         """Retransmit a lost result, or escalate the request (§3.3).

@@ -104,6 +104,12 @@ class AsyncParameterServer:
         self._version_at_pull: Dict[int, int] = {}
         self._push_seq = 0
         self._done = False
+        #: Fault-injection state: paused worker indices, and those whose
+        #: pull->compute->push loop actually died while paused (only
+        #: they need a fresh pull on restore — blindly re-pulling a loop
+        #: that survived the pause window would fork a second loop).
+        self._paused: set = set()
+        self._pause_dropped: set = set()
 
         # Every pushed gradient occupies the server CPU for ingest +
         # optimizer update back to back, then is applied (per-vector
@@ -196,6 +202,10 @@ class AsyncParameterServer:
     def _worker_on_weights(self, worker: SimWorker, weights, version) -> None:
         if self._done:
             return
+        if worker.index in self._paused:
+            # The loop dies here; fault_restore_worker re-pulls.
+            self._pause_dropped.add(worker.index)
+            return
         ingest = self.cost.worker_ingest(
             self.wire_bytes, self.profile.message_count
         )
@@ -210,6 +220,9 @@ class AsyncParameterServer:
 
             def lgc_done() -> None:
                 if self._done:
+                    return
+                if worker.index in self._paused:
+                    self._pause_dropped.add(worker.index)
                     return
                 worker.breakdown.add_compute(self.profile, duration)
                 if telemetry.enabled:
@@ -238,6 +251,34 @@ class AsyncParameterServer:
             self.sim.schedule(duration, lgc_done, name=f"alg:w{worker.index}")
 
         self.sim.schedule(ingest, start_lgc)
+
+    # ------------------------------------------------------------------
+    # Fault hooks (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def fault_crash_worker(self, worker: SimWorker) -> bool:
+        """Crash = stop this worker's pull->compute->push loop.
+
+        The server keeps applying other workers' pushes (asynchrony is
+        the whole point); this worker's in-flight cycle is dropped at its
+        next checkpoint.
+        """
+        if len(self._paused) >= len(self.workers) - 1:
+            return False  # keep at least one worker feeding the server
+        self._paused.add(worker.index)
+        return True
+
+    def fault_restore_worker(self, worker: SimWorker) -> bool:
+        if worker.index not in self._paused:
+            return True
+        self._paused.discard(worker.index)
+        if worker.index in self._pause_dropped:
+            # The loop actually died during the outage; restart it with a
+            # fresh pull (which also resyncs weights from the server —
+            # the PS architecture's built-in recovery).
+            self._pause_dropped.discard(worker.index)
+            if not self._done:
+                self._send_pull(worker)
+        return True
 
     def _push_gradient(self, worker: SimWorker, gradient: np.ndarray) -> None:
         self._push_seq += 1
@@ -300,6 +341,8 @@ class AsyncISwitch:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         staleness_bound: int = 3,
         threshold: Optional[int] = None,
+        recovery_timeout: Optional[float] = None,
+        max_recovery_attempts: Optional[int] = None,
     ) -> None:
         self.net = net
         self.sim = net.sim
@@ -316,6 +359,8 @@ class AsyncISwitch:
         self.commits = 0
         self.skipped_commits = 0
         self._done = False
+        #: Fault-injection state: crashed (left) worker indices.
+        self._down: set = set()
         #: Per-worker shared iteration index ts (LWU-thread state).
         self._ts: List[int] = [0 for _ in workers]
         #: Per-worker simulated time of the last applied update (telemetry).
@@ -329,6 +374,9 @@ class AsyncISwitch:
             threshold=threshold,
             arrival_renumber=True,
             buffer_rounds=staleness_bound + 4,
+            recovery_timeout=recovery_timeout,
+            max_recovery_attempts=max_recovery_attempts,
+            on_round_abandoned=self._round_abandoned,
         )
         self.plan = self.stream.plan
         self.clients = self.stream.clients
@@ -339,12 +387,22 @@ class AsyncISwitch:
         cls, net: Network, workers: List[SimWorker], profile, config
     ) -> "AsyncISwitch":
         """Registry hook: build a runner from an ExperimentConfig."""
+        fault_armed = getattr(config, "fault_plan", None) is not None
         return cls(
             net,
             workers,
             profile,
             config.cost_model,
             staleness_bound=config.staleness_bound,
+            # Loss recovery is only armed for fault-injected runs:
+            # plain lossy async runs keep the historical behaviour
+            # (renumbering + bounded buffers absorb drops), while a
+            # switch Reset needs Help/retransmit with a finite retry
+            # budget to refill the rounds it wiped.
+            recovery_timeout=(
+                config.resolved_recovery_timeout() if fault_armed else None
+            ),
+            max_recovery_attempts=12 if fault_armed else None,
         )
 
     def run(self, n_updates: int) -> TrainingResult:
@@ -378,6 +436,8 @@ class AsyncISwitch:
     def _start_lgc(self, worker: SimWorker) -> None:
         if self._done:
             return
+        if worker.index in self._down:
+            return  # crashed: the loop restarts from fault_restore_worker
         tw = self._ts[worker.index]
         snapshot = worker.algorithm.get_weights()
         duration = worker.compute.lgc_duration()
@@ -420,6 +480,89 @@ class AsyncISwitch:
             self._start_lgc(worker)  # non-blocking commit: pipeline on
 
         self.sim.schedule(duration, lgc_done, name=f"lgc:w{worker.index}")
+
+    # ------------------------------------------------------------------
+    # Fault hooks (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def fault_crash_worker(self, worker: SimWorker) -> bool:
+        """Crash = real ``Leave`` + stop the LGC/LWU pipeline.
+
+        The switch re-derives H from the shrunk membership and sweeps
+        stranded rounds; the survivors continue — asynchronous training's
+        staleness-bounded continuation, with rounds now formed from one
+        fewer contribution.
+        """
+        if len(self.workers) - len(self._down) <= 1:
+            return False
+        if worker.index in self._down:
+            return False
+        self._down.add(worker.index)
+        client = self.clients[worker.index]
+        client.cancel_recovery()
+        client.leave()
+        if self.h > 1:
+            self.h -= 1  # future rounds sum one fewer gradient
+        return True
+
+    def fault_restore_worker(self, worker: SimWorker) -> bool:
+        from ..faults.resync import clone_training_state
+
+        if worker.index not in self._down:
+            return True
+        self._down.discard(worker.index)
+        source = next(
+            (
+                peer
+                for peer in self.workers
+                if peer.index != worker.index and peer.index not in self._down
+            ),
+            None,
+        )
+        if source is not None:
+            # Resync the replica to a live peer: weights, optimizer
+            # moments and target nets, plus the shared-iteration counter
+            # (the paper's decentralized weights only agree when every
+            # member applied the same broadcast stream; a rejoiner must
+            # adopt a live member's view wholesale).
+            clone_training_state(source.algorithm, worker.algorithm)
+            self._ts[worker.index] = self._ts[source.index]
+        self._last_update[worker.index] = self.sim.now
+        client = self.clients[worker.index]
+        client._partial.clear()
+        client.join()
+        self.h = min(len(self.workers), self.h + 1)
+        self._start_lgc(worker)
+        return True
+
+    def fault_reset_switch(self, switch) -> bool:
+        # A real Reset control packet from a live member of that switch;
+        # out-of-band engine reset if none of our members sit under it.
+        for index, tor in enumerate(self.net.tor_of_worker):
+            if tor.name == switch.name and index not in self._down:
+                self.clients[index].reset_switch()
+                return True
+        switch.engine.reset()
+        return True
+
+    def _round_abandoned(self, worker: SimWorker, round_index: int) -> None:
+        """Liveness backstop: a round this replica can never assemble.
+
+        The client exhausted ``max_recovery_attempts`` (Help went
+        unanswered — e.g. the result aged out of the switch cache during
+        a long loss burst).  Training termination is gated on
+        ``min(ts)``, so count the permanently missed update and move on;
+        the replica skips one broadcast (bounded divergence, same class
+        as async staleness) instead of stalling the whole run.
+        """
+        if self._done or worker.index in self._down:
+            return
+        self._ts[worker.index] += 1
+        self._last_update[worker.index] = self.sim.now
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            telemetry.inc("worker.updates_missed", 1, worker=worker.name)
+        if min(self._ts) >= self.target_updates:
+            self._done = True
 
     # ------------------------------------------------------------------
     # LWU thread

@@ -60,6 +60,8 @@ class ISwitchStream:
         threshold: Optional[int] = None,
         arrival_renumber: bool = False,
         buffer_rounds: Optional[int] = None,
+        max_recovery_attempts: Optional[int] = None,
+        on_round_abandoned: Optional[Callable[[object, int], None]] = None,
         name: str = "iswitch_stream",
     ) -> None:
         self.net = net
@@ -101,6 +103,12 @@ class ISwitchStream:
                     w, rnd, vec
                 ),
                 recovery_timeout=recovery_timeout,
+                max_recovery_attempts=max_recovery_attempts,
+                on_round_abandoned=(
+                    None
+                    if on_round_abandoned is None
+                    else lambda rnd, w=worker_self: on_round_abandoned(w, rnd)
+                ),
             )
             self.clients.append(client)
 

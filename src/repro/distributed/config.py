@@ -62,6 +62,11 @@ class ExperimentConfig:
     ps_shards: Optional[int] = None
     #: Collect metrics/spans/events into ``TrainingResult.telemetry``.
     telemetry: bool = True
+    #: Scenario-driven fault injection: a
+    #: :class:`repro.faults.FaultPlan` instance, or a path (``str``) to a
+    #: plan JSON file (see ``repro train --fault-plan``).  ``None``
+    #: disables injection.
+    fault_plan: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.strategy = self.strategy.lower()
@@ -105,10 +110,36 @@ class ExperimentConfig:
         )
 
     def resolved_recovery_timeout(self) -> Optional[float]:
-        """The watchdog period to arm, or ``None`` for no recovery loop."""
+        """The watchdog period to arm, or ``None`` for no recovery loop.
+
+        Armed automatically whenever packets can go missing: explicit
+        ``loss_rate`` *or* a fault plan (which may inject burst loss or
+        a switch Reset mid-round).
+        """
         if self.recovery_timeout is not None:
             return self.recovery_timeout
-        return DEFAULT_RECOVERY_TIMEOUT if self.loss_rate > 0 else None
+        if self.loss_rate > 0 or self.fault_plan is not None:
+            return DEFAULT_RECOVERY_TIMEOUT
+        return None
+
+    def resolved_fault_plan(self):
+        """The :class:`repro.faults.FaultPlan` to inject, or ``None``.
+
+        Accepts a plan instance or a JSON path string (loaded lazily so
+        configs without faults never import :mod:`repro.faults`).
+        """
+        if self.fault_plan is None:
+            return None
+        from ..faults.plan import FaultPlan
+
+        if isinstance(self.fault_plan, FaultPlan):
+            return self.fault_plan
+        if isinstance(self.fault_plan, str):
+            return FaultPlan.load(self.fault_plan)
+        raise ValueError(
+            "fault_plan must be a FaultPlan or a path to a plan JSON, "
+            f"got {type(self.fault_plan).__name__}"
+        )
 
     def with_overrides(self, **changes) -> "ExperimentConfig":
         """A copy with the given fields replaced (re-validated)."""

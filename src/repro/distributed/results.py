@@ -35,6 +35,10 @@ class TrainingResult:
     #: Frozen metrics/spans/events for the run, when the experiment was
     #: configured with ``telemetry=True`` (see :mod:`repro.telemetry`).
     telemetry: Optional[TelemetrySnapshot] = None
+    #: Structured outcome of fault injection — a
+    #: :class:`repro.faults.FaultReport` — when the experiment was
+    #: configured with a ``fault_plan``; ``None`` otherwise.
+    fault_report: Optional[Any] = None
 
     @property
     def per_iteration_time(self) -> float:

@@ -188,6 +188,7 @@ def run(config: ExperimentConfig) -> TrainingResult:
             "loss_rate > 0 requires an iSwitch strategy ('isw')"
         )
     profile = config.resolved_profile()
+    plan = config.resolved_fault_plan()
     hub = TelemetryHub() if config.telemetry else None
     net, workers = build_cluster(
         config.n_workers,
@@ -199,11 +200,26 @@ def run(config: ExperimentConfig) -> TrainingResult:
         workload=config.workload,
         algorithm_overrides=config.algorithm_overrides,
         loss_rate=config.loss_rate,
-        dedup=spec.requires_iswitch and config.loss_rate > 0,
+        dedup=spec.requires_iswitch and (config.loss_rate > 0 or plan is not None),
         telemetry=hub,
     )
     runner = spec.cls.create(net, workers, profile, config)
+    injector = None
+    if plan is not None:
+        from ..faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            net,
+            workers,
+            runner,
+            plan,
+            loss_tolerant=spec.requires_iswitch,
+            poll_interval=profile.compute_time / 2,
+        )
+        injector.install()
     result = runner.run(config.iterations)
+    if injector is not None:
+        injector.finalize(result)
     if hub is not None:
         _register_network_collectors(hub, net)
         result.telemetry = hub.snapshot(

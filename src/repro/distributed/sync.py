@@ -101,6 +101,10 @@ class SyncStrategy:
             len(workers), self._round_gradients_release
         )
         self._result: Optional[TrainingResult] = None
+        #: Fault-injection state: workers paused by a crash event, and
+        #: the iteration each paused worker will restart at on recovery.
+        self._paused: Dict[int, bool] = {}
+        self._deferred: Dict[int, int] = {}
         self._setup()
 
     # ------------------------------------------------------------------
@@ -142,9 +146,47 @@ class SyncStrategy:
         return result
 
     # ------------------------------------------------------------------
+    # Fault hooks (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def _fault_admit(self, worker: SimWorker, iteration: int) -> bool:
+        """Gate on iteration start: False stops this worker's progression.
+
+        The base (barrier) semantics of a crash are a *pause*: the worker
+        defers its next iteration, the round barrier stalls every peer
+        (exactly what a synchronous barrier does to a dead worker), and
+        on restore the deferred iteration runs — no math changes, so the
+        final weights are bit-identical to the fault-free run.
+        """
+        if self._paused.get(worker.index, False):
+            self._deferred[worker.index] = iteration
+            return False
+        return True
+
+    def _round_divisor(self, iteration: int) -> int:
+        """Contributor count the round's summed gradient is divided by.
+
+        Constant for barrier strategies; :class:`SyncISwitch` overrides
+        it to track membership changes from crash/rejoin events.
+        """
+        return len(self.workers)
+
+    def fault_crash_worker(self, worker: SimWorker) -> bool:
+        self._paused[worker.index] = True
+        return True
+
+    def fault_restore_worker(self, worker: SimWorker) -> bool:
+        self._paused.pop(worker.index, None)
+        deferred = self._deferred.pop(worker.index, None)
+        if deferred is not None:
+            self._start_iteration(worker, deferred)
+        return True
+
+    # ------------------------------------------------------------------
     # Iteration skeleton
     # ------------------------------------------------------------------
     def _start_iteration(self, worker: SimWorker, iteration: int) -> None:
+        if not self._fault_admit(worker, iteration):
+            return
         duration = worker.compute.lgc_duration()
         telemetry = self.sim.telemetry
         if telemetry.enabled:
@@ -217,7 +259,8 @@ class SyncStrategy:
 
         def apply() -> None:
             worker.algorithm.apply_update(
-                np.asarray(summed, dtype=np.float64) / len(self.workers)
+                np.asarray(summed, dtype=np.float64)
+                / self._round_divisor(iteration)
             )
             worker.finish_iteration()
             if telemetry.enabled:
@@ -363,7 +406,17 @@ class HalvingDoublingAllReduce(_ExchangeAllReduce):
 
 @register_strategy("sync", "isw", requires_iswitch=True)
 class SyncISwitch(SyncStrategy):
-    """Figure 1c: in-switch aggregation = one ``iswitch_stream``."""
+    """Figure 1c: in-switch aggregation = one ``iswitch_stream``.
+
+    Fault behaviour (the paper's membership management, §3.4): a worker
+    crash is a real ``Leave`` — the switch drops the member, re-derives
+    the aggregation threshold H, and sweeps any round stranded at the
+    old threshold; surviving workers keep iterating with N−1
+    contributors (the per-round divisor tracks membership).  Rejoin is a
+    real ``Join`` plus replica resynchronization (weights *and*
+    optimizer state cloned from a live peer) before the worker re-enters
+    the iteration loop.
+    """
 
     name = "sync-isw"
 
@@ -374,20 +427,34 @@ class SyncISwitch(SyncStrategy):
         profile: WorkloadProfile,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         recovery_timeout: Optional[float] = None,
+        max_recovery_attempts: Optional[int] = None,
     ) -> None:
         # _setup() runs inside the base __init__, so the timeout must be
         # in place before delegating.
         self.recovery_timeout = recovery_timeout
+        self.max_recovery_attempts = max_recovery_attempts
+        #: Membership-fault state: crashes waiting to take effect at the
+        #: target's next iteration boundary, currently-down workers, the
+        #: queue of rejoin requests, and the append-only
+        #: ``(first_iteration, contributor_count)`` divisor history.
+        self._pending_crash: Dict[int, bool] = {}
+        self._down: set = set()
+        self._pending_rejoins: List[int] = []
+        self._divisor_changes: List[tuple] = [(0, len(workers))]
         super().__init__(net, workers, profile, cost_model)
 
     @classmethod
     def create(cls, net, workers, profile, config) -> "SyncISwitch":
+        fault_armed = getattr(config, "fault_plan", None) is not None
         return cls(
             net,
             workers,
             profile,
             config.cost_model,
             recovery_timeout=config.resolved_recovery_timeout(),
+            # Bounded retries keep the event loop drainable when a fault
+            # leaves a round permanently unsatisfiable.
+            max_recovery_attempts=64 if fault_armed else None,
         )
 
     def _setup(self) -> None:
@@ -397,9 +464,101 @@ class SyncISwitch(SyncStrategy):
             self.wire_bytes,
             on_round=lambda w, rnd, vec: self._deliver_sum(w, vec, rnd),
             recovery_timeout=self.recovery_timeout,
+            max_recovery_attempts=self.max_recovery_attempts,
         )
         self.plan = self.stream.plan
         self.clients = self.stream.clients
 
     def _submit_gradient(self, worker, gradient, iteration) -> None:
         self.stream.submit(worker, gradient, iteration)
+
+    # ------------------------------------------------------------------
+    # Fault hooks: real Leave/Join membership churn
+    # ------------------------------------------------------------------
+    def _fault_admit(self, worker, iteration: int) -> bool:
+        # Rejoins are applied at the first *live* worker's iteration
+        # boundary: at that instant every live worker is at iteration
+        # `iteration` or awaiting `iteration - 1`'s broadcast (workers
+        # are at most one round apart), so `iteration` is exactly the
+        # first round the rejoined member contributes to.
+        if self._pending_rejoins and worker.index not in self._down:
+            self._apply_rejoin(worker, iteration)
+        if worker.index in self._down:
+            return False  # crashed replica: restarted explicitly on rejoin
+        if self._pending_crash.pop(worker.index, None):
+            # Consumed at the crashing worker's own boundary, before it
+            # drew this round's LGC duration or streamed anything for
+            # `iteration` — so the round completes cleanly with N−1.
+            self._apply_crash(worker, iteration)
+            return False
+        return True
+
+    def _round_divisor(self, iteration: int) -> int:
+        divisor = self._divisor_changes[0][1]
+        for since, value in self._divisor_changes:
+            if since <= iteration:
+                divisor = value
+        return divisor
+
+    def _active_count(self) -> int:
+        return len(self.workers) - len(self._down)
+
+    def fault_crash_worker(self, worker) -> bool:
+        live = self._active_count() - sum(
+            1 for flag in self._pending_crash.values() if flag
+        )
+        if live <= 1 or worker.index in self._down:
+            return False
+        self._pending_crash[worker.index] = True
+        return True
+
+    def fault_restore_worker(self, worker) -> bool:
+        if self._pending_crash.pop(worker.index, None):
+            return True  # restored before the crash ever took effect
+        if worker.index in self._down:
+            self._pending_rejoins.append(worker.index)
+        return True
+
+    def fault_reset_switch(self, switch) -> bool:
+        # Prefer a real Reset control packet from a live member of that
+        # switch; fall back to an out-of-band engine reset (models an
+        # operator reset of a switch none of our members sit under).
+        for index, tor in enumerate(self.net.tor_of_worker):
+            if tor.name == switch.name and index not in self._down:
+                self.clients[index].reset_switch()
+                return True
+        switch.engine.reset()
+        return True
+
+    def _apply_crash(self, worker, iteration: int) -> None:
+        self._down.add(worker.index)
+        self._divisor_changes.append((iteration, self._active_count()))
+        client = self.clients[worker.index]
+        client.cancel_recovery()
+        client.leave()
+
+    def _apply_rejoin(self, trigger, iteration: int) -> None:
+        from ..faults.resync import clone_training_state
+
+        rejoining, self._pending_rejoins = self._pending_rejoins, []
+        for index in rejoining:
+            self._down.discard(index)
+        self._divisor_changes.append((iteration, self._active_count()))
+        for index in rejoining:
+            worker = self.workers[index]
+            # The trigger just applied round `iteration - 1`, so its
+            # replica holds exactly the weights round `iteration` starts
+            # from; clone weights + optimizer state (+ target nets).
+            clone_training_state(trigger.algorithm, worker.algorithm)
+            client = self.clients[index]
+            # Broadcast fragments of rounds missed while down can never
+            # complete; drop them before re-entering.
+            client._partial.clear()
+            # The Join lands at the switch in microseconds — long before
+            # any live worker's ~ms LGC for `iteration` finishes — so H
+            # is back at full strength before round `iteration` can
+            # complete short.
+            client.join()
+            self._start_iteration(worker, iteration)
+        for stale in [r for r in self._round_gradients if r < iteration]:
+            self._round_gradients.pop(stale, None)

@@ -32,13 +32,20 @@ class ComputeModel:
     def __init__(self, profile: WorkloadProfile, seed: int = 0) -> None:
         self.profile = profile
         self.rng = np.random.default_rng(seed)
+        #: Straggler knob: LGC durations are multiplied by this factor.
+        #: 1.0 (the default) is exact in IEEE arithmetic, so un-faulted
+        #: runs are bit-identical to builds without the knob.  The fault
+        #: injector raises it for timed ``straggler`` windows.
+        self.slowdown = 1.0
 
     def lgc_duration(self) -> float:
         jitter = self.profile.compute_jitter
         if jitter <= 0:
-            return self.profile.compute_time
+            return self.profile.compute_time * self.slowdown
         return float(
-            self.profile.compute_time * self.rng.lognormal(0.0, jitter)
+            self.profile.compute_time
+            * self.rng.lognormal(0.0, jitter)
+            * self.slowdown
         )
 
     def lwu_duration(self) -> float:

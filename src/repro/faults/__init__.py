@@ -1,0 +1,36 @@
+"""Scenario-driven fault injection for simulated distributed training.
+
+The subsystem has four parts:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultEvent`:
+  declarative, JSON-round-trippable schedules of timed faults.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: hooks a plan
+  into the netsim event loop and drives the strategies' recovery
+  machinery (Leave/Join/SetH re-membership, Reset, Help/retransmit).
+* :mod:`repro.faults.report` — :class:`FaultReport` /
+  :class:`FaultRecord`: the structured outcome (recovered / skipped /
+  failed, with latencies) attached to ``TrainingResult.fault_report``.
+* :mod:`repro.faults.resync` — :func:`clone_training_state`: replica
+  resynchronization (weights + optimizer state + target nets) for
+  rejoining workers.
+
+Entry points: ``ExperimentConfig(fault_plan=...)`` or
+``repro train --fault-plan plan.json``.  See DESIGN.md §6 for the fault
+model and EXPERIMENTS.md for the chaos-scenario presets.
+"""
+
+from .injector import FaultInjector
+from .plan import KINDS, FaultEvent, FaultPlan, demo_plan
+from .report import FaultRecord, FaultReport
+from .resync import clone_training_state
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultReport",
+    "KINDS",
+    "clone_training_state",
+    "demo_plan",
+]

@@ -7,6 +7,30 @@ for ``wire_size * 8 / bandwidth`` seconds, then arrives at the far end
 when a device offers packets faster than the link drains them — this is
 what makes the parameter-server's single ingress link the bottleneck the
 paper describes.
+
+Packet loss
+-----------
+Two loss behaviours are modelled, both decided at *send* time (the drop
+is accounted when the packet would have been delivered, so a dropped
+packet still occupies the transmitter — exactly what a corrupted frame
+does on real Ethernet):
+
+* **Independent drops** — ``loss_rate`` is a per-packet Bernoulli drop
+  probability, drawn from ``loss_rng``.  This is the historical knob the
+  loss-recovery unit tests use.
+* **Correlated (bursty) drops** — attaching a :class:`GilbertElliott`
+  model via :attr:`Link.loss_model` overrides ``loss_rate`` and produces
+  the loss *bursts* that real congestion and link flaps exhibit.  The
+  fault-injection layer (:mod:`repro.faults`) installs and removes these
+  models for timed windows.
+
+Determinism: every random draw comes from ``loss_rng``, a
+``numpy.random.default_rng(loss_seed)`` owned by the link.  Topology
+builders derive each link's seed as ``loss_seed + len(net.links)`` (the
+link's creation index) so that drops are decorrelated across links yet
+bit-reproducible for a fixed topology and seed — see
+:func:`repro.netsim.topology.build_star` and the determinism test in
+``tests/test_faults.py``.
 """
 
 from __future__ import annotations
@@ -21,11 +45,98 @@ from .packets import Packet
 if TYPE_CHECKING:  # pragma: no cover
     from .node import Device
 
-__all__ = ["Link", "LinkEnd", "GBPS", "DEFAULT_PROPAGATION"]
+__all__ = [
+    "Link",
+    "LinkEnd",
+    "GilbertElliott",
+    "GBPS",
+    "DEFAULT_PROPAGATION",
+]
 
 GBPS = 1e9  # bits per second
 #: One-way propagation for an in-rack copper/fiber run (~100 ns, i.e. ~20 m).
 DEFAULT_PROPAGATION = 100e-9
+
+
+class GilbertElliott:
+    """Two-state Markov (Gilbert–Elliott) burst-loss model.
+
+    The chain alternates between a *good* state (drop probability
+    ``loss_good``, usually 0) and a *bad* state (drop probability
+    ``loss_bad``).  Each packet first advances the state — good→bad with
+    probability ``p_good_to_bad``, bad→good with ``p_bad_to_good`` — then
+    samples a drop at the current state's rate, so losses arrive in
+    bursts whose mean length is ``1 / p_bad_to_good`` packets.
+
+    The stationary fraction of time spent in the bad state is
+    ``p_gb / (p_gb + p_bg)``, which gives a mean loss rate of
+    ``loss_good + pi_bad * (loss_bad - loss_good)``.
+    :meth:`from_mean_loss` inverts that relation so fault plans can be
+    written in terms of a target mean loss rate.
+
+    >>> ge = GilbertElliott.from_mean_loss(0.02)
+    >>> round(ge.mean_loss_rate(), 6)
+    0.02
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_bad: float,
+        loss_good: float = 0.0,
+    ) -> None:
+        for label, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_bad", loss_bad),
+            ("loss_good", loss_good),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {p}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_bad = loss_bad
+        self.loss_good = loss_good
+        self.bad = False
+
+    @classmethod
+    def from_mean_loss(
+        cls,
+        loss: float,
+        loss_bad: float = 0.5,
+        p_bad_to_good: float = 0.25,
+    ) -> "GilbertElliott":
+        """Build a model whose stationary mean loss rate is ``loss``.
+
+        ``loss_bad`` is the in-burst drop rate and ``1/p_bad_to_good``
+        the mean burst length (packets); ``p_good_to_bad`` is solved
+        from the stationary distribution.
+        """
+        if not 0.0 < loss < loss_bad:
+            raise ValueError(
+                f"mean loss must be in (0, loss_bad={loss_bad}), got {loss}"
+            )
+        pi_bad = loss / loss_bad
+        p_gb = pi_bad * p_bad_to_good / (1.0 - pi_bad)
+        return cls(min(1.0, p_gb), p_bad_to_good, loss_bad)
+
+    def mean_loss_rate(self) -> float:
+        """Stationary mean per-packet drop probability."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        pi_bad = self.p_good_to_bad / denom if denom > 0 else 0.0
+        return self.loss_good + pi_bad * (self.loss_bad - self.loss_good)
+
+    def should_drop(self, rng: np.random.Generator) -> bool:
+        """Advance the Markov state, then sample a drop (two rng draws)."""
+        if self.bad:
+            if rng.random() < self.p_bad_to_good:
+                self.bad = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self.bad = True
+        rate = self.loss_bad if self.bad else self.loss_good
+        return rate > 0.0 and rng.random() < rate
 
 
 class LinkEnd:
@@ -87,9 +198,12 @@ class LinkEnd:
         self._queued_packets += 1
         packet.hops += 1
         link = self.link
-        dropped = (
-            link.loss_rate > 0.0 and link.loss_rng.random() < link.loss_rate
-        )
+        if link.loss_model is not None:
+            dropped = link.loss_model.should_drop(link.loss_rng)
+        else:
+            dropped = (
+                link.loss_rate > 0.0 and link.loss_rng.random() < link.loss_rate
+            )
         telemetry = sim.telemetry
         if telemetry.enabled:
             telemetry.inc("link.tx_packets", 1, link=link.name)
@@ -127,6 +241,16 @@ class Link:
     ``loss_rate`` injects independent per-packet drops (for the
     loss-recovery tests; the paper notes packet loss "is uncommon in the
     cluster environment" — the default is lossless).
+
+    ``loss_seed`` seeds the link-private ``loss_rng``; with the same
+    topology, seed and traffic, the exact same packets drop on every
+    run.  ``loss_model`` (normally ``None``) may be set to a
+    :class:`GilbertElliott` instance to switch this link to correlated
+    burst loss; while set it takes precedence over ``loss_rate``.  Both
+    knobs may also be mutated mid-run — the fault injector uses this for
+    timed loss windows and bandwidth-degradation windows (``bandwidth``
+    is read per-send, so changes apply to subsequent transmissions
+    only).
     """
 
     def __init__(
@@ -150,6 +274,8 @@ class Link:
         self.name = name or f"link{id(self):x}"
         self.loss_rate = loss_rate
         self.loss_rng = np.random.default_rng(loss_seed)
+        #: Optional :class:`GilbertElliott`; overrides ``loss_rate`` when set.
+        self.loss_model: Optional[GilbertElliott] = None
         self.dropped_packets = 0
         self.ends = (LinkEnd(self, 0), LinkEnd(self, 1))
 

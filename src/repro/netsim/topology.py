@@ -65,6 +65,20 @@ def _connect_host(
     loss_rate: float = 0.0,
     loss_seed: int = 0,
 ) -> None:
+    """Attach ``host`` to ``switch`` with a new link appended to ``net.links``.
+
+    Each link's rng is seeded ``loss_seed + len(net.links)`` — i.e. the
+    base seed plus the link's creation index.  Builders create links in a
+    fixed, documented order (workers in index order, then the optional
+    server; rack trees interleave one uplink before each rack's hosts),
+    so the index — and therefore every link's drop sequence — is a pure
+    function of the topology shape.  Two runs with the same builder
+    arguments drop exactly the same packets, while distinct links never
+    share a seed (which would correlate their drop patterns).  This
+    contract is pinned by ``test_loss_seed_derivation_is_deterministic``
+    in ``tests/test_faults.py``; changing it invalidates every recorded
+    lossy-run result.
+    """
     link = Link(
         net.sim,
         bandwidth=bandwidth,
@@ -90,8 +104,11 @@ def build_star(
     """N workers (and optionally one PS host) on a single switch.
 
     Worker hosts are named ``worker0..workerN-1``; the PS host is ``server``.
-    ``loss_rate`` applies independent per-packet drops on every host link
-    (seeded reproducibly from ``loss_seed``).
+    ``loss_rate`` applies independent per-packet drops on every host link.
+    ``loss_seed`` is a *base* seed: link ``i`` (in creation order —
+    worker0..workerN-1, then ``server``) uses ``loss_seed + i``, making
+    drop sequences reproducible per link yet decorrelated across links
+    (see :func:`_connect_host`).
     """
     if n_workers < 1:
         raise ValueError(f"need at least one worker, got {n_workers}")

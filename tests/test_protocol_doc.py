@@ -1,0 +1,171 @@
+"""docs/PROTOCOL.md stays byte-accurate against core/protocol.py.
+
+Parses the markdown tables in the spec and cross-checks every constant,
+action code and Value size against the implementation, then round-trips
+the worked examples.  If either side changes without the other, these
+tests fail.
+"""
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import protocol
+from repro.core.protocol import (
+    Action,
+    ControlMessage,
+    SegmentPlan,
+    make_control_packet,
+    make_data_packet,
+)
+from repro.netsim import packets
+
+DOC = Path(__file__).resolve().parent.parent / "docs" / "PROTOCOL.md"
+
+
+@pytest.fixture(scope="module")
+def doc_text():
+    return DOC.read_text(encoding="utf-8")
+
+
+def table_rows(text, *required_headers):
+    """Yield cell lists for every markdown table row whose table header
+    contains all of ``required_headers``."""
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if not line.lstrip().startswith("|"):
+            continue
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if all(h in cells for h in required_headers):
+            # Skip the separator row, then consume data rows.
+            for row_line in lines[i + 2:]:
+                if not row_line.lstrip().startswith("|"):
+                    break
+                row = [c.strip() for c in row_line.strip().strip("|").split("|")]
+                yield dict(zip(cells, row))
+            return
+    raise AssertionError(
+        f"no table with headers {required_headers} in PROTOCOL.md"
+    )
+
+
+class TestClassificationConstants:
+    def test_tos_values_match(self, doc_text):
+        rows = {
+            r["Constant"].strip("`"): int(r["ToS value"], 16)
+            for r in table_rows(doc_text, "Constant", "ToS value")
+        }
+        assert rows == {
+            "TOS_CONTROL": protocol.TOS_CONTROL,
+            "TOS_DATA_UP": protocol.TOS_DATA_UP,
+            "TOS_DATA_DOWN": protocol.TOS_DATA_DOWN,
+        }
+
+    def test_udp_port_documented(self, doc_text):
+        assert f"`ISWITCH_UDP_PORT = {protocol.ISWITCH_UDP_PORT}`" in doc_text
+
+    def test_framing_constants_match(self, doc_text):
+        rows = {
+            r["Component"]: int(r["Bytes"])
+            for r in table_rows(doc_text, "Component", "Bytes")
+        }
+        assert rows["Ethernet header + FCS"] == packets.ETHERNET_OVERHEAD
+        assert rows["802.1Q VLAN tag"] == packets.VLAN_TAG
+        assert rows["IP header"] == packets.IP_HEADER
+        assert rows["UDP header"] == packets.UDP_HEADER
+
+    def test_derived_limits_match(self, doc_text):
+        rows = {
+            r["Constant"].strip("`"): int(r["Value"])
+            for r in table_rows(doc_text, "Constant", "Value", "Meaning")
+        }
+        assert rows["MAX_FRAME"] == packets.MAX_FRAME
+        assert rows["MTU"] == packets.MTU
+        assert rows["MAX_UDP_PAYLOAD"] == packets.MAX_UDP_PAYLOAD
+
+
+class TestControlTable:
+    def test_action_codes_match(self, doc_text):
+        rows = {
+            r["Action"].strip("`"): int(r["Code"])
+            for r in table_rows(doc_text, "Action", "Code", "Value bytes")
+        }
+        assert rows == {a.name: a.value for a in Action}
+
+    def test_value_sizes_match_payload_model(self, doc_text):
+        for row in table_rows(doc_text, "Action", "Code", "Value bytes"):
+            action = Action[row["Action"].strip("`")]
+            value_bytes = int(row["Value bytes"])
+            message = ControlMessage(action, value=0)
+            assert message.payload_size == 1 + value_bytes, action
+            # And no value -> Action byte only.
+            assert ControlMessage(action).payload_size == 1
+
+
+class TestDataSegmentTable:
+    def test_size_constants_match(self, doc_text):
+        rows = {
+            r["Constant"].strip("`"): int(r["Value"])
+            for r in table_rows(doc_text, "Constant", "Value", "Derivation")
+        }
+        assert rows["SEG_HEADER_BYTES"] == protocol.SEG_HEADER_BYTES
+        assert rows["FLOAT_BYTES"] == protocol.FLOAT_BYTES
+        assert rows["SEG_PAYLOAD_BYTES"] == protocol.SEG_PAYLOAD_BYTES
+        assert rows["FLOATS_PER_SEGMENT"] == protocol.FLOATS_PER_SEGMENT
+        assert (
+            protocol.SEG_PAYLOAD_BYTES
+            == packets.MAX_UDP_PAYLOAD - protocol.SEG_HEADER_BYTES
+        )
+
+
+class TestWorkedExamples:
+    def test_seth_example(self):
+        msg = ControlMessage(Action.SETH, value=3)
+        assert msg.payload_size == 5
+        pkt = make_control_packet("worker0", "tor0", msg)
+        assert pkt.tos == protocol.TOS_CONTROL == 0x04
+        assert pkt.dst_port == 9999
+        assert pkt.wire_size == 5 + 8 + 20 + 4 + 18
+
+    def test_thousand_element_plan_example(self):
+        plan = SegmentPlan(1000)
+        assert plan.elements_per_frame == 366
+        assert plan.n_frames == 3
+        assert plan.n_chunks == 3
+        assert plan.wire_bytes == 3 * 8 + 1000 * 4 == 4024
+        segments = plan.split(
+            np.zeros(1000, dtype=np.float32), round_index=5
+        )
+        assert [s.seg for s in segments] == [15, 16, 17]
+        last = make_data_packet("w", "s", segments[2], plan)
+        assert last.payload_size == 8 + 268 * 4 == 1080
+
+    def test_seg_numbering_round_trips(self):
+        plan = SegmentPlan(1000)
+        for seg in (0, 7, 15, 17):
+            rnd, chunk = plan.round_of_seg(seg), plan.chunk_of_seg(seg)
+            assert seg == rnd * plan.n_chunks + chunk
+
+    def test_split_assemble_round_trip(self):
+        plan = SegmentPlan(1000)
+        rng = np.random.default_rng(0)
+        vector = rng.normal(size=1000).astype(np.float32)
+        segments = plan.split(vector, round_index=2)
+        # Arbitrary arrival order.
+        np.testing.assert_array_equal(
+            plan.assemble(list(reversed(segments))), vector
+        )
+
+    def test_data_packet_tos_by_direction(self):
+        plan = SegmentPlan(366)
+        seg = plan.split(np.zeros(366, dtype=np.float32), 0)[0]
+        up = make_data_packet("w", "s", seg, plan)
+        down = make_data_packet("s", "w", seg, plan, downstream=True)
+        assert up.tos == protocol.TOS_DATA_UP == 0x08
+        assert down.tos == protocol.TOS_DATA_DOWN == 0x0C
+
+    def test_doc_mentions_every_action(self, doc_text):
+        for action in Action:
+            assert re.search(rf"`{action.name}`", doc_text), action

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker (stdlib only).
+
+Scans the markdown files given on the command line for inline links and
+images (``[text](target)`` / ``![alt](target)``) and verifies that every
+*local* target resolves:
+
+* relative file paths must exist (relative to the linking file);
+* ``path#anchor`` targets must also contain a matching heading anchor,
+  using GitHub's slug rules (lowercase, spaces to dashes, punctuation
+  dropped);
+* bare ``#anchor`` targets are checked against the linking file itself.
+
+``http(s)://`` and ``mailto:`` targets are deliberately skipped so CI
+stays hermetic — the job guards against the common failure mode of
+renaming or moving a doc without updating its cross-references.
+
+Exit status is the number of broken links (0 = all good).
+
+Usage::
+
+    python tools/linkcheck.py README.md DESIGN.md docs/PROTOCOL.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+# Inline links/images.  [text](target "title") — title and surrounding
+# whitespace tolerated; nested parens (rare in our docs) are not.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation,
+    spaces become dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> Set[str]:
+    text = path.read_text(encoding="utf-8")
+    text = CODE_FENCE_RE.sub("", text)  # '# comment' inside fences is not a heading
+    slugs: Set[str] = set()
+    counts: dict = {}
+    for match in HEADING_RE.finditer(text):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: Path) -> List[str]:
+    errors: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    text = CODE_FENCE_RE.sub("", text)  # ignore example links in code blocks
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_SCHEMES):
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if not dest.exists():
+            errors.append(f"{path}: broken link -> {target}")
+            continue
+        if anchor and dest.suffix.lower() in {".md", ".markdown"}:
+            if anchor.lower() not in anchors_of(dest):
+                errors.append(f"{path}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 1
+    errors: List[str] = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for line in errors:
+        print(line, file=sys.stderr)
+    if not errors:
+        print(f"linkcheck: {len(argv)} files OK")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
