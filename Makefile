@@ -1,6 +1,6 @@
 PY ?= python
 
-.PHONY: test test-fast lint bench
+.PHONY: test test-fast lint bench bench-smoke bench-pytest
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -x -q
@@ -17,4 +17,11 @@ lint:
 	fi
 
 bench:
+	PYTHONPATH=src $(PY) tools/bench.py --out BENCH_PR4.json
+
+bench-smoke:
+	PYTHONPATH=src $(PY) tools/bench.py --smoke --repeats 2 \
+		--out bench-smoke.json --budget 300
+
+bench-pytest:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only -q

@@ -1,0 +1,547 @@
+"""Wall-clock benchmark harness for the simulator itself.
+
+Everything else in this repository measures *simulated* time; this module
+measures how long the simulation takes to run on the host.  It drives a
+fixed scenario matrix —
+
+* every registered strategy (sync ps/ar/ar-hd/ps-shard/isw, async ps/isw)
+  at 4 and 8 workers on the ``synth`` workload, whose near-zero local
+  compute makes runs network-simulation-bound;
+* one chaos run replaying ``examples/chaos_demo.json`` through the fault
+  injector (worker crash + switch reset + loss burst);
+* three microbenchmarks isolating the hot paths: event-loop dispatch,
+  link transmission, and accelerator segment aggregation
+
+— and writes a schema'd JSON report (median/p90 wall seconds, events/sec,
+packets/sec, host info).  Pass ``--baseline`` with a previous report to
+embed it and per-scenario speedups in the output; that is how
+``BENCH_PR4.json`` carries its before/after comparison.
+
+Usage::
+
+    python tools/bench.py --out BENCH_PR4.json
+    python -m repro bench --smoke --out /tmp/bench.json
+    make bench          # full matrix
+    make bench-smoke    # one small scenario + tiny micros, CI-friendly
+
+Determinism: simulated results are seeded and bit-reproducible; the wall
+times of course are not.  Repeats with median/p90 keep the numbers stable
+enough to compare across commits on the same host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA",
+    "bench_scenarios",
+    "run_benchmark",
+    "add_bench_arguments",
+    "run_bench",
+    "main",
+]
+
+SCHEMA = "repro-bench-v1"
+
+#: The simulator-bound workload every training scenario uses.
+BENCH_WORKLOAD = "synth"
+BENCH_SEED = 7
+
+#: Default fault plan for the chaos scenario (repo-relative).
+CHAOS_PLAN = os.path.join("examples", "chaos_demo.json")
+
+
+def _median(values: Sequence[float]) -> float:
+    return float(np.median(np.asarray(values, dtype=np.float64)))
+
+
+def _p90(values: Sequence[float]) -> float:
+    return float(np.quantile(np.asarray(values, dtype=np.float64), 0.9))
+
+
+def host_info() -> Dict[str, object]:
+    """The machine the numbers were taken on (for honest comparisons)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+    }
+
+
+@dataclass
+class Scenario:
+    """One benchmark scenario: a callable timed ``repeats`` times.
+
+    ``fn`` runs the scenario once and returns metadata for the report
+    (simulated time, event/packet counts, ...); only its wall time is
+    measured.  ``setup`` runs before each repeat, untimed.
+    """
+
+    name: str
+    kind: str  # "training" | "chaos" | "micro"
+    fn: Callable[[], Dict[str, object]]
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def run(self, repeats: int) -> Dict[str, object]:
+        walls: List[float] = []
+        meta: Dict[str, object] = {}
+        for _ in range(repeats):
+            start = time.perf_counter()
+            meta = self.fn()
+            walls.append(time.perf_counter() - start)
+        record: Dict[str, object] = {
+            "kind": self.kind,
+            **self.params,
+            "repeats": repeats,
+            "wall_s": [round(w, 6) for w in walls],
+            "median_s": round(_median(walls), 6),
+            "p90_s": round(_p90(walls), 6),
+        }
+        record.update(meta)
+        median = _median(walls)  # unrounded: sub-µs scenarios round to 0
+        for count_key, rate_key in (
+            ("events", "events_per_s"),
+            ("packets", "packets_per_s"),
+            ("segments", "segments_per_s"),
+        ):
+            if count_key in record and median > 0:
+                record[rate_key] = round(record[count_key] / median, 1)
+        return record
+
+
+# ----------------------------------------------------------------------
+# Training scenarios
+# ----------------------------------------------------------------------
+def _training_fn(
+    mode: str,
+    strategy: str,
+    n_workers: int,
+    iterations: int,
+    fault_plan: Optional[str] = None,
+    recovery_timeout: Optional[float] = None,
+) -> Callable[[], Dict[str, object]]:
+    from .distributed.config import ExperimentConfig
+    from .distributed.runner import run
+
+    def once() -> Dict[str, object]:
+        result = run(
+            ExperimentConfig(
+                strategy=strategy,
+                workload=BENCH_WORKLOAD,
+                mode=mode,
+                n_workers=n_workers,
+                iterations=iterations,
+                seed=BENCH_SEED,
+                telemetry=False,
+                fault_plan=fault_plan,
+                recovery_timeout=recovery_timeout,
+            )
+        )
+        meta: Dict[str, object] = {"sim_time_s": result.elapsed}
+        if result.fault_report is not None:
+            meta["fault_ok"] = result.fault_report.ok
+        return meta
+
+    def counted() -> Dict[str, object]:
+        """One untimed instrumented run for event/packet totals."""
+        result = run(
+            ExperimentConfig(
+                strategy=strategy,
+                workload=BENCH_WORKLOAD,
+                mode=mode,
+                n_workers=n_workers,
+                iterations=iterations,
+                seed=BENCH_SEED,
+                telemetry=True,
+                fault_plan=fault_plan,
+                recovery_timeout=recovery_timeout,
+            )
+        )
+        snap = result.telemetry
+        return {
+            "events": int(snap.value("sim.events_processed")),
+            "packets": int(snap.value("link.tx_packets")),
+        }
+
+    once.counted = counted  # type: ignore[attr-defined]
+    return once
+
+
+def _training_scenario(
+    mode: str, strategy: str, n_workers: int, iterations: int
+) -> Scenario:
+    return Scenario(
+        name=f"{mode}-{strategy}-n{n_workers}",
+        kind="training",
+        fn=_training_fn(mode, strategy, n_workers, iterations),
+        params={
+            "mode": mode,
+            "strategy": strategy,
+            "workload": BENCH_WORKLOAD,
+            "n_workers": n_workers,
+            "iterations": iterations,
+            "seed": BENCH_SEED,
+        },
+    )
+
+
+def _chaos_scenario(iterations: int) -> Scenario:
+    return Scenario(
+        name="chaos-isw-n4",
+        kind="chaos",
+        fn=_training_fn(
+            "sync",
+            "isw",
+            4,
+            iterations,
+            fault_plan=CHAOS_PLAN,
+            recovery_timeout=2e-3,
+        ),
+        params={
+            "mode": "sync",
+            "strategy": "isw",
+            "workload": BENCH_WORKLOAD,
+            "n_workers": 4,
+            "iterations": iterations,
+            "seed": BENCH_SEED,
+            "fault_plan": CHAOS_PLAN,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Microbenchmarks
+# ----------------------------------------------------------------------
+def _micro_event_dispatch(n_events: int) -> Scenario:
+    """Schedule + dispatch ``n_events`` no-op events through the heap."""
+    from .netsim.events import Simulator
+
+    def once() -> Dict[str, object]:
+        sim = Simulator()
+        noop = _noop
+        schedule = sim.schedule_at
+        for i in range(n_events):
+            schedule(i * 1e-6, noop)
+        sim.run()
+        return {"events": sim.processed_events}
+
+    return Scenario(
+        name="micro-event-dispatch",
+        kind="micro",
+        fn=once,
+        params={"n_events": n_events},
+    )
+
+
+def _noop() -> None:
+    return None
+
+
+class _Sink:
+    """Minimal packet sink so a bare Link can be exercised in isolation."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.received = 0
+
+    def register_port(self, port) -> None:
+        pass
+
+    def handle_packet(self, packet, in_port) -> None:
+        self.received += 1
+
+
+def _micro_link_tx(n_packets: int) -> Scenario:
+    """Serialize ``n_packets`` full data frames across one 10 Gb/s link."""
+    from .netsim.events import Simulator
+    from .netsim.link import Link
+    from .netsim.packets import MAX_UDP_PAYLOAD, Packet
+
+    def once() -> Dict[str, object]:
+        sim = Simulator()
+        link = Link(sim, name="bench")
+        src, dst = _Sink("src"), _Sink("dst")
+        link.attach(src, dst)
+        end = link.ends[0]
+        for i in range(n_packets):
+            end.send(
+                Packet(
+                    src="src",
+                    dst="dst",
+                    payload_size=MAX_UDP_PAYLOAD,
+                    packet_id=i,
+                )
+            )
+        sim.run()
+        if dst.received != n_packets:
+            raise RuntimeError(
+                f"link micro lost packets: {dst.received}/{n_packets}"
+            )
+        return {"packets": n_packets}
+
+    return Scenario(
+        name="micro-link-tx",
+        kind="micro",
+        fn=once,
+        params={"n_packets": n_packets},
+    )
+
+
+def _micro_accel_agg(rounds: int, n_senders: int = 8) -> Scenario:
+    """Aggregate ``rounds`` full synthetic vectors from ``n_senders``."""
+    from .core.accelerator import AggregationEngine
+    from .core.protocol import SegmentPlan
+    from .rl.synthetic import SYNTH_N_PARAMS
+
+    plan = SegmentPlan(SYNTH_N_PARAMS)
+    rng = np.random.default_rng(BENCH_SEED)
+    vectors = [
+        rng.standard_normal(SYNTH_N_PARAMS).astype(np.float32)
+        for _ in range(n_senders)
+    ]
+
+    def once() -> Dict[str, object]:
+        engine = AggregationEngine(threshold=n_senders)
+        completions = 0
+        contributions = 0
+        for round_index in range(rounds):
+            for sender, vector in enumerate(vectors):
+                for segment in plan.split(
+                    vector, round_index, sender=f"w{sender}", commit_id=round_index
+                ):
+                    contributions += 1
+                    if engine.contribute(segment) is not None:
+                        completions += 1
+        if completions != rounds * plan.n_chunks:
+            raise RuntimeError(
+                f"accel micro incomplete: {completions} completions"
+            )
+        return {"segments": contributions}
+
+    return Scenario(
+        name="micro-accel-agg",
+        kind="micro",
+        fn=once,
+        params={
+            "rounds": rounds,
+            "n_senders": n_senders,
+            "n_chunks": plan.n_chunks,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# The matrix
+# ----------------------------------------------------------------------
+def bench_scenarios(smoke: bool = False) -> List[Scenario]:
+    """The scenario matrix, smallest-first inside each kind.
+
+    Smoke mode keeps one small training scenario and shrunken micros so CI
+    can exercise the whole harness path in seconds.
+    """
+    from .distributed.runner import ASYNC_STRATEGIES, SYNC_STRATEGIES
+
+    if smoke:
+        return [
+            _training_scenario("sync", "isw", 4, 5),
+            # 200 iterations minimum: the demo plan's worker rejoin lands at
+            # t=60 ms and needs live rounds after it to observe recovery.
+            _chaos_scenario(200),
+            _micro_event_dispatch(5_000),
+            _micro_link_tx(2_000),
+            _micro_accel_agg(2),
+        ]
+    scenarios: List[Scenario] = []
+    for n_workers in (4, 8):
+        for strategy in SYNC_STRATEGIES:
+            scenarios.append(_training_scenario("sync", strategy, n_workers, 30))
+        for strategy in ASYNC_STRATEGIES:
+            scenarios.append(_training_scenario("async", strategy, n_workers, 60))
+    scenarios.append(_chaos_scenario(200))
+    scenarios.append(_micro_event_dispatch(100_000))
+    scenarios.append(_micro_link_tx(20_000))
+    scenarios.append(_micro_accel_agg(20))
+    return scenarios
+
+
+def run_benchmark(
+    repeats: int = 5,
+    smoke: bool = False,
+    baseline_path: Optional[str] = None,
+    progress: Callable[[str], None] = lambda msg: None,
+) -> Dict[str, object]:
+    """Run the matrix and return the full report dict."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    started = time.perf_counter()
+    scenarios = bench_scenarios(smoke=smoke)
+    results: Dict[str, Dict[str, object]] = {}
+    for scenario in scenarios:
+        progress(f"running {scenario.name} ...")
+        record = scenario.run(repeats)
+        counted = getattr(scenario.fn, "counted", None)
+        if counted is not None:
+            record.update(counted())
+            median = record["median_s"]
+            if median > 0:
+                record["events_per_s"] = round(record["events"] / median, 1)
+                record["packets_per_s"] = round(record["packets"] / median, 1)
+        results[scenario.name] = record
+        progress(
+            f"  {scenario.name}: median {record['median_s']:.4f} s"
+            + (
+                f", {record['events_per_s']:.0f} events/s"
+                if "events_per_s" in record
+                else ""
+            )
+        )
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": smoke,
+        "host": host_info(),
+        "config": {
+            "repeats": repeats,
+            "workload": BENCH_WORKLOAD,
+            "seed": BENCH_SEED,
+        },
+        "scenarios": results,
+        "total_wall_s": round(time.perf_counter() - started, 6),
+    }
+    if baseline_path is not None:
+        report.update(_embed_baseline(results, baseline_path))
+    return report
+
+
+def _embed_baseline(
+    results: Dict[str, Dict[str, object]], baseline_path: str
+) -> Dict[str, object]:
+    """Fold a previous report in as ``baseline`` + per-scenario speedups."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    if baseline.get("schema") != SCHEMA:
+        raise ValueError(
+            f"baseline {baseline_path} has schema {baseline.get('schema')!r}, "
+            f"expected {SCHEMA!r}"
+        )
+    speedups = {}
+    for name, record in results.items():
+        ref = baseline.get("scenarios", {}).get(name)
+        if ref is None or not record.get("median_s"):
+            continue
+        speedups[name] = round(ref["median_s"] / record["median_s"], 3)
+    return {
+        "baseline": {
+            "generated": baseline.get("generated"),
+            "host": baseline.get("host"),
+            "scenarios": baseline.get("scenarios", {}),
+        },
+        "speedups": speedups,
+    }
+
+
+def validate_report(report: Dict[str, object]) -> None:
+    """Raise ``ValueError`` if ``report`` violates the bench schema."""
+    if report.get("schema") != SCHEMA:
+        raise ValueError(f"bad schema marker: {report.get('schema')!r}")
+    for key in ("generated", "host", "config", "scenarios", "total_wall_s"):
+        if key not in report:
+            raise ValueError(f"report missing {key!r}")
+    for name, record in report["scenarios"].items():  # type: ignore[union-attr]
+        for key in ("kind", "repeats", "wall_s", "median_s", "p90_s"):
+            if key not in record:
+                raise ValueError(f"scenario {name!r} missing {key!r}")
+        if record["kind"] not in ("training", "chaos", "micro"):
+            raise ValueError(f"scenario {name!r} has kind {record['kind']!r}")
+        if record["kind"] in ("training", "chaos"):
+            for key in ("sim_time_s", "events", "events_per_s",
+                        "packets", "packets_per_s"):
+                if key not in record:
+                    raise ValueError(f"scenario {name!r} missing {key!r}")
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_PR4.json",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timed repeats per scenario (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny matrix for CI: one training scenario + shrunken micros",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="previous report to embed (adds baseline + speedups sections)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail (exit 1) if the whole run exceeds this wall-time budget",
+    )
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    report = run_benchmark(
+        repeats=args.repeats,
+        smoke=args.smoke,
+        baseline_path=args.baseline,
+        progress=lambda msg: print(msg, flush=True),
+    )
+    validate_report(report)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"report written: {args.out} ({report['total_wall_s']:.1f} s total)")
+    speedups = report.get("speedups")
+    if speedups:
+        for name in sorted(speedups):
+            print(f"  speedup {name}: {speedups[name]:.2f}x")
+    if args.budget is not None and report["total_wall_s"] > args.budget:
+        print(
+            f"budget exceeded: {report['total_wall_s']:.1f} s > "
+            f"{args.budget:.1f} s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="iSwitch reproduction wall-clock benchmark harness"
+    )
+    add_bench_arguments(parser)
+    return run_bench(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .bench import add_bench_arguments, run_bench
 from .distributed.config import ExperimentConfig
 from .distributed.registry import MODES, strategy_specs
 from .distributed.runner import ASYNC_STRATEGIES, SYNC_STRATEGIES, run
@@ -122,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="measurement window (iterations or updates)",
         )
 
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the wall-clock benchmark matrix and write a JSON report",
+    )
+    add_bench_arguments(bench)
+
     train = subparsers.add_parser("train", help="run one distributed training")
     train.add_argument(
         "--mode", choices=("sync", "async"), default="sync", help="training mode"
@@ -133,7 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument(
         "--workload",
-        choices=("dqn", "a2c", "ppo", "ddpg"),
+        choices=("dqn", "a2c", "ppo", "ddpg", "synth"),
         default="dqn",
     )
     train.add_argument("--workers", type=int, default=4)
@@ -296,6 +303,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "train":
         return _run_training(args)
+    if args.command == "bench":
+        return run_bench(args)
     if args.command == "all":
         return _run_all(full=args.full)
     return _run_experiment(args.command, args.iterations)

@@ -141,6 +141,7 @@ class AggregationEngine:
         self._shapes: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
         self._buffers: Dict[int, np.ndarray] = {}
         self._counters: Dict[int, int] = {}
+        self._latency_cache: Dict[int, float] = {}
         self._contributors: Dict[int, Set[Tuple[str, int]]] = {}
         self._result_cache: Dict[int, DataSegment] = {}
         #: Telemetry hook: when the owning switch sets a clock, the engine
@@ -230,17 +231,28 @@ class AggregationEngine:
                 return None
             contributors.add(key)
 
-        self.stats.contributions += 1
+        stats = self.stats
+        stats.contributions += 1
         if self.clock is not None and seg not in self._first_arrival:
             self._first_arrival[seg] = self.clock()
         if segment.wire_payload is not None and seg not in self._shapes:
             self._shapes[seg] = (segment.wire_payload, segment.wire_frames)
         buffer = self._buffers.get(seg)
         if buffer is None:
-            # First arrival allocates the buffer (the hardware keeps it
-            # zeroed; allocating lazily is equivalent and bounds memory by
-            # the number of *live* segments, mirroring the BRAM budget).
-            self._buffers[seg] = np.array(segment.data, dtype=np.float32)
+            # First arrival provides the buffer (the hardware keeps it
+            # zeroed; starting from the first contribution is equivalent
+            # and bounds memory by the number of *live* segments,
+            # mirroring the BRAM budget).  A writable float32 array is
+            # adopted as-is — later contributions sum into it in place —
+            # so the common case moves zero bytes.  Senders that must not
+            # see their gradient mutated (retransmission caches, shared
+            # broadcast results) pass a read-only view, which forces the
+            # copy here.
+            data = segment.data
+            if data.dtype == np.float32 and data.flags.writeable:
+                self._buffers[seg] = data
+            else:
+                self._buffers[seg] = np.array(data, dtype=np.float32)
             self._counters[seg] = 1
         else:
             if buffer.shape != segment.data.shape:
@@ -251,9 +263,9 @@ class AggregationEngine:
             buffer += segment.data
             self._counters[seg] += 1
 
-        self.stats.max_live_segments = max(
-            self.stats.max_live_segments, len(self._buffers)
-        )
+        n_live = len(self._buffers)
+        if n_live > stats.max_live_segments:
+            stats.max_live_segments = n_live
         if self._counters[seg] >= self.threshold:
             return self._complete(seg)
         if self.buffer_limit is not None and len(self._buffers) > self.buffer_limit:
@@ -324,7 +336,12 @@ class AggregationEngine:
 
     def processing_latency(self, payload_bytes: int) -> float:
         """Datapath occupancy for a packet of ``payload_bytes`` (seconds)."""
-        latency = self.timing.processing_latency(payload_bytes)
+        latency = self._latency_cache.get(payload_bytes)
+        if latency is None:
+            # Payload sizes come from a fixed SegmentPlan, so in practice
+            # this memo holds one or two entries.
+            latency = self.timing.processing_latency(payload_bytes)
+            self._latency_cache[payload_bytes] = latency
         self.stats.busy_time += latency
         return latency
 

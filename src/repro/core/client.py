@@ -145,6 +145,13 @@ class AggregationClient:
         )
         for segment in segments:
             segment.job = self.job
+            if self.recovery_timeout is not None:
+                # These segments double as the retransmission cache, so the
+                # engine must not adopt (and sum into) their arrays; a
+                # read-only view makes it copy on first arrival instead.
+                frozen = segment.data.view()
+                frozen.flags.writeable = False
+                segment.data = frozen
             self.host.send(
                 make_data_packet(
                     self.host.name, self.switch_address, segment, self.plan

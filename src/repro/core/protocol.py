@@ -77,7 +77,7 @@ class Action(enum.IntEnum):
     ACK = 8  #: Confirm the success/failure of actions
 
 
-@dataclass
+@dataclass(slots=True)
 class ControlMessage:
     """Payload of a control packet: the Action byte plus optional Value.
 
@@ -106,7 +106,7 @@ class ControlMessage:
         return 1 + 8
 
 
-@dataclass
+@dataclass(slots=True)
 class DataSegment:
     """Payload of a data packet: the Seg index plus gradient values.
 
@@ -177,6 +177,18 @@ class SegmentPlan:
         self.n_frames = math.ceil(n_elements / self.elements_per_frame)
         self.n_chunks = math.ceil(self.n_frames / frames_per_chunk)
         self.elements_per_chunk = self.elements_per_frame * frames_per_chunk
+        # Per-chunk geometry tables.  ``split``/``make_data_packet`` run once
+        # per chunk per round on the hot path; all chunks but the last are
+        # identical, so the ceil arithmetic is hoisted here.
+        bounds = []
+        frames = []
+        for chunk in range(self.n_chunks):
+            start = chunk * self.elements_per_chunk
+            stop = min(start + self.elements_per_chunk, n_elements)
+            bounds.append((start, stop))
+            frames.append(math.ceil((stop - start) / self.elements_per_frame))
+        self._chunk_bounds = bounds
+        self._chunk_frames = frames
 
     @property
     def wire_bytes(self) -> int:
@@ -190,14 +202,13 @@ class SegmentPlan:
         """(start, stop) element indices of chunk ``chunk``."""
         if not 0 <= chunk < self.n_chunks:
             raise IndexError(f"chunk {chunk} out of range [0, {self.n_chunks})")
-        start = chunk * self.elements_per_chunk
-        stop = min(start + self.elements_per_chunk, self.n_elements)
-        return start, stop
+        return self._chunk_bounds[chunk]
 
     def chunk_frames(self, chunk: int) -> int:
         """Number of real Ethernet frames this chunk stands for."""
-        start, stop = self.chunk_bounds(chunk)
-        return math.ceil((stop - start) / self.elements_per_frame)
+        if not 0 <= chunk < self.n_chunks:
+            raise IndexError(f"chunk {chunk} out of range [0, {self.n_chunks})")
+        return self._chunk_frames[chunk]
 
     def split(
         self,
@@ -218,18 +229,17 @@ class SegmentPlan:
         if round_index < 0:
             raise ValueError(f"round_index must be >= 0, got {round_index}")
         base = round_index * self.n_chunks
-        segments = []
-        for chunk in range(self.n_chunks):
-            start, stop = self.chunk_bounds(chunk)
-            segments.append(
-                DataSegment(
-                    seg=base + chunk,
-                    data=np.asarray(vector[start:stop], dtype=np.float32),
-                    sender=sender,
-                    commit_id=commit_id,
-                )
+        if vector.dtype != np.float32:
+            vector = vector.astype(np.float32)
+        return [
+            DataSegment(
+                seg=base + chunk,
+                data=vector[start:stop],
+                sender=sender,
+                commit_id=commit_id,
             )
-        return segments
+            for chunk, (start, stop) in enumerate(self._chunk_bounds)
+        ]
 
     def assemble(self, segments: Sequence[DataSegment]) -> np.ndarray:
         """Reassemble one round's segments into a full vector.
@@ -297,11 +307,12 @@ def make_data_packet(
     src_port: int = ISWITCH_UDP_PORT,
 ) -> Packet:
     """Build a ToS-tagged data packet (train) for one chunk (Figure 5b)."""
-    chunk = plan.chunk_of_seg(segment.seg)
+    chunk = segment.seg % plan.n_chunks
     mult = plan.wire_multiplier
-    frames = plan.chunk_frames(chunk) * mult
+    chunk_frames = plan._chunk_frames[chunk]
+    frames = chunk_frames * mult
     payload_size = mult * (
-        plan.chunk_frames(chunk) * SEG_HEADER_BYTES
+        chunk_frames * SEG_HEADER_BYTES
         + segment.data.size * plan.bytes_per_element
     )
     segment.wire_payload = payload_size

@@ -32,7 +32,6 @@ from .jobs import DEFAULT_JOB, JobTable
 from .protocol import (
     FLOAT_BYTES,
     FLOATS_PER_SEGMENT,
-    ISWITCH_TOS_VALUES,
     ISWITCH_UDP_PORT,
     SEG_HEADER_BYTES,
     TOS_CONTROL,
@@ -108,16 +107,17 @@ class ISwitch(EthernetSwitch):
     # Input arbiter
     # ------------------------------------------------------------------
     def handle_packet(self, packet: Packet, in_port: LinkEnd) -> None:
-        self._count_rx(packet)
-        if packet.tos not in ISWITCH_TOS_VALUES:
-            self.process(packet, in_port)
-            return
-        if packet.tos == TOS_CONTROL:
-            self._handle_control(packet)
-        elif packet.tos == TOS_DATA_UP:
+        self.rx_packets += 1
+        self.rx_bytes += packet.wire_size
+        tos = packet.tos
+        if tos == TOS_DATA_UP:
             self._handle_contribution(packet)
-        else:  # TOS_DATA_DOWN
+        elif tos == TOS_DATA_DOWN:
             self._handle_result_from_parent(packet)
+        elif tos == TOS_CONTROL:
+            self._handle_control(packet)
+        else:
+            self.process(packet, in_port)
 
     # ------------------------------------------------------------------
     # Data plane: aggregation path
@@ -158,10 +158,10 @@ class ISwitch(EthernetSwitch):
                     job=completed.job,
                 )
                 telemetry.inc("switch.segments_completed", 1, switch=self.name)
-            self.sim.schedule(
+            self.sim.schedule_fire(
                 latency + self.latency,
                 lambda seg=completed: self._emit_result(seg),
-                name=f"agg-complete:{completed.seg}",
+                "agg-complete",
             )
 
     def _emit_result(self, result: DataSegment) -> None:
@@ -176,9 +176,14 @@ class ISwitch(EthernetSwitch):
                     track=self.name,
                     seg=result.seg,
                 )
+            # A read-only view: the parent's engine must copy on first
+            # arrival rather than adopt this array, because it also backs
+            # this switch's Help cache and the eventual fanout payloads.
+            up_data = result.data.view()
+            up_data.flags.writeable = False
             up = DataSegment(
                 seg=result.seg,
-                data=result.data,
+                data=up_data,
                 sender=self.name,
                 commit_id=result.seg,
                 job=result.job,
@@ -208,10 +213,10 @@ class ISwitch(EthernetSwitch):
     def _handle_result_from_parent(self, packet: Packet) -> None:
         """A globally aggregated segment arrived from above: fan it out."""
         segment = packet.payload
-        self.sim.schedule(
+        self.sim.schedule_fire(
             self.latency,
             lambda: self._broadcast_result(segment),
-            name=f"fanout:{segment.seg}",
+            "fanout",
         )
 
     def _send_data(self, dst: str, segment: DataSegment, downstream: bool) -> None:
@@ -319,10 +324,10 @@ class ISwitch(EthernetSwitch):
                     seg=completed.seg,
                     job=job,
                 )
-            self.sim.schedule(
+            self.sim.schedule_fire(
                 self.latency,
                 lambda seg=completed: self._emit_result(seg),
-                name=f"agg-sweep:{completed.seg}",
+                "agg-sweep",
             )
 
     def _handle_help(self, requester: str, seg: int, job: int = DEFAULT_JOB) -> None:

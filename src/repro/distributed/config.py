@@ -30,7 +30,7 @@ __all__ = ["ExperimentConfig", "DEFAULT_RECOVERY_TIMEOUT"]
 #: round-trip at 10 Gb/s, far below an iteration.
 DEFAULT_RECOVERY_TIMEOUT = 0.5e-3
 
-_WORKLOADS = ("dqn", "a2c", "ppo", "ddpg")
+_WORKLOADS = ("dqn", "a2c", "ppo", "ddpg", "synth")
 
 
 @dataclass

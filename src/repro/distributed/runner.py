@@ -33,6 +33,7 @@ from ..rl.ddpg import DDPG
 from ..rl.dqn import DQN
 from ..rl.envs import Cheetah1D, GridPong, GridQbert, Hopper1D
 from ..rl.ppo import PPO
+from ..rl.synthetic import SyntheticAlgorithm
 from ..telemetry.hub import TelemetryHub
 from ..workloads.calibration import DEFAULT_COST_MODEL, CostModel
 from ..workloads.profiles import WorkloadProfile, get_profile
@@ -88,7 +89,13 @@ def make_algorithm(
         return DDPG(
             Cheetah1D(seed=seed), seed=seed, init_seed=init_seed, **overrides
         )
-    raise KeyError(f"unknown workload {workload!r}; choose dqn/a2c/ppo/ddpg")
+    if name == "synth":
+        # The benchmark harness's simulator-bound workload: near-zero
+        # LGC cost so wall-clock timings measure the netsim, not NumPy.
+        return SyntheticAlgorithm(seed=seed, init_seed=init_seed, **overrides)
+    raise KeyError(
+        f"unknown workload {workload!r}; choose dqn/a2c/ppo/ddpg/synth"
+    )
 
 
 def build_cluster(

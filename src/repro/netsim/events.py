@@ -11,42 +11,85 @@ Events scheduled for the same timestamp are executed in scheduling order
 (FIFO), which makes every simulation run bit-reproducible for a fixed seed.
 This matters because the asynchronous-training experiments derive gradient
 *staleness* from event ordering.
+
+Performance
+-----------
+This module is the hottest code in the repository (every packet costs
+several events), so it trades a little elegance for speed:
+
+* the heap stores plain tuples — ``(time, seq, event)`` for cancellable
+  events and ``(time, seq, callback, kind)`` for fire-and-forget ones
+  (:meth:`Simulator.schedule_fire`) — so every sift compares C-level
+  tuples instead of calling a Python ``__lt__``; the ``seq`` tie-break
+  is globally unique, so comparison never reaches the third element and
+  the two tuple shapes coexist safely;
+* the per-packet paths (delivery, forwarding, aggregation completion)
+  use the fire-and-forget shape, which skips the :class:`Event`
+  allocation entirely;
+* :class:`Event` uses ``__slots__``;
+* cancelled events use lazy deletion (skipped when popped), but a run
+  that cancels heavily — loss-recovery watchdogs, mostly — is compacted
+  in one batched sweep once cancelled entries outnumber live ones, so
+  the heap never silts up.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..telemetry.hub import NULL_HUB, TelemetryHub
 
 __all__ = ["Event", "Simulator", "SimError"]
+
+#: Compact the heap when at least this many cancelled events have
+#: accumulated *and* they outnumber the live ones.
+_SWEEP_MIN_CANCELLED = 64
 
 
 class SimError(RuntimeError):
     """Raised for illegal simulator operations (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events are ordered by ``(time, seq)`` so that ties are broken by
-    insertion order.  ``cancelled`` events stay in the heap but are skipped
-    when popped (lazy deletion).
+    The owning simulator orders events by ``(time, seq)`` so that ties are
+    broken by insertion order.  ``cancelled`` events stay in the heap but
+    are skipped when popped (lazy deletion, batch-swept under pressure).
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "name", "cancelled", "_cancel_cell")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        name: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = cancelled
+        #: The owning simulator's cancelled-event counter (a one-element
+        #: list, shared so ``cancel`` stays O(1) with no back-reference to
+        #: the simulator itself).  ``None`` once the event left the heap.
+        self._cancel_cell: Optional[List[int]] = None
 
     def cancel(self) -> None:
         """Mark this event so the simulator will skip it."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            cell = self._cancel_cell
+            if cell is not None:
+                cell[0] += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, seq={self.seq}, {self.name!r}{state})"
 
 
 class Simulator:
@@ -62,8 +105,9 @@ class Simulator:
 
     def __init__(self, telemetry: Optional[TelemetryHub] = None) -> None:
         self._now = 0.0
-        self._heap: List[Event] = []
-        self._seq = itertools.count()
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._cancelled = [0]  # cancelled events still sitting in the heap
         self._processed = 0
         self._running = False
         #: The run's telemetry hub; the shared disabled hub by default, so
@@ -93,8 +137,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of events still queued (excluding cancelled ones)."""
+        return len(self._heap) - self._cancelled[0]
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -108,7 +152,18 @@ class Simulator:
         """
         if delay < 0:
             raise SimError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, name)
+        # Body of schedule_at, inlined: this is called once or more per
+        # simulated packet and the extra frame is measurable.
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, name)
+        event._cancel_cell = self._cancelled
+        heapq.heappush(self._heap, (time, seq, event))
+        cancelled = self._cancelled[0]
+        if cancelled >= _SWEEP_MIN_CANCELLED and 2 * cancelled >= len(self._heap):
+            self._sweep_cancelled()
+        return event
 
     def schedule_at(
         self, time: float, callback: Callable[[], None], name: str = ""
@@ -118,9 +173,55 @@ class Simulator:
             raise SimError(
                 f"cannot schedule at t={time} (now={self._now}): time moves forward"
             )
-        event = Event(time=time, seq=next(self._seq), callback=callback, name=name)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, name)
+        event._cancel_cell = self._cancelled
+        heapq.heappush(self._heap, (time, seq, event))
+        cancelled = self._cancelled[0]
+        if cancelled >= _SWEEP_MIN_CANCELLED and 2 * cancelled >= len(self._heap):
+            self._sweep_cancelled()
         return event
+
+    def schedule_fire(
+        self, delay: float, callback: Callable[[], None], kind: str = ""
+    ) -> None:
+        """Schedule a fire-and-forget callback ``delay`` seconds from now.
+
+        Unlike :meth:`schedule` no :class:`Event` is created and nothing is
+        returned, so the callback **cannot be cancelled**.  This is the
+        per-packet path (delivery, forwarding, result emission), where the
+        allocation per event is measurable; ``kind`` is the telemetry
+        dispatch label (a plain prefix such as ``"deliver"``, never a
+        per-packet string).
+        """
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (self._now + delay, seq, callback, kind))
+
+    def schedule_fire_at(
+        self, time: float, callback: Callable[[], None], kind: str = ""
+    ) -> None:
+        """Absolute-time variant of :meth:`schedule_fire`."""
+        if time < self._now:
+            raise SimError(
+                f"cannot schedule at t={time} (now={self._now}): time moves forward"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, callback, kind))
+
+    def _sweep_cancelled(self) -> None:
+        """Batch-drop every cancelled event and re-heapify the survivors."""
+        self._heap = [
+            entry
+            for entry in self._heap
+            if entry[2].__class__ is not Event or not entry[2].cancelled
+        ]
+        heapq.heapify(self._heap)
+        self._cancelled[0] = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -130,18 +231,28 @@ class Simulator:
 
         Returns ``True`` if an event ran, ``False`` if the queue is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._processed += 1
-            if self.telemetry.enabled:
+        heap = self._heap
+        while heap:
+            head = heapq.heappop(heap)
+            event = head[2]
+            if event.__class__ is Event:
+                if event.cancelled:
+                    self._cancelled[0] -= 1
+                    event._cancel_cell = None
+                    continue
+                event._cancel_cell = None
+                callback = event.callback
                 # Label by the name prefix (e.g. "lgc", "deliver", "fwd")
                 # so dispatch counts stay low-cardinality.
                 kind = event.name.split(":", 1)[0] if event.name else "anonymous"
+            else:
+                callback = event
+                kind = head[3] or "anonymous"
+            self._now = head[0]
+            self._processed += 1
+            if self.telemetry.enabled:
                 self.telemetry.inc("sim.events_processed", 1, kind=kind)
-            event.callback()
+            callback()
             return True
         return False
 
@@ -160,17 +271,73 @@ class Simulator:
         if self._running:
             raise SimError("simulator is not reentrant")
         self._running = True
+        heap = self._heap
+        cancelled = self._cancelled
+        pop = heapq.heappop
+        telemetry = self.telemetry  # fixed for the simulator's lifetime
         try:
+            if until is None and max_events is None:
+                # Fast path for drain-the-queue runs (the training loops):
+                # pop directly instead of peek-then-pop.
+                while heap:
+                    head = pop(heap)
+                    event = head[2]
+                    if event.__class__ is Event:
+                        if event.cancelled:
+                            cancelled[0] -= 1
+                            event._cancel_cell = None
+                            continue
+                        event._cancel_cell = None
+                        self._now = head[0]
+                        self._processed += 1
+                        if telemetry.enabled:
+                            name = event.name
+                            kind = (
+                                name.split(":", 1)[0] if name else "anonymous"
+                            )
+                            telemetry.inc(
+                                "sim.events_processed", 1, kind=kind
+                            )
+                        event.callback()
+                    else:
+                        self._now = head[0]
+                        self._processed += 1
+                        if telemetry.enabled:
+                            telemetry.inc(
+                                "sim.events_processed",
+                                1,
+                                kind=head[3] or "anonymous",
+                            )
+                        event()
+                return self._now
             executed = 0
-            while self._heap:
+            while heap:
                 if max_events is not None and executed >= max_events:
                     break
-                nxt = self._peek()
-                if nxt is None:
+                head = heap[0]
+                event = head[2]
+                is_event = event.__class__ is Event
+                if is_event and event.cancelled:
+                    pop(heap)
+                    cancelled[0] -= 1
+                    event._cancel_cell = None
+                    continue
+                if until is not None and head[0] > until:
                     break
-                if until is not None and nxt.time > until:
-                    break
-                self.step()
+                pop(heap)
+                if is_event:
+                    event._cancel_cell = None
+                    callback = event.callback
+                    name = event.name
+                    kind = name.split(":", 1)[0] if name else "anonymous"
+                else:
+                    callback = event
+                    kind = head[3] or "anonymous"
+                self._now = head[0]
+                self._processed += 1
+                if telemetry.enabled:
+                    telemetry.inc("sim.events_processed", 1, kind=kind)
+                callback()
                 executed += 1
             if until is not None and until > self._now:
                 self._now = until
@@ -178,17 +345,23 @@ class Simulator:
         finally:
             self._running = False
 
-    def _peek(self) -> Optional[Event]:
-        """Return the next live event without popping it."""
-        while self._heap:
-            if self._heap[0].cancelled:
-                heapq.heappop(self._heap)
+    def _peek(self):
+        """Return the next live heap payload (an Event or a bare callback)
+        without popping it."""
+        heap = self._heap
+        while heap:
+            event = heap[0][2]
+            if event.__class__ is Event and event.cancelled:
+                heapq.heappop(heap)
+                self._cancelled[0] -= 1
+                event._cancel_cell = None
                 continue
-            return self._heap[0]
+            return event
         return None
 
     def reset(self) -> None:
         """Clear all pending events and rewind the clock to zero."""
         self._heap.clear()
+        self._cancelled[0] = 0
         self._now = 0.0
         self._processed = 0

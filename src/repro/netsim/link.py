@@ -150,6 +150,10 @@ class LinkEnd:
         self.link = link
         self.index = index
         self.device: Optional["Device"] = None
+        #: Filled by :meth:`Link.attach`; caches the two properties below
+        #: for the per-packet delivery path.
+        self._peer_end: Optional["LinkEnd"] = None
+        self._peer_device: Optional["Device"] = None
         self._busy_until = 0.0
         self._queued_packets = 0
         self.tx_packets = 0
@@ -185,21 +189,25 @@ class LinkEnd:
 
         The transmitter serializes packets back to back in FIFO order.
         """
-        sim = self.link.sim
+        link = self.link
+        sim = link.sim
+        now = sim.now
         if packet.created_at is None:
-            packet.created_at = sim.now
-        start = max(sim.now, self._busy_until)
-        serialization = packet.wire_size * 8.0 / self.link.bandwidth
-        self._busy_until = start + serialization
+            packet.created_at = now
+        busy = self._busy_until
+        wire_size = packet.wire_size
+        serialization = wire_size * link._seconds_per_byte
+        end = (busy if busy > now else now) + serialization
+        self._busy_until = end
         self.busy_time += serialization
-        arrival = self._busy_until + self.link.propagation
+        arrival = end + link.propagation
         self.tx_packets += 1
-        self.tx_bytes += packet.wire_size
+        self.tx_bytes += wire_size
         self._queued_packets += 1
         packet.hops += 1
-        link = self.link
-        if link.loss_model is not None:
-            dropped = link.loss_model.should_drop(link.loss_rng)
+        loss_model = link.loss_model
+        if loss_model is not None:
+            dropped = loss_model.should_drop(link.loss_rng)
         else:
             dropped = (
                 link.loss_rate > 0.0 and link.loss_rng.random() < link.loss_rate
@@ -225,9 +233,12 @@ class LinkEnd:
             if dropped:
                 link.dropped_packets += 1
                 return
-            self.peer_device.handle_packet(packet, self.peer)
+            device = self._peer_device
+            if device is None:  # unattached link: keep the loud error path
+                device = self.peer_device
+            device.handle_packet(packet, self._peer_end or self.peer)
 
-        sim.schedule_at(arrival, deliver, name=f"deliver:{packet.packet_id}")
+        sim.schedule_fire_at(arrival, deliver, "deliver")
         return arrival
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -262,8 +273,6 @@ class Link:
         loss_rate: float = 0.0,
         loss_seed: int = 0,
     ) -> None:
-        if bandwidth <= 0:
-            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
         if propagation < 0:
             raise ValueError(f"propagation must be >= 0, got {propagation}")
         if not 0.0 <= loss_rate < 1.0:
@@ -279,11 +288,28 @@ class Link:
         self.dropped_packets = 0
         self.ends = (LinkEnd(self, 0), LinkEnd(self, 1))
 
+    @property
+    def bandwidth(self) -> float:
+        """Link rate in bits per second.  Assignable mid-run (fault windows)."""
+        return self._bandwidth
+
+    @bandwidth.setter
+    def bandwidth(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"bandwidth must be positive, got {value}")
+        self._bandwidth = value
+        # Serialization works in bytes; cache the per-byte cost so the
+        # per-packet send path does one multiply instead of a division.
+        self._seconds_per_byte = 8.0 / value
+
     def attach(self, device0: "Device", device1: "Device") -> None:
         """Wire the two ends to their devices and register the ports."""
         for end, device in zip(self.ends, (device0, device1)):
             end.device = device
             device.register_port(end)
+        end0, end1 = self.ends
+        end0._peer_end, end0._peer_device = end1, device1
+        end1._peer_end, end1._peer_device = end0, device0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Link({self.name}, {self.bandwidth / GBPS:g} Gb/s)"

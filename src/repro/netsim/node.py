@@ -59,15 +59,16 @@ class Host(Device):
         super().__init__(sim, name)
         self._handlers: Dict[int, PacketHandler] = {}
         self._default_handler: Optional[PacketHandler] = None
+        self._uplink: Optional[LinkEnd] = None
 
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
     @property
     def uplink(self) -> LinkEnd:
-        if not self.ports:
+        if self._uplink is None:
             raise RuntimeError(f"host {self.name} has no link attached")
-        return self.ports[0]
+        return self._uplink
 
     def register_port(self, port: LinkEnd) -> None:
         if self.ports:
@@ -75,6 +76,7 @@ class Host(Device):
                 f"host {self.name} already has a NIC; hosts are single-homed"
             )
         super().register_port(port)
+        self._uplink = port
 
     # ------------------------------------------------------------------
     # Protocol dispatch
@@ -97,10 +99,14 @@ class Host(Device):
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> float:
         """Transmit a packet out of the NIC; returns the link-arrival time."""
-        return self.uplink.send(packet)
+        uplink = self._uplink
+        if uplink is None:
+            raise RuntimeError(f"host {self.name} has no link attached")
+        return uplink.send(packet)
 
     def handle_packet(self, packet: Packet, in_port: LinkEnd) -> None:
-        self._count_rx(packet)
+        self.rx_packets += 1
+        self.rx_bytes += packet.wire_size
         handler = self._handlers.get(packet.dst_port, self._default_handler)
         if handler is not None:
             handler(packet)

@@ -35,6 +35,7 @@ __all__ = [
     "MTU",
     "MAX_UDP_PAYLOAD",
     "TOS_DEFAULT",
+    "PER_FRAME_OVERHEAD",
     "Packet",
 ]
 
@@ -48,10 +49,13 @@ MAX_UDP_PAYLOAD = MTU - IP_HEADER - UDP_HEADER  # 1472 bytes
 
 TOS_DEFAULT = 0
 
+#: Header bytes added per Ethernet frame (Ethernet + FCS, VLAN, IP, UDP).
+PER_FRAME_OVERHEAD = ETHERNET_OVERHEAD + VLAN_TAG + IP_HEADER + UDP_HEADER
+
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One UDP/IP/Ethernet packet.
 
@@ -78,9 +82,13 @@ class Packet:
     src_port: int = 0
     dst_port: int = 0
     frame_count: int = 1
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: int = field(default_factory=_packet_ids.__next__)
     hops: int = 0
     created_at: Optional[float] = None
+    #: Total bytes on the wire, headers included (per-frame overheads).
+    #: Precomputed: the link layer reads it once per hop and neither
+    #: ``payload_size`` nor ``frame_count`` changes after construction.
+    wire_size: int = field(init=False)
 
     def __post_init__(self) -> None:
         if self.payload_size < 0:
@@ -96,12 +104,7 @@ class Packet:
             )
         if not 0 <= self.tos <= 255:
             raise ValueError(f"ToS must be one byte, got {self.tos}")
-
-    @property
-    def wire_size(self) -> int:
-        """Total bytes on the wire, headers included (per-frame overheads)."""
-        per_frame = ETHERNET_OVERHEAD + VLAN_TAG + IP_HEADER + UDP_HEADER
-        return self.frame_count * per_frame + self.payload_size
+        self.wire_size = self.frame_count * PER_FRAME_OVERHEAD + self.payload_size
 
     def copy_for(self, dst: str) -> "Packet":
         """Clone this packet for a new destination (used by broadcast).

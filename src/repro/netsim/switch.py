@@ -89,8 +89,8 @@ class EthernetSwitch(Device):
             self.dropped_packets += 1
             return
         self.forwarded_packets += 1
-        self.sim.schedule(
+        self.sim.schedule_fire(
             self.latency,
             lambda: egress.send(packet),
-            name=f"fwd:{packet.packet_id}",
+            "fwd",
         )

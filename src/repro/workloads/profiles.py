@@ -140,6 +140,17 @@ _DDPG_SPLIT = {
 }
 
 
+_SYNTH_SPLIT = {
+    "agent_action": 0.10,
+    "environ_react": 0.10,
+    "buffer_sampling": 0.10,
+    "memory_alloc": 0.10,
+    "forward_pass": 0.25,
+    "backward_pass": 0.25,
+    "gpu_copy": 0.10,
+}
+
+
 PROFILES: Dict[str, WorkloadProfile] = {
     "dqn": WorkloadProfile(
         name="dqn",
@@ -198,6 +209,20 @@ PROFILES: Dict[str, WorkloadProfile] = {
         paper_async_iter_ms={"ps": 11.58, "isw": 14.89},
         paper_sync_hours={"ps": 8.07, "ar": 9.01, "isw": 4.40},
         paper_async_hours={"ps": 9.65, "isw": 6.20},
+    ),
+    # Not a paper workload: the benchmark harness's simulator-bound
+    # stand-in (repro.rl.synthetic).  The wire vector is the synthetic
+    # model's true size — 64 full segments — and the compute times are
+    # small so simulated runs are network-dominated, mirroring how the
+    # wall-clock harness uses it to time the netsim hot paths.
+    "synth": WorkloadProfile(
+        name="synth",
+        environment="synthetic (simulator benchmark)",
+        model_bytes=64 * 366 * 4,
+        paper_iterations=1_000,
+        compute_time=0.5e-3,
+        weight_update_time=0.05e-3,
+        compute_breakdown=_SYNTH_SPLIT,
     ),
 }
 

@@ -62,10 +62,54 @@ class TestThresholdCompletion:
         rng = np.random.default_rng(3)
         engine = AggregationEngine(threshold=4)
         vectors = [rng.standard_normal(128).astype(np.float32) for _ in range(4)]
+        # Snapshot the expected sum first: the engine adopts the first
+        # writable float32 contribution as its accumulation buffer.
+        expected = np.sum(vectors, axis=0)
         result = None
         for i, v in enumerate(vectors):
             result = engine.contribute(seg(0, v, sender=f"w{i}"))
-        np.testing.assert_allclose(result.data, sum(vectors), rtol=1e-6)
+        np.testing.assert_allclose(result.data, expected, rtol=1e-6)
+
+
+class TestZeroCopyAdoption:
+    """The engine must not copy the first writable float32 contribution."""
+
+    def test_first_writable_float32_contribution_is_adopted(self):
+        engine = AggregationEngine(threshold=2)
+        first = np.arange(8, dtype=np.float32)
+        result_holder = engine.contribute(seg(0, first, "a"))
+        assert result_holder is None
+        assert np.shares_memory(engine._buffers[0], first)
+        result = engine.contribute(seg(0, np.ones(8, dtype=np.float32), "b"))
+        # The completed sum lives in the adopted array: zero copies end to end.
+        assert np.shares_memory(result.data, first)
+        np.testing.assert_array_equal(
+            result.data, np.arange(8, dtype=np.float32) + 1.0
+        )
+
+    def test_read_only_contribution_forces_a_copy(self):
+        engine = AggregationEngine(threshold=2)
+        first = np.arange(8, dtype=np.float32)
+        frozen = first.view()
+        frozen.flags.writeable = False
+        engine.contribute(
+            DataSegment(seg=0, data=frozen, sender="a", commit_id=0)
+        )
+        assert not np.shares_memory(engine._buffers[0], first)
+        result = engine.contribute(seg(0, np.ones(8, dtype=np.float32), "b"))
+        np.testing.assert_array_equal(first, np.arange(8, dtype=np.float32))
+        np.testing.assert_array_equal(
+            result.data, np.arange(8, dtype=np.float32) + 1.0
+        )
+
+    def test_non_float32_contribution_forces_a_copy(self):
+        engine = AggregationEngine(threshold=1)
+        first = np.arange(4, dtype=np.float64)
+        result = engine.contribute(
+            DataSegment(seg=0, data=first, sender="a", commit_id=0)
+        )
+        assert result.data.dtype == np.float32
+        assert not np.shares_memory(result.data, first)
 
 
 class TestControlOperations:

@@ -51,11 +51,16 @@ def weight_hash(result) -> str:
 # ----------------------------------------------------------------------
 #: (final-weight hash of worker 0, total simulated seconds) captured on
 #: the pre-collectives implementation for ppo / 4 workers / seed 7 with
-#: 5 sync iterations or 30 async updates.  Any drift here means the
-#: collectives layer changed either the math or the event schedule.
+#: 5 sync iterations or 30 async updates; ``ar-hd``/``ps-shard`` were
+#: pinned on the pre-payload-refactor implementation so the zero-copy
+#: datapath covers all seven strategies.  Any drift here means a change
+#: to either the math or the event schedule — fix the regression, do not
+#: re-pin these values.
 GOLDEN = {
     ("sync", "ps"): ("8597b1f7ddb892fb", 0.09213318678487417),
     ("sync", "ar"): ("8597b1f7ddb892fb", 0.09544441303242046),
+    ("sync", "ar-hd"): ("8597b1f7ddb892fb", 0.07844703138005157),
+    ("sync", "ps-shard"): ("8597b1f7ddb892fb", 0.05470335664735608),
     ("sync", "isw"): ("94346f131ed9bc3c", 0.04437665757874773),
     ("async", "ps"): ("09fc5c06e2e6462d", 0.11654701069085062),
     ("async", "isw"): ("9c075db685abf719", 0.25010475115351194),

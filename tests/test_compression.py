@@ -104,7 +104,10 @@ class TestCompressedAggregation:
         rng = np.random.default_rng(7)
         vectors = [rng.standard_normal(2000).astype(np.float32) for _ in clients]
         for client, vector in zip(clients, vectors):
-            client.send_gradient(vector, 0)
+            # Send a copy: the engine adopts a first writable contribution
+            # as its accumulation buffer, and the assertions below need the
+            # pristine vectors.
+            client.send_gradient(vector.copy(), 0)
         sim.run()
         return sim.now, results, vectors
 

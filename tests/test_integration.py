@@ -120,10 +120,12 @@ class TestScaleInvariantCorrectness:
         vectors = [
             rng.standard_normal(777).astype(np.float32) for _ in clients
         ]
+        # Snapshot first: the engine adopts a first writable contribution
+        # as its accumulation buffer, so senders' arrays may be summed into.
+        expected = np.sum(vectors, axis=0)
         for client, vector in zip(clients, vectors):
             client.send_gradient(vector, 0)
         sim.run()
-        expected = np.sum(vectors, axis=0)
         assert len(results) == n_workers
         for got in results.values():
             np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-4)

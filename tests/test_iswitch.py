@@ -42,10 +42,12 @@ class TestSingleSwitchAggregation:
         sim, net, plan, clients, results = star_cluster()
         rng = np.random.default_rng(0)
         vectors = [rng.standard_normal(1000).astype(np.float32) for _ in clients]
+        # Snapshot first: the engine adopts a first writable contribution
+        # as its accumulation buffer, so senders' arrays may be summed into.
+        expected = np.sum(vectors, axis=0)
         for client, vector in zip(clients, vectors):
             client.send_gradient(vector, round_index=0)
         sim.run()
-        expected = np.sum(vectors, axis=0)
         assert len(results) == 4
         for chunks in results.values():
             np.testing.assert_allclose(chunks[0], expected, rtol=1e-5)
@@ -261,11 +263,11 @@ class TestHierarchicalAggregation:
         vectors = [
             rng.standard_normal(2000).astype(np.float32) for _ in clients
         ]
+        expected = np.sum(vectors, axis=0)
         for client, vector in zip(clients, vectors):
             client.send_gradient(vector, 0)
         sim.run()
         assert len(results) == n_workers
-        expected = np.sum(vectors, axis=0)
         for got in results.values():
             np.testing.assert_allclose(got, expected, rtol=1e-4, atol=1e-4)
 

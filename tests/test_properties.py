@@ -64,6 +64,9 @@ class TestEngineProperties:
             for _ in range(n_workers)
         ]
         engine = AggregationEngine(threshold=n_workers)
+        # Snapshot first: the engine adopts a first writable contribution
+        # as its accumulation buffer, so senders' arrays may be summed into.
+        expected = np.sum(vectors, axis=0)
         order = rng.permutation(n_workers)
         result = None
         for index in order:
@@ -71,9 +74,7 @@ class TestEngineProperties:
                 DataSegment(seg=0, data=vectors[index], sender=f"w{index}")
             )
         assert result is not None
-        np.testing.assert_allclose(
-            result.data, np.sum(vectors, axis=0), rtol=1e-5, atol=1e-5
-        )
+        np.testing.assert_allclose(result.data, expected, rtol=1e-5, atol=1e-5)
 
     @given(
         contributions=st.integers(1, 40),

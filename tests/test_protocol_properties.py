@@ -1,0 +1,220 @@
+"""Seeded-random property tests for the iSwitch wire protocol.
+
+Unlike ``test_properties.py`` (hypothesis-driven invariants on isolated
+data structures), these fuzz the *packet-level* protocol path with plain
+``random``/``numpy`` generators so failures replay from a literal seed:
+
+* every control Action round-trips through ``make_control_packet`` with
+  the modelled payload size and ToS tag intact;
+* random gradient vectors survive split -> chunked data packets ->
+  assemble bit-identically, for random plan geometries;
+* truncated, misordered, duplicated and mis-shaped frame sets are
+  rejected by ``assemble`` rather than silently producing garbage.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import (
+    FLOATS_PER_SEGMENT,
+    ISWITCH_UDP_PORT,
+    SEG_HEADER_BYTES,
+    TOS_CONTROL,
+    TOS_DATA_DOWN,
+    TOS_DATA_UP,
+    Action,
+    ControlMessage,
+    DataSegment,
+    SegmentPlan,
+    make_control_packet,
+    make_data_packet,
+)
+
+SEED = 0xC0FFEE
+N_TRIALS = 50
+
+
+def _random_plan(rng: random.Random) -> SegmentPlan:
+    return SegmentPlan(
+        n_elements=rng.randint(1, 8 * FLOATS_PER_SEGMENT + 17),
+        frames_per_chunk=rng.randint(1, 4),
+        wire_multiplier=rng.choice((1, 1, 1, 7)),
+    )
+
+
+def _random_vector(np_rng: np.random.Generator, n: int) -> np.ndarray:
+    return np_rng.standard_normal(n).astype(np.float32)
+
+
+#: Value payloads a fuzzer may legally attach to each Action.
+_ACTION_VALUES = {
+    Action.JOIN: lambda rng: {"model_bytes": rng.randint(4, 1 << 24)},
+    Action.LEAVE: lambda rng: None,
+    Action.RESET: lambda rng: None,
+    Action.SETH: lambda rng: rng.randint(1, 64),
+    Action.FBCAST: lambda rng: rng.randint(0, 1 << 32),
+    Action.HELP: lambda rng: rng.randint(0, 1 << 32),
+    Action.HALT: lambda rng: None,
+    Action.ACK: lambda rng: rng.choice((True, False)),
+}
+
+
+class TestControlPacketRoundTrip:
+    def test_fuzzer_covers_every_action(self):
+        assert set(_ACTION_VALUES) == set(Action)
+        assert len(Action) == 8
+
+    def test_all_actions_round_trip(self):
+        rng = random.Random(SEED)
+        for trial in range(N_TRIALS):
+            action = rng.choice(list(Action))
+            message = ControlMessage(
+                action=action,
+                value=_ACTION_VALUES[action](rng),
+                job=rng.randint(0, 15),
+            )
+            packet = make_control_packet("w0", "switch", message)
+            # The receiver sees exactly what was sent: tag, ports, object.
+            assert packet.tos == TOS_CONTROL, f"trial {trial}"
+            assert packet.dst_port == ISWITCH_UDP_PORT
+            assert packet.payload is message
+            assert packet.payload.action == action
+            assert packet.payload.job == message.job
+            assert packet.payload_size == message.payload_size
+            assert 1 <= packet.payload_size <= 1 + 16
+
+    def test_value_always_grows_the_payload(self):
+        rng = random.Random(SEED + 1)
+        for action in Action:
+            bare = ControlMessage(action=action).payload_size
+            value = _ACTION_VALUES[action](rng)
+            if value is None:
+                continue
+            assert ControlMessage(action=action, value=value).payload_size > bare
+
+
+class TestDataPathRoundTrip:
+    def test_split_packetize_assemble_round_trips(self):
+        rng = random.Random(SEED + 2)
+        np_rng = np.random.default_rng(SEED + 2)
+        for trial in range(N_TRIALS):
+            plan = _random_plan(rng)
+            vector = _random_vector(np_rng, plan.n_elements)
+            round_index = rng.randint(0, 999)
+            segments = plan.split(
+                vector, round_index, sender=f"w{trial}", commit_id=trial
+            )
+            packets = [
+                make_data_packet(
+                    f"w{trial}",
+                    "switch",
+                    segment,
+                    plan,
+                    downstream=rng.random() < 0.5,
+                )
+                for segment in segments
+            ]
+            for packet in packets:
+                assert packet.tos in (TOS_DATA_UP, TOS_DATA_DOWN)
+                assert packet.payload.wire_payload == packet.payload_size
+                assert packet.payload.wire_frames == packet.frame_count
+            # Wire accounting: payload bytes across the round cover the
+            # whole vector plus one Seg header per real frame.
+            assert sum(p.payload_size for p in packets) == (
+                plan.wire_multiplier * plan.wire_bytes
+            )
+            received = [p.payload for p in packets]
+            rng.shuffle(received)
+            out = plan.assemble(received)
+            np.testing.assert_array_equal(out, vector)
+
+    def test_seg_numbers_are_globally_unique_across_rounds(self):
+        rng = random.Random(SEED + 3)
+        for _ in range(N_TRIALS):
+            plan = _random_plan(rng)
+            rounds = rng.sample(range(1000), 3)
+            seen = set()
+            for round_index in rounds:
+                vector = np.zeros(plan.n_elements, dtype=np.float32)
+                for segment in plan.split(vector, round_index):
+                    assert segment.seg not in seen
+                    seen.add(segment.seg)
+                    assert plan.round_of_seg(segment.seg) == round_index
+
+
+class TestMalformedFrameRejection:
+    def _round(self, rng, np_rng):
+        plan = SegmentPlan(
+            n_elements=rng.randint(2 * FLOATS_PER_SEGMENT, 6 * FLOATS_PER_SEGMENT),
+            frames_per_chunk=1,
+        )
+        vector = _random_vector(np_rng, plan.n_elements)
+        return plan, plan.split(vector, rng.randint(0, 99))
+
+    def test_truncated_round_rejected(self):
+        rng = random.Random(SEED + 4)
+        np_rng = np.random.default_rng(SEED + 4)
+        for _ in range(N_TRIALS):
+            plan, segments = self._round(rng, np_rng)
+            del segments[rng.randrange(len(segments))]
+            with pytest.raises(ValueError, match="expected"):
+                plan.assemble(segments)
+
+    def test_foreign_round_segment_rejected(self):
+        rng = random.Random(SEED + 5)
+        np_rng = np.random.default_rng(SEED + 5)
+        for _ in range(N_TRIALS):
+            plan, segments = self._round(rng, np_rng)
+            victim = rng.randrange(len(segments))
+            # Replace one frame with a same-shaped frame from a round far
+            # beyond this one's Seg range.
+            foreign = DataSegment(
+                seg=segments[victim].seg + 100 * plan.n_chunks,
+                data=segments[victim].data,
+            )
+            segments[victim] = foreign
+            with pytest.raises(ValueError, match="not part of round"):
+                plan.assemble(segments)
+
+    def test_duplicated_frame_rejected(self):
+        rng = random.Random(SEED + 6)
+        np_rng = np.random.default_rng(SEED + 6)
+        for _ in range(N_TRIALS):
+            plan, segments = self._round(rng, np_rng)
+            victim, source = rng.sample(range(len(segments)), 2)
+            segments[victim] = segments[source]
+            with pytest.raises(ValueError, match="duplicate|expected|part of"):
+                plan.assemble(segments)
+
+    def test_short_frame_payload_rejected(self):
+        rng = random.Random(SEED + 7)
+        np_rng = np.random.default_rng(SEED + 7)
+        for _ in range(N_TRIALS):
+            plan, segments = self._round(rng, np_rng)
+            victim = rng.randrange(len(segments) - 1)  # not the short tail
+            truncated = segments[victim]
+            segments[victim] = DataSegment(
+                seg=truncated.seg, data=truncated.data[:-1]
+            )
+            with pytest.raises(ValueError, match="elements"):
+                plan.assemble(segments)
+
+    def test_negative_seg_rejected_at_construction(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            DataSegment(seg=-1, data=np.zeros(1, dtype=np.float32))
+
+    def test_oversized_frame_payload_rejected(self):
+        plan = SegmentPlan(n_elements=3 * FLOATS_PER_SEGMENT)
+        vector = np.zeros(plan.n_elements, dtype=np.float32)
+        segments = plan.split(vector, 0)
+        segments[0] = DataSegment(
+            seg=segments[0].seg,
+            data=np.zeros(FLOATS_PER_SEGMENT + 1, dtype=np.float32),
+        )
+        with pytest.raises(ValueError, match="elements"):
+            plan.assemble(segments)
+
+    def test_seg_header_matches_figure5(self):
+        assert SEG_HEADER_BYTES == 8

@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Thin launcher for the wall-clock benchmark harness.
+
+Equivalent to ``python -m repro bench``; exists so CI and the Makefile can
+invoke the harness without installing the package::
+
+    PYTHONPATH=src python tools/bench.py --out BENCH_PR4.json
+    PYTHONPATH=src python tools/bench.py --smoke --budget 120
+
+See :mod:`repro.bench` for the scenario matrix and the report schema.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
