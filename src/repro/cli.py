@@ -56,7 +56,7 @@ EXPERIMENTS = {
 
 def format_strategy_table() -> str:
     """A table of every registered (mode, strategy) pair and its needs."""
-    rows = [("mode", "strategy", "class", "needs server", "needs iswitch")]
+    rows = [("mode", "strategy", "class", "needs server", "needs iswitch", "live")]
     specs = sorted(strategy_specs(), key=lambda s: MODES.index(s.mode))
     for spec in specs:
         rows.append(
@@ -66,6 +66,7 @@ def format_strategy_table() -> str:
                 spec.cls.__name__,
                 "yes" if spec.requires_server else "no",
                 "yes" if spec.requires_iswitch else "no",
+                "yes" if spec.supports_live else "no",
             )
         )
     widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
@@ -76,6 +77,10 @@ def format_strategy_table() -> str:
     lines.append(
         "iSwitch strategies are the loss-tolerant ones; only they accept "
         "--loss-rate > 0."
+    )
+    lines.append(
+        "'live' strategies can run for real over loopback UDP: "
+        "repro train --backend live (see README, 'Live mode')."
     )
     return "\n".join(lines)
 
@@ -143,7 +148,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("dqn", "a2c", "ppo", "ddpg", "synth"),
         default="dqn",
     )
-    train.add_argument("--workers", type=int, default=4)
+    train.add_argument(
+        "--backend",
+        choices=("sim", "live"),
+        default="sim",
+        help="sim: discrete-event simulator (default); live: real worker/"
+        "switch processes over loopback UDP (sync isw/ps only)",
+    )
+    train.add_argument("--workers", "-n", type=int, default=4)
     train.add_argument("--iterations", type=int, default=50)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument(
@@ -239,14 +251,21 @@ def _write_telemetry(result, args: argparse.Namespace) -> None:
 
 
 def _run_training(args: argparse.Namespace) -> int:
-    if args.mode == "sync":
-        if args.strategy not in SYNC_STRATEGIES:
+    # Accept mode-qualified names ("sync-isw") like ExperimentConfig does.
+    strategy, mode = args.strategy, args.mode
+    for prefix in ("sync", "async"):
+        if strategy.startswith(prefix + "-"):
+            strategy = strategy[len(prefix) + 1 :]
+            mode = prefix
+            break
+    if mode == "sync":
+        if strategy not in SYNC_STRATEGIES:
             print(
                 f"sync strategies: {', '.join(SYNC_STRATEGIES)}", file=sys.stderr
             )
             return 2
     else:
-        if args.strategy not in ASYNC_STRATEGIES:
+        if strategy not in ASYNC_STRATEGIES:
             print(
                 f"async strategies: {', '.join(ASYNC_STRATEGIES)}", file=sys.stderr
             )
@@ -254,9 +273,10 @@ def _run_training(args: argparse.Namespace) -> int:
     want_telemetry = bool(args.trace_out or args.metrics_out)
     try:
         config = ExperimentConfig(
-            strategy=args.strategy,
+            strategy=strategy,
             workload=args.workload,
-            mode=args.mode,
+            mode=mode,
+            backend=args.backend,
             n_workers=args.workers,
             iterations=args.iterations,
             seed=args.seed,
@@ -267,22 +287,45 @@ def _run_training(args: argparse.Namespace) -> int:
             fault_plan=args.fault_plan,
         )
         result = run(config)
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, RuntimeError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     if want_telemetry:
         _write_telemetry(result, args)
+    live = result.extras.get("backend") == "live"
     print(f"strategy:           {result.strategy}")
     print(f"workload:           {result.workload}")
+    print(f"backend:            {'live (loopback UDP)' if live else 'sim'}")
     print(f"workers:            {result.n_workers}")
     print(f"iterations:         {result.iterations}")
-    print(f"simulated time:     {result.elapsed:.3f} s")
+    elapsed_label = "train wall time" if live else "simulated time"
+    print(f"{elapsed_label + ':':<19} {result.elapsed:.3f} s")
     print(f"per-iteration time: {result.per_iteration_time * 1e3:.3f} ms")
     if "mean_staleness" in result.extras:
         print(f"mean staleness:     {result.extras['mean_staleness']:.2f}")
-    reward = result.final_average_reward
-    if reward != float("-inf"):
-        print(f"avg episode reward: {reward:.2f}")
+    if live:
+        stats = result.extras["server_stats"]
+        frames_rx = stats.get("frames_rx", 0)
+        frames_tx = stats.get("frames_tx", 0)
+        print(f"switch frames:      {frames_rx} rx / {frames_tx} tx")
+        drops = stats.get("drops_injected", 0)
+        if drops:
+            helps = sum(
+                c.get("help_sent", 0)
+                for c in result.extras["worker_counters"].values()
+            )
+            print(f"loss recovery:      {drops} drops injected, {helps} Helps sent")
+        rewards = [
+            r
+            for r in result.extras.get("rewards", {}).values()
+            if r != float("-inf")
+        ]
+        if rewards:
+            print(f"avg episode reward: {sum(rewards) / len(rewards):.2f}")
+    else:
+        reward = result.final_average_reward
+        if reward != float("-inf"):
+            print(f"avg episode reward: {reward:.2f}")
     if result.fault_report is not None:
         for line in result.fault_report.summary():
             print(line)

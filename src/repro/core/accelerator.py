@@ -100,6 +100,18 @@ class AggregationEngine:
         loss-recovery tests and is off by default.
     cache_size:
         How many completed segments to keep for ``Help`` retransmission.
+    canonical_order:
+        When true, contributions are *held* per segment and summed only at
+        completion, in canonical sender order (rank order) rather than
+        arrival order.  float32 addition is not associative, so the
+        default on-the-fly engine's sums depend on which packet arrived
+        first; canonical order makes the sum a pure function of the
+        contributions.  The live UDP backend (nondeterministic arrival)
+        always runs canonical, and the simulator can opt in
+        (``ExperimentConfig(deterministic_aggregation=True)``) so sim and
+        live produce bit-identical results.  Off by default: on-the-fly
+        summation is the paper's datapath and the golden regressions pin
+        its numerics.
     buffer_limit:
         Maximum number of live (partially aggregated) segments, modelling
         the bounded on-chip BRAM.  When exceeded, the *oldest* (lowest
@@ -117,6 +129,7 @@ class AggregationEngine:
         cache_size: int = 4096,
         timing: Optional[AcceleratorTiming] = None,
         buffer_limit: Optional[int] = None,
+        canonical_order: bool = False,
     ) -> None:
         if threshold < 1:
             raise ValueError(f"threshold H must be >= 1, got {threshold}")
@@ -126,6 +139,7 @@ class AggregationEngine:
         self.dedup = dedup
         self.cache_size = cache_size
         self.buffer_limit = buffer_limit
+        self.canonical_order = canonical_order
         self.timing = timing or AcceleratorTiming()
         self.stats = AggregationStats()
         #: When set to the plan's chunk count, incoming Seg numbers are
@@ -140,6 +154,9 @@ class AggregationEngine:
         self._arrivals: Dict[int, int] = {}
         self._shapes: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
         self._buffers: Dict[int, np.ndarray] = {}
+        #: canonical_order mode: contributions held until completion, as
+        #: (sender, commit_id, private float32 copy) tuples.
+        self._pending: Dict[int, List[Tuple[str, int, np.ndarray]]] = {}
         self._counters: Dict[int, int] = {}
         self._latency_cache: Dict[int, float] = {}
         self._contributors: Dict[int, Set[Tuple[str, int]]] = {}
@@ -173,6 +190,7 @@ class AggregationEngine:
         recovery the Reset exists for.
         """
         self._buffers.clear()
+        self._pending.clear()
         self._counters.clear()
         self._contributors.clear()
         self._result_cache.clear()
@@ -237,6 +255,29 @@ class AggregationEngine:
             self._first_arrival[seg] = self.clock()
         if segment.wire_payload is not None and seg not in self._shapes:
             self._shapes[seg] = (segment.wire_payload, segment.wire_frames)
+        if self.canonical_order:
+            entries = self._pending.setdefault(seg, [])
+            if entries and entries[0][2].shape != segment.data.shape:
+                raise ValueError(
+                    f"segment {seg}: contribution shape {segment.data.shape} "
+                    f"!= held shape {entries[0][2].shape}"
+                )
+            entries.append(
+                (
+                    segment.sender,
+                    segment.commit_id,
+                    np.array(segment.data, dtype=np.float32),
+                )
+            )
+            self._counters[seg] = len(entries)
+            n_live = len(self._pending)
+            if n_live > stats.max_live_segments:
+                stats.max_live_segments = n_live
+            if len(entries) >= self.threshold:
+                return self._complete(seg)
+            if self.buffer_limit is not None and n_live > self.buffer_limit:
+                self._evict_oldest()
+            return None
         buffer = self._buffers.get(seg)
         if buffer is None:
             # First arrival provides the buffer (the hardware keeps it
@@ -274,9 +315,10 @@ class AggregationEngine:
 
     def _evict_oldest(self) -> None:
         """Drop the stalest partial buffers to honour ``buffer_limit``."""
-        excess = len(self._buffers) - self.buffer_limit
-        for seg in sorted(self._buffers)[:excess]:
-            del self._buffers[seg]
+        store = self._pending if self.canonical_order else self._buffers
+        excess = len(store) - self.buffer_limit
+        for seg in sorted(store)[:excess]:
+            del store[seg]
             self._counters.pop(seg, None)
             self._contributors.pop(seg, None)
             self._shapes.pop(seg, None)
@@ -285,7 +327,17 @@ class AggregationEngine:
 
     def _complete(self, seg: int) -> DataSegment:
         """Emit the summed segment, zero the buffer, reset the counter."""
-        data = self._buffers.pop(seg)
+        if self.canonical_order:
+            entries = self._pending.pop(seg)
+            # Canonical order: shortest-then-lexicographic sender name, so
+            # "worker2" < "worker10", then commit id.  This is rank order
+            # for every naming scheme the repo uses.
+            entries.sort(key=lambda e: (len(e[0]), e[0], e[1]))
+            data = entries[0][2]
+            for _, _, contribution in entries[1:]:
+                data += contribution
+        else:
+            data = self._buffers.pop(seg)
         self._counters.pop(seg, None)
         self._contributors.pop(seg, None)
         started = self._first_arrival.pop(seg, None)
@@ -308,7 +360,7 @@ class AggregationEngine:
         Returns ``None`` if nothing has arrived for ``seg`` (including the
         case where it already completed and was flushed).
         """
-        if seg not in self._buffers:
+        if seg not in self._buffers and seg not in self._pending:
             return None
         self.stats.forced_broadcasts += 1
         return self._complete(seg)
@@ -332,7 +384,7 @@ class AggregationEngine:
     @property
     def live_segments(self) -> int:
         """Number of partially aggregated segments currently buffered."""
-        return len(self._buffers)
+        return len(self._buffers) + len(self._pending)
 
     def processing_latency(self, payload_bytes: int) -> float:
         """Datapath occupancy for a packet of ``payload_bytes`` (seconds)."""

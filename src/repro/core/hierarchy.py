@@ -26,6 +26,7 @@ from .switch import ISwitch
 __all__ = [
     "iswitch_factory",
     "dedup_iswitch_factory",
+    "make_iswitch_factory",
     "configure_aggregation",
     "aggregation_switches",
 ]
@@ -40,6 +41,20 @@ def dedup_iswitch_factory(sim, name: str) -> ISwitch:
     """An iSwitch factory with duplicate suppression enabled — required on
     lossy links, where Help-triggered retransmissions must be idempotent."""
     return ISwitch(sim, name, dedup=True)
+
+
+def make_iswitch_factory(dedup: bool = False, canonical: bool = False):
+    """Build an iSwitch factory with the given engine options.
+
+    ``canonical`` selects canonical-order summation (see
+    :class:`~repro.core.accelerator.AggregationEngine`), used when the
+    simulator must be bit-comparable with the live UDP backend.
+    """
+
+    def factory(sim, name: str) -> ISwitch:
+        return ISwitch(sim, name, dedup=dedup, canonical=canonical)
+
+    return factory
 
 
 def _require_iswitch(switch: EthernetSwitch) -> ISwitch:

@@ -32,11 +32,14 @@ class JobState:
         job_id: int,
         dedup: bool = False,
         timing: Optional[AcceleratorTiming] = None,
+        canonical: bool = False,
     ) -> None:
         if not 0 <= job_id <= MAX_JOB_ID:
             raise ValueError(f"job id must fit 16 bits, got {job_id}")
         self.job_id = job_id
-        self.engine = AggregationEngine(threshold=1, dedup=dedup, timing=timing)
+        self.engine = AggregationEngine(
+            threshold=1, dedup=dedup, timing=timing, canonical_order=canonical
+        )
         self.members = MembershipTable()
 
 
@@ -48,11 +51,13 @@ class JobTable:
         dedup: bool = False,
         timing: Optional[AcceleratorTiming] = None,
         max_jobs: int = 64,
+        canonical: bool = False,
     ) -> None:
         if max_jobs < 1:
             raise ValueError(f"max_jobs must be >= 1, got {max_jobs}")
         self._dedup = dedup
         self._timing = timing
+        self._canonical = canonical
         self.max_jobs = max_jobs
         self._jobs: Dict[int, JobState] = {}
         self.get(DEFAULT_JOB)  # job 0 always exists
@@ -66,7 +71,12 @@ class JobTable:
                     f"switch job table full ({self.max_jobs} jobs); "
                     "Leave an existing job first"
                 )
-            state = JobState(job_id, dedup=self._dedup, timing=self._timing)
+            state = JobState(
+                job_id,
+                dedup=self._dedup,
+                timing=self._timing,
+                canonical=self._canonical,
+            )
             self._jobs[job_id] = state
         return state
 

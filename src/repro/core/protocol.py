@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import enum
 import math
+import struct
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -42,10 +43,17 @@ __all__ = [
     "SEG_PAYLOAD_BYTES",
     "FLOATS_PER_SEGMENT",
     "FLOAT_BYTES",
+    "MAX_JOB_ID",
+    "MAX_SEG_INDEX",
     "Action",
+    "ProtocolError",
+    "JoinInfo",
     "ControlMessage",
     "DataSegment",
     "SegmentPlan",
+    "encode_control",
+    "encode_data",
+    "decode_frame",
     "make_control_packet",
     "make_data_packet",
 ]
@@ -63,6 +71,12 @@ FLOAT_BYTES = 4  # "raw float-point format", fp32
 SEG_PAYLOAD_BYTES = MAX_UDP_PAYLOAD - SEG_HEADER_BYTES  # 1464 B
 FLOATS_PER_SEGMENT = SEG_PAYLOAD_BYTES // FLOAT_BYTES  # 366 elements
 
+#: Job ids ride in reserved high bits of existing fields (see
+#: :class:`ControlMessage`); 7 bits keep every encoding uniform.
+MAX_JOB_ID = 127
+#: Seg indices share their 8-byte field with the job id: low 56 bits.
+MAX_SEG_INDEX = (1 << 56) - 1
+
 
 class Action(enum.IntEnum):
     """Control-message action codes (Table 2)."""
@@ -75,6 +89,30 @@ class Action(enum.IntEnum):
     HELP = 6  #: Request a lost data packet for a worker
     HALT = 7  #: Suspend the training job on all workers
     ACK = 8  #: Confirm the success/failure of actions
+
+
+class ProtocolError(ValueError):
+    """A frame cannot be encoded to / decoded from the wire format.
+
+    Raised for malformed, truncated, or out-of-range frames; decoding
+    arbitrary bytes must raise this (or return a valid message), never
+    crash with an unrelated exception.
+    """
+
+
+@dataclass(slots=True)
+class JoinInfo:
+    """The Value payload of a JOIN control message (16 bytes on the wire).
+
+    Carries the metadata a switch needs to admit a member: what kind of
+    node is joining, its rank (used as the canonical sender identity in
+    live mode), and the gradient geometry it will stream.
+    """
+
+    member_type: str = "worker"  #: ``"worker"`` or ``"switch"``
+    rank: int = 0
+    n_elements: int = 0
+    n_chunks: int = 0
 
 
 @dataclass(slots=True)
@@ -132,6 +170,21 @@ class DataSegment:
     def __post_init__(self) -> None:
         if self.seg < 0:
             raise ValueError(f"Seg index must be >= 0, got {self.seg}")
+        if not isinstance(self.data, np.ndarray):
+            raise TypeError(
+                f"DataSegment.data must be an ndarray, got {type(self.data).__name__}"
+            )
+        if self.data.dtype != np.float32:
+            raise ValueError(
+                f"DataSegment.data must be float32, got {self.data.dtype}; "
+                "the wire codec would silently reinterpret other dtypes"
+            )
+        if self.data.ndim != 1:
+            raise ValueError(
+                f"DataSegment.data must be 1-D, got shape {self.data.shape}"
+            )
+        if not self.data.flags.c_contiguous:
+            raise ValueError("DataSegment.data must be C-contiguous")
 
 
 class SegmentPlan:
@@ -231,6 +284,8 @@ class SegmentPlan:
         base = round_index * self.n_chunks
         if vector.dtype != np.float32:
             vector = vector.astype(np.float32)
+        else:
+            vector = np.ascontiguousarray(vector)
         return [
             DataSegment(
                 seg=base + chunk,
@@ -281,6 +336,206 @@ class SegmentPlan:
     def chunk_of_seg(self, seg: int) -> int:
         """Chunk offset of a global Seg number within its round."""
         return seg % self.n_chunks
+
+
+# ---------------------------------------------------------------------------
+# Byte codec (docs/PROTOCOL.md §7)
+# ---------------------------------------------------------------------------
+#
+# A wire frame is the 1-byte ToS tag followed by the UDP payload exactly as
+# PROTOCOL.md lays it out.  On a real network the tag lives in the IP
+# header's ToS byte, which portable UDP sockets can neither set per-packet
+# nor read back; prefixing it keeps loopback frames self-describing while
+# leaving every modelled payload byte identical.  All multi-byte fields are
+# little-endian.
+
+_MEMBER_CODES = {"worker": 1, "switch": 2}
+_MEMBER_NAMES = {code: name for name, code in _MEMBER_CODES.items()}
+
+#: JOIN Value layout: member code, rank, job, n_elements, n_chunks, reserved.
+_JOIN_STRUCT = struct.Struct("<BBHIII")
+
+_SETH_H_BITS = 24  # low bits of the 32-bit SETH Value; high 8 carry the job
+
+
+def encode_control(message: ControlMessage) -> bytes:
+    """Serialize a control message to its wire frame.
+
+    The frame is exactly ``1 + message.payload_size`` bytes: the ToS tag
+    plus the modelled Action/Value payload.  Raises :class:`ProtocolError`
+    for values the layout cannot carry.
+    """
+    try:
+        action = Action(message.action)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown action {message.action!r}") from exc
+    job = message.job
+    if not isinstance(job, int) or not 0 <= job <= MAX_JOB_ID:
+        raise ProtocolError(f"job id must be in [0, {MAX_JOB_ID}], got {job!r}")
+    head = bytes((TOS_CONTROL, action))
+    value = message.value
+    if value is None:
+        if job:
+            raise ProtocolError(
+                f"{action.name} without a Value has no field to carry job {job}"
+            )
+        return head
+    if action == Action.JOIN:
+        if not isinstance(value, JoinInfo):
+            raise ProtocolError(
+                f"JOIN Value must be a JoinInfo, got {type(value).__name__}"
+            )
+        code = _MEMBER_CODES.get(value.member_type)
+        if code is None:
+            raise ProtocolError(f"unknown member type {value.member_type!r}")
+        if not 0 <= value.rank <= 0xFF:
+            raise ProtocolError(f"rank must fit one byte, got {value.rank}")
+        if not 0 <= value.n_elements <= 0xFFFFFFFF:
+            raise ProtocolError(f"n_elements out of range: {value.n_elements}")
+        if not 0 <= value.n_chunks <= 0xFFFFFFFF:
+            raise ProtocolError(f"n_chunks out of range: {value.n_chunks}")
+        return head + _JOIN_STRUCT.pack(
+            code, value.rank, job, value.n_elements, value.n_chunks, 0
+        )
+    if not isinstance(value, int):
+        raise ProtocolError(
+            f"{action.name} Value must be an int, got {type(value).__name__}"
+        )
+    if action == Action.SETH:
+        if not 0 <= value < 1 << _SETH_H_BITS:
+            raise ProtocolError(f"SETH H must fit {_SETH_H_BITS} bits, got {value}")
+        return head + struct.pack("<I", (job << _SETH_H_BITS) | value)
+    if action == Action.ACK:
+        if value not in (0, 1):
+            raise ProtocolError(f"ACK flag must be 0 or 1, got {value}")
+        return head + struct.pack("<B", (job << 1) | value)
+    # FBCAST/HELP carry a Seg index; LEAVE/RESET/HALT reuse the same
+    # 8-byte Value layout for any ad-hoc integer payload.
+    if not 0 <= value <= MAX_SEG_INDEX:
+        raise ProtocolError(
+            f"{action.name} Value must be in [0, {MAX_SEG_INDEX}], got {value}"
+        )
+    return head + struct.pack("<Q", (job << 56) | value)
+
+
+def encode_data(segment: DataSegment, downstream: bool = False) -> bytes:
+    """Serialize one data segment to its wire frame (Figure 5b).
+
+    The frame is the ToS tag, the 8-byte Seg field (job id in the high
+    bits), then the raw little-endian float32 payload.
+    """
+    if not 0 <= segment.job <= MAX_JOB_ID:
+        raise ProtocolError(
+            f"job id must be in [0, {MAX_JOB_ID}], got {segment.job}"
+        )
+    if segment.seg > MAX_SEG_INDEX:
+        raise ProtocolError(f"Seg index {segment.seg} exceeds {MAX_SEG_INDEX}")
+    if segment.data.size > FLOATS_PER_SEGMENT:
+        raise ProtocolError(
+            f"{segment.data.size} floats exceed one frame's "
+            f"{FLOATS_PER_SEGMENT}-element capacity"
+        )
+    tos = TOS_DATA_DOWN if downstream else TOS_DATA_UP
+    header = struct.pack("<BQ", tos, (segment.job << 56) | segment.seg)
+    return header + segment.data.astype("<f4", copy=False).tobytes()
+
+
+def decode_frame(
+    frame: Union[bytes, bytearray, memoryview],
+) -> Tuple[int, Union[ControlMessage, DataSegment]]:
+    """Parse a wire frame back into ``(tos, message)``.
+
+    The inverse of :func:`encode_control` / :func:`encode_data`:
+    round-trips are lossless.  Malformed input of any kind raises
+    :class:`ProtocolError`; no other exception escapes.
+    """
+    buf = bytes(frame)
+    if not buf:
+        raise ProtocolError("empty frame")
+    tos = buf[0]
+    if tos == TOS_CONTROL:
+        return tos, _decode_control(buf)
+    if tos in (TOS_DATA_UP, TOS_DATA_DOWN):
+        return tos, _decode_data(buf)
+    raise ProtocolError(f"unknown ToS tag 0x{tos:02x}")
+
+
+def _decode_job(word_high: int) -> int:
+    if word_high > MAX_JOB_ID:
+        raise ProtocolError(f"job id {word_high} exceeds {MAX_JOB_ID}")
+    return word_high
+
+
+def _decode_control(buf: bytes) -> ControlMessage:
+    if len(buf) < 2:
+        raise ProtocolError("control frame is missing its Action byte")
+    try:
+        action = Action(buf[1])
+    except ValueError as exc:
+        raise ProtocolError(f"unknown action code {buf[1]}") from exc
+    body = buf[2:]
+    if not body:
+        return ControlMessage(action=action, value=None, job=0)
+    if action == Action.JOIN:
+        if len(body) != _JOIN_STRUCT.size:
+            raise ProtocolError(
+                f"JOIN Value must be {_JOIN_STRUCT.size} bytes, got {len(body)}"
+            )
+        code, rank, job, n_elements, n_chunks, reserved = _JOIN_STRUCT.unpack(body)
+        if reserved:
+            raise ProtocolError(f"JOIN reserved field must be zero, got {reserved}")
+        member = _MEMBER_NAMES.get(code)
+        if member is None:
+            raise ProtocolError(f"unknown member code {code}")
+        info = JoinInfo(
+            member_type=member, rank=rank, n_elements=n_elements, n_chunks=n_chunks
+        )
+        return ControlMessage(action=action, value=info, job=_decode_job(job))
+    if action == Action.SETH:
+        if len(body) != 4:
+            raise ProtocolError(f"SETH Value must be 4 bytes, got {len(body)}")
+        word = struct.unpack("<I", body)[0]
+        return ControlMessage(
+            action=action,
+            value=word & ((1 << _SETH_H_BITS) - 1),
+            job=_decode_job(word >> _SETH_H_BITS),
+        )
+    if action == Action.ACK:
+        if len(body) != 1:
+            raise ProtocolError(f"ACK Value must be 1 byte, got {len(body)}")
+        return ControlMessage(action=action, value=body[0] & 1, job=body[0] >> 1)
+    if len(body) != SEG_HEADER_BYTES:
+        raise ProtocolError(
+            f"{action.name} Value must be {SEG_HEADER_BYTES} bytes, got {len(body)}"
+        )
+    word = struct.unpack("<Q", body)[0]
+    return ControlMessage(
+        action=action, value=word & MAX_SEG_INDEX, job=_decode_job(word >> 56)
+    )
+
+
+def _decode_data(buf: bytes) -> DataSegment:
+    if len(buf) < 1 + SEG_HEADER_BYTES:
+        raise ProtocolError(
+            f"data frame shorter than its {SEG_HEADER_BYTES}-byte Seg header"
+        )
+    body_len = len(buf) - 1 - SEG_HEADER_BYTES
+    if body_len % FLOAT_BYTES:
+        raise ProtocolError(
+            f"data payload of {body_len} B is not whole float32 elements"
+        )
+    if body_len > SEG_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"data payload of {body_len} B exceeds one frame "
+            f"({SEG_PAYLOAD_BYTES} B max)"
+        )
+    word = struct.unpack_from("<Q", buf, 1)[0]
+    data = np.frombuffer(buf, dtype="<f4", offset=1 + SEG_HEADER_BYTES)
+    return DataSegment(
+        seg=word & MAX_SEG_INDEX,
+        data=data.astype(np.float32),  # a fresh, writable, native-order copy
+        job=_decode_job(word >> 56),
+    )
 
 
 def make_control_packet(

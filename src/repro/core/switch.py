@@ -56,10 +56,11 @@ class ISwitch(EthernetSwitch):
         latency: float = DEFAULT_SWITCH_LATENCY,
         dedup: bool = False,
         timing: Optional[AcceleratorTiming] = None,
+        canonical: bool = False,
     ) -> None:
         super().__init__(sim, name, latency=latency)
         #: Per-job aggregation state; job 0 is the single-tenant default.
-        self.jobs = JobTable(dedup=dedup, timing=timing)
+        self.jobs = JobTable(dedup=dedup, timing=timing, canonical=canonical)
         #: Address of the parent iSwitch for hierarchical aggregation,
         #: or ``None`` if this switch is the (local) aggregation root.
         self.parent_address: Optional[str] = None

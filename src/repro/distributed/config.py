@@ -31,6 +31,7 @@ __all__ = ["ExperimentConfig", "DEFAULT_RECOVERY_TIMEOUT"]
 DEFAULT_RECOVERY_TIMEOUT = 0.5e-3
 
 _WORKLOADS = ("dqn", "a2c", "ppo", "ddpg", "synth")
+_BACKENDS = ("sim", "live")
 
 
 @dataclass
@@ -40,6 +41,16 @@ class ExperimentConfig:
     strategy: str = "isw"
     workload: str = "dqn"
     mode: str = "sync"
+    #: Execution backend: ``"sim"`` (the discrete-event simulator) or
+    #: ``"live"`` (worker/switch processes exchanging encoded frames over
+    #: loopback UDP; see :mod:`repro.live`).
+    backend: str = "sim"
+    #: Sum contributions in canonical (rank) order instead of arrival
+    #: order.  float32 addition is order-sensitive; the live backend is
+    #: always canonical, so set this on a sim run to make the two
+    #: bit-comparable.  Off by default — the golden regressions pin the
+    #: paper's on-the-fly arrival-order numerics.
+    deterministic_aggregation: bool = False
     n_workers: int = 4
     #: Iterations (sync) or weight updates (async) to simulate.
     iterations: int = 50
@@ -72,8 +83,21 @@ class ExperimentConfig:
         self.strategy = self.strategy.lower()
         self.mode = self.mode.lower()
         self.workload = self.workload.lower()
+        self.backend = self.backend.lower()
+        # Accept mode-qualified strategy names ("sync-isw", "async-ps"):
+        # the prefix sets the mode, matching how results and docs label
+        # strategies.
+        for prefix in ("sync", "async"):
+            if self.strategy.startswith(prefix + "-"):
+                self.strategy = self.strategy[len(prefix) + 1 :]
+                self.mode = prefix
+                break
         if self.mode not in ("sync", "async"):
             raise ValueError(f"mode must be 'sync' or 'async', got {self.mode!r}")
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
         if self.workload not in _WORKLOADS:
             raise ValueError(
                 f"unknown workload {self.workload!r}; choose {_WORKLOADS}"

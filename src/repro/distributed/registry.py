@@ -47,6 +47,9 @@ class StrategySpec:
     #: Topology must be built with iSwitch fabric (and the strategy is
     #: loss-tolerant: it can recover from dropped packets).
     requires_iswitch: bool = False
+    #: The live UDP backend (:mod:`repro.live`) can execute this strategy
+    #: for real over loopback sockets.
+    supports_live: bool = False
 
 
 _REGISTRY: Dict[Tuple[str, str], StrategySpec] = {}
@@ -58,6 +61,7 @@ def register_strategy(
     *,
     requires_server: bool = False,
     requires_iswitch: bool = False,
+    supports_live: bool = False,
 ):
     """Class decorator registering a strategy under ``(mode, name)``.
 
@@ -86,6 +90,7 @@ def register_strategy(
             cls=cls,
             requires_server=requires_server,
             requires_iswitch=requires_iswitch,
+            supports_live=supports_live,
         )
         return cls
 

@@ -24,7 +24,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core.hierarchy import dedup_iswitch_factory, iswitch_factory
+from ..core.hierarchy import (
+    dedup_iswitch_factory,
+    iswitch_factory,
+    make_iswitch_factory,
+)
 from ..netsim.events import Simulator
 from ..netsim.topology import build_rack_tree, build_star
 from ..rl.a2c import A2C
@@ -110,6 +114,7 @@ def build_cluster(
     loss_rate: float = 0.0,
     dedup: bool = False,
     telemetry: Optional[TelemetryHub] = None,
+    canonical: bool = False,
 ) -> tuple:
     """Build (network, workers) for one experiment.
 
@@ -124,7 +129,10 @@ def build_cluster(
     """
     sim = Simulator(telemetry=telemetry)
     if use_iswitch:
-        factory = dedup_iswitch_factory if dedup else iswitch_factory
+        if canonical:
+            factory = make_iswitch_factory(dedup=dedup, canonical=True)
+        else:
+            factory = dedup_iswitch_factory if dedup else iswitch_factory
         kwargs = {"switch_factory": factory}
     else:
         kwargs = {}
@@ -188,6 +196,10 @@ def run(config: ExperimentConfig) -> TrainingResult:
     ``ValueError`` for configurations the strategy cannot honour (e.g.
     packet loss with a strategy that has no loss recovery).
     """
+    if config.backend == "live":
+        from ..live.runner import run_live
+
+        return run_live(config)
     spec = get_strategy(config.mode, config.strategy)
     if config.loss_rate > 0 and not spec.requires_iswitch:
         raise ValueError(
@@ -209,6 +221,7 @@ def run(config: ExperimentConfig) -> TrainingResult:
         loss_rate=config.loss_rate,
         dedup=spec.requires_iswitch and (config.loss_rate > 0 or plan is not None),
         telemetry=hub,
+        canonical=config.deterministic_aggregation and spec.requires_iswitch,
     )
     runner = spec.cls.create(net, workers, profile, config)
     injector = None

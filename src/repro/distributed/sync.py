@@ -283,7 +283,7 @@ class SyncStrategy:
         self.sim.schedule(ingest + lwu, apply, name=f"lwu:w{worker.index}")
 
 
-@register_strategy("sync", "ps", requires_server=True)
+@register_strategy("sync", "ps", requires_server=True, supports_live=True)
 class SyncParameterServer(SyncStrategy):
     """Figure 1a: centralized PS = ``ps_gather`` + ``ps_scatter``."""
 
@@ -404,7 +404,7 @@ class HalvingDoublingAllReduce(_ExchangeAllReduce):
         )
 
 
-@register_strategy("sync", "isw", requires_iswitch=True)
+@register_strategy("sync", "isw", requires_iswitch=True, supports_live=True)
 class SyncISwitch(SyncStrategy):
     """Figure 1c: in-switch aggregation = one ``iswitch_stream``.
 

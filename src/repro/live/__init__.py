@@ -1,0 +1,25 @@
+"""Live execution backend: the iSwitch protocol over real loopback UDP.
+
+Where :mod:`repro.netsim` *models* packets, this package moves real
+datagrams: worker processes encode gradients with the byte codec in
+:mod:`repro.core.protocol` and exchange them with a software-switch
+process (wrapping the same :class:`~repro.core.accelerator.AggregationEngine`
+the simulator uses) over loopback UDP sockets.  Membership uses real
+Join/SetH control packets; lost datagrams are recovered through the
+watchdog/Help retransmission path of the paper's §3.4.
+
+Entry points:
+
+* ``ExperimentConfig(backend="live")`` + :func:`repro.distributed.run`
+* ``repro train --backend live --strategy sync-isw -n 4``
+* :func:`repro.live.runner.run_live` directly
+
+The backend exists to *validate* the protocol and the simulator against
+each other: the sim↔live conformance suite
+(``tests/test_live_conformance.py``) asserts bit-identical aggregated
+sums and final weights for the same seeds.
+"""
+
+from .runner import LiveRunError, run_live
+
+__all__ = ["LiveRunError", "run_live"]

@@ -1,0 +1,328 @@
+"""Live sync-PS baseline: a parameter-server process over loopback UDP.
+
+The paper's PS baseline is ordinary host-level networking, not the
+iSwitch protocol, so this module uses its own minimal framing rather
+than :mod:`repro.core.protocol`:
+
+=========  =====================================================
+Tag byte   Body (little-endian)
+=========  =====================================================
+``J``      u8 rank — join
+``A``      — ack (server → worker)
+``G``      — go: all workers joined (server → worker)
+``U``      u8 rank, u32 round, u32 chunk, float32[] gradient chunk
+``D``      u32 round, u32 chunk, float64[] summed chunk
+``H``      u8 rank, u32 round, u32 chunk — resend request
+``L``      u8 rank — leave
+=========  =====================================================
+
+The server sums each chunk in float64 **rank order** once all ``N``
+contributions arrived.  The simulator's ``SyncParameterServer`` sums in
+float64 arrival order; for gradients of one workload's dynamic range the
+float64 sums are exact either way (the repo's golden hashes show ps,
+ring, and halving/doubling — three different orders — already agree), so
+sim and live stay bit-identical without a canonical mode here.
+
+Chunks carry 183 elements in both directions, so one float64 result
+chunk (1464 B) and one float32 gradient chunk (732 B) both fit a single
+MTU-sized datagram and share chunk indexing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..rl.base import Algorithm
+from .transport import Address, UdpEndpoint
+
+__all__ = ["PsServer", "LivePsWorker", "PS_CHUNK_ELEMS"]
+
+#: Elements per chunk; 183 float64 = 1464 B, matching the iSwitch
+#: segment payload budget.
+PS_CHUNK_ELEMS = 183
+
+_UP_HEADER = struct.Struct("<BII")
+_DOWN_HEADER = struct.Struct("<II")
+
+JOIN_RESEND_PERIOD = 0.5
+JOIN_DEADLINE = 30.0
+
+
+def _n_chunks(n_elements: int) -> int:
+    return -(-n_elements // PS_CHUNK_ELEMS)
+
+
+def _chunk_bounds(chunk: int, n_elements: int) -> Tuple[int, int]:
+    start = chunk * PS_CHUNK_ELEMS
+    return start, min(start + PS_CHUNK_ELEMS, n_elements)
+
+
+class PsServer:
+    """Sums each (round, chunk) across all workers, in rank order."""
+
+    def __init__(
+        self, n_workers: int, endpoint: Optional[UdpEndpoint] = None
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.endpoint = endpoint
+        self._members: Dict[int, Address] = {}
+        self._left: set = set()
+        self._go_sent = False
+        self._contribs: Dict[Tuple[int, int], Dict[int, np.ndarray]] = {}
+        self._results: Dict[Tuple[int, int], bytes] = {}
+        self.counters: Dict[str, int] = {
+            "frames_rx": 0,
+            "frames_tx": 0,
+            "chunks_summed": 0,
+            "duplicates_dropped": 0,
+            "resends_served": 0,
+            "decode_errors": 0,
+        }
+
+    @property
+    def done(self) -> bool:
+        return len(self._members) == self.n_workers and len(self._left) == len(
+            self._members
+        )
+
+    def _active(self) -> List[Address]:
+        return [
+            addr
+            for rank, addr in sorted(self._members.items())
+            if rank not in self._left
+        ]
+
+    def handle_frame(
+        self, frame: bytes, addr: Address
+    ) -> List[Tuple[bytes, Address]]:
+        self.counters["frames_rx"] += 1
+        if not frame:
+            self.counters["decode_errors"] += 1
+            return []
+        tag = frame[:1]
+        try:
+            if tag == b"J":
+                return self._handle_join(frame[1], addr)
+            if tag == b"U":
+                return self._handle_gradient(frame)
+            if tag == b"H":
+                return self._handle_resend(frame, addr)
+            if tag == b"L":
+                self._left.add(frame[1])
+                return []
+        except (IndexError, struct.error, ValueError):
+            self.counters["decode_errors"] += 1
+        return []
+
+    def _handle_join(
+        self, rank: int, addr: Address
+    ) -> List[Tuple[bytes, Address]]:
+        self._members[rank] = addr
+        out = [(b"A", addr)]
+        if len(self._members) == self.n_workers and not self._go_sent:
+            self._go_sent = True
+            out.extend((b"G", a) for a in self._active())
+        elif self._go_sent:
+            out.append((b"G", addr))
+        return out
+
+    def _handle_gradient(self, frame: bytes) -> List[Tuple[bytes, Address]]:
+        rank, round_index, chunk = _UP_HEADER.unpack_from(frame, 1)
+        key = (round_index, chunk)
+        if key in self._results:
+            self.counters["duplicates_dropped"] += 1
+            return []  # already summed: a retransmission raced completion
+        data = np.frombuffer(frame, dtype="<f4", offset=1 + _UP_HEADER.size)
+        contribs = self._contribs.setdefault(key, {})
+        if rank in contribs:
+            self.counters["duplicates_dropped"] += 1
+            return []
+        contribs[rank] = data.astype(np.float32)
+        if len(contribs) < self.n_workers:
+            return []
+        total = np.zeros(contribs[rank].shape, dtype=np.float64)
+        for member_rank in sorted(contribs):
+            total += contribs[member_rank]
+        del self._contribs[key]
+        down = (
+            b"D"
+            + _DOWN_HEADER.pack(round_index, chunk)
+            + total.astype("<f8", copy=False).tobytes()
+        )
+        self._results[key] = down
+        self.counters["chunks_summed"] += 1
+        self._prune_results(round_index)
+        return [(down, addr) for addr in self._active()]
+
+    def _prune_results(self, round_index: int) -> None:
+        floor = round_index - 2
+        if floor <= 0:
+            return
+        for key in [k for k in self._results if k[0] < floor]:
+            del self._results[key]
+
+    def _handle_resend(
+        self, frame: bytes, addr: Address
+    ) -> List[Tuple[bytes, Address]]:
+        _, round_index, chunk = _UP_HEADER.unpack_from(frame, 1)
+        down = self._results.get((round_index, chunk))
+        if down is None:
+            return []  # still waiting on some worker; the sender retries
+        self.counters["resends_served"] += 1
+        return [(down, addr)]
+
+    def serve(self, deadline: float, poll_interval: float = 0.2) -> None:
+        if self.endpoint is None:
+            raise RuntimeError("serve() needs an endpoint")
+        while not self.done and time.monotonic() < deadline:
+            remaining = deadline - time.monotonic()
+            got = self.endpoint.recv(
+                timeout=min(poll_interval, max(remaining, 0.01))
+            )
+            if got is None:
+                continue
+            for out_frame, out_addr in self.handle_frame(*got):
+                self.endpoint.send(out_frame, out_addr)
+                self.counters["frames_tx"] += 1
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+
+class LivePsWorker:
+    """Worker-side loop of the live PS baseline."""
+
+    def __init__(
+        self,
+        rank: int,
+        n_workers: int,
+        algorithm: Algorithm,
+        endpoint: UdpEndpoint,
+        server_addr: Address,
+        recovery_timeout: float = 0.1,
+        max_recovery_attempts: int = 12,
+    ) -> None:
+        self.rank = rank
+        self.n_workers = n_workers
+        self.algorithm = algorithm
+        self.endpoint = endpoint
+        self.server_addr = server_addr
+        self.recovery_timeout = recovery_timeout
+        self.max_recovery_attempts = max_recovery_attempts
+        self.n_elements = algorithm.get_weights().size
+        self.n_chunks = _n_chunks(self.n_elements)
+        self._round_frames: Dict[int, bytes] = {}
+        self.round_digests: List[str] = []
+        self.counters: Dict[str, int] = {
+            "frames_tx": 0,
+            "frames_rx": 0,
+            "help_sent": 0,
+            "retransmissions": 0,
+            "watchdog_timeouts": 0,
+            "stale_frames": 0,
+        }
+        self._joined = False
+
+    def _send(self, frame: bytes) -> None:
+        self.endpoint.send(frame, self.server_addr)
+        self.counters["frames_tx"] += 1
+
+    def join(self) -> None:
+        join = b"J" + bytes([self.rank])
+        deadline = time.monotonic() + JOIN_DEADLINE
+        while time.monotonic() < deadline:
+            self._send(join)
+            resend_at = time.monotonic() + JOIN_RESEND_PERIOD
+            while time.monotonic() < resend_at:
+                got = self.endpoint.recv(
+                    timeout=max(resend_at - time.monotonic(), 0.01)
+                )
+                if got is None:
+                    break
+                self.counters["frames_rx"] += 1
+                if got[0][:1] == b"G":
+                    self._joined = True
+                    return
+        raise RuntimeError(
+            f"ps worker {self.rank}: not admitted within {JOIN_DEADLINE:.0f}s"
+        )
+
+    def train(self, iterations: int) -> None:
+        if not self._joined:
+            raise RuntimeError("join() the job before training")
+        for iteration in range(iterations):
+            gradient = np.asarray(
+                self.algorithm.compute_gradient(), dtype=np.float32
+            )
+            total = self._aggregate(gradient, iteration)
+            self.round_digests.append(
+                hashlib.sha256(total.tobytes()).hexdigest()[:16]
+            )
+            self.algorithm.apply_update(total / self.n_workers)
+        self._send(b"L" + bytes([self.rank]))
+
+    def _aggregate(self, gradient: np.ndarray, iteration: int) -> np.ndarray:
+        self._round_frames = {}
+        for chunk in range(self.n_chunks):
+            start, stop = _chunk_bounds(chunk, self.n_elements)
+            frame = (
+                b"U"
+                + _UP_HEADER.pack(self.rank, iteration, chunk)
+                + gradient[start:stop].astype("<f4", copy=False).tobytes()
+            )
+            self._round_frames[chunk] = frame
+            self._send(frame)
+        chunks = self._collect(iteration)
+        total = np.empty(self.n_elements, dtype=np.float64)
+        for chunk, data in chunks.items():
+            start, stop = _chunk_bounds(chunk, self.n_elements)
+            total[start:stop] = data
+        return total
+
+    def _collect(self, iteration: int) -> Dict[int, np.ndarray]:
+        received: Dict[int, np.ndarray] = {}
+        attempts = 0
+        timeout = self.recovery_timeout
+        while len(received) < self.n_chunks:
+            got = self.endpoint.recv(timeout=timeout)
+            if got is None:
+                attempts += 1
+                self.counters["watchdog_timeouts"] += 1
+                if attempts > self.max_recovery_attempts:
+                    raise RuntimeError(
+                        f"ps worker {self.rank}: round {iteration} abandoned "
+                        f"after {attempts - 1} recovery attempts"
+                    )
+                for chunk in range(self.n_chunks):
+                    if chunk in received:
+                        continue
+                    frame = self._round_frames.get(chunk)
+                    if frame is not None:
+                        self._send(frame)
+                        self.counters["retransmissions"] += 1
+                    self._send(
+                        b"H" + _UP_HEADER.pack(self.rank, iteration, chunk)
+                    )
+                    self.counters["help_sent"] += 1
+                timeout = min(self.recovery_timeout * 2 ** attempts, 2.0)
+                continue
+            frame = got[0]
+            self.counters["frames_rx"] += 1
+            if frame[:1] != b"D" or len(frame) < 1 + _DOWN_HEADER.size:
+                continue
+            round_index, chunk = _DOWN_HEADER.unpack_from(frame, 1)
+            if round_index != iteration or chunk in received:
+                self.counters["stale_frames"] += 1
+                continue
+            data = np.frombuffer(
+                frame, dtype="<f8", offset=1 + _DOWN_HEADER.size
+            )
+            received[chunk] = data.astype(np.float64)
+        return received

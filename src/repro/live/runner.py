@@ -1,0 +1,315 @@
+"""Orchestrate a live run: spawn switch/server + worker processes.
+
+:func:`run_live` is the backend entry point dispatched to by
+:func:`repro.distributed.run` when ``ExperimentConfig(backend="live")``.
+It forks one aggregator process (a :class:`~repro.live.switch.SoftwareSwitch`
+for ``isw``, a :class:`~repro.live.ps.PsServer` for ``ps``) plus
+``n_workers`` worker processes, all talking loopback UDP, and folds their
+reports into the same :class:`~repro.distributed.results.TrainingResult`
+shape the simulator returns (``result.extras["backend"] == "live"``).
+
+Every child reports ``("ok", payload)`` or ``("error", traceback)`` over
+its pipe; any child failure terminates the fleet and raises
+:class:`LiveRunError` carrying the child's traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["LiveRunError", "run_live", "LIVE_STRATEGIES"]
+
+#: Live-capable (mode, strategy) pairs; kept in sync with the registry's
+#: ``supports_live`` flags (asserted by the conformance tests).
+LIVE_STRATEGIES = (("sync", "isw"), ("sync", "ps"))
+
+#: Hard wall-clock ceiling for one live run.  Conformance runs finish in
+#: seconds; this only bounds pathological hangs.
+RUN_DEADLINE = 120.0
+
+#: Per-pipe wait while collecting child reports.
+REPORT_TIMEOUT = 90.0
+
+
+class LiveRunError(RuntimeError):
+    """A live run could not start or did not complete."""
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Child process entry points (top-level so the spawn method can pickle them)
+# ---------------------------------------------------------------------------
+def _switch_main(conn, params: Dict[str, Any]) -> None:
+    try:
+        from .switch import SoftwareSwitch
+        from .transport import UdpEndpoint
+
+        endpoint = UdpEndpoint()
+        switch = SoftwareSwitch(
+            n_workers=params["n_workers"],
+            endpoint=endpoint,
+            loss_rate=params["loss_rate"],
+            loss_seed=params["seed"],
+        )
+        conn.send(("port", endpoint.port))
+        switch.serve(deadline=time.monotonic() + params["deadline"])
+        conn.send(("ok", switch.stats_snapshot()))
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _ps_main(conn, params: Dict[str, Any]) -> None:
+    try:
+        from .ps import PsServer
+        from .transport import UdpEndpoint
+
+        endpoint = UdpEndpoint()
+        server = PsServer(n_workers=params["n_workers"], endpoint=endpoint)
+        conn.send(("port", endpoint.port))
+        server.serve(deadline=time.monotonic() + params["deadline"])
+        conn.send(("ok", server.stats_snapshot()))
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _worker_main(conn, rank: int, params: Dict[str, Any]) -> None:
+    try:
+        from ..distributed.runner import make_algorithm
+        from .transport import LOOPBACK, UdpEndpoint
+
+        algorithm = make_algorithm(
+            params["workload"],
+            seed=params["seed"] + rank,
+            **(params["algorithm_overrides"] or {}),
+        )
+        endpoint = UdpEndpoint()
+        server_addr = (LOOPBACK, params["server_port"])
+        if params["strategy"] == "isw":
+            from .worker import LiveWorker
+
+            worker = LiveWorker(
+                rank=rank,
+                n_workers=params["n_workers"],
+                algorithm=algorithm,
+                endpoint=endpoint,
+                switch_addr=server_addr,
+                recovery_timeout=params["recovery_timeout"],
+            )
+        else:
+            from .ps import LivePsWorker
+
+            worker = LivePsWorker(
+                rank=rank,
+                n_workers=params["n_workers"],
+                algorithm=algorithm,
+                endpoint=endpoint,
+                server_addr=server_addr,
+                recovery_timeout=params["recovery_timeout"],
+            )
+        worker.join()
+        started = time.monotonic()
+        worker.train(params["iterations"])
+        train_seconds = time.monotonic() - started
+        reward = algorithm.final_average_reward()
+        conn.send(
+            (
+                "ok",
+                {
+                    "rank": rank,
+                    "final_weights": np.asarray(
+                        algorithm.get_weights(), dtype=np.float64
+                    ),
+                    "round_digests": worker.round_digests,
+                    "reward": reward,
+                    "train_seconds": train_seconds,
+                    "counters": worker.counters,
+                },
+            )
+        )
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side orchestration
+# ---------------------------------------------------------------------------
+def _recv(conn, what: str, timeout: float = REPORT_TIMEOUT) -> Tuple[str, Any]:
+    if not conn.poll(timeout):
+        raise LiveRunError(f"timed out waiting for {what}")
+    try:
+        return conn.recv()
+    except (EOFError, OSError) as exc:
+        raise LiveRunError(f"{what} died without reporting: {exc}") from exc
+
+
+def _terminate(processes: List) -> None:
+    for proc in processes:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in processes:
+        proc.join(timeout=5)
+
+
+def run_live(config) -> "TrainingResult":
+    """Execute ``config`` for real over loopback UDP processes."""
+    from ..distributed.registry import get_strategy
+    from ..distributed.results import TrainingResult
+    from ..telemetry.hub import TelemetryHub
+    from .transport import loopback_available
+
+    spec = get_strategy(config.mode, config.strategy)
+    if not spec.supports_live:
+        live_names = ", ".join(
+            f"{m}-{s}" for m, s in LIVE_STRATEGIES
+        )
+        raise LiveRunError(
+            f"strategy {spec.name!r} has no live backend; choose {live_names}"
+        )
+    if config.fault_plan is not None:
+        raise LiveRunError("fault injection is simulator-only")
+    if config.loss_rate > 0 and not spec.requires_iswitch:
+        raise ValueError(
+            f"strategy {config.strategy!r} has no loss recovery; "
+            "loss_rate > 0 requires an iSwitch strategy ('isw')"
+        )
+    if not loopback_available():
+        raise LiveRunError(
+            "loopback UDP is unavailable in this environment"
+        )
+
+    ctx = _mp_context()
+    recovery_timeout = config.recovery_timeout
+    if recovery_timeout is None:
+        from .worker import DEFAULT_LIVE_RECOVERY_TIMEOUT
+
+        recovery_timeout = DEFAULT_LIVE_RECOVERY_TIMEOUT
+    params: Dict[str, Any] = {
+        "strategy": config.strategy,
+        "workload": config.workload,
+        "n_workers": config.n_workers,
+        "iterations": config.iterations,
+        "seed": config.seed,
+        "loss_rate": config.loss_rate,
+        "recovery_timeout": recovery_timeout,
+        "algorithm_overrides": config.algorithm_overrides,
+        "deadline": RUN_DEADLINE,
+    }
+
+    server_main = _switch_main if spec.requires_iswitch else _ps_main
+    server_parent, server_child = ctx.Pipe()
+    server = ctx.Process(
+        target=server_main, args=(server_child, params), daemon=True
+    )
+    processes = [server]
+    wall_start = time.monotonic()
+    try:
+        server.start()
+        server_child.close()
+        kind, value = _recv(server_parent, "aggregator startup", timeout=30.0)
+        if kind == "error":
+            raise LiveRunError(f"aggregator failed to start:\n{value}")
+        if kind != "port":
+            raise LiveRunError(f"unexpected aggregator report: {kind!r}")
+        params = dict(params, server_port=value)
+
+        worker_conns = []
+        for rank in range(config.n_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, rank, params),
+                daemon=True,
+            )
+            processes.append(proc)
+            proc.start()
+            child_conn.close()
+            worker_conns.append(parent_conn)
+
+        worker_reports = []
+        for rank, conn in enumerate(worker_conns):
+            kind, value = _recv(conn, f"worker {rank}")
+            if kind == "error":
+                raise LiveRunError(f"worker {rank} failed:\n{value}")
+            worker_reports.append(value)
+
+        kind, value = _recv(server_parent, "aggregator shutdown", timeout=30.0)
+        if kind == "error":
+            raise LiveRunError(f"aggregator failed:\n{value}")
+        server_stats: Dict[str, int] = value
+    finally:
+        _terminate(processes)
+    wall_elapsed = time.monotonic() - wall_start
+
+    digests = [tuple(report["round_digests"]) for report in worker_reports]
+    if len(set(digests)) != 1:
+        raise LiveRunError(
+            "workers disagree on the per-round aggregated sums — "
+            "the broadcast diverged"
+        )
+
+    hub = TelemetryHub() if config.telemetry else None
+    if hub is not None:
+        for report in worker_reports:
+            node = f"worker{report['rank']}"
+            for name, amount in report["counters"].items():
+                if amount:
+                    hub.inc(f"live.{name}", amount, node=node)
+        for name, amount in server_stats.items():
+            if amount:
+                hub.inc(f"live.{name}", amount, node="aggregator")
+
+    result = TrainingResult(
+        strategy=spec.cls.name,
+        workload=config.workload,
+        n_workers=config.n_workers,
+        iterations=config.iterations,
+        # Elapsed is the slowest worker's training wall time; the
+        # simulator reports modelled time, so live timings are only
+        # comparable with other live timings.
+        elapsed=max(r["train_seconds"] for r in worker_reports),
+        workers=[],
+    )
+    result.extras = {
+        "backend": "live",
+        "wall_elapsed": wall_elapsed,
+        "final_weights": {
+            r["rank"]: r["final_weights"] for r in worker_reports
+        },
+        "round_digests": list(digests[0]),
+        "rewards": {r["rank"]: r["reward"] for r in worker_reports},
+        "worker_counters": {
+            r["rank"]: r["counters"] for r in worker_reports
+        },
+        "server_stats": server_stats,
+    }
+    if hub is not None:
+        result.telemetry = hub.snapshot(
+            meta={
+                "strategy": result.strategy,
+                "workload": config.workload,
+                "mode": config.mode,
+                "backend": "live",
+                "n_workers": config.n_workers,
+                "iterations": config.iterations,
+                "seed": config.seed,
+                "loss_rate": config.loss_rate,
+            }
+        )
+    return result

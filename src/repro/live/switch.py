@@ -1,0 +1,264 @@
+"""The software switch: the AggregationEngine behind a real UDP socket.
+
+One process (or thread, in the in-process tests) runs a
+:class:`SoftwareSwitch`: it admits workers via real ``Join`` control
+packets, broadcasts ``SetH`` once the expected membership is complete
+(doubling as the start-of-training signal), sums ``TOS_DATA_UP`` frames
+with the *same* :class:`~repro.core.accelerator.AggregationEngine` the
+simulator uses, and broadcasts each completed segment to every member as
+a ``TOS_DATA_DOWN`` frame.
+
+The engine runs ``canonical_order=True``: UDP arrival order is
+nondeterministic, so on-the-fly summation would make the result depend on
+scheduling noise.  Canonical (rank-order) summation makes the aggregate a
+pure function of the contributions — and lets a simulator run with
+``deterministic_aggregation=True`` reproduce it bit-for-bit.
+
+Loss injection (``loss_rate``) drops incoming data frames at ingress with
+a seeded RNG, exercising the watchdog/Help recovery path over real
+sockets.  ``handle_frame`` is side-effect-free with respect to I/O — it
+returns the frames to transmit — so the protocol logic is unit-testable
+without processes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..core.accelerator import AggregationEngine
+from ..core.protocol import (
+    Action,
+    ControlMessage,
+    DataSegment,
+    JoinInfo,
+    ProtocolError,
+    TOS_CONTROL,
+    TOS_DATA_DOWN,
+    TOS_DATA_UP,
+    decode_frame,
+    encode_control,
+    encode_data,
+)
+from .transport import Address, UdpEndpoint
+
+__all__ = ["SoftwareSwitch"]
+
+
+class SoftwareSwitch:
+    """Aggregates live UDP gradient traffic for one training job."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        endpoint: Optional[UdpEndpoint] = None,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+        cache_size: int = 4096,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.n_workers = n_workers
+        self.endpoint = endpoint
+        self.engine = AggregationEngine(
+            threshold=n_workers,
+            dedup=True,  # Help retransmissions must be idempotent
+            canonical_order=True,
+            cache_size=cache_size,
+        )
+        self.loss_rate = loss_rate
+        self._drop_rng = random.Random(loss_seed)
+        self._members: Dict[int, Address] = {}
+        self._left: set = set()
+        self._go_sent = False
+        self.counters: Dict[str, int] = {
+            "frames_rx": 0,
+            "frames_tx": 0,
+            "data_rx": 0,
+            "drops_injected": 0,
+            "results_broadcast": 0,
+            "help_cache_hits": 0,
+            "help_relayed": 0,
+            "joins": 0,
+            "leaves": 0,
+            "decode_errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Protocol logic (I/O-free: returns the frames to transmit)
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """All expected workers joined and all of them have left."""
+        return len(self._members) == self.n_workers and len(self._left) == len(
+            self._members
+        )
+
+    def _active_members(self) -> List[Tuple[int, Address]]:
+        return [
+            (rank, addr)
+            for rank, addr in sorted(self._members.items())
+            if rank not in self._left
+        ]
+
+    def handle_frame(
+        self, frame: bytes, addr: Address
+    ) -> List[Tuple[bytes, Address]]:
+        """Process one received datagram; return the datagrams to send."""
+        self.counters["frames_rx"] += 1
+        try:
+            tos, message = decode_frame(frame)
+        except ProtocolError:
+            self.counters["decode_errors"] += 1
+            return []
+        if tos == TOS_CONTROL:
+            return self._handle_control(message, addr)
+        if tos == TOS_DATA_UP:
+            return self._handle_contribution(message, addr)
+        # TOS_DATA_DOWN at the switch ingress: not ours to aggregate.
+        return []
+
+    def _handle_control(
+        self, message: ControlMessage, addr: Address
+    ) -> List[Tuple[bytes, Address]]:
+        if message.action == Action.JOIN:
+            return self._handle_join(message, addr)
+        if message.action == Action.LEAVE:
+            rank = self._rank_of(addr)
+            if rank is not None and rank not in self._left:
+                self._left.add(rank)
+                self.counters["leaves"] += 1
+            return []
+        if message.action == Action.HELP:
+            return self._handle_help(message, addr)
+        if message.action == Action.RESET:
+            self.engine.reset()
+            return []
+        if message.action == Action.FBCAST:
+            result = self.engine.force_broadcast(int(message.value))
+            if result is None:
+                return []
+            return self._broadcast(result)
+        # SETH/HALT/ACK arriving at the switch: acknowledge nothing.
+        return []
+
+    def _handle_join(
+        self, message: ControlMessage, addr: Address
+    ) -> List[Tuple[bytes, Address]]:
+        info = message.value
+        if not isinstance(info, JoinInfo):
+            self.counters["decode_errors"] += 1
+            return []
+        known = self._members.get(info.rank)
+        if known is None:
+            self._members[info.rank] = addr
+            self.counters["joins"] += 1
+        else:
+            # A retry (our ACK or the SetH may have raced the worker's
+            # watchdog).  Re-admit idempotently at the latest address.
+            self._members[info.rank] = addr
+        out = [(encode_control(ControlMessage(Action.ACK, value=1)), addr)]
+        if len(self._members) == self.n_workers and not self._go_sent:
+            self._go_sent = True
+            go = encode_control(
+                ControlMessage(Action.SETH, value=self.n_workers)
+            )
+            out.extend((go, a) for _, a in self._active_members())
+        elif self._go_sent:
+            # Late retry after the broadcast: resend the go signal 1:1.
+            out.append(
+                (
+                    encode_control(
+                        ControlMessage(Action.SETH, value=self.n_workers)
+                    ),
+                    addr,
+                )
+            )
+        return out
+
+    def _handle_help(
+        self, message: ControlMessage, addr: Address
+    ) -> List[Tuple[bytes, Address]]:
+        seg = int(message.value)
+        cached = self.engine.cached_result(seg)
+        if cached is not None:
+            self.counters["help_cache_hits"] += 1
+            return [(encode_data(cached, downstream=True), addr)]
+        # Not completed yet: some contribution was lost.  Relay the Help
+        # to every other member; each retransmits its cached frames.
+        relay = encode_control(ControlMessage(Action.HELP, value=seg))
+        self.counters["help_relayed"] += 1
+        return [
+            (relay, member_addr)
+            for _, member_addr in self._active_members()
+            if member_addr != addr
+        ]
+
+    def _handle_contribution(
+        self, segment: DataSegment, addr: Address
+    ) -> List[Tuple[bytes, Address]]:
+        if self.loss_rate > 0 and self._drop_rng.random() < self.loss_rate:
+            self.counters["drops_injected"] += 1
+            return []
+        rank = self._rank_of(addr)
+        if rank is None:
+            return []  # not a member (stale socket, fuzzed frame)
+        self.counters["data_rx"] += 1
+        # Re-key the contribution with the member's canonical identity;
+        # the wire carries only (job, seg), exactly like the hardware.
+        contribution = DataSegment(
+            seg=segment.seg, data=segment.data, sender=f"worker{rank}"
+        )
+        result = self.engine.contribute(contribution)
+        if result is None:
+            return []
+        return self._broadcast(result)
+
+    def _broadcast(self, result: DataSegment) -> List[Tuple[bytes, Address]]:
+        frame = encode_data(result, downstream=True)
+        self.counters["results_broadcast"] += 1
+        return [(frame, addr) for _, addr in self._active_members()]
+
+    def _rank_of(self, addr: Address) -> Optional[int]:
+        for rank, member_addr in self._members.items():
+            if member_addr == addr:
+                return rank
+        return None
+
+    # ------------------------------------------------------------------
+    # Serve loop (process mode)
+    # ------------------------------------------------------------------
+    def serve(self, deadline: float, poll_interval: float = 0.2) -> None:
+        """Receive/handle/send until every worker left or time runs out.
+
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp — a
+        hard stop so an orphaned switch process can never outlive the
+        experiment.
+        """
+        import time
+
+        if self.endpoint is None:
+            raise RuntimeError("serve() needs an endpoint")
+        while not self.done and time.monotonic() < deadline:
+            remaining = deadline - time.monotonic()
+            got = self.endpoint.recv(timeout=min(poll_interval, max(remaining, 0.01)))
+            if got is None:
+                continue
+            frame, addr = got
+            for out_frame, out_addr in self.handle_frame(frame, addr):
+                self.endpoint.send(out_frame, out_addr)
+                self.counters["frames_tx"] += 1
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Counters plus engine statistics, for the parent's telemetry."""
+        snapshot = dict(self.counters)
+        stats = self.engine.stats
+        snapshot.update(
+            engine_contributions=stats.contributions,
+            engine_completions=stats.completions,
+            engine_duplicates_dropped=stats.duplicates_dropped,
+            engine_max_live_segments=stats.max_live_segments,
+        )
+        return snapshot

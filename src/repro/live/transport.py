@@ -1,0 +1,83 @@
+"""Loopback UDP endpoints for the live backend.
+
+One :class:`UdpEndpoint` per process: bound to an ephemeral port on
+127.0.0.1, blocking receives with a timeout (the worker watchdog is
+implemented directly on top of that timeout).  Datagram boundaries map
+one-to-one onto protocol frames, so no additional framing is needed.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional, Tuple
+
+__all__ = ["UdpEndpoint", "loopback_available", "Address"]
+
+Address = Tuple[str, int]
+
+LOOPBACK = "127.0.0.1"
+
+#: Socket receive-buffer request.  A 4-worker synth round is ~64
+#: frames/worker of ~1.5 kB; 1 MiB absorbs every worker bursting a full
+#: round while the switch is descheduled.
+RECV_BUFFER_BYTES = 1 << 20
+
+
+class UdpEndpoint:
+    """A bound loopback UDP socket with timeout-based receives."""
+
+    def __init__(self, port: int = 0, recv_buffer: int = RECV_BUFFER_BYTES) -> None:
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            self.sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_RCVBUF, recv_buffer
+            )
+        except OSError:
+            pass  # caps vary by platform; the default still works
+        self.sock.bind((LOOPBACK, port))
+        self.address: Address = self.sock.getsockname()
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def send(self, frame: bytes, addr: Address) -> None:
+        self.sock.sendto(frame, addr)
+
+    def recv(self, timeout: Optional[float]) -> Optional[Tuple[bytes, Address]]:
+        """One datagram, or ``None`` if ``timeout`` seconds pass first."""
+        self.sock.settimeout(timeout)
+        try:
+            frame, addr = self.sock.recvfrom(65536)
+        except socket.timeout:
+            return None
+        except OSError:
+            return None  # closed from another thread during shutdown
+        return frame, addr
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "UdpEndpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def loopback_available() -> bool:
+    """Can this environment bind loopback UDP sockets and pass datagrams?
+
+    The conformance tests skip (rather than fail) where sandboxes forbid
+    socket creation or loopback delivery.
+    """
+    try:
+        with UdpEndpoint() as a, UdpEndpoint() as b:
+            a.send(b"ping", b.address)
+            got = b.recv(timeout=1.0)
+            return got is not None and got[0] == b"ping"
+    except OSError:
+        return False

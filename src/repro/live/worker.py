@@ -1,0 +1,237 @@
+"""The live iSwitch worker: real gradients through real UDP frames.
+
+Mirrors the numerics of the simulator's :class:`SyncStrategy` exactly —
+per iteration: ``compute_gradient()`` (float32), stream the vector as
+encoded ``TOS_DATA_UP`` frames, collect the switch's aggregated
+``TOS_DATA_DOWN`` frames, then ``apply_update(sum.astype(float64) / N)``.
+Chunk geometry differs from the simulator (one real frame per chunk here)
+but elementwise sums are partition-independent, so the trajectories stay
+bit-identical.
+
+Loss recovery is the paper's worker-driven watchdog (§3.4): a receive
+timeout retransmits this worker's own cached frames for the missing
+segments and sends ``Help``; the switch answers from its result cache or
+relays the Help so peers retransmit theirs.  Dedup in the engine makes
+all of it idempotent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.protocol import (
+    Action,
+    ControlMessage,
+    JoinInfo,
+    ProtocolError,
+    SegmentPlan,
+    decode_frame,
+    encode_control,
+    encode_data,
+)
+from ..rl.base import Algorithm
+from .transport import Address, UdpEndpoint
+
+__all__ = ["LiveWorker", "DEFAULT_LIVE_RECOVERY_TIMEOUT"]
+
+#: Base watchdog period for live receives.  The simulator's 0.5 ms models
+#: a quiet 10 GbE round-trip; real processes contend with scheduling, so
+#: the live default is far looser (backoff doubles it per attempt).
+DEFAULT_LIVE_RECOVERY_TIMEOUT = 0.1
+
+JOIN_RESEND_PERIOD = 0.5
+JOIN_DEADLINE = 30.0
+
+
+class LiveWorker:
+    """One worker process's protocol state machine."""
+
+    def __init__(
+        self,
+        rank: int,
+        n_workers: int,
+        algorithm: Algorithm,
+        endpoint: UdpEndpoint,
+        switch_addr: Address,
+        recovery_timeout: float = DEFAULT_LIVE_RECOVERY_TIMEOUT,
+        max_recovery_attempts: int = 12,
+    ) -> None:
+        if recovery_timeout <= 0:
+            raise ValueError(
+                f"recovery_timeout must be > 0, got {recovery_timeout}"
+            )
+        self.rank = rank
+        self.n_workers = n_workers
+        self.algorithm = algorithm
+        self.endpoint = endpoint
+        self.switch_addr = switch_addr
+        self.recovery_timeout = recovery_timeout
+        self.max_recovery_attempts = max_recovery_attempts
+        n_elements = algorithm.get_weights().size
+        self.plan = SegmentPlan(n_elements)  # one real frame per chunk
+        self.sender = f"worker{rank}"
+        self.threshold: Optional[int] = None
+        #: Encoded upstream frames of the current and previous round, for
+        #: Help-triggered retransmission, keyed by global Seg.
+        self._send_cache: Dict[int, bytes] = {}
+        self.round_digests: List[str] = []
+        self.counters: Dict[str, int] = {
+            "frames_tx": 0,
+            "frames_rx": 0,
+            "help_sent": 0,
+            "retransmissions": 0,
+            "stale_frames": 0,
+            "decode_errors": 0,
+            "watchdog_timeouts": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _send(self, frame: bytes) -> None:
+        self.endpoint.send(frame, self.switch_addr)
+        self.counters["frames_tx"] += 1
+
+    def join(self) -> None:
+        """Join the job: send ``Join`` until the switch's ``SetH`` arrives.
+
+        The SetH broadcast doubles as the start-of-training barrier — the
+        switch only sends it once all expected members joined.  Join is
+        idempotent at the switch, so resending on a quiet socket covers a
+        lost Join, a lost ACK, and a lost SetH alike.
+        """
+        join_frame = encode_control(
+            ControlMessage(
+                Action.JOIN,
+                JoinInfo(
+                    member_type="worker",
+                    rank=self.rank,
+                    n_elements=self.plan.n_elements,
+                    n_chunks=self.plan.n_chunks,
+                ),
+            )
+        )
+        deadline = time.monotonic() + JOIN_DEADLINE
+        while time.monotonic() < deadline:
+            self._send(join_frame)
+            resend_at = time.monotonic() + JOIN_RESEND_PERIOD
+            while time.monotonic() < resend_at:
+                got = self.endpoint.recv(
+                    timeout=max(resend_at - time.monotonic(), 0.01)
+                )
+                if got is None:
+                    break
+                message = self._decode(got[0])
+                if (
+                    isinstance(message, ControlMessage)
+                    and message.action == Action.SETH
+                ):
+                    self.threshold = int(message.value)
+                    return
+        raise RuntimeError(
+            f"worker {self.rank}: not admitted within {JOIN_DEADLINE:.0f}s"
+        )
+
+    def leave(self) -> None:
+        self._send(encode_control(ControlMessage(Action.LEAVE)))
+
+    def _decode(self, frame: bytes):
+        self.counters["frames_rx"] += 1
+        try:
+            _, message = decode_frame(frame)
+        except ProtocolError:
+            self.counters["decode_errors"] += 1
+            return None
+        return message
+
+    # ------------------------------------------------------------------
+    def train(self, iterations: int) -> None:
+        """Run the full synchronous loop; ``join()`` must have succeeded."""
+        if self.threshold is None:
+            raise RuntimeError("join() the job before training")
+        for iteration in range(iterations):
+            gradient = np.asarray(
+                self.algorithm.compute_gradient(), dtype=np.float32
+            )
+            total = self._aggregate(gradient, iteration)
+            self.round_digests.append(
+                hashlib.sha256(total.tobytes()).hexdigest()[:16]
+            )
+            self.algorithm.apply_update(
+                total.astype(np.float64) / self.n_workers
+            )
+        self.leave()
+
+    def _aggregate(self, gradient: np.ndarray, iteration: int) -> np.ndarray:
+        """One round: stream the vector up, collect the aggregate down."""
+        segments = self.plan.split(gradient, iteration, sender=self.sender)
+        frames = {s.seg: encode_data(s) for s in segments}
+        # Retain this and the previous round for Help retransmission.
+        floor = max(iteration - 1, 0) * self.plan.n_chunks
+        self._send_cache = {
+            seg: frame
+            for seg, frame in self._send_cache.items()
+            if seg >= floor
+        }
+        self._send_cache.update(frames)
+        for frame in frames.values():
+            self._send(frame)
+        received = self._collect(set(frames), iteration)
+        ordered = [
+            received[iteration * self.plan.n_chunks + chunk]
+            for chunk in range(self.plan.n_chunks)
+        ]
+        return self.plan.assemble(ordered)
+
+    def _collect(self, expected: set, iteration: int) -> Dict[int, object]:
+        received: Dict[int, object] = {}
+        attempts = 0
+        timeout = self.recovery_timeout
+        while len(received) < len(expected):
+            got = self.endpoint.recv(timeout=timeout)
+            if got is None:
+                attempts += 1
+                self.counters["watchdog_timeouts"] += 1
+                if attempts > self.max_recovery_attempts:
+                    missing = sorted(expected - set(received))
+                    raise RuntimeError(
+                        f"worker {self.rank}: round {iteration} abandoned "
+                        f"after {attempts - 1} recovery attempts; "
+                        f"missing segs {missing[:8]}"
+                    )
+                self._recover(expected - set(received))
+                timeout = min(self.recovery_timeout * 2 ** attempts, 2.0)
+                continue
+            message = self._decode(got[0])
+            if message is None:
+                continue
+            if isinstance(message, ControlMessage):
+                if message.action == Action.HELP:
+                    self._retransmit(int(message.value))
+                continue
+            # A data segment.  Downstream results for this round are
+            # consumed; earlier rounds' rebroadcasts are stale duplicates.
+            if message.seg in expected and message.seg not in received:
+                received[message.seg] = message
+            else:
+                self.counters["stale_frames"] += 1
+        return received
+
+    def _recover(self, missing: set) -> None:
+        """Watchdog fired: retransmit our own frames and ask for Help."""
+        for seg in sorted(missing):
+            frame = self._send_cache.get(seg)
+            if frame is not None:
+                self._send(frame)
+                self.counters["retransmissions"] += 1
+            self._send(encode_control(ControlMessage(Action.HELP, value=seg)))
+            self.counters["help_sent"] += 1
+
+    def _retransmit(self, seg: int) -> None:
+        """A relayed Help: some peer is missing a segment we fed."""
+        frame = self._send_cache.get(seg)
+        if frame is not None:
+            self._send(frame)
+            self.counters["retransmissions"] += 1

@@ -102,14 +102,17 @@ class TestZeroCopyAdoption:
             result.data, np.arange(8, dtype=np.float32) + 1.0
         )
 
-    def test_non_float32_contribution_forces_a_copy(self):
-        engine = AggregationEngine(threshold=1)
-        first = np.arange(4, dtype=np.float64)
-        result = engine.contribute(
-            DataSegment(seg=0, data=first, sender="a", commit_id=0)
-        )
-        assert result.data.dtype == np.float32
-        assert not np.shares_memory(result.data, first)
+    def test_non_float32_data_is_rejected_at_construction(self):
+        # The wire codec would silently reinterpret other dtypes'
+        # bytes, so DataSegment refuses them outright.
+        with pytest.raises(ValueError):
+            DataSegment(seg=0, data=np.arange(4, dtype=np.float64), sender="a")
+        with pytest.raises(ValueError):
+            DataSegment(seg=0, data=np.zeros((2, 2), dtype=np.float32))
+        with pytest.raises(ValueError):
+            DataSegment(seg=0, data=np.zeros(8, dtype=np.float32)[::2])
+        with pytest.raises(TypeError):
+            DataSegment(seg=0, data=[1.0, 2.0])
 
 
 class TestControlOperations:

@@ -1,0 +1,701 @@
+"""Sim <-> live differential conformance (the live backend's ground truth).
+
+The live backend (`repro.live`) runs sync-isw and sync-ps for real:
+worker processes and a software-switch/PS process exchanging encoded
+frames over loopback UDP.  These tests prove it computes *exactly* what
+the simulator models: the same seeded gradients through either backend
+must produce bit-identical per-round aggregated sums and bit-identical
+final weights — including when injected datagram loss forces the
+watchdog/Help retransmission path to reconstruct rounds.
+
+Everything here is marked ``live`` (excluded from the tier-1 run, see
+``pyproject.toml``); socket-based tests also skip when loopback UDP is
+unavailable.  The in-process tests at the bottom exercise the protocol
+logic of the switch/server/worker classes directly — they are the
+coverage backbone for the ``repro.live`` package.
+"""
+
+import hashlib
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import (
+    Action,
+    ControlMessage,
+    DataSegment,
+    JoinInfo,
+    SegmentPlan,
+    decode_frame,
+    encode_control,
+    encode_data,
+)
+from repro.distributed.config import ExperimentConfig
+from repro.distributed.registry import strategy_specs
+from repro.distributed.runner import make_algorithm, run
+from repro.live.ps import PS_CHUNK_ELEMS, LivePsWorker, PsServer
+from repro.live.runner import LIVE_STRATEGIES, LiveRunError, run_live
+from repro.live.switch import SoftwareSwitch
+from repro.live.transport import LOOPBACK, UdpEndpoint, loopback_available
+from repro.live.worker import LiveWorker
+
+pytestmark = pytest.mark.live
+
+LOOPBACK_OK = loopback_available()
+needs_loopback = pytest.mark.skipif(
+    not LOOPBACK_OK, reason="loopback UDP unavailable in this environment"
+)
+
+SEED = 7
+ITERATIONS = 3
+WORKLOAD = "synth"
+
+
+def live_config(strategy, n_workers, **overrides):
+    return ExperimentConfig(
+        strategy=strategy,
+        workload=WORKLOAD,
+        n_workers=n_workers,
+        iterations=ITERATIONS,
+        seed=SEED,
+        backend="live",
+        **overrides,
+    )
+
+
+def sim_config(strategy, n_workers):
+    # canonical (rank-order) aggregation is what the live switch always
+    # does; the sim must opt in for isw so float32 sums match bit-exactly.
+    return ExperimentConfig(
+        strategy=strategy,
+        workload=WORKLOAD,
+        n_workers=n_workers,
+        iterations=ITERATIONS,
+        seed=SEED,
+        deterministic_aggregation=(strategy == "isw"),
+    )
+
+
+def sim_final_weights(result):
+    return {
+        rank: np.asarray(worker.algorithm.get_weights(), dtype=np.float64)
+        for rank, worker in enumerate(result.workers)
+    }
+
+
+def reference_digests(strategy, n_workers):
+    """Per-round aggregated-sum digests from a straight-line re-execution.
+
+    An oracle independent of both backends: same algorithms, same seeds,
+    summed whole-vector in rank order — float32 for the switch datapath,
+    float64 for the PS.  Chunked summation is elementwise, so chunk
+    geometry cannot change the result.
+    """
+    algorithms = [
+        make_algorithm(WORKLOAD, seed=SEED + rank) for rank in range(n_workers)
+    ]
+    digests = []
+    for _ in range(ITERATIONS):
+        gradients = [
+            np.asarray(a.compute_gradient(), dtype=np.float32)
+            for a in algorithms
+        ]
+        if strategy == "isw":
+            total = gradients[0].copy()
+            for gradient in gradients[1:]:
+                total += gradient
+            update = total.astype(np.float64) / n_workers
+        else:
+            total = np.zeros(gradients[0].shape, dtype=np.float64)
+            for gradient in gradients:
+                total += gradient
+            update = total / n_workers
+        digests.append(hashlib.sha256(total.tobytes()).hexdigest()[:16])
+        for algorithm in algorithms:
+            algorithm.apply_update(update)
+    return digests
+
+
+@needs_loopback
+class TestSimLiveConformance:
+    @pytest.mark.parametrize("strategy", ["isw", "ps"])
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_final_weights_bit_identical(self, strategy, n_workers):
+        live = run(live_config(strategy, n_workers))
+        sim = run(sim_config(strategy, n_workers))
+
+        assert live.extras["backend"] == "live"
+        live_weights = live.extras["final_weights"]
+        expected = sim_final_weights(sim)
+        assert set(live_weights) == set(range(n_workers))
+        for rank in range(n_workers):
+            assert live_weights[rank].dtype == np.float64
+            assert np.array_equal(live_weights[rank], expected[rank]), (
+                f"rank {rank}: live and sim weights diverge"
+            )
+        # The synchronous invariant: every rank holds the same model.
+        for rank in range(1, n_workers):
+            assert np.array_equal(live_weights[rank], live_weights[0])
+
+    @pytest.mark.parametrize("strategy", ["isw", "ps"])
+    def test_aggregated_sums_bit_identical(self, strategy):
+        """The per-round sums themselves (not just their consequences)."""
+        live = run(live_config(strategy, 4))
+        assert live.extras["round_digests"] == reference_digests(strategy, 4)
+
+    def test_loss_recovery_stays_bit_identical(self):
+        """Injected datagram loss, recovered via Help retransmission,
+        must not change a single bit of the result."""
+        live = run(live_config("isw", 4, loss_rate=0.05))
+        stats = live.extras["server_stats"]
+        assert stats["drops_injected"] > 0, "loss injection never fired"
+        helps = sum(
+            counters["help_sent"]
+            for counters in live.extras["worker_counters"].values()
+        )
+        assert helps > 0, "loss was injected but no Help was ever sent"
+        # Dedup absorbed the retransmission storm...
+        assert stats["engine_duplicates_dropped"] > 0
+        # ...and the lossy run equals the lossless simulator bit-for-bit.
+        expected = sim_final_weights(run(sim_config("isw", 4)))
+        for rank, weights in live.extras["final_weights"].items():
+            assert np.array_equal(weights, expected[rank])
+        assert live.extras["round_digests"] == reference_digests("isw", 4)
+
+
+@needs_loopback
+class TestLiveRunPlumbing:
+    def test_telemetry_and_result_shape(self):
+        result = run(live_config("isw", 2, telemetry=True))
+        assert result.n_workers == 2
+        assert result.iterations == ITERATIONS
+        assert result.elapsed > 0
+        assert result.extras["wall_elapsed"] >= result.elapsed
+        stats = result.extras["server_stats"]
+        # 2 workers x 3 rounds x ceil(23424/366) chunks, plus control.
+        assert stats["engine_completions"] == ITERATIONS * 64
+        assert stats["frames_rx"] > stats["data_rx"] > 0
+        snapshot = result.telemetry
+        assert snapshot is not None
+        assert snapshot.meta["backend"] == "live"
+
+    def test_cli_live_run(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "train",
+                "--backend",
+                "live",
+                "--strategy",
+                "sync-ps",
+                "-n",
+                "2",
+                "--workload",
+                WORKLOAD,
+                "--iterations",
+                "2",
+                "--seed",
+                str(SEED),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "live (loopback UDP)" in out
+        assert "switch frames:" in out
+
+
+class TestLiveRunValidation:
+    def test_registry_flags_match_runner_support(self):
+        flagged = {
+            (spec.mode, spec.name)
+            for spec in strategy_specs()
+            if spec.supports_live
+        }
+        assert flagged == set(LIVE_STRATEGIES)
+
+    def test_unsupported_strategy_rejected(self):
+        with pytest.raises(LiveRunError, match="no live backend"):
+            run_live(live_config("ar", 2))
+
+    def test_async_rejected(self):
+        config = live_config("isw", 2)
+        config.mode = "async"
+        with pytest.raises(LiveRunError, match="no live backend"):
+            run_live(config)
+
+    def test_fault_plan_rejected(self):
+        config = live_config("isw", 2)
+        config.fault_plan = object()
+        with pytest.raises(LiveRunError, match="simulator-only"):
+            run_live(config)
+
+    def test_loss_rate_on_ps_rejected(self):
+        with pytest.raises(ValueError, match="loss recovery"):
+            run_live(live_config("ps", 2, loss_rate=0.01))
+
+
+# ---------------------------------------------------------------------------
+# In-process protocol-logic tests (no child processes; coverage backbone)
+# ---------------------------------------------------------------------------
+class TinyAlgorithm:
+    """A deterministic stand-in small enough for single-frame rounds."""
+
+    def __init__(self, n_elements=5, seed=0):
+        self._rng = np.random.default_rng(seed)
+        self._weights = np.zeros(n_elements, dtype=np.float64)
+
+    def get_weights(self):
+        return self._weights
+
+    def compute_gradient(self):
+        return self._rng.standard_normal(self._weights.size).astype(
+            np.float32
+        )
+
+    def apply_update(self, update):
+        self._weights = self._weights - update
+
+    def final_average_reward(self):
+        return 0.0
+
+
+def segment_frames(rank, round_index, vector):
+    plan = SegmentPlan(vector.size)
+    return [
+        encode_data(s)
+        for s in plan.split(vector, round_index, sender=f"worker{rank}")
+    ]
+
+
+class TestSoftwareSwitchLogic:
+    def addr(self, rank):
+        return (LOOPBACK, 40000 + rank)
+
+    def join_all(self, switch, n):
+        outs = []
+        for rank in range(n):
+            frame = encode_control(
+                ControlMessage(
+                    Action.JOIN, JoinInfo(rank=rank, n_elements=5, n_chunks=1)
+                )
+            )
+            outs.append(switch.handle_frame(frame, self.addr(rank)))
+        return outs
+
+    def test_join_ack_and_seth_barrier(self):
+        switch = SoftwareSwitch(n_workers=2)
+        first, second = self.join_all(switch, 2)
+        # First join: ACK only — membership incomplete, no go signal yet.
+        assert [decode_frame(f)[1].action for f, _ in first] == [Action.ACK]
+        # Second join: ACK plus a SetH broadcast to *both* members.
+        actions = [decode_frame(f)[1] for f, _ in second]
+        assert actions[0].action == Action.ACK
+        assert [m.action for m in actions[1:]] == [Action.SETH] * 2
+        assert all(m.value == 2 for m in actions[1:])
+        # A late duplicate join is re-acked and re-sent the go signal 1:1.
+        retry = switch.handle_frame(
+            encode_control(ControlMessage(Action.JOIN, JoinInfo(rank=0))),
+            self.addr(0),
+        )
+        assert [decode_frame(f)[1].action for f, _ in retry] == [
+            Action.ACK,
+            Action.SETH,
+        ]
+        assert switch.counters["joins"] == 2  # the retry is not a new member
+
+    def test_aggregation_and_broadcast(self):
+        switch = SoftwareSwitch(n_workers=2)
+        self.join_all(switch, 2)
+        vectors = [
+            np.arange(5, dtype=np.float32),
+            np.full(5, 0.5, dtype=np.float32),
+        ]
+        assert switch.handle_frame(
+            segment_frames(0, 0, vectors[0])[0], self.addr(0)
+        ) == []
+        out = switch.handle_frame(
+            segment_frames(1, 0, vectors[1])[0], self.addr(1)
+        )
+        # Completion: the float32 rank-order sum broadcast to both members.
+        assert [a for _, a in out] == [self.addr(0), self.addr(1)]
+        _, result = decode_frame(out[0][0])
+        np.testing.assert_array_equal(result.data, vectors[0] + vectors[1])
+        assert switch.counters["results_broadcast"] == 1
+
+    def test_non_member_and_garbage_frames_ignored(self):
+        switch = SoftwareSwitch(n_workers=2)
+        self.join_all(switch, 2)
+        stranger = ("10.0.0.9", 1)
+        frame = segment_frames(0, 0, np.ones(5, dtype=np.float32))[0]
+        assert switch.handle_frame(frame, stranger) == []
+        assert switch.counters["data_rx"] == 0
+        assert switch.handle_frame(b"\xde\xad\xbe\xef", self.addr(0)) == []
+        assert switch.counters["decode_errors"] == 1
+        # Downstream frames at the switch ingress are not aggregated.
+        down = encode_data(
+            DataSegment(seg=0, data=np.ones(5, dtype=np.float32)),
+            downstream=True,
+        )
+        assert switch.handle_frame(down, self.addr(0)) == []
+
+    def test_help_cache_hit_and_relay(self):
+        switch = SoftwareSwitch(n_workers=2)
+        self.join_all(switch, 2)
+        vector = np.ones(5, dtype=np.float32)
+        switch.handle_frame(segment_frames(0, 0, vector)[0], self.addr(0))
+        # Seg 0 incomplete: Help from worker1 is relayed to worker0 only.
+        help_frame = encode_control(ControlMessage(Action.HELP, value=0))
+        relayed = switch.handle_frame(help_frame, self.addr(1))
+        assert [a for _, a in relayed] == [self.addr(0)]
+        assert decode_frame(relayed[0][0])[1].action == Action.HELP
+        assert switch.counters["help_relayed"] == 1
+        # Complete it; now a Help is served from the result cache 1:1.
+        switch.handle_frame(segment_frames(1, 0, vector)[0], self.addr(1))
+        served = switch.handle_frame(help_frame, self.addr(1))
+        assert [a for _, a in served] == [self.addr(1)]
+        _, cached = decode_frame(served[0][0])
+        np.testing.assert_array_equal(cached.data, 2 * vector)
+        assert switch.counters["help_cache_hits"] == 1
+
+    def test_dedup_makes_retransmission_idempotent(self):
+        switch = SoftwareSwitch(n_workers=2)
+        self.join_all(switch, 2)
+        frame = segment_frames(0, 0, np.ones(5, dtype=np.float32))[0]
+        switch.handle_frame(frame, self.addr(0))
+        switch.handle_frame(frame, self.addr(0))  # retransmission
+        assert switch.stats_snapshot()["engine_duplicates_dropped"] == 1
+        out = switch.handle_frame(
+            segment_frames(1, 0, np.ones(5, dtype=np.float32))[0],
+            self.addr(1),
+        )
+        _, result = decode_frame(out[0][0])
+        np.testing.assert_array_equal(
+            result.data, np.full(5, 2.0, dtype=np.float32)
+        )
+
+    def test_loss_injection_drops_before_the_engine(self):
+        # random.Random(0).random() == 0.844..., below a 0.9 loss rate.
+        switch = SoftwareSwitch(n_workers=1, loss_rate=0.9, loss_seed=0)
+        self.join_all(switch, 1)
+        frame = segment_frames(0, 0, np.ones(5, dtype=np.float32))[0]
+        assert switch.handle_frame(frame, self.addr(0)) == []
+        assert switch.counters["drops_injected"] == 1
+        assert switch.counters["data_rx"] == 0
+
+    def test_reset_fbcast_and_leave(self):
+        switch = SoftwareSwitch(n_workers=2)
+        self.join_all(switch, 2)
+        vector = np.ones(5, dtype=np.float32)
+        switch.handle_frame(segment_frames(0, 0, vector)[0], self.addr(0))
+        # FBcast flushes the partial aggregate to both members.
+        out = switch.handle_frame(
+            encode_control(ControlMessage(Action.FBCAST, value=0)),
+            self.addr(0),
+        )
+        assert len(out) == 2
+        np.testing.assert_array_equal(decode_frame(out[0][0])[1].data, vector)
+        # FBcast of an unknown seg is a no-op.
+        assert (
+            switch.handle_frame(
+                encode_control(ControlMessage(Action.FBCAST, value=99)),
+                self.addr(0),
+            )
+            == []
+        )
+        switch.handle_frame(
+            encode_control(ControlMessage(Action.RESET)), self.addr(0)
+        )
+        assert switch.engine.live_segments == 0
+        assert not switch.done
+        for rank in range(2):
+            switch.handle_frame(
+                encode_control(ControlMessage(Action.LEAVE)), self.addr(rank)
+            )
+        assert switch.done
+        assert switch.counters["leaves"] == 2
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            SoftwareSwitch(n_workers=0)
+        with pytest.raises(ValueError, match="loss_rate"):
+            SoftwareSwitch(n_workers=1, loss_rate=1.0)
+
+
+class TestPsServerLogic:
+    def addr(self, rank):
+        return (LOOPBACK, 41000 + rank)
+
+    def up(self, rank, round_index, chunk, vector):
+        import struct
+
+        return (
+            b"U"
+            + struct.pack("<BII", rank, round_index, chunk)
+            + vector.astype("<f4").tobytes()
+        )
+
+    def join_all(self, server, n):
+        for rank in range(n):
+            server.handle_frame(b"J" + bytes([rank]), self.addr(rank))
+
+    def test_join_and_go_barrier(self):
+        server = PsServer(n_workers=2)
+        first = server.handle_frame(b"J\x00", self.addr(0))
+        assert [f for f, _ in first] == [b"A"]
+        second = server.handle_frame(b"J\x01", self.addr(1))
+        assert [f for f, _ in second] == [b"A", b"G", b"G"]
+        late = server.handle_frame(b"J\x00", self.addr(0))
+        assert [f for f, _ in late] == [b"A", b"G"]
+
+    def test_rank_order_float64_sum_and_dedup(self):
+        server = PsServer(n_workers=2)
+        self.join_all(server, 2)
+        a = np.array([1.0, 2.0], dtype=np.float32)
+        b = np.array([0.5, -1.5], dtype=np.float32)
+        assert server.handle_frame(self.up(1, 0, 0, b), self.addr(1)) == []
+        assert server.handle_frame(self.up(1, 0, 0, b), self.addr(1)) == []
+        assert server.counters["duplicates_dropped"] == 1
+        out = server.handle_frame(self.up(0, 0, 0, a), self.addr(0))
+        assert [addr for _, addr in out] == [self.addr(0), self.addr(1)]
+        down = out[0][0]
+        assert down[:1] == b"D"
+        total = np.frombuffer(down, dtype="<f8", offset=9)
+        np.testing.assert_array_equal(
+            total, (a.astype(np.float64) + b.astype(np.float64))
+        )
+        # A retransmission racing completion is dropped, not re-summed.
+        assert server.handle_frame(self.up(0, 0, 0, a), self.addr(0)) == []
+        assert server.counters["duplicates_dropped"] == 2
+
+    def test_resend_served_from_cache(self):
+        import struct
+
+        server = PsServer(n_workers=1)
+        self.join_all(server, 1)
+        vector = np.ones(3, dtype=np.float32)
+        out = server.handle_frame(self.up(0, 0, 0, vector), self.addr(0))
+        resend = server.handle_frame(
+            b"H" + struct.pack("<BII", 0, 0, 0), self.addr(0)
+        )
+        assert resend == [(out[0][0], self.addr(0))]
+        assert server.counters["resends_served"] == 1
+        # Unknown (round, chunk): nothing to serve yet.
+        assert (
+            server.handle_frame(
+                b"H" + struct.pack("<BII", 0, 5, 0), self.addr(0)
+            )
+            == []
+        )
+
+    def test_result_cache_pruned_below_round_window(self):
+        server = PsServer(n_workers=1)
+        self.join_all(server, 1)
+        vector = np.ones(1, dtype=np.float32)
+        for round_index in range(5):
+            server.handle_frame(
+                self.up(0, round_index, 0, vector), self.addr(0)
+            )
+        assert sorted(r for r, _ in server._results) == [2, 3, 4]
+
+    def test_malformed_frames_counted_not_fatal(self):
+        server = PsServer(n_workers=1)
+        assert server.handle_frame(b"", self.addr(0)) == []
+        assert server.handle_frame(b"U\x00", self.addr(0)) == []
+        assert server.handle_frame(b"Z???", self.addr(0)) == []
+        assert server.counters["decode_errors"] == 2
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            PsServer(n_workers=0)
+
+
+@needs_loopback
+class TestTransport:
+    def test_send_recv_round_trip(self):
+        with UdpEndpoint() as a, UdpEndpoint() as b:
+            a.send(b"hello", b.address)
+            got = b.recv(timeout=2.0)
+            assert got is not None
+            frame, addr = got
+            assert frame == b"hello"
+            assert addr[0] == LOOPBACK
+
+    def test_recv_timeout_returns_none(self):
+        with UdpEndpoint() as endpoint:
+            assert endpoint.recv(timeout=0.05) is None
+
+    def test_loopback_probe(self):
+        assert loopback_available() is True
+
+
+@needs_loopback
+class TestInProcessEndToEnd:
+    """Worker/server loops in threads: the full protocol without forks."""
+
+    def run_switch_session(self, n_workers, iterations, loss_rate=0.0):
+        switch_endpoint = UdpEndpoint()
+        switch = SoftwareSwitch(
+            n_workers=n_workers,
+            endpoint=switch_endpoint,
+            loss_rate=loss_rate,
+            loss_seed=3,
+        )
+        server_thread = threading.Thread(
+            target=switch.serve,
+            kwargs={"deadline": time.monotonic() + 60.0, "poll_interval": 0.05},
+            daemon=True,
+        )
+        server_thread.start()
+        workers = [
+            LiveWorker(
+                rank=rank,
+                n_workers=n_workers,
+                algorithm=TinyAlgorithm(n_elements=5, seed=rank),
+                endpoint=UdpEndpoint(),
+                switch_addr=switch_endpoint.address,
+                recovery_timeout=0.05,
+                max_recovery_attempts=20,
+            )
+            for rank in range(n_workers)
+        ]
+        threads = [
+            threading.Thread(
+                target=lambda w=w: (w.join(), w.train(iterations)),
+                daemon=True,
+            )
+            for w in workers
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+                assert not thread.is_alive(), "worker thread hung"
+            server_thread.join(timeout=10.0)
+            assert not server_thread.is_alive(), "switch never drained"
+        finally:
+            switch_endpoint.close()
+            for worker in workers:
+                worker.endpoint.close()
+        return switch, workers
+
+    def expected_digests(self, n_workers, iterations):
+        algorithms = [TinyAlgorithm(5, seed=r) for r in range(n_workers)]
+        digests = []
+        for _ in range(iterations):
+            total = np.zeros(5, dtype=np.float32)
+            for algorithm in algorithms:
+                total += algorithm.compute_gradient()
+            digests.append(hashlib.sha256(total.tobytes()).hexdigest()[:16])
+            for algorithm in algorithms:
+                algorithm.apply_update(total.astype(np.float64) / n_workers)
+        return digests
+
+    def test_two_worker_session_matches_reference(self):
+        switch, workers = self.run_switch_session(n_workers=2, iterations=3)
+        expected = self.expected_digests(2, 3)
+        for worker in workers:
+            assert worker.round_digests == expected
+        assert switch.done
+        assert switch.stats_snapshot()["engine_completions"] == 3
+        np.testing.assert_array_equal(
+            workers[0].algorithm.get_weights(),
+            workers[1].algorithm.get_weights(),
+        )
+
+    def test_lossy_session_recovers_and_matches_reference(self):
+        switch, workers = self.run_switch_session(
+            n_workers=2, iterations=3, loss_rate=0.3
+        )
+        assert switch.counters["drops_injected"] > 0
+        recoveries = sum(w.counters["help_sent"] for w in workers)
+        assert recoveries > 0
+        for worker in workers:
+            assert worker.round_digests == self.expected_digests(2, 3)
+
+    def test_ps_session_matches_rank_order_reference(self):
+        server_endpoint = UdpEndpoint()
+        server = PsServer(n_workers=2, endpoint=server_endpoint)
+        server_thread = threading.Thread(
+            target=server.serve,
+            kwargs={"deadline": time.monotonic() + 60.0, "poll_interval": 0.05},
+            daemon=True,
+        )
+        server_thread.start()
+        workers = [
+            LivePsWorker(
+                rank=rank,
+                n_workers=2,
+                algorithm=TinyAlgorithm(n_elements=PS_CHUNK_ELEMS + 3, seed=rank),
+                endpoint=UdpEndpoint(),
+                server_addr=server_endpoint.address,
+                recovery_timeout=0.05,
+            )
+            for rank in range(2)
+        ]
+        threads = [
+            threading.Thread(
+                target=lambda w=w: (w.join(), w.train(2)), daemon=True
+            )
+            for w in workers
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+                assert not thread.is_alive(), "ps worker thread hung"
+            server_thread.join(timeout=10.0)
+            assert not server_thread.is_alive(), "ps server never drained"
+        finally:
+            server_endpoint.close()
+            for worker in workers:
+                worker.endpoint.close()
+        assert workers[0].round_digests == workers[1].round_digests
+        assert server.counters["chunks_summed"] == 2 * 2  # 2 chunks x 2 rounds
+        np.testing.assert_array_equal(
+            workers[0].algorithm.get_weights(),
+            workers[1].algorithm.get_weights(),
+        )
+
+    def test_worker_requires_join_before_train(self):
+        worker = LiveWorker(
+            rank=0,
+            n_workers=1,
+            algorithm=TinyAlgorithm(),
+            endpoint=None,
+            switch_addr=(LOOPBACK, 1),
+        )
+        with pytest.raises(RuntimeError, match="join"):
+            worker.train(1)
+
+    def test_worker_rejects_bad_recovery_timeout(self):
+        with pytest.raises(ValueError, match="recovery_timeout"):
+            LiveWorker(
+                rank=0,
+                n_workers=1,
+                algorithm=TinyAlgorithm(),
+                endpoint=None,
+                switch_addr=(LOOPBACK, 1),
+                recovery_timeout=0.0,
+            )
+
+    def test_worker_gives_up_after_max_attempts(self):
+        """A dead switch: the watchdog must abandon the round, not hang."""
+        with UdpEndpoint() as endpoint, UdpEndpoint() as blackhole:
+            worker = LiveWorker(
+                rank=0,
+                n_workers=1,
+                algorithm=TinyAlgorithm(),
+                endpoint=endpoint,
+                switch_addr=blackhole.address,  # bound but never served
+                recovery_timeout=0.01,
+                max_recovery_attempts=2,
+            )
+            worker.threshold = 1  # pretend the join happened
+            with pytest.raises(RuntimeError, match="abandoned"):
+                worker.train(1)
+            assert worker.counters["watchdog_timeouts"] >= 2

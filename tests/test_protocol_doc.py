@@ -1,12 +1,14 @@
 """docs/PROTOCOL.md stays byte-accurate against core/protocol.py.
 
 Parses the markdown tables in the spec and cross-checks every constant,
-action code and Value size against the implementation, then round-trips
-the worked examples.  If either side changes without the other, these
-tests fail.
+action code, Value size and byte offset against the implementation —
+for the codec sections (§7) against the *actual encoder output*, not
+just the model's size arithmetic — then round-trips the worked
+examples.  If either side changes without the other, these tests fail.
 """
 
 import re
+import struct
 from pathlib import Path
 
 import numpy as np
@@ -16,7 +18,12 @@ from repro.core import protocol
 from repro.core.protocol import (
     Action,
     ControlMessage,
+    DataSegment,
+    JoinInfo,
     SegmentPlan,
+    decode_frame,
+    encode_control,
+    encode_data,
     make_control_packet,
     make_data_packet,
 )
@@ -49,6 +56,19 @@ def table_rows(text, *required_headers):
     raise AssertionError(
         f"no table with headers {required_headers} in PROTOCOL.md"
     )
+
+
+def sample_value(action):
+    """A legal, non-trivial Value for each action."""
+    if action == Action.JOIN:
+        return JoinInfo(
+            member_type="worker", rank=3, n_elements=1000, n_chunks=3
+        )
+    if action == Action.SETH:
+        return 3
+    if action == Action.ACK:
+        return 1
+    return 17
 
 
 class TestClassificationConstants:
@@ -103,6 +123,17 @@ class TestControlTable:
             # And no value -> Action byte only.
             assert ControlMessage(action).payload_size == 1
 
+    def test_value_sizes_match_encoder_output(self, doc_text):
+        """§3.2's sizes hold for the real wire frames, not just the model."""
+        for row in table_rows(doc_text, "Action", "Code", "Value bytes"):
+            action = Action[row["Action"].strip("`")]
+            value_bytes = int(row["Value bytes"])
+            message = ControlMessage(action, value=sample_value(action))
+            frame = encode_control(message)
+            # ToS preamble + Action byte + Value.
+            assert len(frame) == 2 + value_bytes, action
+            assert len(frame) == 1 + message.payload_size, action
+
 
 class TestDataSegmentTable:
     def test_size_constants_match(self, doc_text):
@@ -120,6 +151,144 @@ class TestDataSegmentTable:
         )
 
 
+class TestByteCodecStructTable:
+    """§7.2: each action's documented struct layout matches the encoder."""
+
+    def _rows(self, doc_text):
+        return list(table_rows(doc_text, "Action", "Struct", "Value bytes"))
+
+    def test_every_action_appears_exactly_once(self, doc_text):
+        documented = []
+        for row in self._rows(doc_text):
+            documented.extend(
+                Action[name] for name in re.findall(r"`(\w+)`", row["Action"])
+            )
+        assert sorted(documented) == sorted(Action)
+
+    def test_struct_sizes_match_value_bytes(self, doc_text):
+        for row in self._rows(doc_text):
+            fmt = row["Struct"].strip("`")
+            assert struct.calcsize(fmt) == int(row["Value bytes"]), row
+
+    def test_encoder_emits_documented_layout(self, doc_text):
+        for row in self._rows(doc_text):
+            fmt = row["Struct"].strip("`")
+            for name in re.findall(r"`(\w+)`", row["Action"]):
+                action = Action[name]
+                message = ControlMessage(action, value=sample_value(action))
+                frame = encode_control(message)
+                assert frame[0] == protocol.TOS_CONTROL
+                assert frame[1] == action.value
+                # The Value region is exactly one documented struct.
+                fields = struct.unpack(fmt, frame[2:])
+                if action == Action.JOIN:
+                    info = message.value
+                    assert fields == (
+                        1, info.rank, 0, info.n_elements, info.n_chunks, 0
+                    )
+                elif action == Action.SETH:
+                    assert fields == (message.value,)  # job 0
+                elif action == Action.ACK:
+                    assert fields == (message.value,)
+                else:
+                    assert fields == (message.value,)
+
+    def test_job_bit_packing_matches_doc(self, doc_text):
+        """The `(job << k) | value` formulas in §7.2 are the real encoding."""
+        job = 5
+        seth = encode_control(ControlMessage(Action.SETH, value=3, job=job))
+        assert struct.unpack("<I", seth[2:])[0] == (job << 24) | 3
+        ack = encode_control(ControlMessage(Action.ACK, value=1, job=job))
+        assert struct.unpack("<B", ack[2:])[0] == (job << 1) | 1
+        help_ = encode_control(ControlMessage(Action.HELP, value=17, job=job))
+        assert struct.unpack("<Q", help_[2:])[0] == (job << 56) | 17
+        join = encode_control(
+            ControlMessage(Action.JOIN, value=JoinInfo(rank=1), job=job)
+        )
+        assert struct.unpack("<BBHIII", join[2:])[2] == job
+
+    def test_valueless_control_is_two_bytes(self):
+        frame = encode_control(ControlMessage(Action.LEAVE))
+        assert frame == bytes((protocol.TOS_CONTROL, Action.LEAVE))
+
+
+class TestJoinOffsetsTable:
+    def test_join_offsets_match_struct(self, doc_text):
+        rows = list(table_rows(doc_text, "Join offset", "Size", "Join field"))
+        # Rebuild the layout from the documented rows and compare with
+        # the encoder's own struct.
+        offset = 0
+        total = 0
+        for row in rows:
+            assert int(row["Join offset"]) == offset, row["Join field"]
+            offset += int(row["Size"])
+            total += int(row["Size"])
+        assert total == struct.calcsize("<BBHIII") == 16
+        names = [r["Join field"] for r in rows]
+        assert names == [
+            "member", "rank", "job", "n_elements", "n_chunks", "reserved"
+        ]
+
+    def test_join_fields_land_at_documented_offsets(self, doc_text):
+        info = JoinInfo(
+            member_type="switch", rank=9, n_elements=0x11223344, n_chunks=7
+        )
+        frame = encode_control(ControlMessage(Action.JOIN, value=info, job=6))
+        value = frame[2:]
+        offsets = {
+            r["Join field"]: (int(r["Join offset"]), int(r["Size"]))
+            for r in table_rows(doc_text, "Join offset", "Size", "Join field")
+        }
+
+        def field(name):
+            start, size = offsets[name]
+            return int.from_bytes(value[start:start + size], "little")
+
+        assert field("member") == 2  # switch
+        assert field("rank") == 9
+        assert field("job") == 6
+        assert field("n_elements") == 0x11223344
+        assert field("n_chunks") == 7
+        assert field("reserved") == 0
+
+
+class TestDataFrameTable:
+    def test_offsets_match_encoder(self, doc_text):
+        rows = {
+            r["Data field"]: (int(r["Data offset"]), r["Size"])
+            for r in table_rows(doc_text, "Data offset", "Size", "Data field")
+        }
+        assert rows["ToS"][0] == 0
+        assert rows["JobSeg"] == (1, "8")
+        assert rows["Data"][0] == 1 + protocol.SEG_HEADER_BYTES
+
+        data = np.array([1.5, -2.25, float("nan")], dtype=np.float32)
+        segment = DataSegment(seg=17, data=data, job=3)
+        for downstream, tos in (
+            (False, protocol.TOS_DATA_UP),
+            (True, protocol.TOS_DATA_DOWN),
+        ):
+            frame = encode_data(segment, downstream=downstream)
+            assert len(frame) == 1 + 8 + 4 * data.size
+            assert frame[0] == tos
+            word = struct.unpack_from("<Q", frame, 1)[0]
+            assert word == (3 << 56) | 17
+            wire_floats = np.frombuffer(frame, dtype="<f4", offset=9)
+            np.testing.assert_array_equal(
+                wire_floats.astype(np.float32), data
+            )
+
+
+class TestRangeLimitsTable:
+    def test_limits_match(self, doc_text):
+        rows = {
+            r["Constant"].strip("`"): int(r["Limit"])
+            for r in table_rows(doc_text, "Constant", "Limit")
+        }
+        assert rows["MAX_JOB_ID"] == protocol.MAX_JOB_ID == 127
+        assert rows["MAX_SEG_INDEX"] == protocol.MAX_SEG_INDEX == (1 << 56) - 1
+
+
 class TestWorkedExamples:
     def test_seth_example(self):
         msg = ControlMessage(Action.SETH, value=3)
@@ -128,6 +297,36 @@ class TestWorkedExamples:
         assert pkt.tos == protocol.TOS_CONTROL == 0x04
         assert pkt.dst_port == 9999
         assert pkt.wire_size == 5 + 8 + 20 + 4 + 18
+
+    def test_codec_worked_examples(self):
+        """§7.5's hex strings, byte for byte."""
+        assert encode_control(
+            ControlMessage(Action.SETH, value=3)
+        ) == bytes.fromhex("040403000000")
+        assert encode_control(
+            ControlMessage(Action.HELP, value=17, job=2)
+        ) == bytes.fromhex("04061100000000000002")
+        assert encode_control(
+            ControlMessage(Action.LEAVE)
+        ) == bytes.fromhex("0402")
+        assert encode_data(
+            DataSegment(seg=17, data=np.ones(1, dtype=np.float32))
+        ) == bytes.fromhex("0811000000000000000000803f")
+
+    def test_codec_worked_examples_round_trip(self):
+        for frame_hex in (
+            "040403000000",
+            "04061100000000000002",
+            "0402",
+            "0811000000000000000000803f",
+        ):
+            frame = bytes.fromhex(frame_hex)
+            tos, message = decode_frame(frame)
+            assert tos == frame[0]
+            if isinstance(message, ControlMessage):
+                assert encode_control(message) == frame
+            else:
+                assert encode_data(message) == frame
 
     def test_thousand_element_plan_example(self):
         plan = SegmentPlan(1000)
@@ -141,6 +340,16 @@ class TestWorkedExamples:
         assert [s.seg for s in segments] == [15, 16, 17]
         last = make_data_packet("w", "s", segments[2], plan)
         assert last.payload_size == 8 + 268 * 4 == 1080
+
+    def test_wire_bytes_match_encoded_frames(self):
+        """SegmentPlan's wire accounting equals real encoded byte counts."""
+        plan = SegmentPlan(1000)
+        rng = np.random.default_rng(1)
+        vector = rng.normal(size=1000).astype(np.float32)
+        segments = plan.split(vector, round_index=5)
+        encoded = [encode_data(s) for s in segments]
+        # Each frame is the ToS preamble plus the modelled payload bytes.
+        assert sum(len(f) - 1 for f in encoded) == plan.wire_bytes
 
     def test_seg_numbering_round_trips(self):
         plan = SegmentPlan(1000)

@@ -9,7 +9,11 @@ data structures), these fuzz the *packet-level* protocol path with plain
 * random gradient vectors survive split -> chunked data packets ->
   assemble bit-identically, for random plan geometries;
 * truncated, misordered, duplicated and mis-shaped frame sets are
-  rejected by ``assemble`` rather than silently producing garbage.
+  rejected by ``assemble`` rather than silently producing garbage;
+* the byte codec (``encode_control``/``encode_data``/``decode_frame``)
+  round-trips random messages losslessly — including NaN/Inf payloads —
+  and raises ``ProtocolError`` (never anything else) on truncated or
+  garbage buffers.
 """
 
 import random
@@ -20,6 +24,8 @@ import pytest
 from repro.core.protocol import (
     FLOATS_PER_SEGMENT,
     ISWITCH_UDP_PORT,
+    MAX_JOB_ID,
+    MAX_SEG_INDEX,
     SEG_HEADER_BYTES,
     TOS_CONTROL,
     TOS_DATA_DOWN,
@@ -27,7 +33,12 @@ from repro.core.protocol import (
     Action,
     ControlMessage,
     DataSegment,
+    JoinInfo,
+    ProtocolError,
     SegmentPlan,
+    decode_frame,
+    encode_control,
+    encode_data,
     make_control_packet,
     make_data_packet,
 )
@@ -218,3 +229,209 @@ class TestMalformedFrameRejection:
 
     def test_seg_header_matches_figure5(self):
         assert SEG_HEADER_BYTES == 8
+
+
+# ---------------------------------------------------------------------------
+# Byte codec (live mode, PROTOCOL.md §7)
+# ---------------------------------------------------------------------------
+
+#: Wire-legal Value payloads for each Action (the codec's contract is
+#: stricter than the in-simulator model: JOIN carries a JoinInfo, ACK a
+#: 1-bit flag, SETH a 24-bit H).
+_WIRE_VALUES = {
+    Action.JOIN: lambda rng: JoinInfo(
+        member_type=rng.choice(("worker", "switch")),
+        rank=rng.randint(0, 255),
+        n_elements=rng.choice((0, 1, 366, 1000, 0xFFFFFFFF)),
+        n_chunks=rng.randint(0, 0xFFFFFFFF),
+    ),
+    Action.LEAVE: lambda rng: rng.randint(0, MAX_SEG_INDEX),
+    Action.RESET: lambda rng: rng.randint(0, MAX_SEG_INDEX),
+    Action.SETH: lambda rng: rng.randint(0, (1 << 24) - 1),
+    Action.FBCAST: lambda rng: rng.randint(0, MAX_SEG_INDEX),
+    Action.HELP: lambda rng: rng.randint(0, MAX_SEG_INDEX),
+    Action.HALT: lambda rng: rng.randint(0, MAX_SEG_INDEX),
+    Action.ACK: lambda rng: rng.randint(0, 1),
+}
+
+
+def _random_payload(rng: random.Random, np_rng: np.random.Generator):
+    """A float32 payload with deliberately nasty values mixed in."""
+    n = rng.choice((0, 1, 2, rng.randint(3, FLOATS_PER_SEGMENT)))
+    data = np_rng.standard_normal(n).astype(np.float32)
+    for special in (np.nan, np.inf, -np.inf, 0.0, -0.0):
+        if n and rng.random() < 0.3:
+            data[rng.randrange(n)] = special
+    return data
+
+
+class TestCodecControlRoundTrip:
+    def test_wire_fuzzer_covers_every_action(self):
+        assert set(_WIRE_VALUES) == set(Action)
+
+    def test_random_control_messages_round_trip(self):
+        rng = random.Random(SEED + 8)
+        for trial in range(4 * N_TRIALS):
+            action = rng.choice(list(Action))
+            message = ControlMessage(
+                action=action,
+                value=_WIRE_VALUES[action](rng),
+                job=rng.randint(0, MAX_JOB_ID),
+            )
+            frame = encode_control(message)
+            assert len(frame) == 1 + message.payload_size, f"trial {trial}"
+            tos, decoded = decode_frame(frame)
+            assert tos == TOS_CONTROL
+            assert decoded == message, f"trial {trial}"
+            # Byte-level identity the other way around too.
+            assert encode_control(decoded) == frame
+
+    def test_valueless_messages_round_trip(self):
+        for action in Action:
+            frame = encode_control(ControlMessage(action))
+            assert len(frame) == 2
+            _, decoded = decode_frame(frame)
+            assert decoded == ControlMessage(action)
+
+    def test_out_of_range_values_rejected_at_encode(self):
+        cases = [
+            ControlMessage(Action.SETH, value=1 << 24),
+            ControlMessage(Action.ACK, value=2),
+            ControlMessage(Action.HELP, value=-1),
+            ControlMessage(Action.HELP, value=MAX_SEG_INDEX + 1),
+            ControlMessage(Action.HELP, value=0, job=MAX_JOB_ID + 1),
+            ControlMessage(Action.LEAVE, value=None, job=1),
+            ControlMessage(Action.JOIN, value=JoinInfo(member_type="router")),
+            ControlMessage(Action.JOIN, value=JoinInfo(rank=256)),
+            ControlMessage(Action.JOIN, value={"model_bytes": 4}),
+            ControlMessage(Action.HELP, value="17"),
+            ControlMessage(9, value=0),
+        ]
+        for message in cases:
+            with pytest.raises(ProtocolError):
+                encode_control(message)
+
+
+class TestCodecDataRoundTrip:
+    def test_random_segments_round_trip(self):
+        rng = random.Random(SEED + 9)
+        np_rng = np.random.default_rng(SEED + 9)
+        for trial in range(4 * N_TRIALS):
+            segment = DataSegment(
+                seg=rng.choice((0, 1, rng.randint(0, MAX_SEG_INDEX))),
+                data=_random_payload(rng, np_rng),
+                job=rng.randint(0, MAX_JOB_ID),
+            )
+            downstream = rng.random() < 0.5
+            frame = encode_data(segment, downstream=downstream)
+            tos, decoded = decode_frame(frame)
+            assert tos == (TOS_DATA_DOWN if downstream else TOS_DATA_UP)
+            assert decoded.seg == segment.seg
+            assert decoded.job == segment.job
+            # Bit-exact: NaN payloads compare equal as raw bytes.
+            assert decoded.data.tobytes() == segment.data.tobytes()
+            assert encode_data(decoded, downstream=downstream) == frame
+
+    def test_decoded_data_is_a_writable_copy(self):
+        frame = encode_data(
+            DataSegment(seg=0, data=np.ones(4, dtype=np.float32))
+        )
+        _, decoded = decode_frame(frame)
+        decoded.data[0] = 7.0  # must not raise (frombuffer is read-only)
+        assert decoded.data.dtype == np.float32
+
+    def test_oversized_segment_rejected_at_encode(self):
+        with pytest.raises(ProtocolError, match="capacity"):
+            encode_data(
+                DataSegment(
+                    seg=0,
+                    data=np.zeros(FLOATS_PER_SEGMENT + 1, dtype=np.float32),
+                )
+            )
+
+
+class TestCodecMalformedFrames:
+    """decode_frame must raise ProtocolError — never crash — on bad input."""
+
+    def test_specific_malformations_rejected(self):
+        good_help = encode_control(ControlMessage(Action.HELP, value=17))
+        good_join = encode_control(
+            ControlMessage(Action.JOIN, value=JoinInfo(rank=1))
+        )
+        good_data = encode_data(
+            DataSegment(seg=3, data=np.ones(5, dtype=np.float32))
+        )
+        bad_frames = [
+            b"",  # empty
+            b"\x00",  # unknown ToS
+            b"\xff" + good_help[1:],  # unknown ToS, valid tail
+            b"\x04",  # control frame without an Action byte
+            b"\x04\x00",  # action code 0
+            b"\x04\x63",  # unknown action code
+            good_help[:-1],  # truncated mid-Value
+            good_help + b"\x00",  # Value too long
+            good_join[:-3],  # truncated JOIN
+            good_join[:-1] + b"\x01",  # JOIN reserved bits set
+            b"\x04\x01" + b"\x03" + good_join[3:],  # unknown member code
+            b"\x04\x04\x00\x00",  # SETH Value of 2 bytes
+            good_data[:8],  # data frame shorter than its Seg header
+            good_data[:-2],  # payload not whole float32s
+            b"\x08" + b"\x00" * 8 + b"\x00" * 1468,  # payload > 1464 B
+            # job bits above MAX_JOB_ID in the 8-byte Seg/Value word:
+            b"\x04\x06" + (0xFF << 56 | 17).to_bytes(8, "little"),
+            b"\x08" + (0xFF << 56 | 17).to_bytes(8, "little") + b"\x00" * 4,
+        ]
+        for frame in bad_frames:
+            with pytest.raises(ProtocolError):
+                decode_frame(frame)
+
+    def test_random_garbage_never_crashes(self):
+        rng = random.Random(SEED + 10)
+        for _ in range(8 * N_TRIALS):
+            frame = rng.randbytes(rng.randint(0, 64))
+            try:
+                decode_frame(frame)
+            except ProtocolError:
+                continue  # rejected cleanly: fine
+
+    def test_mutated_valid_frames_decode_or_reject_cleanly(self):
+        """Bit-flipped real frames either decode to a re-encodable message
+        or raise ProtocolError — truncation at float32 granularity is
+        indistinguishable from a shorter valid frame, so both outcomes
+        are legal; crashing is not."""
+        rng = random.Random(SEED + 11)
+        np_rng = np.random.default_rng(SEED + 11)
+        originals = [
+            encode_control(ControlMessage(Action.SETH, value=4)),
+            encode_control(
+                ControlMessage(
+                    Action.JOIN,
+                    value=JoinInfo(rank=2, n_elements=100, n_chunks=1),
+                )
+            ),
+            encode_control(ControlMessage(Action.HELP, value=99, job=1)),
+            encode_data(
+                DataSegment(
+                    seg=12, data=np_rng.standard_normal(20).astype(np.float32)
+                )
+            ),
+        ]
+        for _ in range(4 * N_TRIALS):
+            frame = bytearray(rng.choice(originals))
+            mutation = rng.random()
+            if mutation < 0.4 and len(frame) > 1:
+                frame = frame[: rng.randrange(1, len(frame))]  # truncate
+            elif mutation < 0.8:
+                frame[rng.randrange(len(frame))] ^= 1 << rng.randrange(8)
+            else:
+                frame += rng.randbytes(rng.randint(1, 8))
+            try:
+                tos, message = decode_frame(bytes(frame))
+            except ProtocolError:
+                continue
+            # Whatever decoded must re-encode (it is a valid message).
+            if isinstance(message, ControlMessage):
+                reencoded = encode_control(message)
+            else:
+                reencoded = encode_data(message, downstream=tos == TOS_DATA_DOWN)
+            assert reencoded == bytes(frame)
