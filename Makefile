@@ -1,6 +1,6 @@
 PY ?= python
 
-.PHONY: test test-fast lint bench bench-smoke bench-pytest
+.PHONY: test test-fast lint bench bench-smoke bench-pytest soak-smoke
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -x -q
@@ -25,3 +25,7 @@ bench-smoke:
 
 bench-pytest:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only -q
+
+soak-smoke:
+	timeout 60 env PYTHONPATH=src $(PY) -m repro jobs soak \
+		--jobs 32 --seed 0 --policy fair

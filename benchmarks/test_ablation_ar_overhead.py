@@ -9,7 +9,7 @@ of the cost model rather than an assumption.
 
 import dataclasses
 
-from repro.distributed import run_sync
+from repro.distributed import ExperimentConfig, run
 from repro.experiments.reporting import render_table
 from repro.workloads import DEFAULT_COST_MODEL
 
@@ -20,11 +20,29 @@ def sweep():
         cost = dataclasses.replace(
             DEFAULT_COST_MODEL, allreduce_step_overhead=overhead
         )
-        ar = run_sync(
-            "ar", "ppo", n_workers=4, n_iterations=8, seed=1, cost_model=cost
+        ar = run(
+            ExperimentConfig(
+                strategy="ar",
+                workload="ppo",
+                mode="sync",
+                n_workers=4,
+                iterations=8,
+                seed=1,
+                cost_model=cost,
+                telemetry=False,
+            )
         )
-        ps = run_sync(
-            "ps", "ppo", n_workers=4, n_iterations=8, seed=1, cost_model=cost
+        ps = run(
+            ExperimentConfig(
+                strategy="ps",
+                workload="ppo",
+                mode="sync",
+                n_workers=4,
+                iterations=8,
+                seed=1,
+                cost_model=cost,
+                telemetry=False,
+            )
         )
         rows.append(
             {

@@ -6,23 +6,32 @@ S >= the natural staleness (~1 for iSwitch) nothing is discarded, which is
 why the paper can run with S=3 and still see staleness ~1.
 """
 
-from repro.distributed import run_async
+from repro.distributed import ExperimentConfig, run
 from repro.experiments.reporting import render_table
 
 
 def sweep():
     rows = []
     for bound in (0, 1, 3, 10):
-        result = run_async(
-            "isw", "ppo", n_workers=4, n_updates=40, seed=4, staleness_bound=bound
+        result = run(
+            ExperimentConfig(
+                strategy="isw",
+                workload="ppo",
+                mode="async",
+                n_workers=4,
+                iterations=40,
+                seed=4,
+                staleness_bound=bound,
+                telemetry=False,
+            )
         )
         rows.append(
             {
                 "bound": bound,
-                "mean_staleness": result.extras["mean_staleness"],
-                "max_staleness": result.extras["max_staleness"],
-                "skipped": result.extras["skipped_commits"],
-                "commits": result.extras["commits"],
+                "mean_staleness": result.mean_staleness,
+                "max_staleness": result.max_staleness,
+                "skipped": result.skipped_commits,
+                "commits": result.commits,
             }
         )
     return rows

@@ -10,7 +10,7 @@ and measures both.
 
 import dataclasses
 
-from repro.distributed import run_async, run_sync
+from repro.distributed import ExperimentConfig, run
 from repro.experiments.reporting import render_table
 from repro.workloads import get_profile
 
@@ -20,11 +20,29 @@ def sweep():
     rows = []
     for jitter in (0.0, 0.1, 0.3):
         profile = dataclasses.replace(base, compute_jitter=jitter)
-        sync = run_sync(
-            "isw", "ppo", n_workers=4, n_iterations=12, seed=2, profile=profile
+        sync = run(
+            ExperimentConfig(
+                strategy="isw",
+                workload="ppo",
+                mode="sync",
+                n_workers=4,
+                iterations=12,
+                seed=2,
+                profile=profile,
+                telemetry=False,
+            )
         )
-        asynchronous = run_async(
-            "isw", "ppo", n_workers=4, n_updates=60, seed=2, profile=profile
+        asynchronous = run(
+            ExperimentConfig(
+                strategy="isw",
+                workload="ppo",
+                mode="async",
+                n_workers=4,
+                iterations=60,
+                seed=2,
+                profile=profile,
+                telemetry=False,
+            )
         )
         rows.append(
             {

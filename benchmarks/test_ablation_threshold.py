@@ -24,7 +24,7 @@ def sweep():
             {
                 "h": threshold,
                 "per_update_ms": result.per_iteration_time * 1e3,
-                "commits": result.extras["commits"],
+                "commits": result.commits,
                 "updates": result.iterations,
             }
         )

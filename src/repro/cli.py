@@ -3,18 +3,24 @@
 Usage::
 
     python -m repro list                      # what can I run?
-    python -m repro table4                    # regenerate a paper table
-    python -m repro fig13 --iterations 500    # a figure, custom depth
+    python -m repro exp table4                # regenerate a paper table
+    python -m repro exp fig13 --iterations 500
     python -m repro train --strategy isw --workload dqn --iterations 50
     python -m repro train --mode async --strategy ps --workload ppo
+    python -m repro jobs soak --jobs 32       # multi-tenant load generator
+    python -m repro jobs submit --name mine --workers 3
+    python -m repro jobs status
 
-Every experiment subcommand accepts the knobs its module exposes; ``train``
-drives a single strategy and prints the result summary.
+The consistent command groups are ``exp`` (paper artifacts), ``train``,
+``bench``, and ``jobs`` (the multi-tenant fabric).  The pre-group
+invocations — ``python -m repro table4`` and friends — keep working via a
+shim that forwards to ``exp``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -22,6 +28,7 @@ from .bench import add_bench_arguments, run_bench
 from .distributed.config import ExperimentConfig
 from .distributed.registry import MODES, strategy_specs
 from .distributed.runner import ASYNC_STRATEGIES, SYNC_STRATEGIES, run
+from .multitenant.scheduler import POLICIES
 from .experiments import (
     fig4,
     fig8,
@@ -56,7 +63,17 @@ EXPERIMENTS = {
 
 def format_strategy_table() -> str:
     """A table of every registered (mode, strategy) pair and its needs."""
-    rows = [("mode", "strategy", "class", "needs server", "needs iswitch", "live")]
+    rows = [
+        (
+            "mode",
+            "strategy",
+            "class",
+            "needs server",
+            "needs iswitch",
+            "live",
+            "multi-job",
+        )
+    ]
     specs = sorted(strategy_specs(), key=lambda s: MODES.index(s.mode))
     for spec in specs:
         rows.append(
@@ -67,6 +84,7 @@ def format_strategy_table() -> str:
                 "yes" if spec.requires_server else "no",
                 "yes" if spec.requires_iswitch else "no",
                 "yes" if spec.supports_live else "no",
+                "yes" if spec.supports_multijob else "no",
             )
         )
     widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
@@ -81,6 +99,10 @@ def format_strategy_table() -> str:
     lines.append(
         "'live' strategies can run for real over loopback UDP: "
         "repro train --backend live (see README, 'Live mode')."
+    )
+    lines.append(
+        "'multi-job' strategies can share one switch tree between tenants: "
+        "repro jobs submit|status|soak (see README, 'Multi-tenancy')."
     )
     return "\n".join(lines)
 
@@ -119,8 +141,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the full default measurement windows (slower)",
     )
 
+    exp = subparsers.add_parser(
+        "exp", help="regenerate one paper table or figure"
+    )
+    exp.add_argument(
+        "experiment",
+        choices=tuple(EXPERIMENTS),
+        help="which artifact to regenerate",
+    )
+    exp.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="measurement window (iterations or updates)",
+    )
+
+    # Shim: the pre-subcommand spellings (`repro table4`) keep working.
     for name in EXPERIMENTS:
-        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        sub = subparsers.add_parser(name)
         sub.add_argument(
             "--iterations",
             type=int,
@@ -191,7 +229,99 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write run metrics (.prom => Prometheus text, else JSON)",
     )
+
+    _add_jobs_parser(subparsers)
     return parser
+
+
+#: Default multi-tenant batch state file (``repro jobs submit/status``).
+DEFAULT_JOBS_STATE = ".repro-jobs.json"
+
+
+def _add_jobs_parser(subparsers) -> None:
+    jobs = subparsers.add_parser(
+        "jobs", help="multi-tenant fabric: submit jobs, check status, soak"
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    submit = jobs_sub.add_parser(
+        "submit",
+        help="add a job to the batch state file and replay the batch "
+        "through a fresh fabric",
+    )
+    submit.add_argument("--name", required=True, help="job name (unique-ish)")
+    submit.add_argument(
+        "--workload",
+        choices=("dqn", "a2c", "ppo", "ddpg", "synth"),
+        default="synth",
+    )
+    submit.add_argument("--workers", "-n", type=int, default=2)
+    submit.add_argument("--iterations", type=int, default=4)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--priority", type=int, default=0, help="strict-priority policy only"
+    )
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument(
+        "--job-id", type=int, default=None, help="explicit wire job id (1..127)"
+    )
+    submit.add_argument(
+        "--n-params",
+        type=int,
+        default=None,
+        help="synth workload only: model size override",
+    )
+    submit.add_argument(
+        "--arrival",
+        type=float,
+        default=0.0,
+        help="simulated arrival time (seconds)",
+    )
+    submit.add_argument(
+        "--policy", choices=sorted(POLICIES), default="fifo",
+        help="scheduler policy for the replay",
+    )
+    submit.add_argument("--state", metavar="PATH", default=DEFAULT_JOBS_STATE)
+    submit.add_argument(
+        "--no-run",
+        action="store_true",
+        help="record the job without replaying the batch",
+    )
+
+    status = jobs_sub.add_parser(
+        "status", help="show the batch state file as a job table"
+    )
+    status.add_argument("--state", metavar="PATH", default=DEFAULT_JOBS_STATE)
+
+    soak = jobs_sub.add_parser(
+        "soak", help="load generator: a mixed stream of jobs on one fabric"
+    )
+    soak.add_argument("--jobs", type=int, default=32, help="number of jobs")
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--policy", choices=sorted(POLICIES), default="fair")
+    soak.add_argument("--racks", type=int, default=4)
+    soak.add_argument(
+        "--engines", type=int, default=8, help="SRAM engines per switch"
+    )
+    soak.add_argument(
+        "--segments", type=int, default=32, help="segment slots per engine"
+    )
+    soak.add_argument(
+        "--window",
+        type=float,
+        default=2e-3,
+        help="arrival window (simulated seconds)",
+    )
+    soak.add_argument(
+        "--iterations", type=int, default=3, help="iterations per job"
+    )
+    soak.add_argument("--tenants", type=int, default=4)
+    soak.add_argument(
+        "--state",
+        metavar="PATH",
+        default=None,
+        help="also dump per-job summaries to this JSON file",
+    )
 
 
 def _run_experiment(name: str, iterations: Optional[int]) -> int:
@@ -292,7 +422,7 @@ def _run_training(args: argparse.Namespace) -> int:
         return 2
     if want_telemetry:
         _write_telemetry(result, args)
-    live = result.extras.get("backend") == "live"
+    live = result.backend == "live"
     print(f"strategy:           {result.strategy}")
     print(f"workload:           {result.workload}")
     print(f"backend:            {'live (loopback UDP)' if live else 'sim'}")
@@ -301,10 +431,10 @@ def _run_training(args: argparse.Namespace) -> int:
     elapsed_label = "train wall time" if live else "simulated time"
     print(f"{elapsed_label + ':':<19} {result.elapsed:.3f} s")
     print(f"per-iteration time: {result.per_iteration_time * 1e3:.3f} ms")
-    if "mean_staleness" in result.extras:
-        print(f"mean staleness:     {result.extras['mean_staleness']:.2f}")
+    if result.mean_staleness is not None:
+        print(f"mean staleness:     {result.mean_staleness:.2f}")
     if live:
-        stats = result.extras["server_stats"]
+        stats = result.server_stats or {}
         frames_rx = stats.get("frames_rx", 0)
         frames_tx = stats.get("frames_tx", 0)
         print(f"switch frames:      {frames_rx} rx / {frames_tx} tx")
@@ -312,12 +442,12 @@ def _run_training(args: argparse.Namespace) -> int:
         if drops:
             helps = sum(
                 c.get("help_sent", 0)
-                for c in result.extras["worker_counters"].values()
+                for c in (result.worker_counters or {}).values()
             )
             print(f"loss recovery:      {drops} drops injected, {helps} Helps sent")
         rewards = [
             r
-            for r in result.extras.get("rewards", {}).values()
+            for r in (result.rewards or {}).values()
             if r != float("-inf")
         ]
         if rewards:
@@ -334,22 +464,210 @@ def _run_training(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_jobs_state(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return {"specs": [], "last_run": []}
+
+
+def _save_jobs_state(path: str, state: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(state, handle, indent=2)
+        handle.write("\n")
+
+
+def _spec_from_dict(entry: dict):
+    from .multitenant import JobSpec
+
+    return JobSpec(
+        name=entry["name"],
+        workload=entry.get("workload", "synth"),
+        n_workers=entry.get("n_workers", 2),
+        iterations=entry.get("iterations", 4),
+        seed=entry.get("seed", 0),
+        priority=entry.get("priority", 0),
+        tenant=entry.get("tenant", "default"),
+        arrival_time=entry.get("arrival_time", 0.0),
+        job_id=entry.get("job_id"),
+        algorithm_overrides=entry.get("algorithm_overrides"),
+    )
+
+
+def _replay_jobs(state: dict) -> dict:
+    """Run every recorded spec through a fresh fabric; record outcomes."""
+    from .multitenant import SwitchFabric
+
+    fabric = SwitchFabric(policy=state.get("policy", "fifo"), telemetry=False)
+    for entry in state["specs"]:
+        fabric.submit(_spec_from_dict(entry))
+    handles = fabric.run()
+    state["last_run"] = [
+        handle.summary() for handle in handles.values()
+    ]
+    return state
+
+
+_STATUS_COLUMNS = (
+    "job_id",
+    "name",
+    "tenant",
+    "status",
+    "n_workers",
+    "footprint",
+    "wait_time",
+    "run_time",
+)
+
+
+def _format_status_table(rows: List[dict]) -> str:
+    header = tuple(c.replace("_", " ") for c in _STATUS_COLUMNS)
+    table = [header]
+    for row in rows:
+        cells = []
+        for column in _STATUS_COLUMNS:
+            value = row.get(column)
+            if value is None:
+                cells.append("-")
+            elif isinstance(value, float):
+                cells.append(f"{value * 1e3:.2f}ms")
+            else:
+                cells.append(str(value))
+        table.append(tuple(cells))
+    widths = [
+        max(len(row[col]) for row in table) for col in range(len(header))
+    ]
+    lines = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        for row in table
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _run_jobs(args: argparse.Namespace) -> int:
+    if args.jobs_command == "soak":
+        return _run_jobs_soak(args)
+    if args.jobs_command == "submit":
+        return _run_jobs_submit(args)
+    return _run_jobs_status(args)
+
+
+def _run_jobs_submit(args: argparse.Namespace) -> int:
+    overrides = {"n_params": args.n_params} if args.n_params else None
+    entry = {
+        "name": args.name,
+        "workload": args.workload,
+        "n_workers": args.workers,
+        "iterations": args.iterations,
+        "seed": args.seed,
+        "priority": args.priority,
+        "tenant": args.tenant,
+        "arrival_time": args.arrival,
+        "job_id": args.job_id,
+        "algorithm_overrides": overrides,
+    }
+    try:
+        _spec_from_dict(entry)  # validate before persisting
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    state = _load_jobs_state(args.state)
+    state["policy"] = args.policy
+    state.setdefault("specs", []).append(entry)
+    if args.no_run:
+        _save_jobs_state(args.state, state)
+        print(
+            f"recorded {args.name!r} ({len(state['specs'])} job(s) in "
+            f"{args.state}); run `repro jobs submit` without --no-run or "
+            "`repro jobs status` after a replay to see outcomes"
+        )
+        return 0
+    try:
+        state = _replay_jobs(state)
+    except (ValueError, RuntimeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    _save_jobs_state(args.state, state)
+    print(_format_status_table(state["last_run"]))
+    return 0
+
+
+def _run_jobs_status(args: argparse.Namespace) -> int:
+    state = _load_jobs_state(args.state)
+    if not state.get("specs"):
+        print(f"no jobs recorded in {args.state}")
+        return 0
+    rows = state.get("last_run") or []
+    if not rows:
+        rows = [
+            {"name": entry["name"], "tenant": entry.get("tenant", "default"),
+             "n_workers": entry.get("n_workers", 2), "status": "recorded"}
+            for entry in state["specs"]
+        ]
+    print(_format_status_table(rows))
+    return 0
+
+
+def _run_jobs_soak(args: argparse.Namespace) -> int:
+    from .multitenant import run_soak
+
+    try:
+        fabric, report = run_soak(
+            n_jobs=args.jobs,
+            seed=args.seed,
+            policy=args.policy,
+            n_racks=args.racks,
+            sram_engines=args.engines,
+            sram_segments_per_engine=args.segments,
+            arrival_window=args.window,
+            iterations=args.iterations,
+            n_tenants=args.tenants,
+            telemetry=False,
+        )
+    except (ValueError, RuntimeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for line in report.summary_lines():
+        print(line)
+    if args.state:
+        _save_jobs_state(
+            args.state,
+            {
+                "policy": report.policy,
+                "specs": [],
+                "last_run": [
+                    h.summary() for h in fabric.handles.values()
+                ],
+            },
+        )
+        print(f"per-job summaries written: {args.state}")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        print("experiments:", ", ".join(EXPERIMENTS))
+        print("experiments:  exp", "|".join(EXPERIMENTS))
         print(
-            "training:    train --mode sync|async --strategy "
+            "training:     train --mode sync|async --strategy "
             f"{'|'.join(sorted(set(SYNC_STRATEGIES + ASYNC_STRATEGIES)))} ..."
         )
-        print("strategies:  repro --list-strategies")
+        print("multi-tenant: jobs submit|status|soak")
+        print("strategies:   repro --list-strategies")
         return 0
     if args.command == "train":
         return _run_training(args)
     if args.command == "bench":
         return run_bench(args)
+    if args.command == "jobs":
+        return _run_jobs(args)
     if args.command == "all":
         return _run_all(full=args.full)
+    if args.command == "exp":
+        return _run_experiment(args.experiment, args.iterations)
+    # Shim: bare experiment names forward to `exp`.
     return _run_experiment(args.command, args.iterations)
 
 

@@ -73,7 +73,7 @@ def _port_toward(switch: EthernetSwitch, device) -> object:
     raise ValueError(f"{switch.name} has no link toward {device.name}")
 
 
-def configure_aggregation(net: Network) -> List[ISwitch]:
+def configure_aggregation(net: Network, job: int = 0) -> List[ISwitch]:
     """Set up (possibly hierarchical) in-switch aggregation on ``net``.
 
     * Every worker becomes a member of its ToR iSwitch.
@@ -85,13 +85,16 @@ def configure_aggregation(net: Network) -> List[ISwitch]:
     * Each switch's H defaults to its member count (local workers for
       ToRs, child switches above).
 
+    ``job`` selects which per-switch job table entry the membership lands
+    in (0 = the default single-tenant job).
+
     Returns all participating iSwitches, leaf-to-root.
     """
     switches = [_require_iswitch(s) for s in net.switches]
     root = _require_iswitch(net.root) if net.root is not None else None
 
     for worker, tor in zip(net.workers, net.tor_of_worker):
-        _require_iswitch(tor).add_member(worker.name, MemberType.WORKER)
+        _require_iswitch(tor).add_member(worker.name, MemberType.WORKER, job=job)
 
     for switch in switches:
         if switch is root:
@@ -104,7 +107,7 @@ def configure_aggregation(net: Network) -> List[ISwitch]:
             )
         parent = _require_iswitch(uplink.peer.device)
         switch.set_parent(parent.name)
-        parent.add_member(switch.name, MemberType.SWITCH)
+        parent.add_member(switch.name, MemberType.SWITCH, job=job)
         # The generic topology routes host names only; aggregation
         # results travel switch-to-switch, so teach both directions.
         parent.add_route(switch.name, _port_toward(parent, switch))

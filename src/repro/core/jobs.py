@@ -80,6 +80,19 @@ class JobTable:
             self._jobs[job_id] = state
         return state
 
+    def register(self, job_id: int) -> JobState:
+        """Create a job's state, rejecting duplicates.
+
+        Unlike :meth:`get` (lazy creation for the datapath), ``register``
+        is the control-plane spelling: submitting the same job id twice is
+        a tenant error, not an idempotent lookup.
+        """
+        if job_id in self._jobs:
+            raise ValueError(
+                f"job {job_id} is already registered on this switch"
+            )
+        return self.get(job_id)
+
     def peek(self, job_id: int) -> Optional[JobState]:
         """Fetch without creating."""
         return self._jobs.get(job_id)

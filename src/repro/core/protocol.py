@@ -550,6 +550,7 @@ def make_control_packet(
         payload=message,
         src_port=src_port,
         dst_port=ISWITCH_UDP_PORT,
+        job=message.job,
     )
 
 
@@ -581,4 +582,5 @@ def make_data_packet(
         src_port=src_port,
         dst_port=ISWITCH_UDP_PORT,
         frame_count=frames,
+        job=segment.job,
     )

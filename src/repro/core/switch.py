@@ -133,7 +133,12 @@ class ISwitch(EthernetSwitch):
         state = self.jobs.get(segment.job)
         telemetry = self.sim.telemetry
         if telemetry.enabled:
-            telemetry.inc("switch.contributions", 1, switch=self.name)
+            if segment.job:
+                telemetry.inc(
+                    "switch.contributions", 1, switch=self.name, job=segment.job
+                )
+            else:
+                telemetry.inc("switch.contributions", 1, switch=self.name)
             if state.engine.clock is None:
                 # Arm the engine's first-arrival stamping lazily so the
                 # datapath stays timestamp-free while telemetry is off.
@@ -158,7 +163,17 @@ class ISwitch(EthernetSwitch):
                     seg=completed.seg,
                     job=completed.job,
                 )
-                telemetry.inc("switch.segments_completed", 1, switch=self.name)
+                if completed.job:
+                    telemetry.inc(
+                        "switch.segments_completed",
+                        1,
+                        switch=self.name,
+                        job=completed.job,
+                    )
+                else:
+                    telemetry.inc(
+                        "switch.segments_completed", 1, switch=self.name
+                    )
             self.sim.schedule_fire(
                 latency + self.latency,
                 lambda seg=completed: self._emit_result(seg),
@@ -197,10 +212,23 @@ class ISwitch(EthernetSwitch):
 
     def _broadcast_result(self, result: DataSegment) -> None:
         """Send the summed segment to every local member (Figure 1c)."""
+        # The job may have been evicted (last member left) between the
+        # segment completing and this delayed fan-out; don't resurrect it.
+        state = self.jobs.peek(result.job)
+        if state is None:
+            return
         self.result_broadcasts += 1
         telemetry = self.sim.telemetry
         if telemetry.enabled:
-            telemetry.inc("switch.result_broadcasts", 1, switch=self.name)
+            if result.job:
+                telemetry.inc(
+                    "switch.result_broadcasts",
+                    1,
+                    switch=self.name,
+                    job=result.job,
+                )
+            else:
+                telemetry.inc("switch.result_broadcasts", 1, switch=self.name)
             telemetry.event(
                 "segment.broadcast",
                 cat="aggregation",
@@ -208,7 +236,7 @@ class ISwitch(EthernetSwitch):
                 seg=result.seg,
                 job=result.job,
             )
-        for entry in self.jobs.get(result.job).members.addresses:
+        for entry in state.members.addresses:
             self._send_data(entry, result, downstream=True)
 
     def _handle_result_from_parent(self, packet: Packet) -> None:

@@ -177,9 +177,9 @@ class AsyncParameterServer:
             elapsed=elapsed,
             workers=self.workers,
         )
-        result.extras["mean_staleness"] = self.staleness.mean
-        result.extras["max_staleness"] = self.staleness.max
-        result.extras["server_busy_time"] = self.server_cpu.busy_time
+        result.mean_staleness = self.staleness.mean
+        result.max_staleness = self.staleness.max
+        result.server_busy_time = self.server_cpu.busy_time
         return result
 
     # ------------------------------------------------------------------
@@ -327,7 +327,7 @@ class AsyncParameterServer:
             self._done = True
 
 
-@register_strategy("async", "isw", requires_iswitch=True)
+@register_strategy("async", "isw", requires_iswitch=True, supports_multijob=True)
 class AsyncISwitch:
     """Algorithm 1: decentralized asynchronous training through the switch."""
 
@@ -343,8 +343,10 @@ class AsyncISwitch:
         threshold: Optional[int] = None,
         recovery_timeout: Optional[float] = None,
         max_recovery_attempts: Optional[int] = None,
+        job: int = 0,
     ) -> None:
         self.net = net
+        self.job = job
         self.sim = net.sim
         self.workers = workers
         self.profile = profile
@@ -377,6 +379,7 @@ class AsyncISwitch:
             recovery_timeout=recovery_timeout,
             max_recovery_attempts=max_recovery_attempts,
             on_round_abandoned=self._round_abandoned,
+            job=job,
         )
         self.plan = self.stream.plan
         self.clients = self.stream.clients
@@ -403,6 +406,7 @@ class AsyncISwitch:
                 config.resolved_recovery_timeout() if fault_armed else None
             ),
             max_recovery_attempts=12 if fault_armed else None,
+            job=getattr(config, "job_id", 0),
         )
 
     def run(self, n_updates: int) -> TrainingResult:
@@ -424,10 +428,10 @@ class AsyncISwitch:
             elapsed=elapsed,
             workers=self.workers,
         )
-        result.extras["mean_staleness"] = self.staleness.mean
-        result.extras["max_staleness"] = self.staleness.max
-        result.extras["commits"] = self.commits
-        result.extras["skipped_commits"] = self.skipped_commits
+        result.mean_staleness = self.staleness.mean
+        result.max_staleness = self.staleness.max
+        result.commits = self.commits
+        result.skipped_commits = self.skipped_commits
         return result
 
     # ------------------------------------------------------------------

@@ -63,13 +63,15 @@ class ISwitchStream:
         max_recovery_attempts: Optional[int] = None,
         on_round_abandoned: Optional[Callable[[object, int], None]] = None,
         name: str = "iswitch_stream",
+        job: int = 0,
     ) -> None:
         self.net = net
         self.sim = net.sim
         self.workers = workers
         self.on_round = on_round
         self.name = name
-        configure_aggregation(net)
+        self.job = job
+        configure_aggregation(net, job=job)
         switches = aggregation_switches(net)
         n_params = workers[0].algorithm.n_params
         self.plan = make_plan(n_params, wire_bytes)
@@ -81,17 +83,16 @@ class ISwitchStream:
                 raise ValueError(
                     "explicit H is only supported on a single-switch topology"
                 )
-            switches[0].engine.set_threshold(threshold)
+            switches[0].jobs.get(job).engine.set_threshold(threshold)
         if arrival_renumber:
             for switch in switches:
                 # Arrival-order renumbering gives the paper's true async
                 # semantics: the next H arriving vectors form a round,
                 # letting fast workers contribute more than once.
-                switch.engine.arrival_renumber = self.plan.n_chunks
+                engine = switch.jobs.get(job).engine
+                engine.arrival_renumber = self.plan.n_chunks
                 if buffer_rounds is not None:
-                    switch.engine.buffer_limit = (
-                        self.plan.n_chunks * buffer_rounds
-                    )
+                    engine.buffer_limit = self.plan.n_chunks * buffer_rounds
         self.clients: List[AggregationClient] = []
         for worker, tor in zip(workers, net.tor_of_worker):
             worker_self = worker
@@ -103,6 +104,7 @@ class ISwitchStream:
                     w, rnd, vec
                 ),
                 recovery_timeout=recovery_timeout,
+                job=job,
                 max_recovery_attempts=max_recovery_attempts,
                 on_round_abandoned=(
                     None

@@ -55,6 +55,10 @@ class ExperimentConfig:
     #: Iterations (sync) or weight updates (async) to simulate.
     iterations: int = 50
     seed: int = 0
+    #: Training-job id for multi-tenant switches (0 = the default job).
+    #: Only iSwitch strategies consume it; the wire protocol carries it in
+    #: 7 reserved bits, hence the 0..127 range.
+    job_id: int = 0
     #: Async only: the staleness bound S of Algorithm 1.
     staleness_bound: int = 3
     #: Independent per-packet drop probability on every host link.
@@ -106,6 +110,10 @@ class ExperimentConfig:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         if self.iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {self.iterations}")
+        if not 0 <= self.job_id <= 127:
+            raise ValueError(
+                f"job_id must be in [0, 127] (7 wire bits), got {self.job_id}"
+            )
         if self.staleness_bound < 0:
             raise ValueError(
                 f"staleness_bound must be >= 0, got {self.staleness_bound}"

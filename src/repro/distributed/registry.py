@@ -50,6 +50,9 @@ class StrategySpec:
     #: The live UDP backend (:mod:`repro.live`) can execute this strategy
     #: for real over loopback sockets.
     supports_live: bool = False
+    #: The multi-tenant fabric (:mod:`repro.multitenant`) can multiplex
+    #: many concurrent instances of this strategy over one switch tree.
+    supports_multijob: bool = False
 
 
 _REGISTRY: Dict[Tuple[str, str], StrategySpec] = {}
@@ -62,6 +65,7 @@ def register_strategy(
     requires_server: bool = False,
     requires_iswitch: bool = False,
     supports_live: bool = False,
+    supports_multijob: bool = False,
 ):
     """Class decorator registering a strategy under ``(mode, name)``.
 
@@ -91,6 +95,7 @@ def register_strategy(
             requires_server=requires_server,
             requires_iswitch=requires_iswitch,
             supports_live=supports_live,
+            supports_multijob=supports_multijob,
         )
         return cls
 

@@ -7,9 +7,10 @@ The primary API is one config object plus one function:
 >>> result.per_iteration_time   # doctest: +SKIP
 >>> result.telemetry.value("link.tx_packets")   # doctest: +SKIP
 
-``run_sync``/``run_async`` remain as thin keyword wrappers for existing
-callers (the experiments and benchmarks) and produce identical results
-for the same arguments.
+``run_sync``/``run_async`` remain as thin keyword wrappers; both are
+**deprecated** — they emit a :class:`DeprecationWarning` and route through
+``run(ExperimentConfig(...))``, producing bit-identical results for the
+same arguments (pinned by the regression tests).
 
 Strategy names follow the paper's abbreviations: ``ps``, ``ar``, ``isw``
 (synchronous, plus the ``ar-hd`` halving/doubling and ``ps-shard``
@@ -22,6 +23,7 @@ of Figure 10 with hierarchical aggregation.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from ..core.hierarchy import (
@@ -206,6 +208,11 @@ def run(config: ExperimentConfig) -> TrainingResult:
             f"strategy {config.strategy!r} has no loss recovery; "
             "loss_rate > 0 requires an iSwitch strategy ('isw')"
         )
+    if config.job_id and not spec.requires_iswitch:
+        raise ValueError(
+            f"strategy {config.strategy!r} has no per-job switch state; "
+            "job_id > 0 requires an iSwitch strategy ('isw')"
+        )
     profile = config.resolved_profile()
     plan = config.resolved_fault_plan()
     hub = TelemetryHub() if config.telemetry else None
@@ -271,9 +278,17 @@ def run_sync(
 ) -> TrainingResult:
     """Run synchronous distributed training with ``strategy`` ps|ar|isw.
 
-    Thin wrapper over :func:`run`; kept for existing callers.  Telemetry
-    defaults *off* here so benchmark timings are unaffected.
+    .. deprecated::
+        Build an :class:`ExperimentConfig` and call :func:`run` instead;
+        results are bit-identical for the same arguments.  Telemetry
+        defaults *off* here so benchmark timings are unaffected.
     """
+    warnings.warn(
+        "run_sync() is deprecated; use run(ExperimentConfig(mode='sync', "
+        "..., telemetry=False)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     strategy = strategy.lower()
     if strategy not in SYNC_STRATEGIES:
         raise KeyError(f"unknown sync strategy {strategy!r}; choose {SYNC_STRATEGIES}")
@@ -311,8 +326,16 @@ def run_async(
 ) -> TrainingResult:
     """Run asynchronous distributed training with ``strategy`` ps|isw.
 
-    Thin wrapper over :func:`run`; kept for existing callers.
+    .. deprecated::
+        Build an :class:`ExperimentConfig` and call :func:`run` instead;
+        results are bit-identical for the same arguments.
     """
+    warnings.warn(
+        "run_async() is deprecated; use run(ExperimentConfig(mode='async', "
+        "..., telemetry=False)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     strategy = strategy.lower()
     if strategy not in ASYNC_STRATEGIES:
         raise KeyError(

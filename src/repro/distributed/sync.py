@@ -404,7 +404,13 @@ class HalvingDoublingAllReduce(_ExchangeAllReduce):
         )
 
 
-@register_strategy("sync", "isw", requires_iswitch=True, supports_live=True)
+@register_strategy(
+    "sync",
+    "isw",
+    requires_iswitch=True,
+    supports_live=True,
+    supports_multijob=True,
+)
 class SyncISwitch(SyncStrategy):
     """Figure 1c: in-switch aggregation = one ``iswitch_stream``.
 
@@ -428,11 +434,13 @@ class SyncISwitch(SyncStrategy):
         cost_model: CostModel = DEFAULT_COST_MODEL,
         recovery_timeout: Optional[float] = None,
         max_recovery_attempts: Optional[int] = None,
+        job: int = 0,
     ) -> None:
         # _setup() runs inside the base __init__, so the timeout must be
         # in place before delegating.
         self.recovery_timeout = recovery_timeout
         self.max_recovery_attempts = max_recovery_attempts
+        self.job = job
         #: Membership-fault state: crashes waiting to take effect at the
         #: target's next iteration boundary, currently-down workers, the
         #: queue of rejoin requests, and the append-only
@@ -455,6 +463,7 @@ class SyncISwitch(SyncStrategy):
             # Bounded retries keep the event loop drainable when a fault
             # leaves a round permanently unsatisfiable.
             max_recovery_attempts=64 if fault_armed else None,
+            job=getattr(config, "job_id", 0),
         )
 
     def _setup(self) -> None:
@@ -465,6 +474,7 @@ class SyncISwitch(SyncStrategy):
             on_round=lambda w, rnd, vec: self._deliver_sum(w, vec, rnd),
             recovery_timeout=self.recovery_timeout,
             max_recovery_attempts=self.max_recovery_attempts,
+            job=getattr(self, "job", 0),
         )
         self.plan = self.stream.plan
         self.clients = self.stream.clients

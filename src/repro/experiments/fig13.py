@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..distributed.runner import run_sync
+from ..distributed.config import ExperimentConfig
+from ..distributed.runner import run as run_experiment
 from .reporting import render_series
 
 __all__ = ["run", "collect"]
@@ -28,12 +29,16 @@ def collect(
 ) -> List[Dict]:
     records = []
     for strategy in STRATEGIES:
-        result = run_sync(
-            strategy,
-            workload,
-            n_workers=n_workers,
-            n_iterations=n_iterations,
-            seed=seed,
+        result = run_experiment(
+            ExperimentConfig(
+                strategy=strategy,
+                workload=workload,
+                mode="sync",
+                n_workers=n_workers,
+                iterations=n_iterations,
+                seed=seed,
+                telemetry=False,
+            )
         )
         curve = result.workers[0].reward_curve
         records.append(

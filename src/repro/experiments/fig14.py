@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..distributed.runner import run_async
+from ..distributed.config import ExperimentConfig
+from ..distributed.runner import run as run_experiment
 from .reporting import render_series
 
 __all__ = ["run", "collect"]
@@ -33,13 +34,17 @@ def collect(
 ) -> List[Dict]:
     records = []
     for strategy in STRATEGIES:
-        result = run_async(
-            strategy,
-            workload,
-            n_workers=n_workers,
-            n_updates=n_updates,
-            seed=seed,
-            staleness_bound=staleness_bound,
+        result = run_experiment(
+            ExperimentConfig(
+                strategy=strategy,
+                workload=workload,
+                mode="async",
+                n_workers=n_workers,
+                iterations=n_updates,
+                seed=seed,
+                staleness_bound=staleness_bound,
+                telemetry=False,
+            )
         )
         curve = result.workers[0].reward_curve
         records.append(
@@ -50,7 +55,7 @@ def collect(
                 "elapsed": result.elapsed,
                 "final_reward": result.final_average_reward,
                 "per_iteration_ms": result.per_iteration_time * 1e3,
-                "mean_staleness": result.extras["mean_staleness"],
+                "mean_staleness": result.mean_staleness,
             }
         )
     return records

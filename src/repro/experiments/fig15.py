@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..distributed.runner import run_async, run_sync
+from ..distributed.config import ExperimentConfig
+from ..distributed.runner import run as run_experiment
 from .reporting import render_table
 
 __all__ = ["run", "collect", "CLUSTER_SIZES"]
@@ -52,12 +53,16 @@ def collect(
         for strategy in SYNC_STRATEGIES:
             base = None
             for size in sizes:
-                result = run_sync(
-                    strategy,
-                    workload,
-                    n_workers=size,
-                    n_iterations=n_iterations,
-                    seed=seed,
+                result = run_experiment(
+                    ExperimentConfig(
+                        strategy=strategy,
+                        workload=workload,
+                        mode="sync",
+                        n_workers=size,
+                        iterations=n_iterations,
+                        seed=seed,
+                        telemetry=False,
+                    )
                 )
                 cost = result.per_iteration_time / size  # T × I, I ∝ 1/N
                 if base is None:
@@ -75,14 +80,18 @@ def collect(
         for strategy in ASYNC_STRATEGIES:
             base = None
             for size in sizes:
-                result = run_async(
-                    strategy,
-                    workload,
-                    n_workers=size,
-                    n_updates=n_updates,
-                    seed=seed,
+                result = run_experiment(
+                    ExperimentConfig(
+                        strategy=strategy,
+                        workload=workload,
+                        mode="async",
+                        n_workers=size,
+                        iterations=n_updates,
+                        seed=seed,
+                        telemetry=False,
+                    )
                 )
-                staleness = result.extras["mean_staleness"]
+                staleness = result.mean_staleness
                 inflation = 1.0 + ALPHA * staleness**0.5
                 cost = result.per_iteration_time * inflation / size
                 if base is None:

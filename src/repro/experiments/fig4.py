@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..distributed.runner import run_sync
+from ..distributed.config import ExperimentConfig
+from ..distributed.runner import run as run_experiment
 from ..workloads.profiles import BREAKDOWN_COMPONENTS
 from .reporting import render_table
 
@@ -26,12 +27,16 @@ def collect(
     records = []
     for strategy in ("ps", "ar"):
         for workload in WORKLOADS:
-            result = run_sync(
-                strategy,
-                workload,
-                n_workers=n_workers,
-                n_iterations=n_iterations,
-                seed=seed,
+            result = run_experiment(
+                ExperimentConfig(
+                    strategy=strategy,
+                    workload=workload,
+                    mode="sync",
+                    n_workers=n_workers,
+                    iterations=n_iterations,
+                    seed=seed,
+                    telemetry=False,
+                )
             )
             records.append(
                 {

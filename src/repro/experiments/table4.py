@@ -15,7 +15,8 @@ from typing import Dict, List
 
 import numpy as np
 
-from ..distributed.runner import run_sync
+from ..distributed.config import ExperimentConfig
+from ..distributed.runner import run as run_experiment
 from ..workloads.profiles import PROFILES
 from .reporting import render_table
 
@@ -34,12 +35,16 @@ def collect(
         profile = PROFILES[workload]
         weights: Dict[str, np.ndarray] = {}
         for strategy in STRATEGIES:
-            result = run_sync(
-                strategy,
-                workload,
-                n_workers=n_workers,
-                n_iterations=n_iterations,
-                seed=seed,
+            result = run_experiment(
+                ExperimentConfig(
+                    strategy=strategy,
+                    workload=workload,
+                    mode="sync",
+                    n_workers=n_workers,
+                    iterations=n_iterations,
+                    seed=seed,
+                    telemetry=False,
+                )
             )
             weights[strategy] = result.workers[0].algorithm.get_weights()
             records.append(

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..distributed.runner import run_async
+from ..distributed.config import ExperimentConfig
+from ..distributed.runner import run as run_experiment
 from ..workloads.profiles import PROFILES
 from .reporting import render_table
 
@@ -44,17 +45,21 @@ def collect(
         profile = PROFILES[workload]
         measured: Dict[str, Dict] = {}
         for strategy in STRATEGIES:
-            result = run_async(
-                strategy,
-                workload,
-                n_workers=n_workers,
-                n_updates=n_updates,
-                seed=seed,
-                staleness_bound=staleness_bound,
+            result = run_experiment(
+                ExperimentConfig(
+                    strategy=strategy,
+                    workload=workload,
+                    mode="async",
+                    n_workers=n_workers,
+                    iterations=n_updates,
+                    seed=seed,
+                    staleness_bound=staleness_bound,
+                    telemetry=False,
+                )
             )
             measured[strategy] = {
                 "per_iteration": result.per_iteration_time,
-                "staleness": result.extras["mean_staleness"],
+                "staleness": result.mean_staleness,
                 "reward": result.final_average_reward,
             }
         # Calibrate the staleness-inflation slope on the PS column; the

@@ -6,7 +6,8 @@ It forks one aggregator process (a :class:`~repro.live.switch.SoftwareSwitch`
 for ``isw``, a :class:`~repro.live.ps.PsServer` for ``ps``) plus
 ``n_workers`` worker processes, all talking loopback UDP, and folds their
 reports into the same :class:`~repro.distributed.results.TrainingResult`
-shape the simulator returns (``result.extras["backend"] == "live"``).
+shape the simulator returns (``result.backend == "live"``, with the live
+artifacts in the typed fields ``final_weights``/``round_digests``/...).
 
 Every child reports ``("ok", payload)`` or ``("error", traceback)`` over
 its pipe; any child failure terminates the fleet and raises
@@ -61,6 +62,7 @@ def _switch_main(conn, params: Dict[str, Any]) -> None:
             endpoint=endpoint,
             loss_rate=params["loss_rate"],
             loss_seed=params["seed"],
+            job=params.get("job", 0),
         )
         conn.send(("port", endpoint.port))
         switch.serve(deadline=time.monotonic() + params["deadline"])
@@ -109,6 +111,7 @@ def _worker_main(conn, rank: int, params: Dict[str, Any]) -> None:
                 endpoint=endpoint,
                 switch_addr=server_addr,
                 recovery_timeout=params["recovery_timeout"],
+                job=params.get("job", 0),
             )
         else:
             from .ps import LivePsWorker
@@ -189,6 +192,11 @@ def run_live(config) -> "TrainingResult":
             f"strategy {config.strategy!r} has no loss recovery; "
             "loss_rate > 0 requires an iSwitch strategy ('isw')"
         )
+    if getattr(config, "job_id", 0) and not spec.requires_iswitch:
+        raise ValueError(
+            f"strategy {config.strategy!r} has no per-job switch state; "
+            "job_id > 0 requires an iSwitch strategy ('isw')"
+        )
     if not loopback_available():
         raise LiveRunError(
             "loopback UDP is unavailable in this environment"
@@ -209,6 +217,7 @@ def run_live(config) -> "TrainingResult":
         "loss_rate": config.loss_rate,
         "recovery_timeout": recovery_timeout,
         "algorithm_overrides": config.algorithm_overrides,
+        "job": getattr(config, "job_id", 0),
         "deadline": RUN_DEADLINE,
     }
 
@@ -285,20 +294,18 @@ def run_live(config) -> "TrainingResult":
         # comparable with other live timings.
         elapsed=max(r["train_seconds"] for r in worker_reports),
         workers=[],
-    )
-    result.extras = {
-        "backend": "live",
-        "wall_elapsed": wall_elapsed,
-        "final_weights": {
+        backend="live",
+        wall_elapsed=wall_elapsed,
+        final_weights={
             r["rank"]: r["final_weights"] for r in worker_reports
         },
-        "round_digests": list(digests[0]),
-        "rewards": {r["rank"]: r["reward"] for r in worker_reports},
-        "worker_counters": {
+        round_digests=list(digests[0]),
+        rewards={r["rank"]: r["reward"] for r in worker_reports},
+        worker_counters={
             r["rank"]: r["counters"] for r in worker_reports
         },
-        "server_stats": server_stats,
-    }
+        server_stats=server_stats,
+    )
     if hub is not None:
         result.telemetry = hub.snapshot(
             meta={

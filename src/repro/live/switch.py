@@ -55,12 +55,16 @@ class SoftwareSwitch:
         loss_rate: float = 0.0,
         loss_seed: int = 0,
         cache_size: int = 4096,
+        job: int = 0,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self.n_workers = n_workers
+        #: The single training-job id this switch serves; frames stamped
+        #: with a different job are dropped (counted as ``wrong_job``).
+        self.job = job
         self.endpoint = endpoint
         self.engine = AggregationEngine(
             threshold=n_workers,
@@ -84,6 +88,7 @@ class SoftwareSwitch:
             "joins": 0,
             "leaves": 0,
             "decode_errors": 0,
+            "wrong_job": 0,
         }
 
     # ------------------------------------------------------------------
@@ -112,6 +117,9 @@ class SoftwareSwitch:
             tos, message = decode_frame(frame)
         except ProtocolError:
             self.counters["decode_errors"] += 1
+            return []
+        if getattr(message, "job", 0) != self.job:
+            self.counters["wrong_job"] += 1
             return []
         if tos == TOS_CONTROL:
             return self._handle_control(message, addr)
@@ -159,11 +167,18 @@ class SoftwareSwitch:
             # A retry (our ACK or the SetH may have raced the worker's
             # watchdog).  Re-admit idempotently at the latest address.
             self._members[info.rank] = addr
-        out = [(encode_control(ControlMessage(Action.ACK, value=1)), addr)]
+        out = [
+            (
+                encode_control(
+                    ControlMessage(Action.ACK, value=1, job=self.job)
+                ),
+                addr,
+            )
+        ]
         if len(self._members) == self.n_workers and not self._go_sent:
             self._go_sent = True
             go = encode_control(
-                ControlMessage(Action.SETH, value=self.n_workers)
+                ControlMessage(Action.SETH, value=self.n_workers, job=self.job)
             )
             out.extend((go, a) for _, a in self._active_members())
         elif self._go_sent:
@@ -171,7 +186,9 @@ class SoftwareSwitch:
             out.append(
                 (
                     encode_control(
-                        ControlMessage(Action.SETH, value=self.n_workers)
+                        ControlMessage(
+                            Action.SETH, value=self.n_workers, job=self.job
+                        )
                     ),
                     addr,
                 )
@@ -185,10 +202,13 @@ class SoftwareSwitch:
         cached = self.engine.cached_result(seg)
         if cached is not None:
             self.counters["help_cache_hits"] += 1
+            cached.job = self.job
             return [(encode_data(cached, downstream=True), addr)]
         # Not completed yet: some contribution was lost.  Relay the Help
         # to every other member; each retransmits its cached frames.
-        relay = encode_control(ControlMessage(Action.HELP, value=seg))
+        relay = encode_control(
+            ControlMessage(Action.HELP, value=seg, job=self.job)
+        )
         self.counters["help_relayed"] += 1
         return [
             (relay, member_addr)
@@ -209,7 +229,10 @@ class SoftwareSwitch:
         # Re-key the contribution with the member's canonical identity;
         # the wire carries only (job, seg), exactly like the hardware.
         contribution = DataSegment(
-            seg=segment.seg, data=segment.data, sender=f"worker{rank}"
+            seg=segment.seg,
+            data=segment.data,
+            sender=f"worker{rank}",
+            job=self.job,
         )
         result = self.engine.contribute(contribution)
         if result is None:
@@ -217,6 +240,7 @@ class SoftwareSwitch:
         return self._broadcast(result)
 
     def _broadcast(self, result: DataSegment) -> List[Tuple[bytes, Address]]:
+        result.job = self.job
         frame = encode_data(result, downstream=True)
         self.counters["results_broadcast"] += 1
         return [(frame, addr) for _, addr in self._active_members()]

@@ -59,12 +59,14 @@ class LiveWorker:
         switch_addr: Address,
         recovery_timeout: float = DEFAULT_LIVE_RECOVERY_TIMEOUT,
         max_recovery_attempts: int = 12,
+        job: int = 0,
     ) -> None:
         if recovery_timeout <= 0:
             raise ValueError(
                 f"recovery_timeout must be > 0, got {recovery_timeout}"
             )
         self.rank = rank
+        self.job = job
         self.n_workers = n_workers
         self.algorithm = algorithm
         self.endpoint = endpoint
@@ -111,6 +113,7 @@ class LiveWorker:
                     n_elements=self.plan.n_elements,
                     n_chunks=self.plan.n_chunks,
                 ),
+                job=self.job,
             )
         )
         deadline = time.monotonic() + JOIN_DEADLINE
@@ -127,6 +130,7 @@ class LiveWorker:
                 if (
                     isinstance(message, ControlMessage)
                     and message.action == Action.SETH
+                    and message.job == self.job
                 ):
                     self.threshold = int(message.value)
                     return
@@ -135,7 +139,7 @@ class LiveWorker:
         )
 
     def leave(self) -> None:
-        self._send(encode_control(ControlMessage(Action.LEAVE)))
+        self._send(encode_control(ControlMessage(Action.LEAVE, job=self.job)))
 
     def _decode(self, frame: bytes):
         self.counters["frames_rx"] += 1
@@ -167,6 +171,8 @@ class LiveWorker:
     def _aggregate(self, gradient: np.ndarray, iteration: int) -> np.ndarray:
         """One round: stream the vector up, collect the aggregate down."""
         segments = self.plan.split(gradient, iteration, sender=self.sender)
+        for s in segments:
+            s.job = self.job
         frames = {s.seg: encode_data(s) for s in segments}
         # Retain this and the previous round for Help retransmission.
         floor = max(iteration - 1, 0) * self.plan.n_chunks
@@ -208,12 +214,18 @@ class LiveWorker:
             if message is None:
                 continue
             if isinstance(message, ControlMessage):
-                if message.action == Action.HELP:
+                if message.action == Action.HELP and message.job == self.job:
                     self._retransmit(int(message.value))
                 continue
-            # A data segment.  Downstream results for this round are
-            # consumed; earlier rounds' rebroadcasts are stale duplicates.
-            if message.seg in expected and message.seg not in received:
+            # A data segment.  Frames for another tenant's job would be a
+            # switch mis-delivery; drop them like any stale duplicate.
+            # Downstream results for this round are consumed; earlier
+            # rounds' rebroadcasts are stale duplicates.
+            if (
+                message.job == self.job
+                and message.seg in expected
+                and message.seg not in received
+            ):
                 received[message.seg] = message
             else:
                 self.counters["stale_frames"] += 1
@@ -226,7 +238,11 @@ class LiveWorker:
             if frame is not None:
                 self._send(frame)
                 self.counters["retransmissions"] += 1
-            self._send(encode_control(ControlMessage(Action.HELP, value=seg)))
+            self._send(
+                encode_control(
+                    ControlMessage(Action.HELP, value=seg, job=self.job)
+                )
+            )
             self.counters["help_sent"] += 1
 
     def _retransmit(self, seg: int) -> None:

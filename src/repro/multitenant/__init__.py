@@ -1,0 +1,57 @@
+"""Multi-tenant job management over a shared in-switch aggregation tree.
+
+The paper evaluates one training job owning the whole switch hierarchy; a
+production deployment multiplexes *tens* of jobs over the same racks.
+This package adds the control plane for that:
+
+* :class:`~repro.multitenant.fabric.SwitchFabric` — a shared two-layer
+  switch tree (root + ToRs) with one simulator; ``submit(JobSpec)``
+  returns a :class:`~repro.multitenant.spec.JobHandle`, ``run()`` drains
+  every admitted job to completion.
+* :class:`~repro.multitenant.admission.AdmissionController` — models the
+  accelerator SRAM (engines × segments per engine) on every switch and
+  rejects or queues jobs that would oversubscribe it.
+* :mod:`~repro.multitenant.scheduler` — the arbitration policies (FIFO,
+  fair-share, strict-priority) behind a common
+  :class:`~repro.multitenant.scheduler.SchedulerPolicy` interface.
+* :mod:`~repro.multitenant.soak` — the load generator behind
+  ``repro jobs soak``.
+
+Per-job isolation is exact: each job gets its own
+:class:`~repro.core.jobs.JobState` (engine + membership) on every switch
+it touches, engines sum in canonical order, and job ids ride the wire
+protocol end to end — so a job's final weights are bit-identical whether
+it runs alone or alongside dozens of tenants.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .fabric import Cluster, SwitchFabric
+from .scheduler import (
+    FairSharePolicy,
+    FifoPolicy,
+    SchedulerPolicy,
+    SlotScheduler,
+    StrictPriorityPolicy,
+    make_policy,
+)
+from .soak import SoakReport, generate_jobs, run_soak
+from .spec import JobHandle, JobSpec, JobStatus
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "Cluster",
+    "SwitchFabric",
+    "SchedulerPolicy",
+    "FifoPolicy",
+    "FairSharePolicy",
+    "StrictPriorityPolicy",
+    "SlotScheduler",
+    "make_policy",
+    "JobSpec",
+    "JobStatus",
+    "JobHandle",
+    "SoakReport",
+    "generate_jobs",
+    "run_soak",
+]

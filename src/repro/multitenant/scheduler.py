@@ -1,0 +1,120 @@
+"""Aggregation-slot arbitration: which queued job gets SRAM next.
+
+The fabric admits jobs one at a time; when slots free up, the scheduler's
+*policy* names the next candidate.  If the candidate does not fit, the
+fabric stops — head-of-line blocking is deliberate, so a large job cannot
+be starved forever by a stream of small ones slipping past it.
+
+Policies implement one method, so new arbitration schemes drop in
+without touching the fabric:
+
+* :class:`FifoPolicy` — strict arrival order.
+* :class:`FairSharePolicy` — the tenant with the fewest admitted jobs so
+  far goes first (ties broken FIFO), giving every tenant an equal share
+  of admissions under contention.
+* :class:`StrictPriorityPolicy` — highest :attr:`JobSpec.priority` first
+  (ties broken FIFO).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from .spec import JobHandle
+
+__all__ = [
+    "SchedulerPolicy",
+    "FifoPolicy",
+    "FairSharePolicy",
+    "StrictPriorityPolicy",
+    "SlotScheduler",
+    "make_policy",
+    "POLICIES",
+]
+
+
+class SchedulerPolicy(abc.ABC):
+    """Pick the next admission candidate from the queue."""
+
+    name = "base"
+
+    @abc.abstractmethod
+    def select(
+        self, queued: Sequence[JobHandle], served: Dict[str, int]
+    ) -> JobHandle:
+        """Return the handle to try next; ``queued`` is in arrival order
+        and never empty.  ``served`` counts admissions per tenant."""
+
+
+class FifoPolicy(SchedulerPolicy):
+    name = "fifo"
+
+    def select(self, queued, served) -> JobHandle:
+        return queued[0]
+
+
+class FairSharePolicy(SchedulerPolicy):
+    name = "fair"
+
+    def select(self, queued, served) -> JobHandle:
+        # min() is stable: among tenants with equal admissions the
+        # earliest-queued job wins, so the tie-break is FIFO.
+        return min(queued, key=lambda h: served.get(h.spec.tenant, 0))
+
+
+class StrictPriorityPolicy(SchedulerPolicy):
+    name = "priority"
+
+    def select(self, queued, served) -> JobHandle:
+        return max(queued, key=lambda h: h.spec.priority)
+
+
+POLICIES = {
+    policy.name: policy
+    for policy in (FifoPolicy, FairSharePolicy, StrictPriorityPolicy)
+}
+
+
+def make_policy(policy) -> SchedulerPolicy:
+    """Resolve a policy instance, class, or name ('fifo'/'fair'/'priority')."""
+    if isinstance(policy, SchedulerPolicy):
+        return policy
+    if isinstance(policy, type) and issubclass(policy, SchedulerPolicy):
+        return policy()
+    cls = POLICIES.get(str(policy).lower())
+    if cls is None:
+        raise KeyError(
+            f"unknown scheduler policy {policy!r}; choose {sorted(POLICIES)}"
+        )
+    return cls()
+
+
+class SlotScheduler:
+    """The queue plus per-tenant admission accounting behind one policy."""
+
+    def __init__(self, policy="fifo") -> None:
+        self.policy = make_policy(policy)
+        self._queue: List[JobHandle] = []
+        self.served: Counter = Counter()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queued(self) -> List[JobHandle]:
+        return list(self._queue)
+
+    def enqueue(self, handle: JobHandle) -> None:
+        self._queue.append(handle)
+
+    def next_candidate(self) -> Optional[JobHandle]:
+        if not self._queue:
+            return None
+        return self.policy.select(tuple(self._queue), dict(self.served))
+
+    def admit(self, handle: JobHandle) -> None:
+        """Record that ``handle`` was admitted (removes it from the queue)."""
+        self._queue.remove(handle)
+        self.served[handle.spec.tenant] += 1

@@ -214,8 +214,21 @@ class LinkEnd:
             )
         telemetry = sim.telemetry
         if telemetry.enabled:
-            telemetry.inc("link.tx_packets", 1, link=link.name)
-            telemetry.inc("link.tx_bytes", packet.wire_size, link=link.name)
+            if packet.job:
+                # Multi-tenant traffic: attribute tx volume to the job so
+                # per-tenant telemetry can separate shared-link usage.
+                telemetry.inc(
+                    "link.tx_packets", 1, link=link.name, job=packet.job
+                )
+                telemetry.inc(
+                    "link.tx_bytes",
+                    packet.wire_size,
+                    link=link.name,
+                    job=packet.job,
+                )
+            else:
+                telemetry.inc("link.tx_packets", 1, link=link.name)
+                telemetry.inc("link.tx_bytes", packet.wire_size, link=link.name)
             telemetry.set_gauge(
                 "link.queue_depth", self._queued_packets, link=link.name
             )

@@ -82,6 +82,10 @@ class Packet:
     src_port: int = 0
     dst_port: int = 0
     frame_count: int = 1
+    #: Training-job id this packet belongs to (0 = the default job, which
+    #: also covers non-aggregation traffic).  Multi-tenant runs stamp the
+    #: originating job so per-job telemetry can attribute link traffic.
+    job: int = 0
     packet_id: int = field(default_factory=_packet_ids.__next__)
     hops: int = 0
     created_at: Optional[float] = None
@@ -121,6 +125,7 @@ class Packet:
             src_port=self.src_port,
             dst_port=self.dst_port,
             frame_count=self.frame_count,
+            job=self.job,
             hops=self.hops,
             created_at=self.created_at,
         )

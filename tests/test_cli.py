@@ -210,3 +210,91 @@ class TestTelemetryFlags:
         )
         assert code == 2
         assert "loss recovery" in capsys.readouterr().err
+
+
+class TestSubcommandGroups:
+    """PR-6 restructure: exp/train/bench/jobs groups + the old-name shim."""
+
+    def test_exp_group_parses(self):
+        args = build_parser().parse_args(["exp", "table1"])
+        assert args.command == "exp"
+        assert args.experiment == "table1"
+
+    def test_exp_group_runs(self, capsys):
+        assert main(["exp", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_old_spelling_still_works(self, capsys):
+        # The shim: pre-group invocations forward to `exp`.
+        assert main(["table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_exp_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exp", "not-a-figure"])
+
+    def test_list_strategies_has_multijob_column(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--list-strategies"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        assert "live" in header
+        assert "multi-job" in header
+        isw_rows = [l for l in out.splitlines() if " isw " in f" {l} "]
+        assert isw_rows and all(row.rstrip().endswith("yes") for row in isw_rows)
+
+
+class TestJobsCommands:
+    def test_soak_smoke(self, capsys):
+        assert main(["jobs", "soak", "--jobs", "4", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "completed:       4" in out
+        assert "result:          OK" in out
+
+    def test_soak_writes_state(self, tmp_path, capsys):
+        state = tmp_path / "soak.json"
+        assert main(
+            ["jobs", "soak", "--jobs", "3", "--state", str(state)]
+        ) == 0
+        import json
+
+        payload = json.loads(state.read_text())
+        assert len(payload["last_run"]) == 3
+        assert all(r["status"] == "completed" for r in payload["last_run"])
+
+    def test_submit_and_status_round_trip(self, tmp_path, capsys):
+        state = tmp_path / "jobs.json"
+        assert main(
+            ["jobs", "submit", "--name", "alpha", "--workers", "3",
+             "--n-params", "366", "--state", str(state)]
+        ) == 0
+        assert main(
+            ["jobs", "submit", "--name", "beta", "--tenant", "other",
+             "--n-params", "732", "--state", str(state)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["jobs", "status", "--state", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "beta" in out
+        assert out.count("completed") == 2
+
+    def test_submit_no_run_records_only(self, tmp_path, capsys):
+        state = tmp_path / "jobs.json"
+        assert main(
+            ["jobs", "submit", "--name", "later", "--no-run",
+             "--state", str(state)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["jobs", "status", "--state", str(state)]) == 0
+        assert "recorded" in capsys.readouterr().out
+
+    def test_status_with_no_state_file(self, tmp_path, capsys):
+        assert main(
+            ["jobs", "status", "--state", str(tmp_path / "missing.json")]
+        ) == 0
+        assert "no jobs recorded" in capsys.readouterr().out
+
+    def test_jobs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["jobs"])

@@ -227,3 +227,104 @@ class TestBackwardCompatibility:
         assert len(results) == 3
         for got in results.values():
             np.testing.assert_allclose(got, 3.0)
+
+
+class TestJobRegistration:
+    """The control-plane register() spelling (fabric submission path)."""
+
+    def test_register_rejects_duplicates(self):
+        table = JobTable()
+        state = table.register(5)
+        assert state.job_id == 5
+        with pytest.raises(ValueError, match="already registered"):
+            table.register(5)
+
+    def test_register_job_zero_is_always_a_duplicate(self):
+        # Job 0 pre-exists on every switch; registering it is a tenant error.
+        table = JobTable()
+        with pytest.raises(ValueError, match="already registered"):
+            table.register(DEFAULT_JOB)
+
+    def test_register_then_get_share_state(self):
+        table = JobTable()
+        state = table.register(9)
+        assert table.get(9) is state
+
+    def test_register_respects_capacity(self):
+        table = JobTable(max_jobs=2)
+        table.register(1)
+        with pytest.raises(RuntimeError, match="full"):
+            table.register(2)
+
+    def test_register_max_job_id_bounds(self):
+        from repro.core.jobs import MAX_JOB_ID
+
+        table = JobTable()
+        assert table.register(MAX_JOB_ID).job_id == MAX_JOB_ID
+        with pytest.raises(ValueError):
+            table.get(MAX_JOB_ID + 1)
+        with pytest.raises(ValueError):
+            table.get(-1)
+
+    def test_remove_then_register_succeeds(self):
+        table = JobTable()
+        table.register(3)
+        assert table.remove(3) is True
+        assert table.register(3).job_id == 3
+
+
+class TestMidRoundLeave:
+    """A worker leaving while a round is partially aggregated."""
+
+    def _cluster(self, n_workers=3, job=1):
+        sim = Simulator()
+        net = build_star(sim, n_workers, switch_factory=iswitch_factory)
+        switch = net.switches[0]
+        for worker in net.workers:
+            switch.add_member(worker.name, job=job)
+        return sim, net, switch
+
+    def test_leave_shrinks_threshold_and_completes_round(self):
+        sim, net, switch = self._cluster(n_workers=3, job=1)
+        plan = SegmentPlan(100)
+        got = {}
+        clients = [
+            AggregationClient(
+                w, "tor0", plan, job=1,
+                on_round_complete=lambda r, v, n=w.name: got.__setitem__(n, v),
+            )
+            for w in net.workers[:2]
+        ]
+        for c in clients:
+            c.send_gradient(np.ones(100, dtype=np.float32), 0)
+        sim.run()
+        assert got == {}  # threshold 3, only 2 contributions: round pending
+        # The third worker leaves mid-round: threshold drops to 2 and the
+        # waiting segment must complete for the remaining members.
+        net.workers[2].send(
+            make_control_packet(
+                "worker2", "tor0", ControlMessage(Action.LEAVE, job=1)
+            )
+        )
+        sim.run()
+        assert switch.jobs.get(1).engine.threshold == 2
+        np.testing.assert_allclose(got["worker0"], 2.0)
+        np.testing.assert_allclose(got["worker1"], 2.0)
+
+    def test_last_leave_mid_round_evicts_partial_state(self):
+        sim, net, switch = self._cluster(n_workers=2, job=4)
+        plan = SegmentPlan(100)
+        client = AggregationClient(net.workers[0], "tor0", plan, job=4)
+        client.send_gradient(np.ones(100, dtype=np.float32), 0)
+        sim.run()
+        assert switch.jobs.get(4).engine.live_segments == 1  # partial live
+        for worker in net.workers:
+            worker.send(
+                make_control_packet(
+                    worker.name, "tor0", ControlMessage(Action.LEAVE, job=4)
+                )
+            )
+        sim.run()
+        # The whole job state — including the in-flight partial — is gone.
+        assert switch.jobs.peek(4) is None
+        assert 4 not in switch.jobs
