@@ -1,6 +1,6 @@
 PY ?= python
 
-.PHONY: test test-fast lint bench bench-smoke bench-pytest soak-smoke
+.PHONY: test test-fast lint bench bench-smoke bench-gate bench-pytest soak-smoke
 
 test:
 	PYTHONPATH=src $(PY) -m pytest -x -q
@@ -17,11 +17,15 @@ lint:
 	fi
 
 bench:
-	PYTHONPATH=src $(PY) tools/bench.py --out BENCH_PR4.json
+	PYTHONPATH=src $(PY) tools/bench.py --out benchmarks/results/BENCH_PR7.json
 
 bench-smoke:
 	PYTHONPATH=src $(PY) tools/bench.py --smoke --repeats 2 \
 		--out bench-smoke.json --budget 300
+
+bench-gate:
+	PYTHONPATH=src $(PY) tools/bench.py --smoke --repeats 5 \
+		--out bench-smoke.json --max-regression 0.50
 
 bench-pytest:
 	PYTHONPATH=src $(PY) -m pytest benchmarks/ --benchmark-only -q

@@ -9,17 +9,26 @@ fixed scenario matrix —
   compute makes runs network-simulation-bound;
 * one chaos run replaying ``examples/chaos_demo.json`` through the fault
   injector (worker crash + switch reset + loss burst);
+* one multi-job soak run (32 mixed jobs through one shared fabric);
 * three microbenchmarks isolating the hot paths: event-loop dispatch,
   link transmission, and accelerator segment aggregation
 
 — and writes a schema'd JSON report (median/p90 wall seconds, events/sec,
-packets/sec, host info).  Pass ``--baseline`` with a previous report to
-embed it and per-scenario speedups in the output; that is how
-``BENCH_PR4.json`` carries its before/after comparison.
+packets/sec, host info).  Training scenarios run the batched transport
+(``transport="train"``, ``scheduler="calendar"``); the parameters are
+recorded per scenario so reports stay self-describing.
+
+``--baseline`` embeds a previous report plus per-scenario speedups; it
+defaults to the newest checked-in result listed in
+``benchmarks/results/MANIFEST.json`` (pass ``none`` to disable).
+``--max-regression FRAC`` turns the run into a CI gate: exit 1 if the
+``sync-isw-n4`` median regressed more than FRAC versus the baseline.
+``--profile`` wraps the whole run in cProfile and writes the top
+cumulative entries next to the JSON report.
 
 Usage::
 
-    python tools/bench.py --out BENCH_PR4.json
+    python tools/bench.py --out benchmarks/results/BENCH_PR7.json
     python -m repro bench --smoke --out /tmp/bench.json
     make bench          # full matrix
     make bench-smoke    # one small scenario + tiny micros, CI-friendly
@@ -46,6 +55,8 @@ __all__ = [
     "SCHEMA",
     "bench_scenarios",
     "run_benchmark",
+    "default_baseline",
+    "check_regression",
     "add_bench_arguments",
     "run_bench",
     "main",
@@ -57,8 +68,29 @@ SCHEMA = "repro-bench-v1"
 BENCH_WORKLOAD = "synth"
 BENCH_SEED = 7
 
+#: Transport granularity / event-queue backend the scenarios run with.
+#: "train" is the batched fast path (bit-identical results to "packet";
+#: see DESIGN.md §11).  The scheduler stays "heap": the calendar queue
+#: ties it on µs-dense iSwitch traffic but loses ~15% on ps/ar, whose
+#: ms-scale compute events constantly overflow the wheel (§11.3).
+BENCH_TRANSPORT = "train"
+BENCH_SCHEDULER = "heap"
+
 #: Default fault plan for the chaos scenario (repo-relative).
 CHAOS_PLAN = os.path.join("examples", "chaos_demo.json")
+
+#: Checked-in bench reports live here; MANIFEST.json lists them oldest
+#: first, so the last resolvable entry is the default --baseline.
+RESULTS_DIR = os.path.normpath(
+    os.path.join(
+        os.path.dirname(os.path.abspath(__file__)),
+        "..", "..", "benchmarks", "results",
+    )
+)
+
+#: The scenario the --max-regression CI gate compares (present in both
+#: the smoke and full matrices, at identical iteration counts).
+GATE_SCENARIO = "sync-isw-n4"
 
 
 def _median(values: Sequence[float]) -> float:
@@ -132,6 +164,8 @@ def _training_fn(
     iterations: int,
     fault_plan: Optional[str] = None,
     recovery_timeout: Optional[float] = None,
+    transport: str = BENCH_TRANSPORT,
+    scheduler: str = BENCH_SCHEDULER,
 ) -> Callable[[], Dict[str, object]]:
     from .distributed.config import ExperimentConfig
     from .distributed.runner import run
@@ -148,6 +182,8 @@ def _training_fn(
                 telemetry=False,
                 fault_plan=fault_plan,
                 recovery_timeout=recovery_timeout,
+                transport=transport,
+                scheduler=scheduler,
             )
         )
         meta: Dict[str, object] = {"sim_time_s": result.elapsed}
@@ -168,6 +204,8 @@ def _training_fn(
                 telemetry=True,
                 fault_plan=fault_plan,
                 recovery_timeout=recovery_timeout,
+                transport=transport,
+                scheduler=scheduler,
             )
         )
         snap = result.telemetry
@@ -194,6 +232,8 @@ def _training_scenario(
             "n_workers": n_workers,
             "iterations": iterations,
             "seed": BENCH_SEED,
+            "transport": BENCH_TRANSPORT,
+            "scheduler": BENCH_SCHEDULER,
         },
     )
 
@@ -218,6 +258,50 @@ def _chaos_scenario(iterations: int) -> Scenario:
             "iterations": iterations,
             "seed": BENCH_SEED,
             "fault_plan": CHAOS_PLAN,
+            "transport": BENCH_TRANSPORT,
+            "scheduler": BENCH_SCHEDULER,
+        },
+    )
+
+
+def _soak_scenario(n_jobs: int) -> Scenario:
+    """Multi-job soak: a mixed job stream through one shared fabric."""
+
+    def once() -> Dict[str, object]:
+        from .multitenant.soak import run_soak
+
+        fabric, report = run_soak(
+            n_jobs=n_jobs,
+            seed=BENCH_SEED,
+            telemetry=False,
+            transport=BENCH_TRANSPORT,
+            scheduler=BENCH_SCHEDULER,
+        )
+        if not report.ok:
+            raise RuntimeError(
+                f"soak invariant violated: {report.failed} failed, "
+                f"{report.completed} completed, {report.rejected} rejected "
+                f"of {report.n_jobs}"
+            )
+        return {
+            "sim_time_s": report.sim_elapsed,
+            "events": fabric.sim.processed_events,
+            "jobs_completed": report.completed,
+            "jobs_rejected": report.rejected,
+            "peak_concurrent": report.peak_concurrent,
+            "soak_ok": report.ok,
+        }
+
+    return Scenario(
+        name=f"soak-multijob-n{n_jobs}",
+        kind="soak",
+        fn=once,
+        params={
+            "n_jobs": n_jobs,
+            "seed": BENCH_SEED,
+            "policy": "fair",
+            "transport": BENCH_TRANSPORT,
+            "scheduler": BENCH_SCHEDULER,
         },
     )
 
@@ -356,7 +440,9 @@ def bench_scenarios(smoke: bool = False) -> List[Scenario]:
 
     if smoke:
         return [
-            _training_scenario("sync", "isw", 4, 5),
+            # 30 iterations — the same window as the full matrix — so the
+            # --max-regression gate compares like against like.
+            _training_scenario("sync", "isw", 4, 30),
             # 200 iterations minimum: the demo plan's worker rejoin lands at
             # t=60 ms and needs live rounds after it to observe recovery.
             _chaos_scenario(200),
@@ -371,6 +457,7 @@ def bench_scenarios(smoke: bool = False) -> List[Scenario]:
         for strategy in ASYNC_STRATEGIES:
             scenarios.append(_training_scenario("async", strategy, n_workers, 60))
     scenarios.append(_chaos_scenario(200))
+    scenarios.append(_soak_scenario(32))
     scenarios.append(_micro_event_dispatch(100_000))
     scenarios.append(_micro_link_tx(20_000))
     scenarios.append(_micro_accel_agg(20))
@@ -397,8 +484,14 @@ def run_benchmark(
             record.update(counted())
             median = record["median_s"]
             if median > 0:
-                record["events_per_s"] = round(record["events"] / median, 1)
-                record["packets_per_s"] = round(record["packets"] / median, 1)
+                # Guarded per key: counted() variants (soak, future
+                # scenarios) may report events without packet totals.
+                if "events" in record:
+                    record["events_per_s"] = round(record["events"] / median, 1)
+                if "packets" in record:
+                    record["packets_per_s"] = round(
+                        record["packets"] / median, 1
+                    )
         results[scenario.name] = record
         progress(
             f"  {scenario.name}: median {record['median_s']:.4f} s"
@@ -464,13 +557,108 @@ def validate_report(report: Dict[str, object]) -> None:
         for key in ("kind", "repeats", "wall_s", "median_s", "p90_s"):
             if key not in record:
                 raise ValueError(f"scenario {name!r} missing {key!r}")
-        if record["kind"] not in ("training", "chaos", "micro"):
+        if record["kind"] not in ("training", "chaos", "soak", "micro"):
             raise ValueError(f"scenario {name!r} has kind {record['kind']!r}")
         if record["kind"] in ("training", "chaos"):
             for key in ("sim_time_s", "events", "events_per_s",
                         "packets", "packets_per_s"):
                 if key not in record:
                     raise ValueError(f"scenario {name!r} missing {key!r}")
+        elif record["kind"] == "soak":
+            for key in ("sim_time_s", "events", "events_per_s", "soak_ok"):
+                if key not in record:
+                    raise ValueError(f"scenario {name!r} missing {key!r}")
+
+
+# ----------------------------------------------------------------------
+# Baseline resolution and the regression gate
+# ----------------------------------------------------------------------
+def default_baseline() -> Optional[str]:
+    """The newest checked-in report per ``benchmarks/results/MANIFEST.json``.
+
+    The manifest lists results oldest-first; the last entry whose file
+    exists wins.  Returns ``None`` when there is no usable manifest, so
+    callers degrade to a baseline-free run.
+    """
+    manifest = os.path.join(RESULTS_DIR, "MANIFEST.json")
+    try:
+        with open(manifest) as fh:
+            entries = json.load(fh).get("results", [])
+    except (OSError, ValueError):
+        return None
+    if not isinstance(entries, list):
+        return None
+    for entry in reversed(entries):
+        name = entry.get("file") if isinstance(entry, dict) else None
+        if not name:
+            continue
+        path = os.path.join(RESULTS_DIR, name)
+        if os.path.isfile(path):
+            return path
+    return None
+
+
+def check_regression(
+    report: Dict[str, object],
+    max_regression: float,
+    scenario: str = GATE_SCENARIO,
+) -> int:
+    """CI gate: 1 if ``scenario`` regressed beyond the tolerance, else 0.
+
+    Compares the report's *best* (min) sample against the baseline's
+    best for the same scenario.  Min, not median: in the smoke run the
+    gate scenario executes first and still cold, and the shared CI host
+    drifts ~15% day to day, so medians across separate runs false-alarm
+    long before they catch real regressions.  The best sample filters
+    both warmup and scheduler noise; pair it with a generous tolerance
+    (the Makefile uses 50%) so only structural slowdowns trip the gate.
+    A missing baseline or scenario passes with a note — the gate only
+    ever fails on a *measured* regression.
+    """
+    baseline = report.get("baseline")
+    if not isinstance(baseline, dict):
+        print(f"regression gate: no baseline report; skipping {scenario}")
+        return 0
+    ref = baseline.get("scenarios", {}).get(scenario)
+    current = report.get("scenarios", {}).get(scenario)  # type: ignore[union-attr]
+    if not ref or not current or not ref.get("median_s"):
+        print(f"regression gate: {scenario} not in both reports; skipping")
+        return 0
+
+    def best(entry):
+        samples = entry.get("wall_s")
+        if isinstance(samples, list) and samples:
+            return min(samples)
+        return entry["median_s"]
+
+    ref_best = best(ref)
+    cur_best = best(current)
+    limit = ref_best * (1.0 + max_regression)
+    if cur_best > limit:
+        print(
+            f"perf regression: {scenario} best {cur_best:.4f} s "
+            f"> {ref_best:.4f} s * {1.0 + max_regression:.2f} "
+            f"(tolerance {max_regression:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"regression gate: {scenario} best {cur_best:.4f} s "
+        f"within {ref_best:.4f} s * {1.0 + max_regression:.2f}"
+    )
+    return 0
+
+
+def _write_profile(profiler, path: str, top: int = 20) -> None:
+    """Dump the top ``top`` cumulative-time entries of a cProfile run."""
+    import io
+    import pstats
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(top)
+    with open(path, "w") as fh:
+        fh.write(stream.getvalue())
 
 
 # ----------------------------------------------------------------------
@@ -480,7 +668,7 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--out",
         metavar="PATH",
-        default="BENCH_PR4.json",
+        default="BENCH_PR7.json",
         help="where to write the JSON report (default: %(default)s)",
     )
     parser.add_argument(
@@ -497,8 +685,10 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--baseline",
         metavar="PATH",
-        default=None,
-        help="previous report to embed (adds baseline + speedups sections)",
+        default="auto",
+        help="previous report to embed (adds baseline + speedups sections); "
+        "'auto' (default) uses the newest entry in "
+        "benchmarks/results/MANIFEST.json, 'none' disables",
     )
     parser.add_argument(
         "--budget",
@@ -507,32 +697,68 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="SECONDS",
         help="fail (exit 1) if the whole run exceeds this wall-time budget",
     )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help=f"fail (exit 1) if the {GATE_SCENARIO} best sample regressed "
+        "more than FRAC (e.g. 0.50 = 50%%) versus the baseline report",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="wrap the run in cProfile; write the top-20 cumulative entries "
+        "to <out>.profile.txt",
+    )
 
 
 def run_bench(args: argparse.Namespace) -> int:
-    report = run_benchmark(
-        repeats=args.repeats,
-        smoke=args.smoke,
-        baseline_path=args.baseline,
-        progress=lambda msg: print(msg, flush=True),
-    )
+    baseline_path = args.baseline
+    if baseline_path == "auto":
+        baseline_path = default_baseline()
+    elif baseline_path == "none":
+        baseline_path = None
+    profiler = None
+    if getattr(args, "profile", False):
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        report = run_benchmark(
+            repeats=args.repeats,
+            smoke=args.smoke,
+            baseline_path=baseline_path,
+            progress=lambda msg: print(msg, flush=True),
+        )
+    finally:
+        if profiler is not None:
+            profiler.disable()
     validate_report(report)
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=False)
         fh.write("\n")
     print(f"report written: {args.out} ({report['total_wall_s']:.1f} s total)")
+    if profiler is not None:
+        profile_path = args.out + ".profile.txt"
+        _write_profile(profiler, profile_path)
+        print(f"profile written: {profile_path}")
     speedups = report.get("speedups")
     if speedups:
         for name in sorted(speedups):
             print(f"  speedup {name}: {speedups[name]:.2f}x")
+    code = 0
     if args.budget is not None and report["total_wall_s"] > args.budget:
         print(
             f"budget exceeded: {report['total_wall_s']:.1f} s > "
             f"{args.budget:.1f} s",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        code = 1
+    if args.max_regression is not None:
+        code = max(code, check_regression(report, args.max_regression))
+    return code
 
 
 def main(argv: Optional[List[str]] = None) -> int:

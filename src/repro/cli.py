@@ -218,6 +218,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject faults from a FaultPlan JSON (see DESIGN.md §6)",
     )
     train.add_argument(
+        "--transport",
+        choices=("packet", "train"),
+        default="packet",
+        help="sim transport granularity: one event per packet (default) or "
+        "batched packet trains (same results, fewer events; DESIGN.md §11)",
+    )
+    train.add_argument(
+        "--scheduler",
+        choices=("heap", "calendar"),
+        default="heap",
+        help="event-queue backend: reference binary heap (default) or the "
+        "calendar queue (identical dispatch order)",
+    )
+    train.add_argument(
         "--trace-out",
         metavar="PATH",
         default=None,
@@ -415,6 +429,8 @@ def _run_training(args: argparse.Namespace) -> int:
             ps_shards=args.shards,
             telemetry=want_telemetry,
             fault_plan=args.fault_plan,
+            transport=args.transport,
+            scheduler=args.scheduler,
         )
         result = run(config)
     except (OSError, ValueError, RuntimeError) as exc:

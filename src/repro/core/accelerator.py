@@ -168,6 +168,12 @@ class AggregationEngine:
         self.clock: Optional[Callable[[], float]] = None
         self._first_arrival: Dict[int, float] = {}
         self._completed_starts: Dict[int, float] = {}
+        #: Vectorized-ingest bookkeeping for the batched transport path:
+        #: base Seg -> (n, round buffer, per-seg views into it).  Only
+        #: populated by :meth:`_contribute_batch_fast`; every entry's
+        #: validity is re-checked by identity against ``_buffers`` on each
+        #: train, so interleaved per-packet traffic can never corrupt it.
+        self._vec_rounds: Dict[int, Tuple[int, np.ndarray, List[np.ndarray]]] = {}
 
     # ------------------------------------------------------------------
     # Control-plane operations
@@ -199,6 +205,7 @@ class AggregationEngine:
         self._shapes.clear()
         self._first_arrival.clear()
         self._completed_starts.clear()
+        self._vec_rounds.clear()
 
     def sweep_completed(self) -> List[DataSegment]:
         """Emit every live segment whose counter already meets the threshold.
@@ -313,6 +320,185 @@ class AggregationEngine:
             self._evict_oldest()
         return None
 
+    def contribute_batch(
+        self, segments, clocks=None
+    ) -> List[Tuple[int, DataSegment]]:
+        """Batch-ingest a train's worth of contributions in one call.
+
+        Semantically exactly ``[contribute(s) for s in segments]`` — same
+        per-segment state transitions, same float32 summation order — but
+        one entry point for the batched transport path.  Returns
+        ``(index, completed)`` pairs: which input triggered each completed
+        segment (vector-granularity engines may emit several per input).
+
+        ``clocks`` (optional, one float per segment) stamps each
+        contribution with its own carried arrival time instead of the
+        shared :attr:`clock` — a train is delivered in one simulator
+        event, so ``clock()`` would report the *last* packet's arrival
+        for every first-arrival record.
+        """
+        if clocks is None and self.clock is None:
+            fast = self._contribute_batch_fast(segments)
+            if fast is not None:
+                return fast
+        out: List[Tuple[int, DataSegment]] = []
+        contribute = self.contribute
+        if clocks is None:
+            for i, segment in enumerate(segments):
+                result = contribute(segment)
+                if result is None:
+                    continue
+                if isinstance(result, list):
+                    for completed in result:
+                        out.append((i, completed))
+                else:
+                    out.append((i, result))
+            return out
+        saved_clock = self.clock
+        try:
+            for i, segment in enumerate(segments):
+                self.clock = lambda t=clocks[i]: t
+                result = contribute(segment)
+                if result is None:
+                    continue
+                if isinstance(result, list):
+                    for completed in result:
+                        out.append((i, completed))
+                else:
+                    out.append((i, result))
+        finally:
+            self.clock = saved_clock
+        return out
+
+    def _contribute_batch_fast(self, segments) -> Optional[List[Tuple[int, DataSegment]]]:
+        """Vectorized ingest for the dominant train shape, or ``None``.
+
+        The hot case is one worker's (or one child switch's) whole round
+        as a train: ``n`` consecutive Seg numbers, all float32, all at the
+        same contribution count.  Summing then collapses to a single
+        ``concatenate`` + one in-place add on a round-contiguous buffer —
+        bit-identical to the per-segment adds, because every element still
+        receives exactly one addition of the same two float32 operands.
+
+        Per-seg ``_buffers`` / ``_counters`` entries are kept coherent
+        (the buffers are views into the round buffer), so interleaved
+        per-packet traffic — retransmits, FBcast, mixed transports — works
+        unchanged; any train for which those mirrors no longer line up
+        (checked by identity below) falls back by returning ``None``.
+        """
+        if (
+            self.dedup
+            or self.canonical_order
+            or self.arrival_renumber is not None
+            or self.buffer_limit is not None
+            or self.clock is not None
+        ):
+            return None
+        n = len(segments)
+        if n < 2:
+            return None
+        base = segments[0].seg
+        counters = self._counters
+        buffers = self._buffers
+        stats = self.stats
+        c0 = counters.get(base, 0)
+        if c0 == 0:
+            # First train of the round: validate, then adopt one
+            # contiguous copy with per-seg views as the buffer mirrors.
+            for i, segment in enumerate(segments):
+                seg = base + i
+                if segment.seg != seg or seg in counters or seg in buffers:
+                    return None
+                data = segment.data
+                if (
+                    data.dtype != np.float32
+                    or data.ndim != 1
+                    or segment.wire_payload is None
+                ):
+                    return None
+            datas = [segment.data for segment in segments]
+            buf = np.concatenate(datas)
+            shapes = self._shapes
+            views: List[np.ndarray] = []
+            pos = 0
+            for i, segment in enumerate(segments):
+                end = pos + datas[i].size
+                view = buf[pos:end]
+                seg = base + i
+                buffers[seg] = view
+                counters[seg] = 1
+                shapes[seg] = (segment.wire_payload, segment.wire_frames)
+                views.append(view)
+                pos = end
+            count = 1
+            self._vec_rounds[base] = (n, buf, views)
+            if len(self._vec_rounds) > 256:
+                # Rounds that never completed (crashes, evicted jobs);
+                # stale entries are harmless but needn't accumulate.
+                for old in sorted(self._vec_rounds)[:128]:
+                    del self._vec_rounds[old]
+        else:
+            rec = self._vec_rounds.get(base)
+            if rec is None or rec[0] != n:
+                return None
+            _, buf, views = rec
+            for i, segment in enumerate(segments):
+                data = segment.data
+                view = views[i]
+                seg = base + i
+                if (
+                    segment.seg != seg
+                    or counters.get(seg) != c0
+                    or buffers.get(seg) is not view
+                    or data.dtype != np.float32
+                    or data.ndim != 1
+                    or data.size != view.size
+                ):
+                    return None
+            buf += np.concatenate([segment.data for segment in segments])
+            count = c0 + 1
+            for i in range(n):
+                counters[base + i] = count
+        stats.contributions += n
+        n_live = len(buffers)
+        if n_live > stats.max_live_segments:
+            stats.max_live_segments = n_live
+        if count >= self.threshold:
+            self._vec_rounds.pop(base, None)
+            # Inlined _complete for the whole round: same pops, same
+            # per-insert Help-cache eviction check, same counter updates —
+            # just without n method-call frames.
+            shapes = self._shapes
+            first_arrival = self._first_arrival
+            contributors = self._contributors
+            result_cache = self._result_cache
+            cache_size = self.cache_size
+            trusted = DataSegment.trusted
+            out: List[Tuple[int, DataSegment]] = []
+            for i in range(n):
+                seg = base + i
+                data = buffers.pop(seg)
+                counters.pop(seg, None)
+                contributors.pop(seg, None)
+                started = first_arrival.pop(seg, None)
+                if started is not None:
+                    self._completed_starts[seg] = started
+                    if len(self._completed_starts) > 1024:
+                        for old in sorted(self._completed_starts)[:512]:
+                            del self._completed_starts[old]
+                shape = shapes.pop(seg, (None, None))
+                result = trusted(
+                    seg, data, wire_payload=shape[0], wire_frames=shape[1]
+                )
+                result_cache[seg] = result
+                if len(result_cache) > cache_size:
+                    for key in sorted(result_cache)[: len(result_cache) // 2]:
+                        del result_cache[key]
+                out.append((i, result))
+            stats.completions += n
+            return out
+        return []
+
     def _evict_oldest(self) -> None:
         """Drop the stalest partial buffers to honour ``buffer_limit``."""
         store = self._pending if self.canonical_order else self._buffers
@@ -347,8 +533,10 @@ class AggregationEngine:
                 for old in sorted(self._completed_starts)[:512]:
                     del self._completed_starts[old]
         shape = self._shapes.pop(seg, (None, None))
-        result = DataSegment(
-            seg=seg, data=data, wire_payload=shape[0], wire_frames=shape[1]
+        # Trusted: ``data`` is an adopted contribution array or a float32
+        # copy the engine made itself — both already validated.
+        result = DataSegment.trusted(
+            seg, data, wire_payload=shape[0], wire_frames=shape[1]
         )
         self._cache_result(result)
         self.stats.completions += 1

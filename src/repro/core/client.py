@@ -28,6 +28,7 @@ from .protocol import (
     ISWITCH_UDP_PORT,
     TOS_CONTROL,
     TOS_DATA_DOWN,
+    TOS_DATA_UP,
     Action,
     ControlMessage,
     DataSegment,
@@ -119,7 +120,12 @@ class AggregationClient:
                 for client in registry:
                     client._receive(packet)
 
+            def dispatch_train(train) -> None:
+                for client in registry:
+                    client._receive_train(train)
+
             host.bind(ISWITCH_UDP_PORT, dispatch)
+            host.bind_train(ISWITCH_UDP_PORT, dispatch_train)
         registry.append(self)
 
     # ------------------------------------------------------------------
@@ -143,20 +149,64 @@ class AggregationClient:
         segments = self.plan.split(
             vector, round_index, sender=self.host.name, commit_id=commit_id
         )
-        for segment in segments:
-            segment.job = self.job
-            if self.recovery_timeout is not None:
-                # These segments double as the retransmission cache, so the
-                # engine must not adopt (and sum into) their arrays; a
-                # read-only view makes it copy on first arrival instead.
-                frozen = segment.data.view()
-                frozen.flags.writeable = False
-                segment.data = frozen
-            self.host.send(
-                make_data_packet(
-                    self.host.name, self.switch_address, segment, self.plan
+        if self.host.sim.batch_transport:
+            if self.recovery_timeout is None:
+                # Fused stamp + packetize: fresh plan splits always match
+                # the plan's per-chunk wire table, so this inlines
+                # make_data_packet without its off-plan fallback.
+                job = self.job
+                src = self.host.name
+                dst = self.switch_address
+                trusted = Packet.trusted
+                packets = []
+                for segment, (_, payload_size, frames) in zip(
+                    segments, self.plan._wire_info
+                ):
+                    segment.job = job
+                    segment.wire_payload = payload_size
+                    segment.wire_frames = frames
+                    packets.append(
+                        trusted(
+                            src,
+                            dst,
+                            payload_size,
+                            TOS_DATA_UP,
+                            segment,
+                            ISWITCH_UDP_PORT,
+                            ISWITCH_UDP_PORT,
+                            frames,
+                            job,
+                        )
+                    )
+            else:
+                packets = []
+                for segment in segments:
+                    segment.job = self.job
+                    frozen = segment.data.view()
+                    frozen.flags.writeable = False
+                    segment.data = frozen
+                    packets.append(
+                        make_data_packet(
+                            self.host.name, self.switch_address, segment, self.plan
+                        )
+                    )
+            self.host.send_burst(packets)
+        else:
+            for segment in segments:
+                segment.job = self.job
+                if self.recovery_timeout is not None:
+                    # These segments double as the retransmission cache, so
+                    # the engine must not adopt (and sum into) their arrays;
+                    # a read-only view makes it copy on first arrival
+                    # instead.
+                    frozen = segment.data.view()
+                    frozen.flags.writeable = False
+                    segment.data = frozen
+                self.host.send(
+                    make_data_packet(
+                        self.host.name, self.switch_address, segment, self.plan
+                    )
                 )
-            )
         if self.recovery_timeout is not None:
             for segment in segments:
                 self._sent[segment.seg] = segment
@@ -221,6 +271,44 @@ class AggregationClient:
                 self._retransmit(int(message.value))
             elif self.on_control is not None:
                 self.on_control(message)
+
+    def _receive_train(self, train) -> None:
+        """Batched receive: process a result train's packets in order.
+
+        Per-packet semantics are preserved exactly — chunks land in
+        ``_partial`` in the train's (arrival) order and the round finishes
+        during the same call once its last chunk lands, just without one
+        dispatch event per packet.  Result packets (the dominant train
+        shape: a whole round's broadcast) take an inlined fast path;
+        anything else goes through the per-packet arbiter.
+        """
+        plan = self.plan
+        n_chunks = plan.n_chunks
+        job = self.job
+        completed = self._completed
+        partial = self._partial
+        guard = (
+            self.recovery_timeout is not None
+            and self.on_round_abandoned is not None
+        )
+        for packet in train.packets:
+            if packet.tos != TOS_DATA_DOWN:
+                self._receive(packet)
+                continue
+            segment = packet.payload
+            if segment.job != job:
+                continue
+            round_index, chunk = divmod(segment.seg, n_chunks)
+            if round_index in completed:
+                continue
+            chunks = partial.get(round_index)
+            if chunks is None:
+                partial[round_index] = chunks = {}
+            chunks[chunk] = segment.data
+            if len(chunks) == n_chunks:
+                self._finish_round(round_index)
+            elif guard:
+                self._guard_broadcast_rounds(round_index)
 
     def _retransmit(self, seg: int) -> None:
         """Answer a switch-relayed Help: resend our own contribution.
@@ -295,10 +383,17 @@ class AggregationClient:
         if watchdog is not None:
             watchdog.cancel()
         self._watchdog_attempts.pop(round_index, None)
-        out = np.empty(self.plan.n_elements, dtype=np.float32)
-        for chunk, data in chunks.items():
-            start, stop = self.plan.chunk_bounds(chunk)
-            out[start:stop] = data
+        # Chunks cover [0, n_chunks) exactly once and the plan's bounds are
+        # contiguous in chunk order, so ordered concatenation reproduces
+        # the per-chunk slice assignment in one call.
+        out = np.concatenate(
+            [chunks[chunk] for chunk in range(self.plan.n_chunks)]
+        )
+        if out.shape[0] != self.plan.n_elements:
+            raise ValueError(
+                f"round {round_index}: assembled {out.shape[0]} elements, "
+                f"expected {self.plan.n_elements}"
+            )
         self.rounds_completed += 1
         telemetry = self.host.sim.telemetry
         if telemetry.enabled:

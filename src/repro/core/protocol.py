@@ -186,6 +186,34 @@ class DataSegment:
         if not self.data.flags.c_contiguous:
             raise ValueError("DataSegment.data must be C-contiguous")
 
+    @classmethod
+    def trusted(
+        cls,
+        seg: int,
+        data: np.ndarray,
+        sender: str = "",
+        commit_id: int = 0,
+        job: int = 0,
+        wire_payload: Optional[int] = None,
+        wire_frames: Optional[int] = None,
+    ) -> "DataSegment":
+        """Validation-free constructor for arrays the caller already owns.
+
+        The datapath creates one segment per chunk per round; every hot
+        producer (plan splitting, engine completion, upstream forwarding)
+        derives ``data`` from an array that went through ``__post_init__``
+        once, so the float32/1-D/contiguity checks cannot newly fail.
+        """
+        s = object.__new__(cls)
+        s.seg = seg
+        s.data = data
+        s.sender = sender
+        s.commit_id = commit_id
+        s.job = job
+        s.wire_payload = wire_payload
+        s.wire_frames = wire_frames
+        return s
+
 
 class SegmentPlan:
     """How one gradient vector of ``n_elements`` floats maps onto packets.
@@ -242,6 +270,23 @@ class SegmentPlan:
             frames.append(math.ceil((stop - start) / self.elements_per_frame))
         self._chunk_bounds = bounds
         self._chunk_frames = frames
+        # Per-chunk wire footprint (elements, UDP payload bytes, frames):
+        # the values make_data_packet stamps on every outgoing chunk,
+        # keyed by the chunk's expected element count so an off-plan
+        # segment still falls back to explicit arithmetic.
+        mult = wire_multiplier
+        self._wire_info = [
+            (
+                bounds[chunk][1] - bounds[chunk][0],
+                mult
+                * (
+                    frames[chunk] * SEG_HEADER_BYTES
+                    + (bounds[chunk][1] - bounds[chunk][0]) * bytes_per_element
+                ),
+                frames[chunk] * mult,
+            )
+            for chunk in range(self.n_chunks)
+        ]
 
     @property
     def wire_bytes(self) -> int:
@@ -286,10 +331,13 @@ class SegmentPlan:
             vector = vector.astype(np.float32)
         else:
             vector = np.ascontiguousarray(vector)
+        # Trusted construction: ``vector`` was just coerced to a contiguous
+        # float32 array, so every slice satisfies the segment invariants.
+        trusted = DataSegment.trusted
         return [
-            DataSegment(
-                seg=base + chunk,
-                data=vector[start:stop],
+            trusted(
+                base + chunk,
+                vector[start:stop],
                 sender=sender,
                 commit_id=commit_id,
             )
@@ -564,23 +612,28 @@ def make_data_packet(
 ) -> Packet:
     """Build a ToS-tagged data packet (train) for one chunk (Figure 5b)."""
     chunk = segment.seg % plan.n_chunks
-    mult = plan.wire_multiplier
-    chunk_frames = plan._chunk_frames[chunk]
-    frames = chunk_frames * mult
-    payload_size = mult * (
-        chunk_frames * SEG_HEADER_BYTES
-        + segment.data.size * plan.bytes_per_element
-    )
+    n_elements, payload_size, frames = plan._wire_info[chunk]
+    if segment.data.size != n_elements:
+        # Off-plan segment (e.g. a truncated retransmission): recompute.
+        mult = plan.wire_multiplier
+        chunk_frames = plan._chunk_frames[chunk]
+        frames = chunk_frames * mult
+        payload_size = mult * (
+            chunk_frames * SEG_HEADER_BYTES
+            + segment.data.size * plan.bytes_per_element
+        )
     segment.wire_payload = payload_size
     segment.wire_frames = frames
-    return Packet(
-        src=src,
-        dst=dst,
-        payload_size=payload_size,
-        tos=TOS_DATA_DOWN if downstream else TOS_DATA_UP,
-        payload=segment,
-        src_port=src_port,
-        dst_port=ISWITCH_UDP_PORT,
-        frame_count=frames,
-        job=segment.job,
+    # Trusted construction: the plan guarantees each chunk's payload fits
+    # its frame count (validated when the plan was built).
+    return Packet.trusted(
+        src,
+        dst,
+        payload_size,
+        TOS_DATA_DOWN if downstream else TOS_DATA_UP,
+        segment,
+        src_port,
+        ISWITCH_UDP_PORT,
+        frames,
+        segment.job,
     )

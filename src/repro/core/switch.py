@@ -20,11 +20,13 @@ The input arbiter inspects the IP ToS byte of every packet:
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from ..netsim.events import Simulator
 from ..netsim.link import LinkEnd
-from ..netsim.packets import Packet
+from ..netsim.packets import Packet, PacketTrain
 from ..netsim.switch import DEFAULT_SWITCH_LATENCY, EthernetSwitch
 from .accelerator import AcceleratorTiming, AggregationEngine
 from .control_plane import MembershipTable, MemberType
@@ -110,6 +112,9 @@ class ISwitch(EthernetSwitch):
     def handle_packet(self, packet: Packet, in_port: LinkEnd) -> None:
         self.rx_packets += 1
         self.rx_bytes += packet.wire_size
+        self._arbitrate(packet, in_port)
+
+    def _arbitrate(self, packet: Packet, in_port: LinkEnd) -> None:
         tos = packet.tos
         if tos == TOS_DATA_UP:
             self._handle_contribution(packet)
@@ -119,6 +124,36 @@ class ISwitch(EthernetSwitch):
             self._handle_control(packet)
         else:
             self.process(packet, in_port)
+
+    def handle_train(self, train: PacketTrain, in_port: LinkEnd) -> None:
+        """Batched arbiter: ingest or fan out a whole train in one call.
+
+        Trains are single-flow by construction (one sender burst, or one
+        switch's result emissions), so the common cases are a uniform
+        ``TOS_DATA_UP`` train into the aggregation engine and a uniform
+        ``TOS_DATA_DOWN`` train fanned out to members.  Anything mixed
+        falls back to the per-packet arbiter.
+        """
+        packets = train.packets
+        n = len(packets)
+        self.rx_packets += n
+        nbytes = 0
+        tos = packets[0].tos
+        uniform = True
+        for packet in packets:
+            nbytes += packet.wire_size
+            if packet.tos != tos:
+                uniform = False
+        self.rx_bytes += nbytes
+        if n > 1 and uniform:
+            if tos == TOS_DATA_UP:
+                if self._ingest_contribution_train(train, in_port):
+                    return
+            elif tos == TOS_DATA_DOWN:
+                self._fanout_train(train)
+                return
+        for packet in packets:
+            self._arbitrate(packet, in_port)
 
     # ------------------------------------------------------------------
     # Data plane: aggregation path
@@ -179,6 +214,247 @@ class ISwitch(EthernetSwitch):
                 lambda seg=completed: self._emit_result(seg),
                 "agg-complete",
             )
+
+    def _ingest_contribution_train(
+        self, train: PacketTrain, in_port: LinkEnd
+    ) -> bool:
+        """Aggregate a whole train of contributions in one call.
+
+        Returns ``False`` — before touching any state — when the train is
+        not a single-job run of :class:`DataSegment` payloads; the caller
+        then falls back to the per-packet arbiter.
+
+        Exactness: contributions enter the engine in packet order (the
+        per-packet arrival order), each completion's emission time is
+        computed from its *own* packet's carried arrival (preserving the
+        paper's on-the-fly overlap), and emissions are sorted by
+        ``(time, completion order)`` — the key the event heap would have
+        used for the per-packet emission events.
+        """
+        packets = train.packets
+        segments = []
+        job = None
+        size0 = packets[0].payload_size
+        uniform_size = True
+        for packet in packets:
+            segment = packet.payload
+            if not isinstance(segment, DataSegment):
+                return False
+            if job is None:
+                job = segment.job
+            elif segment.job != job:
+                return False
+            if packet.payload_size != size0:
+                uniform_size = False
+            segments.append(segment)
+        state = self.jobs.get(job)
+        engine = state.engine
+        sim = self.sim
+        telemetry = sim.telemetry
+        n = len(packets)
+        clocks = None
+        if telemetry.enabled:
+            if job:
+                telemetry.inc(
+                    "switch.contributions", n, switch=self.name, job=job
+                )
+            else:
+                telemetry.inc("switch.contributions", n, switch=self.name)
+            # Stamp each contribution with its own carried arrival: one
+            # train = one simulator event, so the engine's shared clock
+            # would record the last packet's arrival for every segment.
+            clocks = [float(a) for a in train.arrivals]
+        # One processing_latency accrual per packet, exactly like the
+        # per-packet path (it also accumulates the engine's busy_time).
+        if uniform_size:
+            latency0 = engine.processing_latency(size0)
+            stats = engine.stats
+            for _ in range(n - 1):
+                # Repeated adds, not one multiply: busy_time must match
+                # the per-packet accumulation bit for bit.
+                stats.busy_time += latency0
+            latencies = [latency0] * n
+        else:
+            latencies = [
+                engine.processing_latency(packet.payload_size)
+                for packet in packets
+            ]
+        completions = engine.contribute_batch(segments, clocks=clocks)
+        if not completions:
+            return True
+        arrivals = train.arrivals
+        if isinstance(arrivals, np.ndarray):
+            arrivals = arrivals.tolist()  # python floats, identical values
+        switch_latency = self.latency
+        items: List[Tuple[float, int, DataSegment]] = []
+        for order, (i, completed) in enumerate(completions):
+            completed.job = job
+            arrival = float(arrivals[i])
+            latency = latencies[i]
+            # Match the per-packet float association exactly:
+            # schedule_fire(latency + self.latency) adds the *summed*
+            # delay to the arrival in one operation.
+            emit_delay = latency + switch_latency
+            if telemetry.enabled:
+                started = engine.consume_span_start(completed.seg)
+                done = arrival + latency
+                # Trains from different links deliver in last-arrival
+                # order, so under retransmission a completion can carry
+                # an earlier logical arrival than the recorded first
+                # arrival; clamp so the span stays well-formed.
+                span_start = started if started is not None else arrival
+                if span_start > done:
+                    span_start = done
+                telemetry.span_at(
+                    "segment.aggregate",
+                    span_start,
+                    done,
+                    cat="aggregation",
+                    track=self.name,
+                    seg=completed.seg,
+                    job=completed.job,
+                )
+                if completed.job:
+                    telemetry.inc(
+                        "switch.segments_completed",
+                        1,
+                        switch=self.name,
+                        job=completed.job,
+                    )
+                else:
+                    telemetry.inc(
+                        "switch.segments_completed", 1, switch=self.name
+                    )
+            items.append((arrival + emit_delay, order, completed))
+        # One logical "agg-complete" event per completion.
+        sim.count_batched(len(items), "agg-complete")
+        items.sort(key=lambda item: (item[0], item[1]))
+        self._emit_results_train(items)
+        return True
+
+    def _fanout_train(self, train: PacketTrain) -> None:
+        """Batched :meth:`_handle_result_from_parent`: re-broadcast a train."""
+        arrivals = train.arrivals
+        if isinstance(arrivals, np.ndarray):
+            arrivals = arrivals.tolist()  # python floats, identical values
+        latency = self.latency
+        items = [
+            (float(arrivals[i]) + latency, i, packet.payload)
+            for i, packet in enumerate(train.packets)
+        ]
+        self.sim.count_batched(len(items), "fanout")
+        self._broadcast_results_train(items)
+
+    def _emit_results_train(
+        self, items: List[Tuple[float, int, DataSegment]]
+    ) -> None:
+        """Train variant of :meth:`_emit_result` for a batch of results.
+
+        ``items`` are ``(emission_time, order, segment)`` sorted by the
+        per-packet event key; emission times become per-packet ready
+        times on the egress trains.
+        """
+        if self.parent_address is None:
+            self._broadcast_results_train(items)
+            return
+        telemetry = self.sim.telemetry
+        egress = self.lookup(self.parent_address)
+        if egress is None:
+            self.dropped_packets += len(items)
+            return
+        packets = []
+        ready = np.empty(len(items), dtype=np.float64)
+        self.upstream_forwards += len(items)
+        log_events = telemetry.enabled
+        for i, (time, _, result) in enumerate(items):
+            if log_events:
+                telemetry.event(
+                    "segment.forward_up",
+                    cat="aggregation",
+                    track=self.name,
+                    seg=result.seg,
+                )
+            up_data = result.data.view()
+            up_data.flags.writeable = False
+            up = DataSegment.trusted(
+                result.seg,
+                up_data,
+                sender=self.name,
+                commit_id=result.seg,
+                job=result.job,
+                wire_payload=result.wire_payload,
+                wire_frames=result.wire_frames,
+            )
+            packets.append(
+                self._data_packet(self.parent_address, up, downstream=False)
+            )
+            ready[i] = time
+        egress.send_train(packets, ready)
+
+    def _broadcast_results_train(
+        self, items: List[Tuple[float, int, DataSegment]]
+    ) -> None:
+        """Train variant of :meth:`_broadcast_result`: one egress train per
+        member carrying every completed segment, with the per-packet
+        emission times as ready times."""
+        telemetry = self.sim.telemetry
+        by_job: dict = {}
+        job_order = []
+        for item in items:
+            job = item[2].job
+            group = by_job.get(job)
+            if group is None:
+                by_job[job] = group = []
+                job_order.append(job)
+            group.append(item)
+        for job in job_order:
+            # Same guard as the per-packet path: a job evicted between
+            # completion and fan-out is not resurrected.
+            state = self.jobs.peek(job)
+            if state is None:
+                continue
+            group = by_job[job]
+            self.result_broadcasts += len(group)
+            if telemetry.enabled:
+                if job:
+                    telemetry.inc(
+                        "switch.result_broadcasts",
+                        len(group),
+                        switch=self.name,
+                        job=job,
+                    )
+                else:
+                    telemetry.inc(
+                        "switch.result_broadcasts",
+                        len(group),
+                        switch=self.name,
+                    )
+                for _, _, result in group:
+                    telemetry.event(
+                        "segment.broadcast",
+                        cat="aggregation",
+                        track=self.name,
+                        seg=result.seg,
+                        job=job,
+                    )
+            ready = np.empty(len(group), dtype=np.float64)
+            for i, item in enumerate(group):
+                ready[i] = item[0]
+            # Every member gets an identical train except for the packet
+            # destinations: build it once, clone per member.  The template
+            # itself is never sent (transmission stamps hops/created_at).
+            template = [
+                self._data_packet("", item[2], downstream=True)
+                for item in group
+            ]
+            for entry in state.members.addresses:
+                egress = self.lookup(entry)
+                if egress is None:
+                    self.dropped_packets += len(group)
+                    continue
+                egress.send_train(
+                    [packet.clone_to(entry) for packet in template], ready
+                )
 
     def _emit_result(self, result: DataSegment) -> None:
         """Ship a completed segment: up the hierarchy, or down to members."""
@@ -248,11 +524,9 @@ class ISwitch(EthernetSwitch):
             "fanout",
         )
 
-    def _send_data(self, dst: str, segment: DataSegment, downstream: bool) -> None:
-        egress = self.lookup(dst)
-        if egress is None:
-            self.dropped_packets += 1
-            return
+    def _data_packet(
+        self, dst: str, segment: DataSegment, downstream: bool
+    ) -> Packet:
         if segment.wire_payload is not None and segment.wire_frames is not None:
             payload_size, frames = segment.wire_payload, segment.wire_frames
         else:
@@ -262,18 +536,26 @@ class ISwitch(EthernetSwitch):
             payload_size = (
                 frames * SEG_HEADER_BYTES + segment.data.size * FLOAT_BYTES
             )
-        egress.send(
-            Packet(
-                src=self.name,
-                dst=dst,
-                payload_size=payload_size,
-                tos=TOS_DATA_DOWN if downstream else TOS_DATA_UP,
-                payload=segment,
-                src_port=ISWITCH_UDP_PORT,
-                dst_port=ISWITCH_UDP_PORT,
-                frame_count=frames,
-            )
+        # Trusted construction: stamped footprints passed validation when
+        # the contribution was built; reconstructed ones fit by definition.
+        return Packet.trusted(
+            self.name,
+            dst,
+            payload_size,
+            TOS_DATA_DOWN if downstream else TOS_DATA_UP,
+            segment,
+            ISWITCH_UDP_PORT,
+            ISWITCH_UDP_PORT,
+            frames,
+            0,
         )
+
+    def _send_data(self, dst: str, segment: DataSegment, downstream: bool) -> None:
+        egress = self.lookup(dst)
+        if egress is None:
+            self.dropped_packets += 1
+            return
+        egress.send(self._data_packet(dst, segment, downstream))
 
     # ------------------------------------------------------------------
     # Control plane

@@ -32,6 +32,8 @@ DEFAULT_RECOVERY_TIMEOUT = 0.5e-3
 
 _WORKLOADS = ("dqn", "a2c", "ppo", "ddpg", "synth")
 _BACKENDS = ("sim", "live")
+_TRANSPORTS = ("packet", "train")
+_SCHEDULERS = ("heap", "calendar")
 
 
 @dataclass
@@ -75,6 +77,17 @@ class ExperimentConfig:
     #: ``ps-shard`` only: number of shard servers (clamped to the worker
     #: count); ``None`` uses the strategy's default.
     ps_shards: Optional[int] = None
+    #: Simulated transport granularity: ``"packet"`` schedules one event
+    #: per packet (the reference model; the golden regressions pin it),
+    #: ``"train"`` coalesces same-destination bursts into
+    #: :class:`~repro.netsim.packets.PacketTrain` deliveries — one
+    #: vectorized timeline computation and one event per train, for the
+    #: same per-packet arrival times.  Sim backend only.
+    transport: str = "packet"
+    #: Event-queue backend: ``"heap"`` (reference binary heap) or
+    #: ``"calendar"`` (bucketed calendar queue); dispatch order is
+    #: identical, only the queue's cost profile differs.
+    scheduler: str = "heap"
     #: Collect metrics/spans/events into ``TrainingResult.telemetry``.
     telemetry: bool = True
     #: Scenario-driven fault injection: a
@@ -117,6 +130,16 @@ class ExperimentConfig:
         if self.staleness_bound < 0:
             raise ValueError(
                 f"staleness_bound must be >= 0, got {self.staleness_bound}"
+            )
+        self.transport = self.transport.lower()
+        if self.transport not in _TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {_TRANSPORTS}, got {self.transport!r}"
+            )
+        self.scheduler = self.scheduler.lower()
+        if self.scheduler not in _SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {_SCHEDULERS}, got {self.scheduler!r}"
             )
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError(

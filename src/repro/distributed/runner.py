@@ -31,7 +31,7 @@ from ..core.hierarchy import (
     iswitch_factory,
     make_iswitch_factory,
 )
-from ..netsim.events import Simulator
+from ..netsim.events import Simulator, make_simulator
 from ..netsim.topology import build_rack_tree, build_star
 from ..rl.a2c import A2C
 from ..rl.base import Algorithm
@@ -117,6 +117,8 @@ def build_cluster(
     dedup: bool = False,
     telemetry: Optional[TelemetryHub] = None,
     canonical: bool = False,
+    transport: str = "packet",
+    scheduler: str = "heap",
 ) -> tuple:
     """Build (network, workers) for one experiment.
 
@@ -129,7 +131,8 @@ def build_cluster(
     :class:`~repro.telemetry.TelemetryHub` to the simulator so the hot
     paths record metrics and spans.
     """
-    sim = Simulator(telemetry=telemetry)
+    sim = make_simulator(scheduler, telemetry=telemetry)
+    sim.batch_transport = transport == "train"
     if use_iswitch:
         if canonical:
             factory = make_iswitch_factory(dedup=dedup, canonical=True)
@@ -229,6 +232,8 @@ def run(config: ExperimentConfig) -> TrainingResult:
         dedup=spec.requires_iswitch and (config.loss_rate > 0 or plan is not None),
         telemetry=hub,
         canonical=config.deterministic_aggregation and spec.requires_iswitch,
+        transport=config.transport,
+        scheduler=config.scheduler,
     )
     runner = spec.cls.create(net, workers, profile, config)
     injector = None

@@ -257,11 +257,25 @@ class SyncStrategy:
                 iteration=iteration,
             )
 
+        # Hoist the float64 conversion out of the deferred apply: the sum
+        # is never mutated between now and the apply event, so converting
+        # here is value-identical and the copy (when one is needed) can be
+        # divided in place instead of allocating a second array.  A sum
+        # that is already float64 may be shared across workers (PS/AR
+        # broadcast), so only a private copy is divided in place.
+        if summed.dtype == np.float64:
+            summed64, owned = summed, False
+        else:
+            summed64, owned = summed.astype(np.float64), True
+
         def apply() -> None:
-            worker.algorithm.apply_update(
-                np.asarray(summed, dtype=np.float64)
-                / self._round_divisor(iteration)
-            )
+            if owned:
+                update = np.divide(
+                    summed64, self._round_divisor(iteration), out=summed64
+                )
+            else:
+                update = summed64 / self._round_divisor(iteration)
+            worker.algorithm.apply_update(update)
             worker.finish_iteration()
             if telemetry.enabled:
                 started = self._iter_start.pop((worker.index, iteration), None)

@@ -32,7 +32,7 @@ from ..distributed.results import TrainingResult
 from ..distributed.runner import make_algorithm
 from ..distributed.sync import SyncISwitch
 from ..distributed.worker import ComputeModel, SimWorker
-from ..netsim.events import Simulator
+from ..netsim.events import make_simulator
 from ..netsim.link import GBPS, Link
 from ..netsim.node import Host
 from ..netsim.topology import Network
@@ -110,11 +110,14 @@ class SwitchFabric:
         telemetry: bool = True,
         host_bandwidth: float = 10 * GBPS,
         uplink_bandwidth: float = 40 * GBPS,
+        transport: str = "packet",
+        scheduler: str = "heap",
     ) -> None:
         if n_racks < 1:
             raise ValueError(f"n_racks must be >= 1, got {n_racks}")
         self.hub: Optional[TelemetryHub] = TelemetryHub() if telemetry else None
-        self.sim = Simulator(telemetry=self.hub)
+        self.sim = make_simulator(scheduler, telemetry=self.hub)
+        self.sim.batch_transport = transport == "train"
         self.host_bandwidth = host_bandwidth
         # Canonical-order engines: the bit-exact isolation guarantee.
         factory = make_iswitch_factory(canonical=True)

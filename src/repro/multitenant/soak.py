@@ -115,6 +115,8 @@ def run_soak(
     n_tenants: int = 4,
     telemetry: bool = True,
     specs: Optional[List[JobSpec]] = None,
+    transport: str = "packet",
+    scheduler: str = "heap",
 ) -> Tuple[SwitchFabric, SoakReport]:
     """Generate, submit, and drain a soak load; return fabric + report."""
     fabric = SwitchFabric(
@@ -123,6 +125,8 @@ def run_soak(
         sram_segments_per_engine=sram_segments_per_engine,
         policy=policy,
         telemetry=telemetry,
+        transport=transport,
+        scheduler=scheduler,
     )
     if specs is None:
         specs = generate_jobs(

@@ -53,13 +53,16 @@ class PacketCapture:
         self.dropped_records = 0
         self._inner = device.handle_packet
         device.handle_packet = self._tap  # type: ignore[method-assign]
+        self._inner_train = getattr(device, "handle_train", None)
+        if self._inner_train is not None:
+            device.handle_train = self._tap_train  # type: ignore[method-assign]
 
-    def _tap(self, packet: Packet, in_port) -> None:
+    def _record(self, packet: Packet, time: float) -> None:
         if self.packet_filter is None or self.packet_filter(packet):
             if self.max_records is None or len(self.records) < self.max_records:
                 self.records.append(
                     CapturedPacket(
-                        time=self.device.sim.now,
+                        time=time,
                         src=packet.src,
                         dst=packet.dst,
                         tos=packet.tos,
@@ -71,11 +74,25 @@ class PacketCapture:
                 )
             else:
                 self.dropped_records += 1
+
+    def _tap(self, packet: Packet, in_port) -> None:
+        self._record(packet, self.device.sim.now)
         self._inner(packet, in_port)
+
+    def _tap_train(self, train, in_port) -> None:
+        # Batched transport delivers the whole train in one event at the
+        # last arrival; the trace records each packet at its *carried*
+        # per-packet arrival so captures are transport-independent.
+        arrivals = train.arrivals
+        for i, packet in enumerate(train.packets):
+            self._record(packet, float(arrivals[i]))
+        self._inner_train(train, in_port)
 
     def detach(self) -> None:
         """Stop capturing and restore the device's original handler."""
         self.device.handle_packet = self._inner  # type: ignore[method-assign]
+        if self._inner_train is not None:
+            self.device.handle_train = self._inner_train  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Analysis helpers

@@ -35,12 +35,13 @@ bit-reproducible for a fixed topology and seed — see
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from bisect import insort
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
 from .events import Simulator
-from .packets import Packet
+from .packets import Packet, PacketTrain
 
 if TYPE_CHECKING:  # pragma: no cover
     from .node import Device
@@ -254,6 +255,201 @@ class LinkEnd:
         sim.schedule_fire_at(arrival, deliver, "deliver")
         return arrival
 
+    def send_train(
+        self,
+        packets: List[Packet],
+        ready: Optional[Sequence[float]] = None,
+    ) -> float:
+        """Transmit a burst of packets toward the peer as **one** train.
+
+        This is the batched-transport fast path: all serialization and
+        propagation arithmetic happens in one pass and a single delivery
+        event fires at the last packet's arrival, with the per-packet
+        arrival times carried on the :class:`PacketTrain`.  Two shapes:
+
+        * ``ready=None`` — an *offered burst*: every packet hits the
+          transmit queue right now, exactly like N back-to-back
+          :meth:`send` calls in one event (how a worker streams a
+          gradient).  The arrival times reproduce the sequential FIFO
+          recurrence bit for bit (``np.add.accumulate`` is a strict
+          left-to-right float64 sum, matching ``e_k = e_{k-1} + ser_k``).
+        * ``ready`` given (non-decreasing, one entry per packet) — a
+          *forwarded train*: packet ``i`` reaches this transmitter at
+          ``ready[i]`` (its per-packet forwarding event time), so each
+          transmission starts at ``max(busy, ready[i])``, again matching
+          the per-packet path exactly.
+
+        Fault windows (:mod:`repro.faults`) register *train barriers* —
+        future times at which this link's loss model or bandwidth changes.
+        A forwarded train straddling a barrier is split there: packets
+        whose ready time falls at/after the barrier are re-offered in a
+        fresh event at the barrier time, after the fault boundary has
+        applied, so they see exactly the link state the per-packet path
+        would have.  Offered bursts never split: their per-packet
+        equivalent also commits all loss draws and reads the bandwidth in
+        a single event at send time.
+
+        Returns the arrival time of the last packet transmitted now (or
+        the barrier time when the whole train was deferred).
+        """
+        link = self.link
+        sim = link.sim
+        now = sim.now
+        barriers = link.train_barriers
+        if barriers:
+            while barriers and barriers[0] <= now:
+                barriers.pop(0)  # boundary already applied this timestamp
+            if barriers and ready is not None and ready[-1] >= barriers[0]:
+                boundary = barriers[0]
+                split = int(np.searchsorted(ready, boundary, side="left"))
+                deferred = packets[split:]
+                deferred_ready = ready[split:]
+                sim.schedule_fire_at(
+                    boundary,
+                    lambda: self.send_train(deferred, deferred_ready),
+                    "train-defer",
+                )
+                if split == 0:
+                    return boundary
+                packets = packets[:split]
+                ready = ready[:split]
+        n = len(packets)
+        if n == 1 and ready is None:
+            return self.send(packets[0])
+        wire = np.empty(n, dtype=np.float64)
+        total_wire = 0
+        for i, packet in enumerate(packets):
+            size = packet.wire_size
+            wire[i] = size
+            total_wire += size
+            packet.hops += 1
+        serialization = wire * link._seconds_per_byte
+        # Python-float view: keeps np.float64 from leaking into
+        # ``_busy_until``/``created_at``/``busy_time`` (same IEEE doubles,
+        # wrong type for downstream scheduling and stats).
+        ser_list = serialization.tolist()
+        busy = self._busy_until
+        if ready is None:
+            for packet in packets:
+                if packet.created_at is None:
+                    packet.created_at = now
+            # Fold the first start time into element 0, then accumulate:
+            # ufunc.accumulate sums strictly left to right, so arr[k]
+            # reproduces the sequential e_k = e_{k-1} + ser_k recurrence
+            # with identical rounding.
+            ends = serialization.copy()
+            ends[0] = (busy if busy > now else now) + serialization[0]
+            np.add.accumulate(ends, out=ends)
+            self._busy_until = float(ends[-1])
+        else:
+            # Gap-capable recurrence (max against each ready time); plain
+            # float loop to preserve the per-packet operation order.
+            ends = np.empty(n, dtype=np.float64)
+            for i in range(n):
+                packet = packets[i]
+                r = float(ready[i])
+                if packet.created_at is None:
+                    packet.created_at = r
+                start = busy if busy > r else r
+                busy = start + ser_list[i]
+                ends[i] = busy
+            self._busy_until = busy
+        busy_time = self.busy_time
+        for s in ser_list:
+            # Repeated adds (not a multiply): must match the per-packet
+            # accumulation bit for bit.
+            busy_time += s
+        self.busy_time = busy_time
+        arrivals = ends + link.propagation
+        self.tx_packets += n
+        self.tx_bytes += total_wire
+        self._queued_packets += n
+        # Loss draws, per packet in transmission order — the same rng
+        # consumption as N per-packet sends.
+        loss_model = link.loss_model
+        rng = link.loss_rng
+        dropped_mask = None
+        n_dropped = 0
+        if loss_model is not None:
+            dropped_mask = np.empty(n, dtype=bool)
+            for i in range(n):
+                dropped_mask[i] = loss_model.should_drop(rng)
+            n_dropped = int(dropped_mask.sum())
+        elif link.loss_rate > 0.0:
+            rate = link.loss_rate
+            dropped_mask = np.empty(n, dtype=bool)
+            for i in range(n):
+                dropped_mask[i] = rng.random() < rate
+            n_dropped = int(dropped_mask.sum())
+        telemetry = sim.telemetry
+        if telemetry.enabled:
+            per_job: dict = {}
+            for packet in packets:
+                entry = per_job.get(packet.job)
+                if entry is None:
+                    per_job[packet.job] = [1, packet.wire_size]
+                else:
+                    entry[0] += 1
+                    entry[1] += packet.wire_size
+            for job, (count, nbytes) in per_job.items():
+                if job:
+                    telemetry.inc(
+                        "link.tx_packets", count, link=link.name, job=job
+                    )
+                    telemetry.inc(
+                        "link.tx_bytes", nbytes, link=link.name, job=job
+                    )
+                else:
+                    telemetry.inc("link.tx_packets", count, link=link.name)
+                    telemetry.inc("link.tx_bytes", nbytes, link=link.name)
+            telemetry.set_gauge(
+                "link.queue_depth", self._queued_packets, link=link.name
+            )
+        mask = dropped_mask
+        dropped_count = n_dropped
+
+        def deliver_train() -> None:
+            self._queued_packets -= n
+            if telemetry.enabled:
+                telemetry.set_gauge(
+                    "link.queue_depth", self._queued_packets, link=link.name
+                )
+                if dropped_count:
+                    telemetry.inc(
+                        "link.packets_dropped", dropped_count, link=link.name
+                    )
+            # Each packet's delivery was one event on the per-packet path
+            # (dropped ones included); this physical event already counts 1.
+            sim.count_batched(n - 1, "deliver")
+            if dropped_count:
+                link.dropped_packets += dropped_count
+                if dropped_count == n:
+                    return
+                survivors = [
+                    packet
+                    for packet, gone in zip(packets, mask)
+                    if not gone
+                ]
+                survivor_arrivals = arrivals[~mask]
+            else:
+                survivors = packets
+                survivor_arrivals = arrivals
+            device = self._peer_device
+            if device is None:  # unattached link: keep the loud error path
+                device = self.peer_device
+            train = PacketTrain(survivors, survivor_arrivals)
+            in_port = self._peer_end or self.peer
+            handle_train = getattr(device, "handle_train", None)
+            if handle_train is not None:
+                handle_train(train, in_port)
+            else:
+                for packet in survivors:
+                    device.handle_packet(packet, in_port)
+
+        last_arrival = float(arrivals[-1])
+        sim.schedule_fire_at(last_arrival, deliver_train, "deliver")
+        return last_arrival
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         owner = self.device.name if self.device else "?"
         return f"LinkEnd({owner} on {self.link.name})"
@@ -299,7 +495,19 @@ class Link:
         #: Optional :class:`GilbertElliott`; overrides ``loss_rate`` when set.
         self.loss_model: Optional[GilbertElliott] = None
         self.dropped_packets = 0
+        #: Future times at which this link's properties change (fault
+        #: window edges), kept sorted.  Forwarded trains split here — see
+        #: :meth:`LinkEnd.send_train`.  Mutating ``bandwidth`` or the loss
+        #: knobs mid-run *without* registering a barrier is still legal,
+        #: but in-flight trains then keep the state they were computed
+        #: with (the documented approximation; the fault injector always
+        #: registers barriers).
+        self.train_barriers: List[float] = []
         self.ends = (LinkEnd(self, 0), LinkEnd(self, 1))
+
+    def add_train_barrier(self, time: float) -> None:
+        """Register a future property-change instant for train splitting."""
+        insort(self.train_barriers, time)
 
     @property
     def bandwidth(self) -> float:

@@ -15,11 +15,12 @@ from typing import Callable, Dict, List, Optional
 
 from .events import Simulator
 from .link import LinkEnd
-from .packets import Packet
+from .packets import Packet, PacketTrain
 
-__all__ = ["Device", "Host", "PacketHandler"]
+__all__ = ["Device", "Host", "PacketHandler", "TrainHandler"]
 
 PacketHandler = Callable[[Packet], None]
+TrainHandler = Callable[[PacketTrain], None]
 
 
 class Device:
@@ -40,6 +41,15 @@ class Device:
         """Receive one packet from a link.  Subclasses must override."""
         raise NotImplementedError
 
+    def handle_train(self, train: PacketTrain, in_port: LinkEnd) -> None:
+        """Receive a packet train in one call (batched transport).
+
+        The base implementation unrolls to :meth:`handle_packet`; devices
+        with a cheaper batch path (hosts, switches) override it.
+        """
+        for packet in train.packets:
+            self.handle_packet(packet, in_port)
+
     def _count_rx(self, packet: Packet) -> None:
         self.rx_packets += 1
         self.rx_bytes += packet.wire_size
@@ -58,6 +68,7 @@ class Host(Device):
     def __init__(self, sim: Simulator, name: str) -> None:
         super().__init__(sim, name)
         self._handlers: Dict[int, PacketHandler] = {}
+        self._train_handlers: Dict[int, TrainHandler] = {}
         self._default_handler: Optional[PacketHandler] = None
         self._uplink: Optional[LinkEnd] = None
 
@@ -89,10 +100,21 @@ class Host(Device):
 
     def unbind(self, port: int) -> None:
         self._handlers.pop(port, None)
+        self._train_handlers.pop(port, None)
 
     def bind_default(self, handler: PacketHandler) -> None:
         """Register the catch-all handler for unbound ports."""
         self._default_handler = handler
+
+    def bind_train(self, port: int, handler: TrainHandler) -> None:
+        """Register a whole-train handler for UDP dst port ``port``.
+
+        Complements :meth:`bind` (which must also be bound for the port):
+        when a :class:`PacketTrain` arrives whose packets all target
+        ``port``, the train handler gets it in one call; mixed trains and
+        individual packets fall back to the per-packet handler.
+        """
+        self._train_handlers[port] = handler
 
     # ------------------------------------------------------------------
     # I/O
@@ -104,6 +126,13 @@ class Host(Device):
             raise RuntimeError(f"host {self.name} has no link attached")
         return uplink.send(packet)
 
+    def send_burst(self, packets: List[Packet]) -> float:
+        """Offer a same-destination burst to the NIC as one packet train."""
+        uplink = self._uplink
+        if uplink is None:
+            raise RuntimeError(f"host {self.name} has no link attached")
+        return uplink.send_train(packets)
+
     def handle_packet(self, packet: Packet, in_port: LinkEnd) -> None:
         self.rx_packets += 1
         self.rx_bytes += packet.wire_size
@@ -112,3 +141,25 @@ class Host(Device):
             handler(packet)
         # Packets with no handler are dropped silently, like a closed UDP
         # socket; tests assert on rx counters to detect misrouting.
+
+    def handle_train(self, train: PacketTrain, in_port: LinkEnd) -> None:
+        packets = train.packets
+        self.rx_packets += len(packets)
+        nbytes = 0
+        port = packets[0].dst_port
+        uniform = True
+        for packet in packets:
+            nbytes += packet.wire_size
+            if packet.dst_port != port:
+                uniform = False
+        self.rx_bytes += nbytes
+        train_handler = self._train_handlers.get(port)
+        if train_handler is not None and uniform:
+            train_handler(train)
+            return
+        default = self._default_handler
+        handlers = self._handlers
+        for packet in packets:
+            handler = handlers.get(packet.dst_port, default)
+            if handler is not None:
+                handler(packet)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 __all__ = [
     "ETHERNET_OVERHEAD",
@@ -37,6 +37,7 @@ __all__ = [
     "TOS_DEFAULT",
     "PER_FRAME_OVERHEAD",
     "Packet",
+    "PacketTrain",
 ]
 
 ETHERNET_OVERHEAD = 18  # 14-byte header + 4-byte FCS
@@ -130,8 +131,108 @@ class Packet:
             created_at=self.created_at,
         )
 
+    def clone_to(self, dst: str) -> "Packet":
+        """Broadcast-hot clone: like :meth:`copy_for` without re-validation.
+
+        The source packet already passed ``__post_init__`` and only the
+        destination changes, so the size/ToS invariants cannot break.
+        """
+        p = object.__new__(Packet)
+        p.src = self.src
+        p.dst = dst
+        p.payload_size = self.payload_size
+        p.tos = self.tos
+        p.payload = self.payload
+        p.src_port = self.src_port
+        p.dst_port = self.dst_port
+        p.frame_count = self.frame_count
+        p.job = self.job
+        p.packet_id = next(_packet_ids)
+        p.hops = self.hops
+        p.created_at = self.created_at
+        p.wire_size = self.wire_size
+        return p
+
+    @classmethod
+    def trusted(
+        cls,
+        src: str,
+        dst: str,
+        payload_size: int,
+        tos: int,
+        payload: Any,
+        src_port: int,
+        dst_port: int,
+        frame_count: int,
+        job: int,
+    ) -> "Packet":
+        """Validation-free constructor for callers whose sizes come from an
+        already-validated :class:`~repro.core.protocol.SegmentPlan`.
+
+        Per-packet construction dominates the batched transport path;
+        skipping ``__post_init__`` here is safe because the plan guarantees
+        the payload fits its frames and the ToS values are module
+        constants.
+        """
+        p = object.__new__(cls)
+        p.src = src
+        p.dst = dst
+        p.payload_size = payload_size
+        p.tos = tos
+        p.payload = payload
+        p.src_port = src_port
+        p.dst_port = dst_port
+        p.frame_count = frame_count
+        p.job = job
+        p.packet_id = next(_packet_ids)
+        p.hops = 0
+        p.created_at = None
+        p.wire_size = frame_count * PER_FRAME_OVERHEAD + payload_size
+        return p
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Packet(#{self.packet_id} {self.src}->{self.dst} "
             f"{self.payload_size}B tos={self.tos})"
+        )
+
+
+class PacketTrain:
+    """A burst of same-destination packets delivered as **one** event.
+
+    The batched transport path (:meth:`repro.netsim.link.LinkEnd.send_train`)
+    computes every packet's arrival time in one vectorized expression and
+    schedules a single delivery at the last arrival.  The train carries the
+    per-packet arrival times (``arrivals[i]`` is exactly the time packet
+    ``i``'s own delivery event would have fired on the per-packet path), so
+    consumers that care about per-packet timing — on-the-fly aggregation,
+    store-and-forward switches, packet capture — stay timestamp-accurate.
+
+    Invariants: ``len(packets) == len(arrivals) >= 1`` and ``arrivals`` is
+    sorted ascending (link FIFO order).  All packets share one destination
+    device; dropped packets are removed before the train is handed to it.
+    """
+
+    __slots__ = ("packets", "arrivals")
+
+    def __init__(self, packets: List[Packet], arrivals) -> None:
+        if len(packets) != len(arrivals):
+            raise ValueError(
+                f"train has {len(packets)} packets but "
+                f"{len(arrivals)} arrival times"
+            )
+        if not packets:
+            raise ValueError("a train carries at least one packet")
+        self.packets = packets
+        #: Per-packet receiver-side arrival times (float64 ndarray).
+        self.arrivals = arrivals
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        first, last = self.packets[0], self.packets[-1]
+        return (
+            f"PacketTrain({len(self.packets)}p {first.src}->{last.dst} "
+            f"t=[{self.arrivals[0]:.9f}, {self.arrivals[-1]:.9f}])"
         )

@@ -199,6 +199,45 @@ class TestCli:
         assert code == 1
 
 
+class TestRegressionGate:
+    @staticmethod
+    def _report(samples, baseline_samples=None):
+        def entry(ws):
+            return {"wall_s": list(ws), "median_s": sorted(ws)[len(ws) // 2]}
+
+        report = {"scenarios": {bench.GATE_SCENARIO: entry(samples)}}
+        if baseline_samples is not None:
+            report["baseline"] = {
+                "scenarios": {bench.GATE_SCENARIO: entry(baseline_samples)}
+            }
+        return report
+
+    def test_compares_best_samples_not_medians(self):
+        # Median regressed 2x (cold samples dominate) but the best sample
+        # matches the baseline's best: the gate must pass.
+        report = self._report([0.30, 0.25, 0.10], baseline_samples=[0.10, 0.12, 0.14])
+        assert bench.check_regression(report, 0.50) == 0
+
+    def test_fails_on_structural_regression(self):
+        report = self._report([0.31, 0.30, 0.32], baseline_samples=[0.10, 0.12, 0.14])
+        assert bench.check_regression(report, 0.50) == 1
+
+    def test_missing_baseline_passes(self):
+        assert bench.check_regression(self._report([0.1]), 0.50) == 0
+
+    def test_missing_scenario_passes(self):
+        report = self._report([0.1], baseline_samples=[0.1])
+        report["baseline"]["scenarios"] = {}
+        assert bench.check_regression(report, 0.50) == 0
+
+    def test_falls_back_to_median_without_samples(self):
+        report = self._report([0.2], baseline_samples=[0.1])
+        del report["scenarios"][bench.GATE_SCENARIO]["wall_s"]
+        del report["baseline"]["scenarios"][bench.GATE_SCENARIO]["wall_s"]
+        assert bench.check_regression(report, 0.50) == 1
+        assert bench.check_regression(report, 1.50) == 0
+
+
 @pytest.mark.bench
 class TestSmokeMatrixEndToEnd:
     def test_smoke_run_validates_and_recovers_faults(self, tmp_path):

@@ -1,0 +1,231 @@
+"""Differential property tests: calendar queue vs the reference heap.
+
+The calendar scheduler (`repro.netsim.events.CalendarSimulator`) promises
+*identical dispatch order* to the reference heap `Simulator` — same
+``(time, seq)`` total order, same tie-breaking, same lazy-cancel
+semantics — differing only in queue cost.  These tests drive both
+schedulers through the same seeded operation scripts (ties, cancels,
+nested scheduling from inside callbacks, partial runs) and assert the
+observable traces are equal, including with pathological wheel
+geometries that force constant overflow and rebasing.
+"""
+
+import random
+
+import pytest
+
+from repro.netsim.events import (
+    DEFAULT_BUCKET_WIDTH,
+    DEFAULT_N_BUCKETS,
+    CalendarSimulator,
+    SimError,
+    Simulator,
+    make_simulator,
+)
+
+#: Delays are drawn from a coarse grid so exact-tie timestamps are common
+#: (tie-breaking by insertion seq is exactly what we need to exercise).
+GRID = 1e-6
+
+
+def _drive(sim, seed):
+    """Run one seeded script on ``sim``; return the full observable trace.
+
+    The script mixes every scheduling entry point (relative/absolute,
+    cancellable/fire-and-forget), cancels a fraction of pending events,
+    and lets callbacks schedule follow-ups and cancel peers mid-run.  All
+    randomness comes from a private ``random.Random(seed)`` consumed in
+    dispatch order, so two simulators that dispatch identically replay
+    the identical script.
+    """
+    rng = random.Random(seed)
+    log = []
+    cancellable = []
+
+    def make_cb(label):
+        def fire():
+            log.append((sim.now, label))
+            roll = rng.random()
+            if roll < 0.20:
+                sim.schedule_fire(
+                    GRID * rng.randrange(0, 40), make_cb(label + "f")
+                )
+            elif roll < 0.35:
+                cancellable.append(
+                    sim.schedule(
+                        GRID * rng.randrange(0, 40), make_cb(label + "e")
+                    )
+                )
+            elif roll < 0.45 and cancellable:
+                cancellable.pop(rng.randrange(len(cancellable))).cancel()
+
+        return fire
+
+    # Wave 1: a burst across every entry point, heavy on ties.
+    for i in range(250):
+        delay = GRID * rng.randrange(0, 120)
+        kind = rng.randrange(4)
+        label = f"s{i}"
+        if kind == 0:
+            sim.schedule_fire(delay, make_cb(label))
+        elif kind == 1:
+            cancellable.append(sim.schedule(delay, make_cb(label)))
+        elif kind == 2:
+            sim.schedule_fire_at(sim.now + delay, make_cb(label))
+        else:
+            cancellable.append(sim.schedule_at(sim.now + delay, make_cb(label)))
+    for _ in range(40):
+        if cancellable:
+            # Some targets already fired; cancel() must be a harmless
+            # no-op for those, exactly like on the heap.
+            cancellable.pop(rng.randrange(len(cancellable))).cancel()
+
+    # Partial run: stop mid-burst, observe, then continue.
+    sim.run(until=GRID * 40)
+    checkpoint = (sim.now, sim.processed_events, len(log))
+
+    # Wave 2 from the advanced clock, reaching far past the first wave.
+    for i in range(120):
+        delay = GRID * rng.randrange(0, 400)
+        label = f"t{i}"
+        if rng.randrange(2):
+            sim.schedule_fire(delay, make_cb(label))
+        else:
+            cancellable.append(sim.schedule(delay, make_cb(label)))
+    for _ in range(20):
+        if cancellable:
+            cancellable.pop(rng.randrange(len(cancellable))).cancel()
+    sim.run(max_events=150)
+    checkpoint2 = (sim.now, sim.processed_events, len(log))
+    sim.run()
+    return {
+        "log": log,
+        "checkpoint": checkpoint,
+        "checkpoint2": checkpoint2,
+        "final_now": sim.now,
+        "processed": sim.processed_events,
+        "pending": sim.pending_events,
+    }
+
+
+class TestDifferentialDispatchOrder:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_calendar_matches_heap_trace(self, seed):
+        assert _drive(CalendarSimulator(), seed) == _drive(Simulator(), seed)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tiny_wheel_forces_rebase_and_still_matches(self, seed):
+        # 2 buckets x 1 µs: nearly everything lands in overflow and the
+        # wheel rebases continuously — the worst case for the cursor /
+        # rebase / horizon-edge logic.
+        tiny = CalendarSimulator(bucket_width=GRID, n_buckets=2)
+        assert _drive(tiny, seed) == _drive(Simulator(), seed)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_wide_buckets_still_match(self, seed):
+        # Buckets much wider than the tie grid: whole bursts pile into
+        # one bucket heap, exercising intra-bucket ordering.
+        wide = CalendarSimulator(bucket_width=64 * GRID, n_buckets=16)
+        assert _drive(wide, seed) == _drive(Simulator(), seed)
+
+
+class TestSameTimestampTies:
+    def test_exact_ties_dispatch_in_insertion_order(self):
+        for sim in (Simulator(), CalendarSimulator()):
+            order = []
+            for i in range(20):
+                sim.schedule_fire(5e-6, lambda i=i: order.append(i))
+            sim.run()
+            assert order == list(range(20))
+
+    def test_ties_across_entry_points_interleave_by_seq(self):
+        traces = []
+        for sim in (Simulator(), CalendarSimulator()):
+            order = []
+            sim.schedule_fire(1e-6, lambda: order.append("fire0"))
+            sim.schedule(1e-6, lambda: order.append("event0"))
+            sim.schedule_fire_at(1e-6, lambda: order.append("fire_at"))
+            sim.schedule_at(1e-6, lambda: order.append("event_at"))
+            sim.run()
+            traces.append(order)
+        assert traces[0] == traces[1] == [
+            "fire0", "event0", "fire_at", "event_at",
+        ]
+
+
+class TestCancellation:
+    def test_cancelled_events_skipped_and_accounting_matches(self):
+        for sim in (Simulator(), CalendarSimulator()):
+            fired = []
+            keep = sim.schedule(2e-6, lambda: fired.append("keep"))
+            drop = sim.schedule(1e-6, lambda: fired.append("drop"))
+            drop.cancel()
+            drop.cancel()  # idempotent
+            assert sim.pending_events == 1
+            sim.run()
+            assert fired == ["keep"]
+            assert keep.cancelled is False
+
+    def test_mass_cancel_triggers_sweep_without_losing_live_events(self):
+        for sim in (Simulator(), CalendarSimulator()):
+            fired = []
+            doomed = [
+                sim.schedule(GRID * (i % 7), lambda: fired.append("x"))
+                for i in range(300)
+            ]
+            sim.schedule(GRID * 3, lambda: fired.append("live"))
+            for event in doomed:
+                event.cancel()
+            # Scheduling after heavy cancellation is what trips the sweep.
+            sim.schedule(GRID * 4, lambda: fired.append("live2"))
+            sim.run()
+            assert fired == ["live", "live2"]
+
+
+class TestCalendarSpecifics:
+    def test_make_simulator_selects_backend(self):
+        assert type(make_simulator("heap")) is Simulator
+        assert type(make_simulator("calendar")) is CalendarSimulator
+        with pytest.raises(ValueError, match="scheduler"):
+            make_simulator("wheel-of-fortune")
+
+    def test_defaults_are_sane(self):
+        sim = CalendarSimulator()
+        assert sim._width == DEFAULT_BUCKET_WIDTH
+        assert sim._n_buckets == DEFAULT_N_BUCKETS
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError, match="bucket_width"):
+            CalendarSimulator(bucket_width=0.0)
+        with pytest.raises(ValueError, match="n_buckets"):
+            CalendarSimulator(n_buckets=1)
+
+    def test_past_scheduling_rejected_like_heap(self):
+        sim = CalendarSimulator()
+        sim.schedule_fire(1e-6, lambda: None)
+        sim.run()
+        with pytest.raises(SimError):
+            sim.schedule(-1e-9, lambda: None)
+        with pytest.raises(SimError):
+            sim.schedule_at(sim.now - 1e-6, lambda: None)
+
+    def test_reset_clears_wheel_and_overflow(self):
+        sim = CalendarSimulator(bucket_width=GRID, n_buckets=2)
+        for i in range(50):
+            sim.schedule(GRID * i * 10, lambda: None)
+        sim.reset()
+        assert sim.pending_events == 0
+        assert sim.now == 0.0
+        fired = []
+        sim.schedule(GRID, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+
+    def test_far_future_event_survives_in_overflow(self):
+        sim = CalendarSimulator(bucket_width=GRID, n_buckets=4)
+        fired = []
+        # Far beyond the 4 µs wheel horizon.
+        sim.schedule_fire(1.0, lambda: fired.append(sim.now))
+        sim.schedule_fire(GRID, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [GRID, 1.0]

@@ -4,7 +4,7 @@
 Equivalent to ``python -m repro bench``; exists so CI and the Makefile can
 invoke the harness without installing the package::
 
-    PYTHONPATH=src python tools/bench.py --out BENCH_PR4.json
+    PYTHONPATH=src python tools/bench.py --out benchmarks/results/BENCH_PR7.json
     PYTHONPATH=src python tools/bench.py --smoke --budget 120
 
 See :mod:`repro.bench` for the scenario matrix and the report schema.
