@@ -30,6 +30,7 @@ from .distributed.registry import MODES, strategy_specs
 from .distributed.runner import ASYNC_STRATEGIES, SYNC_STRATEGIES, run
 from .multitenant.scheduler import POLICIES
 from .experiments import (
+    codec_ablation,
     fig4,
     fig8,
     fig12,
@@ -58,6 +59,7 @@ EXPERIMENTS = {
     "fig14": (fig14.run, "n_updates"),
     "fig15": (fig15.run, "n_iterations"),
     "utilization": (utilization.run, "n_iterations"),
+    "codec_ablation": (codec_ablation.run, "n_iterations"),
 }
 
 
@@ -72,6 +74,7 @@ def format_strategy_table() -> str:
             "needs iswitch",
             "live",
             "multi-job",
+            "codecs",
         )
     ]
     specs = sorted(strategy_specs(), key=lambda s: MODES.index(s.mode))
@@ -85,6 +88,7 @@ def format_strategy_table() -> str:
                 "yes" if spec.requires_iswitch else "no",
                 "yes" if spec.supports_live else "no",
                 "yes" if spec.supports_multijob else "no",
+                "all" if spec.requires_iswitch else "fp32",
             )
         )
     widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
@@ -103,6 +107,11 @@ def format_strategy_table() -> str:
     lines.append(
         "'multi-job' strategies can share one switch tree between tenants: "
         "repro jobs submit|status|soak (see README, 'Multi-tenancy')."
+    )
+    lines.append(
+        "'codecs': aggregation numerics accepted via --codec (fp16/int32-bs/"
+        "topk/int8 model the switch dataplane, so they need an iSwitch "
+        "strategy; see DESIGN.md §12)."
     )
     return "\n".join(lines)
 
@@ -204,6 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="ps-shard only: number of shard servers (default: min(4, workers))",
+    )
+    train.add_argument(
+        "--codec",
+        default="fp32",
+        help="aggregation numerics / wire codec: fp32 (default), fp16, "
+        "int32-bs (block-scaled int32, integer-summed on the switch), "
+        "topk (sparsified frames), int8 (sim-only loss model); "
+        "non-fp32 codecs require an iSwitch strategy",
     )
     train.add_argument(
         "--loss-rate",
@@ -425,6 +442,7 @@ def _run_training(args: argparse.Namespace) -> int:
             iterations=args.iterations,
             seed=args.seed,
             staleness_bound=args.staleness_bound,
+            codec=args.codec,
             loss_rate=args.loss_rate,
             ps_shards=args.shards,
             telemetry=want_telemetry,

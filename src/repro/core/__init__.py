@@ -12,10 +12,14 @@ from .accelerator import (
 from .client import AggregationClient
 from .compression import (
     CODECS,
+    WIRE_CODECS,
     Float16Codec,
     Float32Codec,
     GradientCodec,
     Int8Codec,
+    Int32BlockScaledCodec,
+    TopKCodec,
+    codec_for_tag,
     get_codec,
 )
 from .control_plane import MemberEntry, MembershipTable, MemberType
@@ -31,6 +35,7 @@ from .protocol import (
     TOS_CONTROL,
     TOS_DATA_DOWN,
     TOS_DATA_UP,
+    TOS_NUMERICS_MASK,
     Action,
     ControlMessage,
     DataSegment,
@@ -51,8 +56,12 @@ __all__ = [
     "Float32Codec",
     "Float16Codec",
     "Int8Codec",
+    "Int32BlockScaledCodec",
+    "TopKCodec",
     "get_codec",
+    "codec_for_tag",
     "CODECS",
+    "WIRE_CODECS",
     "JobTable",
     "JobState",
     "DEFAULT_JOB",
@@ -71,6 +80,7 @@ __all__ = [
     "TOS_CONTROL",
     "TOS_DATA_UP",
     "TOS_DATA_DOWN",
+    "TOS_NUMERICS_MASK",
     "ISWITCH_TOS_VALUES",
     "ISWITCH_UDP_PORT",
     "SEG_HEADER_BYTES",

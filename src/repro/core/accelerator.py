@@ -120,6 +120,18 @@ class AggregationEngine:
         reach H again, so dropping them is both necessary and harmless
         (the committing worker's gradient is simply lost, which bounded-
         staleness training tolerates by design).  ``None`` disables.
+    codec:
+        The :class:`~repro.core.compression.GradientCodec` whose numerics
+        this engine aggregates (``None`` = the paper's fp32 datapath,
+        bit-identical to the pre-codec engine).  A codec with
+        ``integer_sum`` (``int32-bs``) switches the in-place path to
+        **int32 mantissa accumulators** — the summation a switch dataplane
+        actually performs (SwitchML) — and every completion passes through
+        the codec's ``finalize_sum``/``engine_emit`` renormalization.
+        Integer summation is order independent, so this mode needs no
+        ``canonical_order`` to be reproducible; with ``canonical_order``
+        the float path is used instead (exact on the codec grid, hence
+        bit-identical to the integer path — see DESIGN.md §12).
     """
 
     def __init__(
@@ -130,6 +142,7 @@ class AggregationEngine:
         timing: Optional[AcceleratorTiming] = None,
         buffer_limit: Optional[int] = None,
         canonical_order: bool = False,
+        codec=None,
     ) -> None:
         if threshold < 1:
             raise ValueError(f"threshold H must be >= 1, got {threshold}")
@@ -140,6 +153,11 @@ class AggregationEngine:
         self.cache_size = cache_size
         self.buffer_limit = buffer_limit
         self.canonical_order = canonical_order
+        self.codec = codec
+        #: Integer-accumulate mode: in-place buffers hold int32 mantissas.
+        self._int_sum = bool(
+            codec is not None and codec.integer_sum and not canonical_order
+        )
         self.timing = timing or AcceleratorTiming()
         self.stats = AggregationStats()
         #: When set to the plan's chunk count, incoming Seg numbers are
@@ -296,11 +314,17 @@ class AggregationEngine:
             # see their gradient mutated (retransmission caches, shared
             # broadcast results) pass a read-only view, which forces the
             # copy here.
-            data = segment.data
-            if data.dtype == np.float32 and data.flags.writeable:
-                self._buffers[seg] = data
+            if self._int_sum:
+                # Integer datapath: the buffer is the int32 mantissa
+                # accumulator a switch ALU actually holds.  Inputs are
+                # quantized on ingest; the float array is never adopted.
+                self._buffers[seg] = self.codec.engine_ingest(segment.data)
             else:
-                self._buffers[seg] = np.array(data, dtype=np.float32)
+                data = segment.data
+                if data.dtype == np.float32 and data.flags.writeable:
+                    self._buffers[seg] = data
+                else:
+                    self._buffers[seg] = np.array(data, dtype=np.float32)
             self._counters[seg] = 1
         else:
             if buffer.shape != segment.data.shape:
@@ -308,7 +332,10 @@ class AggregationEngine:
                     f"segment {seg}: contribution shape {segment.data.shape} "
                     f"!= buffer shape {buffer.shape}"
                 )
-            buffer += segment.data
+            if self._int_sum:
+                buffer += self.codec.engine_ingest(segment.data)
+            else:
+                buffer += segment.data
             self._counters[seg] += 1
 
         n_live = len(self._buffers)
@@ -392,7 +419,11 @@ class AggregationEngine:
             or self.arrival_renumber is not None
             or self.buffer_limit is not None
             or self.clock is not None
+            or self.codec is not None
         ):
+            # (Codec engines need the slow path: int32-bs quantizes on
+            # ingest, and every codec's finalize_sum must run per
+            # completion — the inlined completion below skips it.)
             return None
         n = len(segments)
         if n < 2:
@@ -522,8 +553,17 @@ class AggregationEngine:
             data = entries[0][2]
             for _, _, contribution in entries[1:]:
                 data += contribution
+            if self.codec is not None:
+                data = self.codec.finalize_sum(data)
         else:
             data = self._buffers.pop(seg)
+            if self._int_sum:
+                # Renormalize the int32 accumulator back to float32 —
+                # bit-identical to finalize_sum() of the exact float sum
+                # (DESIGN.md §12), so canonical and integer paths agree.
+                data = self.codec.engine_emit(data)
+            elif self.codec is not None:
+                data = self.codec.finalize_sum(data)
         self._counters.pop(seg, None)
         self._contributors.pop(seg, None)
         started = self._first_arrival.pop(seg, None)

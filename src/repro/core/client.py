@@ -17,6 +17,7 @@ host's iSwitch UDP port.  The client
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -68,6 +69,24 @@ class AggregationClient:
         #: worker (the wire width itself comes from the plan's
         #: ``bytes_per_element``).
         self.codec = codec
+        if codec is not None and (
+            plan.bytes_per_element != codec.bytes_per_element
+            or plan.frame_overhead != codec.frame_overhead
+        ):
+            # Historical silent no-op: the codec quantized the gradient
+            # but the plan still billed fp32-shaped frames, so nothing
+            # shrank on the wire.  Build the plan from the codec's
+            # geometry (e.g. via make_plan(..., codec=...)) instead.
+            warnings.warn(
+                f"AggregationClient codec {codec.name!r} does not match the "
+                f"segment plan geometry ({plan.bytes_per_element} B/elt, "
+                f"{plan.frame_overhead} B frame overhead vs the codec's "
+                f"{codec.bytes_per_element}/{codec.frame_overhead}); the "
+                "wire accounting still reflects the plan, not the codec. "
+                "Pass a plan built with the codec's geometry.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.on_round_complete = on_round_complete
         self.on_control = on_control
         #: Base Help-retry timeout (seconds of simulated time), or ``None``

@@ -43,16 +43,20 @@ def dedup_iswitch_factory(sim, name: str) -> ISwitch:
     return ISwitch(sim, name, dedup=True)
 
 
-def make_iswitch_factory(dedup: bool = False, canonical: bool = False):
+def make_iswitch_factory(
+    dedup: bool = False, canonical: bool = False, codec=None
+):
     """Build an iSwitch factory with the given engine options.
 
     ``canonical`` selects canonical-order summation (see
     :class:`~repro.core.accelerator.AggregationEngine`), used when the
     simulator must be bit-comparable with the live UDP backend.
+    ``codec`` selects the aggregation numerics every engine in the tree
+    runs (``None`` = fp32; see :mod:`repro.core.compression`).
     """
 
     def factory(sim, name: str) -> ISwitch:
-        return ISwitch(sim, name, dedup=dedup, canonical=canonical)
+        return ISwitch(sim, name, dedup=dedup, canonical=canonical, codec=codec)
 
     return factory
 

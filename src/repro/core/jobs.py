@@ -33,12 +33,17 @@ class JobState:
         dedup: bool = False,
         timing: Optional[AcceleratorTiming] = None,
         canonical: bool = False,
+        codec=None,
     ) -> None:
         if not 0 <= job_id <= MAX_JOB_ID:
             raise ValueError(f"job id must fit 16 bits, got {job_id}")
         self.job_id = job_id
         self.engine = AggregationEngine(
-            threshold=1, dedup=dedup, timing=timing, canonical_order=canonical
+            threshold=1,
+            dedup=dedup,
+            timing=timing,
+            canonical_order=canonical,
+            codec=codec,
         )
         self.members = MembershipTable()
 
@@ -52,12 +57,14 @@ class JobTable:
         timing: Optional[AcceleratorTiming] = None,
         max_jobs: int = 64,
         canonical: bool = False,
+        codec=None,
     ) -> None:
         if max_jobs < 1:
             raise ValueError(f"max_jobs must be >= 1, got {max_jobs}")
         self._dedup = dedup
         self._timing = timing
         self._canonical = canonical
+        self._codec = codec
         self.max_jobs = max_jobs
         self._jobs: Dict[int, JobState] = {}
         self.get(DEFAULT_JOB)  # job 0 always exists
@@ -76,6 +83,7 @@ class JobTable:
                 dedup=self._dedup,
                 timing=self._timing,
                 canonical=self._canonical,
+                codec=self._codec,
             )
             self._jobs[job_id] = state
         return state

@@ -37,6 +37,7 @@ __all__ = [
     "TOS_CONTROL",
     "TOS_DATA_UP",
     "TOS_DATA_DOWN",
+    "TOS_NUMERICS_MASK",
     "ISWITCH_TOS_VALUES",
     "ISWITCH_UDP_PORT",
     "SEG_HEADER_BYTES",
@@ -61,6 +62,11 @@ __all__ = [
 TOS_CONTROL = 0x04
 TOS_DATA_UP = 0x08
 TOS_DATA_DOWN = 0x0C
+#: Low two bits of a *data* ToS byte: the numerics tag selecting the
+#: gradient codec (0 = fp32, see PROTOCOL.md §8).  The three base values
+#: above all have these bits clear, so untagged fp32 frames are
+#: byte-identical to the pre-codec wire format.
+TOS_NUMERICS_MASK = 0x03
 ISWITCH_TOS_VALUES = frozenset({TOS_CONTROL, TOS_DATA_UP, TOS_DATA_DOWN})
 
 #: The reserved UDP port iSwitch traffic uses (membership table, Figure 9).
@@ -236,6 +242,7 @@ class SegmentPlan:
         frames_per_chunk: int = 1,
         wire_multiplier: int = 1,
         bytes_per_element: int = FLOAT_BYTES,
+        frame_overhead: int = 0,
     ) -> None:
         if n_elements < 1:
             raise ValueError(f"need at least one element, got {n_elements}")
@@ -247,6 +254,11 @@ class SegmentPlan:
             raise ValueError(
                 f"bytes_per_element must be >= 1, got {bytes_per_element}"
             )
+        if not 0 <= frame_overhead <= SEG_PAYLOAD_BYTES - bytes_per_element:
+            raise ValueError(
+                f"frame_overhead must leave room for at least one element, "
+                f"got {frame_overhead}"
+            )
         self.n_elements = n_elements
         self.frames_per_chunk = frames_per_chunk
         self.wire_multiplier = wire_multiplier
@@ -254,7 +266,12 @@ class SegmentPlan:
         #: smaller values model compressed wires, see
         #: :mod:`repro.core.compression`).
         self.bytes_per_element = bytes_per_element
-        self.elements_per_frame = SEG_PAYLOAD_BYTES // bytes_per_element
+        #: Per-frame payload bytes spent before the first element (the
+        #: scale/count words of compressed codecs, PROTOCOL.md §8).
+        self.frame_overhead = frame_overhead
+        self.elements_per_frame = (
+            SEG_PAYLOAD_BYTES - frame_overhead
+        ) // bytes_per_element
         self.n_frames = math.ceil(n_elements / self.elements_per_frame)
         self.n_chunks = math.ceil(self.n_frames / frames_per_chunk)
         self.elements_per_chunk = self.elements_per_frame * frames_per_chunk
@@ -275,12 +292,13 @@ class SegmentPlan:
         # keyed by the chunk's expected element count so an off-plan
         # segment still falls back to explicit arithmetic.
         mult = wire_multiplier
+        per_frame = SEG_HEADER_BYTES + frame_overhead
         self._wire_info = [
             (
                 bounds[chunk][1] - bounds[chunk][0],
                 mult
                 * (
-                    frames[chunk] * SEG_HEADER_BYTES
+                    frames[chunk] * per_frame
                     + (bounds[chunk][1] - bounds[chunk][0]) * bytes_per_element
                 ),
                 frames[chunk] * mult,
@@ -292,7 +310,7 @@ class SegmentPlan:
     def wire_bytes(self) -> int:
         """Total UDP payload bytes for one full vector (headers excluded)."""
         return (
-            self.n_frames * SEG_HEADER_BYTES
+            self.n_frames * (SEG_HEADER_BYTES + self.frame_overhead)
             + self.n_elements * self.bytes_per_element
         )
 
@@ -466,11 +484,17 @@ def encode_control(message: ControlMessage) -> bytes:
     return head + struct.pack("<Q", (job << 56) | value)
 
 
-def encode_data(segment: DataSegment, downstream: bool = False) -> bytes:
+def encode_data(
+    segment: DataSegment, downstream: bool = False, codec=None
+) -> bytes:
     """Serialize one data segment to its wire frame (Figure 5b).
 
     The frame is the ToS tag, the 8-byte Seg field (job id in the high
-    bits), then the raw little-endian float32 payload.
+    bits), then the payload.  Without a codec (or with fp32) the payload
+    is raw little-endian float32 and the frame is byte-identical to the
+    pre-codec wire format; a :class:`~repro.core.compression.GradientCodec`
+    with a ``wire_tag`` sets the tag in the ToS low bits and lays the
+    payload out per PROTOCOL.md §8.
     """
     if not 0 <= segment.job <= MAX_JOB_ID:
         raise ProtocolError(
@@ -478,14 +502,26 @@ def encode_data(segment: DataSegment, downstream: bool = False) -> bytes:
         )
     if segment.seg > MAX_SEG_INDEX:
         raise ProtocolError(f"Seg index {segment.seg} exceeds {MAX_SEG_INDEX}")
-    if segment.data.size > FLOATS_PER_SEGMENT:
-        raise ProtocolError(
-            f"{segment.data.size} floats exceed one frame's "
-            f"{FLOATS_PER_SEGMENT}-element capacity"
-        )
     tos = TOS_DATA_DOWN if downstream else TOS_DATA_UP
-    header = struct.pack("<BQ", tos, (segment.job << 56) | segment.seg)
-    return header + segment.data.astype("<f4", copy=False).tobytes()
+    if codec is None or codec.wire_tag == 0:
+        if segment.data.size > FLOATS_PER_SEGMENT:
+            raise ProtocolError(
+                f"{segment.data.size} floats exceed one frame's "
+                f"{FLOATS_PER_SEGMENT}-element capacity"
+            )
+        header = struct.pack("<BQ", tos, (segment.job << 56) | segment.seg)
+        return header + segment.data.astype("<f4", copy=False).tobytes()
+    if codec.wire_tag is None:
+        raise ProtocolError(f"codec {codec.name!r} has no wire format")
+    if segment.data.size > codec.elements_per_frame:
+        raise ProtocolError(
+            f"{segment.data.size} elements exceed one {codec.name} frame's "
+            f"{codec.elements_per_frame}-element capacity"
+        )
+    header = struct.pack(
+        "<BQ", tos | codec.wire_tag, (segment.job << 56) | segment.seg
+    )
+    return header + codec.encode_payload(segment.data, downstream=downstream)
 
 
 def decode_frame(
@@ -494,8 +530,11 @@ def decode_frame(
     """Parse a wire frame back into ``(tos, message)``.
 
     The inverse of :func:`encode_control` / :func:`encode_data`:
-    round-trips are lossless.  Malformed input of any kind raises
-    :class:`ProtocolError`; no other exception escapes.
+    fp32/control round-trips are lossless; compressed data frames decode
+    to the dense float32 values the codec's grid represents (the returned
+    ``tos`` keeps its numerics tag so callers know which codec applied).
+    Malformed input of any kind raises :class:`ProtocolError`; no other
+    exception escapes.
     """
     buf = bytes(frame)
     if not buf:
@@ -503,7 +542,7 @@ def decode_frame(
     tos = buf[0]
     if tos == TOS_CONTROL:
         return tos, _decode_control(buf)
-    if tos in (TOS_DATA_UP, TOS_DATA_DOWN):
+    if (tos & ~TOS_NUMERICS_MASK) in (TOS_DATA_UP, TOS_DATA_DOWN):
         return tos, _decode_data(buf)
     raise ProtocolError(f"unknown ToS tag 0x{tos:02x}")
 
@@ -567,7 +606,25 @@ def _decode_data(buf: bytes) -> DataSegment:
         raise ProtocolError(
             f"data frame shorter than its {SEG_HEADER_BYTES}-byte Seg header"
         )
+    tag = buf[0] & TOS_NUMERICS_MASK
     body_len = len(buf) - 1 - SEG_HEADER_BYTES
+    if tag:
+        # Compressed frame: the codec registered for the numerics tag owns
+        # the payload layout (PROTOCOL.md §8).  Imported lazily — the
+        # compression module builds on this one's constants.
+        from .compression import codec_for_tag
+
+        codec = codec_for_tag(tag)
+        downstream = (buf[0] & ~TOS_NUMERICS_MASK) == TOS_DATA_DOWN
+        word = struct.unpack_from("<Q", buf, 1)[0]
+        data = codec.decode_payload(
+            buf[1 + SEG_HEADER_BYTES :], downstream=downstream
+        )
+        return DataSegment(
+            seg=word & MAX_SEG_INDEX,
+            data=np.ascontiguousarray(data, dtype=np.float32),
+            job=_decode_job(word >> 56),
+        )
     if body_len % FLOAT_BYTES:
         raise ProtocolError(
             f"data payload of {body_len} B is not whole float32 elements"
@@ -619,7 +676,7 @@ def make_data_packet(
         chunk_frames = plan._chunk_frames[chunk]
         frames = chunk_frames * mult
         payload_size = mult * (
-            chunk_frames * SEG_HEADER_BYTES
+            chunk_frames * (SEG_HEADER_BYTES + plan.frame_overhead)
             + segment.data.size * plan.bytes_per_element
         )
     segment.wire_payload = payload_size

@@ -59,10 +59,13 @@ class ISwitch(EthernetSwitch):
         dedup: bool = False,
         timing: Optional[AcceleratorTiming] = None,
         canonical: bool = False,
+        codec=None,
     ) -> None:
         super().__init__(sim, name, latency=latency)
         #: Per-job aggregation state; job 0 is the single-tenant default.
-        self.jobs = JobTable(dedup=dedup, timing=timing, canonical=canonical)
+        self.jobs = JobTable(
+            dedup=dedup, timing=timing, canonical=canonical, codec=codec
+        )
         #: Address of the parent iSwitch for hierarchical aggregation,
         #: or ``None`` if this switch is the (local) aggregation root.
         self.parent_address: Optional[str] = None

@@ -53,6 +53,7 @@ from ..rl.base import Algorithm
 from ..workloads.calibration import DEFAULT_COST_MODEL, CostModel
 from ..workloads.profiles import WorkloadProfile
 from .collectives import ISwitchStream, PsGather, PsScatter
+from .config import resolve_codec as _resolve_codec
 from .metrics import BusyQueue
 from .registry import register_strategy
 from .results import TrainingResult
@@ -344,9 +345,11 @@ class AsyncISwitch:
         recovery_timeout: Optional[float] = None,
         max_recovery_attempts: Optional[int] = None,
         job: int = 0,
+        codec=None,
     ) -> None:
         self.net = net
         self.job = job
+        self.codec = codec
         self.sim = net.sim
         self.workers = workers
         self.profile = profile
@@ -380,6 +383,7 @@ class AsyncISwitch:
             max_recovery_attempts=max_recovery_attempts,
             on_round_abandoned=self._round_abandoned,
             job=job,
+            codec=codec,
         )
         self.plan = self.stream.plan
         self.clients = self.stream.clients
@@ -407,6 +411,7 @@ class AsyncISwitch:
             ),
             max_recovery_attempts=12 if fault_armed else None,
             job=getattr(config, "job_id", 0),
+            codec=_resolve_codec(config),
         )
 
     def run(self, n_updates: int) -> TrainingResult:

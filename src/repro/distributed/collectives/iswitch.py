@@ -29,17 +29,33 @@ MAX_CHUNKS = 64
 
 
 def make_plan(
-    n_elements: int, wire_bytes: int, max_chunks: int = MAX_CHUNKS
+    n_elements: int, wire_bytes: int, max_chunks: int = MAX_CHUNKS, codec=None
 ) -> SegmentPlan:
     """Build a SegmentPlan for a real vector of ``n_elements`` floats whose
-    wire footprint should emulate ``wire_bytes`` (the paper model size)."""
+    wire footprint should emulate ``wire_bytes`` (the paper model size).
+
+    ``codec`` applies that codec's frame geometry (element width and
+    per-frame overhead), shrinking the wire footprint accordingly.  The
+    emulation multiplier is always derived from the *fp32* footprint —
+    it counts how many copies of the paper model the real vector stands
+    in for, which is codec-independent, so a codec's bytes-on-wire
+    reduction shows up undiluted in the accounting.
+    """
     base = SegmentPlan(n_elements)
     frames_per_chunk = max(1, -(-base.n_frames // max_chunks))
     multiplier = max(1, round(wire_bytes / base.wire_bytes))
+    if codec is None:
+        return SegmentPlan(
+            n_elements,
+            frames_per_chunk=frames_per_chunk,
+            wire_multiplier=multiplier,
+        )
     return SegmentPlan(
         n_elements,
         frames_per_chunk=frames_per_chunk,
         wire_multiplier=multiplier,
+        bytes_per_element=codec.bytes_per_element,
+        frame_overhead=codec.frame_overhead,
     )
 
 
@@ -64,6 +80,7 @@ class ISwitchStream:
         on_round_abandoned: Optional[Callable[[object, int], None]] = None,
         name: str = "iswitch_stream",
         job: int = 0,
+        codec=None,
     ) -> None:
         self.net = net
         self.sim = net.sim
@@ -71,10 +88,11 @@ class ISwitchStream:
         self.on_round = on_round
         self.name = name
         self.job = job
+        self.codec = codec
         configure_aggregation(net, job=job)
         switches = aggregation_switches(net)
         n_params = workers[0].algorithm.n_params
-        self.plan = make_plan(n_params, wire_bytes)
+        self.plan = make_plan(n_params, wire_bytes, codec=codec)
         self.handles = HandleLedger(name, self.sim)
         # Leaf switches aggregate their local members; an explicit H only
         # makes sense in the flat (single-switch) deployment.
@@ -105,6 +123,7 @@ class ISwitchStream:
                 ),
                 recovery_timeout=recovery_timeout,
                 job=job,
+                codec=codec,
                 max_recovery_attempts=max_recovery_attempts,
                 on_round_abandoned=(
                     None

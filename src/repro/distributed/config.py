@@ -23,7 +23,7 @@ from typing import Optional
 from ..workloads.calibration import DEFAULT_COST_MODEL, CostModel
 from ..workloads.profiles import WorkloadProfile, get_profile
 
-__all__ = ["ExperimentConfig", "DEFAULT_RECOVERY_TIMEOUT"]
+__all__ = ["ExperimentConfig", "DEFAULT_RECOVERY_TIMEOUT", "resolve_codec"]
 
 #: Worker watchdog period when loss recovery is armed and no explicit
 #: ``recovery_timeout`` was given: comfortably above one aggregation
@@ -63,6 +63,14 @@ class ExperimentConfig:
     job_id: int = 0
     #: Async only: the staleness bound S of Algorithm 1.
     staleness_bound: int = 3
+    #: Aggregation numerics / wire codec (see
+    #: :mod:`repro.core.compression`): ``"fp32"`` (the paper's datapath,
+    #: default), ``"fp16"``, ``"int32-bs"`` (block-scaled int32, summed
+    #: as integers on the switch), ``"topk"`` (sparsified index+value
+    #: frames), or ``"int8"`` (simulator-only loss model, no wire
+    #: format).  Non-fp32 codecs require an iSwitch strategy — they model
+    #: what the switch dataplane aggregates.
+    codec: str = "fp32"
     #: Independent per-packet drop probability on every host link.
     #: Only iSwitch strategies are loss-tolerant; ``run`` rejects
     #: ``loss_rate > 0`` for ps/ar.
@@ -131,6 +139,14 @@ class ExperimentConfig:
             raise ValueError(
                 f"staleness_bound must be >= 0, got {self.staleness_bound}"
             )
+        self.codec = self.codec.lower()
+        from ..core.compression import CODECS
+
+        if self.codec not in CODECS:
+            raise ValueError(
+                f"unknown codec {self.codec!r}; choose one of "
+                f"{sorted(CODECS)}"
+            )
         self.transport = self.transport.lower()
         if self.transport not in _TRANSPORTS:
             raise ValueError(
@@ -196,6 +212,23 @@ class ExperimentConfig:
             f"got {type(self.fault_plan).__name__}"
         )
 
+    def resolved_codec(self):
+        """The :class:`~repro.core.compression.GradientCodec` instance, or
+        ``None`` for the fp32 datapath (which runs the exact pre-codec
+        engine and plan geometry)."""
+        if self.codec == "fp32":
+            return None
+        from ..core.compression import get_codec
+
+        return get_codec(self.codec)
+
     def with_overrides(self, **changes) -> "ExperimentConfig":
         """A copy with the given fields replaced (re-validated)."""
         return replace(self, **changes)
+
+
+def resolve_codec(config) -> Optional[object]:
+    """Duck-typed :meth:`ExperimentConfig.resolved_codec` for strategy
+    ``create()`` hooks, which also accept plain config stand-ins."""
+    resolved = getattr(config, "resolved_codec", None)
+    return resolved() if callable(resolved) else None

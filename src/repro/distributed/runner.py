@@ -119,6 +119,7 @@ def build_cluster(
     canonical: bool = False,
     transport: str = "packet",
     scheduler: str = "heap",
+    codec=None,
 ) -> tuple:
     """Build (network, workers) for one experiment.
 
@@ -134,8 +135,10 @@ def build_cluster(
     sim = make_simulator(scheduler, telemetry=telemetry)
     sim.batch_transport = transport == "train"
     if use_iswitch:
-        if canonical:
-            factory = make_iswitch_factory(dedup=dedup, canonical=True)
+        if canonical or codec is not None:
+            factory = make_iswitch_factory(
+                dedup=dedup, canonical=canonical, codec=codec
+            )
         else:
             factory = dedup_iswitch_factory if dedup else iswitch_factory
         kwargs = {"switch_factory": factory}
@@ -216,6 +219,19 @@ def run(config: ExperimentConfig) -> TrainingResult:
             f"strategy {config.strategy!r} has no per-job switch state; "
             "job_id > 0 requires an iSwitch strategy ('isw')"
         )
+    if config.codec != "fp32" and not spec.requires_iswitch:
+        raise ValueError(
+            f"strategy {config.strategy!r} aggregates on hosts in fp32; "
+            "codec != 'fp32' models the switch dataplane and requires an "
+            "iSwitch strategy ('isw')"
+        )
+    # fp32 stays codec=None end-to-end: the engines, plans and goldens
+    # run the exact pre-codec datapath.
+    codec = None
+    if config.codec != "fp32":
+        from ..core.compression import get_codec
+
+        codec = get_codec(config.codec)
     profile = config.resolved_profile()
     plan = config.resolved_fault_plan()
     hub = TelemetryHub() if config.telemetry else None
@@ -234,6 +250,7 @@ def run(config: ExperimentConfig) -> TrainingResult:
         canonical=config.deterministic_aggregation and spec.requires_iswitch,
         transport=config.transport,
         scheduler=config.scheduler,
+        codec=codec,
     )
     runner = spec.cls.create(net, workers, profile, config)
     injector = None
@@ -263,6 +280,7 @@ def run(config: ExperimentConfig) -> TrainingResult:
                 "iterations": config.iterations,
                 "seed": config.seed,
                 "loss_rate": config.loss_rate,
+                "codec": config.codec,
             }
         )
     return result

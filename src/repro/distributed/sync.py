@@ -53,6 +53,7 @@ from .collectives import (
     ring_reduce_scatter,
 )
 from .collectives.iswitch import MAX_CHUNKS
+from .config import resolve_codec as _resolve_codec
 from .metrics import BusyQueue
 from .registry import register_strategy
 from .results import TrainingResult
@@ -449,12 +450,14 @@ class SyncISwitch(SyncStrategy):
         recovery_timeout: Optional[float] = None,
         max_recovery_attempts: Optional[int] = None,
         job: int = 0,
+        codec=None,
     ) -> None:
         # _setup() runs inside the base __init__, so the timeout must be
         # in place before delegating.
         self.recovery_timeout = recovery_timeout
         self.max_recovery_attempts = max_recovery_attempts
         self.job = job
+        self.codec = codec
         #: Membership-fault state: crashes waiting to take effect at the
         #: target's next iteration boundary, currently-down workers, the
         #: queue of rejoin requests, and the append-only
@@ -478,6 +481,7 @@ class SyncISwitch(SyncStrategy):
             # leaves a round permanently unsatisfiable.
             max_recovery_attempts=64 if fault_armed else None,
             job=getattr(config, "job_id", 0),
+            codec=_resolve_codec(config),
         )
 
     def _setup(self) -> None:
@@ -489,6 +493,7 @@ class SyncISwitch(SyncStrategy):
             recovery_timeout=self.recovery_timeout,
             max_recovery_attempts=self.max_recovery_attempts,
             job=getattr(self, "job", 0),
+            codec=getattr(self, "codec", None),
         )
         self.plan = self.stream.plan
         self.clients = self.stream.clients

@@ -17,9 +17,14 @@ Module      Paper artifact
 ``fig14``   Figure 14 — DQN async training curves
 ``fig15``   Figure 15 — rack-scale scalability
 =========== =========================================================
+
+Beyond the paper: ``codec_ablation`` measures bytes-on-wire and
+iteration time against convergence for each aggregation codec
+(fp32/fp16/int32-bs/topk; DESIGN.md §12).
 """
 
 from . import (
+    codec_ablation,
     fig4,
     fig8,
     fig12,
@@ -46,6 +51,7 @@ __all__ = [
     "fig14",
     "fig15",
     "utilization",
+    "codec_ablation",
     "render_table",
     "render_series",
     "format_seconds",

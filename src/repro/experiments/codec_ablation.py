@@ -1,0 +1,177 @@
+"""Codec ablation: wire bytes and iteration time vs convergence per codec.
+
+Runs the same sync-isw training at every aggregation numerics setting
+(fp32 / fp16 / int32-bs / topk, see :mod:`repro.core.compression`) and
+reports, per workload:
+
+* **bytes on wire** (``link.tx_bytes`` over the whole run) and the
+  reduction factor against fp32 — the claim under test is that the
+  2-byte-element codecs (fp16, int32-bs) at least halve the traffic;
+* **simulated per-iteration time**, which shrinks with the wire bytes by
+  whatever share of the iteration communication occupies;
+* **final average reward** and its delta against the fp32 run with the
+  same seed — the convergence cost of the precision loss (tolerances in
+  DESIGN.md §12).
+
+The scenario matrix (workloads, codecs, worker count, window) is read
+from ``examples/codec_ablation.json`` when present, so ``repro exp
+codec_ablation`` is reconfigurable without code changes; the inline
+defaults match that file.  Passing ``out=`` writes the records plus a
+per-codec summary as a JSON artifact (the checked-in copy lives at
+``benchmarks/results/CODEC_ABLATION.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from ..distributed.config import ExperimentConfig
+from ..distributed.runner import run as run_experiment
+from .reporting import render_table
+
+__all__ = ["run", "collect", "WORKLOADS", "CODECS_ORDER", "load_scenarios"]
+
+WORKLOADS = ("dqn", "ppo")
+CODECS_ORDER = ("fp32", "fp16", "int32-bs", "topk")
+
+#: Default scenario-matrix config, mirrored by examples/codec_ablation.json.
+_DEFAULTS = {
+    "workloads": list(WORKLOADS),
+    "codecs": list(CODECS_ORDER),
+    "n_workers": 4,
+    "iterations": 8,
+    "seed": 1,
+}
+
+_EXAMPLE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))),
+    "examples",
+    "codec_ablation.json",
+)
+
+
+def load_scenarios(path: Optional[str] = None) -> Dict:
+    """The scenario matrix: ``examples/codec_ablation.json`` or defaults."""
+    candidate = path or _EXAMPLE_PATH
+    config = dict(_DEFAULTS)
+    if os.path.exists(candidate):
+        with open(candidate, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        config.update({k: loaded[k] for k in _DEFAULTS if k in loaded})
+    return config
+
+
+def collect(
+    n_iterations: Optional[int] = None,
+    n_workers: Optional[int] = None,
+    seed: Optional[int] = None,
+    scenarios: Optional[Dict] = None,
+) -> List[Dict]:
+    """Run the matrix; explicit arguments override the scenario file."""
+    config = scenarios or load_scenarios()
+    iterations = n_iterations if n_iterations is not None else config["iterations"]
+    workers = n_workers if n_workers is not None else config["n_workers"]
+    run_seed = seed if seed is not None else config["seed"]
+    records: List[Dict] = []
+    for workload in config["workloads"]:
+        baseline: Optional[Dict] = None
+        for codec in config["codecs"]:
+            result = run_experiment(
+                ExperimentConfig(
+                    strategy="isw",
+                    workload=workload,
+                    mode="sync",
+                    n_workers=workers,
+                    iterations=iterations,
+                    seed=run_seed,
+                    codec=codec,
+                    telemetry=True,
+                )
+            )
+            record = {
+                "workload": workload,
+                "codec": codec,
+                "n_workers": workers,
+                "iterations": iterations,
+                "seed": run_seed,
+                "wire_bytes": int(result.telemetry.value("link.tx_bytes")),
+                "per_iteration_ms": result.per_iteration_time * 1e3,
+                "reward": result.final_average_reward,
+            }
+            # The reduction factor and reward delta are measured against
+            # the fp32 run of the same (workload, seed, window); the
+            # baseline row is definitionally 1x/1x/0 (short windows can
+            # leave the reward NaN, and NaN - NaN is NaN).
+            if codec == "fp32":
+                baseline = record
+                record["bytes_reduction"] = 1.0
+                record["iter_speedup"] = 1.0
+                record["reward_delta"] = 0.0
+            else:
+                record["bytes_reduction"] = (
+                    baseline["wire_bytes"] / record["wire_bytes"]
+                    if baseline and record["wire_bytes"]
+                    else 1.0
+                )
+                record["iter_speedup"] = (
+                    baseline["per_iteration_ms"] / record["per_iteration_ms"]
+                    if baseline and record["per_iteration_ms"]
+                    else 1.0
+                )
+                record["reward_delta"] = (
+                    record["reward"] - baseline["reward"] if baseline else 0.0
+                )
+            records.append(record)
+    return records
+
+
+def run(
+    n_iterations: Optional[int] = None,
+    verbose: bool = True,
+    out: Optional[str] = None,
+) -> List[Dict]:
+    records = collect(n_iterations=n_iterations)
+    rows = [
+        (
+            record["workload"].upper(),
+            record["codec"],
+            f"{record['wire_bytes']:,}",
+            f"{record['bytes_reduction']:.2f}x",
+            f"{record['per_iteration_ms']:.3f}",
+            f"{record['iter_speedup']:.2f}x",
+            f"{record['reward']:.4f}",
+            f"{record['reward_delta']:+.4f}",
+        )
+        for record in records
+    ]
+    table = render_table(
+        (
+            "workload",
+            "codec",
+            "wire bytes",
+            "vs fp32",
+            "iter ms",
+            "speedup",
+            "reward",
+            "d-reward",
+        ),
+        rows,
+        title="Codec ablation: bytes on wire vs convergence (sync-isw)",
+    )
+    if verbose:
+        print(table)
+    if out:
+        artifact = {
+            "experiment": "codec_ablation",
+            "scenarios": load_scenarios(),
+            "records": records,
+        }
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if verbose:
+            print(f"artifact written: {out}")
+    return records

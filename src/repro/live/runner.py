@@ -51,6 +51,20 @@ def _mp_context():
 # ---------------------------------------------------------------------------
 # Child process entry points (top-level so the spawn method can pickle them)
 # ---------------------------------------------------------------------------
+def _resolve_live_codec(params: Dict[str, Any]):
+    """Codec instance for a child process (``None`` = fp32 datapath).
+
+    Children receive the codec *name* so the params dict stays trivially
+    picklable under the spawn start method.
+    """
+    name = params.get("codec", "fp32")
+    if name == "fp32":
+        return None
+    from ..core.compression import get_codec
+
+    return get_codec(name)
+
+
 def _switch_main(conn, params: Dict[str, Any]) -> None:
     try:
         from .switch import SoftwareSwitch
@@ -63,6 +77,7 @@ def _switch_main(conn, params: Dict[str, Any]) -> None:
             loss_rate=params["loss_rate"],
             loss_seed=params["seed"],
             job=params.get("job", 0),
+            codec=_resolve_live_codec(params),
         )
         conn.send(("port", endpoint.port))
         switch.serve(deadline=time.monotonic() + params["deadline"])
@@ -112,6 +127,7 @@ def _worker_main(conn, rank: int, params: Dict[str, Any]) -> None:
                 switch_addr=server_addr,
                 recovery_timeout=params["recovery_timeout"],
                 job=params.get("job", 0),
+                codec=_resolve_live_codec(params),
             )
         else:
             from .ps import LivePsWorker
@@ -197,6 +213,21 @@ def run_live(config) -> "TrainingResult":
             f"strategy {config.strategy!r} has no per-job switch state; "
             "job_id > 0 requires an iSwitch strategy ('isw')"
         )
+    codec_name = getattr(config, "codec", "fp32")
+    if codec_name != "fp32":
+        if not spec.requires_iswitch:
+            raise ValueError(
+                f"strategy {config.strategy!r} aggregates on hosts in fp32; "
+                "codec != 'fp32' models the switch dataplane and requires "
+                "an iSwitch strategy ('isw')"
+            )
+        from ..core.compression import get_codec
+
+        if get_codec(codec_name).wire_tag is None:
+            raise ValueError(
+                f"codec {codec_name!r} is a simulator-only loss model with "
+                "no wire format; live runs accept fp32, fp16, int32-bs, topk"
+            )
     if not loopback_available():
         raise LiveRunError(
             "loopback UDP is unavailable in this environment"
@@ -218,6 +249,7 @@ def run_live(config) -> "TrainingResult":
         "recovery_timeout": recovery_timeout,
         "algorithm_overrides": config.algorithm_overrides,
         "job": getattr(config, "job_id", 0),
+        "codec": codec_name,
         "deadline": RUN_DEADLINE,
     }
 
@@ -317,6 +349,7 @@ def run_live(config) -> "TrainingResult":
                 "iterations": config.iterations,
                 "seed": config.seed,
                 "loss_rate": config.loss_rate,
+                "codec": codec_name,
             }
         )
     return result

@@ -36,6 +36,7 @@ from ..core.protocol import (
     TOS_CONTROL,
     TOS_DATA_DOWN,
     TOS_DATA_UP,
+    TOS_NUMERICS_MASK,
     decode_frame,
     encode_control,
     encode_data,
@@ -56,21 +57,34 @@ class SoftwareSwitch:
         loss_seed: int = 0,
         cache_size: int = 4096,
         job: int = 0,
+        codec=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if codec is not None and codec.wire_tag is None:
+            raise ValueError(
+                f"codec {codec.name!r} has no wire format; the live switch "
+                "can only aggregate fp32/fp16/int32-bs/topk frames"
+            )
         self.n_workers = n_workers
         #: The single training-job id this switch serves; frames stamped
         #: with a different job are dropped (counted as ``wrong_job``).
         self.job = job
         self.endpoint = endpoint
+        #: Aggregation numerics (``None`` = fp32).  ``canonical_order`` is
+        #: only needed where arrival order can change the sum: integer
+        #: summation (int32-bs) is associative, so that engine aggregates
+        #: in true arrival order, exactly like the switch ALU — and still
+        #: matches the canonical-order simulator bit for bit (DESIGN §12).
+        self.codec = codec
         self.engine = AggregationEngine(
             threshold=n_workers,
             dedup=True,  # Help retransmissions must be idempotent
-            canonical_order=True,
+            canonical_order=codec is None or not codec.order_independent,
             cache_size=cache_size,
+            codec=codec,
         )
         self.loss_rate = loss_rate
         self._drop_rng = random.Random(loss_seed)
@@ -89,6 +103,7 @@ class SoftwareSwitch:
             "leaves": 0,
             "decode_errors": 0,
             "wrong_job": 0,
+            "wrong_codec": 0,
         }
 
     # ------------------------------------------------------------------
@@ -123,7 +138,13 @@ class SoftwareSwitch:
             return []
         if tos == TOS_CONTROL:
             return self._handle_control(message, addr)
-        if tos == TOS_DATA_UP:
+        if (tos & ~TOS_NUMERICS_MASK) == TOS_DATA_UP:
+            expected_tag = 0 if self.codec is None else self.codec.wire_tag
+            if (tos & TOS_NUMERICS_MASK) != expected_tag:
+                # A frame in the wrong numerics for this job's engine:
+                # summing it would silently mix grids, so drop it.
+                self.counters["wrong_codec"] += 1
+                return []
             return self._handle_contribution(message, addr)
         # TOS_DATA_DOWN at the switch ingress: not ours to aggregate.
         return []
@@ -203,7 +224,9 @@ class SoftwareSwitch:
         if cached is not None:
             self.counters["help_cache_hits"] += 1
             cached.job = self.job
-            return [(encode_data(cached, downstream=True), addr)]
+            return [
+                (encode_data(cached, downstream=True, codec=self.codec), addr)
+            ]
         # Not completed yet: some contribution was lost.  Relay the Help
         # to every other member; each retransmits its cached frames.
         relay = encode_control(
@@ -241,7 +264,7 @@ class SoftwareSwitch:
 
     def _broadcast(self, result: DataSegment) -> List[Tuple[bytes, Address]]:
         result.job = self.job
-        frame = encode_data(result, downstream=True)
+        frame = encode_data(result, downstream=True, codec=self.codec)
         self.counters["results_broadcast"] += 1
         return [(frame, addr) for _, addr in self._active_members()]
 

@@ -60,10 +60,16 @@ class LiveWorker:
         recovery_timeout: float = DEFAULT_LIVE_RECOVERY_TIMEOUT,
         max_recovery_attempts: int = 12,
         job: int = 0,
+        codec=None,
     ) -> None:
         if recovery_timeout <= 0:
             raise ValueError(
                 f"recovery_timeout must be > 0, got {recovery_timeout}"
+            )
+        if codec is not None and codec.wire_tag is None:
+            raise ValueError(
+                f"codec {codec.name!r} has no wire format and cannot cross "
+                "real UDP; choose fp16, int32-bs, or topk"
             )
         self.rank = rank
         self.job = job
@@ -73,8 +79,17 @@ class LiveWorker:
         self.switch_addr = switch_addr
         self.recovery_timeout = recovery_timeout
         self.max_recovery_attempts = max_recovery_attempts
+        #: Aggregation numerics; ``None`` streams raw fp32 frames.
+        self.codec = codec
         n_elements = algorithm.get_weights().size
-        self.plan = SegmentPlan(n_elements)  # one real frame per chunk
+        if codec is None:
+            self.plan = SegmentPlan(n_elements)  # one real frame per chunk
+        else:
+            self.plan = SegmentPlan(
+                n_elements,
+                bytes_per_element=codec.bytes_per_element,
+                frame_overhead=codec.frame_overhead,
+            )
         self.sender = f"worker{rank}"
         self.threshold: Optional[int] = None
         #: Encoded upstream frames of the current and previous round, for
@@ -173,7 +188,9 @@ class LiveWorker:
         segments = self.plan.split(gradient, iteration, sender=self.sender)
         for s in segments:
             s.job = self.job
-        frames = {s.seg: encode_data(s) for s in segments}
+        frames = {
+            s.seg: encode_data(s, codec=self.codec) for s in segments
+        }
         # Retain this and the previous round for Help retransmission.
         floor = max(iteration - 1, 0) * self.plan.n_chunks
         self._send_cache = {

@@ -241,8 +241,15 @@ class TestSubcommandGroups:
         header = out.splitlines()[0]
         assert "live" in header
         assert "multi-job" in header
+        assert "codecs" in header
         isw_rows = [l for l in out.splitlines() if " isw " in f" {l} "]
-        assert isw_rows and all(row.rstrip().endswith("yes") for row in isw_rows)
+        assert isw_rows and all(
+            row.rstrip().endswith("all") and " yes " in row for row in isw_rows
+        )
+        ps_rows = [l for l in out.splitlines() if " ps " in f" {l} "]
+        assert ps_rows and all(
+            row.rstrip().endswith("fp32") for row in ps_rows
+        )
 
 
 class TestJobsCommands:

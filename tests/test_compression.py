@@ -10,11 +10,14 @@ from repro.core import (
     Float16Codec,
     Float32Codec,
     Int8Codec,
+    Int32BlockScaledCodec,
     SegmentPlan,
+    TopKCodec,
     configure_aggregation,
     get_codec,
     iswitch_factory,
 )
+from repro.core.compression import CODECS, WIRE_CODECS, codec_for_tag
 from repro.netsim import Simulator, build_star
 
 
@@ -55,10 +58,134 @@ class TestCodecs:
         vector = (
             np.random.default_rng(seed).standard_normal(64).astype(np.float32)
         )
-        for codec in (Float32Codec(), Float16Codec(), Int8Codec()):
+        for codec in CODECS.values():
             once = codec.roundtrip(vector)
             twice = codec.roundtrip(once)
             np.testing.assert_array_equal(once, twice)
+
+    def test_int32bs_error_bounded_by_grid(self):
+        codec = Int32BlockScaledCodec()
+        vector = np.random.default_rng(2).standard_normal(1000)
+        vector = vector.astype(np.float32)
+        out = codec.roundtrip(vector)
+        assert np.abs(out - vector).max() <= 2.0 ** -(codec.exponent + 1)
+
+    def test_int32bs_saturates_and_zeroes_nan(self):
+        codec = Int32BlockScaledCodec()
+        out = codec.roundtrip(
+            np.array([1e9, -1e9, np.nan, np.inf, -np.inf], dtype=np.float32)
+        )
+        bound = np.float32(32767 * 2.0 ** -codec.exponent)
+        np.testing.assert_array_equal(
+            out, np.array([bound, -bound, 0.0, bound, -bound], dtype=np.float32)
+        )
+
+    def test_int32bs_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="exponent"):
+            Int32BlockScaledCodec(exponent=0)
+        with pytest.raises(ValueError, match="sum_shift"):
+            Int32BlockScaledCodec(exponent=8, sum_shift=8)
+
+    def test_int32bs_engine_path_matches_finalized_float_path(self):
+        codec = Int32BlockScaledCodec()
+        rng = np.random.default_rng(3)
+        parts = [
+            codec.roundtrip(rng.standard_normal(512).astype(np.float32))
+            for _ in range(8)
+        ]
+        # Float-canonical: sum the on-grid fp32 values, then finalize.
+        float_result = codec.finalize_sum(np.sum(np.stack(parts), axis=0))
+        # Integer: widen to int32 accumulators, sum, emit.
+        acc = codec.engine_ingest(parts[0])
+        for part in parts[1:]:
+            acc = acc + codec.engine_ingest(part)
+        int_result = codec.engine_emit(acc)
+        np.testing.assert_array_equal(float_result, int_result)
+
+    def test_topk_keeps_largest_quarter(self):
+        codec = TopKCodec()
+        vector = np.arange(1, 101, dtype=np.float32)
+        out = codec.roundtrip(vector)
+        assert np.count_nonzero(out) == 25
+        np.testing.assert_array_equal(out[75:], vector[75:])
+        np.testing.assert_array_equal(out[:75], 0.0)
+
+    def test_topk_values_are_exact(self):
+        codec = TopKCodec()
+        vector = np.random.default_rng(4).standard_normal(500)
+        vector = vector.astype(np.float32)
+        out = codec.roundtrip(vector)
+        kept = out != 0
+        np.testing.assert_array_equal(out[kept], vector[kept])
+
+    def test_fp16_finalize_sum_rounds_to_grid(self):
+        codec = Float16Codec()
+        # 1.0 + 2**-11 is representable in fp32 but not fp16.
+        off_grid = np.array([1.0 + 2.0 ** -11], dtype=np.float32)
+        finalized = codec.finalize_sum(off_grid)
+        np.testing.assert_array_equal(finalized, codec.roundtrip(off_grid))
+        assert finalized[0] != off_grid[0]
+
+
+class TestCodecRegistry:
+    """The module docstring's codec table stays true to the registry."""
+
+    def _docstring_rows(self):
+        import repro.core.compression as mod
+
+        lines = mod.__doc__.splitlines()
+        rules = [
+            i for i, line in enumerate(lines) if line.startswith("====")
+        ]
+        # The RST grid table: header rule, header, rule, rows..., rule.
+        assert len(rules) >= 3, "codec table missing from module docstring"
+        header = lines[rules[0] + 1].split()
+        assert header[:3] == ["Codec", "B/elt", "Tag"]
+        rows = {}
+        for line in lines[rules[1] + 1 : rules[2]]:
+            parts = line.split()
+            rows[parts[0].strip("`")] = {
+                "b_per_elt": parts[1], "tag": parts[2]
+            }
+        return rows
+
+    def test_docstring_table_matches_registry(self):
+        rows = self._docstring_rows()
+        assert set(rows) == set(CODECS)
+        for name, row in rows.items():
+            codec = CODECS[name]
+            assert int(row["b_per_elt"]) == codec.bytes_per_element, name
+            if row["tag"] == "--":
+                assert codec.wire_tag is None, name
+            else:
+                assert int(row["tag"]) == codec.wire_tag, name
+
+    def test_wire_codecs_keyed_by_tag(self):
+        assert set(WIRE_CODECS) == {0, 1, 2, 3}
+        for tag, codec in WIRE_CODECS.items():
+            assert codec.wire_tag == tag
+            assert codec_for_tag(tag) is codec
+
+    def test_simulator_only_codecs_refuse_the_wire(self):
+        from repro.core.protocol import ProtocolError
+
+        int8 = get_codec("int8")
+        assert int8.wire_tag is None
+        with pytest.raises(ProtocolError, match="no wire format"):
+            int8.encode_payload(np.zeros(4, dtype=np.float32))
+        with pytest.raises(ProtocolError, match="no wire format"):
+            int8.decode_payload(b"\x00" * 4)
+
+    def test_doctests_pass(self):
+        import doctest
+
+        import repro.core.compression as mod
+
+        result = doctest.testmod(
+            mod, extraglobs={"get_codec": get_codec}
+        )
+        assert result.attempted > 0
+        assert result.failed == 0
 
 
 class TestCompressedPlans:

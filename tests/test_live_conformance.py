@@ -65,7 +65,7 @@ def live_config(strategy, n_workers, **overrides):
     )
 
 
-def sim_config(strategy, n_workers):
+def sim_config(strategy, n_workers, **overrides):
     # canonical (rank-order) aggregation is what the live switch always
     # does; the sim must opt in for isw so float32 sums match bit-exactly.
     return ExperimentConfig(
@@ -75,6 +75,7 @@ def sim_config(strategy, n_workers):
         iterations=ITERATIONS,
         seed=SEED,
         deterministic_aggregation=(strategy == "isw"),
+        **overrides,
     )
 
 
@@ -163,6 +164,72 @@ class TestSimLiveConformance:
         for rank, weights in live.extras["final_weights"].items():
             assert np.array_equal(weights, expected[rank])
         assert live.extras["round_digests"] == reference_digests("isw", 4)
+
+
+def codec_reference_digests(codec_name, n_workers):
+    """Straight-line oracle for compressed rounds, independent of both
+    backends: quantize each contribution onto the codec grid, sum in rank
+    order (fp32), apply the downstream rounding (``finalize_sum``)."""
+    from repro.core.compression import get_codec
+
+    codec = get_codec(codec_name)
+    algorithms = [
+        make_algorithm(WORKLOAD, seed=SEED + rank) for rank in range(n_workers)
+    ]
+    digests = []
+    for _ in range(ITERATIONS):
+        contributions = [
+            codec.roundtrip(
+                np.asarray(a.compute_gradient(), dtype=np.float32)
+            )
+            for a in algorithms
+        ]
+        total = contributions[0].copy()
+        for contribution in contributions[1:]:
+            total += contribution
+        total = codec.finalize_sum(total)
+        digests.append(hashlib.sha256(total.tobytes()).hexdigest()[:16])
+        update = total.astype(np.float64) / n_workers
+        for algorithm in algorithms:
+            algorithm.apply_update(update)
+    return digests
+
+
+@needs_loopback
+class TestCodecConformance:
+    """Compressed frames over real UDP equal the simulator bit-for-bit."""
+
+    @pytest.mark.parametrize("codec", ["fp16", "int32-bs", "topk"])
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_final_weights_bit_identical(self, codec, n_workers):
+        live = run(live_config("isw", n_workers, codec=codec))
+        sim = run(sim_config("isw", n_workers, codec=codec))
+
+        live_weights = live.extras["final_weights"]
+        expected = sim_final_weights(sim)
+        for rank in range(n_workers):
+            assert np.array_equal(live_weights[rank], expected[rank]), (
+                f"{codec}, rank {rank}: live and sim weights diverge"
+            )
+        for rank in range(1, n_workers):
+            assert np.array_equal(live_weights[rank], live_weights[0])
+        # Every frame that reached the switch carried the right tag.
+        assert live.extras["server_stats"].get("wrong_codec", 0) == 0
+
+    @pytest.mark.parametrize("codec", ["fp16", "int32-bs", "topk"])
+    def test_aggregated_sums_match_oracle(self, codec):
+        live = run(live_config("isw", 4, codec=codec))
+        assert live.extras["round_digests"] == codec_reference_digests(
+            codec, 4
+        )
+
+    def test_codec_loss_recovery_stays_bit_identical(self):
+        """Help-path retransmission of compressed frames is idempotent."""
+        live = run(live_config("isw", 4, codec="int32-bs", loss_rate=0.05))
+        assert live.extras["server_stats"]["drops_injected"] > 0
+        assert live.extras["round_digests"] == codec_reference_digests(
+            "int32-bs", 4
+        )
 
 
 @needs_loopback
@@ -422,6 +489,67 @@ class TestSoftwareSwitchLogic:
             SoftwareSwitch(n_workers=0)
         with pytest.raises(ValueError, match="loss_rate"):
             SoftwareSwitch(n_workers=1, loss_rate=1.0)
+
+    def test_simulator_only_codec_rejected(self):
+        from repro.core.compression import get_codec
+
+        with pytest.raises(ValueError, match="wire format"):
+            SoftwareSwitch(n_workers=1, codec=get_codec("int8"))
+        with pytest.raises(ValueError, match="wire format"):
+            LiveWorker(
+                rank=0,
+                n_workers=1,
+                algorithm=TinyAlgorithm(),
+                endpoint=None,
+                switch_addr=self.addr(0),
+                codec=get_codec("int8"),
+            )
+
+    def test_codec_switch_drops_mismatched_tags(self):
+        from repro.core.compression import get_codec
+
+        codec = get_codec("fp16")
+        switch = SoftwareSwitch(n_workers=2, codec=codec)
+        self.join_all(switch, 2)
+        # Untagged fp32 upstream frames are the wrong numerics: dropped.
+        fp32_frame = segment_frames(0, 0, np.ones(5, dtype=np.float32))[0]
+        assert switch.handle_frame(fp32_frame, self.addr(0)) == []
+        assert switch.counters["wrong_codec"] == 1
+        assert switch.counters["data_rx"] == 0
+
+    def test_codec_switch_aggregates_and_broadcasts_on_grid(self):
+        from repro.core.compression import get_codec
+        from repro.core.protocol import TOS_DATA_DOWN, TOS_NUMERICS_MASK
+
+        codec = get_codec("fp16")
+        switch = SoftwareSwitch(n_workers=2, codec=codec)
+        self.join_all(switch, 2)
+        plan = SegmentPlan(
+            5,
+            bytes_per_element=codec.bytes_per_element,
+            frame_overhead=codec.frame_overhead,
+        )
+        vectors = [
+            np.full(5, 1.0, dtype=np.float32),
+            np.full(5, 2.0 ** -11, dtype=np.float32),  # off-grid sum
+        ]
+        for rank, vector in enumerate(vectors):
+            frames = [
+                encode_data(s, codec=codec)
+                for s in plan.split(vector, 0, sender=f"worker{rank}")
+            ]
+            out = switch.handle_frame(frames[0], self.addr(rank))
+        # Completion: broadcast frames carry the codec's tag and values
+        # rounded onto the fp16 grid (1.0 + 2**-11 is not representable).
+        assert len(out) == 2
+        tos, result = decode_frame(out[0][0])
+        assert (tos & ~TOS_NUMERICS_MASK) == TOS_DATA_DOWN
+        assert tos & TOS_NUMERICS_MASK == codec.wire_tag
+        expected = codec.finalize_sum(vectors[0] + vectors[1])
+        np.testing.assert_array_equal(result.data, expected)
+        np.testing.assert_array_equal(
+            result.data, np.full(5, 1.0, dtype=np.float32)
+        )
 
 
 class TestPsServerLogic:

@@ -378,3 +378,149 @@ class TestWorkedExamples:
     def test_doc_mentions_every_action(self, doc_text):
         for action in Action:
             assert re.search(rf"`{action.name}`", doc_text), action
+
+
+class TestCompressedFrameTables:
+    """§8: the compressed-frame spec matches the codec implementations."""
+
+    def _codec(self, name):
+        from repro.core.compression import get_codec
+
+        return get_codec(name)
+
+    def test_numerics_tag_table(self, doc_text):
+        from repro.core.compression import WIRE_CODECS
+
+        rows = list(table_rows(doc_text, "Tag", "Codec", "Up ToS"))
+        documented = {}
+        for row in rows:
+            tag = int(row["Tag"])
+            documented[tag] = row["Codec"].strip("`")
+            assert int(row["Up ToS"], 16) == protocol.TOS_DATA_UP | tag
+            assert int(row["Down ToS"], 16) == protocol.TOS_DATA_DOWN | tag
+        # Every wire codec is documented under its real tag, and no more.
+        assert documented == {
+            tag: codec.name for tag, codec in WIRE_CODECS.items()
+        }
+        assert max(documented) <= protocol.TOS_NUMERICS_MASK
+
+    def test_capacity_table(self, doc_text):
+        for row in table_rows(
+            doc_text, "Codec capacity", "frame_overhead", "B/elt"
+        ):
+            codec = self._codec(row["Codec capacity"].strip("`"))
+            assert int(row["frame_overhead"]) == codec.frame_overhead
+            assert int(row["B/elt"]) == codec.bytes_per_element
+            assert int(row["Elements/frame"]) == codec.elements_per_frame
+            # And the doc's derivation formula actually holds.
+            assert codec.elements_per_frame == (
+                (protocol.SEG_PAYLOAD_BYTES - codec.frame_overhead)
+                // codec.bytes_per_element
+            )
+
+    def _frame_pair(self, name, data):
+        codec = self._codec(name)
+        segment = DataSegment(seg=17, data=data, job=3)
+        return (
+            encode_data(segment, codec=codec),
+            encode_data(segment, downstream=True, codec=codec),
+        )
+
+    def test_fp16_offsets(self, doc_text):
+        rows = {
+            r["fp16 field"]: int(r["fp16 offset"])
+            for r in table_rows(doc_text, "fp16 offset", "fp16 field")
+        }
+        assert rows == {"ToS": 0, "JobSeg": 1, "Data": 9}
+        data = np.array([1.5, -2.25, 0.125], dtype=np.float32)
+        up, down = self._frame_pair("fp16", data)
+        for frame, tos in ((up, 0x09), (down, 0x0D)):
+            assert frame[rows["ToS"]] == tos
+            assert struct.unpack_from("<Q", frame, rows["JobSeg"])[0] == (
+                (3 << 56) | 17
+            )
+            wire = np.frombuffer(frame, dtype="<f2", offset=rows["Data"])
+            np.testing.assert_array_equal(wire.astype(np.float32), data)
+
+    def test_int32bs_offsets(self, doc_text):
+        rows = {
+            r["int32-bs field"]: int(r["int32-bs offset"])
+            for r in table_rows(doc_text, "int32-bs offset", "int32-bs field")
+        }
+        assert rows == {"ToS": 0, "JobSeg": 1, "Scale": 9, "Mantissas": 13}
+        codec = self._codec("int32-bs")
+        data = np.array([1.0, -0.5, 0.25], dtype=np.float32)
+        up, down = self._frame_pair("int32-bs", data)
+        for frame, tos, exponent in (
+            (up, 0x0A, codec.exponent),
+            (down, 0x0E, codec.exponent - codec.sum_shift),
+        ):
+            assert frame[rows["ToS"]] == tos
+            assert struct.unpack_from("<i", frame, rows["Scale"])[0] == exponent
+            mantissa = np.frombuffer(
+                frame, dtype="<i2", offset=rows["Mantissas"]
+            )
+            np.testing.assert_array_equal(
+                mantissa, np.rint(data.astype(np.float64) * 2.0 ** exponent)
+            )
+
+    def test_topk_offsets_sparse_and_dense(self, doc_text):
+        rows = {
+            r["topk field"]: r["topk offset"]
+            for r in table_rows(doc_text, "topk offset", "topk field")
+        }
+        assert [int(rows[f]) for f in ("ToS", "JobSeg", "dense_n", "k")] == [
+            0, 1, 9, 11
+        ]
+        assert rows["Indices"] == "13"
+        data = np.array([4.0, -0.1, 0.2, -9.0], dtype=np.float32)
+        up, down = self._frame_pair("topk", data)
+        # Upstream is sparse: n=4 keeps k=1 (the -9.0 at index 3).
+        assert up[0] == 0x0B
+        assert struct.unpack_from("<HH", up, 9) == (4, 1)
+        assert struct.unpack_from("<H", up, 13)[0] == 3
+        assert struct.unpack_from("<f", up, 13 + 2)[0] == np.float32(-9.0)
+        # Downstream is dense: k == dense_n, index array omitted,
+        # values start straight at offset 13.
+        assert down[0] == 0x0F
+        assert struct.unpack_from("<HH", down, 9) == (4, 4)
+        wire = np.frombuffer(down, dtype="<f4", offset=13)
+        np.testing.assert_array_equal(wire.astype(np.float32), data)
+
+    def test_compressed_worked_examples(self, doc_text):
+        """§8.5's hex strings, byte for byte (job 0 this time)."""
+        data = np.array([1.0, -0.5, 0.25], dtype=np.float32)
+        segment = DataSegment(seg=17, data=data)
+        expected = {
+            ("fp16", False): "091100000000000000003c00b80034",
+            ("fp16", True): "0d1100000000000000003c00b80034",
+            ("int32-bs", False): "0a11000000000000000c000000001000f80004",
+            ("int32-bs", True): "0e110000000000000008000000000180ff4000",
+            ("topk", False): "0b11000000000000000300010000000000803f",
+            ("topk", True): (
+                "0f1100000000000000030003000000803f000000bf0000803e"
+            ),
+        }
+        for (name, downstream), frame_hex in expected.items():
+            frame = encode_data(
+                segment, downstream=downstream, codec=self._codec(name)
+            )
+            assert frame.hex() == frame_hex, (name, downstream)
+        # The doc body carries each full frame (spaces removed).
+        stripped = re.sub(r"[\s|]", "", doc_text)
+        for frame_hex in expected.values():
+            assert frame_hex in stripped
+
+    def test_compressed_frames_decode_to_codec_grid(self):
+        """decode_frame handles tagged frames; values land on the grid."""
+        data = np.array([1.0, -0.5, 0.25], dtype=np.float32)
+        for name in ("fp16", "int32-bs", "topk"):
+            codec = self._codec(name)
+            segment = DataSegment(seg=17, data=data, job=3)
+            frame = encode_data(segment, codec=codec)
+            tos, message = decode_frame(frame)
+            assert tos & protocol.TOS_NUMERICS_MASK == codec.wire_tag
+            assert (message.seg, message.job) == (17, 3)
+            np.testing.assert_array_equal(
+                message.data, codec.roundtrip(data)
+            )

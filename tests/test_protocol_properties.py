@@ -36,6 +36,7 @@ from repro.core.protocol import (
     JoinInfo,
     ProtocolError,
     SegmentPlan,
+    TOS_NUMERICS_MASK,
     decode_frame,
     encode_control,
     encode_data,
@@ -399,6 +400,8 @@ class TestCodecMalformedFrames:
         or raise ProtocolError — truncation at float32 granularity is
         indistinguishable from a shorter valid frame, so both outcomes
         are legal; crashing is not."""
+        from repro.core.compression import codec_for_tag
+
         rng = random.Random(SEED + 11)
         np_rng = np.random.default_rng(SEED + 11)
         originals = [
@@ -430,8 +433,162 @@ class TestCodecMalformedFrames:
             except ProtocolError:
                 continue
             # Whatever decoded must re-encode (it is a valid message).
+            downstream = (tos & ~TOS_NUMERICS_MASK) == TOS_DATA_DOWN
+            tag = tos & TOS_NUMERICS_MASK
             if isinstance(message, ControlMessage):
-                reencoded = encode_control(message)
+                assert encode_control(message) == bytes(frame)
+            elif tag == 0:
+                assert encode_data(message, downstream=downstream) == bytes(frame)
             else:
-                reencoded = encode_data(message, downstream=tos == TOS_DATA_DOWN)
-            assert reencoded == bytes(frame)
+                # A flipped ToS bit can turn an fp32 frame into a tagged
+                # one.  Compressed encodes project onto the codec's grid,
+                # so byte identity only holds after one projection:
+                # encode(decode(encode(x))) == encode(x).
+                codec = codec_for_tag(tag)
+                projected = encode_data(
+                    message, downstream=downstream, codec=codec
+                )
+                _, reread = decode_frame(projected)
+                assert (
+                    encode_data(reread, downstream=downstream, codec=codec)
+                    == projected
+                )
+
+
+# ---------------------------------------------------------------------------
+# Compressed data frames (PROTOCOL.md §8)
+# ---------------------------------------------------------------------------
+
+
+def _wire_codecs():
+    from repro.core.compression import WIRE_CODECS
+
+    return [codec for codec in WIRE_CODECS.values() if codec.wire_tag]
+
+
+def _nasty_vector(rng, np_rng, n):
+    """A float32 payload seeded with every special-value class."""
+    data = np_rng.standard_normal(n).astype(np.float32)
+    specials = (
+        np.nan, np.inf, -np.inf, 0.0, -0.0,
+        np.float32(1e-42),   # subnormal
+        np.float32(65504.0),  # fp16 max
+        np.float32(1e38),     # overflows fp16 and the int32-bs grid
+    )
+    for special in specials:
+        if n and rng.random() < 0.5:
+            data[rng.randrange(n)] = special
+    return data
+
+
+class TestCompressedFrameProperties:
+    """Per-codec invariants: idempotence, wire==loss-model, edge values."""
+
+    def test_roundtrip_idempotent_on_nasty_inputs(self):
+        rng = random.Random(SEED + 12)
+        np_rng = np.random.default_rng(SEED + 12)
+        for codec in _wire_codecs():
+            for _ in range(N_TRIALS):
+                data = _nasty_vector(rng, np_rng, rng.randint(1, 365))
+                once = codec.roundtrip(data)
+                twice = codec.roundtrip(once)
+                # Bit-exact fixed point (NaN-safe via raw byte compare).
+                assert once.tobytes() == twice.tobytes(), codec.name
+
+    def test_wire_format_matches_loss_model(self):
+        """decode(encode(x)) is exactly roundtrip(x) — the simulator's
+        loss model and the live wire bytes share one grid."""
+        rng = random.Random(SEED + 13)
+        np_rng = np.random.default_rng(SEED + 13)
+        for codec in _wire_codecs():
+            for _ in range(N_TRIALS):
+                n = rng.randint(1, min(365, codec.elements_per_frame))
+                data = _nasty_vector(rng, np_rng, n)
+                if codec.name == "int32-bs":
+                    # The switch ALU's grid has no NaN/Inf; roundtrip
+                    # defines their mapping (0 / saturation), which the
+                    # wire must reproduce — keep them in.
+                    pass
+                decoded = codec.decode_payload(codec.encode_payload(data))
+                expected = codec.roundtrip(data)
+                assert decoded.tobytes() == expected.tobytes(), codec.name
+
+    def test_encoded_frames_reencode_stably(self):
+        """encode_data(decode_frame(f)) == f once values are on-grid."""
+        rng = random.Random(SEED + 14)
+        np_rng = np.random.default_rng(SEED + 14)
+        for codec in _wire_codecs():
+            for trial in range(N_TRIALS):
+                n = rng.randint(1, min(365, codec.elements_per_frame))
+                segment = DataSegment(
+                    seg=rng.randint(0, 10_000),
+                    data=codec.roundtrip(_nasty_vector(rng, np_rng, n)),
+                    job=rng.randint(0, MAX_JOB_ID),
+                )
+                downstream = rng.random() < 0.5
+                frame = encode_data(
+                    segment, downstream=downstream, codec=codec
+                )
+                tos, decoded = decode_frame(frame)
+                assert tos & TOS_NUMERICS_MASK == codec.wire_tag
+                assert (decoded.seg, decoded.job) == (segment.seg, segment.job)
+                assert (
+                    encode_data(decoded, downstream=downstream, codec=codec)
+                    == frame
+                ), (codec.name, trial)
+
+    def test_truncated_compressed_frames_rejected(self):
+        rng = random.Random(SEED + 15)
+        np_rng = np.random.default_rng(SEED + 15)
+        for codec in _wire_codecs():
+            frame = encode_data(
+                DataSegment(
+                    seg=1,
+                    data=codec.roundtrip(
+                        np_rng.standard_normal(40).astype(np.float32)
+                    ),
+                ),
+                codec=codec,
+            )
+            for _ in range(N_TRIALS):
+                cut = rng.randrange(10, len(frame))
+                try:
+                    _, message = decode_frame(frame[:cut])
+                except ProtocolError:
+                    continue
+                # Truncation at element granularity can still parse; it
+                # must then be a valid shorter payload, never garbage.
+                assert message.data.size <= 40
+
+    def test_int32bs_sum_is_order_independent(self):
+        from repro.core.compression import get_codec
+
+        codec = get_codec("int32-bs")
+        rng = random.Random(SEED + 16)
+        np_rng = np.random.default_rng(SEED + 16)
+        for _ in range(N_TRIALS // 2):
+            parts = [
+                codec.engine_ingest(
+                    np_rng.standard_normal(64).astype(np.float32)
+                )
+                for _ in range(rng.randint(2, 9))
+            ]
+            forward = np.sum(np.stack(parts), axis=0)
+            rng.shuffle(parts)
+            shuffled = parts[0].copy()
+            for part in parts[1:]:
+                shuffled += part
+            np.testing.assert_array_equal(forward, shuffled)
+            # And the emitted downstream result is on the downstream grid.
+            emitted = codec.engine_emit(shuffled)
+            assert emitted.tobytes() == codec.engine_emit(forward).tobytes()
+
+    def test_zero_and_denormal_survive_every_codec(self):
+        data = np.array(
+            [0.0, -0.0, 1e-42, -1e-42], dtype=np.float32
+        )
+        for codec in _wire_codecs():
+            out = codec.roundtrip(data)
+            # Denormals are below every codec's resolution: they may
+            # flush to zero but must never explode or change sign class.
+            assert np.all(np.abs(out) <= np.abs(data) + 1e-30), codec.name
