@@ -97,8 +97,8 @@ def format_strategy_table() -> str:
     lines.insert(1, "  ".join("-" * w for w in widths))
     lines.append("")
     lines.append(
-        "iSwitch strategies are the loss-tolerant ones; only they accept "
-        "--loss-rate > 0."
+        "In the simulator only iSwitch strategies accept --loss-rate > 0; on the "
+        "live backend every strategy recovers from injected datagram loss."
     )
     lines.append(
         "'live' strategies can run for real over loopback UDP: "
@@ -200,7 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("sim", "live"),
         default="sim",
         help="sim: discrete-event simulator (default); live: real worker/"
-        "switch processes over loopback UDP (sync isw/ps only)",
+        "server processes over loopback UDP (every registered strategy)",
     )
     train.add_argument("--workers", "-n", type=int, default=4)
     train.add_argument("--iterations", type=int, default=50)
@@ -226,7 +226,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--loss-rate",
         type=float,
         default=0.0,
-        help="per-packet drop probability on every link (isw only)",
+        help="per-packet drop probability on every link (sim: iSwitch "
+        "strategies only; live: any strategy)",
     )
     train.add_argument(
         "--fault-plan",
@@ -468,15 +469,24 @@ def _run_training(args: argparse.Namespace) -> int:
     if result.mean_staleness is not None:
         print(f"mean staleness:     {result.mean_staleness:.2f}")
     if live:
-        stats = result.server_stats or {}
-        frames_rx = stats.get("frames_rx", 0)
-        frames_tx = stats.get("frames_tx", 0)
-        print(f"switch frames:      {frames_rx} rx / {frames_tx} tx")
-        drops = stats.get("drops_injected", 0)
+        stats = result.server_stats
+        counters = (result.worker_counters or {}).values()
+        if stats is not None:
+            frames_rx = stats.get("frames_rx", 0)
+            frames_tx = stats.get("frames_tx", 0)
+            print(f"switch frames:      {frames_rx} rx / {frames_tx} tx")
+            drops = stats.get("drops_injected", 0)
+        else:
+            # Peer-to-peer collectives have no server process; the wire
+            # activity (and any injected loss) lives on the workers.
+            frames_rx = sum(c.get("frames_rx", 0) for c in counters)
+            frames_tx = sum(c.get("frames_tx", 0) for c in counters)
+            print(f"peer frames:        {frames_rx} rx / {frames_tx} tx")
+            drops = sum(c.get("drops_injected", 0) for c in counters)
         if drops:
             helps = sum(
-                c.get("help_sent", 0)
-                for c in (result.worker_counters or {}).values()
+                c.get("help_sent", 0) + c.get("resend_requests_sent", 0)
+                for c in counters
             )
             print(f"loss recovery:      {drops} drops injected, {helps} Helps sent")
         rewards = [

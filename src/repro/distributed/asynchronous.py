@@ -39,11 +39,34 @@ Contributions that arrive after their round already completed can never
 reach H again; the accelerator's bounded buffer evicts them, modelling
 both the BRAM budget and async training's tolerance for dropped stale
 gradients.
+
+**Paced mode** (``ExperimentConfig(deterministic_aggregation=True)``):
+both strategies additionally support a deterministic schedule used by the
+sim↔live conformance suite (DESIGN.md §9.4).  Default async behaviour is
+emergent — staleness depends on event timing, so two backends cannot be
+bit-compared.  Paced mode fixes the *schedule* while leaving the data
+path untouched:
+
+* paced async-isw: worker ``w`` computes gradient ``k`` against weights
+  at version exactly ``max(0, k - S)`` and applies round ``r`` only after
+  rounds ``< r``; every applied gradient's version gap is ``min(r, S)``,
+  which makes the staleness bound ``S`` tight and checkable.
+* paced async-ps: the server applies pushes in rank-cyclic order
+  ``(cycle 0, w0) .. (cycle 0, wN-1), (cycle 1, w0) ..`` (buffering
+  out-of-order arrivals) and ships the post-apply weights straight back
+  to the pushing worker, so worker ``w``'s cycle-``k`` pull is
+  deterministically version ``(k-1)·N + w + 1`` and its staleness is
+  exactly ``N - 1`` (``w`` on the cold-start cycle).
+
+Arrival jitter still exists in both backends — it just moves *when*
+values land, never *which* values, so live processes under real
+scheduling noise must reproduce the simulator bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import hashlib
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -71,7 +94,7 @@ PULL_REQUEST_PORT = 7812
 WEIGHTS_PORT = 7813
 
 
-@register_strategy("async", "ps", requires_server=True)
+@register_strategy("async", "ps", requires_server=True, supports_live=True)
 class AsyncParameterServer:
     """Figure 3: asynchronous training with a central parameter server."""
 
@@ -85,6 +108,7 @@ class AsyncParameterServer:
         server_algorithm: Algorithm,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         staleness_bound: int = 3,
+        paced: bool = False,
     ) -> None:
         if net.server is None:
             raise ValueError("async PS needs a topology built with a server host")
@@ -111,6 +135,17 @@ class AsyncParameterServer:
         #: that survived the pause window would fork a second loop).
         self._paused: set = set()
         self._pause_dropped: set = set()
+        #: Paced (deterministic) schedule for the conformance suite: the
+        #: server applies pushes in rank-cyclic order and pushes weights
+        #: straight back, so staleness is a closed-form quantity (module
+        #: docstring).  ``run(n)`` then means n *cycles per worker*.
+        self.paced = paced
+        self.target_cycles = 0
+        self._paced_pending: Dict[Tuple[int, int], Tuple[np.ndarray, int]] = {}
+        self._paced_version = [0 for _ in workers]
+        #: Per-worker sha256 digests of each pulled weight vector (paced
+        #: mode only) — the live backend's differential artifact.
+        self.worker_digests: List[List[str]] = [[] for _ in workers]
 
         # Every pushed gradient occupies the server CPU for ingest +
         # optimizer update back to back, then is applied (per-vector
@@ -158,30 +193,136 @@ class AsyncParameterServer:
             server_algorithm,
             config.cost_model,
             staleness_bound=config.staleness_bound,
+            # Paced mode redefines the schedule, and the fault hooks
+            # assume the emergent pull loop — the two don't compose.
+            paced=(
+                config.deterministic_aggregation
+                and getattr(config, "fault_plan", None) is None
+            ),
         )
 
     def run(self, n_updates: int) -> TrainingResult:
-        """Simulate until the server has applied ``n_updates`` gradients."""
+        """Simulate until the server has applied ``n_updates`` gradients.
+
+        In paced mode ``n_updates`` counts *cycles per worker* instead
+        (``n_updates * n_workers`` server applies), matching the live
+        backend's per-worker iteration semantics.
+        """
         if n_updates < 1:
             raise ValueError(f"n_updates must be >= 1, got {n_updates}")
-        self.target_updates = n_updates
         start = self.sim.now
-        for worker in self.workers:
-            self._send_pull(worker)
+        if self.paced:
+            self.target_cycles = n_updates
+            self.target_updates = n_updates * len(self.workers)
+            for worker in self.workers:
+                self._paced_compute(worker, 0)
+        else:
+            self.target_updates = n_updates
+            for worker in self.workers:
+                self._send_pull(worker)
         self.sim.run()
         elapsed = self.sim.now - start
         result = TrainingResult(
             strategy=self.name,
             workload=self.profile.name,
             n_workers=len(self.workers),
-            iterations=self.server_updates,
+            iterations=(
+                self.target_cycles if self.paced else self.server_updates
+            ),
             elapsed=elapsed,
             workers=self.workers,
         )
         result.mean_staleness = self.staleness.mean
         result.max_staleness = self.staleness.max
         result.server_busy_time = self.server_cpu.busy_time
+        if self.paced:
+            result.worker_digests = {
+                worker.index: list(self.worker_digests[worker.index])
+                for worker in self.workers
+            }
         return result
+
+    # ------------------------------------------------------------------
+    # Paced schedule (deterministic_aggregation — conformance runs)
+    # ------------------------------------------------------------------
+    def _paced_compute(self, worker: SimWorker, cycle: int) -> None:
+        """One paced cycle: compute against the current replica weights
+        (cycle 0 uses the worker's own init, identical by ``init_seed``),
+        then push tagged with the cycle index."""
+        duration = worker.compute.lgc_duration()
+
+        def lgc_done() -> None:
+            worker.breakdown.add_compute(self.profile, duration)
+            telemetry = self.sim.telemetry
+            if telemetry.enabled:
+                telemetry.span_at(
+                    "compute.lgc",
+                    self.sim.now - duration,
+                    self.sim.now,
+                    cat="training",
+                    track=worker.name,
+                    version=self._paced_version[worker.index],
+                )
+            gradient = worker.algorithm.compute_gradient()
+            worker.finish_iteration()
+            self._push_seq += 1
+            self.gather.submit(
+                worker,
+                self._push_seq,
+                gradient,
+                wire_bytes=self.wire_bytes,
+                meta=(worker.index, cycle, self._paced_version[worker.index]),
+            )
+
+        self.sim.schedule(duration, lgc_done, name=f"alg:w{worker.index}")
+
+    def _paced_apply_ready(self) -> None:
+        """Apply every buffered push that is next in rank-cyclic order."""
+        n = len(self.workers)
+        telemetry = self.sim.telemetry
+        while True:
+            cycle, rank = divmod(self.server_updates, n)
+            entry = self._paced_pending.pop((cycle, rank), None)
+            if entry is None:
+                return
+            gradient, version_at_compute = entry
+            staleness = self.server_updates - version_at_compute
+            self.staleness.record(staleness)
+            if telemetry.enabled:
+                telemetry.inc("server.updates", 1)
+                telemetry.observe("server.staleness", float(staleness))
+            self.replica.apply_update(np.asarray(gradient, dtype=np.float64))
+            self.server_updates += 1
+            # Push-triggered weight delivery: the pulled version is a pure
+            # function of (cycle, rank), never of arrival timing.
+            self.scatter.send_to(
+                self.workers[rank],
+                tag=("w", self.server_updates, rank),
+                vector=self.replica.get_weights(),
+                wire_bytes=self.wire_bytes,
+                meta=(self.server_updates, cycle + 1),
+            )
+
+    def _paced_on_weights(self, worker: SimWorker, weights, meta) -> None:
+        version, cycle = meta
+        ingest = self.cost.worker_ingest(
+            self.wire_bytes, self.profile.message_count
+        )
+
+        def start() -> None:
+            vec = np.ascontiguousarray(
+                np.asarray(weights, dtype=np.float64)
+            )
+            self.worker_digests[worker.index].append(
+                hashlib.sha256(vec.tobytes()).hexdigest()[:16]
+            )
+            worker.algorithm.set_weights(weights)
+            worker.algorithm.on_weights_pulled(version)
+            self._paced_version[worker.index] = version
+            if cycle < self.target_cycles:
+                self._paced_compute(worker, cycle)
+
+        self.sim.schedule(ingest, start)
 
     # ------------------------------------------------------------------
     # Worker side
@@ -201,6 +342,9 @@ class AsyncParameterServer:
         )
 
     def _worker_on_weights(self, worker: SimWorker, weights, version) -> None:
+        if self.paced:
+            self._paced_on_weights(worker, weights, version)
+            return
         if self._done:
             return
         if worker.index in self._paused:
@@ -313,6 +457,14 @@ class AsyncParameterServer:
 
     def _gradient_applied(self, src, tag, gradient, meta) -> None:
         """Fires when one push has finished its server CPU occupancy."""
+        if self.paced:
+            worker_index, cycle, version_at_compute = meta
+            self._paced_pending[(cycle, worker_index)] = (
+                gradient,
+                version_at_compute,
+            )
+            self._paced_apply_ready()
+            return
         if self._done:
             return
         worker_index, version_at_pull = meta
@@ -328,7 +480,13 @@ class AsyncParameterServer:
             self._done = True
 
 
-@register_strategy("async", "isw", requires_iswitch=True, supports_multijob=True)
+@register_strategy(
+    "async",
+    "isw",
+    requires_iswitch=True,
+    supports_multijob=True,
+    supports_live=True,
+)
 class AsyncISwitch:
     """Algorithm 1: decentralized asynchronous training through the switch."""
 
@@ -346,6 +504,7 @@ class AsyncISwitch:
         max_recovery_attempts: Optional[int] = None,
         job: int = 0,
         codec=None,
+        paced: bool = False,
     ) -> None:
         self.net = net
         self.job = job
@@ -370,15 +529,30 @@ class AsyncISwitch:
         self._ts: List[int] = [0 for _ in workers]
         #: Per-worker simulated time of the last applied update (telemetry).
         self._last_update: List[float] = [self.sim.now for _ in workers]
+        #: Paced (deterministic) schedule: explicit round tags instead of
+        #: arrival renumbering, computes gated on applied version (module
+        #: docstring; the live backend runs the same schedule).
+        self.paced = paced
+        self._paced_k: List[int] = [0 for _ in workers]
+        self._paced_busy: List[bool] = [False for _ in workers]
+        self._paced_buf: List[Dict[int, np.ndarray]] = [{} for _ in workers]
+        #: Version the weights were at when round r's gradient was
+        #: computed, per worker — the measured side of the gap assertion.
+        self._paced_versions: List[List[int]] = [[] for _ in workers]
+        self.worker_round_digests: List[List[str]] = [[] for _ in workers]
 
         self.stream = ISwitchStream(
             net,
             workers,
             self.wire_bytes,
-            on_round=lambda w, rnd, vec: self._lwu(w, vec),
+            on_round=(
+                self._paced_on_round
+                if paced
+                else (lambda w, rnd, vec: self._lwu(w, vec))
+            ),
             threshold=threshold,
-            arrival_renumber=True,
-            buffer_rounds=staleness_bound + 4,
+            arrival_renumber=not paced,
+            buffer_rounds=None if paced else staleness_bound + 4,
             recovery_timeout=recovery_timeout,
             max_recovery_attempts=max_recovery_attempts,
             on_round_abandoned=self._round_abandoned,
@@ -412,6 +586,7 @@ class AsyncISwitch:
             max_recovery_attempts=12 if fault_armed else None,
             job=getattr(config, "job_id", 0),
             codec=_resolve_codec(config),
+            paced=(config.deterministic_aggregation and not fault_armed),
         )
 
     def run(self, n_updates: int) -> TrainingResult:
@@ -421,7 +596,10 @@ class AsyncISwitch:
         self.target_updates = n_updates
         start = self.sim.now
         for worker in self.workers:
-            self._start_lgc(worker)
+            if self.paced:
+                self._paced_step(worker)
+            else:
+                self._start_lgc(worker)
         self.sim.run()
         elapsed = self.sim.now - start
         iterations = min(self._ts)
@@ -437,7 +615,106 @@ class AsyncISwitch:
         result.max_staleness = self.staleness.max
         result.commits = self.commits
         result.skipped_commits = self.skipped_commits
+        if self.paced:
+            # Every replica applies the same broadcast stream, so the
+            # digest lists must agree — surface rank 0's as the run's.
+            result.round_digests = list(self.worker_round_digests[0])
+            result.worker_digests = {
+                worker.index: list(self.worker_round_digests[worker.index])
+                for worker in self.workers
+            }
         return result
+
+    # ------------------------------------------------------------------
+    # Paced schedule (deterministic_aggregation — conformance runs)
+    # ------------------------------------------------------------------
+    def _paced_step(self, worker: SimWorker) -> None:
+        """Advance one worker's paced pipeline by at most one action.
+
+        Compute ``k`` starts only once exactly ``max(0, k - S)`` rounds
+        are applied — which means the live weights *are* the version the
+        gradient must see, no snapshot juggling.  Otherwise the next
+        pending broadcast (if buffered) is applied.  Both re-enter here,
+        so the pipeline alternates compute/apply deterministically.
+        """
+        index = worker.index
+        if self._paced_busy[index]:
+            return
+        k = self._paced_k[index]
+        applied = self._ts[index]
+        bound = self.staleness_bound
+        if k < self.target_updates and applied == max(0, k - bound):
+            self._paced_busy[index] = True
+            duration = worker.compute.lgc_duration()
+
+            def lgc_done() -> None:
+                worker.breakdown.add_compute(self.profile, duration)
+                telemetry = self.sim.telemetry
+                if telemetry.enabled:
+                    telemetry.span_at(
+                        "compute.lgc",
+                        self.sim.now - duration,
+                        self.sim.now,
+                        cat="training",
+                        track=worker.name,
+                        ts=k,
+                    )
+                    telemetry.inc("worker.commits", 1, worker=worker.name)
+                gradient = worker.algorithm.compute_gradient()
+                self._paced_versions[index].append(self._ts[index])
+                self.commits += 1
+                self.stream.submit(worker, gradient, k)
+                self._paced_k[index] = k + 1
+                self._paced_busy[index] = False
+                self._paced_step(worker)
+
+            self.sim.schedule(duration, lgc_done, name=f"lgc:w{index}")
+            return
+        if applied < self.target_updates and applied in self._paced_buf[index]:
+            summed = self._paced_buf[index].pop(applied)
+            self._paced_busy[index] = True
+            ingest = self.cost.worker_ingest(
+                self.wire_bytes, self.profile.message_count
+            )
+            lwu = worker.compute.lwu_duration()
+
+            def apply() -> None:
+                round_index = self._ts[index]
+                vec32 = np.ascontiguousarray(
+                    np.asarray(summed, dtype=np.float32)
+                )
+                self.worker_round_digests[index].append(
+                    hashlib.sha256(vec32.tobytes()).hexdigest()[:16]
+                )
+                worker.algorithm.apply_update(
+                    np.asarray(summed, dtype=np.float64) / self.h
+                )
+                gap = round_index - self._paced_versions[index][round_index]
+                self.staleness.record(gap)
+                self._ts[index] = round_index + 1
+                worker.finish_iteration()
+                telemetry = self.sim.telemetry
+                if telemetry.enabled:
+                    telemetry.span_at(
+                        "iteration",
+                        self._last_update[index],
+                        self.sim.now,
+                        cat="training",
+                        track=worker.name,
+                        ts=self._ts[index],
+                    )
+                self._last_update[index] = self.sim.now
+                if min(self._ts) >= self.target_updates:
+                    self._done = True
+                self._paced_busy[index] = False
+                self._paced_step(worker)
+
+            self.sim.schedule(ingest + lwu, apply, name=f"lwu:w{index}")
+
+    def _paced_on_round(self, worker: SimWorker, rnd: int, vec) -> None:
+        """Broadcast landed: buffer it and let the pipeline apply in order."""
+        self._paced_buf[worker.index][rnd] = vec
+        self._paced_step(worker)
 
     # ------------------------------------------------------------------
     # LGC thread

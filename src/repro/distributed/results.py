@@ -33,6 +33,7 @@ _TYPED_EXTRAS = (
     "wall_elapsed",
     "final_weights",
     "round_digests",
+    "worker_digests",
     "rewards",
     "worker_counters",
     "server_stats",
@@ -130,6 +131,11 @@ class TrainingResult:
     #: Live backend: per-round SHA-256 digests of the aggregated sums
     #: (identical across ranks by construction).
     round_digests: Optional[List[str]] = None
+    #: Per-rank digest streams for strategies whose workers observe
+    #: *different* aggregate trajectories (async-ps pulls post-apply
+    #: weights, so each rank sees its own versions); ``None`` when all
+    #: ranks share ``round_digests``.
+    worker_digests: Optional[Dict[int, List[str]]] = None
     #: Live backend: per-rank final average rewards.
     rewards: Optional[Dict[int, float]] = None
     #: Live backend: per-rank protocol counters.

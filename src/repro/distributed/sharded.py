@@ -51,7 +51,7 @@ SHARD_GATHER_PORT = 7821
 SHARD_SCATTER_PORT_BASE = 7830
 
 
-@register_strategy("sync", "ps-shard")
+@register_strategy("sync", "ps-shard", supports_live=True)
 class ShardedParameterServer(SyncStrategy):
     """Parameter server sharded across K worker-co-located hosts."""
 

@@ -367,7 +367,7 @@ class _ExchangeAllReduce(SyncStrategy):
         self._deliver_sum(worker, self._round_sum(iteration), iteration)
 
 
-@register_strategy("sync", "ar")
+@register_strategy("sync", "ar", supports_live=True)
 class RingAllReduce(_ExchangeAllReduce):
     """Figure 1b: decentralized ring aggregation (reduce-scatter + all-gather)."""
 
@@ -391,7 +391,7 @@ class RingAllReduce(_ExchangeAllReduce):
         )
 
 
-@register_strategy("sync", "ar-hd")
+@register_strategy("sync", "ar-hd", supports_live=True)
 class HalvingDoublingAllReduce(_ExchangeAllReduce):
     """Recursive-halving/doubling allreduce: 2·log2(N) hypercube steps.
 

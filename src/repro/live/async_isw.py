@@ -1,0 +1,181 @@
+"""Live async-isw: the paper's Algorithm 1 over real UDP, bounded stale.
+
+The switch side is the unmodified :class:`~repro.live.switch.SoftwareSwitch`
+(threshold = N, dedup, canonical order): asynchrony lives entirely in the
+worker schedule, exactly as in the simulator's paced mode.  A worker may
+run up to ``staleness_bound`` rounds ahead of its own applied weights —
+it computes and submits round ``k`` as soon as ``k ≤ applied + S``, then
+collects and applies the oldest outstanding round.  Under that greedy
+schedule the gradient for round ``k`` is computed against weight version
+``max(0, k − S)``, so every applied gradient's version gap is
+``min(k, S) ≤ S`` — the bound Algorithm 1 enforces — and the weight
+trajectory is the simulator's paced trajectory bit for bit.
+
+The gap is **measured**, not assumed: at compute time the worker records
+its live applied-version, and at apply time it counts the real gap into
+``version_gap_max`` / ``version_gap_total`` / ``version_gap_count``.
+The conformance suite asserts the bound from those counters, so genuine
+process-arrival jitter (rounds completing out of order, recovery
+retransmissions) is covered by the assertion rather than averaged away.
+
+Pipelining means DOWN frames for round ``k+1`` can arrive while round
+``k`` is still being collected; those are buffered, not dropped, and the
+send cache retains ``S + 2`` rounds so Help retransmissions can serve
+the slowest peer's recovery window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .worker import LiveWorker
+
+__all__ = ["LiveAsyncWorker"]
+
+
+class LiveAsyncWorker(LiveWorker):
+    """Bounded-staleness worker pipeline over the live switch protocol."""
+
+    def __init__(self, *args, staleness_bound: int = 3, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if staleness_bound < 0:
+            raise ValueError(
+                f"staleness_bound must be >= 0, got {staleness_bound}"
+            )
+        self.staleness_bound = staleness_bound
+        #: Downstream segments that arrived ahead of the round being
+        #: collected, keyed by global Seg.
+        self._future: Dict[int, object] = {}
+        #: Applied-version at each round's compute time.
+        self._versions: List[int] = []
+        self.counters.update(
+            version_gap_max=0,
+            version_gap_total=0,
+            version_gap_count=0,
+        )
+
+    def train(self, iterations: int) -> None:
+        """Greedy bounded-staleness loop: submit ahead, apply in order."""
+        if self.threshold is None:
+            raise RuntimeError("join() the job before training")
+        bound = self.staleness_bound
+        next_round = 0
+        applied = 0
+        while applied < iterations:
+            while next_round < iterations and next_round <= applied + bound:
+                gradient = np.asarray(
+                    self.algorithm.compute_gradient(), dtype=np.float32
+                )
+                self._versions.append(applied)
+                self._submit(gradient, next_round)
+                next_round += 1
+            total = self._collect_round(applied)
+            self._apply_round(total, applied)
+            applied += 1
+        self.leave()
+
+    # ------------------------------------------------------------------
+    def _submit(self, gradient: np.ndarray, round_index: int) -> None:
+        """Stream one round's frames up without waiting for its result."""
+        from ..core.protocol import encode_data
+
+        segments = self.plan.split(gradient, round_index, sender=self.sender)
+        for s in segments:
+            s.job = self.job
+        frames = {
+            s.seg: encode_data(s, codec=self.codec) for s in segments
+        }
+        # Retain S + 2 rounds: a peer's collect window can trail this
+        # worker's submit window by the full staleness bound.
+        floor = max(round_index - (self.staleness_bound + 1), 0)
+        floor *= self.plan.n_chunks
+        self._send_cache = {
+            seg: frame
+            for seg, frame in self._send_cache.items()
+            if seg >= floor
+        }
+        self._send_cache.update(frames)
+        for frame in frames.values():
+            self._send(frame)
+
+    def _collect_round(self, round_index: int) -> np.ndarray:
+        expected = {
+            round_index * self.plan.n_chunks + chunk
+            for chunk in range(self.plan.n_chunks)
+        }
+        # Drain segments that arrived while collecting earlier rounds.
+        received = {
+            seg: self._future.pop(seg)
+            for seg in list(self._future)
+            if seg in expected
+        }
+        if len(received) < len(expected):
+            received.update(
+                self._collect_pipelined(expected, received, round_index)
+            )
+        ordered = [
+            received[round_index * self.plan.n_chunks + chunk]
+            for chunk in range(self.plan.n_chunks)
+        ]
+        return self.plan.assemble(ordered)
+
+    def _collect_pipelined(
+        self, expected: set, received: Dict[int, object], round_index: int
+    ) -> Dict[int, object]:
+        """Like :meth:`LiveWorker._collect`, but future rounds buffer."""
+        from ..core.protocol import Action, ControlMessage
+
+        horizon = (round_index + 1) * self.plan.n_chunks
+        attempts = 0
+        timeout = self.recovery_timeout
+        while len(received) < len(expected):
+            got = self.endpoint.recv(timeout=timeout)
+            if got is None:
+                attempts += 1
+                self.counters["watchdog_timeouts"] += 1
+                if attempts > self.max_recovery_attempts:
+                    missing = sorted(expected - set(received))
+                    raise RuntimeError(
+                        f"worker {self.rank}: round {round_index} abandoned "
+                        f"after {attempts - 1} recovery attempts; "
+                        f"missing segs {missing[:8]}"
+                    )
+                self._recover(expected - set(received))
+                timeout = min(self.recovery_timeout * 2**attempts, 2.0)
+                continue
+            message = self._decode(got[0])
+            if message is None:
+                continue
+            if isinstance(message, ControlMessage):
+                if message.action == Action.HELP and message.job == self.job:
+                    self._retransmit(int(message.value))
+                continue
+            if message.job != self.job:
+                self.counters["stale_frames"] += 1
+            elif message.seg in expected and message.seg not in received:
+                received[message.seg] = message
+            elif message.seg >= horizon and message.seg not in self._future:
+                # A later round completed ahead of this one: pipeline
+                # jitter, not staleness — hold it for its own collect.
+                self._future[message.seg] = message
+            else:
+                self.counters["stale_frames"] += 1
+        return received
+
+    def _apply_round(self, total: np.ndarray, round_index: int) -> None:
+        import hashlib
+
+        self.round_digests.append(
+            hashlib.sha256(total.tobytes()).hexdigest()[:16]
+        )
+        self.algorithm.apply_update(
+            total.astype(np.float64) / self.n_workers
+        )
+        gap = round_index - self._versions[round_index]
+        self.counters["version_gap_max"] = max(
+            self.counters["version_gap_max"], gap
+        )
+        self.counters["version_gap_total"] += gap
+        self.counters["version_gap_count"] += 1

@@ -1,0 +1,414 @@
+"""Live AllReduce baselines: peer-to-peer UDP exchange, no aggregator.
+
+The paper's AllReduce baselines (ring, recursive halving/doubling) are
+host-to-host collectives — there is no central process at all.  Each
+worker binds its own socket, the runner distributes the
+:class:`~repro.live.transport.PeerTable` once everyone is bound, and the
+exchange proceeds as a schedule of point-to-point messages.
+
+Framing (host-level, like the live PS baseline — not the iSwitch wire
+protocol):
+
+=========  ==========================================================
+Tag byte   Body (little-endian)
+=========  ==========================================================
+``E``      u8 sender_rank, u8 phase, u32 round, u32 step, u32 frag,
+           float64[] payload — one fragment of an exchange message
+``R``      u8 requester_rank, u8 phase, u32 round, u32 step —
+           resend request for a whole exchange message
+``F``      u8 rank — finished: all of this rank's rounds are applied
+=========  ==========================================================
+
+One exchange *message* is the chunk a peer owes us for ``(phase, round,
+step)`` of the schedule; chunks exceed the UDP datagram limit, so they
+travel as fragments of 183 float64 elements (1464 B — the same payload
+budget as the iSwitch segment).  Loss recovery is receiver-driven: a
+receive timeout sends ``R`` to the expected sender, which retransmits
+every fragment of that message from its send cache (current and
+previous round are retained).  Fragments are idempotent — duplicates
+overwrite with identical bytes — so recovery needs no sequencing.
+
+With no central process there is also no one to outlive the workers, so
+teardown is a peer handshake: a finished worker broadcasts ``F`` and
+keeps answering ``R`` requests until it holds an ``F`` from every peer —
+only then can no peer still need this worker's send cache.  ``F`` and
+``R`` frames are exempt from injected loss (like the simulator, which
+drops only data-plane packets); ``F`` is rebroadcast periodically while
+lingering as a belt-and-braces against real kernel drops.
+
+Numerics: chunks are exchanged and summed in **float64**.  For gradients
+of one workload's dynamic range those sums are exact (the repo's golden
+hashes show ps, ring, and halving/doubling — three different summation
+orders — already agree), so ring, halving/doubling, live PS, and the
+simulator all land on bit-identical weight trajectories.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import struct
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..rl.base import Algorithm
+from .transport import Address, UdpEndpoint
+
+__all__ = ["LiveRingWorker", "LiveHdWorker", "COLLECTIVE_FRAG_ELEMS"]
+
+#: float64 elements per ``E`` fragment; 183 × 8 B = 1464 B payload.
+COLLECTIVE_FRAG_ELEMS = 183
+
+_DATA_HEADER = struct.Struct("<BBIII")  # sender_rank, phase, round, step, frag
+_REQ_HEADER = struct.Struct("<BBII")  # requester_rank, phase, round, step
+
+#: Re-broadcast period for the ``F`` (finished) frame while lingering.
+FINISH_RESEND_PERIOD = 0.25
+#: Hard ceiling on the post-training linger; normally the peer ``F``
+#: handshake ends it within milliseconds.
+LINGER_DEADLINE = 30.0
+
+_MsgKey = Tuple[int, int, int, int]  # sender, phase, round, step
+
+
+class _PeerExchangeWorker:
+    """Shared transport machinery for the peer-to-peer collectives."""
+
+    def __init__(
+        self,
+        rank: int,
+        n_workers: int,
+        algorithm: Algorithm,
+        endpoint: UdpEndpoint,
+        peers: Dict[int, Address],
+        recovery_timeout: float = 0.1,
+        max_recovery_attempts: int = 12,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+    ) -> None:
+        if n_workers < 2:
+            raise ValueError(
+                f"peer-to-peer allreduce needs >= 2 workers, got {n_workers}"
+            )
+        if sorted(peers) != list(range(n_workers)):
+            raise ValueError(
+                f"peer table must cover ranks 0..{n_workers - 1}, "
+                f"got {sorted(peers)}"
+            )
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.rank = rank
+        self.n_workers = n_workers
+        self.algorithm = algorithm
+        self.endpoint = endpoint
+        self.peers = dict(peers)
+        self.recovery_timeout = recovery_timeout
+        self.max_recovery_attempts = max_recovery_attempts
+        self.loss_rate = loss_rate
+        # Per-rank stream so every receiver drops an independent sample.
+        self._drop_rng = random.Random(loss_seed * 7919 + rank)
+        self.n_elements = algorithm.get_weights().size
+        #: Send cache: (phase, round, step) → encoded fragments, for
+        #: resend requests.  Current and previous round are retained.
+        self._sent: Dict[Tuple[int, int, int], List[bytes]] = {}
+        #: Receive buffer: (sender, phase, round, step) → frag → payload.
+        self._pending: Dict[_MsgKey, Dict[int, np.ndarray]] = {}
+        #: Peers whose ``F`` (finished) frame has arrived.
+        self._peer_done: set = set()
+        self._round = 0
+        self.round_digests: List[str] = []
+        self.counters: Dict[str, int] = {
+            "frames_tx": 0,
+            "frames_rx": 0,
+            "resend_requests_sent": 0,
+            "resends_served": 0,
+            "stale_frames": 0,
+            "decode_errors": 0,
+            "watchdog_timeouts": 0,
+            "drops_injected": 0,
+        }
+
+    # -- wire helpers ---------------------------------------------------
+    def _send_message(
+        self, dest: int, phase: int, step: int, vector: np.ndarray
+    ) -> None:
+        """Fragment ``vector`` (float64) and send it to peer ``dest``."""
+        payload = np.ascontiguousarray(vector, dtype="<f8")
+        frames: List[bytes] = []
+        for frag in range(0, max(payload.size, 1), COLLECTIVE_FRAG_ELEMS):
+            chunk = payload[frag : frag + COLLECTIVE_FRAG_ELEMS]
+            frames.append(
+                b"E"
+                + _DATA_HEADER.pack(
+                    self.rank,
+                    phase,
+                    self._round,
+                    step,
+                    frag // COLLECTIVE_FRAG_ELEMS,
+                )
+                + chunk.tobytes()
+            )
+        self._sent[(phase, self._round, step)] = frames
+        addr = self.peers[dest]
+        for frame in frames:
+            self.endpoint.send(frame, addr)
+            self.counters["frames_tx"] += 1
+
+    def _prune_caches(self) -> None:
+        floor = self._round - 1
+        for key in [k for k in self._sent if k[1] < floor]:
+            del self._sent[key]
+        for key in [k for k in self._pending if k[2] < floor]:
+            del self._pending[key]
+            self.counters["stale_frames"] += 1
+
+    def _recv_message(
+        self, src: int, phase: int, step: int, n_elements: int
+    ) -> np.ndarray:
+        """Block until the message from peer ``src`` is fully assembled."""
+        key: _MsgKey = (src, phase, self._round, step)
+        n_frags = -(-n_elements // COLLECTIVE_FRAG_ELEMS)
+        attempts = 0
+        # Deadline-based watchdog: unrelated traffic (peers' resend
+        # requests, finish frames) must not starve recovery, so the timer
+        # runs on wall clock, not on the socket going quiet.  Progress on
+        # the awaited message rewinds it — escalating while fragments
+        # are streaming in would only add stalls.
+        recover_at = time.monotonic() + self.recovery_timeout
+        progress = -1
+        while True:
+            frags = self._pending.get(key)
+            if frags is not None and len(frags) == n_frags:
+                del self._pending[key]
+                out = np.empty(n_elements, dtype=np.float64)
+                for index, payload in frags.items():
+                    start = index * COLLECTIVE_FRAG_ELEMS
+                    out[start : start + payload.size] = payload
+                return out
+            if frags is not None and len(frags) > progress:
+                progress = len(frags)
+                attempts = 0
+                recover_at = time.monotonic() + self.recovery_timeout
+            remaining = recover_at - time.monotonic()
+            if remaining <= 0:
+                attempts += 1
+                self.counters["watchdog_timeouts"] += 1
+                if attempts > self.max_recovery_attempts:
+                    have = len(frags or ())
+                    raise RuntimeError(
+                        f"worker {self.rank}: round {self._round} phase "
+                        f"{phase} step {step} abandoned after "
+                        f"{attempts - 1} recovery attempts "
+                        f"({have}/{n_frags} fragments from rank {src})"
+                    )
+                self.endpoint.send(
+                    b"R" + _REQ_HEADER.pack(self.rank, phase, self._round, step),
+                    self.peers[src],
+                )
+                self.counters["frames_tx"] += 1
+                self.counters["resend_requests_sent"] += 1
+                recover_at = time.monotonic() + min(
+                    self.recovery_timeout * 2**attempts, 2.0
+                )
+                continue
+            got = self.endpoint.recv(timeout=remaining)
+            if got is None:
+                continue
+            self._ingest(got[0])
+
+    def _ingest(self, frame: bytes) -> None:
+        self.counters["frames_rx"] += 1
+        tag = frame[:1]
+        try:
+            if tag == b"E":
+                if (
+                    self.loss_rate > 0
+                    and self._drop_rng.random() < self.loss_rate
+                ):
+                    self.counters["drops_injected"] += 1
+                    return
+                sender, phase, rnd, step, frag = _DATA_HEADER.unpack_from(
+                    frame, 1
+                )
+                if rnd < self._round - 1:
+                    self.counters["stale_frames"] += 1
+                    return
+                payload = np.frombuffer(
+                    frame, dtype="<f8", offset=1 + _DATA_HEADER.size
+                )
+                self._pending.setdefault((sender, phase, rnd, step), {})[
+                    frag
+                ] = payload.astype(np.float64)
+            elif tag == b"R":
+                requester, phase, rnd, step = _REQ_HEADER.unpack_from(frame, 1)
+                self._serve_resend(requester, phase, rnd, step)
+            elif tag == b"F":
+                self._peer_done.add(frame[1])
+            else:
+                self.counters["decode_errors"] += 1
+        except (struct.error, KeyError, IndexError):
+            self.counters["decode_errors"] += 1
+
+    def _serve_resend(
+        self, requester: int, phase: int, rnd: int, step: int
+    ) -> None:
+        frames = self._sent.get((phase, rnd, step))
+        if frames is None:
+            return  # not sent yet (peer is ahead) or pruned; peer retries
+        addr = self.peers.get(requester)
+        if addr is None:
+            return
+        for frame in frames:
+            self.endpoint.send(frame, addr)
+            self.counters["frames_tx"] += 1
+        self.counters["resends_served"] += 1
+
+    # -- training loop --------------------------------------------------
+    def train(self, iterations: int) -> None:
+        for iteration in range(iterations):
+            self._round = iteration
+            self._prune_caches()
+            gradient = np.asarray(
+                self.algorithm.compute_gradient(), dtype=np.float32
+            )
+            total = self._exchange(gradient.astype(np.float64))
+            self.round_digests.append(
+                hashlib.sha256(
+                    np.ascontiguousarray(total, dtype=np.float64).tobytes()
+                ).hexdigest()[:16]
+            )
+            self.algorithm.apply_update(total / self.n_workers)
+        self._linger()
+
+    def _exchange(self, accumulator: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _linger(self) -> None:
+        """Serve resend requests until every peer has also finished.
+
+        Drops happen at the *receiver*, so this worker's last
+        transmissions may still be missing at a peer whose only recovery
+        source is this worker's send cache.  A peer's ``F`` frame is the
+        proof it needs nothing more; once all are in, exit immediately.
+        """
+        finish = b"F" + bytes([self.rank])
+        others = [r for r in self.peers if r != self.rank]
+        hard_stop = time.monotonic() + LINGER_DEADLINE
+        next_finish = 0.0
+        while (
+            not all(r in self._peer_done for r in others)
+            and time.monotonic() < hard_stop
+        ):
+            if time.monotonic() >= next_finish:
+                for peer in others:
+                    self.endpoint.send(finish, self.peers[peer])
+                    self.counters["frames_tx"] += 1
+                next_finish = time.monotonic() + FINISH_RESEND_PERIOD
+            got = self.endpoint.recv(timeout=0.05)
+            if got is None:
+                continue
+            if got[0][:1] in (b"R", b"F"):
+                self._ingest(got[0])
+            else:
+                self.counters["frames_rx"] += 1
+                self.counters["stale_frames"] += 1
+
+
+def _chunk_bounds(n_elements: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """``n_chunks`` contiguous element ranges (first ranges get the rest)."""
+    base, extra = divmod(n_elements, n_chunks)
+    bounds = []
+    start = 0
+    for index in range(n_chunks):
+        size = base + (1 if index < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+class LiveRingWorker(_PeerExchangeWorker):
+    """Ring allreduce: N−1 reduce-scatter steps + N−1 all-gather steps.
+
+    Chunk ``c`` circulates rightward accumulating every rank's slice; the
+    schedule is the textbook one (each rank starts the reduce-scatter
+    with its own chunk index and ends owning chunk ``(rank+1) % N``).
+    """
+
+    name = "ring"
+
+    def _exchange(self, accumulator: np.ndarray) -> np.ndarray:
+        n = self.n_workers
+        bounds = _chunk_bounds(self.n_elements, n)
+        right = (self.rank + 1) % n
+        left = (self.rank - 1) % n
+        # Phase 0: reduce-scatter.
+        for step in range(n - 1):
+            send_chunk = (self.rank - step) % n
+            recv_chunk = (self.rank - step - 1) % n
+            lo, hi = bounds[send_chunk]
+            self._send_message(right, 0, step, accumulator[lo:hi])
+            lo, hi = bounds[recv_chunk]
+            accumulator[lo:hi] += self._recv_message(left, 0, step, hi - lo)
+        # Phase 1: all-gather.
+        for step in range(n - 1):
+            send_chunk = (self.rank + 1 - step) % n
+            recv_chunk = (self.rank - step) % n
+            lo, hi = bounds[send_chunk]
+            self._send_message(right, 1, step, accumulator[lo:hi])
+            lo, hi = bounds[recv_chunk]
+            accumulator[lo:hi] = self._recv_message(left, 1, step, hi - lo)
+        return accumulator
+
+
+class LiveHdWorker(_PeerExchangeWorker):
+    """Recursive halving/doubling: 2·log2(N) hypercube exchange steps.
+
+    Requires a power-of-two worker count, like the simulator strategy.
+    """
+
+    name = "hd"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.n_workers & (self.n_workers - 1):
+            raise ValueError(
+                "halving/doubling needs a power-of-two worker count, "
+                f"got {self.n_workers}"
+            )
+
+    def _exchange(self, accumulator: np.ndarray) -> np.ndarray:
+        steps = self.n_workers.bit_length() - 1
+        lo, hi = 0, self.n_elements
+        stack: List[Tuple[int, int]] = []
+        # Phase 0: recursive halving (reduce-scatter on bisected ranges).
+        for step in range(steps):
+            partner = self.rank ^ (1 << step)
+            mid = lo + (hi - lo) // 2
+            if self.rank & (1 << step):
+                keep, send = (mid, hi), (lo, mid)
+            else:
+                keep, send = (lo, mid), (mid, hi)
+            self._send_message(partner, 0, step, accumulator[send[0] : send[1]])
+            received = self._recv_message(
+                partner, 0, step, keep[1] - keep[0]
+            )
+            accumulator[keep[0] : keep[1]] += received
+            stack.append((lo, hi))
+            lo, hi = keep
+        # Phase 1: recursive doubling (all-gather, ranges re-merge).
+        for step in reversed(range(steps)):
+            partner = self.rank ^ (1 << step)
+            parent_lo, parent_hi = stack.pop()
+            self._send_message(partner, 1, step, accumulator[lo:hi])
+            if lo == parent_lo:
+                other = (hi, parent_hi)
+            else:
+                other = (parent_lo, lo)
+            received = self._recv_message(
+                partner, 1, step, other[1] - other[0]
+            )
+            accumulator[other[0] : other[1]] = received
+            lo, hi = parent_lo, parent_hi
+        return accumulator

@@ -31,6 +31,7 @@ MTU-sized datagram and share chunk indexing.
 from __future__ import annotations
 
 import hashlib
+import random
 import struct
 import time
 from typing import Dict, List, Optional, Tuple
@@ -66,12 +67,23 @@ class PsServer:
     """Sums each (round, chunk) across all workers, in rank order."""
 
     def __init__(
-        self, n_workers: int, endpoint: Optional[UdpEndpoint] = None
+        self,
+        n_workers: int,
+        endpoint: Optional[UdpEndpoint] = None,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
         self.n_workers = n_workers
         self.endpoint = endpoint
+        #: Injected ingress loss on gradient (``U``) frames, exercising
+        #: the worker watchdog/resend path — the host-networking analogue
+        #: of the switch's ingress drop.
+        self.loss_rate = loss_rate
+        self._drop_rng = random.Random(loss_seed)
         self._members: Dict[int, Address] = {}
         self._left: set = set()
         self._go_sent = False
@@ -82,6 +94,7 @@ class PsServer:
             "frames_tx": 0,
             "chunks_summed": 0,
             "duplicates_dropped": 0,
+            "drops_injected": 0,
             "resends_served": 0,
             "decode_errors": 0,
         }
@@ -134,6 +147,9 @@ class PsServer:
         return out
 
     def _handle_gradient(self, frame: bytes) -> List[Tuple[bytes, Address]]:
+        if self.loss_rate > 0 and self._drop_rng.random() < self.loss_rate:
+            self.counters["drops_injected"] += 1
+            return []
         rank, round_index, chunk = _UP_HEADER.unpack_from(frame, 1)
         key = (round_index, chunk)
         if key in self._results:

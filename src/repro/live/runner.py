@@ -1,16 +1,26 @@
-"""Orchestrate a live run: spawn switch/server + worker processes.
+"""Orchestrate a live run: spawn aggregator + worker processes.
 
 :func:`run_live` is the backend entry point dispatched to by
 :func:`repro.distributed.run` when ``ExperimentConfig(backend="live")``.
-It forks one aggregator process (a :class:`~repro.live.switch.SoftwareSwitch`
-for ``isw``, a :class:`~repro.live.ps.PsServer` for ``ps``) plus
-``n_workers`` worker processes, all talking loopback UDP, and folds their
-reports into the same :class:`~repro.distributed.results.TrainingResult`
+It forks the strategy's server processes (a
+:class:`~repro.live.switch.SoftwareSwitch` for ``isw`` — several of
+them, ToR→AGG, when the worker count overflows one rack — a
+:class:`~repro.live.ps.PsServer` for ``ps``, K of them for ``ps-shard``,
+a :class:`~repro.live.async_ps.LiveAsyncPsServer` for async ``ps``, and
+none at all for the peer-to-peer ``ar``/``ar-hd`` collectives) plus
+``n_workers`` worker processes, all talking loopback UDP, and folds
+their reports into the same :class:`~repro.distributed.results.TrainingResult`
 shape the simulator returns (``result.backend == "live"``, with the live
 artifacts in the typed fields ``final_weights``/``round_digests``/...).
 
-Every child reports ``("ok", payload)`` or ``("error", traceback)`` over
-its pipe; any child failure terminates the fleet and raises
+Membership rendezvous runs over the child pipes: every child binds its
+socket and reports ``("port", port)``; once all ports are known the
+runner ships a :class:`~repro.live.transport.PeerTable` down the pipes
+that need one (the peer-to-peer collectives).  Receiving the table is
+the barrier — every address in it is already bound.
+
+Every child ends with ``("ok", payload)`` or ``("error", traceback)``
+over its pipe; any child failure terminates the fleet and raises
 :class:`LiveRunError` carrying the child's traceback.
 """
 
@@ -19,7 +29,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,7 +37,15 @@ __all__ = ["LiveRunError", "run_live", "LIVE_STRATEGIES"]
 
 #: Live-capable (mode, strategy) pairs; kept in sync with the registry's
 #: ``supports_live`` flags (asserted by the conformance tests).
-LIVE_STRATEGIES = (("sync", "isw"), ("sync", "ps"))
+LIVE_STRATEGIES = (
+    ("sync", "isw"),
+    ("sync", "ps"),
+    ("sync", "ar"),
+    ("sync", "ar-hd"),
+    ("sync", "ps-shard"),
+    ("async", "isw"),
+    ("async", "ps"),
+)
 
 #: Hard wall-clock ceiling for one live run.  Conformance runs finish in
 #: seconds; this only bounds pathological hangs.
@@ -35,6 +53,10 @@ RUN_DEADLINE = 120.0
 
 #: Per-pipe wait while collecting child reports.
 REPORT_TIMEOUT = 90.0
+
+#: Racks are 3 wide in the hierarchical tree, mirroring the simulator's
+#: ``build_rack_tree`` default used by ``build_cluster``.
+TREE_RACK_WIDTH = 3
 
 
 class LiveRunError(RuntimeError):
@@ -46,6 +68,18 @@ def _mp_context():
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
     )
+
+
+def _rack_sizes(n_workers: int) -> List[int]:
+    """Per-rack worker counts for the tree (rank ``r`` sits in rack
+    ``r // TREE_RACK_WIDTH``, exactly like the simulator's contiguous
+    assignment)."""
+    sizes = []
+    remaining = n_workers
+    while remaining > 0:
+        sizes.append(min(TREE_RACK_WIDTH, remaining))
+        remaining -= TREE_RACK_WIDTH
+    return sizes
 
 
 # ---------------------------------------------------------------------------
@@ -66,18 +100,24 @@ def _resolve_live_codec(params: Dict[str, Any]):
 
 
 def _switch_main(conn, params: Dict[str, Any]) -> None:
+    """Flat star switch, tree aggregation switch, or tree ToR switch."""
     try:
         from .switch import SoftwareSwitch
-        from .transport import UdpEndpoint
+        from .transport import LOOPBACK, UdpEndpoint
 
         endpoint = UdpEndpoint()
+        parent_port = params.get("parent_port")
         switch = SoftwareSwitch(
-            n_workers=params["n_workers"],
+            n_workers=params["n_members"],
             endpoint=endpoint,
             loss_rate=params["loss_rate"],
-            loss_seed=params["seed"],
+            loss_seed=params["loss_seed"],
             job=params.get("job", 0),
             codec=_resolve_live_codec(params),
+            parent_addr=(
+                None if parent_port is None else (LOOPBACK, parent_port)
+            ),
+            rank=params.get("switch_rank", 0),
         )
         conn.send(("port", endpoint.port))
         switch.serve(deadline=time.monotonic() + params["deadline"])
@@ -94,7 +134,12 @@ def _ps_main(conn, params: Dict[str, Any]) -> None:
         from .transport import UdpEndpoint
 
         endpoint = UdpEndpoint()
-        server = PsServer(n_workers=params["n_workers"], endpoint=endpoint)
+        server = PsServer(
+            n_workers=params["n_workers"],
+            endpoint=endpoint,
+            loss_rate=params["loss_rate"],
+            loss_seed=params["loss_seed"],
+        )
         conn.send(("port", endpoint.port))
         server.serve(deadline=time.monotonic() + params["deadline"])
         conn.send(("ok", server.stats_snapshot()))
@@ -104,10 +149,116 @@ def _ps_main(conn, params: Dict[str, Any]) -> None:
         conn.close()
 
 
+def _async_ps_main(conn, params: Dict[str, Any]) -> None:
+    try:
+        from ..distributed.runner import make_algorithm
+        from .async_ps import LiveAsyncPsServer
+        from .transport import UdpEndpoint
+
+        # Same replica construction as the simulator's async PS server.
+        replica = make_algorithm(
+            params["workload"],
+            seed=params["seed"] + 10_000,
+            **(params["algorithm_overrides"] or {}),
+        )
+        endpoint = UdpEndpoint()
+        server = LiveAsyncPsServer(
+            n_workers=params["n_workers"],
+            replica=replica,
+            endpoint=endpoint,
+            loss_rate=params["loss_rate"],
+            loss_seed=params["loss_seed"],
+        )
+        conn.send(("port", endpoint.port))
+        server.serve(deadline=time.monotonic() + params["deadline"])
+        conn.send(("ok", server.stats_snapshot()))
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _build_worker(rank: int, algorithm, endpoint, conn, params: Dict[str, Any]):
+    """Construct the strategy-appropriate worker state machine."""
+    from .transport import LOOPBACK, PeerTable
+
+    mode = params.get("mode", "sync")
+    strategy = params["strategy"]
+    common = dict(
+        rank=rank,
+        n_workers=params["n_workers"],
+        algorithm=algorithm,
+        endpoint=endpoint,
+        recovery_timeout=params["recovery_timeout"],
+    )
+    if strategy == "isw":
+        switch_ports = params["switch_ports"]
+        switch_addr = (
+            LOOPBACK,
+            switch_ports[rank // TREE_RACK_WIDTH]
+            if len(switch_ports) > 1
+            else switch_ports[0],
+        )
+        kwargs = dict(
+            common,
+            switch_addr=switch_addr,
+            job=params.get("job", 0),
+            codec=_resolve_live_codec(params),
+        )
+        if mode == "async":
+            from .async_isw import LiveAsyncWorker
+
+            return LiveAsyncWorker(
+                **kwargs, staleness_bound=params["staleness_bound"]
+            )
+        from .worker import LiveWorker
+
+        return LiveWorker(**kwargs)
+    if strategy == "ps":
+        server_addr = (LOOPBACK, params["server_port"])
+        if mode == "async":
+            from .async_ps import LiveAsyncPsWorker
+
+            return LiveAsyncPsWorker(**common, server_addr=server_addr)
+        from .ps import LivePsWorker
+
+        return LivePsWorker(**common, server_addr=server_addr)
+    if strategy == "ps-shard":
+        from .shard import LiveShardWorker
+
+        return LiveShardWorker(
+            **common,
+            shard_addrs=[
+                (LOOPBACK, port) for port in params["shard_ports"]
+            ],
+        )
+    if strategy in ("ar", "ar-hd"):
+        # Peer-to-peer: report our port, then block on the peer table —
+        # the rendezvous barrier for the whole fleet.
+        conn.send(("port", endpoint.port))
+        kind, table = conn.recv()
+        if kind != "peers" or not isinstance(table, PeerTable):
+            raise RuntimeError(f"expected peer table, got {kind!r}")
+        kwargs = dict(
+            common,
+            peers=table.workers,
+            loss_rate=params["loss_rate"],
+            loss_seed=params["loss_seed"],
+        )
+        if strategy == "ar":
+            from .collective import LiveRingWorker
+
+            return LiveRingWorker(**kwargs)
+        from .collective import LiveHdWorker
+
+        return LiveHdWorker(**kwargs)
+    raise RuntimeError(f"no live worker for strategy {strategy!r}")
+
+
 def _worker_main(conn, rank: int, params: Dict[str, Any]) -> None:
     try:
         from ..distributed.runner import make_algorithm
-        from .transport import LOOPBACK, UdpEndpoint
+        from .transport import UdpEndpoint
 
         algorithm = make_algorithm(
             params["workload"],
@@ -115,32 +266,9 @@ def _worker_main(conn, rank: int, params: Dict[str, Any]) -> None:
             **(params["algorithm_overrides"] or {}),
         )
         endpoint = UdpEndpoint()
-        server_addr = (LOOPBACK, params["server_port"])
-        if params["strategy"] == "isw":
-            from .worker import LiveWorker
-
-            worker = LiveWorker(
-                rank=rank,
-                n_workers=params["n_workers"],
-                algorithm=algorithm,
-                endpoint=endpoint,
-                switch_addr=server_addr,
-                recovery_timeout=params["recovery_timeout"],
-                job=params.get("job", 0),
-                codec=_resolve_live_codec(params),
-            )
-        else:
-            from .ps import LivePsWorker
-
-            worker = LivePsWorker(
-                rank=rank,
-                n_workers=params["n_workers"],
-                algorithm=algorithm,
-                endpoint=endpoint,
-                server_addr=server_addr,
-                recovery_timeout=params["recovery_timeout"],
-            )
-        worker.join()
+        worker = _build_worker(rank, algorithm, endpoint, conn, params)
+        if hasattr(worker, "join"):
+            worker.join()
         started = time.monotonic()
         worker.train(params["iterations"])
         train_seconds = time.monotonic() - started
@@ -178,6 +306,15 @@ def _recv(conn, what: str, timeout: float = REPORT_TIMEOUT) -> Tuple[str, Any]:
         raise LiveRunError(f"{what} died without reporting: {exc}") from exc
 
 
+def _recv_port(conn, what: str, timeout: float = 30.0) -> int:
+    kind, value = _recv(conn, f"{what} startup", timeout=timeout)
+    if kind == "error":
+        raise LiveRunError(f"{what} failed to start:\n{value}")
+    if kind != "port":
+        raise LiveRunError(f"unexpected {what} report: {kind!r}")
+    return value
+
+
 def _terminate(processes: List) -> None:
     for proc in processes:
         if proc.is_alive():
@@ -186,40 +323,63 @@ def _terminate(processes: List) -> None:
         proc.join(timeout=5)
 
 
-def run_live(config) -> "TrainingResult":
-    """Execute ``config`` for real over loopback UDP processes."""
-    from ..distributed.registry import get_strategy
-    from ..distributed.results import TrainingResult
-    from ..telemetry.hub import TelemetryHub
-    from .transport import loopback_available
+def _merge_server_stats(
+    snapshots: List[Tuple[str, Dict[str, int]]]
+) -> Dict[str, int]:
+    """Fold several servers' counters into one dict (sums; maxima for
+    high-watermark counters)."""
+    if len(snapshots) == 1:
+        return dict(snapshots[0][1])
+    merged: Dict[str, int] = {}
+    for _node, snap in snapshots:
+        for key, value in snap.items():
+            if "max" in key:
+                merged[key] = max(merged.get(key, 0), value)
+            else:
+                merged[key] = merged.get(key, 0) + value
+    return merged
 
-    spec = get_strategy(config.mode, config.strategy)
+
+def _validate(config, spec, tree: bool) -> str:
+    """Reject configurations the live backend cannot execute; returns
+    the codec name."""
     if not spec.supports_live:
-        live_names = ", ".join(
-            f"{m}-{s}" for m, s in LIVE_STRATEGIES
-        )
+        live_names = ", ".join(f"{m}-{s}" for m, s in LIVE_STRATEGIES)
         raise LiveRunError(
             f"strategy {spec.name!r} has no live backend; choose {live_names}"
         )
     if config.fault_plan is not None:
         raise LiveRunError("fault injection is simulator-only")
-    if config.loss_rate > 0 and not spec.requires_iswitch:
-        raise ValueError(
-            f"strategy {config.strategy!r} has no loss recovery; "
-            "loss_rate > 0 requires an iSwitch strategy ('isw')"
-        )
     if getattr(config, "job_id", 0) and not spec.requires_iswitch:
         raise ValueError(
             f"strategy {config.strategy!r} has no per-job switch state; "
             "job_id > 0 requires an iSwitch strategy ('isw')"
         )
+    if config.strategy in ("ar", "ar-hd") and config.n_workers < 2:
+        raise ValueError(
+            f"strategy {config.strategy!r} is peer-to-peer and needs "
+            f">= 2 workers, got {config.n_workers}"
+        )
+    if config.strategy == "ar-hd" and (
+        config.n_workers & (config.n_workers - 1)
+    ):
+        raise ValueError(
+            "strategy 'ar-hd' needs a power-of-two worker count, "
+            f"got {config.n_workers}"
+        )
+    if config.mode == "async" and tree:
+        raise LiveRunError(
+            "the live hierarchical tree only runs synchronous rounds; "
+            f"async-isw supports up to {config.workers_per_rack} workers "
+            "(one rack)"
+        )
     codec_name = getattr(config, "codec", "fp32")
     if codec_name != "fp32":
-        if not spec.requires_iswitch:
+        if not spec.requires_iswitch or config.mode != "sync" or tree:
             raise ValueError(
-                f"strategy {config.strategy!r} aggregates on hosts in fp32; "
-                "codec != 'fp32' models the switch dataplane and requires "
-                "an iSwitch strategy ('isw')"
+                f"codec {codec_name!r} models the switch dataplane; live "
+                "codec runs require the flat single-switch 'sync-isw' "
+                "strategy"
             )
         from ..core.compression import get_codec
 
@@ -228,6 +388,91 @@ def run_live(config) -> "TrainingResult":
                 f"codec {codec_name!r} is a simulator-only loss model with "
                 "no wire format; live runs accept fp32, fp16, int32-bs, topk"
             )
+    return codec_name
+
+
+def _spawn_servers(
+    ctx, params: Dict[str, Any], config, spec, tree: bool
+) -> Tuple[List, List[Tuple[str, Any]], Dict[str, Any]]:
+    """Start the strategy's server processes; returns (processes,
+    [(node_name, parent_conn)], params updated with the ports workers
+    dial)."""
+    processes: List = []
+    server_conns: List[Tuple[str, Any]] = []
+
+    def _spawn(name: str, target, child_params: Dict[str, Any]) -> int:
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=target, args=(child_conn, child_params), daemon=True
+        )
+        processes.append(proc)
+        proc.start()
+        child_conn.close()
+        server_conns.append((name, parent_conn))
+        return _recv_port(parent_conn, name)
+
+    if spec.requires_iswitch:
+        if tree:
+            sizes = _rack_sizes(config.n_workers)
+            agg_port = _spawn(
+                "aggregator",
+                _switch_main,
+                dict(params, n_members=len(sizes)),
+            )
+            tor_ports = [
+                _spawn(
+                    f"tor{index}",
+                    _switch_main,
+                    dict(
+                        params,
+                        n_members=size,
+                        parent_port=agg_port,
+                        switch_rank=index,
+                        loss_seed=params["loss_seed"] + 101 * (index + 1),
+                    ),
+                )
+                for index, size in enumerate(sizes)
+            ]
+            params = dict(params, switch_ports=tor_ports)
+        else:
+            port = _spawn(
+                "aggregator",
+                _switch_main,
+                dict(params, n_members=config.n_workers),
+            )
+            params = dict(params, switch_ports=[port])
+    elif config.strategy == "ps":
+        main = _async_ps_main if config.mode == "async" else _ps_main
+        port = _spawn("aggregator", main, params)
+        params = dict(params, server_port=port)
+    elif config.strategy == "ps-shard":
+        n_shards = min(config.ps_shards or 4, config.n_workers)
+        shard_ports = [
+            _spawn(
+                f"shard{index}",
+                _ps_main,
+                dict(
+                    params,
+                    loss_seed=params["loss_seed"] + 101 * (index + 1),
+                ),
+            )
+            for index in range(n_shards)
+        ]
+        params = dict(params, shard_ports=shard_ports)
+    # ar / ar-hd: no server processes at all.
+    return processes, server_conns, params
+
+
+def run_live(config) -> "TrainingResult":
+    """Execute ``config`` for real over loopback UDP processes."""
+    from ..distributed.registry import get_strategy
+    from ..distributed.results import TrainingResult
+    from ..telemetry.hub import TelemetryHub
+    from .transport import LOOPBACK, PeerTable, loopback_available
+
+    spec = get_strategy(config.mode, config.strategy)
+    tree = spec.requires_iswitch and config.n_workers > config.workers_per_rack
+    codec_name = _validate(config, spec, tree)
     if not loopback_available():
         raise LiveRunError(
             "loopback UDP is unavailable in this environment"
@@ -240,35 +485,29 @@ def run_live(config) -> "TrainingResult":
 
         recovery_timeout = DEFAULT_LIVE_RECOVERY_TIMEOUT
     params: Dict[str, Any] = {
+        "mode": config.mode,
         "strategy": config.strategy,
         "workload": config.workload,
         "n_workers": config.n_workers,
         "iterations": config.iterations,
         "seed": config.seed,
         "loss_rate": config.loss_rate,
+        "loss_seed": config.seed,
         "recovery_timeout": recovery_timeout,
         "algorithm_overrides": config.algorithm_overrides,
         "job": getattr(config, "job_id", 0),
         "codec": codec_name,
+        "staleness_bound": config.staleness_bound,
         "deadline": RUN_DEADLINE,
     }
 
-    server_main = _switch_main if spec.requires_iswitch else _ps_main
-    server_parent, server_child = ctx.Pipe()
-    server = ctx.Process(
-        target=server_main, args=(server_child, params), daemon=True
-    )
-    processes = [server]
+    peer_to_peer = config.strategy in ("ar", "ar-hd")
     wall_start = time.monotonic()
+    processes: List = []
     try:
-        server.start()
-        server_child.close()
-        kind, value = _recv(server_parent, "aggregator startup", timeout=30.0)
-        if kind == "error":
-            raise LiveRunError(f"aggregator failed to start:\n{value}")
-        if kind != "port":
-            raise LiveRunError(f"unexpected aggregator report: {kind!r}")
-        params = dict(params, server_port=value)
+        processes, server_conns, params = _spawn_servers(
+            ctx, params, config, spec, tree
+        )
 
         worker_conns = []
         for rank in range(config.n_workers):
@@ -283,6 +522,16 @@ def run_live(config) -> "TrainingResult":
             child_conn.close()
             worker_conns.append(parent_conn)
 
+        if peer_to_peer:
+            table = PeerTable(
+                workers={
+                    rank: (LOOPBACK, _recv_port(conn, f"worker {rank}"))
+                    for rank, conn in enumerate(worker_conns)
+                }
+            )
+            for conn in worker_conns:
+                conn.send(("peers", table))
+
         worker_reports = []
         for rank, conn in enumerate(worker_conns):
             kind, value = _recv(conn, f"worker {rank}")
@@ -290,20 +539,57 @@ def run_live(config) -> "TrainingResult":
                 raise LiveRunError(f"worker {rank} failed:\n{value}")
             worker_reports.append(value)
 
-        kind, value = _recv(server_parent, "aggregator shutdown", timeout=30.0)
-        if kind == "error":
-            raise LiveRunError(f"aggregator failed:\n{value}")
-        server_stats: Dict[str, int] = value
+        server_snapshots: List[Tuple[str, Dict[str, int]]] = []
+        for name, conn in server_conns:
+            kind, value = _recv(conn, f"{name} shutdown", timeout=30.0)
+            if kind == "error":
+                raise LiveRunError(f"{name} failed:\n{value}")
+            server_snapshots.append((name, value))
     finally:
         _terminate(processes)
     wall_elapsed = time.monotonic() - wall_start
 
-    digests = [tuple(report["round_digests"]) for report in worker_reports]
-    if len(set(digests)) != 1:
-        raise LiveRunError(
-            "workers disagree on the per-round aggregated sums — "
-            "the broadcast diverged"
+    # async-ps workers pull their *own* post-apply weight versions, so
+    # each rank's digest stream is distinct by design; every other
+    # strategy broadcasts one aggregate per round to all ranks.
+    per_worker_digests = config.mode == "async" and config.strategy == "ps"
+    round_digests: Optional[List[str]] = None
+    worker_digests: Optional[Dict[int, List[str]]] = None
+    if per_worker_digests:
+        worker_digests = {
+            r["rank"]: list(r["round_digests"]) for r in worker_reports
+        }
+    else:
+        digests = [tuple(r["round_digests"]) for r in worker_reports]
+        if len(set(digests)) != 1:
+            raise LiveRunError(
+                "workers disagree on the per-round aggregated sums — "
+                "the broadcast diverged"
+            )
+        round_digests = list(digests[0])
+
+    server_stats: Optional[Dict[str, int]] = (
+        _merge_server_stats(server_snapshots) if server_snapshots else None
+    )
+
+    # Staleness, measured from the live run itself.
+    mean_staleness = max_staleness = None
+    if config.mode == "async" and config.strategy == "isw":
+        gap_total = sum(
+            r["counters"].get("version_gap_total", 0) for r in worker_reports
         )
+        gap_count = sum(
+            r["counters"].get("version_gap_count", 0) for r in worker_reports
+        )
+        max_staleness = max(
+            r["counters"].get("version_gap_max", 0) for r in worker_reports
+        )
+        mean_staleness = gap_total / gap_count if gap_count else 0.0
+    elif config.mode == "async" and server_stats is not None:
+        updates = server_stats.get("updates", 0)
+        if updates:
+            mean_staleness = server_stats["staleness_total"] / updates
+            max_staleness = server_stats["staleness_max"]
 
     hub = TelemetryHub() if config.telemetry else None
     if hub is not None:
@@ -312,9 +598,10 @@ def run_live(config) -> "TrainingResult":
             for name, amount in report["counters"].items():
                 if amount:
                     hub.inc(f"live.{name}", amount, node=node)
-        for name, amount in server_stats.items():
-            if amount:
-                hub.inc(f"live.{name}", amount, node="aggregator")
+        for node, snapshot in server_snapshots:
+            for name, amount in snapshot.items():
+                if amount:
+                    hub.inc(f"live.{name}", amount, node=node)
 
     result = TrainingResult(
         strategy=spec.cls.name,
@@ -331,12 +618,15 @@ def run_live(config) -> "TrainingResult":
         final_weights={
             r["rank"]: r["final_weights"] for r in worker_reports
         },
-        round_digests=list(digests[0]),
+        round_digests=round_digests,
+        worker_digests=worker_digests,
         rewards={r["rank"]: r["reward"] for r in worker_reports},
         worker_counters={
             r["rank"]: r["counters"] for r in worker_reports
         },
         server_stats=server_stats,
+        mean_staleness=mean_staleness,
+        max_staleness=max_staleness,
     )
     if hub is not None:
         result.telemetry = hub.snapshot(

@@ -1,0 +1,214 @@
+"""Live sharded PS: K parameter-server processes, each owning a slice.
+
+Mirrors the simulator's ``sync-ps-shard`` strategy: the parameter space
+is split into K contiguous element ranges and each range is served by an
+independent :class:`~repro.live.ps.PsServer` process.  The servers are
+completely stock — each one sums its own (round, chunk) keys over all N
+workers — so sharding lives entirely in this worker: it routes each
+shard's slice of the gradient to that shard's address and reassembles
+the K float64 slices into the full summed vector.
+
+Responses are demultiplexed by source address (each shard has its own
+socket), so the per-shard chunk index spaces never collide.  Joins run
+shard-by-shard in shard order on every worker, which keeps the K join
+barriers deadlock-free.  Float64 sums are exact for these gradients, so
+the digest/weight trajectory is bit-identical to live ``ps`` and to the
+simulator (see :mod:`repro.live.ps`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..rl.base import Algorithm
+from .ps import (
+    JOIN_DEADLINE,
+    JOIN_RESEND_PERIOD,
+    _DOWN_HEADER,
+    _UP_HEADER,
+    _chunk_bounds,
+    _n_chunks,
+)
+from .transport import Address, UdpEndpoint
+
+__all__ = ["LiveShardWorker", "shard_ranges"]
+
+
+def shard_ranges(n_elements: int, n_shards: int) -> List[Tuple[int, int]]:
+    """K contiguous element ranges; the first shards absorb the remainder.
+
+    Matches the simulator's sharding (``np.array_split`` semantics).
+    """
+    base, extra = divmod(n_elements, n_shards)
+    ranges = []
+    start = 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+class LiveShardWorker:
+    """Worker-side loop of the live sharded-PS strategy."""
+
+    def __init__(
+        self,
+        rank: int,
+        n_workers: int,
+        algorithm: Algorithm,
+        endpoint: UdpEndpoint,
+        shard_addrs: List[Address],
+        recovery_timeout: float = 0.1,
+        max_recovery_attempts: int = 12,
+    ) -> None:
+        if not shard_addrs:
+            raise ValueError("need at least one shard server")
+        self.rank = rank
+        self.n_workers = n_workers
+        self.algorithm = algorithm
+        self.endpoint = endpoint
+        self.shard_addrs = list(shard_addrs)
+        self.recovery_timeout = recovery_timeout
+        self.max_recovery_attempts = max_recovery_attempts
+        self.n_elements = algorithm.get_weights().size
+        self.ranges = shard_ranges(self.n_elements, len(shard_addrs))
+        #: Per shard: chunk count over that shard's local element range.
+        self.shard_chunks = [_n_chunks(hi - lo) for lo, hi in self.ranges]
+        self._addr_to_shard = {
+            addr: index for index, addr in enumerate(self.shard_addrs)
+        }
+        #: (shard, chunk) → encoded ``U`` frame of the current round.
+        self._round_frames: Dict[Tuple[int, int], bytes] = {}
+        self.round_digests: List[str] = []
+        self.counters: Dict[str, int] = {
+            "frames_tx": 0,
+            "frames_rx": 0,
+            "help_sent": 0,
+            "retransmissions": 0,
+            "watchdog_timeouts": 0,
+            "stale_frames": 0,
+        }
+        self._joined = False
+
+    def _send(self, frame: bytes, shard: int) -> None:
+        self.endpoint.send(frame, self.shard_addrs[shard])
+        self.counters["frames_tx"] += 1
+
+    def join(self) -> None:
+        """Join every shard, in shard order (the same order on all ranks)."""
+        join = b"J" + bytes([self.rank])
+        for shard in range(len(self.shard_addrs)):
+            deadline = time.monotonic() + JOIN_DEADLINE
+            admitted = False
+            while not admitted and time.monotonic() < deadline:
+                self._send(join, shard)
+                resend_at = time.monotonic() + JOIN_RESEND_PERIOD
+                while time.monotonic() < resend_at:
+                    got = self.endpoint.recv(
+                        timeout=max(resend_at - time.monotonic(), 0.01)
+                    )
+                    if got is None:
+                        break
+                    self.counters["frames_rx"] += 1
+                    if (
+                        got[0][:1] == b"G"
+                        and self._addr_to_shard.get(got[1]) == shard
+                    ):
+                        admitted = True
+                        break
+            if not admitted:
+                raise RuntimeError(
+                    f"shard worker {self.rank}: shard {shard} did not admit "
+                    f"within {JOIN_DEADLINE:.0f}s"
+                )
+        self._joined = True
+
+    def train(self, iterations: int) -> None:
+        if not self._joined:
+            raise RuntimeError("join() the job before training")
+        for iteration in range(iterations):
+            gradient = np.asarray(
+                self.algorithm.compute_gradient(), dtype=np.float32
+            )
+            total = self._aggregate(gradient, iteration)
+            self.round_digests.append(
+                hashlib.sha256(total.tobytes()).hexdigest()[:16]
+            )
+            self.algorithm.apply_update(total / self.n_workers)
+        leave = b"L" + bytes([self.rank])
+        for shard in range(len(self.shard_addrs)):
+            self._send(leave, shard)
+
+    def _aggregate(self, gradient: np.ndarray, iteration: int) -> np.ndarray:
+        self._round_frames = {}
+        for shard, (lo, _hi) in enumerate(self.ranges):
+            slice_ = gradient[lo : _hi]
+            for chunk in range(self.shard_chunks[shard]):
+                start, stop = _chunk_bounds(chunk, slice_.size)
+                frame = (
+                    b"U"
+                    + _UP_HEADER.pack(self.rank, iteration, chunk)
+                    + slice_[start:stop].astype("<f4", copy=False).tobytes()
+                )
+                self._round_frames[(shard, chunk)] = frame
+                self._send(frame, shard)
+        chunks = self._collect(iteration)
+        total = np.empty(self.n_elements, dtype=np.float64)
+        for (shard, chunk), data in chunks.items():
+            lo, _hi = self.ranges[shard]
+            start, stop = _chunk_bounds(chunk, _hi - lo)
+            total[lo + start : lo + stop] = data
+        return total
+
+    def _collect(self, iteration: int) -> Dict[Tuple[int, int], np.ndarray]:
+        expected = len(self._round_frames)
+        received: Dict[Tuple[int, int], np.ndarray] = {}
+        attempts = 0
+        timeout = self.recovery_timeout
+        while len(received) < expected:
+            got = self.endpoint.recv(timeout=timeout)
+            if got is None:
+                attempts += 1
+                self.counters["watchdog_timeouts"] += 1
+                if attempts > self.max_recovery_attempts:
+                    raise RuntimeError(
+                        f"shard worker {self.rank}: round {iteration} "
+                        f"abandoned after {attempts - 1} recovery attempts"
+                    )
+                for key, frame in self._round_frames.items():
+                    if key in received:
+                        continue
+                    shard, chunk = key
+                    self._send(frame, shard)
+                    self.counters["retransmissions"] += 1
+                    self._send(
+                        b"H" + _UP_HEADER.pack(self.rank, iteration, chunk),
+                        shard,
+                    )
+                    self.counters["help_sent"] += 1
+                timeout = min(self.recovery_timeout * 2**attempts, 2.0)
+                continue
+            frame, addr = got
+            self.counters["frames_rx"] += 1
+            shard = self._addr_to_shard.get(addr)
+            if (
+                shard is None
+                or frame[:1] != b"D"
+                or len(frame) < 1 + _DOWN_HEADER.size
+            ):
+                continue
+            round_index, chunk = _DOWN_HEADER.unpack_from(frame, 1)
+            key = (shard, chunk)
+            if round_index != iteration or key in received:
+                self.counters["stale_frames"] += 1
+                continue
+            data = np.frombuffer(
+                frame, dtype="<f8", offset=1 + _DOWN_HEADER.size
+            )
+            received[key] = data.astype(np.float64)
+        return received

@@ -58,6 +58,8 @@ class SoftwareSwitch:
         cache_size: int = 4096,
         job: int = 0,
         codec=None,
+        parent_addr: Optional[Address] = None,
+        rank: int = 0,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -72,6 +74,24 @@ class SoftwareSwitch:
         #: The single training-job id this switch serves; frames stamped
         #: with a different job are dropped (counted as ``wrong_job``).
         self.job = job
+        #: ToR mode (hierarchical tree): completed local partials are
+        #: forwarded upstream to the aggregation switch at ``parent_addr``
+        #: instead of broadcast, and the parent's final results are
+        #: relayed down to the members.  ``rank`` is this switch's member
+        #: rank at the parent (the ToR index).
+        self.parent_addr = parent_addr
+        self.rank = rank
+        #: Parent-membership barrier: upstream forwarding waits for the
+        #: parent's SetH (all ToRs admitted); completions buffer until
+        #: then.  Trivially ready with no parent.
+        self._parent_ready = parent_addr is None
+        self._left_sent = False
+        #: Encoded upstream frames by Seg, for parent-relayed Help.
+        self._up_cache: Dict[int, bytes] = {}
+        #: Completed partials (encoded) awaiting the parent barrier.
+        self._up_pending: List[bytes] = []
+        #: Parent's final DOWN frames by Seg, for member Help.
+        self._down_cache: Dict[int, bytes] = {}
         self.endpoint = endpoint
         #: Aggregation numerics (``None`` = fp32).  ``canonical_order`` is
         #: only needed where arrival order can change the sum: integer
@@ -104,6 +124,8 @@ class SoftwareSwitch:
             "decode_errors": 0,
             "wrong_job": 0,
             "wrong_codec": 0,
+            "upstream_forwards": 0,
+            "parent_relays": 0,
         }
 
     # ------------------------------------------------------------------
@@ -111,10 +133,19 @@ class SoftwareSwitch:
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
-        """All expected workers joined and all of them have left."""
-        return len(self._members) == self.n_workers and len(self._left) == len(
-            self._members
-        )
+        """All expected workers joined and all of them have left.
+
+        A ToR additionally waits until it has drained its upstream queue
+        and told the parent it is leaving — its send cache is no longer
+        needed by then (members only leave once every final result
+        reached them, which required the parent to have every partial).
+        """
+        members_done = len(self._members) == self.n_workers and len(
+            self._left
+        ) == len(self._members)
+        if self.parent_addr is None:
+            return members_done
+        return members_done and self._left_sent and not self._up_pending
 
     def _active_members(self) -> List[Tuple[int, Address]]:
         return [
@@ -136,6 +167,8 @@ class SoftwareSwitch:
         if getattr(message, "job", 0) != self.job:
             self.counters["wrong_job"] += 1
             return []
+        if self.parent_addr is not None and addr == self.parent_addr:
+            return self._handle_parent_frame(tos, message)
         if tos == TOS_CONTROL:
             return self._handle_control(message, addr)
         if (tos & ~TOS_NUMERICS_MASK) == TOS_DATA_UP:
@@ -149,6 +182,39 @@ class SoftwareSwitch:
         # TOS_DATA_DOWN at the switch ingress: not ours to aggregate.
         return []
 
+    def _handle_parent_frame(
+        self, tos: int, message
+    ) -> List[Tuple[bytes, Address]]:
+        """A frame from the aggregation switch above this ToR."""
+        if (tos & ~TOS_NUMERICS_MASK) == TOS_DATA_DOWN:
+            # Final tree-wide result: cache for member Help, fan out.
+            frame = encode_data(message, downstream=True, codec=self.codec)
+            self._down_cache[message.seg] = frame
+            self.counters["parent_relays"] += 1
+            return [(frame, a) for _, a in self._active_members()]
+        if isinstance(message, ControlMessage):
+            if message.action == Action.SETH:
+                out = []
+                if not self._parent_ready:
+                    self._parent_ready = True
+                    out = [
+                        (frame, self.parent_addr)
+                        for frame in self._up_pending
+                    ]
+                    self._up_pending = []
+                return out
+            if message.action == Action.HELP:
+                # The parent lost (or never got) our partial for a Seg.
+                frame = self._up_cache.get(int(message.value))
+                if frame is None:
+                    return []
+                self.counters["retransmissions_up"] = (
+                    self.counters.get("retransmissions_up", 0) + 1
+                )
+                return [(frame, self.parent_addr)]
+        # ACKs and anything else from the parent: no action needed.
+        return []
+
     def _handle_control(
         self, message: ControlMessage, addr: Address
     ) -> List[Tuple[bytes, Address]]:
@@ -159,6 +225,21 @@ class SoftwareSwitch:
             if rank is not None and rank not in self._left:
                 self._left.add(rank)
                 self.counters["leaves"] += 1
+            if (
+                self.parent_addr is not None
+                and not self._left_sent
+                and len(self._members) == self.n_workers
+                and len(self._left) == len(self._members)
+            ):
+                self._left_sent = True
+                return [
+                    (
+                        encode_control(
+                            ControlMessage(Action.LEAVE, job=self.job)
+                        ),
+                        self.parent_addr,
+                    )
+                ]
             return []
         if message.action == Action.HELP:
             return self._handle_help(message, addr)
@@ -169,7 +250,7 @@ class SoftwareSwitch:
             result = self.engine.force_broadcast(int(message.value))
             if result is None:
                 return []
-            return self._broadcast(result)
+            return self._emit(result)
         # SETH/HALT/ACK arriving at the switch: acknowledge nothing.
         return []
 
@@ -220,13 +301,43 @@ class SoftwareSwitch:
         self, message: ControlMessage, addr: Address
     ) -> List[Tuple[bytes, Address]]:
         seg = int(message.value)
-        cached = self.engine.cached_result(seg)
-        if cached is not None:
-            self.counters["help_cache_hits"] += 1
-            cached.job = self.job
-            return [
-                (encode_data(cached, downstream=True, codec=self.codec), addr)
-            ]
+        if self.parent_addr is not None:
+            # ToR: the member wants the *final* result, which only the
+            # parent computes.  The engine cache holds local partials —
+            # serving one of those would double-count this rack.
+            down = self._down_cache.get(seg)
+            if down is not None:
+                self.counters["help_cache_hits"] += 1
+                return [(down, addr)]
+            up = self._up_cache.get(seg)
+            if up is not None and self._parent_ready:
+                # Our partial is complete but the final never came back:
+                # re-offer it upstream and ask the parent for help.
+                self.counters["help_relayed"] += 1
+                return [
+                    (up, self.parent_addr),
+                    (
+                        encode_control(
+                            ControlMessage(
+                                Action.HELP, value=seg, job=self.job
+                            )
+                        ),
+                        self.parent_addr,
+                    ),
+                ]
+            # Our own partial is incomplete: a member's contribution was
+            # lost — fall through to the member relay below.
+        else:
+            cached = self.engine.cached_result(seg)
+            if cached is not None:
+                self.counters["help_cache_hits"] += 1
+                cached.job = self.job
+                return [
+                    (
+                        encode_data(cached, downstream=True, codec=self.codec),
+                        addr,
+                    )
+                ]
         # Not completed yet: some contribution was lost.  Relay the Help
         # to every other member; each retransmits its cached frames.
         relay = encode_control(
@@ -260,7 +371,23 @@ class SoftwareSwitch:
         result = self.engine.contribute(contribution)
         if result is None:
             return []
-        return self._broadcast(result)
+        return self._emit(result)
+
+    def _emit(self, result: DataSegment) -> List[Tuple[bytes, Address]]:
+        """Route a completed segment: broadcast, or forward up the tree."""
+        if self.parent_addr is None:
+            return self._broadcast(result)
+        # ToR: the local sum is a *partial*; send it upstream as a fresh
+        # contribution.  The parent re-keys it under this ToR's rank, so
+        # the aggregate stays a pure function of (tor, seg).
+        result.job = self.job
+        frame = encode_data(result, downstream=False, codec=self.codec)
+        self._up_cache[result.seg] = frame
+        self.counters["upstream_forwards"] += 1
+        if not self._parent_ready:
+            self._up_pending.append(frame)
+            return []
+        return [(frame, self.parent_addr)]
 
     def _broadcast(self, result: DataSegment) -> List[Tuple[bytes, Address]]:
         result.job = self.job
@@ -288,7 +415,33 @@ class SoftwareSwitch:
 
         if self.endpoint is None:
             raise RuntimeError("serve() needs an endpoint")
+        next_parent_join = 0.0
+        parent_join = None
+        if self.parent_addr is not None:
+            # A ToR joins the aggregation switch above it as a member of
+            # type "switch"; n_elements is 0 — the parent never needs the
+            # gradient geometry, only the membership.
+            parent_join = encode_control(
+                ControlMessage(
+                    Action.JOIN,
+                    JoinInfo(
+                        member_type="switch",
+                        rank=self.rank,
+                        n_elements=0,
+                        n_chunks=0,
+                    ),
+                    job=self.job,
+                )
+            )
         while not self.done and time.monotonic() < deadline:
+            if (
+                parent_join is not None
+                and not self._parent_ready
+                and time.monotonic() >= next_parent_join
+            ):
+                self.endpoint.send(parent_join, self.parent_addr)
+                self.counters["frames_tx"] += 1
+                next_parent_join = time.monotonic() + 0.5
             remaining = deadline - time.monotonic()
             got = self.endpoint.recv(timeout=min(poll_interval, max(remaining, 0.01)))
             if got is None:

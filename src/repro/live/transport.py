@@ -9,9 +9,10 @@ one-to-one onto protocol frames, so no additional framing is needed.
 from __future__ import annotations
 
 import socket
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
-__all__ = ["UdpEndpoint", "loopback_available", "Address"]
+__all__ = ["UdpEndpoint", "PeerTable", "loopback_available", "Address"]
 
 Address = Tuple[str, int]
 
@@ -21,6 +22,31 @@ LOOPBACK = "127.0.0.1"
 #: frames/worker of ~1.5 kB; 1 MiB absorbs every worker bursting a full
 #: round while the switch is descheduled.
 RECV_BUFFER_BYTES = 1 << 20
+
+
+@dataclass
+class PeerTable:
+    """Who is reachable where — the live run's membership directory.
+
+    Built by the runner once every child process has bound its socket and
+    reported its port, then shipped to each child over its pipe (it is a
+    plain picklable dataclass).  Receiving the table doubles as the
+    rendezvous barrier for peer-to-peer strategies: every address in it
+    is already bound, so a worker may transmit to any peer immediately.
+
+    ``workers`` maps rank → address for worker endpoints (peer-to-peer
+    exchange); ``servers`` maps a role name (``"switch"``, ``"shard3"``,
+    ``"tor1"``, ...) → address for aggregator endpoints.
+    """
+
+    workers: Dict[int, Address] = field(default_factory=dict)
+    servers: Dict[str, Address] = field(default_factory=dict)
+
+    def worker(self, rank: int) -> Address:
+        return self.workers[rank]
+
+    def server(self, name: str) -> Address:
+        return self.servers[name]
 
 
 class UdpEndpoint:

@@ -251,6 +251,58 @@ class TestSubcommandGroups:
             row.rstrip().endswith("fp32") for row in ps_rows
         )
 
+    def test_list_strategies_live_column_matches_registry(self, capsys):
+        """The printed live column, the registry flags, and the runner's
+        dispatch table must all agree — per (mode, strategy) pair."""
+        from repro.distributed.registry import strategy_specs
+        from repro.live.runner import LIVE_STRATEGIES
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--list-strategies"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+
+        header, _, *rows = out.splitlines()
+        assert header.split()[-3:] == ["live", "multi-job", "codecs"]
+        printed = {}
+        for row in rows:
+            cells = row.split()
+            if len(cells) < 8 or cells[0] not in ("sync", "async"):
+                break  # past the table body
+            printed[(cells[0], cells[1])] = cells[-3]
+
+        registry = {
+            (spec.mode, spec.name): spec.supports_live
+            for spec in strategy_specs()
+        }
+        assert set(printed) == set(registry)
+        for pair, flag in registry.items():
+            assert printed[pair] == ("yes" if flag else "no"), pair
+        # The runner implements exactly what the table advertises.
+        assert {p for p, f in registry.items() if f} == set(LIVE_STRATEGIES)
+
+    def test_readme_strategy_table_live_column_matches_registry(self):
+        """Doc drift guard: every registry strategy appears in the README
+        table with a live checkmark iff some registered mode of it
+        supports the live backend (currently: all of them)."""
+        from pathlib import Path
+
+        from repro.distributed.registry import strategy_specs
+
+        readme = Path(__file__).resolve().parents[1] / "README.md"
+        lines = readme.read_text().splitlines()
+        table = {}
+        for line in lines:
+            if line.startswith("| `") and line.count("|") >= 6:
+                cells = [c.strip() for c in line.strip("|").split("|")]
+                table[cells[0].strip("`")] = cells[3]
+        by_name = {}
+        for spec in strategy_specs():
+            by_name[spec.name] = by_name.get(spec.name, False) or spec.supports_live
+        assert set(table) == set(by_name)
+        for name, live in by_name.items():
+            assert (table[name] == "✓") == live, name
+
 
 class TestJobsCommands:
     def test_soak_smoke(self, capsys):

@@ -1,12 +1,16 @@
 """Sim <-> live differential conformance (the live backend's ground truth).
 
-The live backend (`repro.live`) runs sync-isw and sync-ps for real:
-worker processes and a software-switch/PS process exchanging encoded
-frames over loopback UDP.  These tests prove it computes *exactly* what
-the simulator models: the same seeded gradients through either backend
-must produce bit-identical per-round aggregated sums and bit-identical
-final weights — including when injected datagram loss forces the
-watchdog/Help retransmission path to reconstruct rounds.
+The live backend (`repro.live`) runs the *full* strategy registry for
+real: worker processes plus the strategy's server processes (a software
+switch, a PS, K PS shards, a ToR->AGG switch tree — or none at all for
+the peer-to-peer collectives) exchanging encoded frames over loopback
+UDP.  These tests prove it computes *exactly* what the simulator models:
+the same seeded gradients through either backend must produce
+bit-identical per-round aggregated sums and bit-identical final weights
+— per strategy, per fleet size, and including runs where injected
+datagram loss forces each strategy's recovery path to reconstruct
+rounds.  The async strategies additionally assert their *measured*
+staleness against the configured bound.
 
 Everything here is marked ``live`` (excluded from the tier-1 run, see
 ``pyproject.toml``); socket-based tests also skip when loopback UDP is
@@ -16,8 +20,11 @@ coverage backbone for the ``repro.live`` package.
 """
 
 import hashlib
+import multiprocessing
+import os
 import threading
 import time
+from types import SimpleNamespace
 
 import numpy as np
 import pytest
@@ -35,10 +42,25 @@ from repro.core.protocol import (
 from repro.distributed.config import ExperimentConfig
 from repro.distributed.registry import strategy_specs
 from repro.distributed.runner import make_algorithm, run
+from repro.live.async_isw import LiveAsyncWorker
+from repro.live.async_ps import LiveAsyncPsServer, LiveAsyncPsWorker
+from repro.live.collective import LiveHdWorker, LiveRingWorker
 from repro.live.ps import PS_CHUNK_ELEMS, LivePsWorker, PsServer
-from repro.live.runner import LIVE_STRATEGIES, LiveRunError, run_live
+from repro.live.runner import (
+    LIVE_STRATEGIES,
+    TREE_RACK_WIDTH,
+    LiveRunError,
+    _validate,
+    run_live,
+)
+from repro.live.shard import LiveShardWorker, shard_ranges
 from repro.live.switch import SoftwareSwitch
-from repro.live.transport import LOOPBACK, UdpEndpoint, loopback_available
+from repro.live.transport import (
+    LOOPBACK,
+    PeerTable,
+    UdpEndpoint,
+    loopback_available,
+)
 from repro.live.worker import LiveWorker
 
 pytestmark = pytest.mark.live
@@ -51,12 +73,22 @@ needs_loopback = pytest.mark.skipif(
 SEED = 7
 ITERATIONS = 3
 WORKLOAD = "synth"
+LOSS = 0.05
+#: Watchdog timeout for lossy conformance runs.  5 % per-frame loss makes
+#: most rounds stall at least once; a short timeout keeps recovery fast
+#: without changing a bit of the result.
+LOSSY_RECOVERY_TIMEOUT = 0.04
+
+#: Every live-capable (mode, strategy) pair — the full registry.
+ALL_LIVE = list(LIVE_STRATEGIES)
+PAIR_IDS = [f"{mode}-{strategy}" for mode, strategy in ALL_LIVE]
 
 
-def live_config(strategy, n_workers, **overrides):
+def live_config(strategy, n_workers, mode="sync", **overrides):
     return ExperimentConfig(
         strategy=strategy,
         workload=WORKLOAD,
+        mode=mode,
         n_workers=n_workers,
         iterations=ITERATIONS,
         seed=SEED,
@@ -65,18 +97,40 @@ def live_config(strategy, n_workers, **overrides):
     )
 
 
-def sim_config(strategy, n_workers, **overrides):
-    # canonical (rank-order) aggregation is what the live switch always
-    # does; the sim must opt in for isw so float32 sums match bit-exactly.
+def sim_config(strategy, n_workers, mode="sync", **overrides):
+    # Canonical (rank-order) aggregation is what the live switch always
+    # does, and paced scheduling is what the live async workers replay;
+    # the sim opts in so float32 sums and async apply orders match
+    # bit-exactly.  The float64 PS-family sums are order-independent.
     return ExperimentConfig(
         strategy=strategy,
         workload=WORKLOAD,
+        mode=mode,
         n_workers=n_workers,
         iterations=ITERATIONS,
         seed=SEED,
-        deterministic_aggregation=(strategy == "isw"),
+        deterministic_aggregation=(strategy == "isw" or mode == "async"),
         **overrides,
     )
+
+
+#: Clean (no-override) runs are pure functions of (backend, mode,
+#: strategy, N) here, so tests share them instead of re-spawning fleets.
+_RUN_CACHE = {}
+
+
+def live_run(mode, strategy, n_workers):
+    key = ("live", mode, strategy, n_workers)
+    if key not in _RUN_CACHE:
+        _RUN_CACHE[key] = run(live_config(strategy, n_workers, mode=mode))
+    return _RUN_CACHE[key]
+
+
+def sim_run(mode, strategy, n_workers):
+    key = ("sim", mode, strategy, n_workers)
+    if key not in _RUN_CACHE:
+        _RUN_CACHE[key] = run(sim_config(strategy, n_workers, mode=mode))
+    return _RUN_CACHE[key]
 
 
 def sim_final_weights(result):
@@ -86,17 +140,29 @@ def sim_final_weights(result):
     }
 
 
+def _digest(array):
+    return hashlib.sha256(array.tobytes()).hexdigest()[:16]
+
+
+def _fleet(n_workers):
+    return [
+        make_algorithm(WORKLOAD, seed=SEED + rank) for rank in range(n_workers)
+    ]
+
+
 def reference_digests(strategy, n_workers):
     """Per-round aggregated-sum digests from a straight-line re-execution.
 
     An oracle independent of both backends: same algorithms, same seeds,
-    summed whole-vector in rank order — float32 for the switch datapath,
-    float64 for the PS.  Chunked summation is elementwise, so chunk
-    geometry cannot change the result.
+    summed whole-vector in rank order — float32 for the switch datapath
+    (``isw``, sync or async: the synth gradient stream is weight-
+    independent, so pacing cannot change any sum), float64 for the whole
+    PS/collective family (``ps``, ``ar``, ``ar-hd``, ``ps-shard`` — f64
+    sums of these gradients are exact, hence order-independent, hence
+    one shared digest stream).  Chunked summation is elementwise, so
+    chunk geometry cannot change the result.
     """
-    algorithms = [
-        make_algorithm(WORKLOAD, seed=SEED + rank) for rank in range(n_workers)
-    ]
+    algorithms = _fleet(n_workers)
     digests = []
     for _ in range(ITERATIONS):
         gradients = [
@@ -113,57 +179,281 @@ def reference_digests(strategy, n_workers):
             for gradient in gradients:
                 total += gradient
             update = total / n_workers
-        digests.append(hashlib.sha256(total.tobytes()).hexdigest()[:16])
+        digests.append(_digest(total))
         for algorithm in algorithms:
             algorithm.apply_update(update)
     return digests
 
 
+def tree_reference_digests(n_workers):
+    """Straight-line oracle for the hierarchical switch tree: float32
+    partial sums per rack (rank order), partials summed at the
+    aggregation switch in ToR order — the tree's actual float32
+    association, which differs from the flat left-to-right one."""
+    algorithms = _fleet(n_workers)
+    digests = []
+    for _ in range(ITERATIONS):
+        gradients = [
+            np.asarray(a.compute_gradient(), dtype=np.float32)
+            for a in algorithms
+        ]
+        partials = []
+        for start in range(0, n_workers, TREE_RACK_WIDTH):
+            partial = gradients[start].copy()
+            for gradient in gradients[start + 1 : start + TREE_RACK_WIDTH]:
+                partial += gradient
+            partials.append(partial)
+        total = partials[0].copy()
+        for partial in partials[1:]:
+            total += partial
+        digests.append(_digest(total))
+        update = total.astype(np.float64) / n_workers
+        for algorithm in algorithms:
+            algorithm.apply_update(update)
+    return digests
+
+
+def async_ps_reference(n_workers):
+    """Straight-line oracle for async-PS: a server replica applies pushes
+    in rank-cyclic order; worker ``w`` pulls (and digests) the replica
+    weights right after apply number ``k*N + w``.  Returns the per-rank
+    digest streams and per-rank final weights."""
+    replica = make_algorithm(WORKLOAD, seed=SEED + 10_000)
+    workers = _fleet(n_workers)
+    digests = {rank: [] for rank in range(n_workers)}
+    finals = {}
+    for _ in range(ITERATIONS):
+        gradients = [
+            np.asarray(w.compute_gradient(), dtype=np.float32)
+            for w in workers
+        ]
+        for rank in range(n_workers):
+            replica.apply_update(gradients[rank].astype(np.float64))
+            weights = np.ascontiguousarray(
+                replica.get_weights(), dtype=np.float64
+            ).copy()
+            digests[rank].append(_digest(weights))
+            workers[rank].set_weights(weights)
+            finals[rank] = weights
+    return digests, finals
+
+
+def oracle_digests(mode, strategy, n_workers):
+    assert (mode, strategy) != ("async", "ps")  # per-rank: use async_ps_reference
+    return reference_digests(strategy, n_workers)
+
+
+def total_drops(result):
+    stats = result.server_stats
+    if stats is not None:
+        return stats.get("drops_injected", 0)
+    return sum(
+        counters.get("drops_injected", 0)
+        for counters in result.worker_counters.values()
+    )
+
+
+def total_recoveries(result):
+    return sum(
+        counters.get("help_sent", 0)
+        + counters.get("retransmissions", 0)
+        + counters.get("resend_requests_sent", 0)
+        for counters in result.worker_counters.values()
+    )
+
+
 @needs_loopback
 class TestSimLiveConformance:
-    @pytest.mark.parametrize("strategy", ["isw", "ps"])
-    @pytest.mark.parametrize("n_workers", [2, 4])
-    def test_final_weights_bit_identical(self, strategy, n_workers):
-        live = run(live_config(strategy, n_workers))
-        sim = run(sim_config(strategy, n_workers))
+    """The full matrix: every live strategy, N=2 and N=4, bit for bit."""
 
-        assert live.extras["backend"] == "live"
-        live_weights = live.extras["final_weights"]
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    @pytest.mark.parametrize(("mode", "strategy"), ALL_LIVE, ids=PAIR_IDS)
+    def test_final_weights_bit_identical(self, mode, strategy, n_workers):
+        live = live_run(mode, strategy, n_workers)
+        sim = sim_run(mode, strategy, n_workers)
+
+        assert live.backend == "live"
+        live_weights = live.final_weights
         expected = sim_final_weights(sim)
         assert set(live_weights) == set(range(n_workers))
         for rank in range(n_workers):
             assert live_weights[rank].dtype == np.float64
             assert np.array_equal(live_weights[rank], expected[rank]), (
-                f"rank {rank}: live and sim weights diverge"
+                f"{mode}-{strategy} rank {rank}: live and sim weights diverge"
             )
-        # The synchronous invariant: every rank holds the same model.
-        for rank in range(1, n_workers):
-            assert np.array_equal(live_weights[rank], live_weights[0])
+        if (mode, strategy) != ("async", "ps"):
+            # The synchronized invariant: every rank holds the same model.
+            # (async-ps ranks pull different replica versions by design.)
+            for rank in range(1, n_workers):
+                assert np.array_equal(live_weights[rank], live_weights[0])
 
-    @pytest.mark.parametrize("strategy", ["isw", "ps"])
-    def test_aggregated_sums_bit_identical(self, strategy):
-        """The per-round sums themselves (not just their consequences)."""
-        live = run(live_config(strategy, 4))
-        assert live.extras["round_digests"] == reference_digests(strategy, 4)
+    @pytest.mark.parametrize(("mode", "strategy"), ALL_LIVE, ids=PAIR_IDS)
+    def test_aggregated_sums_match_oracle(self, mode, strategy):
+        """The per-round sums themselves (not just their consequences),
+        against a re-execution oracle independent of both backends."""
+        live = live_run(mode, strategy, 4)
+        if (mode, strategy) == ("async", "ps"):
+            digests, _ = async_ps_reference(4)
+            assert live.worker_digests == digests
+        else:
+            assert live.round_digests == oracle_digests(
+                mode, strategy, 4
+            )
 
-    def test_loss_recovery_stays_bit_identical(self):
-        """Injected datagram loss, recovered via Help retransmission,
-        must not change a single bit of the result."""
-        live = run(live_config("isw", 4, loss_rate=0.05))
-        stats = live.extras["server_stats"]
-        assert stats["drops_injected"] > 0, "loss injection never fired"
+    @pytest.mark.parametrize("strategy", ["isw", "ps"], ids=["isw", "ps"])
+    def test_async_digests_match_paced_simulator(self, strategy):
+        """The async sim records digests too (paced mode): compare the
+        two backends' streams directly, not only through the oracle."""
+        live = live_run("async", strategy, 4)
+        sim = sim_run("async", strategy, 4)
+        if strategy == "ps":
+            assert live.worker_digests == sim.worker_digests
+        else:
+            assert live.round_digests == sim.round_digests
+
+    def test_ps_family_shares_one_digest_stream(self):
+        """f64 sums are exact, so four different exchange topologies
+        (star PS, ring, halving/doubling, K shards) must land on the
+        same bits — live, for real, over four different wire protocols."""
+        streams = {
+            strategy: live_run("sync", strategy, 4).round_digests
+            for strategy in ("ps", "ar", "ar-hd", "ps-shard")
+        }
+        reference = reference_digests("ps", 4)
+        for strategy, stream in streams.items():
+            assert stream == reference, f"{strategy} diverged from the family"
+
+
+@needs_loopback
+class TestLossRecovery:
+    """5 % injected datagram loss per strategy: recovery must reconstruct
+    the exact same bits as a clean run."""
+
+    @pytest.mark.parametrize(("mode", "strategy"), ALL_LIVE, ids=PAIR_IDS)
+    def test_lossy_run_stays_bit_identical(self, mode, strategy):
+        n_workers = 4
+        lossy = run(
+            live_config(
+                strategy,
+                n_workers,
+                mode=mode,
+                loss_rate=LOSS,
+                recovery_timeout=LOSSY_RECOVERY_TIMEOUT,
+            )
+        )
+        assert total_drops(lossy) > 0, "loss injection never fired"
+        assert total_recoveries(lossy) > 0, (
+            "loss was injected but no recovery action was ever taken"
+        )
+        clean = live_run(mode, strategy, n_workers)
+        for rank, weights in clean.final_weights.items():
+            assert np.array_equal(
+                lossy.final_weights[rank], weights
+            ), f"{mode}-{strategy} rank {rank}: recovery changed the weights"
+        if (mode, strategy) == ("async", "ps"):
+            assert (
+                lossy.worker_digests
+                == clean.worker_digests
+            )
+        else:
+            assert (
+                lossy.round_digests == clean.round_digests
+            )
+
+    def test_isw_loss_recovery_mechanics_observable(self):
+        """For the paper's strategy, check the *mechanism* too: Helps
+        flowed and engine dedup absorbed the retransmission storm."""
+        lossy = run(live_config("isw", 4, loss_rate=LOSS))
+        stats = lossy.server_stats
+        assert stats["drops_injected"] > 0
         helps = sum(
             counters["help_sent"]
-            for counters in live.extras["worker_counters"].values()
+            for counters in lossy.worker_counters.values()
         )
         assert helps > 0, "loss was injected but no Help was ever sent"
-        # Dedup absorbed the retransmission storm...
         assert stats["engine_duplicates_dropped"] > 0
-        # ...and the lossy run equals the lossless simulator bit-for-bit.
-        expected = sim_final_weights(run(sim_config("isw", 4)))
-        for rank, weights in live.extras["final_weights"].items():
-            assert np.array_equal(weights, expected[rank])
-        assert live.extras["round_digests"] == reference_digests("isw", 4)
+        assert lossy.round_digests == reference_digests("isw", 4)
+
+
+@needs_loopback
+class TestTreeConformance:
+    """N=6 overflows one rack (workers_per_rack=4): two ToR switches
+    under one aggregation switch, nested live processes."""
+
+    N = 6
+
+    def test_tree_matches_sim_and_oracle(self):
+        live = live_run("sync", "isw", self.N)
+        sim = sim_run("sync", "isw", self.N)
+        expected = sim_final_weights(sim)
+        for rank in range(self.N):
+            assert np.array_equal(
+                live.final_weights[rank], expected[rank]
+            ), f"rank {rank}: tree live and sim weights diverge"
+        assert live.round_digests == tree_reference_digests(self.N)
+        stats = live.server_stats
+        # Both tiers actually did their jobs: ToRs forwarded partials up,
+        # the aggregation switch's finals were relayed back down.
+        assert stats["upstream_forwards"] > 0
+        assert stats["parent_relays"] > 0
+
+    def test_tree_loss_recovery_stays_bit_identical(self):
+        lossy = run(live_config("isw", self.N, loss_rate=LOSS))
+        assert lossy.server_stats["drops_injected"] > 0
+        clean = live_run("sync", "isw", self.N)
+        assert lossy.round_digests == clean.round_digests
+        for rank, weights in clean.final_weights.items():
+            assert np.array_equal(
+                lossy.final_weights[rank], weights
+            )
+
+
+@needs_loopback
+class TestAsyncStaleness:
+    """The staleness bound is *measured* from the live run, not assumed:
+    async-isw workers record their applied-version at compute time and
+    the real gap at apply time; the async-PS server records the gap
+    between each push's weight version and its apply number."""
+
+    def test_async_isw_staleness_bound_holds_and_is_reached(self):
+        bound = 1
+        result = run(
+            live_config(
+                "isw", 2, mode="async", staleness_bound=bound, telemetry=True
+            )
+        )
+        # Greedy schedule with S=1 over 3 rounds: gaps are [0, 1, 1].
+        assert result.max_staleness == bound
+        assert result.mean_staleness == pytest.approx(2 / 3)
+        for rank, counters in result.worker_counters.items():
+            assert counters["version_gap_max"] <= bound, f"rank {rank}"
+            assert counters["version_gap_count"] == ITERATIONS
+        # And the same numbers are visible through telemetry, per node.
+        snapshot = result.telemetry
+        assert snapshot is not None
+        for rank in range(2):
+            assert (
+                snapshot.value("live.version_gap_max", node=f"worker{rank}")
+                == bound
+            )
+        # Despite running ahead, the result is the synchronous result.
+        assert result.round_digests == reference_digests("isw", 2)
+
+    def test_async_isw_default_bound(self):
+        result = live_run("async", "isw", 4)  # staleness_bound defaults to 3
+        # 3 rounds under S=3: gaps are [0, 1, 2] on every worker.
+        assert result.max_staleness == min(ITERATIONS - 1, 3)
+        assert result.mean_staleness == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_async_ps_staleness_measured_at_server(self, n_workers):
+        result = live_run("async", "ps", n_workers)
+        # Cyclic applies: cycle-0 pushes carry version 0 (staleness = w);
+        # every later push trails by exactly N-1 applies.
+        assert result.max_staleness == n_workers - 1
+        assert result.mean_staleness == pytest.approx(
+            (n_workers - 1) * (ITERATIONS - 0.5) / ITERATIONS
+        )
 
 
 def codec_reference_digests(codec_name, n_workers):
@@ -173,9 +463,7 @@ def codec_reference_digests(codec_name, n_workers):
     from repro.core.compression import get_codec
 
     codec = get_codec(codec_name)
-    algorithms = [
-        make_algorithm(WORKLOAD, seed=SEED + rank) for rank in range(n_workers)
-    ]
+    algorithms = _fleet(n_workers)
     digests = []
     for _ in range(ITERATIONS):
         contributions = [
@@ -188,7 +476,7 @@ def codec_reference_digests(codec_name, n_workers):
         for contribution in contributions[1:]:
             total += contribution
         total = codec.finalize_sum(total)
-        digests.append(hashlib.sha256(total.tobytes()).hexdigest()[:16])
+        digests.append(_digest(total))
         update = total.astype(np.float64) / n_workers
         for algorithm in algorithms:
             algorithm.apply_update(update)
@@ -205,7 +493,7 @@ class TestCodecConformance:
         live = run(live_config("isw", n_workers, codec=codec))
         sim = run(sim_config("isw", n_workers, codec=codec))
 
-        live_weights = live.extras["final_weights"]
+        live_weights = live.final_weights
         expected = sim_final_weights(sim)
         for rank in range(n_workers):
             assert np.array_equal(live_weights[rank], expected[rank]), (
@@ -214,20 +502,20 @@ class TestCodecConformance:
         for rank in range(1, n_workers):
             assert np.array_equal(live_weights[rank], live_weights[0])
         # Every frame that reached the switch carried the right tag.
-        assert live.extras["server_stats"].get("wrong_codec", 0) == 0
+        assert live.server_stats.get("wrong_codec", 0) == 0
 
     @pytest.mark.parametrize("codec", ["fp16", "int32-bs", "topk"])
     def test_aggregated_sums_match_oracle(self, codec):
         live = run(live_config("isw", 4, codec=codec))
-        assert live.extras["round_digests"] == codec_reference_digests(
+        assert live.round_digests == codec_reference_digests(
             codec, 4
         )
 
     def test_codec_loss_recovery_stays_bit_identical(self):
         """Help-path retransmission of compressed frames is idempotent."""
-        live = run(live_config("isw", 4, codec="int32-bs", loss_rate=0.05))
-        assert live.extras["server_stats"]["drops_injected"] > 0
-        assert live.extras["round_digests"] == codec_reference_digests(
+        live = run(live_config("isw", 4, codec="int32-bs", loss_rate=LOSS))
+        assert live.server_stats["drops_injected"] > 0
+        assert live.round_digests == codec_reference_digests(
             "int32-bs", 4
         )
 
@@ -239,8 +527,8 @@ class TestLiveRunPlumbing:
         assert result.n_workers == 2
         assert result.iterations == ITERATIONS
         assert result.elapsed > 0
-        assert result.extras["wall_elapsed"] >= result.elapsed
-        stats = result.extras["server_stats"]
+        assert result.wall_elapsed >= result.elapsed
+        stats = result.server_stats
         # 2 workers x 3 rounds x ceil(23424/366) chunks, plus control.
         assert stats["engine_completions"] == ITERATIONS * 64
         assert stats["frames_rx"] > stats["data_rx"] > 0
@@ -273,6 +561,35 @@ class TestLiveRunPlumbing:
         assert "live (loopback UDP)" in out
         assert "switch frames:" in out
 
+    def test_cli_live_async_reports_staleness(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "train",
+                "--backend",
+                "live",
+                "--mode",
+                "async",
+                "--strategy",
+                "isw",
+                "-n",
+                "2",
+                "--workload",
+                WORKLOAD,
+                "--iterations",
+                "2",
+                "--seed",
+                str(SEED),
+                "--staleness-bound",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "live (loopback UDP)" in out
+        assert "mean staleness:" in out
+
 
 class TestLiveRunValidation:
     def test_registry_flags_match_runner_support(self):
@@ -283,15 +600,16 @@ class TestLiveRunValidation:
         }
         assert flagged == set(LIVE_STRATEGIES)
 
-    def test_unsupported_strategy_rejected(self):
-        with pytest.raises(LiveRunError, match="no live backend"):
-            run_live(live_config("ar", 2))
+    def test_every_registered_strategy_is_live_capable(self):
+        """PR goal made durable: the whole registry runs live."""
+        assert all(spec.supports_live for spec in strategy_specs())
 
-    def test_async_rejected(self):
-        config = live_config("isw", 2)
-        config.mode = "async"
+    def test_unflagged_spec_rejected(self):
+        spec = SimpleNamespace(
+            supports_live=False, name="ar", requires_iswitch=False
+        )
         with pytest.raises(LiveRunError, match="no live backend"):
-            run_live(config)
+            _validate(live_config("ar", 2), spec, tree=False)
 
     def test_fault_plan_rejected(self):
         config = live_config("isw", 2)
@@ -299,9 +617,101 @@ class TestLiveRunValidation:
         with pytest.raises(LiveRunError, match="simulator-only"):
             run_live(config)
 
-    def test_loss_rate_on_ps_rejected(self):
-        with pytest.raises(ValueError, match="loss recovery"):
-            run_live(live_config("ps", 2, loss_rate=0.01))
+    def test_async_tree_rejected(self):
+        with pytest.raises(LiveRunError, match="synchronous rounds"):
+            run_live(live_config("isw", 6, mode="async"))
+
+    def test_peer_to_peer_needs_two_workers(self):
+        with pytest.raises(ValueError, match=">= 2 workers"):
+            run_live(live_config("ar", 1))
+
+    def test_halving_doubling_needs_power_of_two(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            run_live(live_config("ar-hd", 3))
+
+    def test_job_id_requires_iswitch(self):
+        config = live_config("ps", 2)
+        config.job_id = 1
+        with pytest.raises(ValueError, match="job_id"):
+            run_live(config)
+
+    def test_codec_requires_flat_sync_isw(self):
+        for config in (
+            live_config("isw", 6, codec="fp16"),  # tree
+            live_config("isw", 2, mode="async", codec="fp16"),
+        ):
+            with pytest.raises(ValueError, match="sync-isw"):
+                run_live(config)
+
+    def test_simulator_only_codec_rejected(self):
+        with pytest.raises(ValueError, match="loss model"):
+            run_live(live_config("isw", 2, codec="int8"))
+
+
+class TestFailureModes:
+    """The live backend must fail loudly and structurally, never hang."""
+
+    @needs_loopback
+    def test_port_bind_conflict_raises(self):
+        with UdpEndpoint() as taken:
+            with pytest.raises(OSError):
+                UdpEndpoint(port=taken.port)
+
+    def test_loopback_unavailable_raises_before_spawning(self, monkeypatch):
+        import repro.live.transport as transport
+
+        monkeypatch.setattr(transport, "loopback_available", lambda: False)
+        with pytest.raises(LiveRunError, match="loopback UDP is unavailable"):
+            run_live(live_config("isw", 2))
+
+    def test_recv_times_out_with_structured_error(self):
+        from repro.live.runner import _recv, _recv_port
+
+        parent, child = multiprocessing.Pipe()
+        try:
+            with pytest.raises(LiveRunError, match="timed out waiting"):
+                _recv(parent, "worker 0", timeout=0.02)
+            # A child that reports something other than its port.
+            child.send(("ok", {}))
+            with pytest.raises(LiveRunError, match="unexpected"):
+                _recv_port(parent, "switch", timeout=1.0)
+            # A child that reports a startup error.
+            child.send(("error", "boom"))
+            with pytest.raises(LiveRunError, match="failed to start"):
+                _recv_port(parent, "switch", timeout=1.0)
+        finally:
+            parent.close()
+            child.close()
+
+    @needs_loopback
+    def test_worker_exception_mid_run_is_structured_error(self, monkeypatch):
+        """A worker raising (not just dying) must report its traceback."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("crash injection requires the fork start method")
+        import repro.live.worker as worker_module
+
+        def explode(self, iterations):
+            raise RuntimeError("injected training failure")
+
+        monkeypatch.setattr(worker_module.LiveWorker, "train", explode)
+        with pytest.raises(LiveRunError, match="worker 0 failed"):
+            run_live(live_config("isw", 2, recovery_timeout=0.02))
+
+    @needs_loopback
+    def test_worker_death_mid_run_is_structured_error(self, monkeypatch):
+        """A worker process dying must surface as LiveRunError naming the
+        worker — not as a hung run waiting on a pipe forever."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("crash injection requires the fork start method")
+        import repro.live.worker as worker_module
+
+        monkeypatch.setattr(
+            worker_module.LiveWorker,
+            "train",
+            lambda self, iterations: os._exit(13),
+        )
+        with pytest.raises(LiveRunError, match="worker 0"):
+            run_live(live_config("isw", 2, recovery_timeout=0.02))
 
 
 # ---------------------------------------------------------------------------
@@ -316,6 +726,9 @@ class TinyAlgorithm:
 
     def get_weights(self):
         return self._weights
+
+    def set_weights(self, weights):
+        self._weights = np.asarray(weights, dtype=np.float64).copy()
 
     def compute_gradient(self):
         return self._rng.standard_normal(self._weights.size).astype(
@@ -335,6 +748,45 @@ def segment_frames(rank, round_index, vector):
         encode_data(s)
         for s in plan.split(vector, round_index, sender=f"worker{rank}")
     ]
+
+
+def tiny_reference(n_workers, iterations, n_elements=5, float64=False):
+    """Straight-line digests for a TinyAlgorithm fleet (rank-order sums)."""
+    algorithms = [TinyAlgorithm(n_elements, seed=r) for r in range(n_workers)]
+    digests = []
+    for _ in range(iterations):
+        dtype = np.float64 if float64 else np.float32
+        total = np.zeros(n_elements, dtype=dtype)
+        for algorithm in algorithms:
+            total += algorithm.compute_gradient()
+        digests.append(_digest(total))
+        for algorithm in algorithms:
+            algorithm.apply_update(total.astype(np.float64) / n_workers)
+    return digests
+
+
+def run_in_threads(runnables, timeout=60.0):
+    """Start one thread per callable; join all, failing on a hang."""
+    errors = []
+
+    def wrap(fn):
+        try:
+            fn()
+        except BaseException as exc:  # surfaced to the test
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrap, args=(fn,), daemon=True)
+        for fn in runnables
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+        assert not thread.is_alive(), "worker thread hung"
+    if errors:
+        raise errors[0]
+    return True
 
 
 class TestSoftwareSwitchLogic:
@@ -489,6 +941,28 @@ class TestSoftwareSwitchLogic:
             SoftwareSwitch(n_workers=0)
         with pytest.raises(ValueError, match="loss_rate"):
             SoftwareSwitch(n_workers=1, loss_rate=1.0)
+        with pytest.raises(RuntimeError, match="endpoint"):
+            SoftwareSwitch(n_workers=1).serve(deadline=0.0)
+
+    def test_guard_branches_drop_unexpected_frames(self):
+        switch = SoftwareSwitch(n_workers=2)
+        self.join_all(switch, 2)
+        # A frame tagged for another job never reaches this engine.
+        other_job = encode_control(
+            ControlMessage(Action.HELP, value=0, job=3)
+        )
+        assert switch.handle_frame(other_job, self.addr(0)) == []
+        assert switch.counters["wrong_job"] == 1
+        # A Join with no JoinInfo payload decodes but is a defect: the
+        # encoder refuses to produce one, so build the raw frame.
+        from repro.core.protocol import TOS_CONTROL
+
+        bad_join = bytes((TOS_CONTROL, Action.JOIN))
+        assert switch.handle_frame(bad_join, self.addr(0)) == []
+        assert switch.counters["decode_errors"] == 1
+        # A stray SetH at a flat switch is acknowledged with nothing.
+        seth = encode_control(ControlMessage(Action.SETH, value=2))
+        assert switch.handle_frame(seth, self.addr(0)) == []
 
     def test_simulator_only_codec_rejected(self):
         from repro.core.compression import get_codec
@@ -549,6 +1023,788 @@ class TestSoftwareSwitchLogic:
         np.testing.assert_array_equal(result.data, expected)
         np.testing.assert_array_equal(
             result.data, np.full(5, 1.0, dtype=np.float32)
+        )
+
+
+class TestTreeSwitchLogic:
+    """ToR-mode SoftwareSwitch protocol paths, driven frame by frame."""
+
+    PARENT = (LOOPBACK, 45000)
+
+    def addr(self, rank):
+        return (LOOPBACK, 40100 + rank)
+
+    def make_tor(self):
+        tor = SoftwareSwitch(n_workers=2, parent_addr=self.PARENT, rank=1)
+        for rank in range(2):
+            tor.handle_frame(
+                encode_control(
+                    ControlMessage(
+                        Action.JOIN,
+                        JoinInfo(rank=rank, n_elements=5, n_chunks=1),
+                    )
+                ),
+                self.addr(rank),
+            )
+        return tor
+
+    def complete_seg0(self, tor):
+        vector = np.ones(5, dtype=np.float32)
+        tor.handle_frame(segment_frames(0, 0, vector)[0], self.addr(0))
+        return tor.handle_frame(segment_frames(1, 0, vector)[0], self.addr(1))
+
+    def test_completion_buffers_until_parent_seth(self):
+        tor = self.make_tor()
+        # Parent barrier not reached: the completed partial is buffered,
+        # not broadcast, not sent upstream.
+        assert self.complete_seg0(tor) == []
+        assert tor.counters["upstream_forwards"] == 1
+        assert tor.counters["results_broadcast"] == 0
+        assert not tor.done
+        # Parent SetH flushes the pending partials upstream.
+        out = tor.handle_frame(
+            encode_control(ControlMessage(Action.SETH, value=2)), self.PARENT
+        )
+        assert [a for _, a in out] == [self.PARENT]
+        tos, partial = decode_frame(out[0][0])
+        np.testing.assert_array_equal(
+            partial.data, np.full(5, 2.0, dtype=np.float32)
+        )
+        # A later completion forwards straight up, no buffering.
+        vector = np.ones(5, dtype=np.float32)
+        tor.handle_frame(segment_frames(0, 1, vector)[0], self.addr(0))
+        out = tor.handle_frame(segment_frames(1, 1, vector)[0], self.addr(1))
+        assert [a for _, a in out] == [self.PARENT]
+
+    def test_parent_down_relayed_and_cached_for_help(self):
+        tor = self.make_tor()
+        tor.handle_frame(
+            encode_control(ControlMessage(Action.SETH, value=2)), self.PARENT
+        )
+        self.complete_seg0(tor)
+        final = encode_data(
+            DataSegment(seg=0, data=np.full(5, 6.0, dtype=np.float32)),
+            downstream=True,
+        )
+        out = tor.handle_frame(final, self.PARENT)
+        assert [a for _, a in out] == [self.addr(0), self.addr(1)]
+        assert tor.counters["parent_relays"] == 1
+        # A member Help for the relayed Seg is a down-cache hit — the
+        # engine's *partial* must never be served as a final.
+        help_frame = encode_control(ControlMessage(Action.HELP, value=0))
+        served = tor.handle_frame(help_frame, self.addr(1))
+        assert [a for _, a in served] == [self.addr(1)]
+        _, cached = decode_frame(served[0][0])
+        np.testing.assert_array_equal(
+            cached.data, np.full(5, 6.0, dtype=np.float32)
+        )
+        assert tor.counters["help_cache_hits"] == 1
+
+    def test_member_help_before_final_reoffers_partial_upstream(self):
+        tor = self.make_tor()
+        tor.handle_frame(
+            encode_control(ControlMessage(Action.SETH, value=2)), self.PARENT
+        )
+        self.complete_seg0(tor)
+        # Final lost: the ToR has a complete partial, so it re-offers it
+        # upstream and asks the parent for help — both to the parent.
+        out = tor.handle_frame(
+            encode_control(ControlMessage(Action.HELP, value=0)), self.addr(0)
+        )
+        assert [a for _, a in out] == [self.PARENT, self.PARENT]
+        assert decode_frame(out[1][0])[1].action == Action.HELP
+        # An *incomplete* Seg falls back to the member relay.
+        vector = np.ones(5, dtype=np.float32)
+        tor.handle_frame(segment_frames(0, 1, vector)[0], self.addr(0))
+        relayed = tor.handle_frame(
+            encode_control(ControlMessage(Action.HELP, value=1)), self.addr(1)
+        )
+        assert [a for _, a in relayed] == [self.addr(0)]
+
+    def test_parent_help_retransmits_cached_partial(self):
+        tor = self.make_tor()
+        tor.handle_frame(
+            encode_control(ControlMessage(Action.SETH, value=2)), self.PARENT
+        )
+        self.complete_seg0(tor)
+        out = tor.handle_frame(
+            encode_control(ControlMessage(Action.HELP, value=0)), self.PARENT
+        )
+        assert [a for _, a in out] == [self.PARENT]
+        assert tor.counters["retransmissions_up"] == 1
+        # Unknown Seg: nothing cached, nothing sent.
+        assert (
+            tor.handle_frame(
+                encode_control(ControlMessage(Action.HELP, value=9)),
+                self.PARENT,
+            )
+            == []
+        )
+
+    def test_leave_propagates_upstream_once(self):
+        tor = self.make_tor()
+        tor.handle_frame(
+            encode_control(ControlMessage(Action.SETH, value=2)), self.PARENT
+        )
+        leave = encode_control(ControlMessage(Action.LEAVE))
+        assert tor.handle_frame(leave, self.addr(0)) == []
+        assert not tor.done
+        out = tor.handle_frame(leave, self.addr(1))
+        assert [a for _, a in out] == [self.PARENT]
+        assert decode_frame(out[0][0])[1].action == Action.LEAVE
+        assert tor.done
+        # A duplicate member leave does not re-notify the parent.
+        assert tor.handle_frame(leave, self.addr(1)) == []
+
+
+@needs_loopback
+class TestPeerExchangeLogic:
+    """Unit-level checks on the collective workers (no training loop)."""
+
+    def peers(self, n):
+        return {rank: (LOOPBACK, 42000 + rank) for rank in range(n)}
+
+    def test_constructor_validation(self):
+        algorithm = TinyAlgorithm()
+        with pytest.raises(ValueError, match=">= 2 workers"):
+            LiveRingWorker(0, 1, algorithm, None, {0: (LOOPBACK, 1)})
+        with pytest.raises(ValueError, match="cover ranks"):
+            LiveRingWorker(0, 2, algorithm, None, {0: (LOOPBACK, 1)})
+        with pytest.raises(ValueError, match="loss_rate"):
+            LiveRingWorker(
+                0, 2, algorithm, None, self.peers(2), loss_rate=1.0
+            )
+        with pytest.raises(ValueError, match="power-of-two"):
+            LiveHdWorker(0, 3, algorithm, None, self.peers(3))
+
+    def test_ingest_rejects_garbage_and_counts_errors(self):
+        worker = LiveRingWorker(0, 2, TinyAlgorithm(), None, self.peers(2))
+        worker._ingest(b"Z???")  # unknown tag
+        worker._ingest(b"E\x01")  # truncated header
+        assert worker.counters["decode_errors"] == 2
+        # Resend request for a message never sent: served silently later.
+        import struct
+
+        worker._ingest(b"R" + struct.pack("<BBII", 1, 0, 0, 0))
+        assert worker.counters["resends_served"] == 0
+        # A peer finish frame is recorded.
+        worker._ingest(b"F\x01")
+        assert 1 in worker._peer_done
+
+    def test_stale_rounds_pruned_from_buffers(self):
+        import struct
+
+        worker = LiveRingWorker(0, 2, TinyAlgorithm(), None, self.peers(2))
+        payload = np.zeros(3, dtype="<f8").tobytes()
+        worker._ingest(b"E" + struct.pack("<BBIII", 1, 0, 0, 0, 0) + payload)
+        assert (1, 0, 0, 0) in worker._pending
+        worker._round = 5
+        worker._prune_caches()
+        assert worker._pending == {}
+        # Frames for long-gone rounds are dropped at ingest too.
+        worker._ingest(b"E" + struct.pack("<BBIII", 1, 0, 1, 0, 0) + payload)
+        assert worker._pending == {}
+        assert worker.counters["stale_frames"] >= 2
+
+
+@needs_loopback
+class TestCollectiveInProcess:
+    """Thread-hosted ring / halving-doubling sessions: the full exchange
+    without forked processes."""
+
+    def run_collective(self, cls, n_workers, n_elements, loss_rate=0.0):
+        endpoints = [UdpEndpoint() for _ in range(n_workers)]
+        peers = {rank: e.address for rank, e in enumerate(endpoints)}
+        workers = [
+            cls(
+                rank=rank,
+                n_workers=n_workers,
+                algorithm=TinyAlgorithm(n_elements, seed=rank),
+                endpoint=endpoints[rank],
+                peers=peers,
+                recovery_timeout=0.05,
+                max_recovery_attempts=20,
+                loss_rate=loss_rate,
+                loss_seed=3,
+            )
+            for rank in range(n_workers)
+        ]
+        try:
+            run_in_threads(
+                [lambda w=w: w.train(ITERATIONS) for w in workers]
+            )
+        finally:
+            for endpoint in endpoints:
+                endpoint.close()
+        return workers
+
+    def test_ring_matches_float64_reference(self):
+        # 3 workers x 5 elements: uneven chunk split (2/2/1).
+        workers = self.run_collective(LiveRingWorker, 3, 5)
+        expected = tiny_reference(3, ITERATIONS, float64=True)
+        for worker in workers:
+            assert worker.round_digests == expected
+        np.testing.assert_array_equal(
+            workers[0].algorithm.get_weights(),
+            workers[2].algorithm.get_weights(),
+        )
+
+    def test_ring_multi_fragment_messages(self):
+        # Chunks above 183 float64 elements must fragment and reassemble.
+        from repro.live.collective import COLLECTIVE_FRAG_ELEMS
+
+        n_elements = 2 * (2 * COLLECTIVE_FRAG_ELEMS + 7)
+        workers = self.run_collective(LiveRingWorker, 2, n_elements)
+        expected = tiny_reference(
+            2, ITERATIONS, n_elements=n_elements, float64=True
+        )
+        for worker in workers:
+            assert worker.round_digests == expected
+
+    def test_halving_doubling_matches_ring_bits(self):
+        ring = self.run_collective(LiveRingWorker, 4, 12)
+        hd = self.run_collective(LiveHdWorker, 4, 12)
+        expected = tiny_reference(4, ITERATIONS, n_elements=12, float64=True)
+        assert ring[0].round_digests == expected
+        assert hd[0].round_digests == expected
+        np.testing.assert_array_equal(
+            ring[0].algorithm.get_weights(), hd[0].algorithm.get_weights()
+        )
+
+    def test_collective_gives_up_when_peer_is_silent(self):
+        """A dead peer: the watchdog must abandon the round, not hang."""
+        with UdpEndpoint() as mine, UdpEndpoint() as silent:
+            worker = LiveRingWorker(
+                rank=0,
+                n_workers=2,
+                algorithm=TinyAlgorithm(n_elements=4),
+                endpoint=mine,
+                peers={0: mine.address, 1: silent.address},
+                recovery_timeout=0.01,
+                max_recovery_attempts=2,
+            )
+            with pytest.raises(RuntimeError, match="abandoned"):
+                worker.train(1)
+            assert worker.counters["watchdog_timeouts"] >= 2
+
+    @pytest.mark.parametrize("cls", [LiveRingWorker, LiveHdWorker])
+    def test_lossy_session_recovers_bit_identically(self, cls):
+        workers = self.run_collective(cls, 2, 8, loss_rate=0.3)
+        drops = sum(w.counters["drops_injected"] for w in workers)
+        requests = sum(w.counters["resend_requests_sent"] for w in workers)
+        assert drops > 0, "loss injection never fired"
+        assert requests > 0, "drops happened but nobody asked for a resend"
+        assert sum(w.counters["resends_served"] for w in workers) > 0
+        expected = tiny_reference(2, ITERATIONS, n_elements=8, float64=True)
+        for worker in workers:
+            assert worker.round_digests == expected
+
+
+class TestShardLogic:
+    def test_shard_ranges_cover_and_partition(self):
+        assert shard_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert shard_ranges(4, 4) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+        assert shard_ranges(6, 2) == [(0, 3), (3, 6)]
+
+    def test_constructor_and_join_validation(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            LiveShardWorker(0, 2, TinyAlgorithm(), None, [])
+        worker = LiveShardWorker(
+            0, 2, TinyAlgorithm(), None, [(LOOPBACK, 1)]
+        )
+        with pytest.raises(RuntimeError, match="join"):
+            worker.train(1)
+
+
+@needs_loopback
+class TestShardInProcess:
+    def run_sharded(self, n_elements, n_workers, loss_rate=0.0):
+        server_endpoints = [UdpEndpoint() for _ in range(2)]
+        servers = [
+            PsServer(
+                n_workers=n_workers,
+                endpoint=endpoint,
+                loss_rate=loss_rate,
+                loss_seed=3,
+            )
+            for endpoint in server_endpoints
+        ]
+        deadline = time.monotonic() + 60.0
+        server_threads = [
+            threading.Thread(
+                target=s.serve,
+                kwargs={"deadline": deadline, "poll_interval": 0.05},
+                daemon=True,
+            )
+            for s in servers
+        ]
+        for thread in server_threads:
+            thread.start()
+        workers = [
+            LiveShardWorker(
+                rank=rank,
+                n_workers=n_workers,
+                algorithm=TinyAlgorithm(n_elements, seed=rank),
+                endpoint=UdpEndpoint(),
+                shard_addrs=[e.address for e in server_endpoints],
+                recovery_timeout=0.05,
+                max_recovery_attempts=40,
+            )
+            for rank in range(n_workers)
+        ]
+        try:
+            run_in_threads(
+                [
+                    lambda w=w: (w.join(), w.train(ITERATIONS))
+                    for w in workers
+                ]
+            )
+            for thread in server_threads:
+                thread.join(timeout=10.0)
+                assert not thread.is_alive(), "shard server never drained"
+        finally:
+            for endpoint in server_endpoints:
+                endpoint.close()
+            for worker in workers:
+                worker.endpoint.close()
+        return servers, workers
+
+    def test_sharded_session_matches_float64_reference(self):
+        # Two shards; shard 0's slice spans two chunks (> 183 elements).
+        n_elements = 2 * PS_CHUNK_ELEMS + 40
+        _, workers = self.run_sharded(n_elements, n_workers=2)
+        expected = tiny_reference(
+            2, ITERATIONS, n_elements=n_elements, float64=True
+        )
+        for worker in workers:
+            assert worker.round_digests == expected
+        np.testing.assert_array_equal(
+            workers[0].algorithm.get_weights(),
+            workers[1].algorithm.get_weights(),
+        )
+
+    def test_lossy_sharded_session_recovers_bit_identically(self):
+        servers, workers = self.run_sharded(20, n_workers=2, loss_rate=0.3)
+        assert sum(s.counters["drops_injected"] for s in servers) > 0
+        assert sum(w.counters["help_sent"] for w in workers) > 0
+        expected = tiny_reference(2, ITERATIONS, n_elements=20, float64=True)
+        for worker in workers:
+            assert worker.round_digests == expected
+
+
+class TestAsyncPsServerLogic:
+    """LiveAsyncPsServer.handle_frame, frame by frame (pure logic)."""
+
+    def addr(self, rank):
+        return (LOOPBACK, 43000 + rank)
+
+    def make_server(self, n_workers=2, n_elements=5, **kwargs):
+        return LiveAsyncPsServer(
+            n_workers=n_workers,
+            replica=TinyAlgorithm(n_elements, seed=99),
+            **kwargs,
+        )
+
+    def join_all(self, server, n):
+        import struct
+
+        for rank in range(n):
+            server.handle_frame(
+                b"J" + struct.pack("<BI", rank, server.n_elements),
+                self.addr(rank),
+            )
+
+    def push(self, rank, cycle, vector, version=0, chunk=0):
+        import struct
+
+        return (
+            b"U"
+            + struct.pack("<BIII", rank, cycle, chunk, version)
+            + vector.astype("<f4").tobytes()
+        )
+
+    def test_join_barrier_and_wrong_geometry(self):
+        import struct
+
+        server = self.make_server()
+        first = server.handle_frame(
+            b"J" + struct.pack("<BI", 0, 5), self.addr(0)
+        )
+        assert [f for f, _ in first] == [b"A"]
+        second = server.handle_frame(
+            b"J" + struct.pack("<BI", 1, 5), self.addr(1)
+        )
+        assert [f for f, _ in second] == [b"A", b"G", b"G"]
+        late = server.handle_frame(
+            b"J" + struct.pack("<BI", 0, 5), self.addr(0)
+        )
+        assert [f for f, _ in late] == [b"A", b"G"]
+        # A join with mismatched model geometry is refused outright.
+        bad = server.handle_frame(
+            b"J" + struct.pack("<BI", 0, 7), self.addr(0)
+        )
+        assert bad == []
+        assert server.counters["decode_errors"] == 1
+
+    def test_out_of_order_pushes_apply_cyclically(self):
+        server = self.make_server()
+        self.join_all(server, 2)
+        g0 = np.arange(5, dtype=np.float32)
+        g1 = np.full(5, 0.5, dtype=np.float32)
+        # Rank 1 arrives first: buffered, nothing applied.
+        assert server.handle_frame(self.push(1, 0, g1), self.addr(1)) == []
+        assert server.server_updates == 0
+        # Rank 0 arrives: both applies fire, oldest first, each answered
+        # with that rank's pull.
+        out = server.handle_frame(self.push(0, 0, g0), self.addr(0))
+        assert server.server_updates == 2
+        assert [addr for _, addr in out] == [self.addr(0), self.addr(1)]
+        # The replica walked g0 then g1 in float64.
+        np.testing.assert_array_equal(
+            server.replica.get_weights(),
+            -(g0.astype(np.float64) + g1.astype(np.float64)),
+        )
+        # Measured staleness: apply 0 gap 0, apply 1 gap 1 (version 0).
+        assert server.counters["updates"] == 2
+        assert server.counters["staleness_max"] == 1
+        assert server.counters["staleness_total"] == 1
+
+    def test_duplicate_pushes_dropped_at_every_stage(self):
+        server = self.make_server()
+        self.join_all(server, 2)
+        g = np.ones(5, dtype=np.float32)
+        server.handle_frame(self.push(1, 0, g), self.addr(1))
+        # Duplicate of a buffered (not yet applied) push.
+        server.handle_frame(self.push(1, 0, g), self.addr(1))
+        assert server.counters["duplicates_dropped"] == 1
+        server.handle_frame(self.push(0, 0, g), self.addr(0))
+        # Duplicate of an already-applied push.
+        server.handle_frame(self.push(0, 0, g), self.addr(0))
+        assert server.counters["duplicates_dropped"] == 2
+        assert server.server_updates == 2
+
+    def test_pull_resend_served_from_cache(self):
+        import struct
+
+        server = self.make_server(n_workers=1)
+        self.join_all(server, 1)
+        out = server.handle_frame(
+            self.push(0, 0, np.ones(5, dtype=np.float32)), self.addr(0)
+        )
+        resend = server.handle_frame(
+            b"H" + struct.pack("<BI", 0, 1), self.addr(0)
+        )
+        assert resend == [(out[0][0], self.addr(0))]
+        assert server.counters["resends_served"] == 1
+        # A request for a cycle not yet applied: the worker must retry.
+        assert (
+            server.handle_frame(
+                b"H" + struct.pack("<BI", 0, 9), self.addr(0)
+            )
+            == []
+        )
+
+    def test_loss_injection_drops_pushes(self):
+        # random.Random(0).random() == 0.844..., below a 0.9 loss rate.
+        server = self.make_server(n_workers=1, loss_rate=0.9, loss_seed=0)
+        self.join_all(server, 1)
+        assert (
+            server.handle_frame(
+                self.push(0, 0, np.ones(5, dtype=np.float32)), self.addr(0)
+            )
+            == []
+        )
+        assert server.counters["drops_injected"] == 1
+        assert server.server_updates == 0
+
+    def test_leave_completes_and_malformed_frames_counted(self):
+        server = self.make_server(n_workers=1)
+        self.join_all(server, 1)
+        assert not server.done
+        server.handle_frame(b"L\x00", self.addr(0))
+        assert server.done
+        assert server.handle_frame(b"", self.addr(0)) == []
+        assert server.handle_frame(b"U\x00", self.addr(0)) == []
+        assert server.counters["decode_errors"] >= 2
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            self.make_server(n_workers=0)
+        with pytest.raises(ValueError, match="loss_rate"):
+            self.make_server(loss_rate=1.0)
+
+
+@needs_loopback
+class TestAsyncInProcess:
+    """Thread-hosted async sessions (bounded-staleness isw, async PS)."""
+
+    def run_async_isw(
+        self, n_workers, bound, iterations=ITERATIONS, loss_rate=0.0
+    ):
+        switch_endpoint = UdpEndpoint()
+        switch = SoftwareSwitch(
+            n_workers=n_workers,
+            endpoint=switch_endpoint,
+            loss_rate=loss_rate,
+            loss_seed=3,
+        )
+        server_thread = threading.Thread(
+            target=switch.serve,
+            kwargs={"deadline": time.monotonic() + 60.0, "poll_interval": 0.05},
+            daemon=True,
+        )
+        server_thread.start()
+        workers = [
+            LiveAsyncWorker(
+                rank=rank,
+                n_workers=n_workers,
+                algorithm=TinyAlgorithm(n_elements=5, seed=rank),
+                endpoint=UdpEndpoint(),
+                switch_addr=switch_endpoint.address,
+                recovery_timeout=0.05,
+                max_recovery_attempts=40,
+                staleness_bound=bound,
+            )
+            for rank in range(n_workers)
+        ]
+        try:
+            run_in_threads(
+                [
+                    lambda w=w: (w.join(), w.train(iterations))
+                    for w in workers
+                ]
+            )
+            server_thread.join(timeout=10.0)
+            assert not server_thread.is_alive(), "switch never drained"
+        finally:
+            switch_endpoint.close()
+            for worker in workers:
+                worker.endpoint.close()
+        return switch, workers
+
+    def test_async_isw_session_bounded_and_bit_identical(self):
+        n_workers, bound = 2, 1
+        _, workers = self.run_async_isw(n_workers, bound)
+        # TinyAlgorithm gradients are weight-independent, so the bounded
+        # pipeline must land on the synchronous bits exactly.
+        expected = tiny_reference(n_workers, ITERATIONS)
+        for worker in workers:
+            assert worker.round_digests == expected
+            # Greedy schedule with S=1 over 3 rounds: gaps [0, 1, 1].
+            assert worker.counters["version_gap_max"] == bound
+            assert worker.counters["version_gap_total"] == 2
+            assert worker.counters["version_gap_count"] == ITERATIONS
+
+    def test_async_isw_lossy_session_recovers_bit_identically(self):
+        """Loss under pipelining: the watchdog retransmit/Help path and
+        the ahead-of-round buffering both fire, and the bits still match
+        the synchronous reference."""
+        switch, workers = self.run_async_isw(
+            2, bound=2, iterations=5, loss_rate=0.3
+        )
+        assert switch.counters["drops_injected"] > 0
+        assert sum(w.counters["watchdog_timeouts"] for w in workers) > 0
+        expected = tiny_reference(2, 5)
+        for worker in workers:
+            assert worker.round_digests == expected
+            assert worker.counters["version_gap_max"] <= 2
+
+    def test_async_worker_rejects_negative_bound_and_needs_join(self):
+        with pytest.raises(ValueError, match="staleness_bound"):
+            LiveAsyncWorker(
+                rank=0,
+                n_workers=1,
+                algorithm=TinyAlgorithm(),
+                endpoint=None,
+                switch_addr=(LOOPBACK, 1),
+                staleness_bound=-1,
+            )
+        worker = LiveAsyncWorker(
+            rank=0,
+            n_workers=1,
+            algorithm=TinyAlgorithm(),
+            endpoint=None,
+            switch_addr=(LOOPBACK, 1),
+        )
+        with pytest.raises(RuntimeError, match="join"):
+            worker.train(1)
+
+    def run_async_ps(self, n_workers, n_elements, loss_rate=0.0):
+        server_endpoint = UdpEndpoint()
+        server = LiveAsyncPsServer(
+            n_workers=n_workers,
+            replica=TinyAlgorithm(n_elements, seed=99),
+            endpoint=server_endpoint,
+            loss_rate=loss_rate,
+            loss_seed=3,
+        )
+        server_thread = threading.Thread(
+            target=server.serve,
+            kwargs={"deadline": time.monotonic() + 60.0, "poll_interval": 0.05},
+            daemon=True,
+        )
+        server_thread.start()
+        workers = [
+            LiveAsyncPsWorker(
+                rank=rank,
+                n_workers=n_workers,
+                algorithm=TinyAlgorithm(n_elements, seed=rank),
+                endpoint=UdpEndpoint(),
+                server_addr=server_endpoint.address,
+                recovery_timeout=0.05,
+            )
+            for rank in range(n_workers)
+        ]
+        try:
+            run_in_threads(
+                [
+                    lambda w=w: (w.join(), w.train(ITERATIONS))
+                    for w in workers
+                ]
+            )
+            server_thread.join(timeout=10.0)
+            assert not server_thread.is_alive(), "async ps never drained"
+        finally:
+            server_endpoint.close()
+            for worker in workers:
+                worker.endpoint.close()
+        return server, workers
+
+    def async_ps_tiny_reference(self, n_workers, n_elements):
+        # Straight-line replica walk: rank-cyclic applies, digest after
+        # each rank's own apply.
+        replica = TinyAlgorithm(n_elements, seed=99)
+        fleet = [TinyAlgorithm(n_elements, seed=r) for r in range(n_workers)]
+        expected = {rank: [] for rank in range(n_workers)}
+        for _ in range(ITERATIONS):
+            gradients = [w.compute_gradient() for w in fleet]
+            for rank in range(n_workers):
+                replica.apply_update(gradients[rank].astype(np.float64))
+                expected[rank].append(
+                    _digest(
+                        np.ascontiguousarray(
+                            replica.get_weights(), dtype=np.float64
+                        )
+                    )
+                )
+        return expected
+
+    def test_async_ps_session_matches_replica_walk(self):
+        n_workers, n_elements = 2, 5
+        server, workers = self.run_async_ps(n_workers, n_elements)
+        expected = self.async_ps_tiny_reference(n_workers, n_elements)
+        for rank, worker in enumerate(workers):
+            assert worker.round_digests == expected[rank], f"rank {rank}"
+        assert server.counters["updates"] == n_workers * ITERATIONS
+        assert server.counters["staleness_max"] == n_workers - 1
+        # Workers measured their own version gaps from the pull stamps.
+        assert all(
+            w.counters["version_gap_max"] <= n_workers - 1 for w in workers
+        )
+
+    def test_async_ps_lossy_session_recovers_bit_identically(self):
+        """Dropped pushes must be retransmitted and lost pulls re-served
+        from the server's cycle cache, without double-applying anything."""
+        server, workers = self.run_async_ps(2, 5, loss_rate=0.3)
+        assert server.counters["drops_injected"] > 0
+        assert sum(w.counters["help_sent"] for w in workers) > 0
+        assert server.counters["updates"] == 2 * ITERATIONS
+        expected = self.async_ps_tiny_reference(2, 5)
+        for rank, worker in enumerate(workers):
+            assert worker.round_digests == expected[rank], f"rank {rank}"
+
+    def test_async_ps_worker_requires_join(self):
+        worker = LiveAsyncPsWorker(
+            rank=0,
+            n_workers=1,
+            algorithm=TinyAlgorithm(),
+            endpoint=None,
+            server_addr=(LOOPBACK, 1),
+        )
+        with pytest.raises(RuntimeError, match="join"):
+            worker.train(1)
+
+
+@needs_loopback
+class TestTreeInProcess:
+    """A full two-rack tree in threads: AGG + 2 ToRs + 4 workers."""
+
+    def test_tree_session_matches_nested_reference(self):
+        n_elements, rack = 5, 2
+        agg_endpoint = UdpEndpoint()
+        agg = SoftwareSwitch(n_workers=2, endpoint=agg_endpoint)
+        tor_endpoints = [UdpEndpoint() for _ in range(2)]
+        tors = [
+            SoftwareSwitch(
+                n_workers=rack,
+                endpoint=tor_endpoints[index],
+                parent_addr=agg_endpoint.address,
+                rank=index,
+            )
+            for index in range(2)
+        ]
+        deadline = time.monotonic() + 60.0
+        switch_threads = [
+            threading.Thread(
+                target=s.serve,
+                kwargs={"deadline": deadline, "poll_interval": 0.05},
+                daemon=True,
+            )
+            for s in [agg] + tors
+        ]
+        for thread in switch_threads:
+            thread.start()
+        workers = [
+            LiveWorker(
+                rank=rank,
+                n_workers=rack,  # the worker's barrier is its rack's SetH
+                algorithm=TinyAlgorithm(n_elements, seed=rank),
+                endpoint=UdpEndpoint(),
+                switch_addr=tor_endpoints[rank // rack].address,
+                recovery_timeout=0.05,
+                max_recovery_attempts=20,
+            )
+            for rank in range(4)
+        ]
+        try:
+            run_in_threads(
+                [
+                    lambda w=w: (w.join(), w.train(ITERATIONS))
+                    for w in workers
+                ]
+            )
+            for thread in switch_threads:
+                thread.join(timeout=10.0)
+                assert not thread.is_alive(), "a switch never drained"
+        finally:
+            agg_endpoint.close()
+            for endpoint in tor_endpoints:
+                endpoint.close()
+            for worker in workers:
+                worker.endpoint.close()
+        # The tree's float32 association: per-rack partials, then the
+        # partials in ToR order.
+        fleet = [TinyAlgorithm(n_elements, seed=r) for r in range(4)]
+        expected = []
+        for _ in range(ITERATIONS):
+            gradients = [w.compute_gradient() for w in fleet]
+            partials = [
+                gradients[0] + gradients[1],
+                gradients[2] + gradients[3],
+            ]
+            total = partials[0] + partials[1]
+            expected.append(_digest(total))
+            for worker in fleet:
+                worker.apply_update(total.astype(np.float64) / 4)
+        for worker in workers:
+            assert worker.round_digests == expected
+        for tor in tors:
+            assert tor.counters["upstream_forwards"] == ITERATIONS
+            assert tor.counters["parent_relays"] == ITERATIONS
+        assert agg.counters["results_broadcast"] == ITERATIONS
+        np.testing.assert_array_equal(
+            workers[0].algorithm.get_weights(),
+            workers[3].algorithm.get_weights(),
         )
 
 
@@ -618,6 +1874,15 @@ class TestPsServerLogic:
             == []
         )
 
+    def test_loss_injection_drops_gradients(self):
+        # random.Random(0).random() == 0.844..., below a 0.9 loss rate.
+        server = PsServer(n_workers=1, loss_rate=0.9, loss_seed=0)
+        self.join_all(server, 1)
+        vector = np.ones(3, dtype=np.float32)
+        assert server.handle_frame(self.up(0, 0, 0, vector), self.addr(0)) == []
+        assert server.counters["drops_injected"] == 1
+        assert server.counters["chunks_summed"] == 0
+
     def test_result_cache_pruned_below_round_window(self):
         server = PsServer(n_workers=1)
         self.join_all(server, 1)
@@ -638,6 +1903,8 @@ class TestPsServerLogic:
     def test_constructor_validation(self):
         with pytest.raises(ValueError, match="n_workers"):
             PsServer(n_workers=0)
+        with pytest.raises(ValueError, match="loss_rate"):
+            PsServer(n_workers=1, loss_rate=1.0)
 
 
 @needs_loopback
@@ -655,8 +1922,25 @@ class TestTransport:
         with UdpEndpoint() as endpoint:
             assert endpoint.recv(timeout=0.05) is None
 
+    def test_double_close_is_harmless(self):
+        endpoint = UdpEndpoint()
+        endpoint.close()
+        endpoint.close()
+
     def test_loopback_probe(self):
         assert loopback_available() is True
+
+    def test_peer_table_lookup_and_pickling(self):
+        import pickle
+
+        table = PeerTable(
+            workers={0: (LOOPBACK, 1000), 1: (LOOPBACK, 1001)},
+            servers={"shard0": (LOOPBACK, 2000)},
+        )
+        assert table.worker(1) == (LOOPBACK, 1001)
+        assert table.server("shard0") == (LOOPBACK, 2000)
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone == table
 
 
 @needs_loopback
@@ -689,19 +1973,13 @@ class TestInProcessEndToEnd:
             )
             for rank in range(n_workers)
         ]
-        threads = [
-            threading.Thread(
-                target=lambda w=w: (w.join(), w.train(iterations)),
-                daemon=True,
-            )
-            for w in workers
-        ]
         try:
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join(timeout=60.0)
-                assert not thread.is_alive(), "worker thread hung"
+            run_in_threads(
+                [
+                    lambda w=w: (w.join(), w.train(iterations))
+                    for w in workers
+                ]
+            )
             server_thread.join(timeout=10.0)
             assert not server_thread.is_alive(), "switch never drained"
         finally:
@@ -710,21 +1988,9 @@ class TestInProcessEndToEnd:
                 worker.endpoint.close()
         return switch, workers
 
-    def expected_digests(self, n_workers, iterations):
-        algorithms = [TinyAlgorithm(5, seed=r) for r in range(n_workers)]
-        digests = []
-        for _ in range(iterations):
-            total = np.zeros(5, dtype=np.float32)
-            for algorithm in algorithms:
-                total += algorithm.compute_gradient()
-            digests.append(hashlib.sha256(total.tobytes()).hexdigest()[:16])
-            for algorithm in algorithms:
-                algorithm.apply_update(total.astype(np.float64) / n_workers)
-        return digests
-
     def test_two_worker_session_matches_reference(self):
         switch, workers = self.run_switch_session(n_workers=2, iterations=3)
-        expected = self.expected_digests(2, 3)
+        expected = tiny_reference(2, 3)
         for worker in workers:
             assert worker.round_digests == expected
         assert switch.done
@@ -742,11 +2008,16 @@ class TestInProcessEndToEnd:
         recoveries = sum(w.counters["help_sent"] for w in workers)
         assert recoveries > 0
         for worker in workers:
-            assert worker.round_digests == self.expected_digests(2, 3)
+            assert worker.round_digests == tiny_reference(2, 3)
 
-    def test_ps_session_matches_rank_order_reference(self):
+    def run_ps_session(self, n_elements, iterations, loss_rate=0.0):
         server_endpoint = UdpEndpoint()
-        server = PsServer(n_workers=2, endpoint=server_endpoint)
+        server = PsServer(
+            n_workers=2,
+            endpoint=server_endpoint,
+            loss_rate=loss_rate,
+            loss_seed=3,
+        )
         server_thread = threading.Thread(
             target=server.serve,
             kwargs={"deadline": time.monotonic() + 60.0, "poll_interval": 0.05},
@@ -757,37 +2028,42 @@ class TestInProcessEndToEnd:
             LivePsWorker(
                 rank=rank,
                 n_workers=2,
-                algorithm=TinyAlgorithm(n_elements=PS_CHUNK_ELEMS + 3, seed=rank),
+                algorithm=TinyAlgorithm(n_elements=n_elements, seed=rank),
                 endpoint=UdpEndpoint(),
                 server_addr=server_endpoint.address,
                 recovery_timeout=0.05,
+                max_recovery_attempts=40,
             )
             for rank in range(2)
         ]
-        threads = [
-            threading.Thread(
-                target=lambda w=w: (w.join(), w.train(2)), daemon=True
-            )
-            for w in workers
-        ]
         try:
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join(timeout=60.0)
-                assert not thread.is_alive(), "ps worker thread hung"
+            run_in_threads(
+                [lambda w=w: (w.join(), w.train(iterations)) for w in workers]
+            )
             server_thread.join(timeout=10.0)
             assert not server_thread.is_alive(), "ps server never drained"
         finally:
             server_endpoint.close()
             for worker in workers:
                 worker.endpoint.close()
+        return server, workers
+
+    def test_ps_session_matches_rank_order_reference(self):
+        server, workers = self.run_ps_session(PS_CHUNK_ELEMS + 3, 2)
         assert workers[0].round_digests == workers[1].round_digests
         assert server.counters["chunks_summed"] == 2 * 2  # 2 chunks x 2 rounds
         np.testing.assert_array_equal(
             workers[0].algorithm.get_weights(),
             workers[1].algorithm.get_weights(),
         )
+
+    def test_lossy_ps_session_recovers_bit_identically(self):
+        server, workers = self.run_ps_session(20, ITERATIONS, loss_rate=0.3)
+        assert server.counters["drops_injected"] > 0
+        assert sum(w.counters["help_sent"] for w in workers) > 0
+        expected = tiny_reference(2, ITERATIONS, n_elements=20, float64=True)
+        for worker in workers:
+            assert worker.round_digests == expected
 
     def test_worker_requires_join_before_train(self):
         worker = LiveWorker(

@@ -592,3 +592,104 @@ class TestCompressedFrameProperties:
             # Denormals are below every codec's resolution: they may
             # flush to zero but must never explode or change sign class.
             assert np.all(np.abs(out) <= np.abs(data) + 1e-30), codec.name
+
+
+class TestJobIdCodecInteraction:
+    """Multi-tenant job ids x compressed numerics: the two header fields
+    live in the same frame (job in the Seg word's high byte, the codec
+    tag in the ToS low bits) and must not corrupt each other."""
+
+    def test_job_tagged_codec_frames_round_trip_byte_identically(self):
+        import struct
+
+        rng = random.Random(SEED + 15)
+        np_rng = np.random.default_rng(SEED + 15)
+        for codec in _wire_codecs():
+            for trial in range(N_TRIALS):
+                segment = DataSegment(
+                    seg=rng.choice((0, 1, rng.randint(0, MAX_SEG_INDEX))),
+                    data=_nasty_vector(
+                        rng,
+                        np_rng,
+                        rng.randint(1, min(365, codec.elements_per_frame)),
+                    ),
+                    job=rng.randint(1, MAX_JOB_ID),
+                )
+                downstream = rng.random() < 0.5
+                frame = encode_data(segment, downstream=downstream, codec=codec)
+                # The Seg word carries the job untouched by the codec tag.
+                word = struct.unpack_from("<Q", frame, 1)[0]
+                assert word >> 56 == segment.job, f"{codec.name} trial {trial}"
+                assert word & MAX_SEG_INDEX == segment.seg
+                tos, decoded = decode_frame(frame)
+                # ToS classifies on both axes at once.
+                expected_dir = TOS_DATA_DOWN if downstream else TOS_DATA_UP
+                assert tos & ~TOS_NUMERICS_MASK == expected_dir
+                assert tos & TOS_NUMERICS_MASK == codec.wire_tag
+                assert decoded.job == segment.job
+                assert decoded.seg == segment.seg
+                # Decoded values are exactly what the payload codec says
+                # for this direction (up/down grids differ for int32-bs);
+                # re-encoding them with the same job reproduces the bytes.
+                expected_data = codec.decode_payload(
+                    codec.encode_payload(segment.data, downstream=downstream),
+                    downstream=downstream,
+                )
+                assert (
+                    decoded.data.tobytes() == expected_data.tobytes()
+                ), f"{codec.name} trial {trial}"
+                assert (
+                    encode_data(decoded, downstream=downstream, codec=codec)
+                    == frame
+                )
+
+    def test_job_zero_codec_frames_unchanged_by_job_field(self):
+        """job=0 (the single-tenant default) and an explicit job share
+        the same payload bytes — only the header word differs."""
+        rng = random.Random(SEED + 16)
+        np_rng = np.random.default_rng(SEED + 16)
+        for codec in _wire_codecs():
+            data = _nasty_vector(rng, np_rng, 32)
+            plain = encode_data(DataSegment(seg=5, data=data), codec=codec)
+            tagged = encode_data(
+                DataSegment(seg=5, data=data, job=99), codec=codec
+            )
+            assert plain[0] == tagged[0]  # same ToS (direction + codec)
+            assert plain[9:] == tagged[9:]  # same payload
+            assert plain[1:9] != tagged[1:9]  # only the Seg word moved
+
+    def test_overrange_job_rejected_at_encode_even_with_codec(self):
+        for codec in _wire_codecs():
+            with pytest.raises(ProtocolError, match="job id"):
+                encode_data(
+                    DataSegment(
+                        seg=0,
+                        data=np.zeros(4, dtype=np.float32),
+                        job=MAX_JOB_ID + 1,
+                    ),
+                    codec=codec,
+                )
+
+    def test_overrange_job_bits_rejected_at_decode_even_with_codec(self):
+        """Wire frames whose Seg-word high byte exceeds 127 — including
+        the reserved top bit 63 — are rejected no matter which numerics
+        tag rides in the ToS."""
+        import struct
+
+        rng = random.Random(SEED + 17)
+        np_rng = np.random.default_rng(SEED + 17)
+        for codec in _wire_codecs():
+            payload = codec.encode_payload(
+                _nasty_vector(rng, np_rng, 8), downstream=False
+            )
+            for bad_job in (MAX_JOB_ID + 1, 0x80, 0xFF):
+                frame = (
+                    struct.pack(
+                        "<BQ",
+                        TOS_DATA_UP | codec.wire_tag,
+                        (bad_job << 56) | 17,
+                    )
+                    + payload
+                )
+                with pytest.raises(ProtocolError, match="job id"):
+                    decode_frame(frame)
