@@ -17,7 +17,7 @@ lint:
 	fi
 
 bench:
-	PYTHONPATH=src $(PY) tools/bench.py --out benchmarks/results/BENCH_PR7.json
+	PYTHONPATH=src $(PY) tools/bench.py --out benchmarks/results/BENCH_PR10.json
 
 bench-smoke:
 	PYTHONPATH=src $(PY) tools/bench.py --smoke --repeats 2 \

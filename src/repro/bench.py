@@ -10,8 +10,14 @@ fixed scenario matrix —
 * one chaos run replaying ``examples/chaos_demo.json`` through the fault
   injector (worker crash + switch reset + loss burst);
 * one multi-job soak run (32 mixed jobs through one shared fabric);
-* three microbenchmarks isolating the hot paths: event-loop dispatch,
-  link transmission, and accelerator segment aggregation
+* DQN training runs on the real ``dqn`` workload (compute-bound, unlike
+  ``synth``) with fast/legacy compute twins, so the compute fast path
+  (DESIGN.md §13) has a measured end-to-end speedup;
+* six microbenchmarks isolating the hot paths: event-loop dispatch,
+  link transmission, accelerator segment aggregation, and the three
+  compute-side paths (vectorized env stepping, ring-buffer replay
+  sampling, fused optimizer updates) — each compute micro paired with a
+  ``-legacy`` twin, summarized in the report's ``compute_speedups``
 
 — and writes a schema'd JSON report (median/p90 wall seconds, events/sec,
 packets/sec, host info).  Training scenarios run the batched transport
@@ -88,9 +94,10 @@ RESULTS_DIR = os.path.normpath(
     )
 )
 
-#: The scenario the --max-regression CI gate compares (present in both
-#: the smoke and full matrices, at identical iteration counts).
+#: The scenarios the --max-regression CI gate compares (present in both
+#: the smoke and full matrices, at identical sizes).
 GATE_SCENARIO = "sync-isw-n4"
+GATE_SCENARIOS = (GATE_SCENARIO, "micro-replay-sample")
 
 
 def _median(values: Sequence[float]) -> float:
@@ -157,6 +164,19 @@ class Scenario:
 # ----------------------------------------------------------------------
 # Training scenarios
 # ----------------------------------------------------------------------
+def _compute_context(compute: Optional[str]):
+    """The fast/legacy compute toggle a scenario runs under (DESIGN.md §13)."""
+    from .nn import use_fast_compute, use_legacy_compute
+
+    if compute == "legacy":
+        return use_legacy_compute()
+    if compute == "fast":
+        return use_fast_compute()
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
 def _training_fn(
     mode: str,
     strategy: str,
@@ -166,26 +186,31 @@ def _training_fn(
     recovery_timeout: Optional[float] = None,
     transport: str = BENCH_TRANSPORT,
     scheduler: str = BENCH_SCHEDULER,
+    workload: str = BENCH_WORKLOAD,
+    compute: Optional[str] = None,
+    algorithm_overrides: Optional[Dict[str, object]] = None,
 ) -> Callable[[], Dict[str, object]]:
     from .distributed.config import ExperimentConfig
     from .distributed.runner import run
 
     def once() -> Dict[str, object]:
-        result = run(
-            ExperimentConfig(
-                strategy=strategy,
-                workload=BENCH_WORKLOAD,
-                mode=mode,
-                n_workers=n_workers,
-                iterations=iterations,
-                seed=BENCH_SEED,
-                telemetry=False,
-                fault_plan=fault_plan,
-                recovery_timeout=recovery_timeout,
-                transport=transport,
-                scheduler=scheduler,
+        with _compute_context(compute):
+            result = run(
+                ExperimentConfig(
+                    strategy=strategy,
+                    workload=workload,
+                    mode=mode,
+                    n_workers=n_workers,
+                    iterations=iterations,
+                    seed=BENCH_SEED,
+                    telemetry=False,
+                    fault_plan=fault_plan,
+                    recovery_timeout=recovery_timeout,
+                    transport=transport,
+                    scheduler=scheduler,
+                    algorithm_overrides=algorithm_overrides,
+                )
             )
-        )
         meta: Dict[str, object] = {"sim_time_s": result.elapsed}
         if result.fault_report is not None:
             meta["fault_ok"] = result.fault_report.ok
@@ -193,21 +218,23 @@ def _training_fn(
 
     def counted() -> Dict[str, object]:
         """One untimed instrumented run for event/packet totals."""
-        result = run(
-            ExperimentConfig(
-                strategy=strategy,
-                workload=BENCH_WORKLOAD,
-                mode=mode,
-                n_workers=n_workers,
-                iterations=iterations,
-                seed=BENCH_SEED,
-                telemetry=True,
-                fault_plan=fault_plan,
-                recovery_timeout=recovery_timeout,
-                transport=transport,
-                scheduler=scheduler,
+        with _compute_context(compute):
+            result = run(
+                ExperimentConfig(
+                    strategy=strategy,
+                    workload=workload,
+                    mode=mode,
+                    n_workers=n_workers,
+                    iterations=iterations,
+                    seed=BENCH_SEED,
+                    telemetry=True,
+                    fault_plan=fault_plan,
+                    recovery_timeout=recovery_timeout,
+                    transport=transport,
+                    scheduler=scheduler,
+                    algorithm_overrides=algorithm_overrides,
+                )
             )
-        )
         snap = result.telemetry
         return {
             "events": int(snap.value("sim.events_processed")),
@@ -234,6 +261,45 @@ def _training_scenario(
             "seed": BENCH_SEED,
             "transport": BENCH_TRANSPORT,
             "scheduler": BENCH_SCHEDULER,
+        },
+    )
+
+
+def _compute_training_scenario(
+    workload: str, strategy: str, n_workers: int, iterations: int, compute: str
+) -> Scenario:
+    """A real-workload training run pinned to one compute path.
+
+    Named ``{workload}-sync-{strategy}-n{N}`` with a ``-legacy`` suffix on
+    the legacy-compute twin, so ``compute_speedups`` can pair them up.
+    The replay warmup is shrunk so the measured window is the steady-state
+    iteration loop, not a one-time env-step burst shared by both paths,
+    and env stepping (scalar in both twins — the distributed runner's
+    workloads use scalar envs so results stay bit-identical) is trimmed
+    to two steps per iteration to keep the shared simulation cost from
+    drowning the compute difference under test.
+    """
+    suffix = "-legacy" if compute == "legacy" else ""
+    overrides: Dict[str, object] = {"warmup": 64, "env_steps_per_iter": 2}
+    return Scenario(
+        name=f"{workload}-sync-{strategy}-n{n_workers}{suffix}",
+        kind="training",
+        fn=_training_fn(
+            "sync", strategy, n_workers, iterations,
+            workload=workload, compute=compute,
+            algorithm_overrides=overrides,
+        ),
+        params={
+            "mode": "sync",
+            "strategy": strategy,
+            "workload": workload,
+            "compute": compute,
+            "n_workers": n_workers,
+            "iterations": iterations,
+            "seed": BENCH_SEED,
+            "transport": BENCH_TRANSPORT,
+            "scheduler": BENCH_SCHEDULER,
+            "algorithm_overrides": overrides,
         },
     )
 
@@ -427,6 +493,116 @@ def _micro_accel_agg(rounds: int, n_senders: int = 8) -> Scenario:
     )
 
 
+def _micro_env_step(steps: int, num_envs: int = 64, legacy: bool = False) -> Scenario:
+    """Step a ``num_envs``-wide GridPong batch ``steps`` times.
+
+    The fast variant uses the vectorized kernel; the ``-legacy`` twin runs
+    the same batch through the generic scalar-loop :class:`VectorEnv`.
+    """
+    state: Dict[str, object] = {}
+
+    def once() -> Dict[str, object]:
+        from .rl.envs.vector import make_vector_env
+
+        if "env" not in state:
+            state["env"] = make_vector_env(
+                "gridpong", num_envs, seed=BENCH_SEED, kernel=not legacy
+            )
+            rng = np.random.default_rng(BENCH_SEED)
+            state["actions"] = rng.integers(0, 3, size=(steps, num_envs))
+        env = state["env"]
+        actions = state["actions"]
+        env.reset()
+        for t in range(steps):
+            env.step(actions[t])
+        return {"env_steps": steps * num_envs}
+
+    return Scenario(
+        name="micro-env-step" + ("-legacy" if legacy else ""),
+        kind="micro",
+        fn=once,
+        params={"steps": steps, "num_envs": num_envs, "env": "gridpong"},
+    )
+
+
+def _micro_replay_sample(
+    fill: int, draws: int, batch: int, legacy: bool = False
+) -> Scenario:
+    """Draw ``draws`` minibatches from a filled replay buffer.
+
+    The buffer is filled lazily on the first repeat (untimed relative to
+    the gate, which compares best samples); only sampling is in the loop.
+    """
+    state: Dict[str, object] = {}
+
+    def once() -> Dict[str, object]:
+        if "buf" not in state:
+            from .rl.legacy import LegacyReplayBuffer
+            from .rl.replay import ReplayBuffer, Transition
+
+            rng = np.random.default_rng(BENCH_SEED)
+            cls = LegacyReplayBuffer if legacy else ReplayBuffer
+            buf = cls(fill, rng)
+            obs = rng.standard_normal((fill, 8))
+            for i in range(fill):
+                buf.push(
+                    Transition(obs[i], i % 3, float(i), obs[(i + 1) % fill], False)
+                )
+            state["buf"] = buf
+        buf = state["buf"]
+        for _ in range(draws):
+            buf.sample(batch)
+        return {"samples": draws * batch}
+
+    return Scenario(
+        name="micro-replay-sample" + ("-legacy" if legacy else ""),
+        kind="micro",
+        fn=once,
+        params={"fill": fill, "draws": draws, "batch": batch},
+    )
+
+
+def _micro_optim_step(steps: int, legacy: bool = False) -> Scenario:
+    """Apply ``steps`` Adam updates to an MLP from one flat gradient.
+
+    The fast variant is a single fused ``step_flat``; the legacy twin is
+    the scatter path every pre-PR-10 update took (``load_flat_grads``
+    into per-parameter ``.grad`` slots, then the per-parameter loop).
+    """
+    state: Dict[str, object] = {}
+
+    def once() -> Dict[str, object]:
+        from .nn import Adam, mlp, use_fast_compute, use_legacy_compute
+        from .nn.serialize import load_flat_grads, param_vector_size
+
+        if "opt" not in state:
+            ctx = use_legacy_compute if legacy else use_fast_compute
+            with ctx():
+                model = mlp(
+                    [64, 128, 128, 8], rng=np.random.default_rng(BENCH_SEED)
+                )
+                opt = Adam(model.parameters(), lr=1e-3)
+            total = param_vector_size(model)
+            grad = np.random.default_rng(BENCH_SEED).standard_normal(total)
+            state.update(model=model, opt=opt, grad=grad, total=total)
+        model, opt, grad = state["model"], state["opt"], state["grad"]
+        if legacy:
+            for _ in range(steps):
+                load_flat_grads(model, grad)
+                opt.step()
+        else:
+            for _ in range(steps):
+                opt.step_flat(grad)
+        return {"param_updates": steps * state["total"]}
+
+    return Scenario(
+        name="micro-optim-step" + ("-legacy" if legacy else ""),
+        kind="micro",
+        fn=once,
+        params={"steps": steps, "layers": [64, 128, 128, 8]},
+    )
+
+
 # ----------------------------------------------------------------------
 # The matrix
 # ----------------------------------------------------------------------
@@ -449,6 +625,15 @@ def bench_scenarios(smoke: bool = False) -> List[Scenario]:
             _micro_event_dispatch(5_000),
             _micro_link_tx(2_000),
             _micro_accel_agg(2),
+            # Compute micros run full-size in smoke too: micro-replay-sample
+            # is a gate scenario, so smoke and full must compare like
+            # against like (they are already sub-second).
+            _micro_env_step(200, 64),
+            _micro_env_step(200, 64, legacy=True),
+            _micro_replay_sample(20_000, 2_000, 32),
+            _micro_replay_sample(20_000, 2_000, 32, legacy=True),
+            _micro_optim_step(2_000),
+            _micro_optim_step(2_000, legacy=True),
         ]
     scenarios: List[Scenario] = []
     for n_workers in (4, 8):
@@ -458,9 +643,26 @@ def bench_scenarios(smoke: bool = False) -> List[Scenario]:
             scenarios.append(_training_scenario("async", strategy, n_workers, 60))
     scenarios.append(_chaos_scenario(200))
     scenarios.append(_soak_scenario(32))
+    # Real-compute DQN runs: fast/legacy twins quantify the compute fast
+    # path end to end (synth's near-zero local compute can't show it).
+    # 120 iterations so the steady-state loop dominates the one-time
+    # construction + warmup cost both compute paths share.
+    for n_workers in (4, 8):
+        scenarios.append(
+            _compute_training_scenario("dqn", "isw", n_workers, 120, "fast")
+        )
+        scenarios.append(
+            _compute_training_scenario("dqn", "isw", n_workers, 120, "legacy")
+        )
     scenarios.append(_micro_event_dispatch(100_000))
     scenarios.append(_micro_link_tx(20_000))
     scenarios.append(_micro_accel_agg(20))
+    scenarios.append(_micro_env_step(200, 64))
+    scenarios.append(_micro_env_step(200, 64, legacy=True))
+    scenarios.append(_micro_replay_sample(20_000, 2_000, 32))
+    scenarios.append(_micro_replay_sample(20_000, 2_000, 32, legacy=True))
+    scenarios.append(_micro_optim_step(2_000))
+    scenarios.append(_micro_optim_step(2_000, legacy=True))
     return scenarios
 
 
@@ -514,6 +716,15 @@ def run_benchmark(
         "scenarios": results,
         "total_wall_s": round(time.perf_counter() - started, 6),
     }
+    compute_speedups = {}
+    for name, record in results.items():
+        legacy = results.get(f"{name}-legacy")
+        if legacy and record.get("median_s"):
+            compute_speedups[name] = round(
+                legacy["median_s"] / record["median_s"], 3
+            )
+    if compute_speedups:
+        report["compute_speedups"] = compute_speedups
     if baseline_path is not None:
         report.update(_embed_baseline(results, baseline_path))
     return report
@@ -601,9 +812,12 @@ def default_baseline() -> Optional[str]:
 def check_regression(
     report: Dict[str, object],
     max_regression: float,
-    scenario: str = GATE_SCENARIO,
+    scenario: Optional[str] = None,
 ) -> int:
-    """CI gate: 1 if ``scenario`` regressed beyond the tolerance, else 0.
+    """CI gate: 1 if a gated scenario regressed beyond the tolerance.
+
+    With ``scenario=None`` every entry in ``GATE_SCENARIOS`` is checked
+    and the worst exit code wins.
 
     Compares the report's *best* (min) sample against the baseline's
     best for the same scenario.  Min, not median: in the smoke run the
@@ -615,6 +829,11 @@ def check_regression(
     A missing baseline or scenario passes with a note — the gate only
     ever fails on a *measured* regression.
     """
+    if scenario is None:
+        return max(
+            check_regression(report, max_regression, name)
+            for name in GATE_SCENARIOS
+        )
     baseline = report.get("baseline")
     if not isinstance(baseline, dict):
         print(f"regression gate: no baseline report; skipping {scenario}")
@@ -702,7 +921,8 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         metavar="FRAC",
-        help=f"fail (exit 1) if the {GATE_SCENARIO} best sample regressed "
+        help="fail (exit 1) if a gated scenario "
+        f"({', '.join(GATE_SCENARIOS)}) best sample regressed "
         "more than FRAC (e.g. 0.50 = 50%%) versus the baseline report",
     )
     parser.add_argument(

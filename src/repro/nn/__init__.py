@@ -3,11 +3,22 @@ the substrate replacing the paper's PyTorch dependency.
 """
 
 from .checkpoint import load_algorithm, load_model, save_algorithm, save_model
-from .functional import entropy_from_logits, huber_loss, mse_loss, nll_from_logits
+from .fastpath import compute_fastpath_enabled, use_fast_compute, use_legacy_compute
+from .functional import (
+    entropy_from_logits,
+    fused_huber_loss,
+    fused_mse_loss,
+    fused_qnet_grad,
+    huber_loss,
+    mse_loss,
+    nll_from_logits,
+    td_targets,
+)
 from .layers import Activation, Linear, Module, Parameter, Sequential, mlp
 from .optim import SGD, Adam, Optimizer, RMSProp
 from .serialize import (
     flatten_grads,
+    flatten_grads_into,
     flatten_params,
     load_flat_grads,
     load_flat_params,
@@ -33,11 +44,19 @@ __all__ = [
     "RMSProp",
     "mse_loss",
     "huber_loss",
+    "fused_mse_loss",
+    "fused_huber_loss",
+    "fused_qnet_grad",
+    "td_targets",
     "nll_from_logits",
     "entropy_from_logits",
+    "compute_fastpath_enabled",
+    "use_fast_compute",
+    "use_legacy_compute",
     "flatten_params",
     "load_flat_params",
     "flatten_grads",
+    "flatten_grads_into",
     "load_flat_grads",
     "param_vector_size",
     "model_wire_bytes",

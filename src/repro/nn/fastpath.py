@@ -1,0 +1,70 @@
+"""Global switch between the compute fast path and the legacy reference.
+
+PR 10 rebuilt the compute tier — ring-buffer replay, raw-NumPy inference
+forwards, fused loss kernels, flat in-place optimizer updates — and every
+piece is proven bit-identical to the code it replaced
+(``tests/test_compute_parity.py``, DESIGN.md §13).  The fast path is
+therefore **default-on and opt-in-free**.
+
+The legacy path is kept for two jobs only:
+
+* the differential parity suite runs both paths step-for-step and
+  asserts bit-identical weights;
+* the bench harness times ``*-legacy`` twin scenarios so the fast path's
+  speedup is measured, not asserted.
+
+The flag is sampled at *construction* time (``Algorithm.__init__``,
+``Optimizer.__init__``, replay-buffer selection), so one training run is
+coherently fast or coherently legacy; flipping the flag mid-run affects
+only objects built afterwards.  Simulated clusters are built and run
+single-threaded, which is what makes a process-global flag sufficient.
+
+``REPRO_COMPUTE=legacy`` in the environment disables the fast path for a
+whole process (bench/debug escape hatch).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "compute_fastpath_enabled",
+    "use_fast_compute",
+    "use_legacy_compute",
+]
+
+_ENABLED = [os.environ.get("REPRO_COMPUTE", "fast") != "legacy"]
+
+
+def compute_fastpath_enabled() -> bool:
+    """True when newly built algorithms/optimizers use the fast path."""
+    return _ENABLED[0]
+
+
+class _Toggle:
+    """Context manager pinning the flag to ``value`` (re-entrant)."""
+
+    _value: bool
+
+    def __init__(self) -> None:
+        self._stack: list = []
+
+    def __enter__(self) -> "_Toggle":
+        self._stack.append(_ENABLED[0])
+        _ENABLED[0] = self._value
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ENABLED[0] = self._stack.pop()
+
+
+class use_legacy_compute(_Toggle):
+    """Build everything inside the block on the legacy reference path."""
+
+    _value = False
+
+
+class use_fast_compute(_Toggle):
+    """Build everything inside the block on the fast path (the default)."""
+
+    _value = True

@@ -6,7 +6,7 @@ from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 __all__ = ["Parameter", "Module", "Linear", "Activation", "Sequential", "mlp"]
 
@@ -56,6 +56,17 @@ class Module:
     def forward(self, x: Tensor) -> Tensor:
         raise NotImplementedError
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Gradient-free forward on a raw array.
+
+        Bit-identical to ``self(Tensor(x)).numpy()`` under ``no_grad``
+        but without building tensor objects; layers with closed-form
+        forwards (Linear, Activation, Sequential) override this with
+        pure-NumPy versions for the compute fast path.
+        """
+        with no_grad():
+            return self.forward(Tensor(np.asarray(x, dtype=np.float64))).numpy()
+
     def __call__(self, *args, **kwargs) -> Tensor:
         return self.forward(*args, **kwargs)
 
@@ -96,6 +107,12 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
 
 class Activation(Module):
     """Elementwise activation by name: relu | tanh | sigmoid."""
@@ -110,6 +127,14 @@ class Activation(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return getattr(x, self.kind)()
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        # Same expressions as the Tensor ops' forward halves.
+        if self.kind == "relu":
+            return x * (x > 0)
+        if self.kind == "tanh":
+            return np.tanh(x)
+        return 1.0 / (1.0 + np.exp(-x))
 
 
 class Sequential(Module):
@@ -127,6 +152,12 @@ class Sequential(Module):
         for name in self._order:
             x = getattr(self, name)(x)
         return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for name in self._order:
+            out = getattr(self, name).infer(out)
+        return out
 
     def __iter__(self) -> Iterator[Module]:
         return (getattr(self, name) for name in self._order)

@@ -3,14 +3,33 @@
 Each optimizer steps on whatever is currently stored in ``param.grad`` —
 in distributed training that is the *aggregated* gradient written back by
 the strategy after the in-switch (or PS/AllReduce) aggregation completes.
+
+PR 10 added a flat fast path: :meth:`Optimizer.step_flat` takes the whole
+aggregated gradient as one float64 vector and updates parameters through
+in-place math on flat state vectors plus two preallocated scratch
+buffers, so a step allocates nothing on the hot loop.  Every fused
+sequence mirrors the legacy per-parameter expression order exactly (same
+IEEE-754 rounding at every intermediate — the only rewrites used are
+commuting scalar multiplies, which are bit-exact), so fast and legacy
+paths produce bit-identical weights; ``tests/test_compute_parity.py``
+proves it per optimizer and end-to-end.  The path is chosen at
+construction from ``repro.nn.fastpath``.
+
+State layout note: the flat state lives in ``self._flat_state``, a dict
+of string-keyed float64 vectors, because ``repro.faults.resync`` clones
+optimizer state by copying dict attributes (string keys pass through its
+id remap untouched).  The layout cache and scratch buffers are plain
+list/ndarray attributes, which the cloner deliberately skips — each
+instance rebuilds its own.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from .fastpath import compute_fastpath_enabled
 from .layers import Parameter
 
 __all__ = ["Optimizer", "SGD", "Adam", "RMSProp"]
@@ -26,12 +45,87 @@ class Optimizer:
         if not self.params:
             raise ValueError("optimizer needs at least one parameter")
         self.lr = lr
+        self._use_flat = compute_fastpath_enabled()
+        self._flat_state: Dict[str, np.ndarray] = {}
+        self._layout = None  # list attr: skipped by resync's state cloner
+        self._scratch_a: np.ndarray | None = None
+        self._scratch_b: np.ndarray | None = None
 
     def zero_grad(self) -> None:
         for param in self.params:
             param.zero_grad()
 
     def step(self) -> None:
+        """Step on ``param.grad``.
+
+        On the fast path the per-parameter grads are gathered into one
+        flat vector (a missing grad contributes zeros — identical to the
+        legacy skip whenever that parameter's state is zero, and the
+        training flows never produce partial grads on warm state) and
+        applied via :meth:`step_flat`.
+        """
+        if self._use_flat:
+            self.step_flat(self._gather_flat_grads())
+        else:
+            self._step_legacy()
+
+    def step_flat(self, flat_grad: np.ndarray) -> None:
+        """Step on a flat float64 gradient covering ``self.params`` in order.
+
+        ``flat_grad`` is read-only to this call; it may be a view into a
+        larger aggregated-update vector.
+        """
+        layout = self._ensure_layout()
+        vec = np.asarray(flat_grad, dtype=np.float64)
+        if vec.shape != (self._total,):
+            raise ValueError(
+                f"flat gradient has shape {vec.shape}, expected ({self._total},)"
+            )
+        if self._scratch_a is None:
+            self._scratch_a = np.empty(self._total, dtype=np.float64)
+            self._scratch_b = np.empty(self._total, dtype=np.float64)
+        self._step_flat(vec, layout)
+
+    # -- flat-path plumbing -------------------------------------------------
+
+    def _ensure_layout(self) -> List[Tuple[Parameter, slice, tuple]]:
+        if self._layout is None:
+            layout = []
+            offset = 0
+            for param in self.params:
+                size = param.data.size
+                layout.append((param, slice(offset, offset + size), param.data.shape))
+                offset += size
+            self._layout = layout
+            self._total = offset
+        return self._layout
+
+    def _gather_flat_grads(self) -> np.ndarray:
+        layout = self._ensure_layout()
+        flat = np.empty(self._total, dtype=np.float64)
+        for param, sl, _ in layout:
+            if param.grad is None:
+                flat[sl] = 0.0
+            else:
+                flat[sl] = param.grad.ravel()
+        return flat
+
+    def _flat_vector(self, key: str) -> np.ndarray:
+        state = self._flat_state.get(key)
+        if state is None:
+            state = self._flat_state[key] = np.zeros(self._total, dtype=np.float64)
+        return state
+
+    def _apply_flat_update(self, update: np.ndarray, layout) -> None:
+        for param, sl, shape in layout:
+            param.data -= update[sl].reshape(shape)
+
+    def _step_flat(self, vec: np.ndarray, layout) -> None:
+        raise NotImplementedError
+
+    # -- legacy path --------------------------------------------------------
+
+    def _step_legacy(self) -> None:
         raise NotImplementedError
 
     def _grads(self):
@@ -52,7 +146,7 @@ class SGD(Optimizer):
         self.momentum = momentum
         self._velocity: Dict[int, np.ndarray] = {}
 
-    def step(self) -> None:
+    def _step_legacy(self) -> None:
         for param, grad in self._grads():
             if self.momentum:
                 velocity = self._velocity.get(id(param))
@@ -64,6 +158,18 @@ class SGD(Optimizer):
             else:
                 update = grad
             param.data -= self.lr * update
+
+    def _step_flat(self, vec: np.ndarray, layout) -> None:
+        scratch = self._scratch_a
+        if self.momentum:
+            # velocity = momentum * velocity + grad
+            velocity = self._flat_vector("velocity")
+            velocity *= self.momentum
+            velocity += vec
+            np.multiply(velocity, self.lr, out=scratch)
+        else:
+            np.multiply(vec, self.lr, out=scratch)
+        self._apply_flat_update(scratch, layout)
 
 
 class Adam(Optimizer):
@@ -86,7 +192,7 @@ class Adam(Optimizer):
         self._v: Dict[int, np.ndarray] = {}
         self._t = 0
 
-    def step(self) -> None:
+    def _step_legacy(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
@@ -102,6 +208,31 @@ class Adam(Optimizer):
             v = self.beta2 * v + (1.0 - self.beta2) * grad**2
             self._m[key], self._v[key] = m, v
             param.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def _step_flat(self, vec: np.ndarray, layout) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        m = self._flat_vector("m")
+        v = self._flat_vector("v")
+        scratch, update = self._scratch_a, self._scratch_b
+        # m = beta1 * m + (1 - beta1) * grad
+        m *= self.beta1
+        np.multiply(vec, 1.0 - self.beta1, out=scratch)
+        m += scratch
+        # v = beta2 * v + (1 - beta2) * grad**2
+        v *= self.beta2
+        np.multiply(vec, vec, out=scratch)
+        scratch *= 1.0 - self.beta2
+        v += scratch
+        # update = lr * (m / bias1) / (sqrt(v / bias2) + eps)
+        np.divide(m, bias1, out=update)
+        update *= self.lr
+        np.divide(v, bias2, out=scratch)
+        np.sqrt(scratch, out=scratch)
+        scratch += self.eps
+        update /= scratch
+        self._apply_flat_update(update, layout)
 
 
 class RMSProp(Optimizer):
@@ -121,7 +252,7 @@ class RMSProp(Optimizer):
         self.eps = eps
         self._sq: Dict[int, np.ndarray] = {}
 
-    def step(self) -> None:
+    def _step_legacy(self) -> None:
         for param, grad in self._grads():
             key = id(param)
             sq = self._sq.get(key)
@@ -130,3 +261,18 @@ class RMSProp(Optimizer):
             sq = self.alpha * sq + (1.0 - self.alpha) * grad**2
             self._sq[key] = sq
             param.data -= self.lr * grad / (np.sqrt(sq) + self.eps)
+
+    def _step_flat(self, vec: np.ndarray, layout) -> None:
+        sq = self._flat_vector("sq")
+        scratch, update = self._scratch_a, self._scratch_b
+        # sq = alpha * sq + (1 - alpha) * grad**2
+        sq *= self.alpha
+        np.multiply(vec, vec, out=scratch)
+        scratch *= 1.0 - self.alpha
+        sq += scratch
+        # update = (lr * grad) / (sqrt(sq) + eps)   [legacy multiplies lr first]
+        np.sqrt(sq, out=scratch)
+        scratch += self.eps
+        np.multiply(vec, self.lr, out=update)
+        update /= scratch
+        self._apply_flat_update(update, layout)

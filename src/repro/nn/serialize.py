@@ -19,6 +19,7 @@ __all__ = [
     "flatten_params",
     "load_flat_params",
     "flatten_grads",
+    "flatten_grads_into",
     "load_flat_grads",
     "param_vector_size",
     "model_wire_bytes",
@@ -60,6 +61,28 @@ def flatten_grads(module: Module) -> np.ndarray:
         else:
             pieces.append(param.grad.ravel().astype(np.float32))
     return np.concatenate(pieces)
+
+
+def flatten_grads_into(module: Module) -> np.ndarray:
+    """:func:`flatten_grads` without the per-parameter intermediates.
+
+    One freshly allocated float32 output buffer, filled by casting slice
+    assignment — bit-identical values (the float64→float32 cast happens
+    per element either way).  The buffer must be fresh every call: the
+    simulator's zero-copy aggregation adopts the first writable float32
+    contribution it receives, so handing it a reused scratch buffer
+    would let the engine scribble over the worker's next gradient.
+    """
+    params = module.parameters()
+    out = np.empty(sum(p.size for p in params), dtype=np.float32)
+    offset = 0
+    for param in params:
+        if param.grad is None:
+            out[offset : offset + param.size] = 0.0
+        else:
+            out[offset : offset + param.size] = param.grad.ravel()
+        offset += param.size
+    return out
 
 
 def load_flat_grads(module: Module, vector: np.ndarray) -> None:

@@ -4,9 +4,17 @@ from .a2c import A2C, ActorCritic, discounted_returns
 from .base import Algorithm
 from .ddpg import DDPG, ActorCriticPair, OUNoise
 from .dqn import DQN
-from .envs import Cheetah1D, Environment, GridPong, GridQbert, Hopper1D
+from .envs import (
+    Cheetah1D,
+    Environment,
+    GridPong,
+    GridQbert,
+    Hopper1D,
+    VectorEnv,
+    make_vector_env,
+)
 from .ppo import PPO, GaussianActorCritic, gae_advantages
-from .replay import ReplayBuffer, Transition
+from .replay import Batch, ReplayBuffer, Transition, make_replay_buffer
 from .spaces import Box, Discrete
 
 __all__ = [
@@ -23,6 +31,8 @@ __all__ = [
     "gae_advantages",
     "ReplayBuffer",
     "Transition",
+    "Batch",
+    "make_replay_buffer",
     "Box",
     "Discrete",
     "Environment",
@@ -30,4 +40,6 @@ __all__ = [
     "GridQbert",
     "Hopper1D",
     "Cheetah1D",
+    "VectorEnv",
+    "make_vector_env",
 ]

@@ -7,6 +7,13 @@ bootstraps the tail with the value network, and produces one gradient of
 
 Policy and value networks are separate MLPs held in one container so the
 whole model travels as a single gradient vector.
+
+Compute fast path (PR 10, DESIGN.md §13): action selection and the tail
+bootstrap run through ``Sequential.infer`` and the value loss uses the
+fused MSE kernel — bit-identical to the legacy composed ops.  With a
+:class:`~repro.rl.envs.vector.VectorEnv` the rollout advances K envs per
+step and flattens time-major into one graph pass; K = 1 reproduces
+scalar stepping bit-for-bit on the same rng stream.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from ..nn import (
     Adam,
     Tensor,
     entropy_from_logits,
+    fused_mse_loss,
     mse_loss,
     nll_from_logits,
     mlp,
@@ -27,6 +35,7 @@ from ..nn import (
 from ..nn.layers import Module
 from .base import Algorithm
 from .envs.base import Environment
+from .envs.vector import VectorEnv
 from .spaces import Discrete
 
 __all__ = ["A2C", "ActorCritic", "discounted_returns"]
@@ -76,6 +85,7 @@ class A2C(Algorithm):
         if rollout_steps < 1:
             raise ValueError(f"rollout_steps must be >= 1, got {rollout_steps}")
         self.env = env
+        self._venv = env if isinstance(env, VectorEnv) else None
         self.rng = np.random.default_rng(seed)
         self.gamma = gamma
         self.rollout_steps = rollout_steps
@@ -93,43 +103,89 @@ class A2C(Algorithm):
         self._obs = env.reset()
 
     # ------------------------------------------------------------------
-    def act(self, obs: np.ndarray) -> int:
+    def _policy_logits(self, obs_batch: np.ndarray) -> np.ndarray:
+        if self._fast_compute:
+            return self.container.policy.infer(obs_batch)
         with no_grad():
-            logits = self.container.policy(Tensor(obs[None, :])).numpy()[0]
+            return self.container.policy(Tensor(obs_batch)).numpy()
+
+    def act(self, obs: np.ndarray) -> int:
+        logits = self._policy_logits(obs[None, :])[0]
         logits = logits - logits.max()
         probs = np.exp(logits)
         probs /= probs.sum()
         return int(self.rng.choice(len(probs), p=probs))
 
-    def compute_gradient(self) -> np.ndarray:
-        observations, actions, rewards, dones = [], [], [], []
-        for _ in range(self.rollout_steps):
-            action = self.act(self._obs)
-            next_obs, reward, done, _ = self.env.step(action)
-            observations.append(self._obs)
-            actions.append(action)
-            rewards.append(reward)
-            dones.append(done)
-            self._track_reward(reward, done)
-            self._obs = self.env.reset() if done else next_obs
+    def act_batch(self, obs_batch: np.ndarray) -> np.ndarray:
+        """Sample actions for a batch of observations (one net forward).
 
-        states = np.stack(observations)
-        actions_arr = np.asarray(actions, dtype=np.int64)
-        rewards_arr = np.asarray(rewards, dtype=np.float64)
-        dones_arr = np.asarray(dones, dtype=np.float64)
+        Per-row softmax and rng draws run in env index order; a single
+        row consumes the rng stream exactly as :meth:`act` does.
+        """
+        all_logits = self._policy_logits(obs_batch)
+        actions = np.empty(len(obs_batch), dtype=np.int64)
+        for i in range(len(obs_batch)):
+            logits = all_logits[i] - all_logits[i].max()
+            probs = np.exp(logits)
+            probs /= probs.sum()
+            actions[i] = self.rng.choice(len(probs), p=probs)
+        return actions
 
+    def _bootstrap_values(self, obs_batch: np.ndarray) -> np.ndarray:
+        if self._fast_compute:
+            return self.container.value.infer(obs_batch)[:, 0]
         with no_grad():
-            bootstrap = float(
-                self.container.value(Tensor(self._obs[None, :])).numpy()[0, 0]
-            )
-        returns = discounted_returns(rewards_arr, dones_arr, bootstrap, self.gamma)
+            return self.container.value(Tensor(obs_batch)).numpy()[:, 0]
+
+    def compute_gradient(self) -> np.ndarray:
+        if self._venv is not None:
+            obs_buf, act_buf, rew_buf, done_buf = [], [], [], []
+            for _ in range(self.rollout_steps):
+                actions = self.act_batch(self._obs)
+                next_obs, rewards, dones, _ = self.env.step(actions)
+                obs_buf.append(self._obs)
+                act_buf.append(actions)
+                rew_buf.append(rewards)
+                done_buf.append(dones)
+                self._track_rewards_batch(rewards, dones)
+                self._obs = next_obs
+            num_envs = self.env.num_envs
+            states = np.asarray(obs_buf).reshape(self.rollout_steps * num_envs, -1)
+            actions_flat = np.asarray(act_buf, dtype=np.int64).reshape(-1)
+            rewards_arr = np.asarray(rew_buf, dtype=np.float64)
+            dones_arr = np.asarray(done_buf, dtype=np.float64)
+            bootstrap = self._bootstrap_values(self._obs)
+        else:
+            observations, actions, rewards, dones = [], [], [], []
+            for _ in range(self.rollout_steps):
+                action = self.act(self._obs)
+                next_obs, reward, done, _ = self.env.step(action)
+                observations.append(self._obs)
+                actions.append(action)
+                rewards.append(reward)
+                dones.append(done)
+                self._track_reward(reward, done)
+                self._obs = self.env.reset() if done else next_obs
+            states = np.stack(observations)
+            actions_flat = np.asarray(actions, dtype=np.int64)
+            rewards_arr = np.asarray(rewards, dtype=np.float64)
+            dones_arr = np.asarray(dones, dtype=np.float64)
+            bootstrap = float(self._bootstrap_values(self._obs[None, :])[0])
+
+        # discounted_returns broadcasts over (T,) or (T, K) rollouts alike.
+        returns = discounted_returns(
+            rewards_arr, dones_arr, bootstrap, self.gamma
+        ).reshape(-1)
 
         self.container.zero_grad()
         values = self.container.value(Tensor(states)).reshape(-1)
         advantages = returns - values.numpy()  # stop-gradient advantage
         logits = self.container.policy(Tensor(states))
-        pg_loss = (nll_from_logits(logits, actions_arr) * Tensor(advantages)).mean()
-        value_loss = mse_loss(values, Tensor(returns))
+        pg_loss = (nll_from_logits(logits, actions_flat) * Tensor(advantages)).mean()
+        if self._fast_compute:
+            value_loss = fused_mse_loss(values, returns)
+        else:
+            value_loss = mse_loss(values, Tensor(returns))
         entropy = entropy_from_logits(logits)
         loss = pg_loss + self.value_coef * value_loss - self.entropy_coef * entropy
         loss.backward()

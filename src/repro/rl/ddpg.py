@@ -12,6 +12,14 @@ noise, push to replay, then compute
 Target networks are soft-updated (Polyak τ) after every applied update —
 deterministic in the update count, so decentralized replicas stay
 identical.
+
+Compute fast path (PR 10, DESIGN.md §13): gradient-free forwards go
+through ``Sequential.infer``, the critic TD loss is the fused MSE
+kernel, and replay is the ring buffer — bit-identical to the legacy
+composed-op path.  A :class:`~repro.rl.envs.vector.VectorEnv` steps K
+environments per call with one batched actor forward and a (K, dim)
+Ornstein–Uhlenbeck state; K = 1 consumes the same rng stream as scalar
+stepping and reproduces it bit-for-bit.
 """
 
 from __future__ import annotations
@@ -20,12 +28,22 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Adam, Tensor, concat, mse_loss, mlp, no_grad
+from ..nn import (
+    Adam,
+    Tensor,
+    concat,
+    fused_mse_loss,
+    mse_loss,
+    mlp,
+    no_grad,
+    td_targets,
+)
 from ..nn.layers import Module
 from ..nn.serialize import flatten_params, load_flat_params
 from .base import Algorithm
 from .envs.base import Environment
-from .replay import ReplayBuffer, Transition
+from .envs.vector import VectorEnv
+from .replay import Transition, make_replay_buffer
 from .spaces import Box
 
 __all__ = ["DDPG", "OUNoise", "ActorCriticPair"]
@@ -59,6 +77,38 @@ class OUNoise:
         return self.state
 
 
+class _BatchedOUNoise:
+    """OU noise with one state row per env.
+
+    The (K, dim) normal draw fills row-major, so with one row the rng
+    stream matches the scalar :class:`OUNoise` draw exactly.
+    """
+
+    def __init__(
+        self,
+        num_envs: int,
+        dim: int,
+        rng: np.random.Generator,
+        theta: float = 0.15,
+        sigma: float = 0.2,
+    ) -> None:
+        self.rng = rng
+        self.theta = theta
+        self.sigma = sigma
+        self.state = np.zeros((num_envs, dim))
+
+    def reset_rows(self, rows: np.ndarray) -> None:
+        self.state[rows] = 0.0
+
+    def sample(self) -> np.ndarray:
+        self.state = (
+            self.state
+            - self.theta * self.state
+            + self.sigma * self.rng.standard_normal(self.state.shape)
+        )
+        return self.state
+
+
 class ActorCriticPair(Module):
     """Actor π(s) and critic Q(s, a) in one parameter container."""
 
@@ -73,6 +123,10 @@ class ActorCriticPair(Module):
 
     def q_value(self, states: Tensor, actions: Tensor) -> Tensor:
         return self.critic(concat([states, actions], axis=1)).reshape(-1)
+
+    def q_value_infer(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        """Gradient-free :meth:`q_value`, same concat + forward in NumPy."""
+        return self.critic.infer(np.concatenate([states, actions], axis=1))[:, 0]
 
 
 class DDPG(Algorithm):
@@ -98,6 +152,7 @@ class DDPG(Algorithm):
         if not 0.0 < tau <= 1.0:
             raise ValueError(f"tau must be in (0, 1], got {tau}")
         self.env = env
+        self._venv = env if isinstance(env, VectorEnv) else None
         self.rng = np.random.default_rng(seed)
         self.gamma = gamma
         self.tau = tau
@@ -121,19 +176,41 @@ class DDPG(Algorithm):
         load_flat_params(self.targets, flatten_params(container))
         self.actor_optimizer = Adam(container.actor.parameters(), lr=actor_lr)
         self.critic_optimizer = Adam(container.critic.parameters(), lr=critic_lr)
-        self.noise = OUNoise(env.action_space.dim, self.rng)
-        self.buffer = ReplayBuffer(buffer_capacity, self.rng)
+        if self._venv is not None:
+            self.noise = _BatchedOUNoise(
+                self.env.num_envs, env.action_space.dim, self.rng
+            )
+        else:
+            self.noise = OUNoise(env.action_space.dim, self.rng)
+        self.buffer = make_replay_buffer(buffer_capacity, self.rng)
         self._obs = env.reset()
 
     # ------------------------------------------------------------------
     def act(self, obs: np.ndarray, explore: bool = True) -> np.ndarray:
-        with no_grad():
-            action = self.container.actor(Tensor(obs[None, :])).numpy()[0]
+        if self._fast_compute:
+            action = self.container.actor.infer(obs[None, :])[0]
+        else:
+            with no_grad():
+                action = self.container.actor(Tensor(obs[None, :])).numpy()[0]
         if explore:
             action = action + self.noise.sample()
         return self.env.action_space.clip(action)
 
+    def act_batch(self, obs_batch: np.ndarray, explore: bool = True) -> np.ndarray:
+        """Deterministic actions for a batch of observations plus OU noise."""
+        if self._fast_compute:
+            actions = self.container.actor.infer(obs_batch)
+        else:
+            with no_grad():
+                actions = self.container.actor(Tensor(obs_batch)).numpy()
+        if explore:
+            actions = actions + self.noise.sample()
+        return self.env.action_space.clip(actions)
+
     def _env_step(self) -> None:
+        if self._venv is not None:
+            self._env_step_batch()
+            return
         action = self.act(self._obs)
         next_obs, reward, done, _ = self.env.step(action)
         self.buffer.push(Transition(self._obs, action, reward, next_obs, done))
@@ -143,6 +220,22 @@ class DDPG(Algorithm):
             self.noise.reset()
         else:
             self._obs = next_obs
+
+    def _env_step_batch(self) -> None:
+        actions = self.act_batch(self._obs)
+        next_obs, rewards, dones, infos = self.env.step(actions)
+        # Replay must see the terminal observation, not the autoreset one.
+        bootstrap_obs = next_obs
+        done_rows = np.nonzero(dones)[0]
+        if done_rows.size:
+            bootstrap_obs = next_obs.copy()
+            for i in done_rows:
+                bootstrap_obs[i] = infos[i]["terminal_observation"]
+        self.buffer.push_batch(self._obs, actions, rewards, bootstrap_obs, dones)
+        self._track_rewards_batch(rewards, dones)
+        if done_rows.size:
+            self.noise.reset_rows(done_rows)
+        self._obs = next_obs
 
     # ------------------------------------------------------------------
     def compute_gradient(self) -> np.ndarray:
@@ -155,16 +248,28 @@ class DDPG(Algorithm):
         states = Tensor(batch.states)
         actions = Tensor(batch.actions.astype(np.float64))
 
-        with no_grad():
-            next_actions = self.targets.actor(Tensor(batch.next_states))
-            next_q = self.targets.q_value(
-                Tensor(batch.next_states), next_actions
-            ).numpy()
-        targets = batch.rewards + self.gamma * next_q * (1.0 - batch.dones)
+        if self._fast_compute:
+            next_actions = self.targets.actor.infer(batch.next_states)
+            next_q = self.targets.q_value_infer(batch.next_states, next_actions)
+            targets = td_targets(batch.rewards, next_q, batch.dones, self.gamma)
+        else:
+            with no_grad():
+                next_actions = self.targets.actor(Tensor(batch.next_states))
+                next_q = self.targets.q_value(
+                    Tensor(batch.next_states), next_actions
+                ).numpy()
+            targets = batch.rewards + self.gamma * next_q * (1.0 - batch.dones)
 
         # Critic gradient.
         self.container.zero_grad()
-        critic_loss = mse_loss(self.container.q_value(states, actions), Tensor(targets))
+        if self._fast_compute:
+            critic_loss = fused_mse_loss(
+                self.container.q_value(states, actions), targets
+            )
+        else:
+            critic_loss = mse_loss(
+                self.container.q_value(states, actions), Tensor(targets)
+            )
         critic_loss.backward()
         critic_grads = {
             id(p): p.grad.copy()

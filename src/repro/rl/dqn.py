@@ -15,6 +15,16 @@ Extensions beyond the 2015 recipe (both off by default):
 * ``n_step > 1`` — n-step TD targets: transitions entering the replay
   buffer carry the discounted sum of the next n rewards and bootstrap
   from the state n steps ahead.
+
+Compute fast path (PR 10, DESIGN.md §13): gradient-free forwards go
+through ``Sequential.infer`` (raw NumPy, no tape), the trained update is
+one closed-form fused forward+backward over the whole MLP → gather →
+Huber graph (``fused_qnet_grad``), replay is the ring buffer, and the
+n-step fold is one vectorized array update — all bit-identical to the legacy
+composed-op path.  Passing a :class:`~repro.rl.envs.vector.VectorEnv`
+steps K environments per call with one batched ``act``; with K = 1 the
+batched path consumes the same rng stream as scalar stepping and
+reproduces it bit-for-bit.
 """
 
 from __future__ import annotations
@@ -24,12 +34,13 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Adam, Tensor, huber_loss, mlp, no_grad
+from ..nn import Adam, Tensor, fused_qnet_grad, huber_loss, mlp, no_grad, td_targets
 from ..nn.layers import Module
 from ..nn.serialize import flatten_params, load_flat_params
 from .base import Algorithm
 from .envs.base import Environment
-from .replay import ReplayBuffer, Transition
+from .envs.vector import VectorEnv
+from .replay import Transition, make_replay_buffer
 from .spaces import Discrete
 
 __all__ = ["DQN"]
@@ -72,6 +83,7 @@ class DQN(Algorithm):
         if n_step < 1:
             raise ValueError(f"n_step must be >= 1, got {n_step}")
         self.env = env
+        self._venv = env if isinstance(env, VectorEnv) else None
         self.rng = np.random.default_rng(seed)
         self.gamma = gamma
         self.batch_size = batch_size
@@ -84,6 +96,12 @@ class DQN(Algorithm):
         self.double_dqn = double_dqn
         self.n_step = n_step
         self._pending: deque = deque()
+        self._pending_per_env: Optional[list] = None
+        # Same values the legacy per-entry `gamma ** age` produced.
+        self._gamma_powers = np.array([gamma**j for j in range(n_step)])
+        self._pending_rewards = np.zeros(n_step)
+        self._pending_ages = np.zeros(n_step, dtype=np.int64)
+        self._pending_heads: list = []
 
         n_actions = env.action_space.n
         sizes = [env.observation_size, *hidden, n_actions]
@@ -94,7 +112,7 @@ class DQN(Algorithm):
         self.target_net = mlp(sizes, rng=np.random.default_rng(0))
         self._sync_target()
         self.optimizer = Adam(self.container.parameters(), lr=lr)
-        self.buffer = ReplayBuffer(buffer_capacity, self.rng)
+        self.buffer = make_replay_buffer(buffer_capacity, self.rng)
         self._obs = env.reset()
 
     # ------------------------------------------------------------------
@@ -112,42 +130,143 @@ class DQN(Algorithm):
     def act(self, obs: np.ndarray, greedy: bool = False) -> int:
         if not greedy and self.rng.random() < self.epsilon:
             return self.env.action_space.sample(self.rng)
-        with no_grad():
-            q_values = self.q_net(Tensor(obs[None, :])).numpy()
+        if self._fast_compute:
+            q_values = self.q_net.infer(obs[None, :])
+        else:
+            with no_grad():
+                q_values = self.q_net(Tensor(obs[None, :])).numpy()
         return int(np.argmax(q_values[0]))
 
+    def act_batch(self, obs_batch: np.ndarray, greedy: bool = False) -> np.ndarray:
+        """ε-greedy actions for a batch of observations (one net forward).
+
+        Exploration draws happen in env index order; with one row this
+        consumes the rng stream exactly as :meth:`act` does.
+        """
+        k = len(obs_batch)
+        actions = np.empty(k, dtype=np.int64)
+        if greedy:
+            explore = np.zeros(k, dtype=bool)
+        else:
+            explore = self.rng.random(k) < self.epsilon
+            for i in np.nonzero(explore)[0]:
+                actions[i] = self.env.action_space.sample(self.rng)
+        exploit = np.nonzero(~explore)[0]
+        if exploit.size:
+            if self._fast_compute:
+                q_values = self.q_net.infer(obs_batch[exploit])
+            else:
+                with no_grad():
+                    q_values = self.q_net(Tensor(obs_batch[exploit])).numpy()
+            actions[exploit] = np.argmax(q_values, axis=1)
+        return actions
+
     def _env_step(self, greedy: bool = False) -> None:
+        if self._venv is not None:
+            self._env_step_batch(greedy)
+            return
         action = self.act(self._obs, greedy=greedy)
         next_obs, reward, done, _ = self.env.step(action)
         if self.n_step == 1:
             self.buffer.push(
                 Transition(self._obs, action, reward, next_obs, done)
             )
+        elif self._fast_compute:
+            self._accumulate_n_step_fast(self._obs, action, reward, next_obs, done)
         else:
             self._accumulate_n_step(self._obs, action, reward, next_obs, done)
         self._track_reward(reward, done)
         self._obs = self.env.reset() if done else next_obs
 
-    def _accumulate_n_step(self, obs, action, reward, next_obs, done) -> None:
+    def _env_step_batch(self, greedy: bool = False) -> None:
+        actions = self.act_batch(self._obs, greedy=greedy)
+        next_obs, rewards, dones, infos = self.env.step(actions)
+        # Replay must see the terminal observation, not the autoreset one.
+        bootstrap_obs = next_obs
+        done_rows = np.nonzero(dones)[0]
+        if done_rows.size:
+            bootstrap_obs = next_obs.copy()
+            for i in done_rows:
+                bootstrap_obs[i] = infos[i]["terminal_observation"]
+        if self.n_step == 1:
+            self.buffer.push_batch(self._obs, actions, rewards, bootstrap_obs, dones)
+        else:
+            if self._pending_per_env is None:
+                self._pending_per_env = [deque() for _ in range(len(actions))]
+            for i in range(len(actions)):
+                self._accumulate_n_step(
+                    np.array(self._obs[i]),
+                    int(actions[i]),
+                    float(rewards[i]),
+                    np.array(bootstrap_obs[i]),
+                    bool(dones[i]),
+                    pending=self._pending_per_env[i],
+                )
+        self._track_rewards_batch(rewards, dones)
+        self._obs = next_obs
+
+    def _accumulate_n_step(
+        self, obs, action, reward, next_obs, done, pending: Optional[deque] = None
+    ) -> None:
         """Fold the newest step into pending n-step transitions.
 
         A pending transition matures when it has absorbed ``n_step``
         rewards (bootstrapping from the state n steps ahead) or when the
         episode ends (no bootstrap left to wait for).
         """
-        self._pending.append([obs, action, 0.0, next_obs, done, 0])
-        for entry in self._pending:
+        if pending is None:
+            pending = self._pending
+        pending.append([obs, action, 0.0, next_obs, done, 0])
+        for entry in pending:
             entry[2] += reward * (self.gamma ** entry[5])
             entry[3] = next_obs
             entry[4] = done
             entry[5] += 1
-        while self._pending and (
-            self._pending[0][5] >= self.n_step or done
-        ):
-            first = self._pending.popleft()
+        while pending and (pending[0][5] >= self.n_step or done):
+            first = pending.popleft()
             self.buffer.push(
                 Transition(first[0], first[1], first[2], first[3], first[4])
             )
+
+    def _accumulate_n_step_fast(self, obs, action, reward, next_obs, done) -> None:
+        """Array-based n-step fold, bit-identical to :meth:`_accumulate_n_step`.
+
+        Pending (state, action) heads sit in a list; their reward
+        accumulators and ages live in two fixed arrays (at most
+        ``n_step`` entries are ever pending), so the per-step fold is one
+        vectorized multiply-add instead of a Python loop.  The mature
+        next_state/done are taken from the current step — exactly what
+        the legacy per-entry rewrite left in place at pop time.
+        """
+        heads = self._pending_heads
+        count = len(heads)
+        heads.append((obs, action))
+        self._pending_rewards[count] = 0.0
+        self._pending_ages[count] = 0
+        count += 1
+        self._pending_rewards[:count] += (
+            reward * self._gamma_powers[self._pending_ages[:count]]
+        )
+        self._pending_ages[:count] += 1
+        mature = count if done else np.searchsorted(
+            -self._pending_ages[:count], -self.n_step, side="right"
+        )
+        if mature:
+            for j in range(mature):
+                head_obs, head_action = heads[j]
+                self.buffer.push(
+                    Transition(
+                        head_obs,
+                        head_action,
+                        float(self._pending_rewards[j]),
+                        next_obs,
+                        done,
+                    )
+                )
+            del heads[:mature]
+            remaining = count - mature
+            self._pending_rewards[:remaining] = self._pending_rewards[mature:count]
+            self._pending_ages[:remaining] = self._pending_ages[mature:count]
 
     # ------------------------------------------------------------------
     # The LGC stage
@@ -159,25 +278,44 @@ class DQN(Algorithm):
             self._env_step()
 
         batch = self.buffer.sample(self.batch_size)
-        with no_grad():
-            next_q = self.target_net(Tensor(batch.next_states)).numpy()
+        if self._fast_compute:
+            next_q = self.target_net.infer(batch.next_states)
             if self.double_dqn:
-                # Online net selects, target net evaluates.
-                online_next = self.q_net(Tensor(batch.next_states)).numpy()
+                online_next = self.q_net.infer(batch.next_states)
                 best = np.argmax(online_next, axis=1)
                 bootstrap = next_q[np.arange(len(best)), best]
             else:
                 bootstrap = next_q.max(axis=1)
+        else:
+            with no_grad():
+                next_q = self.target_net(Tensor(batch.next_states)).numpy()
+                if self.double_dqn:
+                    # Online net selects, target net evaluates.
+                    online_next = self.q_net(Tensor(batch.next_states)).numpy()
+                    best = np.argmax(online_next, axis=1)
+                    bootstrap = next_q[np.arange(len(best)), best]
+                else:
+                    bootstrap = next_q.max(axis=1)
         # n-step transitions already carry the discounted reward sum; the
         # bootstrap therefore discounts by gamma^n.
         discount = self.gamma**self.n_step
-        targets = batch.rewards + discount * bootstrap * (1.0 - batch.dones)
 
         self.container.zero_grad()
-        q_values = self.q_net(Tensor(batch.states))
-        chosen = q_values.gather(batch.actions.astype(np.int64))
-        loss = huber_loss(chosen, Tensor(targets))
-        loss.backward()
+        if self._fast_compute:
+            # Closed-form fused forward+backward over the whole graph —
+            # no tape nodes at all (bit-identical; DESIGN.md §13).
+            fused_qnet_grad(
+                self.q_net,
+                batch.states,
+                batch.actions,
+                td_targets(batch.rewards, bootstrap, batch.dones, discount),
+            )
+        else:
+            q_values = self.q_net(Tensor(batch.states))
+            chosen = q_values.gather(batch.actions.astype(np.int64))
+            targets = batch.rewards + discount * bootstrap * (1.0 - batch.dones)
+            loss = huber_loss(chosen, Tensor(targets))
+            loss.backward()
         return self.gradient_vector()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,60 @@
+"""Legacy (pre-PR-10) compute-path reference implementations.
+
+These are the exact implementations the compute fast path replaced, kept
+verbatim so the differential suite (``tests/test_compute_parity.py``)
+and the ``*-legacy`` bench twins measure the fast path against the real
+thing rather than a reconstruction.  Selected via
+``repro.nn.fastpath.use_legacy_compute()`` / ``REPRO_COMPUTE=legacy``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .replay import Batch, Transition
+
+__all__ = ["LegacyReplayBuffer"]
+
+
+class LegacyReplayBuffer:
+    """The pre-PR-10 list-of-NamedTuples ring with Python-loop stacking."""
+
+    def __init__(self, capacity: int, rng: np.random.Generator) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.rng = rng
+        self._storage: list = []
+        self._cursor = 0
+
+    def push(self, transition: Transition) -> None:
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def push_batch(self, states, actions, rewards, next_states, dones) -> None:
+        for i in range(len(states)):
+            self.push(
+                Transition(states[i], actions[i], rewards[i], next_states[i], dones[i])
+            )
+
+    def sample(self, batch_size: int) -> Batch:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if not self._storage:
+            raise ValueError("cannot sample from an empty replay buffer")
+        replace = batch_size > len(self._storage)
+        indices = self.rng.choice(len(self._storage), size=batch_size, replace=replace)
+        transitions = [self._storage[i] for i in indices]
+        return Batch(
+            states=np.stack([t.state for t in transitions]),
+            actions=np.asarray([t.action for t in transitions]),
+            rewards=np.asarray([t.reward for t in transitions], dtype=np.float64),
+            next_states=np.stack([t.next_state for t in transitions]),
+            dones=np.asarray([t.done for t in transitions], dtype=np.float64),
+        )
+
+    def __len__(self) -> int:
+        return len(self._storage)

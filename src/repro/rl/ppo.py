@@ -12,6 +12,14 @@ gradient of the clipped surrogate over the whole batch.  With
 calls return surrogate gradients against the *same* stored rollout and
 old-policy log-probabilities — each still one gradient per distributed
 iteration, so the aggregation pattern is unchanged.
+
+Compute fast path (PR 10, DESIGN.md §13): acting, the rollout's values /
+bootstrap, and the old-policy log-probs run as closed-form NumPy
+(mirroring the autograd expressions op for op), and the value term uses
+the fused MSE kernel — bit-identical to the legacy path.  A
+:class:`~repro.rl.envs.vector.VectorEnv` collects K envs per rollout
+step (flattened time-major); K = 1 reproduces scalar stepping
+bit-for-bit on the same rng stream.
 """
 
 from __future__ import annotations
@@ -21,10 +29,11 @@ from typing import Optional
 
 import numpy as np
 
-from ..nn import Adam, Tensor, mse_loss, mlp, no_grad
+from ..nn import Adam, Tensor, fused_mse_loss, mse_loss, mlp, no_grad
 from ..nn.layers import Module, Parameter
 from .base import Algorithm
 from .envs.base import Environment
+from .envs.vector import VectorEnv
 from .spaces import Box
 
 __all__ = ["PPO", "GaussianActorCritic", "gae_advantages"]
@@ -51,6 +60,15 @@ class GaussianActorCritic(Module):
             - self.log_std
             - Tensor(0.5 * _LOG_2PI)
         )
+        return per_dim.sum(axis=-1)
+
+    def log_prob_infer(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        """Gradient-free :meth:`log_prob`, same expressions in raw NumPy."""
+        mean = self.mean.infer(states)
+        log_std = self.log_std.data
+        std = np.exp(log_std)
+        normalized = (actions - mean) / std
+        per_dim = -0.5 * (normalized * normalized) - log_std - 0.5 * _LOG_2PI
         return per_dim.sum(axis=-1)
 
     def entropy(self) -> Tensor:
@@ -104,6 +122,7 @@ class PPO(Algorithm):
         if epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {epochs}")
         self.env = env
+        self._venv = env if isinstance(env, VectorEnv) else None
         self.rng = np.random.default_rng(seed)
         self.gamma = gamma
         self.lam = lam
@@ -127,11 +146,31 @@ class PPO(Algorithm):
 
     # ------------------------------------------------------------------
     def act(self, obs: np.ndarray) -> np.ndarray:
-        with no_grad():
-            mean = self.container.mean(Tensor(obs[None, :])).numpy()[0]
-            std = np.exp(self.container.log_std.numpy())
+        if self._fast_compute:
+            mean = self.container.mean.infer(obs[None, :])[0]
+            std = np.exp(self.container.log_std.data)
+        else:
+            with no_grad():
+                mean = self.container.mean(Tensor(obs[None, :])).numpy()[0]
+                std = np.exp(self.container.log_std.numpy())
         action = mean + std * self.rng.standard_normal(mean.shape)
         return self.env.action_space.clip(action)
+
+    def act_batch(self, obs_batch: np.ndarray) -> np.ndarray:
+        """Sample a batch of Gaussian actions (one mean-net forward).
+
+        The (K, action_dim) noise draw consumes the rng stream row-major
+        — with one row, exactly the scalar :meth:`act` draw.
+        """
+        if self._fast_compute:
+            mean = self.container.mean.infer(obs_batch)
+            std = np.exp(self.container.log_std.data)
+        else:
+            with no_grad():
+                mean = self.container.mean(Tensor(obs_batch)).numpy()
+                std = np.exp(self.container.log_std.numpy())
+        actions = mean + std * self.rng.standard_normal(mean.shape)
+        return self.env.action_space.clip(actions)
 
     def compute_gradient(self) -> np.ndarray:
         if self._stored_rollout is not None and self._epochs_used < self.epochs:
@@ -142,36 +181,65 @@ class PPO(Algorithm):
         self._epochs_used = 1
         return self._surrogate_gradient(*rollout)
 
-    def _collect_rollout(self):
-        observations, actions, rewards, dones = [], [], [], []
-        for _ in range(self.rollout_steps):
-            action = self.act(self._obs)
-            next_obs, reward, done, _ = self.env.step(action)
-            observations.append(self._obs)
-            actions.append(action)
-            rewards.append(reward)
-            dones.append(done)
-            self._track_reward(reward, done)
-            self._obs = self.env.reset() if done else next_obs
-
-        states = np.stack(observations)
-        actions_arr = np.stack(actions)
-        rewards_arr = np.asarray(rewards, dtype=np.float64)
-        dones_arr = np.asarray(dones, dtype=np.float64)
-
+    def _state_values(self, states: np.ndarray) -> np.ndarray:
+        if self._fast_compute:
+            return self.container.value.infer(states)[:, 0]
         with no_grad():
-            values = self.container.value(Tensor(states)).numpy().reshape(-1)
-            bootstrap = float(
-                self.container.value(Tensor(self._obs[None, :])).numpy()[0, 0]
-            )
-            old_log_probs = self.container.log_prob(
-                Tensor(states), actions_arr
-            ).numpy()
+            return self.container.value(Tensor(states)).numpy()[:, 0]
 
+    def _old_log_probs(self, states: np.ndarray, actions_arr: np.ndarray) -> np.ndarray:
+        if self._fast_compute:
+            return self.container.log_prob_infer(states, actions_arr)
+        with no_grad():
+            return self.container.log_prob(Tensor(states), actions_arr).numpy()
+
+    def _collect_rollout(self):
+        if self._venv is not None:
+            obs_buf, act_buf, rew_buf, done_buf = [], [], [], []
+            for _ in range(self.rollout_steps):
+                batch_actions = self.act_batch(self._obs)
+                next_obs, rewards, dones, _ = self.env.step(batch_actions)
+                obs_buf.append(self._obs)
+                act_buf.append(batch_actions)
+                rew_buf.append(rewards)
+                done_buf.append(dones)
+                self._track_rewards_batch(rewards, dones)
+                self._obs = next_obs
+            num_envs = self.env.num_envs
+            states = np.asarray(obs_buf).reshape(self.rollout_steps * num_envs, -1)
+            actions_arr = np.asarray(act_buf).reshape(states.shape[0], -1)
+            # GAE runs on (T, K) arrays with a (K,) bootstrap; the recursion
+            # broadcasts elementwise, so K = 1 matches the scalar path.
+            rewards_arr = np.asarray(rew_buf, dtype=np.float64)
+            dones_arr = np.asarray(done_buf, dtype=np.float64)
+            values = self._state_values(states).reshape(
+                self.rollout_steps, num_envs
+            )
+            bootstrap = self._state_values(self._obs)
+        else:
+            observations, actions, rewards, dones = [], [], [], []
+            for _ in range(self.rollout_steps):
+                action = self.act(self._obs)
+                next_obs, reward, done, _ = self.env.step(action)
+                observations.append(self._obs)
+                actions.append(action)
+                rewards.append(reward)
+                dones.append(done)
+                self._track_reward(reward, done)
+                self._obs = self.env.reset() if done else next_obs
+            states = np.stack(observations)
+            actions_arr = np.stack(actions)
+            rewards_arr = np.asarray(rewards, dtype=np.float64)
+            dones_arr = np.asarray(dones, dtype=np.float64)
+            values = self._state_values(states)
+            bootstrap = float(self._state_values(self._obs[None, :])[0])
+
+        old_log_probs = self._old_log_probs(states, actions_arr).reshape(-1)
         advantages = gae_advantages(
             rewards_arr, values, dones_arr, bootstrap, self.gamma, self.lam
         )
-        returns = advantages + values
+        returns = (advantages + values).reshape(-1)
+        advantages = advantages.reshape(-1)
         advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
         return states, actions_arr, old_log_probs, advantages, returns
 
@@ -190,9 +258,14 @@ class PPO(Algorithm):
         # min(a,b) = 0.5*(a + b - |a - b|).
         surrogate = 0.5 * (unclipped + clipped - (unclipped - clipped).abs())
         policy_loss = -surrogate.mean()
-        value_loss = mse_loss(
-            self.container.value(Tensor(states)).reshape(-1), Tensor(returns)
-        )
+        if self._fast_compute:
+            value_loss = fused_mse_loss(
+                self.container.value(Tensor(states)).reshape(-1), returns
+            )
+        else:
+            value_loss = mse_loss(
+                self.container.value(Tensor(states)).reshape(-1), Tensor(returns)
+            )
         loss = policy_loss + self.value_coef * value_loss
         if self.entropy_coef:
             loss = loss - self.entropy_coef * self.container.entropy()

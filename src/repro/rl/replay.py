@@ -1,12 +1,33 @@
-"""Experience replay buffer (DQN and DDPG)."""
+"""Experience replay buffer (DQN and DDPG).
+
+PR 10 rebuilt ``ReplayBuffer`` as a preallocated ring: one contiguous
+storage array per field, written row-by-row at a cursor, sampled with a
+single vectorized rng draw plus one fancy-index gather per field.  The
+old per-transition list of NamedTuples survives as
+``repro.rl.legacy.LegacyReplayBuffer`` and the two are proven
+bit-identical — same rng stream, same sampled batches — by
+``tests/test_compute_parity.py`` and the property suite in
+``tests/test_replay.py``.
+
+Two contracts the ring preserves exactly (DESIGN.md §13):
+
+* **rng stream** — ``sample()`` keeps the legacy
+  ``rng.choice(len, size, replace=batch_size > len)`` draw verbatim.
+  ``rng.integers`` would be marginally cheaper but produces a different
+  stream, which would silently move every seeded DQN/DDPG run.
+* **storage dtype** — fields keep the dtype of the first transition
+  pushed (the envs emit float64 observations).  Downcasting storage to
+  float32 would round observations and break the bit-identity guarantee
+  that lets the fast path be default-on.
+"""
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from typing import List, NamedTuple
 
 import numpy as np
 
-__all__ = ["Transition", "ReplayBuffer"]
+__all__ = ["Transition", "Batch", "ReplayBuffer", "make_replay_buffer"]
 
 
 class Transition(NamedTuple):
@@ -28,40 +49,137 @@ class Batch(NamedTuple):
 
 
 class ReplayBuffer:
-    """A fixed-capacity ring buffer with uniform random sampling."""
+    """A fixed-capacity ring buffer with uniform random sampling.
+
+    Storage is allocated lazily from the first transition (its shapes
+    and dtypes fix the row layout); ``push`` writes rows at a wrapping
+    cursor and ``sample`` is one rng draw plus five gathers.
+    """
 
     def __init__(self, capacity: int, rng: np.random.Generator) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.rng = rng
-        self._storage: list = []
         self._cursor = 0
+        self._size = 0
+        self._states: np.ndarray | None = None
+        self._actions: np.ndarray | None = None
+        self._rewards: np.ndarray | None = None
+        self._next_states: np.ndarray | None = None
+        self._dones: np.ndarray | None = None
+
+    def _allocate(self, transition: Transition) -> None:
+        state = np.asarray(transition.state)
+        action = np.asarray(transition.action)
+        self._states = np.empty((self.capacity, *state.shape), dtype=state.dtype)
+        self._actions = np.empty((self.capacity, *action.shape), dtype=action.dtype)
+        self._rewards = np.empty(self.capacity, dtype=np.float64)
+        self._next_states = np.empty_like(self._states)
+        self._dones = np.empty(self.capacity, dtype=np.float64)
 
     def push(self, transition: Transition) -> None:
-        if len(self._storage) < self.capacity:
-            self._storage.append(transition)
-        else:
-            self._storage[self._cursor] = transition
-        self._cursor = (self._cursor + 1) % self.capacity
+        if self._states is None:
+            self._allocate(transition)
+        cursor = self._cursor
+        self._states[cursor] = transition.state
+        self._actions[cursor] = transition.action
+        self._rewards[cursor] = transition.reward
+        self._next_states[cursor] = transition.next_state
+        self._dones[cursor] = transition.done
+        self._cursor = (cursor + 1) % self.capacity
+        if self._size < self.capacity:
+            self._size += 1
+
+    def push_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        """Push ``n`` transitions at once (row ``i`` before row ``i+1``).
+
+        Equivalent to ``n`` sequential :meth:`push` calls; used by the
+        vectorized rollout paths so a whole env batch lands in two
+        contiguous slice writes at most.
+        """
+        n = len(states)
+        if n == 0:
+            return
+        if self._states is None:
+            self._allocate(
+                Transition(states[0], actions[0], rewards[0], next_states[0], dones[0])
+            )
+        if n >= self.capacity:
+            # Degenerate: later rows overwrite earlier ones; keep the
+            # sequential semantics via the scalar path.
+            for i in range(n):
+                self.push(
+                    Transition(states[i], actions[i], rewards[i], next_states[i], dones[i])
+                )
+            return
+        cursor = self._cursor
+        first = min(n, self.capacity - cursor)
+        for dst, src in ((slice(cursor, cursor + first), slice(0, first)),
+                         (slice(0, n - first), slice(first, n))):
+            if src.start == src.stop:
+                continue
+            self._states[dst] = states[src]
+            self._actions[dst] = actions[src]
+            self._rewards[dst] = rewards[src]
+            self._next_states[dst] = next_states[src]
+            self._dones[dst] = dones[src]
+        self._cursor = (cursor + n) % self.capacity
+        self._size = min(self.capacity, self._size + n)
 
     def sample(self, batch_size: int) -> Batch:
         """Sample ``batch_size`` transitions uniformly (with replacement
         disabled when the buffer is large enough)."""
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        if not self._storage:
+        if self._size == 0:
             raise ValueError("cannot sample from an empty replay buffer")
-        replace = batch_size > len(self._storage)
-        indices = self.rng.choice(len(self._storage), size=batch_size, replace=replace)
-        transitions = [self._storage[i] for i in indices]
+        replace = batch_size > self._size
+        indices = self.rng.choice(self._size, size=batch_size, replace=replace)
         return Batch(
-            states=np.stack([t.state for t in transitions]),
-            actions=np.asarray([t.action for t in transitions]),
-            rewards=np.asarray([t.reward for t in transitions], dtype=np.float64),
-            next_states=np.stack([t.next_state for t in transitions]),
-            dones=np.asarray([t.done for t in transitions], dtype=np.float64),
+            states=self._states[indices],
+            actions=self._actions[indices],
+            rewards=self._rewards[indices],
+            next_states=self._next_states[indices],
+            dones=self._dones[indices],
         )
 
+    @property
+    def _storage(self) -> List[Transition]:
+        """Occupied slots as Transitions, in slot order (debug/tests)."""
+        if self._states is None:
+            return []
+        out = []
+        for i in range(self._size):
+            action = self._actions[i]
+            out.append(
+                Transition(
+                    state=self._states[i],
+                    action=action.item() if action.ndim == 0 else action,
+                    reward=float(self._rewards[i]),
+                    next_state=self._next_states[i],
+                    done=bool(self._dones[i]),
+                )
+            )
+        return out
+
     def __len__(self) -> int:
-        return len(self._storage)
+        return self._size
+
+
+def make_replay_buffer(capacity: int, rng: np.random.Generator):
+    """Ring buffer on the fast path, list-of-tuples on the legacy path."""
+    from ..nn.fastpath import compute_fastpath_enabled
+
+    if compute_fastpath_enabled():
+        return ReplayBuffer(capacity, rng)
+    from .legacy import LegacyReplayBuffer
+
+    return LegacyReplayBuffer(capacity, rng)

@@ -64,6 +64,30 @@ class TestMicrobenchmarks:
         assert record["segments"] == 4 * record["n_chunks"]
         assert record["segments_per_s"] > 0
 
+    @pytest.mark.parametrize("legacy", [False, True])
+    def test_env_step_micro_counts_batched_steps(self, legacy):
+        scenario = bench._micro_env_step(5, num_envs=4, legacy=legacy)
+        assert scenario.name == "micro-env-step" + ("-legacy" if legacy else "")
+        record = scenario.run(repeats=2)
+        assert record["env_steps"] == 20
+
+    @pytest.mark.parametrize("legacy", [False, True])
+    def test_replay_sample_micro_counts_samples(self, legacy):
+        scenario = bench._micro_replay_sample(50, 10, 8, legacy=legacy)
+        assert scenario.name == "micro-replay-sample" + (
+            "-legacy" if legacy else ""
+        )
+        record = scenario.run(repeats=2)
+        assert record["samples"] == 80
+
+    @pytest.mark.parametrize("legacy", [False, True])
+    def test_optim_step_micro_counts_param_updates(self, legacy):
+        scenario = bench._micro_optim_step(3, legacy=legacy)
+        record = scenario.run(repeats=2)
+        # 3 steps over the fixed [64, 128, 128, 8] MLP.
+        expected_params = 64 * 128 + 128 + 128 * 128 + 128 + 128 * 8 + 8
+        assert record["param_updates"] == 3 * expected_params
+
 
 class TestTrainingScenario:
     def test_smallest_training_scenario_reports_counts(self):
@@ -96,6 +120,25 @@ class TestMatrix:
         smoke = bench_scenarios(smoke=True)
         assert len(smoke) < len(bench_scenarios(smoke=False))
         assert {s.kind for s in smoke} == {"training", "chaos", "micro"}
+
+    COMPUTE_TWINS = [
+        "micro-env-step",
+        "micro-replay-sample",
+        "micro-optim-step",
+    ]
+
+    @pytest.mark.parametrize("smoke", [False, True])
+    def test_compute_micros_have_legacy_twins(self, smoke):
+        names = {s.name for s in bench_scenarios(smoke=smoke)}
+        for base in self.COMPUTE_TWINS:
+            assert base in names
+            assert f"{base}-legacy" in names
+
+    def test_full_matrix_has_dqn_compute_twins(self):
+        names = {s.name for s in bench_scenarios(smoke=False)}
+        for n_workers in (4, 8):
+            assert f"dqn-sync-isw-n{n_workers}" in names
+            assert f"dqn-sync-isw-n{n_workers}-legacy" in names
 
 
 class TestReportSchema:
@@ -236,6 +279,45 @@ class TestRegressionGate:
         del report["baseline"]["scenarios"][bench.GATE_SCENARIO]["wall_s"]
         assert bench.check_regression(report, 0.50) == 1
         assert bench.check_regression(report, 1.50) == 0
+
+    def test_default_gate_covers_all_gate_scenarios(self):
+        """scenario=None sweeps GATE_SCENARIOS; any one regression fails."""
+
+        def entry(ws):
+            return {"wall_s": list(ws), "median_s": sorted(ws)[len(ws) // 2]}
+
+        assert "micro-replay-sample" in bench.GATE_SCENARIOS
+        report = {
+            "scenarios": {name: entry([0.10]) for name in bench.GATE_SCENARIOS},
+            "baseline": {
+                "scenarios": {
+                    name: entry([0.10]) for name in bench.GATE_SCENARIOS
+                }
+            },
+        }
+        assert bench.check_regression(report, 0.50) == 0
+        # Regress only the replay micro: the combined gate must trip even
+        # though the training scenario is clean.
+        report["scenarios"]["micro-replay-sample"] = entry([0.30])
+        assert bench.check_regression(report, 0.50) == 1
+        assert bench.check_regression(report, 0.50, bench.GATE_SCENARIO) == 0
+
+
+class TestComputeSpeedups:
+    def test_report_pairs_fast_and_legacy_twins(self, monkeypatch):
+        def tiny(smoke=False):
+            return [
+                bench._micro_replay_sample(50, 10, 8),
+                bench._micro_replay_sample(50, 10, 8, legacy=True),
+                bench._micro_event_dispatch(100),  # twin-less: no entry
+            ]
+
+        monkeypatch.setattr(bench, "bench_scenarios", tiny)
+        report = run_benchmark(repeats=2)
+        validate_report(report)
+        speedups = report["compute_speedups"]
+        assert set(speedups) == {"micro-replay-sample"}
+        assert speedups["micro-replay-sample"] > 0
 
 
 @pytest.mark.bench

@@ -370,6 +370,65 @@ class TestRegistryIntrospection:
 
 
 # ----------------------------------------------------------------------
+# Compute fast path vs legacy (PR 10): the distributed layer must not
+# notice which compute path the workers run on
+# ----------------------------------------------------------------------
+class TestComputePathParity:
+    """Every strategy, fast vs legacy compute, identical results.
+
+    The goldens above already pin the (default-on) fast path to the
+    pre-refactor values; these runs re-execute each strategy on the
+    retained legacy implementations and require the same final weights
+    *and* the same simulated clock — the compute path must be invisible
+    to the event schedule.
+    """
+
+    @pytest.mark.parametrize("mode,strategy", sorted(GOLDEN))
+    def test_legacy_compute_reproduces_golden(self, mode, strategy):
+        from repro.nn import use_legacy_compute
+
+        with use_legacy_compute():
+            if mode == "sync":
+                result = run_sync(
+                    strategy, "ppo", n_workers=4, n_iterations=5, seed=7
+                )
+            else:
+                result = run_async(
+                    strategy, "ppo", n_workers=4, n_updates=30, seed=7
+                )
+        expected_hash, expected_elapsed = GOLDEN[(mode, strategy)]
+        assert weight_hash(result) == expected_hash
+        assert result.elapsed == expected_elapsed
+
+    def test_chaos_run_fast_vs_legacy(self):
+        """Fault injection (crash + switch reset + loss burst) is
+        compute-path-invariant too: same weights, same clock, same
+        fault verdict."""
+        from repro.nn import use_fast_compute, use_legacy_compute
+
+        def chaos(ctx):
+            with ctx:
+                return run(
+                    ExperimentConfig(
+                        strategy="isw",
+                        workload="dqn",
+                        n_workers=4,
+                        iterations=6,
+                        seed=7,
+                        fault_plan="examples/chaos_demo.json",
+                        telemetry=False,
+                    )
+                )
+
+        fast = chaos(use_fast_compute())
+        legacy = chaos(use_legacy_compute())
+        assert weight_hash(fast) == weight_hash(legacy)
+        assert fast.elapsed == legacy.elapsed
+        assert fast.fault_report is not None
+        assert fast.fault_report.ok == legacy.fault_report.ok
+
+
+# ----------------------------------------------------------------------
 # Collective telemetry
 # ----------------------------------------------------------------------
 class TestCollectiveTelemetry:

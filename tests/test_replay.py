@@ -2,7 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.rl.legacy import LegacyReplayBuffer
 from repro.rl.replay import ReplayBuffer, Transition
 
 
@@ -76,3 +79,81 @@ class TestReplayBuffer:
         batch = buf.sample(1)
         assert batch.dones.dtype == np.float64
         assert batch.dones[0] == 1.0
+
+
+class TestRingProperties:
+    """Property tests (hypothesis) for the PR 10 preallocated ring.
+
+    The legacy list-of-tuples buffer is the executable spec: for any
+    push/sample schedule the ring must hold the same transitions in the
+    same slot order and draw the same batches from the same rng stream.
+    """
+
+    @given(capacity=st.integers(1, 25), n_pushes=st.integers(0, 80))
+    @settings(max_examples=60, deadline=None)
+    def test_wraparound_keeps_newest_in_slot_order(self, capacity, n_pushes):
+        ring = ReplayBuffer(capacity, np.random.default_rng(0))
+        legacy = LegacyReplayBuffer(capacity, np.random.default_rng(0))
+        for i in range(n_pushes):
+            ring.push(make_transition(i))
+            legacy.push(make_transition(i))
+        assert [t.reward for t in ring._storage] == [
+            t.reward for t in legacy._storage
+        ]
+        if n_pushes > capacity:
+            # Every survivor is one of the newest `capacity` transitions.
+            survivors = {t.reward for t in ring._storage}
+            assert survivors == {float(i) for i in range(n_pushes - capacity, n_pushes)}
+
+    @given(capacity=st.integers(1, 25), n_pushes=st.integers(0, 80))
+    @settings(max_examples=60, deadline=None)
+    def test_len_saturates_at_capacity(self, capacity, n_pushes):
+        ring = ReplayBuffer(capacity, np.random.default_rng(0))
+        for i in range(n_pushes):
+            ring.push(make_transition(i))
+        assert len(ring) == min(capacity, n_pushes)
+
+    @given(
+        capacity=st.integers(2, 30),
+        n_pushes=st.integers(1, 60),
+        batch_size=st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sample_indices_cover_only_live_slots(
+        self, capacity, n_pushes, batch_size
+    ):
+        ring = ReplayBuffer(capacity, np.random.default_rng(1))
+        for i in range(n_pushes):
+            ring.push(make_transition(i))
+        batch = ring.sample(batch_size)
+        live = {t.reward for t in ring._storage}
+        assert set(batch.rewards.tolist()) <= live
+        if batch_size <= len(ring):
+            # Drawn without replacement: no slot repeats.
+            assert len(set(batch.rewards.tolist())) == batch_size
+
+    @given(
+        capacity=st.integers(1, 25),
+        schedule=st.lists(
+            st.tuples(st.integers(1, 6), st.integers(1, 8)), max_size=8
+        ),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rng_stream_matches_legacy(self, capacity, schedule, seed):
+        """Interleaved push/sample: both buffers stay on one rng stream."""
+        ring = ReplayBuffer(capacity, np.random.default_rng(seed))
+        legacy = LegacyReplayBuffer(capacity, np.random.default_rng(seed))
+        i = 0
+        for n_push, batch_size in schedule:
+            for _ in range(n_push):
+                ring.push(make_transition(i))
+                legacy.push(make_transition(i))
+                i += 1
+            a = ring.sample(batch_size)
+            b = legacy.sample(batch_size)
+            assert a.states.tobytes() == b.states.tobytes()
+            assert a.actions.tolist() == b.actions.tolist()
+            assert a.rewards.tobytes() == b.rewards.tobytes()
+            assert a.next_states.tobytes() == b.next_states.tobytes()
+            assert a.dones.tobytes() == b.dones.tobytes()
